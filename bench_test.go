@@ -1,0 +1,206 @@
+package repro
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// The benchmarks below regenerate the paper's tables and figures (one
+// benchmark per artifact, named after it) and add per-reading micro
+// benchmarks and ablations for the design choices called out in DESIGN.md.
+//
+// The experiment benchmarks run the corresponding driver at a reduced scale
+// so the whole suite completes in minutes; run cmd/rfidbench with
+// -scale 0.5..1.0 for results closer to the paper's experiment sizes.
+
+// benchOpts is the scale used for the experiment-reproduction benchmarks.
+func benchOpts() experiments.Options { return experiments.Options{Scale: 0.15, Seed: 1} }
+
+func runExperimentBench(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tables, err := experiments.Run(id, benchOpts())
+		if err != nil {
+			b.Fatalf("experiment %s: %v", id, err)
+		}
+		if len(tables) == 0 || len(tables[0].Rows) == 0 {
+			b.Fatalf("experiment %s produced no rows", id)
+		}
+	}
+}
+
+// BenchmarkFig5SensorLearning regenerates Fig. 5(a)-(d): learned sensor
+// models compared against the ground-truth profiles.
+func BenchmarkFig5SensorLearning(b *testing.B) { runExperimentBench(b, "fig5bcd") }
+
+// BenchmarkFig5eLearnedModels regenerates Fig. 5(e): inference error vs the
+// number of shelf tags available to calibration.
+func BenchmarkFig5eLearnedModels(b *testing.B) { runExperimentBench(b, "fig5e") }
+
+// BenchmarkFig5fReadRate regenerates Fig. 5(f): inference error vs the major
+// detection range read rate.
+func BenchmarkFig5fReadRate(b *testing.B) { runExperimentBench(b, "fig5f") }
+
+// BenchmarkFig5gLocationNoise regenerates Fig. 5(g): inference error vs the
+// systematic reader-location error.
+func BenchmarkFig5gLocationNoise(b *testing.B) { runExperimentBench(b, "fig5g") }
+
+// BenchmarkFig5hMovement regenerates Fig. 5(h): inference error vs object
+// movement distance.
+func BenchmarkFig5hMovement(b *testing.B) { runExperimentBench(b, "fig5h") }
+
+// BenchmarkFig5iScalabilityError regenerates Fig. 5(i): inference error vs
+// the number of objects for the four system variants.
+func BenchmarkFig5iScalabilityError(b *testing.B) { runExperimentBench(b, "fig5i") }
+
+// BenchmarkFig5jScalabilityTime regenerates Fig. 5(j): CPU time per reading
+// vs the number of objects for the four system variants.
+func BenchmarkFig5jScalabilityTime(b *testing.B) { runExperimentBench(b, "fig5j") }
+
+// BenchmarkTable6bLabComparison regenerates the table of Fig. 6(b): our
+// system vs improved SMURF vs uniform sampling on the emulated lab
+// deployment.
+func BenchmarkTable6bLabComparison(b *testing.B) { runExperimentBench(b, "table6b") }
+
+// BenchmarkHeadline regenerates the headline claims (error reduction over
+// SMURF, sustained throughput).
+func BenchmarkHeadline(b *testing.B) { runExperimentBench(b, "headline") }
+
+// ---------------------------------------------------------------------------
+// Per-reading micro benchmarks: the processing cost of one reading under each
+// system variant (the quantity plotted in Fig. 5(j)), measured directly.
+
+// benchParams mirrors the warehouse inference parameters used by the
+// experiments.
+func benchParams() model.Params {
+	return model.DefaultParams()
+}
+
+func benchTrace(b *testing.B, objects int) *sim.Trace {
+	b.Helper()
+	cfg := sim.DefaultWarehouseConfig()
+	cfg.NumObjects = objects
+	cfg.NumShelfTags = 4
+	cfg.ObjectSpacing = 0.25
+	cfg.RowsDeep = 4
+	cfg.Rounds = 2
+	cfg.Seed = 42
+	trace, err := sim.GenerateWarehouse(cfg)
+	if err != nil {
+		b.Fatalf("GenerateWarehouse: %v", err)
+	}
+	return trace
+}
+
+func benchEngineVariant(b *testing.B, objects int, factored, index, compression bool, particles int) {
+	trace := benchTrace(b, objects)
+	readings := trace.NumReadings()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig(benchParams(), trace.World)
+		cfg.Factored = factored
+		cfg.SpatialIndex = index
+		cfg.Compression = compression
+		cfg.NumObjectParticles = particles
+		cfg.NumBasicParticles = 2000
+		cfg.NumReaderParticles = 50
+		cfg.Seed = 7
+		eng, err := core.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, ep := range trace.Epochs {
+			if _, err := eng.ProcessEpoch(ep); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	if readings > 0 {
+		perReading := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(readings)
+		b.ReportMetric(perReading, "ns/reading")
+	}
+}
+
+// BenchmarkPerReadingBasic measures the basic (unfactorized) filter on a tiny
+// warehouse; this is the paper's slowest configuration.
+func BenchmarkPerReadingBasic(b *testing.B) { benchEngineVariant(b, 10, false, false, false, 0) }
+
+// BenchmarkPerReadingFactored measures the factored filter without spatial
+// indexing or compression.
+func BenchmarkPerReadingFactored(b *testing.B) { benchEngineVariant(b, 100, true, false, false, 200) }
+
+// BenchmarkPerReadingFactoredIndex adds the spatial index.
+func BenchmarkPerReadingFactoredIndex(b *testing.B) {
+	benchEngineVariant(b, 100, true, true, false, 200)
+}
+
+// BenchmarkPerReadingFullSystem adds belief compression (the configuration
+// the paper reports at over 1500 readings per second).
+func BenchmarkPerReadingFullSystem(b *testing.B) { benchEngineVariant(b, 100, true, true, true, 200) }
+
+// ---------------------------------------------------------------------------
+// Ablation benchmarks for the design choices listed in DESIGN.md.
+
+// BenchmarkAblationObjectParticles sweeps the per-object particle count,
+// showing the cost/accuracy lever behind the paper's choice of 1000.
+func BenchmarkAblationObjectParticles(b *testing.B) {
+	for _, particles := range []int{100, 300, 1000} {
+		particles := particles
+		b.Run(benchName("particles", particles), func(b *testing.B) {
+			benchEngineVariant(b, 50, true, true, false, particles)
+		})
+	}
+}
+
+// BenchmarkAblationDecompressParticles sweeps the number of particles
+// recreated when a compressed belief is read again (the paper uses 10).
+func BenchmarkAblationDecompressParticles(b *testing.B) {
+	trace := benchTrace(b, 100)
+	for _, n := range []int{5, 10, 50} {
+		n := n
+		b.Run(benchName("decompress", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig(benchParams(), trace.World)
+				cfg.NumObjectParticles = 200
+				cfg.NumReaderParticles = 50
+				cfg.NumDecompressParticles = n
+				cfg.Seed = 7
+				eng, err := core.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, ep := range trace.Epochs {
+					if _, err := eng.ProcessEpoch(ep); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSpatialIndexOnly isolates the spatial index benefit at a
+// larger object count, where the factored filter without the index must touch
+// every tracked object at every epoch.
+func BenchmarkAblationSpatialIndexOnly(b *testing.B) {
+	for _, indexed := range []bool{false, true} {
+		indexed := indexed
+		name := "index-off"
+		if indexed {
+			name = "index-on"
+		}
+		b.Run(name, func(b *testing.B) {
+			benchEngineVariant(b, 400, true, indexed, false, 150)
+		})
+	}
+}
+
+func benchName(prefix string, v int) string {
+	return prefix + "-" + strconv.Itoa(v)
+}

@@ -1,0 +1,71 @@
+// Command rfidbench reproduces the tables and figures of the paper's
+// evaluation (Section V). Each experiment is identified by the figure or
+// table it regenerates; -list shows them all.
+//
+// Usage:
+//
+//	rfidbench -list
+//	rfidbench -exp table6b -scale 0.5
+//	rfidbench -exp all -scale 0.25
+//	rfidbench -art            # ASCII heat maps of the true and learned sensor models
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rfidbench: ")
+
+	var (
+		exp   = flag.String("exp", "", "experiment id to run (see -list), or 'all'")
+		scale = flag.Float64("scale", 0.25, "experiment scale in (0,1]; 1.0 approximates the paper's sizes")
+		seed  = flag.Int64("seed", 1, "random seed")
+		list  = flag.Bool("list", false, "list available experiments")
+		art   = flag.Bool("art", false, "render the sensor models of Fig. 5(a)-(b) as ASCII heat maps")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{Scale: *scale, Seed: *seed}
+
+	if *list {
+		fmt.Println("available experiments:")
+		for _, id := range experiments.IDs() {
+			fmt.Printf("  %s\n", id)
+		}
+		return
+	}
+	if *art {
+		out, err := experiments.SensorModelArt(opts)
+		if err != nil {
+			log.Fatalf("sensor model art: %v", err)
+		}
+		fmt.Print(out)
+		return
+	}
+	if *exp == "" {
+		log.Fatal("specify -exp <id>, -exp all, -list or -art")
+	}
+
+	start := time.Now()
+	var tables []experiments.Table
+	var err error
+	if *exp == "all" {
+		tables, err = experiments.RunAll(opts)
+	} else {
+		tables, err = experiments.Run(*exp, opts)
+	}
+	if err != nil {
+		log.Fatalf("experiment %s: %v", *exp, err)
+	}
+	for _, t := range tables {
+		fmt.Println(t.String())
+	}
+	fmt.Printf("completed in %s (scale %.2f)\n", time.Since(start).Round(time.Millisecond), *scale)
+}

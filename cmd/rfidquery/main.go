@@ -1,0 +1,80 @@
+// Command rfidquery runs the continuous queries of Section II-B over a clean
+// event stream produced by rfidclean: the location-update query and the
+// fire-code weight-density query.
+//
+// Usage:
+//
+//	rfidquery -events events.csv -query location-updates
+//	rfidquery -events events.csv -query fire-code -weight 25 -threshold 200 -window 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/rfid"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rfidquery: ")
+
+	var (
+		eventsFile = flag.String("events", "events.csv", "clean event stream CSV (from rfidclean)")
+		queryName  = flag.String("query", "location-updates", "query to run: location-updates or fire-code")
+		minChange  = flag.Float64("min-change", 0.1, "location-updates: minimum location change (ft) to report")
+		weight     = flag.Float64("weight", 25, "fire-code: weight in pounds assigned to each object")
+		threshold  = flag.Float64("threshold", 200, "fire-code: maximum pounds per square foot")
+		window     = flag.Int("window", 5, "fire-code: window length in seconds (epochs)")
+		limit      = flag.Int("limit", 50, "maximum number of rows to print (0 = all)")
+	)
+	flag.Parse()
+
+	f, err := os.Open(*eventsFile)
+	if err != nil {
+		log.Fatalf("open events: %v", err)
+	}
+	events, err := rfid.ReadEventsCSV(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("read events: %v", err)
+	}
+
+	switch *queryName {
+	case "location-updates":
+		q := rfid.NewLocationUpdateQuery(*minChange)
+		updates := q.Run(events)
+		fmt.Printf("%d location updates\n", len(updates))
+		for i, u := range updates {
+			if *limit > 0 && i >= *limit {
+				fmt.Printf("... (%d more)\n", len(updates)-i)
+				break
+			}
+			if u.HasPrev {
+				fmt.Printf("t=%d %s moved %v -> %v\n", u.Time, u.Tag, u.Prev, u.Loc)
+			} else {
+				fmt.Printf("t=%d %s first seen at %v\n", u.Time, u.Tag, u.Loc)
+			}
+		}
+	case "fire-code":
+		q := rfid.NewFireCodeQuery(rfid.FireCodeConfig{
+			WindowEpochs:    *window,
+			ThresholdPounds: *threshold,
+			Weight:          func(rfid.TagID) float64 { return *weight },
+		})
+		violations := q.Run(events)
+		fmt.Printf("%d fire-code violations (threshold %.0f lb/sqft, window %d s)\n",
+			len(violations), *threshold, *window)
+		for i, v := range violations {
+			if *limit > 0 && i >= *limit {
+				fmt.Printf("... (%d more)\n", len(violations)-i)
+				break
+			}
+			fmt.Printf("t=%d area %s total weight %.0f lb\n", v.Time, v.Area, v.TotalWeight)
+		}
+	default:
+		log.Fatalf("unknown query %q (want location-updates or fire-code)", *queryName)
+	}
+}

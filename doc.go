@@ -1,0 +1,12 @@
+// Package repro is the root of a from-scratch Go reproduction of
+// "Probabilistic Inference over RFID Streams in Mobile Environments"
+// (Tran, Sutton, Cocci, Nie, Diao, Shenoy; ICDE 2009).
+//
+// The public API lives in package repro/rfid. The implementation — the
+// probabilistic data-generation model, the factored particle filter, spatial
+// indexing over sensing regions, belief compression, the SMURF and uniform
+// baselines, the warehouse and lab simulators and the experiment drivers that
+// regenerate every table and figure of the paper's evaluation — lives under
+// internal/. The benchmarks in bench_test.go regenerate the paper's tables
+// and figures via `go test -bench`.
+package repro

@@ -1,0 +1,69 @@
+// Quickstart: simulate a small warehouse scan with a mobile RFID reader,
+// clean the noisy raw streams with the inference pipeline and print the
+// resulting location events next to the ground truth.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/rfid"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Simulate a mobile reader scanning 12 tagged objects on a shelf row
+	//    with 4 reference (shelf) tags. In a real deployment the two raw
+	//    streams would come from the reader and the positioning system.
+	simCfg := rfid.DefaultWarehouseConfig()
+	simCfg.NumObjects = 12
+	simCfg.NumShelfTags = 4
+	simCfg.Seed = 7
+	trace, err := rfid.SimulateWarehouse(simCfg)
+	if err != nil {
+		log.Fatalf("simulate: %v", err)
+	}
+	readings, locations := rfid.RawStreams(trace)
+	fmt.Printf("raw input: %d tag readings, %d location reports\n", len(readings), len(locations))
+
+	// 2. Synchronize the two raw streams into per-second epochs.
+	epochs := rfid.Synchronize(readings, locations)
+
+	// 3. Build the cleaning pipeline. DefaultConfig enables the factored
+	//    particle filter, spatial indexing and belief compression.
+	cfg := rfid.DefaultConfig(rfid.DefaultParams(), trace.World)
+	cfg.NumObjectParticles = 500
+	cfg.Seed = 7
+	pipe, err := rfid.NewPipeline(cfg)
+	if err != nil {
+		log.Fatalf("pipeline: %v", err)
+	}
+
+	// 4. Stream the epochs through the pipeline and collect location events.
+	events, err := pipe.Run(epochs)
+	if err != nil {
+		log.Fatalf("run: %v", err)
+	}
+
+	// 5. Print the final estimate per object next to the true location.
+	fmt.Println("\ntag            estimated (x, y)        true (x, y)        error (ft)")
+	final := map[rfid.TagID]rfid.Event{}
+	for _, ev := range events {
+		final[ev.Tag] = ev
+	}
+	for _, id := range trace.ObjectIDs {
+		ev, ok := final[id]
+		if !ok {
+			fmt.Printf("%-14s (never estimated)\n", id)
+			continue
+		}
+		trueLoc, _ := trace.Truth.ObjectAt(id, ev.Time)
+		fmt.Printf("%-14s (%6.2f, %6.2f)        (%6.2f, %6.2f)      %.2f\n",
+			id, ev.Loc.X, ev.Loc.Y, trueLoc.X, trueLoc.Y, ev.Loc.DistXY(trueLoc))
+	}
+
+	rep := rfid.ScoreAgainstTrace(events, trace)
+	fmt.Printf("\nmean XY error: %.2f ft over %d objects (reader processed %d readings)\n",
+		rep.MeanXY, rep.Count, pipe.Stats().Readings)
+}

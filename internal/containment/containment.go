@@ -1,0 +1,244 @@
+// Package containment implements the extension the paper lists as future
+// work in Section VII: inferring inter-object containment relationships
+// (e.g. "case X holds item Y", "pallet P holds case X") on top of the clean
+// location event stream produced by the inference engine.
+//
+// The idea follows directly from the paper's problem statement: containers
+// are themselves tagged, so containment reveals itself as persistent
+// co-location — an item that is inside a case is always estimated within a
+// small radius of the case, across scans, and it moves when the case moves.
+// The tracker therefore consumes per-scan location snapshots (one estimated
+// location per tag) and scores, for every (item, container) pair, how
+// consistently the two were co-located and whether they moved together. The
+// output is a ranked list of probable containment facts with confidence
+// scores, ready for the kind of misplaced-inventory queries the paper's
+// introduction motivates.
+package containment
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/stream"
+)
+
+// Config tunes containment inference.
+type Config struct {
+	// CoLocationRadius is the maximum distance (feet) between an item and a
+	// container for the pair to count as co-located in a snapshot
+	// (default 1.5, roughly the size of a case or pallet slot).
+	CoLocationRadius float64
+	// MinSnapshots is the minimum number of snapshots in which both tags must
+	// have appeared before a containment fact is reported (default 2).
+	MinSnapshots int
+	// MinConfidence is the minimum co-location fraction required to report a
+	// fact (default 0.7).
+	MinConfidence float64
+	// MoveAgreementRadius is the maximum difference (feet) between the item's
+	// and the container's displacement across consecutive snapshots for the
+	// move to count as "moving together" (default 1.0).
+	MoveAgreementRadius float64
+}
+
+// DefaultConfig returns the tracker defaults.
+func DefaultConfig() Config {
+	return Config{CoLocationRadius: 1.5, MinSnapshots: 2, MinConfidence: 0.7, MoveAgreementRadius: 1.0}
+}
+
+func (c *Config) applyDefaults() {
+	d := DefaultConfig()
+	if c.CoLocationRadius <= 0 {
+		c.CoLocationRadius = d.CoLocationRadius
+	}
+	if c.MinSnapshots <= 0 {
+		c.MinSnapshots = d.MinSnapshots
+	}
+	if c.MinConfidence <= 0 {
+		c.MinConfidence = d.MinConfidence
+	}
+	if c.MoveAgreementRadius <= 0 {
+		c.MoveAgreementRadius = d.MoveAgreementRadius
+	}
+}
+
+// Fact is one inferred containment relationship.
+type Fact struct {
+	Item      stream.TagID
+	Container stream.TagID
+	// Confidence is the fraction of joint observations in which the pair was
+	// co-located, boosted when the pair also moved together.
+	Confidence float64
+	// Observations is the number of snapshots in which both tags appeared.
+	Observations int
+	// MovedTogether is the number of consecutive-snapshot moves (container
+	// displacement above the co-location radius) during which the item
+	// followed the container.
+	MovedTogether int
+}
+
+// String implements fmt.Stringer.
+func (f Fact) String() string {
+	return fmt.Sprintf("%s in %s (confidence %.2f over %d observations)", f.Item, f.Container, f.Confidence, f.Observations)
+}
+
+// snapshot is one per-scan view of estimated locations.
+type snapshot struct {
+	time int
+	loc  map[stream.TagID]geom.Vec3
+}
+
+// Tracker accumulates per-scan snapshots and infers containment facts.
+type Tracker struct {
+	cfg        Config
+	containers map[stream.TagID]bool
+	snapshots  []snapshot
+}
+
+// NewTracker returns a Tracker. The containers set identifies which tags are
+// containers (cases, pallets); all other tags are treated as items.
+func NewTracker(cfg Config, containers []stream.TagID) *Tracker {
+	cfg.applyDefaults()
+	set := make(map[stream.TagID]bool, len(containers))
+	for _, id := range containers {
+		set[id] = true
+	}
+	return &Tracker{cfg: cfg, containers: set}
+}
+
+// IsContainer reports whether the tag is registered as a container.
+func (t *Tracker) IsContainer(id stream.TagID) bool { return t.containers[id] }
+
+// AddSnapshot records the estimated locations of tags at the end of one scan
+// (or any other reporting point). Tags missing from the map simply were not
+// observed during that scan.
+func (t *Tracker) AddSnapshot(time int, locations map[stream.TagID]geom.Vec3) {
+	cp := make(map[stream.TagID]geom.Vec3, len(locations))
+	for id, loc := range locations {
+		cp[id] = loc
+	}
+	t.snapshots = append(t.snapshots, snapshot{time: time, loc: cp})
+	sort.SliceStable(t.snapshots, func(i, j int) bool { return t.snapshots[i].time < t.snapshots[j].time })
+}
+
+// AddEvents is a convenience wrapper that builds a snapshot from an event
+// stream slice (the latest event per tag wins) and records it at the given
+// time.
+func (t *Tracker) AddEvents(time int, events []stream.Event) {
+	latest := make(map[stream.TagID]stream.Event)
+	for _, ev := range events {
+		cur, ok := latest[ev.Tag]
+		if !ok || ev.Time >= cur.Time {
+			latest[ev.Tag] = ev
+		}
+	}
+	locs := make(map[stream.TagID]geom.Vec3, len(latest))
+	for id, ev := range latest {
+		locs[id] = ev.Loc
+	}
+	t.AddSnapshot(time, locs)
+}
+
+// NumSnapshots returns the number of recorded snapshots.
+func (t *Tracker) NumSnapshots() int { return len(t.snapshots) }
+
+// Facts infers the containment relationships supported by the recorded
+// snapshots: for every item, the best-supported container (if any) whose
+// co-location confidence clears the configured thresholds. Facts are returned
+// sorted by descending confidence, then by item id.
+func (t *Tracker) Facts() []Fact {
+	type pairKey struct{ item, container stream.TagID }
+	joint := make(map[pairKey]int)     // snapshots where both appeared
+	together := make(map[pairKey]int)  // ... and were co-located
+	movedWith := make(map[pairKey]int) // container moves followed by the item
+
+	items := make(map[stream.TagID]bool)
+	for _, snap := range t.snapshots {
+		for id := range snap.loc {
+			if !t.containers[id] {
+				items[id] = true
+			}
+		}
+	}
+
+	for si, snap := range t.snapshots {
+		for item := range items {
+			itemLoc, ok := snap.loc[item]
+			if !ok {
+				continue
+			}
+			for container := range t.containers {
+				contLoc, ok := snap.loc[container]
+				if !ok {
+					continue
+				}
+				k := pairKey{item, container}
+				joint[k]++
+				if itemLoc.Dist(contLoc) <= t.cfg.CoLocationRadius {
+					together[k]++
+				}
+				// Movement agreement against the previous snapshot in which
+				// both appeared.
+				if si == 0 {
+					continue
+				}
+				prev := t.snapshots[si-1]
+				prevItem, okItem := prev.loc[item]
+				prevCont, okCont := prev.loc[container]
+				if !okItem || !okCont {
+					continue
+				}
+				contMove := contLoc.Sub(prevCont)
+				if contMove.Norm() <= t.cfg.CoLocationRadius {
+					continue // the container did not really move
+				}
+				itemMove := itemLoc.Sub(prevItem)
+				if itemMove.Sub(contMove).Norm() <= t.cfg.MoveAgreementRadius {
+					movedWith[pairKey{item, container}]++
+				}
+			}
+		}
+	}
+
+	var facts []Fact
+	for item := range items {
+		best := Fact{}
+		for container := range t.containers {
+			k := pairKey{item, container}
+			n := joint[k]
+			if n < t.cfg.MinSnapshots {
+				continue
+			}
+			conf := float64(together[k]) / float64(n)
+			// Moving together is strong evidence: each agreeing move adds a
+			// bonus, capped so confidence stays in [0, 1].
+			conf += 0.1 * float64(movedWith[k])
+			if conf > 1 {
+				conf = 1
+			}
+			if conf < t.cfg.MinConfidence {
+				continue
+			}
+			if conf > best.Confidence ||
+				(conf == best.Confidence && (best.Container == "" || container < best.Container)) {
+				best = Fact{
+					Item:          item,
+					Container:     container,
+					Confidence:    conf,
+					Observations:  n,
+					MovedTogether: movedWith[k],
+				}
+			}
+		}
+		if best.Container != "" {
+			facts = append(facts, best)
+		}
+	}
+	sort.Slice(facts, func(i, j int) bool {
+		if facts[i].Confidence != facts[j].Confidence {
+			return facts[i].Confidence > facts[j].Confidence
+		}
+		return facts[i].Item < facts[j].Item
+	})
+	return facts
+}

@@ -1,0 +1,123 @@
+package containment
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/stream"
+)
+
+func snapshotMap(pairs map[string][3]float64) map[stream.TagID]geom.Vec3 {
+	out := make(map[stream.TagID]geom.Vec3, len(pairs))
+	for id, v := range pairs {
+		out[stream.TagID(id)] = geom.V(v[0], v[1], v[2])
+	}
+	return out
+}
+
+func TestFactsDetectPersistentCoLocation(t *testing.T) {
+	tr := NewTracker(DefaultConfig(), []stream.TagID{"case-1", "case-2"})
+	// Item a stays next to case-1 across three scans; item b wanders.
+	tr.AddSnapshot(0, snapshotMap(map[string][3]float64{
+		"case-1": {0, 0, 0}, "case-2": {0, 10, 0}, "a": {0.3, 0.2, 0}, "b": {0, 5, 0},
+	}))
+	tr.AddSnapshot(100, snapshotMap(map[string][3]float64{
+		"case-1": {0, 0, 0}, "case-2": {0, 10, 0}, "a": {0.2, -0.3, 0}, "b": {0, 9.8, 0},
+	}))
+	tr.AddSnapshot(200, snapshotMap(map[string][3]float64{
+		"case-1": {0, 0, 0}, "case-2": {0, 10, 0}, "a": {0.4, 0.1, 0}, "b": {0, 2, 0},
+	}))
+
+	facts := tr.Facts()
+	var aFact *Fact
+	for i := range facts {
+		if facts[i].Item == "a" {
+			aFact = &facts[i]
+		}
+		if facts[i].Item == "b" {
+			t.Errorf("wandering item b should not be assigned a container: %+v", facts[i])
+		}
+	}
+	if aFact == nil {
+		t.Fatal("item a not assigned to any container")
+	}
+	if aFact.Container != "case-1" {
+		t.Errorf("item a assigned to %s, want case-1", aFact.Container)
+	}
+	if aFact.Confidence < 0.9 || aFact.Observations != 3 {
+		t.Errorf("fact = %+v", *aFact)
+	}
+}
+
+func TestFactsRequireMinimumSnapshots(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MinSnapshots = 3
+	tr := NewTracker(cfg, []stream.TagID{"case-1"})
+	tr.AddSnapshot(0, snapshotMap(map[string][3]float64{"case-1": {0, 0, 0}, "a": {0.1, 0, 0}}))
+	tr.AddSnapshot(1, snapshotMap(map[string][3]float64{"case-1": {0, 0, 0}, "a": {0.1, 0, 0}}))
+	if facts := tr.Facts(); len(facts) != 0 {
+		t.Errorf("facts reported with too few observations: %v", facts)
+	}
+	tr.AddSnapshot(2, snapshotMap(map[string][3]float64{"case-1": {0, 0, 0}, "a": {0.1, 0, 0}}))
+	if facts := tr.Facts(); len(facts) != 1 {
+		t.Errorf("expected one fact after the third snapshot, got %v", facts)
+	}
+}
+
+func TestMovingTogetherBoostsConfidence(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MinConfidence = 0.5
+	// Two candidate containers sit side by side; the item is within the
+	// co-location radius of both, but only case-1 moves with the item.
+	tr := NewTracker(cfg, []stream.TagID{"case-1", "case-2"})
+	tr.AddSnapshot(0, snapshotMap(map[string][3]float64{
+		"case-1": {0, 0, 0}, "case-2": {0, 1, 0}, "a": {0.1, 0.4, 0},
+	}))
+	tr.AddSnapshot(1, snapshotMap(map[string][3]float64{
+		"case-1": {5, 0, 0}, "case-2": {0, 1, 0}, "a": {5.1, 0.4, 0},
+	}))
+	tr.AddSnapshot(2, snapshotMap(map[string][3]float64{
+		"case-1": {9, 0, 0}, "case-2": {0, 1, 0}, "a": {9.2, 0.3, 0},
+	}))
+	facts := tr.Facts()
+	if len(facts) != 1 {
+		t.Fatalf("facts = %v", facts)
+	}
+	if facts[0].Container != "case-1" {
+		t.Errorf("item follows case-1 but was assigned to %s", facts[0].Container)
+	}
+	if facts[0].MovedTogether < 2 {
+		t.Errorf("expected two agreeing moves, got %d", facts[0].MovedTogether)
+	}
+}
+
+func TestAddEventsBuildsSnapshotFromLatestPerTag(t *testing.T) {
+	tr := NewTracker(DefaultConfig(), []stream.TagID{"case-1"})
+	events := []stream.Event{
+		{Time: 1, Tag: "a", Loc: geom.V(50, 50, 0)}, // stale estimate
+		{Time: 9, Tag: "a", Loc: geom.V(0.2, 0, 0)}, // latest estimate
+		{Time: 9, Tag: "case-1", Loc: geom.V(0, 0, 0)},
+	}
+	tr.AddEvents(10, events)
+	tr.AddEvents(20, events)
+	facts := tr.Facts()
+	if len(facts) != 1 || facts[0].Container != "case-1" {
+		t.Errorf("facts = %v", facts)
+	}
+	if tr.NumSnapshots() != 2 {
+		t.Errorf("snapshots = %d", tr.NumSnapshots())
+	}
+	if !tr.IsContainer("case-1") || tr.IsContainer("a") {
+		t.Error("IsContainer wrong")
+	}
+}
+
+func TestFactsEmptyTracker(t *testing.T) {
+	tr := NewTracker(Config{}, nil)
+	if facts := tr.Facts(); len(facts) != 0 {
+		t.Errorf("empty tracker produced facts: %v", facts)
+	}
+	if s := (Fact{Item: "a", Container: "c", Confidence: 0.9, Observations: 3}).String(); s == "" {
+		t.Error("Fact.String empty")
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func TestDefaultConfigEnablesFullSystem(t *testing.T) {
+	trace := smallTrace(t, 2, 31)
+	cfg := DefaultConfig(defaultTestParams(), trace.World)
+	if !cfg.Factored || !cfg.SpatialIndex || !cfg.Compression {
+		t.Error("DefaultConfig should enable the full system")
+	}
+	if cfg.ReportPolicy != stream.ReportAfterDelay || cfg.ReportDelay != 60 {
+		t.Errorf("default report policy wrong: %v / %d", cfg.ReportPolicy, cfg.ReportDelay)
+	}
+}
+
+func TestConfigApplyDefaults(t *testing.T) {
+	trace := smallTrace(t, 2, 32)
+	cfg := Config{Params: defaultTestParams(), World: trace.World, Factored: true}
+	cfg.applyDefaults()
+	if cfg.NumReaderParticles != 100 || cfg.NumObjectParticles != 1000 {
+		t.Errorf("particle defaults wrong: %d / %d", cfg.NumReaderParticles, cfg.NumObjectParticles)
+	}
+	if cfg.NumDecompressParticles != 10 || cfg.NumBasicParticles != 10000 {
+		t.Errorf("decompress/basic defaults wrong: %d / %d", cfg.NumDecompressParticles, cfg.NumBasicParticles)
+	}
+	if cfg.ReportDelay != 60 || cfg.ScopeGapEpochs != 30 {
+		t.Errorf("report defaults wrong: %d / %d", cfg.ReportDelay, cfg.ScopeGapEpochs)
+	}
+}
+
+func TestObservationProfileOverride(t *testing.T) {
+	trace := smallTrace(t, 4, 33)
+	// Supplying the true simulator profile as the observation model must be
+	// accepted and produce sensible estimates.
+	simCfg := DefaultConfig(defaultTestParams(), trace.World)
+	simCfg.Sensor = defaultTestProfile()
+	simCfg.NumObjectParticles = 200
+	simCfg.NumReaderParticles = 40
+	eng, err := New(simCfg)
+	if err != nil {
+		t.Fatalf("New with profile override: %v", err)
+	}
+	if _, err := eng.Run(trace.Epochs); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, id := range trace.ObjectIDs {
+		est, _, ok := eng.Estimate(id)
+		if !ok {
+			t.Fatalf("object %s not estimated", id)
+		}
+		trueLoc, _ := trace.Truth.ObjectAt(id, trace.Epochs[len(trace.Epochs)-1].Time)
+		if est.DistXY(trueLoc) > 1.0 {
+			t.Errorf("object %s estimate %v too far from %v under the true profile", id, est, trueLoc)
+		}
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	trace := smallTrace(t, 6, 34)
+	eng, _ := runEngine(t, trace, nil)
+	st := eng.Stats()
+	if st.Epochs != len(trace.Epochs) {
+		t.Errorf("Epochs = %d, want %d", st.Epochs, len(trace.Epochs))
+	}
+	if st.Readings != trace.NumReadings() {
+		t.Errorf("Readings = %d, want %d", st.Readings, trace.NumReadings())
+	}
+	if st.TrackedObjects != len(trace.ObjectIDs) {
+		t.Errorf("TrackedObjects = %d, want %d", st.TrackedObjects, len(trace.ObjectIDs))
+	}
+	if st.ObjectsProcessed == 0 || st.EventsEmitted == 0 {
+		t.Error("work counters empty")
+	}
+}
+
+func TestSpatialIndexReducesWork(t *testing.T) {
+	// With many objects spread along the shelf, the spatial index must touch
+	// far fewer objects per epoch than the plain factored filter.
+	cfgSim := smallTraceConfig(24, 35)
+	cfgSim.ObjectSpacing = 1.0
+	traceSpread, err := generateWarehouse(cfgSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, withIndexStats := runAndStats(t, traceSpread, true)
+	_, withoutIndexStats := runAndStats(t, traceSpread, false)
+	if withIndexStats.ObjectsProcessed >= withoutIndexStats.ObjectsProcessed {
+		t.Errorf("spatial index did not reduce per-epoch work: %d vs %d",
+			withIndexStats.ObjectsProcessed, withoutIndexStats.ObjectsProcessed)
+	}
+}

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/belief"
+	"repro/internal/factored"
+	"repro/internal/geom"
+	"repro/internal/pf"
+	"repro/internal/sensor"
+	"repro/internal/spatial"
+	"repro/internal/stream"
+)
+
+// Engine translates noisy, raw mobile RFID streams into a clean event stream
+// with object locations. It encapsulates the factored particle filter (or the
+// basic filter for baseline runs), the spatial index over sensing regions and
+// the belief-compression policy.
+type Engine struct {
+	cfg     Config
+	profile sensor.Profile
+
+	fact  *factored.Filter
+	basic *pf.Filter
+
+	index     *spatial.SensingIndex
+	beliefMgr *belief.Manager
+
+	// Report bookkeeping.
+	lastSeen map[stream.TagID]int
+	pending  map[stream.TagID]int
+	inScope  map[stream.TagID]bool
+
+	// Compression watchlist: objects recently in scope whose beliefs may
+	// become compression candidates.
+	watch map[stream.TagID]bool
+
+	stats     Stats
+	lastEpoch int
+}
+
+// New returns a configured Engine.
+func New(cfg Config) (*Engine, error) {
+	cfg.applyDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:      cfg,
+		profile:  cfg.observationProfile(),
+		lastSeen: make(map[stream.TagID]int),
+		pending:  make(map[stream.TagID]int),
+		inScope:  make(map[stream.TagID]bool),
+		watch:    make(map[stream.TagID]bool),
+	}
+	if cfg.Factored {
+		e.fact = factored.New(factored.Config{
+			NumReaderParticles:     cfg.NumReaderParticles,
+			NumObjectParticles:     cfg.NumObjectParticles,
+			NumDecompressParticles: cfg.NumDecompressParticles,
+			Params:                 cfg.Params,
+			Sensor:                 e.profile,
+			World:                  cfg.World,
+			InitConeHalfAngle:      cfg.InitConeHalfAngle,
+			InitConeRange:          cfg.InitConeRange,
+			UseMotionModel:         !cfg.DisableMotionModel,
+			Seed:                   cfg.Seed,
+		})
+		if cfg.SpatialIndex {
+			e.index = spatial.NewSensingIndex()
+		}
+		if cfg.Compression {
+			e.beliefMgr = belief.NewManager(cfg.CompressionPolicy)
+		}
+	} else {
+		e.basic = pf.New(pf.Config{
+			NumParticles:      cfg.NumBasicParticles,
+			Params:            cfg.Params,
+			Sensor:            e.profile,
+			World:             cfg.World,
+			InitConeHalfAngle: cfg.InitConeHalfAngle,
+			InitConeRange:     cfg.InitConeRange,
+			Seed:              cfg.Seed,
+		})
+	}
+	return e, nil
+}
+
+// Config returns the engine's effective configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Stats returns the cumulative work counters.
+func (e *Engine) Stats() Stats {
+	s := e.stats
+	s.TrackedObjects = len(e.TrackedObjects())
+	return s
+}
+
+// ProcessEpoch feeds one synchronized epoch into the engine and returns the
+// location events emitted at this epoch (possibly none).
+func (e *Engine) ProcessEpoch(ep *stream.Epoch) ([]stream.Event, error) {
+	if ep == nil {
+		return nil, fmt.Errorf("core: nil epoch")
+	}
+	e.stats.Epochs++
+	e.stats.Readings += len(ep.Observed)
+	e.lastEpoch = ep.Time
+
+	observed := e.observedObjects(ep)
+	if e.cfg.Factored {
+		e.stepFactored(ep, observed)
+	} else {
+		e.basic.Step(ep)
+		e.stats.ObjectsProcessed += len(e.basic.TrackedObjects())
+	}
+
+	events := e.report(ep, observed)
+	e.stats.EventsEmitted += len(events)
+	return events, nil
+}
+
+// observedObjects returns the object (non-shelf) tags read in the epoch.
+func (e *Engine) observedObjects(ep *stream.Epoch) []stream.TagID {
+	var out []stream.TagID
+	for _, id := range ep.ObservedList() {
+		if e.cfg.World.IsShelfTag(id) {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+// stepFactored runs one epoch of the factored pipeline: Case-1/Case-2 object
+// selection through the spatial index, the factored filter update, index
+// maintenance and belief compression.
+func (e *Engine) stepFactored(ep *stream.Epoch, observed []stream.TagID) {
+	// Count upcoming decompressions (observed objects whose beliefs are
+	// currently compressed).
+	for _, id := range observed {
+		if b := e.fact.Belief(id); b != nil && b.IsCompressed() {
+			e.stats.Decompressions++
+		}
+	}
+
+	var active []stream.TagID
+	var box geom.BBox
+	if e.index != nil {
+		box = e.sensingBox(ep)
+		case2 := e.index.Query(box)
+		seen := make(map[stream.TagID]bool, len(observed)+len(case2))
+		active = make([]stream.TagID, 0, len(observed)+len(case2))
+		for _, id := range observed {
+			if !seen[id] {
+				seen[id] = true
+				active = append(active, id)
+			}
+		}
+		for _, id := range case2 {
+			if b := e.fact.Belief(id); b != nil && b.IsCompressed() {
+				// Compressed objects are only touched when read again.
+				continue
+			}
+			if !seen[id] {
+				seen[id] = true
+				active = append(active, id)
+			}
+		}
+		e.fact.Step(ep, active)
+		e.stats.ObjectsProcessed += len(active)
+	} else {
+		e.fact.Step(ep, nil)
+		e.stats.ObjectsProcessed += e.fact.NumTracked()
+		active = observed
+	}
+
+	// Maintain the sensing-region index: associate the current bounding box
+	// with the processed objects that have particles inside it.
+	if e.index != nil && !box.IsEmpty() {
+		var assoc []stream.TagID
+		for _, id := range active {
+			if b := e.fact.Belief(id); b != nil && b.HasParticleIn(box) {
+				assoc = append(assoc, id)
+			}
+		}
+		e.index.Insert(box, assoc)
+	}
+
+	// Belief compression.
+	if e.beliefMgr != nil {
+		for _, id := range active {
+			e.watch[id] = true
+		}
+		e.runCompression(ep.Time)
+	}
+}
+
+// sensingBox returns the bounding box of the current sensing region, centered
+// at the reported reader location when available and at the estimated reader
+// location otherwise.
+func (e *Engine) sensingBox(ep *stream.Epoch) geom.BBox {
+	var center geom.Vec3
+	if ep.HasPose {
+		center = ep.ReportedPose.Pos
+	} else {
+		center = e.fact.ReaderEstimate().Pos
+	}
+	r := e.profile.MaxRange()
+	if r <= 0 {
+		r = 3
+	}
+	// Expand slightly so that reader location noise does not hide Case-2
+	// objects near the region's edge.
+	return geom.BBoxAround(center, r+0.5)
+}
+
+// runCompression asks the policy which watched objects to compress and
+// applies the filter's compression operator to them.
+func (e *Engine) runCompression(epoch int) {
+	if len(e.watch) == 0 {
+		return
+	}
+	candidates := make([]belief.Candidate, 0, len(e.watch))
+	for id := range e.watch {
+		b := e.fact.Belief(id)
+		if b == nil || b.IsCompressed() {
+			delete(e.watch, id)
+			continue
+		}
+		candidates = append(candidates, belief.Candidate{ID: id, LastSeen: b.LastSeen})
+	}
+	if len(candidates) == 0 {
+		return
+	}
+	chosen := e.beliefMgr.Select(epoch, candidates, filterAdapter{e.fact})
+	for _, id := range chosen {
+		if _, ok := e.fact.CompressObject(id); ok {
+			e.stats.Compressions++
+		}
+		delete(e.watch, id)
+	}
+}
+
+// filterAdapter adapts *factored.Filter to the belief.Filter interface.
+type filterAdapter struct{ f *factored.Filter }
+
+func (a filterAdapter) CandidateKL(id stream.TagID) (float64, bool) {
+	return a.f.CompressionCandidateKL(id)
+}
+
+// Estimate returns the current location estimate for an object together with
+// summary statistics, or ok == false for unknown objects.
+func (e *Engine) Estimate(id stream.TagID) (geom.Vec3, stream.EventStats, bool) {
+	if e.cfg.Factored {
+		mean, variance, ok := e.fact.Estimate(id)
+		if !ok {
+			return geom.Vec3{}, stream.EventStats{}, false
+		}
+		st := stream.EventStats{Variance: variance}
+		if b := e.fact.Belief(id); b != nil {
+			st.Compressed = b.IsCompressed()
+			st.NumParticles = len(b.Particles)
+		}
+		return mean, st, true
+	}
+	mean, variance, ok := e.basic.Estimate(id)
+	if !ok {
+		return geom.Vec3{}, stream.EventStats{}, false
+	}
+	return mean, stream.EventStats{Variance: variance, NumParticles: e.basic.NumParticles()}, true
+}
+
+// ReaderEstimate returns the engine's current estimate of the true reader
+// pose.
+func (e *Engine) ReaderEstimate() geom.Pose {
+	if e.cfg.Factored {
+		return e.fact.ReaderEstimate()
+	}
+	return e.basic.ReaderEstimate()
+}
+
+// TrackedObjects returns the ids of all objects the engine has seen.
+func (e *Engine) TrackedObjects() []stream.TagID {
+	if e.cfg.Factored {
+		return e.fact.TrackedObjects()
+	}
+	return e.basic.TrackedObjects()
+}
+
+// IndexSize returns the number of sensing regions currently indexed (zero
+// when spatial indexing is disabled); exposed for diagnostics and tests.
+func (e *Engine) IndexSize() int {
+	if e.index == nil {
+		return 0
+	}
+	return e.index.Len()
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"repro/internal/stream"
+)
+
+// report applies the configured report policy and returns the events to emit
+// for this epoch. As discussed in Section II, combining multiple readings of
+// an object from different reader positions sharpens its location estimate,
+// so the system avoids emitting fluctuating values by reporting only at
+// chosen points (a fixed delay after the object enters scope, when it leaves
+// scope, or every epoch for debugging).
+func (e *Engine) report(ep *stream.Epoch, observed []stream.TagID) []stream.Event {
+	now := ep.Time
+	var events []stream.Event
+
+	// Scope bookkeeping.
+	for _, id := range observed {
+		last, seen := e.lastSeen[id]
+		entering := !seen || now-last > e.cfg.ScopeGapEpochs
+		e.lastSeen[id] = now
+		e.inScope[id] = true
+		if entering && e.cfg.ReportPolicy == stream.ReportAfterDelay {
+			e.pending[id] = now + e.cfg.ReportDelay
+		}
+	}
+
+	switch e.cfg.ReportPolicy {
+	case stream.ReportAfterDelay:
+		for id, due := range e.pending {
+			if due <= now {
+				if ev, ok := e.makeEvent(id, now); ok {
+					events = append(events, ev)
+				}
+				delete(e.pending, id)
+			}
+		}
+	case stream.ReportOnLeaveScope:
+		for id := range e.inScope {
+			if now-e.lastSeen[id] > e.cfg.ScopeGapEpochs {
+				if ev, ok := e.makeEvent(id, now); ok {
+					events = append(events, ev)
+				}
+				delete(e.inScope, id)
+			}
+		}
+	case stream.ReportEveryEpoch:
+		for _, id := range observed {
+			if ev, ok := e.makeEvent(id, now); ok {
+				events = append(events, ev)
+			}
+		}
+	}
+
+	stream.ByTimeThenTag(events)
+	return events
+}
+
+// makeEvent builds a location event from the current estimate of an object.
+func (e *Engine) makeEvent(id stream.TagID, now int) (stream.Event, bool) {
+	loc, st, ok := e.Estimate(id)
+	if !ok {
+		return stream.Event{}, false
+	}
+	return stream.Event{Time: now, Tag: id, Loc: loc, Stats: st}, true
+}
+
+// Finish flushes the engine at the end of a stream: every tracked object gets
+// a final location event carrying the engine's best estimate, including
+// objects whose delayed reports had not yet come due. The returned events are
+// sorted by tag.
+func (e *Engine) Finish() []stream.Event {
+	var events []stream.Event
+	for _, id := range e.TrackedObjects() {
+		if ev, ok := e.makeEvent(id, e.lastEpoch); ok {
+			events = append(events, ev)
+		}
+	}
+	e.pending = make(map[stream.TagID]int)
+	e.inScope = make(map[stream.TagID]bool)
+	stream.ByTimeThenTag(events)
+	e.stats.EventsEmitted += len(events)
+	return events
+}
+
+// Run processes a whole sequence of epochs and returns all events, including
+// the final flush. It is the convenience entry point used by the command line
+// tools and examples; streaming callers use ProcessEpoch directly.
+func (e *Engine) Run(epochs []*stream.Epoch) ([]stream.Event, error) {
+	var all []stream.Event
+	for _, ep := range epochs {
+		events, err := e.ProcessEpoch(ep)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, events...)
+	}
+	all = append(all, e.Finish()...)
+	return all, nil
+}

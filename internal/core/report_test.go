@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func TestReportAfterDelayEmitsOncePerVisit(t *testing.T) {
+	trace := smallTrace(t, 6, 21)
+	eng, _ := runEngine(t, trace, func(c *Config) {
+		c.ReportPolicy = stream.ReportAfterDelay
+		c.ReportDelay = 10
+	})
+	// Run() already flushed; re-running over the epochs would double count,
+	// so instead inspect the emitted counts through Stats.
+	st := eng.Stats()
+	if st.EventsEmitted < len(trace.ObjectIDs) {
+		t.Errorf("emitted %d events for %d objects", st.EventsEmitted, len(trace.ObjectIDs))
+	}
+}
+
+func TestReportEveryEpochEmitsFrequently(t *testing.T) {
+	trace := smallTrace(t, 4, 22)
+	engDelay, eventsDelay := runEngine(t, trace, func(c *Config) {
+		c.ReportPolicy = stream.ReportAfterDelay
+	})
+	engEvery, eventsEvery := runEngine(t, trace, func(c *Config) {
+		c.ReportPolicy = stream.ReportEveryEpoch
+	})
+	_ = engDelay
+	_ = engEvery
+	if len(eventsEvery) <= len(eventsDelay) {
+		t.Errorf("ReportEveryEpoch (%d events) should emit more than ReportAfterDelay (%d)",
+			len(eventsEvery), len(eventsDelay))
+	}
+}
+
+func TestReportOnLeaveScope(t *testing.T) {
+	trace := smallTrace(t, 6, 23)
+	_, events := runEngine(t, trace, func(c *Config) {
+		c.ReportPolicy = stream.ReportOnLeaveScope
+		c.ScopeGapEpochs = 10
+	})
+	// Every object leaves the reader's scope during a single scan pass, so
+	// each should have at least one event (plus the final flush).
+	seen := map[stream.TagID]bool{}
+	for _, ev := range events {
+		seen[ev.Tag] = true
+	}
+	for _, id := range trace.ObjectIDs {
+		if !seen[id] {
+			t.Errorf("object %s produced no event under ReportOnLeaveScope", id)
+		}
+	}
+}
+
+func TestEventsAreSortedAndCarryStats(t *testing.T) {
+	trace := smallTrace(t, 6, 24)
+	_, events := runEngine(t, trace, nil)
+	if len(events) == 0 {
+		t.Fatal("no events")
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Time < events[i-1].Time {
+			t.Fatal("events not sorted by time")
+		}
+	}
+	for _, ev := range events {
+		if ev.Stats.Variance.X < 0 || ev.Stats.Variance.Y < 0 {
+			t.Error("negative variance in event stats")
+		}
+	}
+}
+
+func TestFinishFlushesAllTrackedObjects(t *testing.T) {
+	trace := smallTrace(t, 8, 25)
+	cfg := DefaultConfig(defaultTestParams(), trace.World)
+	cfg.NumObjectParticles = 200
+	cfg.NumReaderParticles = 40
+	cfg.ReportDelay = 10000 // delays never come due during the trace
+	cfg.Seed = 2
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ep := range trace.Epochs {
+		if _, err := eng.ProcessEpoch(ep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	final := eng.Finish()
+	if len(final) != len(trace.ObjectIDs) {
+		t.Errorf("Finish emitted %d events, want %d", len(final), len(trace.ObjectIDs))
+	}
+	// A second Finish re-emits current estimates without error.
+	if again := eng.Finish(); len(again) != len(final) {
+		t.Errorf("second Finish emitted %d events", len(again))
+	}
+}
+
+func TestProcessNilEpochFails(t *testing.T) {
+	trace := smallTrace(t, 2, 26)
+	cfg := DefaultConfig(defaultTestParams(), trace.World)
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.ProcessEpoch(nil); err == nil {
+		t.Error("expected error for nil epoch")
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/model"
+	"repro/internal/sensor"
+	"repro/internal/sim"
+	"repro/internal/stream"
+)
+
+// modelParams aliases model.Params so test helpers read naturally.
+type modelParams = model.Params
+
+// defaultTestParams returns model parameters matching the default warehouse
+// simulation: a robot advancing 0.1 ft per one-second epoch with small motion
+// and location-sensing noise, and a logistic sensor model roughly matching
+// the cone profile used for data generation.
+func defaultTestParams() model.Params {
+	p := model.DefaultParams()
+	p.Sensor = sensor.Model{A0: 4.0, A1: -0.8, A2: -0.5, B1: -1.0, B2: -2.0, MaxRange: 3.5}
+	p.Motion = model.MotionModel{
+		Velocity: geom.Vec3{Y: 0.1},
+		Noise:    geom.Vec3{X: 0.02, Y: 0.02, Z: 0.001},
+		PhiNoise: 0.005,
+	}
+	p.Sensing = model.LocationSensingModel{Noise: geom.Vec3{X: 0.02, Y: 0.02, Z: 0.001}}
+	p.Object = model.ObjectModel{MoveProb: 1e-5}
+	return p
+}
+
+// defaultTestProfile is the ground-truth cone the warehouse simulator uses,
+// handy for "true sensor model" engine runs in tests.
+func defaultTestProfile() sensor.Profile { return sensor.DefaultConeProfile() }
+
+// smallTraceConfig returns a warehouse config for n objects with the given
+// seed; tests tweak it further before generating.
+func smallTraceConfig(n int, seed int64) sim.WarehouseConfig {
+	cfg := sim.DefaultWarehouseConfig()
+	cfg.NumObjects = n
+	cfg.NumShelfTags = 4
+	cfg.Seed = seed
+	return cfg
+}
+
+// generateWarehouse is a thin wrapper so test files do not need to import sim
+// directly for one call.
+func generateWarehouse(cfg sim.WarehouseConfig) (*sim.Trace, error) {
+	return sim.GenerateWarehouse(cfg)
+}
+
+// runAndStats runs an engine (factored, compression off) over the trace with
+// or without the spatial index and returns its events and work counters.
+func runAndStats(t *testing.T, trace *sim.Trace, index bool) ([]stream.Event, Stats) {
+	t.Helper()
+	cfg := DefaultConfig(defaultTestParams(), trace.World)
+	cfg.SpatialIndex = index
+	cfg.Compression = false
+	cfg.NumObjectParticles = 150
+	cfg.NumReaderParticles = 30
+	cfg.Seed = 9
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	events, err := eng.Run(trace.Epochs)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return events, eng.Stats()
+}

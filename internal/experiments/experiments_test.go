@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tinyOpts keeps every experiment fast enough for the regular test run while
+// still exercising the full code path.
+func tinyOpts() Options { return Options{Scale: 0.12, Seed: 3} }
+
+func TestTableFormatting(t *testing.T) {
+	tbl := Table{
+		ID:      "demo",
+		Title:   "Demo",
+		Columns: []string{"a", "long-column"},
+		Notes:   []string{"a note"},
+	}
+	tbl.AddRow("1", "2")
+	s := tbl.String()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "long-column") || !strings.Contains(s, "a note") {
+		t.Errorf("table rendering missing pieces:\n%s", s)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	o.applyDefaults()
+	if o.Scale <= 0 || o.Scale > 1 || o.Seed == 0 {
+		t.Errorf("defaults not applied: %+v", o)
+	}
+	big := Options{Scale: 7}
+	big.applyDefaults()
+	if big.Scale != 1 {
+		t.Errorf("scale should clamp to 1, got %v", big.Scale)
+	}
+	if (Options{Scale: 0.5}).scaleInt(1000, 10) != 500 {
+		t.Error("scaleInt wrong")
+	}
+	if (Options{Scale: 0.001}).scaleInt(1000, 10) != 10 {
+		t.Error("scaleInt minimum not applied")
+	}
+}
+
+func TestRegistryAndRun(t *testing.T) {
+	ids := IDs()
+	if len(ids) < 9 {
+		t.Fatalf("registry too small: %v", ids)
+	}
+	for _, want := range []string{"fig5e", "fig5f", "fig5g", "fig5h", "fig5ij", "table6b", "headline", "fig5bcd"} {
+		found := false
+		for _, id := range ids {
+			if id == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("experiment %s missing from the registry", want)
+		}
+	}
+	if _, err := Run("not-an-experiment", tinyOpts()); err == nil {
+		t.Error("unknown experiment id should fail")
+	}
+}
+
+func TestReadRateSensitivityShape(t *testing.T) {
+	tbl, err := ReadRateSensitivity(tinyOpts())
+	if err != nil {
+		t.Fatalf("ReadRateSensitivity: %v", err)
+	}
+	if len(tbl.Rows) < 3 {
+		t.Fatalf("too few rows: %d", len(tbl.Rows))
+	}
+	// Inference should beat the uniform baseline at every read rate.
+	for _, row := range tbl.Rows {
+		uniform := parseF(t, row[1])
+		inference := parseF(t, row[2])
+		if inference >= uniform {
+			t.Errorf("read rate %s: inference %.3f not better than uniform %.3f", row[0], inference, uniform)
+		}
+	}
+}
+
+func TestMovementSensitivityRuns(t *testing.T) {
+	tbl, err := MovementSensitivity(tinyOpts())
+	if err != nil {
+		t.Fatalf("MovementSensitivity: %v", err)
+	}
+	if len(tbl.Rows) < 3 {
+		t.Fatalf("too few rows")
+	}
+	for _, row := range tbl.Rows {
+		if parseF(t, row[2]) > 3 {
+			t.Errorf("movement distance %s: implausibly large error %s", row[0], row[2])
+		}
+	}
+}
+
+func TestScalabilityOrdering(t *testing.T) {
+	errT, timeT, results, err := Scalability(tinyOpts())
+	if err != nil {
+		t.Fatalf("Scalability: %v", err)
+	}
+	if len(errT.Rows) == 0 || len(timeT.Rows) == 0 {
+		t.Fatal("empty scalability tables")
+	}
+	// The basic filter must be orders of magnitude slower than the factored
+	// variants where it ran, and the factored variants must meet a loose
+	// accuracy bound.
+	var basicTime, factoredTime float64
+	for _, r := range results {
+		if r.Skipped {
+			continue
+		}
+		if r.MeanErrorXY > 1.0 && r.Variant != "Unfactorized" {
+			t.Errorf("%s at %d objects has error %.3f", r.Variant, r.NumObjects, r.MeanErrorXY)
+		}
+		if r.Variant == "Unfactorized" && r.NumObjects == 10 {
+			basicTime = float64(r.TimePerReading)
+		}
+		if r.Variant == "Factorized" && r.NumObjects == 10 {
+			factoredTime = float64(r.TimePerReading)
+		}
+	}
+	if basicTime == 0 || factoredTime == 0 {
+		t.Fatal("missing timing results")
+	}
+	if basicTime < 5*factoredTime {
+		t.Errorf("basic filter (%.0fns) should be much slower than factored (%.0fns)", basicTime, factoredTime)
+	}
+}
+
+func TestLabComparisonShape(t *testing.T) {
+	tbl, err := LabComparison(tinyOpts())
+	if err != nil {
+		t.Fatalf("LabComparison: %v", err)
+	}
+	if len(tbl.Rows) < 2 {
+		t.Fatalf("too few rows")
+	}
+	for _, row := range tbl.Rows {
+		ours := parseF(t, row[3])
+		smurf := parseF(t, row[6])
+		uniform := parseF(t, row[9])
+		if ours >= smurf {
+			t.Errorf("%s: our system (%.2f) should beat SMURF (%.2f)", row[0], ours, smurf)
+		}
+		if ours >= uniform {
+			t.Errorf("%s: our system (%.2f) should beat uniform (%.2f)", row[0], ours, uniform)
+		}
+	}
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		t.Fatalf("cannot parse %q: %v", s, err)
+	}
+	return v
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner executes one experiment and returns its result tables.
+type Runner func(opts Options) ([]Table, error)
+
+// Registry maps experiment ids (the figure/table numbers of the paper) to
+// runners. It backs the rfidbench command and the benchmark suite.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"fig5bcd": func(opts Options) ([]Table, error) {
+			t, err := SensorLearning(opts)
+			return []Table{t}, err
+		},
+		"fig5e": func(opts Options) ([]Table, error) {
+			t, err := LearnedModelAccuracy(opts)
+			return []Table{t}, err
+		},
+		"fig5f": func(opts Options) ([]Table, error) {
+			t, err := ReadRateSensitivity(opts)
+			return []Table{t}, err
+		},
+		"fig5g": func(opts Options) ([]Table, error) {
+			t, err := LocationNoiseSensitivity(opts)
+			return []Table{t}, err
+		},
+		"fig5h": func(opts Options) ([]Table, error) {
+			t, err := MovementSensitivity(opts)
+			return []Table{t}, err
+		},
+		"fig5i": func(opts Options) ([]Table, error) {
+			errT, _, _, err := Scalability(opts)
+			return []Table{errT}, err
+		},
+		"fig5j": func(opts Options) ([]Table, error) {
+			_, timeT, _, err := Scalability(opts)
+			return []Table{timeT}, err
+		},
+		"fig5ij": func(opts Options) ([]Table, error) {
+			errT, timeT, _, err := Scalability(opts)
+			return []Table{errT, timeT}, err
+		},
+		"table6b": func(opts Options) ([]Table, error) {
+			t, err := LabComparison(opts)
+			return []Table{t}, err
+		},
+		"headline": func(opts Options) ([]Table, error) {
+			t, err := Headline(opts)
+			return []Table{t}, err
+		},
+	}
+}
+
+// IDs returns the registered experiment ids in sorted order.
+func IDs() []string {
+	reg := Registry()
+	out := make([]string, 0, len(reg))
+	for id := range reg {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, opts Options) ([]Table, error) {
+	r, ok := Registry()[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+	}
+	return r(opts)
+}
+
+// RunAll executes every registered experiment in id order and returns the
+// concatenated tables.
+func RunAll(opts Options) ([]Table, error) {
+	var all []Table
+	for _, id := range IDs() {
+		if id == "fig5i" || id == "fig5j" {
+			// fig5ij covers both; avoid running the expensive sweep three
+			// times.
+			continue
+		}
+		tables, err := Run(id, opts)
+		if err != nil {
+			return all, fmt.Errorf("experiment %s: %w", id, err)
+		}
+		all = append(all, tables...)
+	}
+	return all, nil
+}

@@ -1,0 +1,313 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/learn"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/sensor"
+	"repro/internal/sim"
+	"repro/internal/smurf"
+	"repro/internal/stream"
+)
+
+// LearnedModelAccuracy reproduces Fig. 5(e): inference error on a test trace
+// when the sensor model is learned from training traces with varying numbers
+// of shelf tags, compared against inference with the true (generating) sensor
+// model and against the uniform baseline.
+func LearnedModelAccuracy(opts Options) (Table, error) {
+	opts.applyDefaults()
+	table := Table{
+		ID:      "fig5e",
+		Title:   "Inference error vs number of shelf tags used in learning (ft, XY plane)",
+		Columns: []string{"shelf tags in training", "uniform", "learned sensor model", "true sensor model"},
+		Notes: []string{
+			"paper: learned models (except the 0-shelf-tag one) perform comparably to the true model and much better than the uniform baseline",
+		},
+	}
+
+	// Training trace: 20 tags total, a varying number of which keep known
+	// locations. Test trace: 10 object tags + 4 shelf tags, as in the paper.
+	trainCfg := sim.DefaultWarehouseConfig()
+	trainCfg.NumObjects = 20
+	trainCfg.NumShelfTags = 20
+	trainCfg.Seed = opts.Seed + 11
+	trainTrace, err := sim.GenerateWarehouse(trainCfg)
+	if err != nil {
+		return table, err
+	}
+
+	testCfg := sim.DefaultWarehouseConfig()
+	testCfg.NumObjects = 10
+	testCfg.NumShelfTags = 4
+	testCfg.Seed = opts.Seed + 13
+	testTrace, err := sim.GenerateWarehouse(testCfg)
+	if err != nil {
+		return table, err
+	}
+
+	shelfCounts := []int{0, 4, 8, 12, 16, 20}
+	if opts.Scale < 0.2 {
+		shelfCounts = []int{0, 4, 20}
+	}
+
+	// Uniform baseline and true-model runs do not depend on the learned
+	// model; compute them once.
+	uniformErr := runUniformBaseline(opts, testTrace)
+	trueErr, err := runWithSensor(opts, testTrace, warehouseParams(), testCfg.Profile)
+	if err != nil {
+		return table, err
+	}
+
+	for _, n := range shelfCounts {
+		training := trainTrace.SplitForTraining(n)
+		learnCfg := learn.DefaultConfig()
+		learnCfg.Iterations = 2 + int(2*opts.Scale)
+		learnCfg.ObjectParticles = opts.scaleInt(400, 80)
+		learnCfg.Seed = opts.Seed
+		res, err := learn.Calibrate(training.Epochs, training.World, uncalibratedParams(), learnCfg)
+		if err != nil {
+			return table, fmt.Errorf("calibrate with %d shelf tags: %w", n, err)
+		}
+		learnedErr, err := runWithSensor(opts, testTrace, res.Params, nil)
+		if err != nil {
+			return table, err
+		}
+		table.AddRow(fmt.Sprintf("%d", n), f3(uniformErr), f3(learnedErr), f3(trueErr))
+	}
+	return table, nil
+}
+
+// runWithSensor runs the engine over the trace with the given parameters; if
+// trueProfile is non-nil it is used as the observation model ("true sensor
+// model" runs).
+func runWithSensor(opts Options, trace *sim.Trace, params model.Params, trueProfile sensor.Profile) (float64, error) {
+	cfg := baseEngineConfig(opts, trace, params)
+	cfg.Sensor = trueProfile
+	res, err := runEngine(trace, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return res.Report.MeanXY, nil
+}
+
+// runUniformBaseline runs the uniform-sampling baseline over the trace and
+// returns its mean XY error.
+func runUniformBaseline(opts Options, trace *sim.Trace) float64 {
+	u := smurf.NewUniform(smurf.Config{ReadRange: 3.0, Seed: opts.Seed}, trace.World)
+	events := u.Run(trace.Epochs)
+	return scoreEvents(events, trace).MeanXY
+}
+
+// ReadRateSensitivity reproduces Fig. 5(f): inference error as the read rate
+// in the reader's major detection range drops from 100% to 50%.
+func ReadRateSensitivity(opts Options) (Table, error) {
+	opts.applyDefaults()
+	table := Table{
+		ID:      "fig5f",
+		Title:   "Inference error vs major-detection-range read rate (ft, XY plane)",
+		Columns: []string{"read rate (%)", "uniform", "inference"},
+		Notes: []string{
+			"paper: accuracy degrades only slowly as the read rate drops, because inference exploits readings from the past",
+		},
+	}
+	rates := []float64{1.0, 0.9, 0.8, 0.7, 0.6, 0.5}
+	if opts.Scale < 0.2 {
+		rates = []float64{1.0, 0.8, 0.5}
+	}
+	for _, rr := range rates {
+		cfg := sim.DefaultWarehouseConfig()
+		cfg.NumObjects = 16
+		cfg.NumShelfTags = 4
+		profile := sensor.DefaultConeProfile()
+		profile.RRMajor = rr
+		cfg.Profile = profile
+		cfg.Seed = opts.Seed + int64(rr*100)
+		trace, err := sim.GenerateWarehouse(cfg)
+		if err != nil {
+			return table, err
+		}
+		res, err := runEngine(trace, baseEngineConfig(opts, trace, warehouseParams()))
+		if err != nil {
+			return table, err
+		}
+		table.AddRow(fmt.Sprintf("%.0f", rr*100), f3(runUniformBaseline(opts, trace)), f3(res.Report.MeanXY))
+	}
+	return table, nil
+}
+
+// LocationNoiseSensitivity reproduces Fig. 5(g): inference error as the
+// systematic error of reader location sensing along the y axis grows from 0.1
+// to 1.0 ft (with sigma_s^y = 0.2), comparing the uniform baseline, inference
+// without the motion model (trusting the reported location), inference with
+// learned location-sensing parameters and inference with the true parameters.
+func LocationNoiseSensitivity(opts Options) (Table, error) {
+	opts.applyDefaults()
+	table := Table{
+		ID:      "fig5g",
+		Title:   "Inference error vs systematic reader-location error along Y (sigma=0.2) (ft, XY plane)",
+		Columns: []string{"mu_s^y (ft)", "uniform", "motion model Off", "model On - learned", "model On - true"},
+		Notes: []string{
+			"paper: with the motion model on, shelf-tag evidence corrects the systematic error; without it, error grows almost linearly in mu_s^y",
+		},
+	}
+	biases := []float64{0.1, 0.25, 0.5, 0.75, 1.0}
+	if opts.Scale < 0.2 {
+		biases = []float64{0.1, 0.5, 1.0}
+	}
+	for _, mu := range biases {
+		cfg := sim.DefaultWarehouseConfig()
+		cfg.NumObjects = 16
+		cfg.NumShelfTags = 4
+		cfg.Sensing = model.LocationSensingModel{
+			Bias:  geom.Vec3{Y: mu},
+			Noise: geom.Vec3{X: 0.05, Y: 0.2, Z: 0.001},
+		}
+		cfg.Seed = opts.Seed + int64(mu*1000)
+		trace, err := sim.GenerateWarehouse(cfg)
+		if err != nil {
+			return table, err
+		}
+
+		// The paper uses 5000 particles per object for this experiment; the
+		// scaled default keeps the ratio.
+		particleBoost := func(c *core.Config) {
+			c.NumObjectParticles = opts.scaleInt(5000, 200)
+		}
+
+		// Uniform baseline.
+		uniformErr := runUniformBaseline(opts, trace)
+
+		// Motion model off: the reported (biased) location is trusted.
+		offParams := warehouseParams()
+		offCfg := baseEngineConfig(opts, trace, offParams)
+		offCfg.DisableMotionModel = true
+		particleBoost(&offCfg)
+		offRes, err := runEngine(trace, offCfg)
+		if err != nil {
+			return table, err
+		}
+
+		// Motion model on with the true sensing parameters.
+		trueParams := warehouseParams()
+		trueParams.Sensing = cfg.Sensing
+		trueCfg := baseEngineConfig(opts, trace, trueParams)
+		particleBoost(&trueCfg)
+		trueRes, err := runEngine(trace, trueCfg)
+		if err != nil {
+			return table, err
+		}
+
+		// Motion model on with sensing parameters learned from a small
+		// training trace generated under the same noise.
+		learnCfg := learn.DefaultConfig()
+		learnCfg.Iterations = 2
+		learnCfg.ObjectParticles = opts.scaleInt(300, 60)
+		learnCfg.Seed = opts.Seed
+		trainCfg := cfg
+		trainCfg.NumObjects = 8
+		trainCfg.NumShelfTags = 6
+		trainCfg.Seed = opts.Seed + 500 + int64(mu*1000)
+		trainTrace, err := sim.GenerateWarehouse(trainCfg)
+		if err != nil {
+			return table, err
+		}
+		calRes, err := learn.Calibrate(trainTrace.Epochs, trainTrace.World, warehouseParams(), learnCfg)
+		if err != nil {
+			return table, err
+		}
+		learnedParams := calRes.Params
+		learnedCfg := baseEngineConfig(opts, trace, learnedParams)
+		particleBoost(&learnedCfg)
+		learnedRes, err := runEngine(trace, learnedCfg)
+		if err != nil {
+			return table, err
+		}
+
+		table.AddRow(f2(mu), f3(uniformErr), f3(offRes.Report.MeanXY), f3(learnedRes.Report.MeanXY), f3(trueRes.Report.MeanXY))
+	}
+	return table, nil
+}
+
+// MovementSensitivity reproduces Fig. 5(h): inference error as a function of
+// the distance objects move during the trace.
+func MovementSensitivity(opts Options) (Table, error) {
+	opts.applyDefaults()
+	table := Table{
+		ID:      "fig5h",
+		Title:   "Inference error vs distance of object movements (ft, XY plane)",
+		Columns: []string{"movement distance (ft)", "uniform", "inference"},
+		Notes: []string{
+			"paper: error peaks for mid-range movements (roughly 2-6 ft) where old and new locations are hard to distinguish, and drops again for large movements",
+		},
+	}
+	distances := []float64{0.5, 2, 4, 6, 10, 15, 20}
+	if opts.Scale < 0.2 {
+		distances = []float64{0.5, 4, 10, 20}
+	}
+	for _, d := range distances {
+		cfg := sim.DefaultWarehouseConfig()
+		cfg.NumObjects = 16
+		cfg.NumShelfTags = 4
+		cfg.Rounds = 2
+		// Spread the objects over a ~25 ft row so that even the largest
+		// movement distance stays within the shelf.
+		cfg.ObjectSpacing = 1.6
+		// A batch of objects relocates between the two scan rounds, so the
+		// reported error is dominated by how well the system re-localizes
+		// moved objects.
+		cfg.MoveInterval = len16RowEpochs(cfg)
+		cfg.MoveCount = 6
+		cfg.MoveDistance = d
+		cfg.Seed = opts.Seed + int64(d*10)
+		trace, err := sim.GenerateWarehouse(cfg)
+		if err != nil {
+			return table, err
+		}
+		res, err := runEngine(trace, baseEngineConfig(opts, trace, warehouseParams()))
+		if err != nil {
+			return table, err
+		}
+		table.AddRow(f2(d), f3(runUniformBaseline(opts, trace)), f3(res.Report.MeanXY))
+	}
+	return table, nil
+}
+
+// len16RowEpochs returns roughly the number of epochs in one scan pass for
+// the given warehouse config, so a movement scheduled at that interval
+// happens between the two rounds.
+func len16RowEpochs(cfg sim.WarehouseConfig) int {
+	perColumn := cfg.RowsDeep
+	if perColumn <= 0 {
+		perColumn = 1
+	}
+	columns := (cfg.NumObjects + perColumn - 1) / perColumn
+	rowLength := float64(columns) * cfg.ObjectSpacing
+	if rowLength < cfg.ShelfSegment {
+		rowLength = cfg.ShelfSegment
+	}
+	step := cfg.ReaderStep
+	if step <= 0 {
+		step = 0.1
+	}
+	return int(rowLength/step) - 2
+}
+
+// scoreFinalEstimates scores the engine's final estimates of every tracked
+// object against the ground truth at the final epoch. Exposed for reuse by
+// the scalability experiment, which cares about end-of-run accuracy.
+func scoreFinalEstimates(eng *core.Engine, trace *sim.Trace) metrics.ErrorReport {
+	final := trace.Epochs[len(trace.Epochs)-1].Time
+	var ests []metrics.LocationEstimate
+	for _, id := range eng.TrackedObjects() {
+		if loc, _, ok := eng.Estimate(id); ok {
+			ests = append(ests, metrics.LocationEstimate{Tag: id, Loc: loc})
+		}
+	}
+	return metrics.ScoreEstimates(ests, func(id stream.TagID, t int) (geom.Vec3, bool) {
+		return trace.Truth.ObjectAt(id, t)
+	}, final)
+}

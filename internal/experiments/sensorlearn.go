@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/learn"
+	"repro/internal/sensor"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// SensorLearning reproduces Fig. 5(a)-(d): it learns the parametric sensor
+// model from traces with varying numbers of shelf tags (20, 4 and 0) and from
+// a lab-deployment trace, and reports the mean absolute difference between
+// each learned model's read-rate field and the corresponding ground-truth
+// profile. Lower is better; the 20-shelf-tag model should be close to the
+// true cone, degrading gradually with fewer known tags, and the lab model
+// should come out roughly spherical.
+func SensorLearning(opts Options) (Table, error) {
+	opts.applyDefaults()
+
+	table := Table{
+		ID:      "fig5a-d",
+		Title:   "Learned sensor models vs ground truth (mean |Δ read rate| over a 6x6 ft grid)",
+		Columns: []string{"model", "shelf tags", "mean abs diff", "on-axis range@50% (ft)"},
+		Notes: []string{
+			"paper: the model learned from 20 shelf tags is very close to the true cone; quality degrades gradually with fewer shelf tags",
+		},
+	}
+
+	// Ground-truth cone grid.
+	cone := sensor.DefaultConeProfile()
+	trueGrid := sensor.SampleProfileGrid(cone, 0, 6, -3, 3, 36, 36)
+
+	for _, nShelf := range []int{20, 4, 0} {
+		cfg := sim.DefaultWarehouseConfig()
+		cfg.NumObjects = 20
+		cfg.NumShelfTags = 20
+		cfg.Seed = opts.Seed + int64(nShelf)
+		trace, err := sim.GenerateWarehouse(cfg)
+		if err != nil {
+			return table, err
+		}
+		training := trace.SplitForTraining(nShelf)
+
+		learnCfg := learn.DefaultConfig()
+		learnCfg.Iterations = 2 + int(2*opts.Scale)
+		learnCfg.ObjectParticles = opts.scaleInt(400, 80)
+		learnCfg.Seed = opts.Seed
+		res, err := learn.Calibrate(training.Epochs, training.World, uncalibratedParams(), learnCfg)
+		if err != nil {
+			return table, fmt.Errorf("calibrate with %d shelf tags: %w", nShelf, err)
+		}
+		grid := sensor.SampleProfileGrid(sensor.ModelProfile{Model: res.Params.Sensor}, 0, 6, -3, 3, 36, 36)
+		table.AddRow(
+			"learned (warehouse cone)",
+			fmt.Sprintf("%d", nShelf),
+			f3(grid.MeanAbsDifference(trueGrid)),
+			f2(res.Params.Sensor.EffectiveRange(0.5)),
+		)
+	}
+
+	// Reference row: the best parametric approximation of the cone profile,
+	// fitted directly (an upper bound on how well EM could possibly do).
+	direct, err := learn.FitModelToProfile(cone, 4.0, stats.DefaultLogisticFitOptions())
+	if err != nil {
+		return table, err
+	}
+	directGrid := sensor.SampleProfileGrid(sensor.ModelProfile{Model: direct}, 0, 6, -3, 3, 36, 36)
+	table.AddRow("direct parametric fit of true cone", "-", f3(directGrid.MeanAbsDifference(trueGrid)), f2(direct.EffectiveRange(0.5)))
+
+	// Lab reader (Fig. 5(d)): learn from a lab trace; the reference profile
+	// is the spherical lab profile.
+	labCfg := sim.DefaultLabConfig()
+	labCfg.Seed = opts.Seed + 100
+	labTrace, err := sim.GenerateLab(labCfg)
+	if err != nil {
+		return table, err
+	}
+	learnCfg := learn.DefaultConfig()
+	learnCfg.Iterations = 2
+	learnCfg.ObjectParticles = opts.scaleInt(300, 60)
+	learnCfg.Seed = opts.Seed
+	labRes, err := learn.Calibrate(labTrace.Epochs, labTrace.World, warehouseParams(), learnCfg)
+	if err != nil {
+		return table, fmt.Errorf("calibrate lab: %w", err)
+	}
+	sphere := sensor.ScaledProfile{Base: sensor.DefaultSphereProfile(), Factor: 0.88}
+	sphereGrid := sensor.SampleProfileGrid(sphere, 0, 6, -3, 3, 36, 36)
+	labGrid := sensor.SampleProfileGrid(sensor.ModelProfile{Model: labRes.Params.Sensor}, 0, 6, -3, 3, 36, 36)
+	table.AddRow("learned (lab reader, spherical)", "10", f3(labGrid.MeanAbsDifference(sphereGrid)), f2(labRes.Params.Sensor.EffectiveRange(0.5)))
+
+	return table, nil
+}
+
+// SensorModelArt renders the true and learned sensor models as ASCII heat
+// maps, the closest text-mode analogue of Fig. 5(a)-(d). It is used by the
+// rfidbench command's -art flag.
+func SensorModelArt(opts Options) (string, error) {
+	opts.applyDefaults()
+	cone := sensor.DefaultConeProfile()
+	out := "true simulator cone (Fig. 5a):\n"
+	out += sensor.SampleProfileGrid(cone, 0, 4, -2, 2, 48, 24).ASCIIArt()
+
+	cfg := sim.DefaultWarehouseConfig()
+	cfg.NumObjects = 20
+	cfg.NumShelfTags = 20
+	cfg.Seed = opts.Seed
+	trace, err := sim.GenerateWarehouse(cfg)
+	if err != nil {
+		return out, err
+	}
+	learnCfg := learn.DefaultConfig()
+	learnCfg.Iterations = 2
+	learnCfg.ObjectParticles = opts.scaleInt(400, 80)
+	res, err := learn.Calibrate(trace.Epochs, trace.World, warehouseParams(), learnCfg)
+	if err != nil {
+		return out, err
+	}
+	out += "\nlearned with 20 shelf tags (Fig. 5b):\n"
+	out += sensor.SampleProfileGrid(sensor.ModelProfile{Model: res.Params.Sensor}, 0, 4, -2, 2, 48, 24).ASCIIArt()
+	return out, nil
+}

@@ -1,0 +1,150 @@
+// Package factored implements the factored particle filter of Section IV-B,
+// the paper's central scalability contribution: instead of joint particles
+// over all objects, the filter maintains a list of reader particles and, for
+// each object, a list of small object particles that reference reader
+// particles. Factored weights make the representation equivalent to an
+// exponentially large set of unfactored particles while using space linear in
+// the number of objects.
+package factored
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+// ObjectParticle is one hypothesis about a single object's location. It
+// references the reader particle it was weighted against (Fig. 3(b) of the
+// paper keeps a pointer to the reader particle; we store its index).
+type ObjectParticle struct {
+	Loc    geom.Vec3
+	Reader int
+	logW   float64
+	normW  float64
+}
+
+// Weight returns the particle's normalized factored weight from the most
+// recent update.
+func (p ObjectParticle) Weight() float64 { return p.normW }
+
+// ObjectBelief is the filter's state for one object: either a weighted
+// particle set or, after belief compression, a parametric Gaussian.
+type ObjectBelief struct {
+	ID        stream.TagID
+	Particles []ObjectParticle
+
+	// Compressed is non-nil when the belief has been compressed into a
+	// Gaussian (Section IV-D). While compressed, Particles is empty.
+	Compressed *stats.Gaussian3
+	// CompressionKL is the KL divergence measured when the belief was last
+	// compressed; it quantifies the information lost by compression.
+	CompressionKL float64
+
+	// FirstSeen and LastSeen are the epochs of the first and most recent
+	// reading of this tag.
+	FirstSeen int
+	LastSeen  int
+	// LastSeenReaderPos is the reader position (reported, or estimated when
+	// no report was available) at the most recent reading; it drives the
+	// "has the object moved far away?" re-initialization logic.
+	LastSeenReaderPos geom.Vec3
+	// ScopeEntered is the epoch at which the object most recently entered
+	// the reader's scope (first reading after an out-of-scope period); used
+	// by the engine's report policy.
+	ScopeEntered int
+}
+
+// IsCompressed reports whether the belief is currently in compressed form.
+func (b *ObjectBelief) IsCompressed() bool { return b.Compressed != nil }
+
+// locationsAndWeights extracts the particle locations and their normalized
+// weights, where each particle's weight is its own factored weight times the
+// weight of its associated reader particle — exactly the semantics of
+// factored weights (Eq. 5).
+func (b *ObjectBelief) locationsAndWeights(readerNorm []float64) ([]geom.Vec3, []float64) {
+	locs := make([]geom.Vec3, len(b.Particles))
+	w := make([]float64, len(b.Particles))
+	for i, p := range b.Particles {
+		locs[i] = p.Loc
+		rw := 1.0
+		if p.Reader >= 0 && p.Reader < len(readerNorm) {
+			rw = readerNorm[p.Reader]
+		}
+		w[i] = p.normW * rw
+	}
+	return locs, w
+}
+
+// Mean returns the posterior mean and per-axis variance of the object's
+// location under the current belief.
+func (b *ObjectBelief) Mean(readerNorm []float64) (geom.Vec3, geom.Vec3) {
+	if b.Compressed != nil {
+		v := b.Compressed.Variance()
+		return b.Compressed.Mean, v
+	}
+	locs, w := b.locationsAndWeights(readerNorm)
+	mean := stats.WeightedMeanVec(locs, w)
+	cov := stats.WeightedCovariance(locs, w, mean)
+	return mean, geom.Vec3{X: cov[0][0], Y: cov[1][1], Z: cov[2][2]}
+}
+
+// Gaussian returns the moment-matched Gaussian of the current belief and the
+// KL divergence between the particle distribution and that Gaussian.
+func (b *ObjectBelief) Gaussian(readerNorm []float64) (stats.Gaussian3, float64) {
+	if b.Compressed != nil {
+		return *b.Compressed, 0
+	}
+	locs, w := b.locationsAndWeights(readerNorm)
+	g := stats.FitGaussian3(locs, w)
+	kl := stats.KLToGaussian(locs, w, g)
+	return g, kl
+}
+
+// HasParticleIn reports whether any particle (or the compressed mean) lies
+// inside the bounding box. The spatial index uses this to associate sensing
+// regions with objects.
+func (b *ObjectBelief) HasParticleIn(box geom.BBox) bool {
+	if b.Compressed != nil {
+		return box.Contains(b.Compressed.Mean)
+	}
+	for _, p := range b.Particles {
+		if box.Contains(p.Loc) {
+			return true
+		}
+	}
+	return false
+}
+
+// normalizeParticles converts the particles' cumulative log weights into
+// normalized weights and returns the effective sample size.
+func (b *ObjectBelief) normalizeParticles() float64 {
+	if len(b.Particles) == 0 {
+		return 0
+	}
+	logs := make([]float64, len(b.Particles))
+	maxLog := math.Inf(-1)
+	for i, p := range b.Particles {
+		logs[i] = p.logW
+		if p.logW > maxLog {
+			maxLog = p.logW
+		}
+	}
+	if math.IsInf(maxLog, -1) {
+		u := 1 / float64(len(b.Particles))
+		for i := range b.Particles {
+			b.Particles[i].normW = u
+		}
+		return float64(len(b.Particles))
+	}
+	sum := 0.0
+	for i := range logs {
+		logs[i] = math.Exp(logs[i] - maxLog)
+		sum += logs[i]
+	}
+	for i := range b.Particles {
+		b.Particles[i].normW = logs[i] / sum
+	}
+	return stats.EffectiveSampleSize(logs)
+}

@@ -1,0 +1,380 @@
+package factored
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/sensor"
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+// Config configures the factored particle filter.
+type Config struct {
+	// NumReaderParticles is the number of reader particles (default 100).
+	NumReaderParticles int
+	// NumObjectParticles is the number of particles per object when a fresh
+	// belief is created (default 1000, the value used in the paper's
+	// experiments).
+	NumObjectParticles int
+	// NumDecompressParticles is the number of particles drawn when a
+	// compressed belief is decompressed (default 10; the paper observes that
+	// far fewer particles suffice after compression).
+	NumDecompressParticles int
+	// Params are the model parameters.
+	Params model.Params
+	// Sensor is the observation model used for weighting; defaults to the
+	// parametric model in Params.
+	Sensor sensor.Profile
+	// World provides shelf geometry and shelf-tag locations.
+	World *model.World
+	// InitConeHalfAngle / InitConeRange define the sensor-model-based
+	// initialization cone (an overestimate of the reader's range).
+	InitConeHalfAngle float64
+	InitConeRange     float64
+	// ResampleThreshold is the ESS fraction below which resampling triggers
+	// (default 0.5).
+	ResampleThreshold float64
+	// MoveReinitDistance is the distance between the current reading's reader
+	// position and the position where the object was last observed beyond
+	// which half of the object's particles are re-initialized at the new
+	// location; at twice this distance the belief is rebuilt entirely
+	// (default: the sensor's max range).
+	MoveReinitDistance float64
+	// UseMotionModel selects whether the reader pose is inferred (true, the
+	// paper's system) or taken verbatim from the reported location (false,
+	// the "motion model Off" baseline of Fig. 5(g)).
+	UseMotionModel bool
+	// Seed seeds the filter's random source.
+	Seed int64
+}
+
+func (c *Config) applyDefaults() {
+	if c.NumReaderParticles <= 0 {
+		c.NumReaderParticles = 100
+	}
+	if c.NumObjectParticles <= 0 {
+		c.NumObjectParticles = 1000
+	}
+	if c.NumDecompressParticles <= 0 {
+		c.NumDecompressParticles = 10
+	}
+	if c.Sensor == nil {
+		c.Sensor = sensor.ModelProfile{Model: c.Params.Sensor}
+	}
+	if c.InitConeHalfAngle <= 0 {
+		// Size the initialization cone to cover everywhere the sensor can
+		// plausibly read from (plus a margin), so that wide sensing regions
+		// get a correspondingly wide cone. The cone is deliberately an
+		// overestimate of the true range, as the paper prescribes.
+		c.InitConeHalfAngle = sensor.EffectiveHalfAngle(c.Sensor, 0.05) + 10*math.Pi/180
+		if c.InitConeHalfAngle < 35*math.Pi/180 {
+			c.InitConeHalfAngle = 35 * math.Pi / 180
+		}
+		if c.InitConeHalfAngle > math.Pi/2 {
+			c.InitConeHalfAngle = math.Pi / 2
+		}
+	}
+	if c.InitConeRange <= 0 {
+		c.InitConeRange = c.Sensor.MaxRange() * 1.25
+		if c.InitConeRange <= 0 {
+			c.InitConeRange = 4
+		}
+	}
+	if c.ResampleThreshold <= 0 {
+		c.ResampleThreshold = 0.5
+	}
+	if c.MoveReinitDistance <= 0 {
+		c.MoveReinitDistance = c.Sensor.MaxRange()
+		if c.MoveReinitDistance <= 0 {
+			c.MoveReinitDistance = 3
+		}
+	}
+}
+
+// readerParticle is one hypothesis about the reader pose.
+type readerParticle struct {
+	Pose  geom.Pose
+	logW  float64
+	normW float64
+}
+
+// Filter is the factored particle filter.
+type Filter struct {
+	cfg Config
+	src *rng.Source
+
+	readers    []readerParticle
+	readerNorm []float64
+
+	objects map[stream.TagID]*ObjectBelief
+	order   []stream.TagID
+
+	started      bool
+	epoch        int
+	prevReported geom.Vec3
+	hasReported  bool
+	lastDrift    geom.Vec3
+	hasDrift     bool
+}
+
+// New returns a factored particle filter. UseMotionModel defaults to true
+// unless explicitly disabled via the config.
+func New(cfg Config) *Filter {
+	cfg.applyDefaults()
+	return &Filter{
+		cfg:     cfg,
+		src:     rng.New(cfg.Seed),
+		objects: make(map[stream.TagID]*ObjectBelief),
+	}
+}
+
+// Config returns the effective configuration (with defaults applied).
+func (f *Filter) Config() Config { return f.cfg }
+
+// TrackedObjects returns all objects the filter has seen, in first-seen order.
+func (f *Filter) TrackedObjects() []stream.TagID {
+	out := make([]stream.TagID, len(f.order))
+	copy(out, f.order)
+	return out
+}
+
+// Belief returns the belief for an object, or nil if the object is unknown.
+func (f *Filter) Belief(id stream.TagID) *ObjectBelief { return f.objects[id] }
+
+// NumTracked returns the number of objects the filter has seen.
+func (f *Filter) NumTracked() int { return len(f.order) }
+
+func (f *Filter) ensureStarted(ep *stream.Epoch) {
+	if f.started {
+		return
+	}
+	f.started = true
+	f.readers = make([]readerParticle, f.cfg.NumReaderParticles)
+	f.readerNorm = make([]float64, f.cfg.NumReaderParticles)
+	var base geom.Pose
+	if ep.HasPose {
+		base = ep.ReportedPose
+	}
+	spread := f.cfg.Params.Sensing.Noise.Add(geom.Vec3{X: 0.05, Y: 0.05, Z: 0.01})
+	for j := range f.readers {
+		f.readers[j].Pose = geom.Pose{
+			Pos: base.Pos.Sub(f.cfg.Params.Sensing.Bias).Add(f.src.NormalVec(geom.Vec3{}, spread)),
+			Phi: base.Phi + f.src.Normal(0, f.cfg.Params.Motion.PhiNoise+0.01),
+		}
+		f.readerNorm[j] = 1 / float64(len(f.readers))
+	}
+}
+
+// currentReaderPos returns the best available reader position for bookkeeping
+// (reported when present, otherwise the current estimate).
+func (f *Filter) currentReaderPos(ep *stream.Epoch) geom.Vec3 {
+	if ep.HasPose {
+		return ep.ReportedPose.Pos
+	}
+	return f.ReaderEstimate().Pos
+}
+
+// Step advances the filter by one epoch. The active slice lists the object
+// tags to process this epoch (the union of Case 1 and Case 2 from Section
+// IV-C); passing nil processes every tracked object plus all newly observed
+// ones (the behaviour without a spatial index).
+func (f *Filter) Step(ep *stream.Epoch, active []stream.TagID) {
+	f.ensureStarted(ep)
+	f.epoch = ep.Time
+
+	f.stepReaders(ep)
+
+	// Determine the set of objects to process.
+	processSet := make(map[stream.TagID]bool)
+	if active == nil {
+		for _, id := range f.order {
+			processSet[id] = true
+		}
+	} else {
+		for _, id := range active {
+			if f.cfg.World != nil && f.cfg.World.IsShelfTag(id) {
+				continue
+			}
+			processSet[id] = true
+		}
+	}
+	// Observed objects are always processed (Case 1), and unknown observed
+	// objects get a fresh belief.
+	for _, id := range ep.ObservedList() {
+		if f.cfg.World != nil && f.cfg.World.IsShelfTag(id) {
+			continue
+		}
+		processSet[id] = true
+	}
+
+	readerPos := f.currentReaderPos(ep)
+	// Process in deterministic order: first-seen order then new tags sorted.
+	for _, id := range f.order {
+		if processSet[id] {
+			f.stepObject(ep, id, readerPos)
+			delete(processSet, id)
+		}
+	}
+	newIDs := make([]stream.TagID, 0, len(processSet))
+	for id := range processSet {
+		newIDs = append(newIDs, id)
+	}
+	sortTagIDs(newIDs)
+	for _, id := range newIDs {
+		f.stepObject(ep, id, readerPos)
+	}
+
+	f.maybeResampleReaders()
+}
+
+// stepReaders propagates the reader particles and applies the reader-side
+// evidence: the reported location and the observations of shelf tags with
+// known positions.
+func (f *Filter) stepReaders(ep *stream.Epoch) {
+	if !f.cfg.UseMotionModel {
+		// Baseline: trust the reported location outright.
+		pose := ep.ReportedPose
+		if !ep.HasPose {
+			pose = f.ReaderEstimate()
+		}
+		for j := range f.readers {
+			f.readers[j].Pose = pose
+			f.readers[j].logW = 0
+			f.readerNorm[j] = 1 / float64(len(f.readers))
+		}
+		return
+	}
+
+	shelfIDs := f.relevantShelfTags(ep)
+	motion := f.effectiveMotion(ep)
+	for j := range f.readers {
+		r := &f.readers[j]
+		r.Pose = motion.Sample(r.Pose, f.src)
+		if ep.HasPose {
+			// The reported pose carries the reader heading (from the
+			// positioning system or the robot's own odometry); unlike the
+			// position it is not corrected by shelf-tag evidence, so the
+			// particles track it directly with a little jitter.
+			r.Pose.Phi = ep.ReportedPose.Phi + f.src.Normal(0, motion.PhiNoise)
+		}
+		lw := 0.0
+		if ep.HasPose {
+			lw += f.cfg.Params.Sensing.LogProb(r.Pose, ep.ReportedPose.Pos)
+		}
+		for _, sid := range shelfIDs {
+			loc := f.cfg.World.ShelfTags[sid]
+			lw += logObs(f.cfg.Sensor, ep.Contains(sid), r.Pose, loc)
+		}
+		r.logW += lw
+	}
+	f.normalizeReaders()
+}
+
+// effectiveMotion returns the motion model for the current epoch. The
+// reader's per-epoch displacement is taken from the difference between
+// consecutive reported locations when available (the "constant velocity that
+// varies somewhat over time" of Section III-A), falling back to the last
+// observed drift and finally to the configured average velocity.
+func (f *Filter) effectiveMotion(ep *stream.Epoch) model.MotionModel {
+	motion := f.cfg.Params.Motion
+	if ep.HasPose {
+		if f.hasReported {
+			drift := ep.ReportedPose.Pos.Sub(f.prevReported)
+			motion = motion.WithVelocity(drift)
+			f.lastDrift = drift
+			f.hasDrift = true
+		}
+		f.prevReported = ep.ReportedPose.Pos
+		f.hasReported = true
+	} else if f.hasDrift {
+		motion = motion.WithVelocity(f.lastDrift)
+	}
+	return motion
+}
+
+// relevantShelfTags returns shelf tags observed this epoch or close enough to
+// the reported reader location that their non-observation is informative.
+func (f *Filter) relevantShelfTags(ep *stream.Epoch) []stream.TagID {
+	if f.cfg.World == nil {
+		return nil
+	}
+	maxR := f.cfg.Sensor.MaxRange() + 1
+	var out []stream.TagID
+	for _, id := range f.cfg.World.ShelfTagIDs() {
+		if ep.Contains(id) {
+			out = append(out, id)
+			continue
+		}
+		if ep.HasPose && f.cfg.World.ShelfTags[id].Dist(ep.ReportedPose.Pos) <= maxR {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func (f *Filter) normalizeReaders() {
+	logs := make([]float64, len(f.readers))
+	for j, r := range f.readers {
+		logs[j] = r.logW
+	}
+	stats.NormalizeLogWeights(logs)
+	for j := range f.readers {
+		f.readers[j].normW = logs[j]
+		f.readerNorm[j] = logs[j]
+	}
+}
+
+// ReaderEstimate returns the posterior mean reader pose.
+func (f *Filter) ReaderEstimate() geom.Pose {
+	if !f.started || len(f.readers) == 0 {
+		return geom.Pose{}
+	}
+	locs := make([]geom.Vec3, len(f.readers))
+	w := make([]float64, len(f.readers))
+	sinSum, cosSum := 0.0, 0.0
+	for j, r := range f.readers {
+		locs[j] = r.Pose.Pos
+		w[j] = f.readerNorm[j]
+		sinSum += w[j] * math.Sin(r.Pose.Phi)
+		cosSum += w[j] * math.Cos(r.Pose.Phi)
+	}
+	return geom.Pose{Pos: stats.WeightedMeanVec(locs, w), Phi: math.Atan2(sinSum, cosSum)}
+}
+
+// Estimate returns the posterior mean and per-axis variance of an object's
+// location.
+func (f *Filter) Estimate(id stream.TagID) (geom.Vec3, geom.Vec3, bool) {
+	b, ok := f.objects[id]
+	if !ok {
+		return geom.Vec3{}, geom.Vec3{}, false
+	}
+	mean, variance := b.Mean(f.readerNorm)
+	return mean, variance, true
+}
+
+func logObs(s sensor.Profile, observed bool, pose geom.Pose, loc geom.Vec3) float64 {
+	pr := s.DetectProb(pose, loc)
+	const floor = 1e-9
+	if observed {
+		if pr < floor {
+			pr = floor
+		}
+		return math.Log(pr)
+	}
+	q := 1 - pr
+	if q < floor {
+		q = floor
+	}
+	return math.Log(q)
+}
+
+func sortTagIDs(ids []stream.TagID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

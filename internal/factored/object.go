@@ -1,0 +1,208 @@
+package factored
+
+import (
+	"repro/internal/geom"
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+// stepObject performs the per-object part of the factored update: belief
+// creation for newly seen objects, movement handling, decompression, proposal
+// sampling, factored weighting and per-object resampling.
+func (f *Filter) stepObject(ep *stream.Epoch, id stream.TagID, readerPos geom.Vec3) {
+	observed := ep.Contains(id)
+	b, exists := f.objects[id]
+
+	if !exists {
+		if !observed {
+			// Nothing is known about an object that has never been read;
+			// there is no belief to update.
+			return
+		}
+		b = f.newBelief(id, ep.Time, readerPos)
+		f.objects[id] = b
+		f.order = append(f.order, id)
+		// A fresh belief was just initialized around the current reader
+		// location; weighting it against the very reading that created it
+		// adds nothing, so return after the bookkeeping.
+		b.LastSeen = ep.Time
+		b.LastSeenReaderPos = readerPos
+		b.ScopeEntered = ep.Time
+		return
+	}
+
+	if observed && b.IsCompressed() {
+		f.decompress(b)
+	}
+	if b.IsCompressed() {
+		// Compressed and not observed: the belief stays parametric and
+		// untouched (the object is out of scope).
+		return
+	}
+
+	if observed {
+		f.handleMovement(b, ep.Time, readerPos)
+	}
+
+	// Proposal: object locations evolve under the object location model.
+	if f.cfg.Params.Object.MoveProb > 0 {
+		for i := range b.Particles {
+			b.Particles[i].Loc = f.cfg.Params.Object.Sample(b.Particles[i].Loc, f.cfg.World, f.src)
+		}
+	}
+
+	// Factored weighting: each object particle is weighted against its
+	// associated reader particle only (Eq. 5).
+	for i := range b.Particles {
+		p := &b.Particles[i]
+		pose := f.readerPoseFor(p.Reader)
+		p.logW += logObs(f.cfg.Sensor, observed, pose, p.Loc)
+	}
+
+	ess := b.normalizeParticles()
+	if ess < f.cfg.ResampleThreshold*float64(len(b.Particles)) {
+		f.resampleObject(b)
+	}
+
+	if observed {
+		if ep.Time-b.LastSeen > f.scopeGapEpochs() {
+			b.ScopeEntered = ep.Time
+		}
+		b.LastSeen = ep.Time
+		b.LastSeenReaderPos = readerPos
+	}
+}
+
+// scopeGapEpochs is the number of unobserved epochs after which a new reading
+// counts as re-entering scope (a new scan visit).
+func (f *Filter) scopeGapEpochs() int { return 30 }
+
+// readerPoseFor returns the pose of the reader particle with the given index,
+// falling back to the estimate for out-of-range indices (which can appear
+// transiently after reader resampling).
+func (f *Filter) readerPoseFor(idx int) geom.Pose {
+	if idx >= 0 && idx < len(f.readers) {
+		return f.readers[idx].Pose
+	}
+	return f.ReaderEstimate()
+}
+
+// newBelief creates a belief for an object seen for the first time, drawing
+// particles from the sensor-model-based initialization cone rooted at reader
+// particles (sampled according to their weights) and clamped to the shelves.
+func (f *Filter) newBelief(id stream.TagID, epoch int, readerPos geom.Vec3) *ObjectBelief {
+	b := &ObjectBelief{
+		ID:                id,
+		FirstSeen:         epoch,
+		LastSeen:          epoch,
+		ScopeEntered:      epoch,
+		LastSeenReaderPos: readerPos,
+		Particles:         make([]ObjectParticle, f.cfg.NumObjectParticles),
+	}
+	n := len(b.Particles)
+	u := 1 / float64(n)
+	for i := range b.Particles {
+		rIdx := f.sampleReaderIndex()
+		loc := f.src.UniformInCone(f.readers[rIdx].Pose, f.cfg.InitConeHalfAngle, f.cfg.InitConeRange)
+		if f.cfg.World != nil && len(f.cfg.World.Shelves) > 0 {
+			loc = f.cfg.World.ClampToShelves(loc)
+		}
+		b.Particles[i] = ObjectParticle{Loc: loc, Reader: rIdx, logW: 0, normW: u}
+	}
+	return b
+}
+
+// handleMovement implements the subtlety discussed in Section IV-A: when an
+// object is detected from a reader position far away from where it was last
+// observed, either the whole belief is rebuilt (very far: the object clearly
+// moved) or half the particles are re-initialized at the new location
+// (moderately far: it may have moved, or the reading may be a reflection).
+func (f *Filter) handleMovement(b *ObjectBelief, epoch int, readerPos geom.Vec3) {
+	d := readerPos.Dist(b.LastSeenReaderPos)
+	reinit := f.cfg.MoveReinitDistance
+	switch {
+	case d > 2*reinit:
+		// Far: discard the old particles entirely and re-create them at the
+		// new location.
+		nb := f.newBelief(b.ID, epoch, readerPos)
+		b.Particles = nb.Particles
+	case d > reinit:
+		// Moderate: keep half of the old particles and move the other half
+		// to the new location; weighting and resampling will arbitrate.
+		half := len(b.Particles) / 2
+		for i := half; i < len(b.Particles); i++ {
+			rIdx := f.sampleReaderIndex()
+			loc := f.src.UniformInCone(f.readers[rIdx].Pose, f.cfg.InitConeHalfAngle, f.cfg.InitConeRange)
+			if f.cfg.World != nil && len(f.cfg.World.Shelves) > 0 {
+				loc = f.cfg.World.ClampToShelves(loc)
+			}
+			b.Particles[i] = ObjectParticle{Loc: loc, Reader: rIdx, logW: b.Particles[i].logW, normW: b.Particles[i].normW}
+		}
+	}
+}
+
+// sampleReaderIndex draws a reader particle index according to the current
+// normalized reader weights.
+func (f *Filter) sampleReaderIndex() int {
+	if len(f.readerNorm) == 0 {
+		return 0
+	}
+	return f.src.Categorical(f.readerNorm)
+}
+
+// CompressObject compresses an object's belief into a Gaussian (Section
+// IV-D). It returns the KL divergence between the particle distribution and
+// the fitted Gaussian, and false when the object is unknown or already
+// compressed.
+func (f *Filter) CompressObject(id stream.TagID) (float64, bool) {
+	b, ok := f.objects[id]
+	if !ok || b.IsCompressed() || len(b.Particles) == 0 {
+		return 0, false
+	}
+	g, kl := b.Gaussian(f.readerNorm)
+	b.Compressed = &g
+	b.CompressionKL = kl
+	b.Particles = nil
+	return kl, true
+}
+
+// CompressionCandidateKL returns the KL divergence the object's belief would
+// incur if compressed now, without compressing it. It returns false for
+// unknown or already-compressed objects.
+func (f *Filter) CompressionCandidateKL(id stream.TagID) (float64, bool) {
+	b, ok := f.objects[id]
+	if !ok || b.IsCompressed() || len(b.Particles) == 0 {
+		return 0, false
+	}
+	_, kl := b.Gaussian(f.readerNorm)
+	return kl, true
+}
+
+// decompress re-creates a small particle set by sampling from the compressed
+// Gaussian. The paper observes that far fewer particles are needed after
+// decompression because the compressed belief is already well-behaved.
+func (f *Filter) decompress(b *ObjectBelief) {
+	n := f.cfg.NumDecompressParticles
+	g := *b.Compressed
+	b.Particles = make([]ObjectParticle, n)
+	u := 1 / float64(n)
+	for i := 0; i < n; i++ {
+		loc := g.Sample(f.src)
+		if f.cfg.World != nil && len(f.cfg.World.Shelves) > 0 {
+			loc = f.cfg.World.ClampToShelves(loc)
+		}
+		b.Particles[i] = ObjectParticle{Loc: loc, Reader: f.sampleReaderIndex(), logW: 0, normW: u}
+	}
+	b.Compressed = nil
+}
+
+// Gaussian3ForTest exposes an object's moment-matched Gaussian; it is used by
+// tests and by the engine's compression policies.
+func (f *Filter) Gaussian3ForTest(id stream.TagID) (stats.Gaussian3, float64, bool) {
+	b, ok := f.objects[id]
+	if !ok {
+		return stats.Gaussian3{}, 0, false
+	}
+	g, kl := b.Gaussian(f.readerNorm)
+	return g, kl, true
+}

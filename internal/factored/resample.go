@@ -1,0 +1,118 @@
+package factored
+
+import (
+	"repro/internal/stats"
+)
+
+// resampleObject resamples an object's particles in proportion to their
+// normalized factored weights while preserving the reader pointers, as
+// required by the factored representation (Section IV-B).
+func (f *Filter) resampleObject(b *ObjectBelief) {
+	n := len(b.Particles)
+	if n == 0 {
+		return
+	}
+	weights := make([]float64, n)
+	for i, p := range b.Particles {
+		weights[i] = p.normW
+	}
+	idx := f.src.Systematic(weights, n)
+	newParticles := make([]ObjectParticle, n)
+	u := 1 / float64(n)
+	for i, j := range idx {
+		newParticles[i] = ObjectParticle{
+			Loc:    b.Particles[j].Loc,
+			Reader: b.Particles[j].Reader,
+			logW:   0,
+			normW:  u,
+		}
+	}
+	b.Particles = newParticles
+}
+
+// maybeResampleReaders resamples the reader particles when their effective
+// sample size collapses. Unlike standard resampling, the selection
+// probability of a reader particle is boosted by the posterior mass of the
+// object particles associated with it, so that reader hypotheses supported by
+// good object particles survive — the behaviour Section IV-B describes for
+// the factored filter's reader resampling step.
+func (f *Filter) maybeResampleReaders() {
+	if !f.cfg.UseMotionModel || len(f.readers) == 0 {
+		return
+	}
+	norm := make([]float64, len(f.readers))
+	for j := range f.readers {
+		norm[j] = f.readers[j].normW
+	}
+	ess := stats.EffectiveSampleSize(norm)
+	if ess >= f.cfg.ResampleThreshold*float64(len(f.readers)) {
+		return
+	}
+
+	// Aggregate object support per reader particle: how much normalized
+	// object-particle mass points at each reader hypothesis. Only
+	// recently-updated (uncompressed) beliefs contribute.
+	support := make([]float64, len(f.readers))
+	totalSupport := 0.0
+	for _, id := range f.order {
+		b := f.objects[id]
+		if b == nil || b.IsCompressed() {
+			continue
+		}
+		for _, p := range b.Particles {
+			if p.Reader >= 0 && p.Reader < len(support) {
+				support[p.Reader] += p.normW
+				totalSupport += p.normW
+			}
+		}
+	}
+
+	scores := make([]float64, len(f.readers))
+	for j := range scores {
+		s := norm[j]
+		if totalSupport > 0 {
+			s *= 1 + support[j]
+		}
+		scores[j] = s
+	}
+
+	idx := f.src.Systematic(scores, len(f.readers))
+
+	// Build the old-index -> new-slots mapping so that object particle
+	// pointers can be remapped consistently.
+	oldToNew := make(map[int][]int, len(f.readers))
+	newReaders := make([]readerParticle, len(f.readers))
+	u := 1 / float64(len(f.readers))
+	for newSlot, oldIdx := range idx {
+		newReaders[newSlot] = readerParticle{Pose: f.readers[oldIdx].Pose, logW: 0, normW: u}
+		oldToNew[oldIdx] = append(oldToNew[oldIdx], newSlot)
+	}
+	f.readers = newReaders
+	for j := range f.readerNorm {
+		f.readerNorm[j] = u
+	}
+
+	// Remap object particle pointers. Particles whose reader hypothesis was
+	// dropped are re-attached to a uniformly drawn surviving slot; since the
+	// resampled reader weights are uniform this introduces no bias.
+	rot := make(map[int]int, len(oldToNew))
+	for _, id := range f.order {
+		b := f.objects[id]
+		if b == nil || b.IsCompressed() {
+			continue
+		}
+		for i := range b.Particles {
+			old := b.Particles[i].Reader
+			slots, ok := oldToNew[old]
+			if ok && len(slots) > 0 {
+				// Round-robin across the slots that descended from the same
+				// old reader particle.
+				k := rot[old] % len(slots)
+				rot[old]++
+				b.Particles[i].Reader = slots[k]
+			} else {
+				b.Particles[i].Reader = f.src.Intn(len(f.readers))
+			}
+		}
+	}
+}

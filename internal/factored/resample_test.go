@@ -1,0 +1,169 @@
+package factored
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/stream"
+)
+
+// TestResampleObjectPreservesPointersAndMass checks the per-object resampling
+// step: particles are reproduced proportionally to their weights, the reader
+// pointers travel with them, and the weights reset to uniform.
+func TestResampleObjectPreservesPointersAndMass(t *testing.T) {
+	f := newTestFilter(100)
+	// Start the filter so reader particles exist.
+	ep := stream.NewEpoch(0)
+	ep.HasPose = true
+	ep.ReportedPose = geom.P(-1.5, 0, 0, 0)
+	f.Step(ep, nil)
+
+	b := &ObjectBelief{ID: "x"}
+	// Three particles: one dominant, one moderate, one dead.
+	b.Particles = []ObjectParticle{
+		{Loc: geom.V(0, 1, 0), Reader: 3, normW: 0.79},
+		{Loc: geom.V(0, 2, 0), Reader: 7, normW: 0.21},
+		{Loc: geom.V(0, 9, 0), Reader: 9, normW: 0.0},
+	}
+	f.resampleObject(b)
+	if len(b.Particles) != 3 {
+		t.Fatalf("particle count changed: %d", len(b.Particles))
+	}
+	for _, p := range b.Particles {
+		switch p.Loc.Y {
+		case 1.0:
+			if p.Reader != 3 {
+				t.Errorf("reader pointer lost for dominant particle: %d", p.Reader)
+			}
+		case 2.0:
+			if p.Reader != 7 {
+				t.Errorf("reader pointer lost for moderate particle: %d", p.Reader)
+			}
+		case 9.0:
+			t.Error("zero-weight particle survived resampling")
+		}
+		if math.Abs(p.normW-1.0/3.0) > 1e-9 {
+			t.Errorf("weights not reset to uniform: %v", p.normW)
+		}
+		if p.logW != 0 {
+			t.Errorf("log weights not reset: %v", p.logW)
+		}
+	}
+}
+
+// TestReaderResamplingKeepsPointersValid drives the filter long enough to
+// trigger reader resampling and verifies that every object particle still
+// references a valid reader index afterwards.
+func TestReaderResamplingKeepsPointersValid(t *testing.T) {
+	f := newTestFilter(150)
+	objLoc := geom.V(0, 5.5, 0)
+	for _, ep := range scanEpochs(objLoc, "obj", 120) {
+		f.Step(ep, nil)
+		b := f.Belief("obj")
+		if b == nil {
+			continue
+		}
+		for _, p := range b.Particles {
+			if p.Reader < 0 || p.Reader >= len(f.readers) {
+				t.Fatalf("dangling reader pointer %d (readers: %d)", p.Reader, len(f.readers))
+			}
+		}
+	}
+	// Reader weights remain a probability distribution.
+	sum := 0.0
+	for _, w := range f.readerNorm {
+		if w < 0 {
+			t.Fatalf("negative reader weight %v", w)
+		}
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("reader weights sum to %v", sum)
+	}
+}
+
+// TestNormalizeParticlesHandlesDegenerateWeights exercises the log-weight
+// normalization paths: all-equal weights and all-minus-infinity weights.
+func TestNormalizeParticlesHandlesDegenerateWeights(t *testing.T) {
+	b := &ObjectBelief{ID: "x", Particles: []ObjectParticle{
+		{Loc: geom.V(0, 0, 0), logW: -5},
+		{Loc: geom.V(0, 1, 0), logW: -5},
+	}}
+	ess := b.normalizeParticles()
+	if math.Abs(ess-2) > 1e-9 {
+		t.Errorf("equal weights should give ESS 2, got %v", ess)
+	}
+	for _, p := range b.Particles {
+		if math.Abs(p.normW-0.5) > 1e-9 {
+			t.Errorf("normalized weight %v, want 0.5", p.normW)
+		}
+	}
+	inf := math.Inf(-1)
+	b2 := &ObjectBelief{ID: "y", Particles: []ObjectParticle{
+		{Loc: geom.V(0, 0, 0), logW: inf},
+		{Loc: geom.V(0, 1, 0), logW: inf},
+	}}
+	b2.normalizeParticles()
+	for _, p := range b2.Particles {
+		if math.IsNaN(p.normW) || p.normW <= 0 {
+			t.Errorf("degenerate weights not recovered: %v", p.normW)
+		}
+	}
+	if (&ObjectBelief{}).normalizeParticles() != 0 {
+		t.Error("empty belief should have zero ESS")
+	}
+}
+
+// TestBeliefMeanUsesFactoredWeights verifies that an object particle attached
+// to a heavily weighted reader dominates the location estimate, which is the
+// semantics of factored weights (Eq. 5).
+func TestBeliefMeanUsesFactoredWeights(t *testing.T) {
+	b := &ObjectBelief{ID: "x", Particles: []ObjectParticle{
+		{Loc: geom.V(0, 0, 0), Reader: 0, normW: 0.5},
+		{Loc: geom.V(0, 10, 0), Reader: 1, normW: 0.5},
+	}}
+	readerNorm := []float64{0.9, 0.1}
+	mean, _ := b.Mean(readerNorm)
+	if mean.Y > 2.0 {
+		t.Errorf("mean %v should be pulled toward the heavily weighted reader's particle", mean)
+	}
+	// With equal reader weights the mean sits in the middle.
+	mid, _ := b.Mean([]float64{0.5, 0.5})
+	if math.Abs(mid.Y-5) > 1e-9 {
+		t.Errorf("mean with equal reader weights = %v", mid)
+	}
+}
+
+// TestMovementReinitialization verifies the Section IV-A handling of objects
+// detected far from where they were last observed: a moderate jump keeps half
+// of the particles, a large jump rebuilds the belief near the new location.
+func TestMovementReinitialization(t *testing.T) {
+	f := newTestFilter(200)
+	firstLoc := geom.V(0, 3, 0)
+	for _, ep := range scanEpochs(firstLoc, "obj", 60) {
+		f.Step(ep, nil)
+	}
+	before, _, _ := f.Estimate("obj")
+	if before.DistXY(firstLoc) > 1.0 {
+		t.Fatalf("pre-move estimate %v too far from %v", before, firstLoc)
+	}
+
+	// The object is suddenly detected from reader positions ~12 ft away
+	// (far beyond twice the reinit distance): the belief must follow.
+	newLoc := geom.V(0, 15, 0)
+	for i, tm := 0, 200; i < 40; i, tm = i+1, tm+1 {
+		ep := stream.NewEpoch(tm)
+		pose := geom.Pose{Pos: geom.V(-1.5, 13.5+float64(i)*0.1, 0), Phi: 0}
+		ep.HasPose = true
+		ep.ReportedPose = pose
+		if pose.Pos.DistXY(newLoc) < 2.5 {
+			ep.Observed["obj"] = true
+		}
+		f.Step(ep, nil)
+	}
+	after, _, _ := f.Estimate("obj")
+	if after.DistXY(newLoc) > 1.5 {
+		t.Errorf("estimate %v did not follow the object to %v", after, newLoc)
+	}
+}

@@ -1,0 +1,159 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// BBox is an axis-aligned three-dimensional bounding box. The zero value is
+// an "empty" box with inverted bounds that behaves as the identity for Union.
+type BBox struct {
+	Min, Max Vec3
+}
+
+// EmptyBBox returns a box that contains nothing and acts as the identity
+// element for Union.
+func EmptyBBox() BBox {
+	inf := math.Inf(1)
+	return BBox{
+		Min: Vec3{inf, inf, inf},
+		Max: Vec3{-inf, -inf, -inf},
+	}
+}
+
+// NewBBox returns the bounding box with the given corner points, swapping
+// coordinates if necessary so that Min <= Max component-wise.
+func NewBBox(a, b Vec3) BBox {
+	return BBox{
+		Min: Vec3{math.Min(a.X, b.X), math.Min(a.Y, b.Y), math.Min(a.Z, b.Z)},
+		Max: Vec3{math.Max(a.X, b.X), math.Max(a.Y, b.Y), math.Max(a.Z, b.Z)},
+	}
+}
+
+// BBoxAround returns a cube of half-width r centered at c. It is used to
+// bound reader sensing regions.
+func BBoxAround(c Vec3, r float64) BBox {
+	if r < 0 {
+		r = -r
+	}
+	return BBox{
+		Min: Vec3{c.X - r, c.Y - r, c.Z - r},
+		Max: Vec3{c.X + r, c.Y + r, c.Z + r},
+	}
+}
+
+// IsEmpty reports whether the box contains no points.
+func (b BBox) IsEmpty() bool {
+	return b.Min.X > b.Max.X || b.Min.Y > b.Max.Y || b.Min.Z > b.Max.Z
+}
+
+// Contains reports whether p lies inside the box (boundaries inclusive).
+func (b BBox) Contains(p Vec3) bool {
+	return p.X >= b.Min.X && p.X <= b.Max.X &&
+		p.Y >= b.Min.Y && p.Y <= b.Max.Y &&
+		p.Z >= b.Min.Z && p.Z <= b.Max.Z
+}
+
+// ContainsBox reports whether o lies entirely inside b.
+func (b BBox) ContainsBox(o BBox) bool {
+	if o.IsEmpty() {
+		return true
+	}
+	if b.IsEmpty() {
+		return false
+	}
+	return b.Contains(o.Min) && b.Contains(o.Max)
+}
+
+// Intersects reports whether the two boxes share any point.
+func (b BBox) Intersects(o BBox) bool {
+	if b.IsEmpty() || o.IsEmpty() {
+		return false
+	}
+	return b.Min.X <= o.Max.X && b.Max.X >= o.Min.X &&
+		b.Min.Y <= o.Max.Y && b.Max.Y >= o.Min.Y &&
+		b.Min.Z <= o.Max.Z && b.Max.Z >= o.Min.Z
+}
+
+// Union returns the smallest box containing both b and o.
+func (b BBox) Union(o BBox) BBox {
+	if b.IsEmpty() {
+		return o
+	}
+	if o.IsEmpty() {
+		return b
+	}
+	return BBox{
+		Min: Vec3{math.Min(b.Min.X, o.Min.X), math.Min(b.Min.Y, o.Min.Y), math.Min(b.Min.Z, o.Min.Z)},
+		Max: Vec3{math.Max(b.Max.X, o.Max.X), math.Max(b.Max.Y, o.Max.Y), math.Max(b.Max.Z, o.Max.Z)},
+	}
+}
+
+// Extend returns the smallest box containing b and the point p.
+func (b BBox) Extend(p Vec3) BBox {
+	return b.Union(BBox{Min: p, Max: p})
+}
+
+// Expand grows the box by m on every side. A negative m shrinks the box.
+func (b BBox) Expand(m float64) BBox {
+	if b.IsEmpty() {
+		return b
+	}
+	return BBox{
+		Min: Vec3{b.Min.X - m, b.Min.Y - m, b.Min.Z - m},
+		Max: Vec3{b.Max.X + m, b.Max.Y + m, b.Max.Z + m},
+	}
+}
+
+// Center returns the center point of the box.
+func (b BBox) Center() Vec3 {
+	return Vec3{(b.Min.X + b.Max.X) / 2, (b.Min.Y + b.Max.Y) / 2, (b.Min.Z + b.Max.Z) / 2}
+}
+
+// Size returns the extent of the box along each axis.
+func (b BBox) Size() Vec3 {
+	if b.IsEmpty() {
+		return Vec3{}
+	}
+	return b.Max.Sub(b.Min)
+}
+
+// Volume returns the volume of the box. An empty box has zero volume.
+func (b BBox) Volume() float64 {
+	if b.IsEmpty() {
+		return 0
+	}
+	s := b.Size()
+	return s.X * s.Y * s.Z
+}
+
+// Margin returns the sum of the box's edge lengths, the quantity the R*-tree
+// split heuristic minimizes.
+func (b BBox) Margin() float64 {
+	if b.IsEmpty() {
+		return 0
+	}
+	s := b.Size()
+	return s.X + s.Y + s.Z
+}
+
+// Enlargement returns how much b's volume grows when extended to cover o.
+func (b BBox) Enlargement(o BBox) float64 {
+	return b.Union(o).Volume() - b.Volume()
+}
+
+// IntersectionVolume returns the volume of the overlap of b and o.
+func (b BBox) IntersectionVolume(o BBox) float64 {
+	if !b.Intersects(o) {
+		return 0
+	}
+	dx := math.Min(b.Max.X, o.Max.X) - math.Max(b.Min.X, o.Min.X)
+	dy := math.Min(b.Max.Y, o.Max.Y) - math.Max(b.Min.Y, o.Min.Y)
+	dz := math.Min(b.Max.Z, o.Max.Z) - math.Max(b.Min.Z, o.Min.Z)
+	return dx * dy * dz
+}
+
+// String implements fmt.Stringer.
+func (b BBox) String() string {
+	return fmt.Sprintf("[%v - %v]", b.Min, b.Max)
+}

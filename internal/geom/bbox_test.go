@@ -1,0 +1,178 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyBBox(t *testing.T) {
+	e := EmptyBBox()
+	if !e.IsEmpty() {
+		t.Error("EmptyBBox is not empty")
+	}
+	if e.Contains(V(0, 0, 0)) {
+		t.Error("empty box contains a point")
+	}
+	if e.Volume() != 0 {
+		t.Errorf("empty box volume = %v", e.Volume())
+	}
+	b := NewBBox(V(0, 0, 0), V(1, 1, 1))
+	if got := e.Union(b); got != b {
+		t.Errorf("empty union b = %v, want %v", got, b)
+	}
+	if got := b.Union(e); got != b {
+		t.Errorf("b union empty = %v, want %v", got, b)
+	}
+}
+
+func TestNewBBoxSwapsCorners(t *testing.T) {
+	b := NewBBox(V(2, -1, 5), V(-2, 1, 0))
+	if b.Min != V(-2, -1, 0) || b.Max != V(2, 1, 5) {
+		t.Errorf("NewBBox did not normalize corners: %v", b)
+	}
+}
+
+func TestBBoxContainsAndIntersects(t *testing.T) {
+	b := NewBBox(V(0, 0, 0), V(2, 2, 2))
+	if !b.Contains(V(1, 1, 1)) || !b.Contains(V(0, 0, 0)) || !b.Contains(V(2, 2, 2)) {
+		t.Error("Contains fails on interior/boundary points")
+	}
+	if b.Contains(V(3, 1, 1)) {
+		t.Error("Contains accepts outside point")
+	}
+	other := NewBBox(V(1, 1, 1), V(3, 3, 3))
+	if !b.Intersects(other) || !other.Intersects(b) {
+		t.Error("overlapping boxes do not intersect")
+	}
+	far := NewBBox(V(5, 5, 5), V(6, 6, 6))
+	if b.Intersects(far) {
+		t.Error("disjoint boxes intersect")
+	}
+	touching := NewBBox(V(2, 0, 0), V(3, 2, 2))
+	if !b.Intersects(touching) {
+		t.Error("touching boxes should intersect (closed boxes)")
+	}
+}
+
+func TestBBoxUnionExtendExpand(t *testing.T) {
+	a := NewBBox(V(0, 0, 0), V(1, 1, 1))
+	b := NewBBox(V(2, 2, 2), V(3, 3, 3))
+	u := a.Union(b)
+	if u.Min != V(0, 0, 0) || u.Max != V(3, 3, 3) {
+		t.Errorf("Union = %v", u)
+	}
+	ext := a.Extend(V(-1, 0.5, 2))
+	if ext.Min != V(-1, 0, 0) || ext.Max != V(1, 1, 2) {
+		t.Errorf("Extend = %v", ext)
+	}
+	exp := a.Expand(1)
+	if exp.Min != V(-1, -1, -1) || exp.Max != V(2, 2, 2) {
+		t.Errorf("Expand = %v", exp)
+	}
+}
+
+func TestBBoxGeometryQuantities(t *testing.T) {
+	b := NewBBox(V(0, 0, 0), V(2, 3, 4))
+	if b.Volume() != 24 {
+		t.Errorf("Volume = %v", b.Volume())
+	}
+	if b.Margin() != 9 {
+		t.Errorf("Margin = %v", b.Margin())
+	}
+	if b.Center() != V(1, 1.5, 2) {
+		t.Errorf("Center = %v", b.Center())
+	}
+	if b.Size() != V(2, 3, 4) {
+		t.Errorf("Size = %v", b.Size())
+	}
+}
+
+func TestBBoxEnlargementAndIntersectionVolume(t *testing.T) {
+	a := NewBBox(V(0, 0, 0), V(1, 1, 1))
+	b := NewBBox(V(0.5, 0.5, 0.5), V(1.5, 1.5, 1.5))
+	if got := a.Enlargement(a); got != 0 {
+		t.Errorf("Enlargement with self = %v", got)
+	}
+	if got := a.IntersectionVolume(b); math.Abs(got-0.125) > 1e-12 {
+		t.Errorf("IntersectionVolume = %v, want 0.125", got)
+	}
+	far := NewBBox(V(10, 10, 10), V(11, 11, 11))
+	if a.IntersectionVolume(far) != 0 {
+		t.Error("disjoint boxes have non-zero intersection volume")
+	}
+}
+
+func TestBBoxAround(t *testing.T) {
+	b := BBoxAround(V(1, 2, 3), 2)
+	if b.Min != V(-1, 0, 1) || b.Max != V(3, 4, 5) {
+		t.Errorf("BBoxAround = %v", b)
+	}
+	neg := BBoxAround(V(0, 0, 0), -1)
+	if neg.IsEmpty() {
+		t.Error("negative radius should be treated as absolute value")
+	}
+	if !BBoxAround(V(0, 0, 0), 0).Contains(V(0, 0, 0)) {
+		t.Error("zero-radius box should contain its center")
+	}
+}
+
+func TestBBoxContainsBox(t *testing.T) {
+	outer := NewBBox(V(0, 0, 0), V(10, 10, 10))
+	inner := NewBBox(V(1, 1, 1), V(2, 2, 2))
+	if !outer.ContainsBox(inner) {
+		t.Error("outer should contain inner")
+	}
+	if inner.ContainsBox(outer) {
+		t.Error("inner should not contain outer")
+	}
+	if !outer.ContainsBox(EmptyBBox()) {
+		t.Error("any box contains the empty box")
+	}
+	if EmptyBBox().ContainsBox(inner) {
+		t.Error("empty box cannot contain a non-empty box")
+	}
+}
+
+// Property: a union contains both of its inputs.
+func TestBBoxUnionContainsInputsProperty(t *testing.T) {
+	f := func(a1, a2, b1, b2 [3]float64) bool {
+		for _, v := range [][3]float64{a1, a2, b1, b2} {
+			for _, x := range v {
+				if math.IsNaN(x) || math.IsInf(x, 0) {
+					return true
+				}
+			}
+		}
+		a := NewBBox(V(a1[0], a1[1], a1[2]), V(a2[0], a2[1], a2[2]))
+		b := NewBBox(V(b1[0], b1[1], b1[2]), V(b2[0], b2[1], b2[2]))
+		u := a.Union(b)
+		return u.ContainsBox(a) && u.ContainsBox(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a box intersects itself and anything it contains.
+func TestBBoxIntersectionReflexiveProperty(t *testing.T) {
+	f := func(a1, a2 [3]float64, px, py, pz float64) bool {
+		for _, x := range append(a1[:], append(a2[:], px, py, pz)...) {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+		}
+		box := NewBBox(V(a1[0], a1[1], a1[2]), V(a2[0], a2[1], a2[2]))
+		if !box.Intersects(box) {
+			return false
+		}
+		p := V(px, py, pz)
+		if box.Contains(p) {
+			return box.Intersects(NewBBox(p, p))
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,143 @@
+// Package geom provides the small geometric vocabulary shared by the RFID
+// inference system: 3-D vectors, reader poses and axis-aligned bounding boxes.
+//
+// All coordinates are expressed in feet in a right-handed frame where shelves
+// run along the y axis, x points away from the shelf face and z is height,
+// matching the warehouse layout used throughout the paper.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec3 is a point or displacement in three-dimensional space.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// V is shorthand for constructing a Vec3.
+func V(x, y, z float64) Vec3 { return Vec3{X: x, Y: y, Z: z} }
+
+// Add returns v + o.
+func (v Vec3) Add(o Vec3) Vec3 { return Vec3{v.X + o.X, v.Y + o.Y, v.Z + o.Z} }
+
+// Sub returns v - o.
+func (v Vec3) Sub(o Vec3) Vec3 { return Vec3{v.X - o.X, v.Y - o.Y, v.Z - o.Z} }
+
+// Scale returns v scaled by s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Dot returns the dot product of v and o.
+func (v Vec3) Dot(o Vec3) float64 { return v.X*o.X + v.Y*o.Y + v.Z*o.Z }
+
+// Norm returns the Euclidean length of v.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// NormSq returns the squared Euclidean length of v.
+func (v Vec3) NormSq() float64 { return v.Dot(v) }
+
+// Dist returns the Euclidean distance between v and o.
+func (v Vec3) Dist(o Vec3) float64 { return v.Sub(o).Norm() }
+
+// DistXY returns the distance between v and o projected onto the XY plane.
+// The paper reports inference error in the XY plane because all tags in the
+// evaluation share the same height.
+func (v Vec3) DistXY(o Vec3) float64 {
+	dx, dy := v.X-o.X, v.Y-o.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Normalize returns the unit vector in the direction of v. The zero vector is
+// returned unchanged.
+func (v Vec3) Normalize() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// Lerp linearly interpolates between v and o: Lerp(0) == v, Lerp(1) == o.
+func (v Vec3) Lerp(o Vec3, t float64) Vec3 {
+	return v.Add(o.Sub(v).Scale(t))
+}
+
+// IsFinite reports whether all components are finite numbers.
+func (v Vec3) IsFinite() bool {
+	return !math.IsNaN(v.X) && !math.IsInf(v.X, 0) &&
+		!math.IsNaN(v.Y) && !math.IsInf(v.Y, 0) &&
+		!math.IsNaN(v.Z) && !math.IsInf(v.Z, 0)
+}
+
+// String implements fmt.Stringer.
+func (v Vec3) String() string {
+	return fmt.Sprintf("(%.3f, %.3f, %.3f)", v.X, v.Y, v.Z)
+}
+
+// Pose is the state of the mobile reader: a position and a heading angle Phi
+// (radians, measured in the XY plane from the +x axis). This corresponds to
+// the reader-location vector R_t in the paper, which carries both position
+// and orientation.
+type Pose struct {
+	Pos Vec3
+	Phi float64
+}
+
+// P constructs a Pose from coordinates and a heading.
+func P(x, y, z, phi float64) Pose { return Pose{Pos: Vec3{x, y, z}, Phi: phi} }
+
+// Heading returns the unit vector the reader antenna is facing, in the XY
+// plane.
+func (p Pose) Heading() Vec3 {
+	return Vec3{X: math.Cos(p.Phi), Y: math.Sin(p.Phi)}
+}
+
+// DistanceAngleTo computes the distance d and the absolute angle theta
+// (radians in [0, pi]) between the reader's facing direction and the
+// direction from the reader to the tag at loc. These are the two features of
+// the parametric sensor model (Eq. 1 of the paper).
+func (p Pose) DistanceAngleTo(loc Vec3) (d, theta float64) {
+	delta := loc.Sub(p.Pos)
+	d = delta.Norm()
+	if d == 0 {
+		return 0, 0
+	}
+	// cos(theta) = delta . [cos phi, sin phi, 0] / |delta|
+	cos := (delta.X*math.Cos(p.Phi) + delta.Y*math.Sin(p.Phi)) / d
+	// Guard against floating point drift outside [-1, 1].
+	if cos > 1 {
+		cos = 1
+	} else if cos < -1 {
+		cos = -1
+	}
+	theta = math.Acos(cos)
+	return d, theta
+}
+
+// String implements fmt.Stringer.
+func (p Pose) String() string {
+	return fmt.Sprintf("pos=%v phi=%.3f", p.Pos, p.Phi)
+}
+
+// NormalizeAngle wraps an angle into (-pi, pi].
+func NormalizeAngle(a float64) float64 {
+	for a > math.Pi {
+		a -= 2 * math.Pi
+	}
+	for a <= -math.Pi {
+		a += 2 * math.Pi
+	}
+	return a
+}
+
+// Clamp restricts x to the interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

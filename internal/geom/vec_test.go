@@ -1,0 +1,186 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVecBasicOps(t *testing.T) {
+	a := V(1, 2, 3)
+	b := V(4, -2, 0.5)
+	if got := a.Add(b); got != V(5, 0, 3.5) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != V(-3, 4, 2.5) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != V(2, 4, 6) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 1*4+2*(-2)+3*0.5 {
+		t.Errorf("Dot = %v", got)
+	}
+}
+
+func TestVecNormAndDist(t *testing.T) {
+	v := V(3, 4, 0)
+	if v.Norm() != 5 {
+		t.Errorf("Norm = %v, want 5", v.Norm())
+	}
+	if v.NormSq() != 25 {
+		t.Errorf("NormSq = %v, want 25", v.NormSq())
+	}
+	if d := V(1, 1, 1).Dist(V(1, 1, 1)); d != 0 {
+		t.Errorf("Dist to self = %v", d)
+	}
+	if d := V(0, 0, 5).DistXY(V(3, 4, -7)); d != 5 {
+		t.Errorf("DistXY ignores z: got %v, want 5", d)
+	}
+}
+
+func TestVecNormalize(t *testing.T) {
+	u := V(10, 0, 0).Normalize()
+	if u != V(1, 0, 0) {
+		t.Errorf("Normalize = %v", u)
+	}
+	z := Vec3{}.Normalize()
+	if z != (Vec3{}) {
+		t.Errorf("Normalize zero = %v, want zero", z)
+	}
+}
+
+func TestVecLerp(t *testing.T) {
+	a, b := V(0, 0, 0), V(2, 4, 6)
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+	if got := a.Lerp(b, 0.5); got != V(1, 2, 3) {
+		t.Errorf("Lerp(0.5) = %v", got)
+	}
+}
+
+func TestVecIsFinite(t *testing.T) {
+	if !V(1, 2, 3).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if (Vec3{X: math.NaN()}).IsFinite() {
+		t.Error("NaN vector reported finite")
+	}
+	if (Vec3{Y: math.Inf(1)}).IsFinite() {
+		t.Error("Inf vector reported finite")
+	}
+}
+
+func TestPoseHeading(t *testing.T) {
+	p := P(0, 0, 0, 0)
+	if h := p.Heading(); !almostEq(h.X, 1, 1e-12) || !almostEq(h.Y, 0, 1e-12) {
+		t.Errorf("heading at phi=0: %v", h)
+	}
+	p = P(0, 0, 0, math.Pi/2)
+	if h := p.Heading(); !almostEq(h.X, 0, 1e-12) || !almostEq(h.Y, 1, 1e-12) {
+		t.Errorf("heading at phi=pi/2: %v", h)
+	}
+}
+
+func TestDistanceAngleTo(t *testing.T) {
+	p := P(0, 0, 0, 0) // at origin, facing +x
+	d, theta := p.DistanceAngleTo(V(2, 0, 0))
+	if !almostEq(d, 2, 1e-12) || !almostEq(theta, 0, 1e-12) {
+		t.Errorf("on-axis target: d=%v theta=%v", d, theta)
+	}
+	d, theta = p.DistanceAngleTo(V(0, 3, 0))
+	if !almostEq(d, 3, 1e-12) || !almostEq(theta, math.Pi/2, 1e-9) {
+		t.Errorf("perpendicular target: d=%v theta=%v", d, theta)
+	}
+	d, theta = p.DistanceAngleTo(V(-1, 0, 0))
+	if !almostEq(theta, math.Pi, 1e-9) {
+		t.Errorf("behind target: theta=%v, want pi", theta)
+	}
+	// Tag at the reader location: zero distance and angle by convention.
+	d, theta = p.DistanceAngleTo(V(0, 0, 0))
+	if d != 0 || theta != 0 {
+		t.Errorf("coincident target: d=%v theta=%v", d, theta)
+	}
+}
+
+func TestNormalizeAngle(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{-math.Pi, math.Pi},
+		{3 * math.Pi, math.Pi},
+		{2 * math.Pi, 0},
+		{-3 * math.Pi / 2, math.Pi / 2},
+	}
+	for _, c := range cases {
+		if got := NormalizeAngle(c.in); !almostEq(got, c.want, 1e-9) {
+			t.Errorf("NormalizeAngle(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Error("Clamp misbehaves")
+	}
+}
+
+// reasonable reports whether all values are finite and small enough that the
+// arithmetic under test cannot overflow; property tests skip other inputs.
+func reasonable(vals ...float64) bool {
+	for _, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: the triangle inequality holds for Dist.
+func TestDistTriangleInequalityProperty(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz, cx, cy, cz float64) bool {
+		if !reasonable(ax, ay, az, bx, by, bz, cx, cy, cz) {
+			return true
+		}
+		a, b, c := V(ax, ay, az), V(bx, by, bz), V(cx, cy, cz)
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-6*(1+a.Norm()+b.Norm()+c.Norm())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Add and Sub are inverse operations.
+func TestAddSubInverseProperty(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		if !reasonable(ax, ay, az, bx, by, bz) {
+			return true
+		}
+		a, b := V(ax, ay, az), V(bx, by, bz)
+		got := a.Add(b).Sub(b)
+		return got.Dist(a) <= 1e-6*(1+a.Norm()+b.Norm())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DistanceAngleTo returns theta in [0, pi] and d >= 0.
+func TestDistanceAngleRangeProperty(t *testing.T) {
+	f := func(px, py, phi, tx, ty float64) bool {
+		if !reasonable(px, py, phi, tx, ty) {
+			return true
+		}
+		d, theta := P(px, py, 0, phi).DistanceAngleTo(V(tx, ty, 0))
+		return d >= 0 && theta >= 0 && theta <= math.Pi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,102 @@
+package model
+
+import (
+	"repro/internal/geom"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// MotionModel is the reader motion model of Section III-A: the reader moves
+// with a roughly constant velocity, so the new location is the old location
+// plus the average velocity Delta plus Gaussian noise with diagonal
+// covariance Sigma_m. Heading evolves with small Gaussian noise as well.
+//
+//	R_t = R_{t-1} + Delta + eps,   eps ~ N(0, Sigma_m)
+type MotionModel struct {
+	// Velocity is the average per-epoch displacement Delta.
+	Velocity geom.Vec3
+	// Noise is the per-axis standard deviation of the motion noise
+	// (the square root of the diagonal of Sigma_m).
+	Noise geom.Vec3
+	// PhiNoise is the standard deviation of the per-epoch heading change.
+	PhiNoise float64
+	// PhiVelocity is the average per-epoch heading change (zero for a reader
+	// moving in a straight line).
+	PhiVelocity float64
+}
+
+// WithVelocity returns a copy of the motion model whose average displacement
+// is replaced by v. The paper models the reader as moving with "a constant
+// velocity that varies somewhat over time"; the filters realize the varying
+// part by substituting the displacement observed between consecutive reported
+// locations, falling back to the learned average when no reports arrive.
+func (m MotionModel) WithVelocity(v geom.Vec3) MotionModel {
+	m.Velocity = v
+	return m
+}
+
+// Sample draws the next reader pose given the previous pose.
+func (m MotionModel) Sample(prev geom.Pose, src *rng.Source) geom.Pose {
+	noise := src.NormalVec(geom.Vec3{}, m.Noise)
+	next := geom.Pose{
+		Pos: prev.Pos.Add(m.Velocity).Add(noise),
+		Phi: geom.NormalizeAngle(prev.Phi + m.PhiVelocity + src.Normal(0, m.PhiNoise)),
+	}
+	return next
+}
+
+// LogProb returns log p(next | prev) under the motion model. The heading term
+// is included only when PhiNoise is positive.
+func (m MotionModel) LogProb(prev, next geom.Pose) float64 {
+	mean := prev.Pos.Add(m.Velocity)
+	g := stats.DiagGaussian3{Mu: mean, Sigma: m.Noise}
+	lp := g.LogPDF(next.Pos)
+	if m.PhiNoise > 0 {
+		dphi := geom.NormalizeAngle(next.Phi - prev.Phi - m.PhiVelocity)
+		lp += stats.Gaussian1D{Mu: 0, Sigma: m.PhiNoise}.LogPDF(dphi)
+	}
+	return lp
+}
+
+// LocationSensingModel is the reader location sensing model of Section III-A:
+// the reported reader location equals the true location plus Gaussian noise
+// with mean mu_s (systematic bias, e.g. dead-reckoning drift) and diagonal
+// covariance Sigma_s.
+//
+//	R̂_t = R_t + b,   b ~ N(mu_s, Sigma_s)
+type LocationSensingModel struct {
+	// Bias is the systematic error mu_s.
+	Bias geom.Vec3
+	// Noise is the per-axis standard deviation (square root of the diagonal
+	// of Sigma_s).
+	Noise geom.Vec3
+}
+
+// Sample draws a reported location given the true pose.
+func (m LocationSensingModel) Sample(truePose geom.Pose, src *rng.Source) geom.Vec3 {
+	return truePose.Pos.Add(m.Bias).Add(src.NormalVec(geom.Vec3{}, m.Noise))
+}
+
+// LogProb returns log p(reported | true pose).
+func (m LocationSensingModel) LogProb(truePose geom.Pose, reported geom.Vec3) float64 {
+	g := stats.DiagGaussian3{Mu: truePose.Pos.Add(m.Bias), Sigma: m.Noise}
+	return g.LogPDF(reported)
+}
+
+// ObjectModel is the object location model of Section III-A: objects are
+// stationary but change location with probability MoveProb per epoch, in
+// which case the new location is uniform across all shelves. The model is
+// used as the proposal for object particles; the new location is ultimately
+// pinned down by subsequent readings.
+type ObjectModel struct {
+	// MoveProb is the per-epoch probability alpha that an object moves.
+	MoveProb float64
+}
+
+// Sample draws the object's next location given its previous location.
+func (m ObjectModel) Sample(prev geom.Vec3, w *World, src *rng.Source) geom.Vec3 {
+	if m.MoveProb > 0 && src.Bernoulli(m.MoveProb) && w != nil && len(w.Shelves) > 0 {
+		return w.UniformOnShelves(src)
+	}
+	return prev
+}

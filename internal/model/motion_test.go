@@ -1,0 +1,106 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+func TestMotionModelSampleMoments(t *testing.T) {
+	m := MotionModel{Velocity: geom.V(0, 0.1, 0), Noise: geom.V(0.01, 0.02, 0), PhiNoise: 0.01}
+	src := rng.New(5)
+	prev := geom.P(0, 0, 0, 0)
+	n := 5000
+	var sumY, sumYSq float64
+	for i := 0; i < n; i++ {
+		next := m.Sample(prev, src)
+		dy := next.Pos.Y - prev.Pos.Y
+		sumY += dy
+		sumYSq += dy * dy
+	}
+	mean := sumY / float64(n)
+	sd := math.Sqrt(sumYSq/float64(n) - mean*mean)
+	if math.Abs(mean-0.1) > 0.005 {
+		t.Errorf("mean displacement = %v, want ~0.1", mean)
+	}
+	if math.Abs(sd-0.02) > 0.005 {
+		t.Errorf("displacement std = %v, want ~0.02", sd)
+	}
+}
+
+func TestMotionModelLogProb(t *testing.T) {
+	m := MotionModel{Velocity: geom.V(0, 0.1, 0), Noise: geom.V(0.01, 0.01, 0.01), PhiNoise: 0.01}
+	prev := geom.P(0, 0, 0, 0)
+	expected := geom.P(0, 0.1, 0, 0)
+	off := geom.P(0, 0.5, 0, 0)
+	if m.LogProb(prev, expected) <= m.LogProb(prev, off) {
+		t.Error("expected displacement should be more likely than a large jump")
+	}
+}
+
+func TestMotionModelWithVelocity(t *testing.T) {
+	m := MotionModel{Velocity: geom.V(0, 0.1, 0), Noise: geom.V(0.01, 0.01, 0)}
+	v := geom.V(0, -0.2, 0)
+	m2 := m.WithVelocity(v)
+	if m2.Velocity != v {
+		t.Error("WithVelocity did not replace the velocity")
+	}
+	if m.Velocity.Y != 0.1 {
+		t.Error("WithVelocity mutated the receiver")
+	}
+	if m2.Noise != m.Noise {
+		t.Error("WithVelocity changed the noise")
+	}
+}
+
+func TestLocationSensingModel(t *testing.T) {
+	s := LocationSensingModel{Bias: geom.V(0, 0.5, 0), Noise: geom.V(0.05, 0.05, 0.01)}
+	src := rng.New(7)
+	truePose := geom.P(1, 2, 0, 0)
+	n := 5000
+	var sum geom.Vec3
+	for i := 0; i < n; i++ {
+		sum = sum.Add(s.Sample(truePose, src))
+	}
+	mean := sum.Scale(1 / float64(n))
+	if math.Abs(mean.Y-2.5) > 0.01 {
+		t.Errorf("mean reported y = %v, want ~2.5 (true + bias)", mean.Y)
+	}
+	// The true location plus the bias is the most likely report.
+	if s.LogProb(truePose, geom.V(1, 2.5, 0)) <= s.LogProb(truePose, geom.V(1, 2.0, 0)) {
+		t.Error("biased report should be more likely than the unbiased one")
+	}
+}
+
+func TestObjectModelSample(t *testing.T) {
+	w := twoShelfWorld()
+	src := rng.New(9)
+	stay := ObjectModel{MoveProb: 0}
+	loc := geom.V(0.5, 5, 0)
+	for i := 0; i < 100; i++ {
+		if stay.Sample(loc, w, src) != loc {
+			t.Fatal("object with MoveProb=0 moved")
+		}
+	}
+	always := ObjectModel{MoveProb: 1}
+	moved := 0
+	for i := 0; i < 200; i++ {
+		next := always.Sample(loc, w, src)
+		if next != loc {
+			moved++
+			// New locations must lie on a shelf.
+			if !w.Shelves[0].Contains(next) && !w.Shelves[1].Contains(next) {
+				t.Fatalf("relocated object is off-shelf: %v", next)
+			}
+		}
+	}
+	if moved < 190 {
+		t.Errorf("object with MoveProb=1 moved only %d/200 times", moved)
+	}
+	// Without a world the object stays put even when it "moves".
+	if always.Sample(loc, nil, src) != loc {
+		t.Error("object moved with no world to move within")
+	}
+}

@@ -1,0 +1,185 @@
+// Package model defines the probabilistic data-generation model of Section
+// III: the description of the physical world (shelves, shelf tags, objects),
+// the reader motion model, the reader location sensing model, the object
+// location model and the parametric sensor model, combined into the dynamic
+// Bayesian network of Fig. 1.
+package model
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+	"repro/internal/sensor"
+	"repro/internal/stream"
+)
+
+// Shelf is one fixed shelf in the storage area. Objects rest somewhere within
+// the shelf's region.
+type Shelf struct {
+	ID     string
+	Region geom.BBox
+}
+
+// Contains reports whether a point lies on the shelf.
+func (s Shelf) Contains(p geom.Vec3) bool { return s.Region.Contains(p) }
+
+// World describes the static part of the physical environment: the shelves
+// and the shelf tags whose exact locations are known a priori. Object tag
+// locations are unknown and are what inference estimates.
+type World struct {
+	Shelves []Shelf
+	// ShelfTags maps a shelf tag id to its known, fixed location S_i.
+	ShelfTags map[stream.TagID]geom.Vec3
+}
+
+// NewWorld returns an empty world.
+func NewWorld() *World {
+	return &World{ShelfTags: make(map[stream.TagID]geom.Vec3)}
+}
+
+// AddShelf appends a shelf to the world.
+func (w *World) AddShelf(s Shelf) { w.Shelves = append(w.Shelves, s) }
+
+// AddShelfTag registers a shelf tag with a known location.
+func (w *World) AddShelfTag(id stream.TagID, loc geom.Vec3) {
+	if w.ShelfTags == nil {
+		w.ShelfTags = make(map[stream.TagID]geom.Vec3)
+	}
+	w.ShelfTags[id] = loc
+}
+
+// IsShelfTag reports whether the id belongs to a shelf tag.
+func (w *World) IsShelfTag(id stream.TagID) bool {
+	_, ok := w.ShelfTags[id]
+	return ok
+}
+
+// ShelfTagIDs returns the shelf tag ids in deterministic order.
+func (w *World) ShelfTagIDs() []stream.TagID {
+	out := make([]stream.TagID, 0, len(w.ShelfTags))
+	for id := range w.ShelfTags {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ShelfBBox returns the union of all shelf regions. It bounds the area where
+// objects can legally be located and is used both by the object location
+// model (uniform relocation across shelves) and by the uniform baseline.
+func (w *World) ShelfBBox() geom.BBox {
+	b := geom.EmptyBBox()
+	for _, s := range w.Shelves {
+		b = b.Union(s.Region)
+	}
+	return b
+}
+
+// UniformOnShelves draws a point uniformly at random across the shelf
+// regions, weighting each shelf by its volume (or area for flat shelves).
+func (w *World) UniformOnShelves(src *rng.Source) geom.Vec3 {
+	if len(w.Shelves) == 0 {
+		return geom.Vec3{}
+	}
+	weights := make([]float64, len(w.Shelves))
+	for i, s := range w.Shelves {
+		v := s.Region.Volume()
+		if v <= 0 {
+			// Degenerate (flat or linear) shelves get weight from their
+			// largest face so they are still selectable.
+			sz := s.Region.Size()
+			v = sz.X*sz.Y + sz.Y*sz.Z + sz.X*sz.Z
+			if v <= 0 {
+				v = 1
+			}
+		}
+		weights[i] = v
+	}
+	idx := src.Categorical(weights)
+	return src.UniformInBox(w.Shelves[idx].Region)
+}
+
+// NearestShelf returns the shelf whose region center is closest to p, or
+// false when the world has no shelves.
+func (w *World) NearestShelf(p geom.Vec3) (Shelf, bool) {
+	if len(w.Shelves) == 0 {
+		return Shelf{}, false
+	}
+	best := 0
+	bestD := p.Dist(w.Shelves[0].Region.Center())
+	for i := 1; i < len(w.Shelves); i++ {
+		d := p.Dist(w.Shelves[i].Region.Center())
+		if d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return w.Shelves[best], true
+}
+
+// ClampToShelves projects p onto the nearest shelf region; points already on
+// a shelf are returned unchanged. This keeps particle hypotheses physically
+// plausible.
+func (w *World) ClampToShelves(p geom.Vec3) geom.Vec3 {
+	for _, s := range w.Shelves {
+		if s.Contains(p) {
+			return p
+		}
+	}
+	sh, ok := w.NearestShelf(p)
+	if !ok {
+		return p
+	}
+	r := sh.Region
+	return geom.Vec3{
+		X: geom.Clamp(p.X, r.Min.X, r.Max.X),
+		Y: geom.Clamp(p.Y, r.Min.Y, r.Max.Y),
+		Z: geom.Clamp(p.Z, r.Min.Z, r.Max.Z),
+	}
+}
+
+// Validate checks the world for obvious configuration errors.
+func (w *World) Validate() error {
+	if len(w.Shelves) == 0 {
+		return fmt.Errorf("model: world has no shelves")
+	}
+	seen := make(map[string]bool, len(w.Shelves))
+	for _, s := range w.Shelves {
+		if s.Region.IsEmpty() {
+			return fmt.Errorf("model: shelf %q has an empty region", s.ID)
+		}
+		if seen[s.ID] {
+			return fmt.Errorf("model: duplicate shelf id %q", s.ID)
+		}
+		seen[s.ID] = true
+	}
+	for id, loc := range w.ShelfTags {
+		if !loc.IsFinite() {
+			return fmt.Errorf("model: shelf tag %q has a non-finite location", id)
+		}
+	}
+	return nil
+}
+
+// Params bundles all learned / configured parameters of the data-generation
+// model: the sensor model coefficients, the reader motion model, the reader
+// location sensing model and the object location model. This is exactly the
+// parameter set that Section III-C estimates with EM.
+type Params struct {
+	Sensor  sensor.Model
+	Motion  MotionModel
+	Sensing LocationSensingModel
+	Object  ObjectModel
+}
+
+// DefaultParams returns a sensible default parameter set for a robot-mounted
+// reader that advances 0.1 ft per one-second epoch along the y axis.
+func DefaultParams() Params {
+	return Params{
+		Sensor:  sensor.DefaultModel(),
+		Motion:  MotionModel{Velocity: geom.Vec3{Y: 0.1}, Noise: geom.Vec3{X: 0.01, Y: 0.01, Z: 0.001}, PhiNoise: 0.005},
+		Sensing: LocationSensingModel{Bias: geom.Vec3{}, Noise: geom.Vec3{X: 0.01, Y: 0.01, Z: 0.001}},
+		Object:  ObjectModel{MoveProb: 1e-5},
+	}
+}

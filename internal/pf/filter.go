@@ -1,0 +1,316 @@
+// Package pf implements the basic (unfactorized) particle filter of Section
+// IV-A: every particle carries a joint hypothesis about the reader pose and
+// the locations of all tracked objects. It exists primarily as the baseline
+// for the scalability experiments (Fig. 5(i)/(j)); the production engine uses
+// the factored filter in package factored.
+package pf
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/sensor"
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+// Config configures the basic particle filter.
+type Config struct {
+	// NumParticles is the number of joint particles J.
+	NumParticles int
+	// Params are the model parameters (motion, sensing, object dynamics).
+	Params model.Params
+	// Sensor is the observation model used for weighting. It is typically
+	// sensor.ModelProfile{Model: Params.Sensor} but may be any profile.
+	Sensor sensor.Profile
+	// World provides shelf geometry and shelf-tag locations.
+	World *model.World
+	// InitConeHalfAngle and InitConeRange define the sensor-model-based
+	// initialization cone for newly seen objects; the range should be an
+	// overestimate of the reader's true range.
+	InitConeHalfAngle float64
+	InitConeRange     float64
+	// ResampleThreshold is the effective-sample-size fraction below which
+	// resampling is triggered (default 0.5).
+	ResampleThreshold float64
+	// Seed seeds the filter's random source.
+	Seed int64
+}
+
+func (c *Config) applyDefaults() {
+	if c.NumParticles <= 0 {
+		c.NumParticles = 1000
+	}
+	if c.Sensor == nil {
+		c.Sensor = sensor.ModelProfile{Model: c.Params.Sensor}
+	}
+	if c.InitConeHalfAngle <= 0 {
+		// Match the factored filter: cover everywhere the sensor can
+		// plausibly read from, with a margin.
+		c.InitConeHalfAngle = sensor.EffectiveHalfAngle(c.Sensor, 0.05) + 10*math.Pi/180
+		if c.InitConeHalfAngle < 35*math.Pi/180 {
+			c.InitConeHalfAngle = 35 * math.Pi / 180
+		}
+		if c.InitConeHalfAngle > math.Pi/2 {
+			c.InitConeHalfAngle = math.Pi / 2
+		}
+	}
+	if c.InitConeRange <= 0 {
+		c.InitConeRange = c.Sensor.MaxRange() * 1.25
+		if c.InitConeRange <= 0 {
+			c.InitConeRange = 4
+		}
+	}
+	if c.ResampleThreshold <= 0 {
+		c.ResampleThreshold = 0.5
+	}
+}
+
+// Particle is one joint hypothesis about the hidden state: the reader pose
+// and the location of every tracked object.
+type Particle struct {
+	Reader  geom.Pose
+	Objects []geom.Vec3 // parallel to Filter.objectIDs
+}
+
+// Filter is the basic particle filter.
+type Filter struct {
+	cfg       Config
+	src       *rng.Source
+	objectIDs []stream.TagID
+	objIndex  map[stream.TagID]int
+	particles []Particle
+	logW      []float64
+	normW     []float64
+	started   bool
+	epoch     int
+
+	prevReported geom.Vec3
+	hasReported  bool
+	lastDrift    geom.Vec3
+	hasDrift     bool
+}
+
+// New returns a basic particle filter.
+func New(cfg Config) *Filter {
+	cfg.applyDefaults()
+	return &Filter{
+		cfg:      cfg,
+		src:      rng.New(cfg.Seed),
+		objIndex: make(map[stream.TagID]int),
+	}
+}
+
+// NumParticles returns the configured particle count.
+func (f *Filter) NumParticles() int { return f.cfg.NumParticles }
+
+// TrackedObjects returns the ids of all objects the filter has seen so far,
+// in first-seen order.
+func (f *Filter) TrackedObjects() []stream.TagID {
+	out := make([]stream.TagID, len(f.objectIDs))
+	copy(out, f.objectIDs)
+	return out
+}
+
+func (f *Filter) ensureStarted(ep *stream.Epoch) {
+	if f.started {
+		return
+	}
+	f.started = true
+	f.particles = make([]Particle, f.cfg.NumParticles)
+	f.logW = make([]float64, f.cfg.NumParticles)
+	f.normW = make([]float64, f.cfg.NumParticles)
+	var base geom.Pose
+	if ep.HasPose {
+		base = ep.ReportedPose
+	}
+	spread := f.cfg.Params.Sensing.Noise.Add(geom.Vec3{X: 0.05, Y: 0.05, Z: 0.01})
+	for j := range f.particles {
+		f.particles[j].Reader = geom.Pose{
+			Pos: base.Pos.Sub(f.cfg.Params.Sensing.Bias).Add(f.src.NormalVec(geom.Vec3{}, spread)),
+			Phi: base.Phi + f.src.Normal(0, f.cfg.Params.Motion.PhiNoise+0.01),
+		}
+		f.normW[j] = 1 / float64(f.cfg.NumParticles)
+	}
+}
+
+// addObject registers a newly observed object and initializes its location
+// hypothesis in every particle from the initialization cone rooted at that
+// particle's reader pose.
+func (f *Filter) addObject(id stream.TagID) {
+	idx := len(f.objectIDs)
+	f.objectIDs = append(f.objectIDs, id)
+	f.objIndex[id] = idx
+	for j := range f.particles {
+		loc := f.src.UniformInCone(f.particles[j].Reader, f.cfg.InitConeHalfAngle, f.cfg.InitConeRange)
+		if f.cfg.World != nil && len(f.cfg.World.Shelves) > 0 {
+			loc = f.cfg.World.ClampToShelves(loc)
+		}
+		f.particles[j].Objects = append(f.particles[j].Objects, loc)
+	}
+}
+
+// Step advances the filter by one epoch: proposal sampling, weighting against
+// the epoch's observations and (if degeneracy demands it) resampling.
+func (f *Filter) Step(ep *stream.Epoch) {
+	f.ensureStarted(ep)
+	f.epoch = ep.Time
+
+	// Register newly seen objects.
+	for _, id := range ep.ObservedList() {
+		if f.cfg.World != nil && f.cfg.World.IsShelfTag(id) {
+			continue
+		}
+		if _, ok := f.objIndex[id]; !ok {
+			f.addObject(id)
+		}
+	}
+
+	shelfIDs := f.relevantShelfTags(ep)
+	motion := f.effectiveMotion(ep)
+
+	// Sampling and weighting.
+	for j := range f.particles {
+		p := &f.particles[j]
+		p.Reader = motion.Sample(p.Reader, f.src)
+		if ep.HasPose {
+			// Track the reported heading directly (see the factored filter).
+			p.Reader.Phi = ep.ReportedPose.Phi + f.src.Normal(0, motion.PhiNoise)
+		}
+		for k := range p.Objects {
+			p.Objects[k] = f.cfg.Params.Object.Sample(p.Objects[k], f.cfg.World, f.src)
+		}
+
+		lw := 0.0
+		if ep.HasPose {
+			lw += f.cfg.Params.Sensing.LogProb(p.Reader, ep.ReportedPose.Pos)
+		}
+		for _, sid := range shelfIDs {
+			loc := f.cfg.World.ShelfTags[sid]
+			lw += logObs(f.cfg.Sensor, ep.Contains(sid), p.Reader, loc)
+		}
+		for k, id := range f.objectIDs {
+			lw += logObs(f.cfg.Sensor, ep.Contains(id), p.Reader, p.Objects[k])
+		}
+		f.logW[j] += lw
+	}
+
+	// Normalize and resample when the effective sample size collapses.
+	copy(f.normW, f.logW)
+	stats.NormalizeLogWeights(f.normW)
+	ess := stats.EffectiveSampleSize(f.normW)
+	if ess < f.cfg.ResampleThreshold*float64(len(f.particles)) {
+		f.resample()
+	}
+}
+
+// effectiveMotion returns the motion model for the current epoch, taking the
+// average displacement from consecutive reported locations when available
+// (same data-driven velocity used by the factored filter).
+func (f *Filter) effectiveMotion(ep *stream.Epoch) model.MotionModel {
+	motion := f.cfg.Params.Motion
+	if ep.HasPose {
+		if f.hasReported {
+			drift := ep.ReportedPose.Pos.Sub(f.prevReported)
+			motion = motion.WithVelocity(drift)
+			f.lastDrift = drift
+			f.hasDrift = true
+		}
+		f.prevReported = ep.ReportedPose.Pos
+		f.hasReported = true
+	} else if f.hasDrift {
+		motion = motion.WithVelocity(f.lastDrift)
+	}
+	return motion
+}
+
+// relevantShelfTags returns the shelf tags worth weighting this epoch: those
+// observed, plus those within sensing range of the reported reader location.
+func (f *Filter) relevantShelfTags(ep *stream.Epoch) []stream.TagID {
+	if f.cfg.World == nil {
+		return nil
+	}
+	maxR := f.cfg.Sensor.MaxRange() + 1
+	var out []stream.TagID
+	for _, id := range f.cfg.World.ShelfTagIDs() {
+		if ep.Contains(id) {
+			out = append(out, id)
+			continue
+		}
+		if ep.HasPose && f.cfg.World.ShelfTags[id].Dist(ep.ReportedPose.Pos) <= maxR {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func (f *Filter) resample() {
+	idx := f.src.Systematic(f.normW, len(f.particles))
+	sort.Ints(idx)
+	newParticles := make([]Particle, len(f.particles))
+	for i, j := range idx {
+		src := f.particles[j]
+		np := Particle{Reader: src.Reader, Objects: make([]geom.Vec3, len(src.Objects))}
+		copy(np.Objects, src.Objects)
+		newParticles[i] = np
+	}
+	f.particles = newParticles
+	for j := range f.logW {
+		f.logW[j] = 0
+		f.normW[j] = 1 / float64(len(f.particles))
+	}
+}
+
+// Estimate returns the posterior mean and per-axis variance of the object's
+// location, or ok == false for unknown objects.
+func (f *Filter) Estimate(id stream.TagID) (mean geom.Vec3, variance geom.Vec3, ok bool) {
+	k, found := f.objIndex[id]
+	if !found {
+		return geom.Vec3{}, geom.Vec3{}, false
+	}
+	locs := make([]geom.Vec3, len(f.particles))
+	for j := range f.particles {
+		locs[j] = f.particles[j].Objects[k]
+	}
+	m := stats.WeightedMeanVec(locs, f.normW)
+	cov := stats.WeightedCovariance(locs, f.normW, m)
+	return m, geom.Vec3{X: cov[0][0], Y: cov[1][1], Z: cov[2][2]}, true
+}
+
+// ReaderEstimate returns the posterior mean of the reader pose.
+func (f *Filter) ReaderEstimate() geom.Pose {
+	if !f.started {
+		return geom.Pose{}
+	}
+	locs := make([]geom.Vec3, len(f.particles))
+	phiSin, phiCos := 0.0, 0.0
+	for j := range f.particles {
+		locs[j] = f.particles[j].Reader.Pos
+		w := f.normW[j]
+		phiSin += w * math.Sin(f.particles[j].Reader.Phi)
+		phiCos += w * math.Cos(f.particles[j].Reader.Phi)
+	}
+	return geom.Pose{
+		Pos: stats.WeightedMeanVec(locs, f.normW),
+		Phi: math.Atan2(phiSin, phiCos),
+	}
+}
+
+func logObs(s sensor.Profile, observed bool, pose geom.Pose, loc geom.Vec3) float64 {
+	pr := s.DetectProb(pose, loc)
+	const floor = 1e-9
+	if observed {
+		if pr < floor {
+			pr = floor
+		}
+		return math.Log(pr)
+	}
+	q := 1 - pr
+	if q < floor {
+		q = floor
+	}
+	return math.Log(q)
+}

@@ -1,0 +1,125 @@
+package pf
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/model"
+	"repro/internal/sensor"
+	"repro/internal/stream"
+)
+
+func testWorld() *model.World {
+	w := model.NewWorld()
+	w.AddShelf(model.Shelf{
+		ID:     "shelf",
+		Region: geom.NewBBox(geom.V(0, 0, 0), geom.V(0.5, 20, 0)),
+	})
+	w.AddShelfTag("shelf-000", geom.V(0, 5, 0))
+	return w
+}
+
+func testParams() model.Params {
+	p := model.DefaultParams()
+	p.Sensor = sensor.Model{A0: 4.0, A1: -0.8, A2: -0.5, B1: -1.0, B2: -2.0, MaxRange: 3.5}
+	p.Motion = model.MotionModel{Velocity: geom.V(0, 0.1, 0), Noise: geom.V(0.02, 0.02, 0.001), PhiNoise: 0.005}
+	p.Sensing = model.LocationSensingModel{Noise: geom.V(0.02, 0.02, 0.001)}
+	return p
+}
+
+func scanEpochs(objLoc geom.Vec3, id stream.TagID, n int) []*stream.Epoch {
+	profile := sensor.DefaultConeProfile()
+	var epochs []*stream.Epoch
+	for t := 0; t < n; t++ {
+		ep := stream.NewEpoch(t)
+		pose := geom.Pose{Pos: geom.V(-1.5, float64(t)*0.1, 0), Phi: 0}
+		ep.HasPose = true
+		ep.ReportedPose = pose
+		if profile.DetectProb(pose, objLoc) >= 0.99 {
+			ep.Observed[id] = true
+		}
+		if profile.DetectProb(pose, geom.V(0, 5, 0)) >= 0.99 {
+			ep.Observed["shelf-000"] = true
+		}
+		epochs = append(epochs, ep)
+	}
+	return epochs
+}
+
+func TestBasicFilterConverges(t *testing.T) {
+	f := New(Config{
+		NumParticles: 2000,
+		Params:       testParams(),
+		World:        testWorld(),
+		Seed:         7,
+	})
+	objLoc := geom.V(0, 5.5, 0)
+	for _, ep := range scanEpochs(objLoc, "obj", 110) {
+		f.Step(ep)
+	}
+	est, variance, ok := f.Estimate("obj")
+	if !ok {
+		t.Fatal("object not tracked")
+	}
+	if d := est.DistXY(objLoc); d > 0.8 {
+		t.Errorf("estimate %v is %v ft from %v", est, d, objLoc)
+	}
+	if variance.X < 0 || variance.Y < 0 {
+		t.Error("negative variance")
+	}
+	re := f.ReaderEstimate()
+	if re.Pos.DistXY(geom.V(-1.5, 10.9, 0)) > 0.5 {
+		t.Errorf("reader estimate %v", re.Pos)
+	}
+}
+
+func TestBasicFilterTracksMultipleObjects(t *testing.T) {
+	f := New(Config{NumParticles: 1500, Params: testParams(), World: testWorld(), Seed: 9})
+	profile := sensor.DefaultConeProfile()
+	locA, locB := geom.V(0, 3, 0), geom.V(0, 8, 0)
+	for tm := 0; tm < 110; tm++ {
+		ep := stream.NewEpoch(tm)
+		pose := geom.Pose{Pos: geom.V(-1.5, float64(tm)*0.1, 0), Phi: 0}
+		ep.HasPose = true
+		ep.ReportedPose = pose
+		if profile.DetectProb(pose, locA) >= 0.99 {
+			ep.Observed["a"] = true
+		}
+		if profile.DetectProb(pose, locB) >= 0.99 {
+			ep.Observed["b"] = true
+		}
+		f.Step(ep)
+	}
+	if len(f.TrackedObjects()) != 2 {
+		t.Fatalf("tracked %v", f.TrackedObjects())
+	}
+	estA, _, _ := f.Estimate("a")
+	estB, _, _ := f.Estimate("b")
+	if estA.DistXY(locA) > 1.0 || estB.DistXY(locB) > 1.0 {
+		t.Errorf("estimates too far: a=%v (true %v), b=%v (true %v)", estA, locA, estB, locB)
+	}
+}
+
+func TestBasicFilterUnknownObject(t *testing.T) {
+	f := New(Config{NumParticles: 100, Params: testParams(), World: testWorld(), Seed: 1})
+	if _, _, ok := f.Estimate("nothing"); ok {
+		t.Error("estimate for unknown object should fail")
+	}
+	if f.NumParticles() != 100 {
+		t.Errorf("NumParticles = %d", f.NumParticles())
+	}
+}
+
+func TestBasicFilterDefaults(t *testing.T) {
+	f := New(Config{Params: testParams(), World: testWorld()})
+	if f.NumParticles() != 1000 {
+		t.Errorf("default particle count = %d, want 1000", f.NumParticles())
+	}
+	// Stepping with an empty epoch must not panic and must leave the filter
+	// usable.
+	ep := stream.NewEpoch(0)
+	f.Step(ep)
+	if got := f.ReaderEstimate(); got.Pos.Norm() > 1 {
+		t.Errorf("reader estimate with no information = %v", got)
+	}
+}

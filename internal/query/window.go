@@ -1,0 +1,129 @@
+// Package query implements the continuous-query processing layer of Section
+// II-B: CQL-style windows and stream operators over the clean event stream
+// produced by the inference engine, plus the two example queries of the paper
+// (the per-object location-update query and the fire-code weight-density
+// query). The operators work in a streaming fashion: each pushed event may
+// emit zero or more results immediately.
+package query
+
+import (
+	"sort"
+
+	"repro/internal/stream"
+)
+
+// RowWindow implements a CQL partitioned row window:
+// "EventStream [Partition By tag_id Rows N]" keeps the last N events of each
+// tag.
+type RowWindow struct {
+	rows int
+	byID map[stream.TagID][]stream.Event
+}
+
+// NewRowWindow returns a partition-by row window keeping the last rows events
+// per tag (rows < 1 is treated as 1).
+func NewRowWindow(rows int) *RowWindow {
+	if rows < 1 {
+		rows = 1
+	}
+	return &RowWindow{rows: rows, byID: make(map[stream.TagID][]stream.Event)}
+}
+
+// Push inserts an event and returns the event it displaced for that tag, if
+// any.
+func (w *RowWindow) Push(ev stream.Event) (stream.Event, bool) {
+	list := w.byID[ev.Tag]
+	list = append(list, ev)
+	var evicted stream.Event
+	hadEvicted := false
+	if len(list) > w.rows {
+		evicted = list[0]
+		hadEvicted = true
+		list = list[1:]
+	}
+	w.byID[ev.Tag] = list
+	return evicted, hadEvicted
+}
+
+// Latest returns the most recent event for a tag.
+func (w *RowWindow) Latest(tag stream.TagID) (stream.Event, bool) {
+	list := w.byID[tag]
+	if len(list) == 0 {
+		return stream.Event{}, false
+	}
+	return list[len(list)-1], true
+}
+
+// Previous returns the event before the most recent one for a tag (only
+// meaningful for windows with rows >= 2).
+func (w *RowWindow) Previous(tag stream.TagID) (stream.Event, bool) {
+	list := w.byID[tag]
+	if len(list) < 2 {
+		return stream.Event{}, false
+	}
+	return list[len(list)-2], true
+}
+
+// Tags returns the tags currently present in the window, sorted.
+func (w *RowWindow) Tags() []stream.TagID {
+	out := make([]stream.TagID, 0, len(w.byID))
+	for id := range w.byID {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TimeWindow implements a CQL range window: "[Range N seconds]" retains the
+// events whose time lies within the last N epochs of the current time.
+type TimeWindow struct {
+	rangeEpochs int
+	events      []stream.Event
+}
+
+// NewTimeWindow returns a range window spanning rangeEpochs epochs.
+func NewTimeWindow(rangeEpochs int) *TimeWindow {
+	if rangeEpochs < 0 {
+		rangeEpochs = 0
+	}
+	return &TimeWindow{rangeEpochs: rangeEpochs}
+}
+
+// Push inserts an event and evicts events that fell out of the range relative
+// to the event's time.
+func (w *TimeWindow) Push(ev stream.Event) {
+	w.events = append(w.events, ev)
+	w.AdvanceTo(ev.Time)
+}
+
+// AdvanceTo evicts events older than now - range without inserting anything.
+func (w *TimeWindow) AdvanceTo(now int) {
+	cutoff := now - w.rangeEpochs
+	i := 0
+	for i < len(w.events) && w.events[i].Time < cutoff {
+		i++
+	}
+	if i > 0 {
+		w.events = append([]stream.Event(nil), w.events[i:]...)
+	}
+}
+
+// Contents returns the events currently in the window.
+func (w *TimeWindow) Contents() []stream.Event {
+	out := make([]stream.Event, len(w.events))
+	copy(out, w.events)
+	return out
+}
+
+// Len returns the number of events in the window.
+func (w *TimeWindow) Len() int { return len(w.events) }
+
+// GroupSum aggregates SUM(value) grouped by a string key over a slice of
+// events; it backs the Group By / Having clause of the fire-code query.
+func GroupSum(events []stream.Event, key func(stream.Event) string, value func(stream.Event) float64) map[string]float64 {
+	out := make(map[string]float64)
+	for _, ev := range events {
+		out[key(ev)] += value(ev)
+	}
+	return out
+}

@@ -1,0 +1,250 @@
+package sensor
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Profile is a ground-truth detection profile used by the simulator to decide
+// whether a tag responds to an interrogation. Unlike Model, a Profile is not
+// restricted to the logistic parametric family; the paper's simulator uses a
+// cone with a uniform major detection range, and the lab reader turned out to
+// have a roughly spherical profile.
+type Profile interface {
+	// DetectProb returns the probability that a tag at loc responds to a
+	// reader at pose p.
+	DetectProb(p geom.Pose, loc geom.Vec3) float64
+	// MaxRange returns the maximum distance at which a read is possible.
+	MaxRange() float64
+}
+
+// ConeProfile is the cone-shaped sensor profile of Fig. 5(a): a major
+// detection range spanning MajorHalfAngle radians on each side of the antenna
+// axis with uniform read rate RRMajor, plus a minor detection range spanning
+// an additional MinorHalfAngle radians in which the read rate degrades
+// linearly from RRMajor down to zero. Reads are impossible beyond Range feet
+// or behind the antenna.
+type ConeProfile struct {
+	RRMajor        float64 // read rate in the major detection range, e.g. 1.0
+	MajorHalfAngle float64 // radians, paper default 15 degrees (30 degree opening)
+	MinorHalfAngle float64 // additional radians, paper default 15 degrees
+	Range          float64 // feet
+}
+
+// DefaultConeProfile returns the simulator profile used throughout Section V:
+// a 30-degree major opening, an additional 15-degree minor band and a
+// three-foot range with a perfect read rate in the major region.
+func DefaultConeProfile() ConeProfile {
+	return ConeProfile{
+		RRMajor:        1.0,
+		MajorHalfAngle: 15 * math.Pi / 180,
+		MinorHalfAngle: 15 * math.Pi / 180,
+		Range:          3.0,
+	}
+}
+
+// DetectProb implements Profile.
+func (c ConeProfile) DetectProb(p geom.Pose, loc geom.Vec3) float64 {
+	d, theta := p.DistanceAngleTo(loc)
+	if d > c.Range {
+		return 0
+	}
+	switch {
+	case theta <= c.MajorHalfAngle:
+		return c.RRMajor
+	case theta <= c.MajorHalfAngle+c.MinorHalfAngle && c.MinorHalfAngle > 0:
+		// Linear decay from RRMajor to 0 across the minor band.
+		f := 1 - (theta-c.MajorHalfAngle)/c.MinorHalfAngle
+		return c.RRMajor * f
+	default:
+		return 0
+	}
+}
+
+// MaxRange implements Profile.
+func (c ConeProfile) MaxRange() float64 { return c.Range }
+
+// SphereProfile models the lab antenna of Section V-C: a wide, roughly
+// spherical read area whose read rate depends mostly on distance and degrades
+// with the tag's angle from the antenna center. PeakRate is the read rate at
+// the antenna face; it decreases linearly with distance to zero at Range and
+// is further scaled by a factor that decreases with angle (inversely related
+// to the angle, as observed for the ThingMagic reader).
+type SphereProfile struct {
+	PeakRate    float64 // read rate at zero distance, on axis
+	Range       float64 // feet
+	AngleFactor float64 // in [0,1]: read-rate multiplier at 90 degrees off axis
+}
+
+// DefaultSphereProfile returns a profile resembling the learned lab model of
+// Fig. 5(d): a wide, roughly spherical read area of about two and a half feet
+// whose read rate degrades with the tag's angle from the antenna center.
+func DefaultSphereProfile() SphereProfile {
+	return SphereProfile{PeakRate: 0.95, Range: 2.5, AngleFactor: 0.3}
+}
+
+// DetectProb implements Profile.
+func (s SphereProfile) DetectProb(p geom.Pose, loc geom.Vec3) float64 {
+	d, theta := p.DistanceAngleTo(loc)
+	if d > s.Range {
+		return 0
+	}
+	distFactor := 1 - d/s.Range
+	// The read rate is inversely related to the tag's angle from the antenna
+	// center: it decreases from 1 on axis, passes AngleFactor at pi/2 and
+	// reaches zero a little beyond pi/2 — tags behind the antenna are not
+	// read (the lab antenna is bi-static and front-facing).
+	cutoff := math.Pi/2 + 15*math.Pi/180
+	if theta >= cutoff {
+		return 0
+	}
+	var angleFactor float64
+	if theta <= math.Pi/2 {
+		angleFactor = 1 - (1-s.AngleFactor)*(theta/(math.Pi/2))
+	} else {
+		angleFactor = s.AngleFactor * (cutoff - theta) / (cutoff - math.Pi/2)
+	}
+	pr := s.PeakRate * distFactor * angleFactor
+	if pr < 0 {
+		return 0
+	}
+	return pr
+}
+
+// MaxRange implements Profile.
+func (s SphereProfile) MaxRange() float64 { return s.Range }
+
+// ScaledProfile wraps a Profile and scales its read probability by Factor.
+// The lab experiments emulate different reader timeout settings by scaling
+// the read rate.
+type ScaledProfile struct {
+	Base   Profile
+	Factor float64
+}
+
+// DetectProb implements Profile.
+func (s ScaledProfile) DetectProb(p geom.Pose, loc geom.Vec3) float64 {
+	pr := s.Base.DetectProb(p, loc) * s.Factor
+	if pr < 0 {
+		return 0
+	}
+	if pr > 1 {
+		return 1
+	}
+	return pr
+}
+
+// MaxRange implements Profile.
+func (s ScaledProfile) MaxRange() float64 { return s.Base.MaxRange() }
+
+// ModelProfile adapts a parametric Model so it can be used as a ground-truth
+// Profile, e.g. to generate data from a learned model for goodness-of-fit
+// checks.
+type ModelProfile struct {
+	Model Model
+}
+
+// DetectProb implements Profile.
+func (m ModelProfile) DetectProb(p geom.Pose, loc geom.Vec3) float64 {
+	return m.Model.DetectProb(p, loc)
+}
+
+// MaxRange implements Profile.
+func (m ModelProfile) MaxRange() float64 { return m.Model.MaxRange }
+
+// EffectiveHalfAngle returns the largest off-axis angle (radians, in
+// [0, pi]) at which the profile still reads tags with probability at least
+// threshold, evaluated at a representative distance of 30% of the profile's
+// range. It is used to size the particle-initialization cone so that wide
+// (e.g. spherical) sensing regions get a correspondingly wide cone.
+func EffectiveHalfAngle(p Profile, threshold float64) float64 {
+	r := p.MaxRange()
+	if r <= 0 {
+		return math.Pi / 4
+	}
+	d := 0.3 * r
+	pose := geom.Pose{}
+	best := 0.0
+	for i := 0; i <= 90; i++ {
+		theta := math.Pi * float64(i) / 90
+		loc := geom.Vec3{X: d * math.Cos(theta), Y: d * math.Sin(theta)}
+		if p.DetectProb(pose, loc) >= threshold {
+			best = theta
+		}
+	}
+	return best
+}
+
+// ProfileGrid samples a profile's read probability over an XY grid in front
+// of a reader standing at the origin facing +x. It is used to render the
+// sensor-model heat maps of Fig. 5(a)-(d).
+type ProfileGrid struct {
+	MinX, MaxX float64
+	MinY, MaxY float64
+	NX, NY     int
+	Values     [][]float64 // Values[iy][ix]
+}
+
+// SampleProfileGrid evaluates the profile on a regular grid. The reader pose
+// is at the origin with heading +x and the grid spans [minX,maxX]x[minY,maxY].
+func SampleProfileGrid(pr Profile, minX, maxX, minY, maxY float64, nx, ny int) ProfileGrid {
+	g := ProfileGrid{MinX: minX, MaxX: maxX, MinY: minY, MaxY: maxY, NX: nx, NY: ny}
+	pose := geom.Pose{Pos: geom.Vec3{}, Phi: 0}
+	g.Values = make([][]float64, ny)
+	for iy := 0; iy < ny; iy++ {
+		g.Values[iy] = make([]float64, nx)
+		y := minY + (maxY-minY)*float64(iy)/float64(maxInt(ny-1, 1))
+		for ix := 0; ix < nx; ix++ {
+			x := minX + (maxX-minX)*float64(ix)/float64(maxInt(nx-1, 1))
+			g.Values[iy][ix] = pr.DetectProb(pose, geom.Vec3{X: x, Y: y})
+		}
+	}
+	return g
+}
+
+// MeanAbsDifference returns the mean absolute difference between two grids of
+// identical shape; it quantifies how close a learned sensor model is to the
+// true one.
+func (g ProfileGrid) MeanAbsDifference(o ProfileGrid) float64 {
+	if g.NX != o.NX || g.NY != o.NY || g.NX == 0 || g.NY == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for iy := 0; iy < g.NY; iy++ {
+		for ix := 0; ix < g.NX; ix++ {
+			sum += math.Abs(g.Values[iy][ix] - o.Values[iy][ix])
+		}
+	}
+	return sum / float64(g.NX*g.NY)
+}
+
+// ASCIIArt renders the grid as a rough character heat map, dark characters
+// for low read rates and light for high; useful for eyeballing learned sensor
+// models from the command line.
+func (g ProfileGrid) ASCIIArt() string {
+	const ramp = " .:-=+*#%@"
+	out := make([]byte, 0, (g.NX+1)*g.NY)
+	for iy := g.NY - 1; iy >= 0; iy-- {
+		for ix := 0; ix < g.NX; ix++ {
+			v := g.Values[iy][ix]
+			idx := int(v * float64(len(ramp)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			out = append(out, ramp[idx])
+		}
+		out = append(out, '\n')
+	}
+	return string(out)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

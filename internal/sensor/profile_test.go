@@ -1,0 +1,171 @@
+package sensor
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestConeProfileRegions(t *testing.T) {
+	c := DefaultConeProfile()
+	pose := geom.P(0, 0, 0, 0)
+	// Inside the major detection range: full read rate.
+	if p := c.DetectProb(pose, geom.V(1, 0, 0)); p != c.RRMajor {
+		t.Errorf("major-range read prob = %v, want %v", p, c.RRMajor)
+	}
+	// Inside the minor band: between 0 and RRMajor.
+	minorAngle := c.MajorHalfAngle + c.MinorHalfAngle/2
+	loc := geom.V(math.Cos(minorAngle), math.Sin(minorAngle), 0)
+	if p := c.DetectProb(pose, loc); p <= 0 || p >= c.RRMajor {
+		t.Errorf("minor-range read prob = %v, want in (0, %v)", p, c.RRMajor)
+	}
+	// Outside the cone or beyond the range: zero.
+	if p := c.DetectProb(pose, geom.V(0, 2, 0)); p != 0 {
+		t.Errorf("off-cone read prob = %v, want 0", p)
+	}
+	if p := c.DetectProb(pose, geom.V(c.Range+0.1, 0, 0)); p != 0 {
+		t.Errorf("out-of-range read prob = %v, want 0", p)
+	}
+	if c.MaxRange() != c.Range {
+		t.Error("MaxRange mismatch")
+	}
+}
+
+func TestConeProfileMinorBandDecays(t *testing.T) {
+	c := DefaultConeProfile()
+	pose := geom.P(0, 0, 0, 0)
+	prev := c.RRMajor
+	for f := 0.1; f < 1.0; f += 0.2 {
+		angle := c.MajorHalfAngle + f*c.MinorHalfAngle
+		p := c.DetectProb(pose, geom.V(math.Cos(angle), math.Sin(angle), 0))
+		if p > prev+1e-12 {
+			t.Errorf("minor band read rate increased with angle at f=%v", f)
+		}
+		prev = p
+	}
+}
+
+func TestSphereProfileShape(t *testing.T) {
+	s := DefaultSphereProfile()
+	pose := geom.P(0, 0, 0, 0)
+	near := s.DetectProb(pose, geom.V(0.3, 0, 0))
+	far := s.DetectProb(pose, geom.V(2.3, 0, 0))
+	if near <= far {
+		t.Errorf("read rate should decay with distance: near %v far %v", near, far)
+	}
+	onAxis := s.DetectProb(pose, geom.V(1, 0, 0))
+	offAxis := s.DetectProb(pose, geom.V(0, 1, 0))
+	if onAxis <= offAxis {
+		t.Errorf("read rate should decay with angle: on %v off %v", onAxis, offAxis)
+	}
+	// No reads behind the antenna (cross-aisle reads are impossible).
+	if p := s.DetectProb(pose, geom.V(-1, 0.2, 0)); p != 0 {
+		t.Errorf("behind-the-antenna read prob = %v, want 0", p)
+	}
+	if p := s.DetectProb(pose, geom.V(s.Range+0.1, 0, 0)); p != 0 {
+		t.Errorf("beyond-range read prob = %v, want 0", p)
+	}
+}
+
+func TestScaledProfile(t *testing.T) {
+	base := DefaultConeProfile()
+	scaled := ScaledProfile{Base: base, Factor: 0.5}
+	pose := geom.P(0, 0, 0, 0)
+	loc := geom.V(1, 0, 0)
+	if got, want := scaled.DetectProb(pose, loc), 0.5*base.DetectProb(pose, loc); math.Abs(got-want) > 1e-12 {
+		t.Errorf("scaled prob = %v, want %v", got, want)
+	}
+	// Scaling never produces probabilities outside [0, 1].
+	over := ScaledProfile{Base: base, Factor: 5}
+	if p := over.DetectProb(pose, loc); p > 1 {
+		t.Errorf("over-scaled prob = %v", p)
+	}
+	if scaled.MaxRange() != base.MaxRange() {
+		t.Error("scaled profile range mismatch")
+	}
+}
+
+func TestModelProfileAdapter(t *testing.T) {
+	m := DefaultModel()
+	p := ModelProfile{Model: m}
+	pose := geom.P(0, 0, 0, 0)
+	loc := geom.V(1, 0.2, 0)
+	if p.DetectProb(pose, loc) != m.DetectProb(pose, loc) {
+		t.Error("ModelProfile changes probabilities")
+	}
+	if p.MaxRange() != m.MaxRange {
+		t.Error("ModelProfile range mismatch")
+	}
+}
+
+func TestEffectiveHalfAngle(t *testing.T) {
+	cone := DefaultConeProfile()
+	a := EffectiveHalfAngle(cone, 0.05)
+	// The cone reads nothing beyond major+minor half angle.
+	limit := cone.MajorHalfAngle + cone.MinorHalfAngle
+	if a > limit+0.1 {
+		t.Errorf("cone effective half angle %v exceeds geometric limit %v", a, limit)
+	}
+	if a < cone.MajorHalfAngle-0.1 {
+		t.Errorf("cone effective half angle %v is narrower than the major range", a)
+	}
+	sphere := DefaultSphereProfile()
+	if sa := EffectiveHalfAngle(sphere, 0.05); sa <= a {
+		t.Errorf("spherical profile should have a wider effective half angle (%v vs %v)", sa, a)
+	}
+}
+
+func TestSampleProfileGridAndDifference(t *testing.T) {
+	cone := DefaultConeProfile()
+	g := SampleProfileGrid(cone, 0, 4, -2, 2, 20, 20)
+	if g.NX != 20 || g.NY != 20 || len(g.Values) != 20 {
+		t.Fatalf("grid shape wrong")
+	}
+	for _, row := range g.Values {
+		for _, v := range row {
+			if v < 0 || v > 1 {
+				t.Fatalf("grid value out of range: %v", v)
+			}
+		}
+	}
+	// A grid differs from itself by zero and from a zero profile by the mean
+	// read rate.
+	if d := g.MeanAbsDifference(g); d != 0 {
+		t.Errorf("self difference = %v", d)
+	}
+	other := SampleProfileGrid(ScaledProfile{Base: cone, Factor: 0}, 0, 4, -2, 2, 20, 20)
+	if d := g.MeanAbsDifference(other); d <= 0 {
+		t.Errorf("difference from empty profile = %v, want > 0", d)
+	}
+	mismatched := SampleProfileGrid(cone, 0, 4, -2, 2, 10, 10)
+	if !math.IsNaN(g.MeanAbsDifference(mismatched)) {
+		t.Error("difference of mismatched grids should be NaN")
+	}
+}
+
+func TestASCIIArt(t *testing.T) {
+	g := SampleProfileGrid(DefaultConeProfile(), 0, 4, -2, 2, 30, 10)
+	art := g.ASCIIArt()
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if len(lines) != 10 {
+		t.Fatalf("expected 10 lines, got %d", len(lines))
+	}
+	for _, l := range lines {
+		if len(l) != 30 {
+			t.Fatalf("expected 30 columns, got %d", len(l))
+		}
+	}
+	// The cone has both readable and unreadable cells, so the art should use
+	// at least two distinct characters.
+	chars := map[rune]bool{}
+	for _, r := range art {
+		if r != '\n' {
+			chars[r] = true
+		}
+	}
+	if len(chars) < 2 {
+		t.Error("ASCII art is uniform; expected contrast between high and low read rates")
+	}
+}

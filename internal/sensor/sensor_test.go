@@ -1,0 +1,151 @@
+package sensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func TestDefaultModelBasicShape(t *testing.T) {
+	m := DefaultModel()
+	// Read probability is high right in front of the antenna and low far
+	// away / far off axis.
+	if p := m.ReadProb(0.2, 0); p < 0.9 {
+		t.Errorf("near on-axis read prob = %v, want high", p)
+	}
+	if p := m.ReadProb(3.5, 0); p > 0.2 {
+		t.Errorf("far read prob = %v, want low", p)
+	}
+	if p := m.ReadProb(1, math.Pi); p > 0.2 {
+		t.Errorf("behind-the-antenna read prob = %v, want low", p)
+	}
+	// Monotone decay with distance on axis.
+	prev := m.ReadProb(0, 0)
+	for d := 0.25; d <= 3.5; d += 0.25 {
+		cur := m.ReadProb(d, 0)
+		if cur > prev+1e-12 {
+			t.Errorf("read prob increased with distance at d=%v: %v > %v", d, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestReadMissComplement(t *testing.T) {
+	m := DefaultModel()
+	for _, d := range []float64{0, 0.5, 1, 2, 3} {
+		for _, th := range []float64{0, 0.3, 1.0} {
+			if r, miss := m.ReadProb(d, th), m.MissProb(d, th); math.Abs(r+miss-1) > 1e-12 {
+				t.Errorf("ReadProb+MissProb != 1 at d=%v theta=%v", d, th)
+			}
+		}
+	}
+}
+
+func TestMaxRangeCutoff(t *testing.T) {
+	m := DefaultModel()
+	if p := m.ReadProb(m.MaxRange+0.01, 0); p != 0 {
+		t.Errorf("read prob beyond MaxRange = %v, want 0", p)
+	}
+}
+
+func TestCoefficientsRoundTrip(t *testing.T) {
+	m := DefaultModel()
+	back, err := ModelFromCoefficients(m.Coefficients(), m.MaxRange)
+	if err != nil {
+		t.Fatalf("ModelFromCoefficients: %v", err)
+	}
+	if back != m {
+		t.Errorf("round trip changed the model: %v vs %v", back, m)
+	}
+	if _, err := ModelFromCoefficients([]float64{1, 2}, 3); err == nil {
+		t.Error("expected error for wrong coefficient count")
+	}
+}
+
+func TestFeatures(t *testing.T) {
+	f := Features(2, 0.5)
+	want := []float64{1, 2, 4, 0.5, 0.25}
+	for i := range want {
+		if f[i] != want[i] {
+			t.Errorf("Features[%d] = %v, want %v", i, f[i], want[i])
+		}
+	}
+}
+
+func TestDetectProbUsesPose(t *testing.T) {
+	m := DefaultModel()
+	pose := geom.P(0, 0, 0, 0) // facing +x
+	front := m.DetectProb(pose, geom.V(1, 0, 0))
+	side := m.DetectProb(pose, geom.V(0, 1, 0))
+	behind := m.DetectProb(pose, geom.V(-1, 0, 0))
+	if !(front > side && side > behind) {
+		t.Errorf("expected front > side > behind, got %v %v %v", front, side, behind)
+	}
+}
+
+func TestLogObservationProbFinite(t *testing.T) {
+	m := DefaultModel()
+	pose := geom.P(0, 0, 0, 0)
+	// Observation of a tag far outside the range must not produce -Inf.
+	lp := m.LogObservationProb(true, pose, geom.V(100, 0, 0))
+	if math.IsInf(lp, 0) || math.IsNaN(lp) {
+		t.Errorf("log prob for impossible read = %v, want finite", lp)
+	}
+	// A read close in front should be much more likely than a miss there.
+	read := m.LogObservationProb(true, pose, geom.V(0.5, 0, 0))
+	miss := m.LogObservationProb(false, pose, geom.V(0.5, 0, 0))
+	if read <= miss {
+		t.Errorf("read log prob (%v) should exceed miss log prob (%v) near the antenna", read, miss)
+	}
+}
+
+func TestSensingBBoxCoversRange(t *testing.T) {
+	m := DefaultModel()
+	pose := geom.P(1, 2, 0, 0)
+	box := m.SensingBBox(pose)
+	if !box.Contains(pose.Pos) {
+		t.Error("sensing box does not contain the reader")
+	}
+	if !box.Contains(geom.V(1+m.MaxRange, 2, 0)) {
+		t.Error("sensing box does not reach MaxRange")
+	}
+	zero := Model{}
+	if zero.SensingBBox(pose).IsEmpty() {
+		t.Error("zero model should still produce a non-empty sensing box")
+	}
+}
+
+func TestEffectiveRange(t *testing.T) {
+	m := DefaultModel()
+	r := m.EffectiveRange(0.5)
+	if r <= 0 || r > m.MaxRange {
+		t.Fatalf("EffectiveRange = %v", r)
+	}
+	// By definition the read prob at r is close to the threshold.
+	if p := m.ReadProb(r, 0); math.Abs(p-0.5) > 0.02 {
+		t.Errorf("read prob at effective range = %v, want ~0.5", p)
+	}
+	// Threshold above the peak read rate yields 0.
+	if m.EffectiveRange(0.9999) > 0.5 {
+		t.Error("effective range for an unreachable threshold should be ~0")
+	}
+}
+
+// Property: ReadProb is always a valid probability for non-negative inputs.
+func TestReadProbRangeProperty(t *testing.T) {
+	m := DefaultModel()
+	f := func(d, theta float64) bool {
+		if math.IsNaN(d) || math.IsNaN(theta) || math.IsInf(d, 0) || math.IsInf(theta, 0) {
+			return true
+		}
+		d = math.Abs(math.Mod(d, 10))
+		theta = math.Abs(math.Mod(theta, math.Pi))
+		p := m.ReadProb(d, theta)
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

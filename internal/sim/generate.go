@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+// objectIndex supports fast retrieval of the objects that could possibly be
+// read from a given reader position. Candidate generation is purely a
+// simulator-side optimization (the inference engine has its own spatial
+// index); correctness only requires that every tag within the sensor
+// profile's range is considered.
+type objectIndex struct {
+	ids []stream.TagID
+	ys  []float64 // initial y of each object, sorted
+	// moved lists the objects that have scheduled relocations; they are
+	// always considered candidates because their current y changes over time.
+	moved []stream.TagID
+}
+
+func buildObjectIndex(trace *Trace) *objectIndex {
+	type entry struct {
+		id stream.TagID
+		y  float64
+	}
+	entries := make([]entry, 0, len(trace.ObjectIDs))
+	idx := &objectIndex{}
+	for _, id := range trace.ObjectIDs {
+		track := trace.Truth.Objects[id]
+		if len(track.Moves) > 0 {
+			idx.moved = append(idx.moved, id)
+			continue
+		}
+		entries = append(entries, entry{id: id, y: track.Initial.Y})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].y < entries[j].y })
+	idx.ids = make([]stream.TagID, len(entries))
+	idx.ys = make([]float64, len(entries))
+	for i, e := range entries {
+		idx.ids[i] = e.id
+		idx.ys[i] = e.y
+	}
+	return idx
+}
+
+// candidates returns the object tags whose y coordinate lies within margin of
+// y, plus every object with scheduled movements.
+func (idx *objectIndex) candidates(y, margin float64) []stream.TagID {
+	lo := sort.SearchFloat64s(idx.ys, y-margin)
+	hi := sort.SearchFloat64s(idx.ys, y+margin)
+	out := make([]stream.TagID, 0, hi-lo+len(idx.moved))
+	out = append(out, idx.ids[lo:hi]...)
+	out = append(out, idx.moved...)
+	return out
+}
+
+// generator runs the robot over the shelf row and produces epochs.
+type generator struct {
+	cfg    WarehouseConfig
+	trace  *Trace
+	src    *rng.Source
+	objIdx *objectIndex
+}
+
+func (g *generator) run(rowLength float64) {
+	cfg := g.cfg
+	margin := cfg.Profile.MaxRange() + 0.5
+	stepsPerPass := int(rowLength/cfg.ReaderStep) + 1
+
+	shelfIDs := g.trace.World.ShelfTagIDs()
+
+	t := 0
+	pathX := cfg.ShelfX - cfg.ReaderOffset
+	truePos := geom.Vec3{X: pathX, Y: 0, Z: 0}
+	for round := 0; round < cfg.Rounds; round++ {
+		dir := 1.0
+		if round%2 == 1 {
+			dir = -1.0
+		}
+		for step := 0; step < stepsPerPass; step++ {
+			// Advance the robot with motion jitter; the first epoch of the
+			// first round starts at the row origin.
+			if !(round == 0 && step == 0) {
+				jitter := g.src.NormalVec(geom.Vec3{}, cfg.MotionNoise)
+				truePos = truePos.Add(geom.Vec3{Y: dir * cfg.ReaderStep}).Add(jitter)
+				// The robot track keeps a roughly constant offset from the shelf.
+				truePos.X = pathX + (truePos.X-pathX)*0.5
+			}
+			truePose := geom.Pose{Pos: truePos, Phi: 0} // facing +x, toward the shelf
+
+			epoch := stream.NewEpoch(t)
+			// Reported reader location (possibly dropped).
+			if cfg.DropPoseEvery <= 0 || (t+1)%cfg.DropPoseEvery != 0 {
+				epoch.HasPose = true
+				epoch.ReportedPose = geom.Pose{
+					Pos: cfg.Sensing.Sample(truePose, g.src),
+					Phi: truePose.Phi,
+				}
+			}
+
+			// Object readings.
+			for _, id := range g.objIdx.candidates(truePos.Y, margin) {
+				loc := g.trace.Truth.Objects[id].At(t)
+				g.interrogate(epoch, id, truePose, loc)
+			}
+			// Shelf tag readings.
+			for _, id := range shelfIDs {
+				loc := g.trace.World.ShelfTags[id]
+				if loc.Y < truePos.Y-margin || loc.Y > truePos.Y+margin {
+					continue
+				}
+				g.interrogate(epoch, id, truePose, loc)
+			}
+
+			g.trace.Truth.ReaderPoses = append(g.trace.Truth.ReaderPoses, truePose)
+			g.trace.Epochs = append(g.trace.Epochs, epoch)
+			t++
+		}
+	}
+}
+
+// interrogate performs ReadsPerEpoch independent interrogation rounds of one
+// tag and records whether any of them succeeded.
+func (g *generator) interrogate(epoch *stream.Epoch, id stream.TagID, pose geom.Pose, loc geom.Vec3) {
+	p := g.cfg.Profile.DetectProb(pose, loc)
+	if p <= 0 {
+		return
+	}
+	for r := 0; r < g.cfg.ReadsPerEpoch; r++ {
+		if g.src.Bernoulli(p) {
+			epoch.Observed[id] = true
+			return
+		}
+	}
+}
+
+// RawStreams converts a trace's epochs back into the two raw streams
+// (readings and location reports), e.g. for writing traces to disk in the
+// on-the-wire format.
+func RawStreams(trace *Trace) ([]stream.Reading, []stream.LocationReport) {
+	var readings []stream.Reading
+	var locations []stream.LocationReport
+	for _, e := range trace.Epochs {
+		for _, id := range e.ObservedList() {
+			readings = append(readings, stream.Reading{Time: e.Time, Tag: id})
+		}
+		if e.HasPose {
+			locations = append(locations, stream.LocationReport{
+				Time: e.Time, Pos: e.ReportedPose.Pos, Phi: e.ReportedPose.Phi, HasPhi: true,
+			})
+		}
+	}
+	return readings, locations
+}

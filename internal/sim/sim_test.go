@@ -1,0 +1,322 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/sensor"
+	"repro/internal/stream"
+)
+
+func TestObjectTrackAt(t *testing.T) {
+	tr := &ObjectTrack{Initial: geom.V(0, 1, 0)}
+	tr.AddMove(10, geom.V(0, 5, 0))
+	tr.AddMove(5, geom.V(0, 3, 0)) // added out of order on purpose
+	if tr.At(0) != geom.V(0, 1, 0) {
+		t.Error("location before any move wrong")
+	}
+	if tr.At(5) != geom.V(0, 3, 0) || tr.At(7) != geom.V(0, 3, 0) {
+		t.Error("location after first move wrong")
+	}
+	if tr.At(10) != geom.V(0, 5, 0) || tr.At(100) != geom.V(0, 5, 0) {
+		t.Error("location after second move wrong")
+	}
+}
+
+func TestGroundTruthLookups(t *testing.T) {
+	g := NewGroundTruth()
+	g.Objects["a"] = &ObjectTrack{Initial: geom.V(1, 1, 0)}
+	g.ReaderPoses = []geom.Pose{geom.P(0, 0, 0, 0), geom.P(0, 1, 0, 0)}
+	if loc, ok := g.ObjectAt("a", 3); !ok || loc != geom.V(1, 1, 0) {
+		t.Error("ObjectAt failed")
+	}
+	if _, ok := g.ObjectAt("missing", 0); ok {
+		t.Error("unknown object should not be found")
+	}
+	if p, ok := g.ReaderAt(1); !ok || p.Pos.Y != 1 {
+		t.Error("ReaderAt failed")
+	}
+	// Out-of-range times clamp.
+	if p, _ := g.ReaderAt(99); p.Pos.Y != 1 {
+		t.Error("ReaderAt did not clamp high")
+	}
+	if p, _ := g.ReaderAt(-5); p.Pos.Y != 0 {
+		t.Error("ReaderAt did not clamp low")
+	}
+}
+
+func TestGenerateWarehouseBasics(t *testing.T) {
+	cfg := DefaultWarehouseConfig()
+	cfg.NumObjects = 10
+	cfg.NumShelfTags = 3
+	cfg.Seed = 11
+	trace, err := GenerateWarehouse(cfg)
+	if err != nil {
+		t.Fatalf("GenerateWarehouse: %v", err)
+	}
+	if len(trace.ObjectIDs) != 10 {
+		t.Errorf("objects = %d", len(trace.ObjectIDs))
+	}
+	if len(trace.World.ShelfTags) != 3 {
+		t.Errorf("shelf tags = %d", len(trace.World.ShelfTags))
+	}
+	if len(trace.Epochs) == 0 || trace.NumReadings() == 0 {
+		t.Fatal("trace has no epochs or readings")
+	}
+	if err := trace.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	// Every object should be read at least once during a full scan with a
+	// perfect major-range read rate.
+	readCount := map[stream.TagID]int{}
+	for _, ep := range trace.Epochs {
+		for id := range ep.Observed {
+			readCount[id]++
+		}
+	}
+	for _, id := range trace.ObjectIDs {
+		if readCount[id] == 0 {
+			t.Errorf("object %s was never read", id)
+		}
+	}
+	// Ground truth has a reader pose for every epoch.
+	if len(trace.Truth.ReaderPoses) != len(trace.Epochs) {
+		t.Errorf("reader poses %d != epochs %d", len(trace.Truth.ReaderPoses), len(trace.Epochs))
+	}
+}
+
+func TestGenerateWarehouseDeterministic(t *testing.T) {
+	cfg := DefaultWarehouseConfig()
+	cfg.NumObjects = 8
+	cfg.Seed = 99
+	a, err := GenerateWarehouse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateWarehouse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Epochs) != len(b.Epochs) {
+		t.Fatal("different epoch counts for the same seed")
+	}
+	for i := range a.Epochs {
+		if len(a.Epochs[i].Observed) != len(b.Epochs[i].Observed) {
+			t.Fatalf("epoch %d differs between identical seeds", i)
+		}
+		if a.Epochs[i].ReportedPose != b.Epochs[i].ReportedPose {
+			t.Fatalf("epoch %d reported pose differs between identical seeds", i)
+		}
+	}
+	cfg.Seed = 100
+	c, err := GenerateWarehouse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumReadings() == c.NumReadings() && len(a.Epochs) == len(c.Epochs) {
+		// Readings could coincide by chance but poses should not.
+		same := true
+		for i := range a.Epochs {
+			if a.Epochs[i].ReportedPose != c.Epochs[i].ReportedPose {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestGenerateWarehouseReadRateAffectsReadings(t *testing.T) {
+	base := DefaultWarehouseConfig()
+	base.NumObjects = 20
+	base.Seed = 5
+	full, err := GenerateWarehouse(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := base
+	lowProfile := sensor.DefaultConeProfile()
+	lowProfile.RRMajor = 0.5
+	low.Profile = lowProfile
+	lowTrace, err := GenerateWarehouse(low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lowTrace.NumReadings() >= full.NumReadings() {
+		t.Errorf("halving the read rate did not reduce readings: %d vs %d",
+			lowTrace.NumReadings(), full.NumReadings())
+	}
+}
+
+func TestGenerateWarehouseMovements(t *testing.T) {
+	cfg := DefaultWarehouseConfig()
+	cfg.NumObjects = 12
+	cfg.ObjectSpacing = 1.0
+	cfg.Rounds = 2
+	cfg.MoveInterval = 100
+	cfg.MoveDistance = 3
+	cfg.MoveCount = 2
+	cfg.Seed = 13
+	trace, err := GenerateWarehouse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for _, id := range trace.ObjectIDs {
+		track := trace.Truth.Objects[id]
+		for _, m := range track.Moves {
+			moved++
+			// Moves stay within the shelf row.
+			if m.To.Y < 0 || m.To.Y > 12*1.0+1 {
+				t.Errorf("move left the row: %v", m.To)
+			}
+			// The move distance matches the configuration.
+			prev := track.Initial
+			if d := prev.Dist(m.To); d < 2.9 || d > 3.1 {
+				// Only check the first move per object against the initial
+				// location; later moves chain.
+				if len(track.Moves) == 1 {
+					t.Errorf("move distance = %v, want 3", d)
+				}
+			}
+			break
+		}
+	}
+	if moved == 0 {
+		t.Error("no objects moved")
+	}
+}
+
+func TestGenerateWarehouseRejectsBadConfig(t *testing.T) {
+	cfg := DefaultWarehouseConfig()
+	cfg.NumObjects = -1
+	// applyDefaults resets non-positive object counts to the default, so this
+	// should still succeed; a truly empty world is impossible to configure.
+	if _, err := GenerateWarehouse(cfg); err != nil {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestRawStreamsRoundTrip(t *testing.T) {
+	cfg := DefaultWarehouseConfig()
+	cfg.NumObjects = 6
+	cfg.Seed = 3
+	trace, err := GenerateWarehouse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readings, locations := RawStreams(trace)
+	if len(readings) != trace.NumReadings() {
+		t.Errorf("raw readings %d != trace readings %d", len(readings), trace.NumReadings())
+	}
+	// Re-synchronizing the raw streams reproduces the epochs' observations.
+	epochs := stream.Synchronize(readings, locations)
+	if len(epochs) != len(trace.Epochs) {
+		t.Fatalf("epoch count changed after raw round trip: %d vs %d", len(epochs), len(trace.Epochs))
+	}
+	for i := range epochs {
+		if len(epochs[i].Observed) != len(trace.Epochs[i].Observed) {
+			t.Errorf("epoch %d observations differ", i)
+		}
+	}
+}
+
+func TestSplitForTraining(t *testing.T) {
+	cfg := DefaultWarehouseConfig()
+	cfg.NumObjects = 5
+	cfg.NumShelfTags = 10
+	cfg.Seed = 21
+	trace, err := GenerateWarehouse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := trace.SplitForTraining(4)
+	if len(split.World.ShelfTags) != 4 {
+		t.Errorf("kept %d shelf tags, want 4", len(split.World.ShelfTags))
+	}
+	// Demoted shelf tags become objects with ground truth.
+	if len(split.ObjectIDs) != 5+6 {
+		t.Errorf("object count after split = %d, want 11", len(split.ObjectIDs))
+	}
+	for _, id := range split.ObjectIDs {
+		if _, ok := split.Truth.Objects[id]; !ok {
+			t.Errorf("object %s lost its ground truth", id)
+		}
+	}
+}
+
+func TestGenerateLabBasics(t *testing.T) {
+	cfg := DefaultLabConfig()
+	cfg.Seed = 5
+	trace, err := GenerateLab(cfg)
+	if err != nil {
+		t.Fatalf("GenerateLab: %v", err)
+	}
+	if err := trace.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	// 80 tags total: 2*5 reference tags and 70 objects.
+	if len(trace.World.ShelfTags) != 10 {
+		t.Errorf("reference tags = %d, want 10", len(trace.World.ShelfTags))
+	}
+	if len(trace.ObjectIDs) != 70 {
+		t.Errorf("objects = %d, want 70", len(trace.ObjectIDs))
+	}
+	// Both passes are present: reported headings include both directions.
+	sawForward, sawBackward := false, false
+	for _, ep := range trace.Epochs {
+		if !ep.HasPose {
+			continue
+		}
+		if ep.ReportedPose.Phi == 0 {
+			sawForward = true
+		} else {
+			sawBackward = true
+		}
+	}
+	if !sawForward || !sawBackward {
+		t.Error("lab trace does not contain both scan passes")
+	}
+	// Dead reckoning: reported locations drift away from the truth as the
+	// robot travels.
+	lastEpoch := trace.Epochs[len(trace.Epochs)-1]
+	truePose, _ := trace.Truth.ReaderAt(lastEpoch.Time)
+	drift := lastEpoch.ReportedPose.Pos.Dist(truePose.Pos)
+	if drift < 0.3 {
+		t.Errorf("expected noticeable dead-reckoning drift at the end, got %v", drift)
+	}
+	if drift > cfg.MaxDrift+0.5 {
+		t.Errorf("drift %v exceeds the configured maximum %v", drift, cfg.MaxDrift)
+	}
+}
+
+func TestGenerateLabTimeoutChangesReadRate(t *testing.T) {
+	shortCfg := DefaultLabConfig()
+	shortCfg.TimeoutMillis = 250
+	shortCfg.Seed = 8
+	short, err := GenerateLab(shortCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	longCfg := shortCfg
+	longCfg.TimeoutMillis = 750
+	long, err := GenerateLab(longCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.NumReadings() <= short.NumReadings() {
+		t.Errorf("longer timeout should produce more readings: %d vs %d",
+			long.NumReadings(), short.NumReadings())
+	}
+}
+
+func TestGenerateLabRejectsBadRefTagCount(t *testing.T) {
+	cfg := DefaultLabConfig()
+	cfg.TagsPerShelf = 4
+	cfg.RefTagsPerShelf = 10
+	if _, err := GenerateLab(cfg); err == nil {
+		t.Error("expected error when reference tags exceed tags per shelf")
+	}
+}

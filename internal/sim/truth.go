@@ -1,0 +1,168 @@
+// Package sim implements the evaluation substrate of Section V: a warehouse
+// simulator that produces synthetic RFID streams with controlled properties
+// (Fig. 5 experiments) and an emulator of the real lab deployment of Section
+// V-C (two shelves, 80 tags, a robot with dead-reckoning drift). Both produce
+// a Trace: the two synchronized raw streams plus the ground truth needed for
+// scoring.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/model"
+	"repro/internal/stream"
+)
+
+// Move records an object relocation at a given epoch.
+type Move struct {
+	Time int
+	To   geom.Vec3
+}
+
+// ObjectTrack is the true trajectory of one object: an initial location plus
+// a (usually empty) list of relocations. Objects in a warehouse are
+// stationary most of the time, so this representation stays small even for
+// tens of thousands of objects over long traces.
+type ObjectTrack struct {
+	Initial geom.Vec3
+	Moves   []Move // sorted by Time
+}
+
+// At returns the object's true location at epoch t.
+func (tr *ObjectTrack) At(t int) geom.Vec3 {
+	loc := tr.Initial
+	for _, m := range tr.Moves {
+		if m.Time > t {
+			break
+		}
+		loc = m.To
+	}
+	return loc
+}
+
+// AddMove appends a relocation, keeping moves sorted by time.
+func (tr *ObjectTrack) AddMove(t int, to geom.Vec3) {
+	tr.Moves = append(tr.Moves, Move{Time: t, To: to})
+	sort.Slice(tr.Moves, func(i, j int) bool { return tr.Moves[i].Time < tr.Moves[j].Time })
+}
+
+// GroundTruth records the true (hidden) state of the world for every epoch of
+// a trace: the true reader poses and the true object locations. It exists
+// only for evaluation; the inference engine never sees it.
+type GroundTruth struct {
+	// ReaderPoses[t] is the true reader pose at epoch t.
+	ReaderPoses []geom.Pose
+	// Objects maps object tag ids to their true tracks.
+	Objects map[stream.TagID]*ObjectTrack
+}
+
+// NewGroundTruth returns an empty ground truth.
+func NewGroundTruth() *GroundTruth {
+	return &GroundTruth{Objects: make(map[stream.TagID]*ObjectTrack)}
+}
+
+// ObjectAt returns the true location of the object at epoch t. The second
+// return value is false for unknown tags.
+func (g *GroundTruth) ObjectAt(id stream.TagID, t int) (geom.Vec3, bool) {
+	tr, ok := g.Objects[id]
+	if !ok {
+		return geom.Vec3{}, false
+	}
+	return tr.At(t), true
+}
+
+// ReaderAt returns the true reader pose at epoch t (clamped to the last known
+// pose for out-of-range times).
+func (g *GroundTruth) ReaderAt(t int) (geom.Pose, bool) {
+	if len(g.ReaderPoses) == 0 {
+		return geom.Pose{}, false
+	}
+	if t < 0 {
+		t = 0
+	}
+	if t >= len(g.ReaderPoses) {
+		t = len(g.ReaderPoses) - 1
+	}
+	return g.ReaderPoses[t], true
+}
+
+// Trace is a complete simulated run: the world description available to the
+// system (shelves and shelf-tag locations), the synchronized epoch stream the
+// system consumes, the list of object tags, and the ground truth used only
+// for scoring.
+type Trace struct {
+	World     *model.World
+	Epochs    []*stream.Epoch
+	ObjectIDs []stream.TagID
+	Truth     *GroundTruth
+}
+
+// NumReadings returns the total number of tag readings across all epochs,
+// the unit of the paper's throughput metric.
+func (tr *Trace) NumReadings() int {
+	n := 0
+	for _, e := range tr.Epochs {
+		n += len(e.Observed)
+	}
+	return n
+}
+
+// Validate performs basic consistency checks on the trace.
+func (tr *Trace) Validate() error {
+	if tr.World == nil {
+		return fmt.Errorf("sim: trace has no world")
+	}
+	if err := tr.World.Validate(); err != nil {
+		return err
+	}
+	if len(tr.Epochs) == 0 {
+		return fmt.Errorf("sim: trace has no epochs")
+	}
+	if tr.Truth == nil {
+		return fmt.Errorf("sim: trace has no ground truth")
+	}
+	if len(tr.Truth.ReaderPoses) < len(tr.Epochs) {
+		return fmt.Errorf("sim: ground truth has %d reader poses for %d epochs",
+			len(tr.Truth.ReaderPoses), len(tr.Epochs))
+	}
+	for _, id := range tr.ObjectIDs {
+		if _, ok := tr.Truth.Objects[id]; !ok {
+			return fmt.Errorf("sim: object %s has no ground-truth track", id)
+		}
+		if tr.World.IsShelfTag(id) {
+			return fmt.Errorf("sim: tag %s is both an object and a shelf tag", id)
+		}
+	}
+	return nil
+}
+
+// SplitForTraining returns a copy of the trace in which only keepShelfTags of
+// the shelf tags keep their known locations; the remaining shelf tags are
+// re-labelled as object tags with unknown locations. This reproduces the
+// learning experiment of Fig. 5(e), which varies the number of tags with
+// known locations available to EM.
+func (tr *Trace) SplitForTraining(keepShelfTags int) *Trace {
+	out := &Trace{
+		World:  model.NewWorld(),
+		Epochs: tr.Epochs,
+		Truth:  tr.Truth,
+	}
+	out.World.Shelves = tr.World.Shelves
+	ids := tr.World.ShelfTagIDs()
+	for i, id := range ids {
+		if i < keepShelfTags {
+			out.World.AddShelfTag(id, tr.World.ShelfTags[id])
+		} else {
+			// Demote to object tag with an (unknown) true location taken from
+			// the original shelf-tag position.
+			out.ObjectIDs = append(out.ObjectIDs, id)
+			if _, ok := out.Truth.Objects[id]; !ok {
+				out.Truth.Objects[id] = &ObjectTrack{Initial: tr.World.ShelfTags[id]}
+			}
+		}
+	}
+	out.ObjectIDs = append(out.ObjectIDs, tr.ObjectIDs...)
+	return out
+}

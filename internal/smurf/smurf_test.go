@@ -1,0 +1,172 @@
+package smurf
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/stream"
+)
+
+func testWorld() *model.World {
+	w := model.NewWorld()
+	w.AddShelf(model.Shelf{
+		ID:     "shelf",
+		Region: geom.NewBBox(geom.V(1, 0, 0), geom.V(1.66, 12, 0)),
+	})
+	w.AddShelfTag("ref", geom.V(1, 6, 0))
+	return w
+}
+
+// noisyScan builds epochs for a reader sweeping along y at x=0 facing +x,
+// reading a tag at loc with probability p while within rangeFt.
+func noisyScan(loc geom.Vec3, id stream.TagID, p float64, rangeFt float64, n int, seed int64) []*stream.Epoch {
+	// Simple deterministic pseudo-noise so the test is reproducible without
+	// importing the rng package: a read is dropped whenever (t*seed)%10 >= p*10.
+	var epochs []*stream.Epoch
+	for t := 0; t < n; t++ {
+		ep := stream.NewEpoch(t)
+		pose := geom.Pose{Pos: geom.V(0, float64(t)*0.1, 0), Phi: 0}
+		ep.HasPose = true
+		ep.ReportedPose = pose
+		if pose.Pos.DistXY(loc) <= rangeFt {
+			if int((int64(t)+1)*seed)%10 < int(p*10) {
+				ep.Observed[id] = true
+			}
+		}
+		epochs = append(epochs, ep)
+	}
+	return epochs
+}
+
+func TestSMURFEmitsEventNearTag(t *testing.T) {
+	w := testWorld()
+	est := New(Config{ReadRange: 2.5, Seed: 3}, w)
+	trueLoc := geom.V(1, 6, 0)
+	events := est.Run(noisyScan(trueLoc, "obj", 0.7, 2.0, 120, 7))
+	if len(events) == 0 {
+		t.Fatal("SMURF emitted no events")
+	}
+	last := events[len(events)-1]
+	if last.Tag != "obj" {
+		t.Fatalf("unexpected tag %s", last.Tag)
+	}
+	// The estimate must lie on the shelf and within a couple of feet of the
+	// truth along y (SMURF smooths over the in-range window).
+	if last.Loc.X < 1 || last.Loc.X > 1.66 {
+		t.Errorf("estimate x = %v, want within the shelf depth", last.Loc.X)
+	}
+	if d := last.Loc.DistXY(trueLoc); d > 2.5 {
+		t.Errorf("estimate %v is %v ft from the truth", last.Loc, d)
+	}
+}
+
+func TestSMURFSmoothsDropouts(t *testing.T) {
+	w := testWorld()
+	est := New(Config{ReadRange: 2.5, Seed: 3}, w)
+	// A tag read with only 50% probability: SMURF should not flip-flop; it
+	// should emit a small number of visit events rather than one per dropout.
+	events := est.Run(noisyScan(geom.V(1, 6, 0), "obj", 0.5, 2.0, 120, 13))
+	if len(events) == 0 {
+		t.Fatal("no events")
+	}
+	if len(events) > 6 {
+		t.Errorf("SMURF emitted %d events; smoothing should consolidate dropouts", len(events))
+	}
+}
+
+func TestSMURFIgnoresShelfTags(t *testing.T) {
+	w := testWorld()
+	est := New(Config{ReadRange: 2.5, Seed: 1}, w)
+	ep := stream.NewEpoch(0)
+	ep.HasPose = true
+	ep.ReportedPose = geom.P(0, 6, 0, 0)
+	ep.Observed["ref"] = true // shelf tag only
+	est.ProcessEpoch(ep)
+	if events := est.Finish(); len(events) != 0 {
+		t.Errorf("shelf tag produced events: %v", events)
+	}
+}
+
+func TestSMURFSamplesInFrontOfAntenna(t *testing.T) {
+	// Shelves on both sides of the aisle; samples must land on the side the
+	// antenna faces.
+	w := model.NewWorld()
+	w.AddShelf(model.Shelf{ID: "front", Region: geom.NewBBox(geom.V(1, 0, 0), geom.V(1.66, 12, 0))})
+	w.AddShelf(model.Shelf{ID: "back", Region: geom.NewBBox(geom.V(-1.66, 0, 0), geom.V(-1, 12, 0))})
+	est := New(Config{ReadRange: 3, Seed: 5}, w)
+	var epochs []*stream.Epoch
+	for t := 0; t < 40; t++ {
+		ep := stream.NewEpoch(t)
+		ep.HasPose = true
+		ep.ReportedPose = geom.P(0, 3+float64(t)*0.1, 0, 0) // facing +x
+		ep.Observed["obj"] = true
+		epochs = append(epochs, ep)
+	}
+	events := est.Run(epochs)
+	if len(events) == 0 {
+		t.Fatal("no events")
+	}
+	for _, ev := range events {
+		if ev.Loc.X < 0 {
+			t.Errorf("sampled location %v is behind the antenna", ev.Loc)
+		}
+	}
+}
+
+func TestUniformBaselineStaysOnShelfWithinRange(t *testing.T) {
+	w := testWorld()
+	u := NewUniform(Config{ReadRange: 2.5, Seed: 9}, w)
+	epochs := noisyScan(geom.V(1, 6, 0), "obj", 1.0, 2.0, 120, 3)
+	events := u.Run(epochs)
+	if len(events) != 1 {
+		t.Fatalf("uniform baseline should emit exactly one event per object, got %d", len(events))
+	}
+	ev := events[0]
+	if ev.Loc.X < 1 || ev.Loc.X > 1.66 {
+		t.Errorf("uniform sample x = %v outside the shelf", ev.Loc.X)
+	}
+	if ev.Loc.Y < 0 || ev.Loc.Y > 12 {
+		t.Errorf("uniform sample y = %v outside the shelf", ev.Loc.Y)
+	}
+}
+
+func TestUniformIsWorseThanSMURFOnLabTrace(t *testing.T) {
+	// On the emulated lab deployment the expected ordering of the baselines
+	// holds: SMURF (which smooths and averages) beats single-sample uniform.
+	trace, err := sim.GenerateLab(sim.LabConfig{Seed: 31})
+	if err != nil {
+		t.Fatalf("GenerateLab: %v", err)
+	}
+	cfg := Config{ReadRange: 2.5, Seed: 4}
+	smurfRep := scoreEvents(t, New(cfg, trace.World).Run(trace.Epochs), trace)
+	uniRep := scoreEvents(t, NewUniform(cfg, trace.World).Run(trace.Epochs), trace)
+	if smurfRep.Count == 0 || uniRep.Count == 0 {
+		t.Fatal("baselines scored no objects")
+	}
+	if smurfRep.MeanXY >= uniRep.MeanXY {
+		t.Errorf("SMURF (%.2f) should beat uniform (%.2f) on the lab trace", smurfRep.MeanXY, uniRep.MeanXY)
+	}
+	// SMURF's X error is roughly half the shelf depth (0.66/2), certainly
+	// below the full depth.
+	if smurfRep.MeanX > 0.66 {
+		t.Errorf("SMURF X error %.2f exceeds the shelf depth", smurfRep.MeanX)
+	}
+}
+
+func scoreEvents(t *testing.T, events []stream.Event, trace *sim.Trace) metrics.ErrorReport {
+	t.Helper()
+	return metrics.ScoreEvents(events, func(id stream.TagID, tm int) (geom.Vec3, bool) {
+		return trace.Truth.ObjectAt(id, tm)
+	})
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var cfg Config
+	cfg.applyDefaults()
+	if cfg.ReadRange <= 0 || cfg.WindowMax <= 0 || cfg.SamplesPerEpoch <= 0 || cfg.Delta <= 0 {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+}

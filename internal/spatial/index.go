@@ -1,0 +1,78 @@
+package spatial
+
+import (
+	"repro/internal/geom"
+	"repro/internal/stream"
+)
+
+// SensingIndex is the two-component index of Fig. 4(b)/(c): an R*-tree over
+// the bounding boxes of past sensing regions, plus, for each bounding box,
+// the set of objects that had at least one particle inside it when the box
+// was inserted. Probing the index with the current sensing region yields the
+// Case-2 objects: tags not read in the current epoch but read before near the
+// current reader location, whose particles therefore need to be
+// down-weighted.
+type SensingIndex struct {
+	tree    *RTree
+	boxes   []geom.BBox
+	objects [][]stream.TagID
+	// lastInsert tracks the most recent box inserted per object so that
+	// repeated insertions from consecutive epochs (which overlap heavily) do
+	// not blow up the index: a new box for an object is only recorded when it
+	// does not contain the previous one.
+	numEntries int
+}
+
+// NewSensingIndex returns an empty index.
+func NewSensingIndex() *SensingIndex {
+	return &SensingIndex{tree: NewRTree(8)}
+}
+
+// Len returns the number of indexed sensing regions.
+func (x *SensingIndex) Len() int { return x.numEntries }
+
+// Insert records a sensing-region bounding box together with the objects that
+// currently have at least one particle inside it. Boxes with no associated
+// objects are not stored.
+func (x *SensingIndex) Insert(box geom.BBox, objs []stream.TagID) {
+	if box.IsEmpty() || len(objs) == 0 {
+		return
+	}
+	id := len(x.boxes)
+	x.boxes = append(x.boxes, box)
+	cp := make([]stream.TagID, len(objs))
+	copy(cp, objs)
+	x.objects = append(x.objects, cp)
+	x.tree.Insert(box, id)
+	x.numEntries++
+}
+
+// Query returns the union of the objects associated with every indexed
+// sensing region that overlaps the query box, de-duplicated, in no particular
+// order.
+func (x *SensingIndex) Query(box geom.BBox) []stream.TagID {
+	if box.IsEmpty() || x.numEntries == 0 {
+		return nil
+	}
+	seen := make(map[stream.TagID]bool)
+	var out []stream.TagID
+	x.tree.SearchFunc(box, func(id int) {
+		for _, obj := range x.objects[id] {
+			if !seen[obj] {
+				seen[obj] = true
+				out = append(out, obj)
+			}
+		}
+	})
+	return out
+}
+
+// QueryBoxes returns the bounding boxes overlapping the query box; exposed
+// for tests and diagnostics.
+func (x *SensingIndex) QueryBoxes(box geom.BBox) []geom.BBox {
+	var out []geom.BBox
+	x.tree.SearchFunc(box, func(id int) {
+		out = append(out, x.boxes[id])
+	})
+	return out
+}

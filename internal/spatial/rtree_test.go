@@ -1,0 +1,147 @@
+package spatial
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+func box(x0, y0, x1, y1 float64) geom.BBox {
+	return geom.NewBBox(geom.V(x0, y0, 0), geom.V(x1, y1, 0))
+}
+
+func TestRTreeInsertAndSearchSmall(t *testing.T) {
+	tr := NewRTree(4)
+	tr.Insert(box(0, 0, 1, 1), 1)
+	tr.Insert(box(2, 2, 3, 3), 2)
+	tr.Insert(box(0.5, 0.5, 2.5, 2.5), 3)
+
+	if tr.Len() != 3 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	got := tr.Search(box(0.9, 0.9, 1.1, 1.1))
+	if !containsAll(got, 1, 3) || contains(got, 2) {
+		t.Errorf("Search = %v, want {1,3}", got)
+	}
+	if got := tr.Search(box(10, 10, 11, 11)); len(got) != 0 {
+		t.Errorf("Search far away = %v, want empty", got)
+	}
+	// Empty query boxes return nothing.
+	if got := tr.Search(geom.EmptyBBox()); len(got) != 0 {
+		t.Errorf("empty query returned %v", got)
+	}
+	// Empty boxes are not inserted.
+	tr.Insert(geom.EmptyBBox(), 99)
+	if contains(tr.Search(box(-100, -100, 100, 100)), 99) {
+		t.Error("empty box was inserted")
+	}
+}
+
+func TestRTreeSplitsAndGrows(t *testing.T) {
+	tr := NewRTree(4)
+	// Insert enough entries to force several node splits and a root split.
+	n := 200
+	for i := 0; i < n; i++ {
+		x := float64(i % 20)
+		y := float64(i / 20)
+		tr.Insert(box(x, y, x+0.5, y+0.5), i)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	if tr.Height() < 2 {
+		t.Errorf("expected the tree to grow beyond a single leaf, height = %d", tr.Height())
+	}
+	// Every entry must be findable by a query centered on it.
+	for i := 0; i < n; i++ {
+		x := float64(i % 20)
+		y := float64(i / 20)
+		got := tr.Search(box(x+0.1, y+0.1, x+0.2, y+0.2))
+		if !contains(got, i) {
+			t.Fatalf("entry %d not found after splits", i)
+		}
+	}
+	// A full-coverage query returns everything exactly once.
+	all := tr.Search(box(-1, -1, 30, 30))
+	if len(all) != n {
+		t.Errorf("full query returned %d entries, want %d", len(all), n)
+	}
+	seen := map[int]bool{}
+	for _, id := range all {
+		if seen[id] {
+			t.Errorf("entry %d returned twice", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestRTreeSearchFunc(t *testing.T) {
+	tr := NewRTree(4)
+	for i := 0; i < 10; i++ {
+		tr.Insert(box(float64(i), 0, float64(i)+0.9, 1), i)
+	}
+	count := 0
+	tr.SearchFunc(box(2.5, 0, 5.5, 1), func(id int) { count++ })
+	if count != 4 {
+		t.Errorf("SearchFunc visited %d entries, want 4 (ids 2..5)", count)
+	}
+}
+
+// Property: R-tree search results always match a brute-force scan.
+func TestRTreeMatchesBruteForceProperty(t *testing.T) {
+	type rect struct{ x, y, w, h float64 }
+	f := func(seed int64) bool {
+		src := rng.New(seed)
+		tr := NewRTree(6)
+		var boxes []geom.BBox
+		n := 120
+		for i := 0; i < n; i++ {
+			x := src.Uniform(0, 50)
+			y := src.Uniform(0, 50)
+			w := src.Uniform(0.1, 4)
+			h := src.Uniform(0.1, 4)
+			b := box(x, y, x+w, y+h)
+			boxes = append(boxes, b)
+			tr.Insert(b, i)
+		}
+		for q := 0; q < 25; q++ {
+			x := src.Uniform(-2, 50)
+			y := src.Uniform(-2, 50)
+			query := box(x, y, x+src.Uniform(0.1, 8), y+src.Uniform(0.1, 8))
+			got := map[int]bool{}
+			for _, id := range tr.Search(query) {
+				got[id] = true
+			}
+			for i, b := range boxes {
+				want := b.Intersects(query)
+				if got[i] != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func contains(ids []int, want int) bool {
+	for _, id := range ids {
+		if id == want {
+			return true
+		}
+	}
+	return false
+}
+
+func containsAll(ids []int, want ...int) bool {
+	for _, w := range want {
+		if !contains(ids, w) {
+			return false
+		}
+	}
+	return true
+}

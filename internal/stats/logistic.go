@@ -1,0 +1,233 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// LogisticSample is one weighted training example for logistic regression:
+// the feature vector x, the binary outcome y (true = positive class) and a
+// non-negative weight. Weighted samples arise naturally from Monte-Carlo EM,
+// where each hypothesized tag position contributes a fractional example.
+type LogisticSample struct {
+	X      []float64
+	Y      bool
+	Weight float64
+}
+
+// LogisticFitOptions control the iterative fit.
+type LogisticFitOptions struct {
+	// MaxIter bounds the number of Newton / gradient iterations.
+	MaxIter int
+	// Tol is the convergence tolerance on the max absolute coefficient change.
+	Tol float64
+	// L2 is the ridge penalty applied to all coefficients except the
+	// intercept (index 0). A small penalty keeps the fit well-posed when the
+	// classes are separable, which happens easily with clean simulated data.
+	L2 float64
+	// LearningRate is used by the gradient fallback when the Newton step is
+	// ill-conditioned.
+	LearningRate float64
+}
+
+// DefaultLogisticFitOptions returns the options used by the calibration code.
+func DefaultLogisticFitOptions() LogisticFitOptions {
+	return LogisticFitOptions{MaxIter: 200, Tol: 1e-7, L2: 1e-3, LearningRate: 0.05}
+}
+
+// ErrNoSamples is returned when a logistic regression is requested with no
+// usable (positive-weight) training samples.
+var ErrNoSamples = errors.New("stats: no samples with positive weight")
+
+// FitLogistic fits coefficients beta such that P(y=1|x) = Sigmoid(beta . x)
+// by maximizing the weighted penalized log likelihood with damped Newton
+// iterations (IRLS). The first feature is conventionally the constant 1.
+func FitLogistic(samples []LogisticSample, init []float64, opts LogisticFitOptions) ([]float64, error) {
+	if opts.MaxIter <= 0 {
+		opts = DefaultLogisticFitOptions()
+	}
+	dim := 0
+	usable := 0
+	for _, s := range samples {
+		if s.Weight > 0 {
+			usable++
+			if dim == 0 {
+				dim = len(s.X)
+			}
+		}
+	}
+	if usable == 0 || dim == 0 {
+		return nil, ErrNoSamples
+	}
+	beta := make([]float64, dim)
+	if len(init) == dim {
+		copy(beta, init)
+	}
+
+	grad := make([]float64, dim)
+	hess := make([][]float64, dim)
+	for i := range hess {
+		hess[i] = make([]float64, dim)
+	}
+
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		for i := range grad {
+			grad[i] = 0
+			for j := range hess[i] {
+				hess[i][j] = 0
+			}
+		}
+		// Accumulate gradient and Hessian of the negative log likelihood.
+		for _, s := range samples {
+			if s.Weight <= 0 || len(s.X) != dim {
+				continue
+			}
+			u := dotProduct(beta, s.X)
+			p := Sigmoid(u)
+			y := 0.0
+			if s.Y {
+				y = 1.0
+			}
+			r := s.Weight * (p - y)
+			h := s.Weight * p * (1 - p)
+			for i := 0; i < dim; i++ {
+				grad[i] += r * s.X[i]
+				for j := 0; j < dim; j++ {
+					hess[i][j] += h * s.X[i] * s.X[j]
+				}
+			}
+		}
+		// Ridge penalty: full strength on the distance/angle coefficients, a
+		// light penalty on the intercept so that (nearly) separable data
+		// cannot drive the fit to infinity.
+		for i := 0; i < dim; i++ {
+			l2 := opts.L2
+			if i == 0 {
+				l2 = opts.L2 * 0.01
+			}
+			grad[i] += l2 * beta[i]
+			hess[i][i] += l2
+		}
+		// Damping keeps the Newton system well conditioned.
+		for i := 0; i < dim; i++ {
+			hess[i][i] += 1e-8
+		}
+
+		step, err := solveLinearSystem(hess, grad)
+		maxChange := 0.0
+		if err == nil {
+			// Trust region: Newton steps on ill-conditioned or separable data
+			// can be enormous; cap the largest component so the iteration
+			// stays in a region where the quadratic model is meaningful.
+			const maxStep = 1.0
+			largest := 0.0
+			for i := 0; i < dim; i++ {
+				if c := math.Abs(step[i]); c > largest {
+					largest = c
+				}
+			}
+			scale := 1.0
+			if largest > maxStep {
+				scale = maxStep / largest
+			}
+			for i := 0; i < dim; i++ {
+				d := scale * step[i]
+				beta[i] -= d
+				if c := math.Abs(d); c > maxChange {
+					maxChange = c
+				}
+			}
+		} else {
+			// Gradient descent fallback.
+			lr := opts.LearningRate
+			if lr <= 0 {
+				lr = 0.05
+			}
+			for i := 0; i < dim; i++ {
+				d := lr * grad[i]
+				beta[i] -= d
+				if c := math.Abs(d); c > maxChange {
+					maxChange = c
+				}
+			}
+		}
+		if maxChange < opts.Tol {
+			break
+		}
+	}
+	for _, b := range beta {
+		if math.IsNaN(b) || math.IsInf(b, 0) || math.Abs(b) > 1e6 {
+			return nil, errors.New("stats: logistic regression diverged")
+		}
+	}
+	return beta, nil
+}
+
+// LogisticLogLikelihood returns the weighted log likelihood of the samples
+// under coefficients beta.
+func LogisticLogLikelihood(samples []LogisticSample, beta []float64) float64 {
+	ll := 0.0
+	for _, s := range samples {
+		if s.Weight <= 0 || len(s.X) != len(beta) {
+			continue
+		}
+		u := dotProduct(beta, s.X)
+		if s.Y {
+			ll += s.Weight * LogSigmoid(u)
+		} else {
+			ll += s.Weight * LogSigmoid(-u)
+		}
+	}
+	return ll
+}
+
+func dotProduct(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// solveLinearSystem solves A x = b with Gaussian elimination and partial
+// pivoting. A is modified in place on a copy.
+func solveLinearSystem(a [][]float64, b []float64) ([]float64, error) {
+	n := len(b)
+	// Copy the augmented system.
+	m := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		m[i] = make([]float64, n+1)
+		copy(m[i], a[i])
+		m[i][n] = b[i]
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivoting.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-14 {
+			return nil, ErrSingular
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := m[i][n]
+		for j := i + 1; j < n; j++ {
+			s -= m[i][j] * x[j]
+		}
+		x[i] = s / m[i][i]
+	}
+	return x, nil
+}

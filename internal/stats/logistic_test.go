@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// syntheticLogisticData draws weighted samples from a known logistic model.
+func syntheticLogisticData(beta []float64, n int, seed int64) []LogisticSample {
+	src := rng.New(seed)
+	samples := make([]LogisticSample, 0, n)
+	for i := 0; i < n; i++ {
+		x := []float64{1, src.Uniform(-3, 3), src.Uniform(-3, 3)}
+		u := 0.0
+		for j := range beta {
+			u += beta[j] * x[j]
+		}
+		samples = append(samples, LogisticSample{X: x, Y: src.Bernoulli(Sigmoid(u)), Weight: 1})
+	}
+	return samples
+}
+
+func TestFitLogisticRecoversCoefficients(t *testing.T) {
+	truth := []float64{0.5, 1.5, -2.0}
+	samples := syntheticLogisticData(truth, 20000, 5)
+	beta, err := FitLogistic(samples, nil, DefaultLogisticFitOptions())
+	if err != nil {
+		t.Fatalf("FitLogistic: %v", err)
+	}
+	for i := range truth {
+		if math.Abs(beta[i]-truth[i]) > 0.2 {
+			t.Errorf("beta[%d] = %v, want ~%v", i, beta[i], truth[i])
+		}
+	}
+}
+
+func TestFitLogisticImprovesLikelihood(t *testing.T) {
+	truth := []float64{-0.5, 2.0, 1.0}
+	samples := syntheticLogisticData(truth, 5000, 7)
+	start := []float64{0, 0, 0}
+	before := LogisticLogLikelihood(samples, start)
+	beta, err := FitLogistic(samples, start, DefaultLogisticFitOptions())
+	if err != nil {
+		t.Fatalf("FitLogistic: %v", err)
+	}
+	after := LogisticLogLikelihood(samples, beta)
+	if after <= before {
+		t.Errorf("likelihood did not improve: before %v, after %v", before, after)
+	}
+}
+
+func TestFitLogisticWeightedSamples(t *testing.T) {
+	// Two identical samples with weight 1 must be equivalent to one sample
+	// with weight 2.
+	dup := []LogisticSample{
+		{X: []float64{1, 1}, Y: true, Weight: 1},
+		{X: []float64{1, 1}, Y: true, Weight: 1},
+		{X: []float64{1, -1}, Y: false, Weight: 1},
+		{X: []float64{1, -1}, Y: false, Weight: 1},
+	}
+	merged := []LogisticSample{
+		{X: []float64{1, 1}, Y: true, Weight: 2},
+		{X: []float64{1, -1}, Y: false, Weight: 2},
+	}
+	opts := DefaultLogisticFitOptions()
+	b1, err1 := FitLogistic(dup, nil, opts)
+	b2, err2 := FitLogistic(merged, nil, opts)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("fit errors: %v %v", err1, err2)
+	}
+	for i := range b1 {
+		if math.Abs(b1[i]-b2[i]) > 1e-6 {
+			t.Errorf("weighted fit differs from duplicated fit at %d: %v vs %v", i, b1[i], b2[i])
+		}
+	}
+}
+
+func TestFitLogisticSeparableDataStaysBounded(t *testing.T) {
+	// Perfectly separable data would drive an unpenalized fit to infinity;
+	// the ridge penalty and the trust region must keep the coefficients
+	// finite and the predictions sensible.
+	var samples []LogisticSample
+	for i := 0; i < 50; i++ {
+		x := float64(i)/10 + 0.1
+		samples = append(samples, LogisticSample{X: []float64{1, x}, Y: true, Weight: 1})
+		samples = append(samples, LogisticSample{X: []float64{1, -x}, Y: false, Weight: 1})
+	}
+	beta, err := FitLogistic(samples, nil, DefaultLogisticFitOptions())
+	if err != nil {
+		t.Fatalf("FitLogistic: %v", err)
+	}
+	for i, b := range beta {
+		if math.Abs(b) > 1e4 {
+			t.Errorf("coefficient %d exploded: %v", i, b)
+		}
+	}
+	// Predictions should still separate the classes.
+	if Sigmoid(beta[0]+beta[1]*3) < 0.9 {
+		t.Error("positive region not classified as positive")
+	}
+	if Sigmoid(beta[0]+beta[1]*-3) > 0.1 {
+		t.Error("negative region not classified as negative")
+	}
+}
+
+func TestFitLogisticErrorCases(t *testing.T) {
+	if _, err := FitLogistic(nil, nil, DefaultLogisticFitOptions()); err == nil {
+		t.Error("expected error for empty sample set")
+	}
+	zeroWeight := []LogisticSample{{X: []float64{1, 2}, Y: true, Weight: 0}}
+	if _, err := FitLogistic(zeroWeight, nil, DefaultLogisticFitOptions()); err == nil {
+		t.Error("expected error when all weights are zero")
+	}
+}
+
+func TestLogisticLogLikelihoodSign(t *testing.T) {
+	samples := []LogisticSample{
+		{X: []float64{1, 2}, Y: true, Weight: 1},
+		{X: []float64{1, -2}, Y: false, Weight: 1},
+	}
+	// Any log likelihood is non-positive.
+	if ll := LogisticLogLikelihood(samples, []float64{0.3, 0.7}); ll > 0 {
+		t.Errorf("log likelihood must be <= 0, got %v", ll)
+	}
+	// A model aligned with the data beats a misaligned one.
+	good := LogisticLogLikelihood(samples, []float64{0, 2})
+	bad := LogisticLogLikelihood(samples, []float64{0, -2})
+	if good <= bad {
+		t.Errorf("aligned model (%v) should beat misaligned (%v)", good, bad)
+	}
+}

@@ -1,0 +1,172 @@
+// Package stats implements the small probabilistic toolkit the RFID
+// inference system relies on: 3x3 matrices, multivariate Gaussians, weighted
+// sample moments, log-space weight arithmetic, the logistic (sigmoid)
+// function and KL divergence between an empirical particle distribution and
+// a Gaussian. Only the standard library is used.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Mat3 is a 3x3 matrix stored in row-major order.
+type Mat3 [3][3]float64
+
+// Identity3 returns the 3x3 identity matrix.
+func Identity3() Mat3 {
+	return Mat3{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+}
+
+// Diag3 returns the diagonal matrix with the given diagonal entries.
+func Diag3(a, b, c float64) Mat3 {
+	return Mat3{{a, 0, 0}, {0, b, 0}, {0, 0, c}}
+}
+
+// Add returns m + o.
+func (m Mat3) Add(o Mat3) Mat3 {
+	var r Mat3
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			r[i][j] = m[i][j] + o[i][j]
+		}
+	}
+	return r
+}
+
+// Scale returns m scaled by s.
+func (m Mat3) Scale(s float64) Mat3 {
+	var r Mat3
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			r[i][j] = m[i][j] * s
+		}
+	}
+	return r
+}
+
+// MulVec returns m * v.
+func (m Mat3) MulVec(v geom.Vec3) geom.Vec3 {
+	return geom.Vec3{
+		X: m[0][0]*v.X + m[0][1]*v.Y + m[0][2]*v.Z,
+		Y: m[1][0]*v.X + m[1][1]*v.Y + m[1][2]*v.Z,
+		Z: m[2][0]*v.X + m[2][1]*v.Y + m[2][2]*v.Z,
+	}
+}
+
+// Mul returns the matrix product m * o.
+func (m Mat3) Mul(o Mat3) Mat3 {
+	var r Mat3
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			s := 0.0
+			for k := 0; k < 3; k++ {
+				s += m[i][k] * o[k][j]
+			}
+			r[i][j] = s
+		}
+	}
+	return r
+}
+
+// Transpose returns the transpose of m.
+func (m Mat3) Transpose() Mat3 {
+	var r Mat3
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			r[i][j] = m[j][i]
+		}
+	}
+	return r
+}
+
+// Det returns the determinant of m.
+func (m Mat3) Det() float64 {
+	return m[0][0]*(m[1][1]*m[2][2]-m[1][2]*m[2][1]) -
+		m[0][1]*(m[1][0]*m[2][2]-m[1][2]*m[2][0]) +
+		m[0][2]*(m[1][0]*m[2][1]-m[1][1]*m[2][0])
+}
+
+// Trace returns the trace of m.
+func (m Mat3) Trace() float64 { return m[0][0] + m[1][1] + m[2][2] }
+
+// ErrSingular is returned when a matrix cannot be inverted or factorized.
+var ErrSingular = errors.New("stats: matrix is singular or not positive definite")
+
+// Inverse returns the inverse of m. It returns ErrSingular when the
+// determinant is (numerically) zero.
+func (m Mat3) Inverse() (Mat3, error) {
+	d := m.Det()
+	if math.Abs(d) < 1e-18 {
+		return Mat3{}, ErrSingular
+	}
+	inv := 1 / d
+	var r Mat3
+	r[0][0] = (m[1][1]*m[2][2] - m[1][2]*m[2][1]) * inv
+	r[0][1] = (m[0][2]*m[2][1] - m[0][1]*m[2][2]) * inv
+	r[0][2] = (m[0][1]*m[1][2] - m[0][2]*m[1][1]) * inv
+	r[1][0] = (m[1][2]*m[2][0] - m[1][0]*m[2][2]) * inv
+	r[1][1] = (m[0][0]*m[2][2] - m[0][2]*m[2][0]) * inv
+	r[1][2] = (m[0][2]*m[1][0] - m[0][0]*m[1][2]) * inv
+	r[2][0] = (m[1][0]*m[2][1] - m[1][1]*m[2][0]) * inv
+	r[2][1] = (m[0][1]*m[2][0] - m[0][0]*m[2][1]) * inv
+	r[2][2] = (m[0][0]*m[1][1] - m[0][1]*m[1][0]) * inv
+	return r, nil
+}
+
+// Cholesky returns the lower-triangular matrix L such that m = L * L^T.
+// m must be symmetric positive definite; otherwise ErrSingular is returned.
+func (m Mat3) Cholesky() (Mat3, error) {
+	var l Mat3
+	for i := 0; i < 3; i++ {
+		for j := 0; j <= i; j++ {
+			sum := m[i][j]
+			for k := 0; k < j; k++ {
+				sum -= l[i][k] * l[j][k]
+			}
+			if i == j {
+				if sum <= 0 {
+					return Mat3{}, ErrSingular
+				}
+				l[i][j] = math.Sqrt(sum)
+			} else {
+				l[i][j] = sum / l[j][j]
+			}
+		}
+	}
+	return l, nil
+}
+
+// Symmetrize returns (m + m^T) / 2, useful for cleaning up covariance
+// estimates that drifted slightly out of symmetry.
+func (m Mat3) Symmetrize() Mat3 {
+	return m.Add(m.Transpose()).Scale(0.5)
+}
+
+// AddDiagonal returns m with eps added to each diagonal entry (Tikhonov
+// regularization of covariance matrices).
+func (m Mat3) AddDiagonal(eps float64) Mat3 {
+	r := m
+	r[0][0] += eps
+	r[1][1] += eps
+	r[2][2] += eps
+	return r
+}
+
+// String implements fmt.Stringer.
+func (m Mat3) String() string {
+	return fmt.Sprintf("[%g %g %g; %g %g %g; %g %g %g]",
+		m[0][0], m[0][1], m[0][2], m[1][0], m[1][1], m[1][2], m[2][0], m[2][1], m[2][2])
+}
+
+// OuterProduct returns v * w^T.
+func OuterProduct(v, w geom.Vec3) Mat3 {
+	return Mat3{
+		{v.X * w.X, v.X * w.Y, v.X * w.Z},
+		{v.Y * w.X, v.Y * w.Y, v.Y * w.Z},
+		{v.Z * w.X, v.Z * w.Y, v.Z * w.Z},
+	}
+}

@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func matAlmostEq(a, b Mat3, tol float64) bool {
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if math.Abs(a[i][j]-b[i][j]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestIdentityAndDiag(t *testing.T) {
+	id := Identity3()
+	if id.Det() != 1 || id.Trace() != 3 {
+		t.Error("identity has wrong det/trace")
+	}
+	d := Diag3(2, 3, 4)
+	if d.Det() != 24 {
+		t.Errorf("diag det = %v", d.Det())
+	}
+	v := geom.V(1, 1, 1)
+	if d.MulVec(v) != geom.V(2, 3, 4) {
+		t.Errorf("diag mulvec = %v", d.MulVec(v))
+	}
+}
+
+func TestMatrixAddScaleMul(t *testing.T) {
+	a := Mat3{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}
+	b := Identity3()
+	if !matAlmostEq(a.Mul(b), a, 1e-12) {
+		t.Error("A*I != A")
+	}
+	if !matAlmostEq(b.Mul(a), a, 1e-12) {
+		t.Error("I*A != A")
+	}
+	sum := a.Add(a)
+	if !matAlmostEq(sum, a.Scale(2), 1e-12) {
+		t.Error("A+A != 2A")
+	}
+	if !matAlmostEq(a.Transpose().Transpose(), a, 1e-12) {
+		t.Error("double transpose changed the matrix")
+	}
+}
+
+func TestInverse(t *testing.T) {
+	m := Mat3{{4, 0, 0}, {0, 2, 1}, {0, 1, 2}}
+	inv, err := m.Inverse()
+	if err != nil {
+		t.Fatalf("Inverse: %v", err)
+	}
+	if !matAlmostEq(m.Mul(inv), Identity3(), 1e-9) {
+		t.Errorf("M*M^-1 != I: %v", m.Mul(inv))
+	}
+	singular := Mat3{{1, 2, 3}, {2, 4, 6}, {0, 0, 1}}
+	if _, err := singular.Inverse(); err == nil {
+		t.Error("expected error inverting a singular matrix")
+	}
+}
+
+func TestCholesky(t *testing.T) {
+	// A symmetric positive-definite matrix.
+	m := Mat3{{4, 2, 0.5}, {2, 3, 0.25}, {0.5, 0.25, 1}}
+	l, err := m.Cholesky()
+	if err != nil {
+		t.Fatalf("Cholesky: %v", err)
+	}
+	if !matAlmostEq(l.Mul(l.Transpose()), m, 1e-9) {
+		t.Errorf("L*L^T != M")
+	}
+	// Upper triangle of L must be zero.
+	if l[0][1] != 0 || l[0][2] != 0 || l[1][2] != 0 {
+		t.Error("Cholesky factor is not lower triangular")
+	}
+	notPD := Mat3{{1, 0, 0}, {0, -2, 0}, {0, 0, 1}}
+	if _, err := notPD.Cholesky(); err == nil {
+		t.Error("expected error for a non positive-definite matrix")
+	}
+}
+
+func TestSymmetrizeAndAddDiagonal(t *testing.T) {
+	m := Mat3{{1, 2, 0}, {0, 1, 0}, {0, 0, 1}}
+	s := m.Symmetrize()
+	if !matAlmostEq(s, s.Transpose(), 1e-12) {
+		t.Error("Symmetrize result is not symmetric")
+	}
+	d := m.AddDiagonal(0.5)
+	if d[0][0] != 1.5 || d[1][1] != 1.5 || d[2][2] != 1.5 || d[0][1] != 2 {
+		t.Errorf("AddDiagonal = %v", d)
+	}
+}
+
+func TestOuterProduct(t *testing.T) {
+	v := geom.V(1, 2, 3)
+	w := geom.V(4, 5, 6)
+	op := OuterProduct(v, w)
+	if op[0][0] != 4 || op[1][2] != 12 || op[2][1] != 15 {
+		t.Errorf("OuterProduct = %v", op)
+	}
+	// Outer product of a vector with itself is symmetric and PSD.
+	self := OuterProduct(v, v)
+	if !matAlmostEq(self, self.Transpose(), 1e-12) {
+		t.Error("self outer product not symmetric")
+	}
+}
+
+func TestSolveLinearSystem(t *testing.T) {
+	a := [][]float64{{2, 1, 0}, {1, 3, 1}, {0, 1, 2}}
+	b := []float64{3, 8, 5}
+	x, err := solveLinearSystem(a, b)
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	// Verify A x = b.
+	for i := 0; i < 3; i++ {
+		got := 0.0
+		for j := 0; j < 3; j++ {
+			got += a[i][j] * x[j]
+		}
+		if math.Abs(got-b[i]) > 1e-9 {
+			t.Errorf("row %d: Ax = %v, want %v", i, got, b[i])
+		}
+	}
+	// Singular system errors out.
+	if _, err := solveLinearSystem([][]float64{{1, 1}, {1, 1}}, []float64{1, 2}); err == nil {
+		t.Error("expected error for singular system")
+	}
+}
+
+// Property: inverting a well-conditioned symmetric positive-definite matrix
+// and multiplying back yields the identity.
+func TestInverseRoundTripProperty(t *testing.T) {
+	f := func(a, b, c, d, e, g float64) bool {
+		for _, v := range []float64{a, b, c, d, e, g} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e3 {
+				return true
+			}
+		}
+		// Build SPD matrix m = L*L^T + I to guarantee invertibility.
+		l := Mat3{{1 + math.Abs(a), 0, 0}, {b, 1 + math.Abs(c), 0}, {d, e, 1 + math.Abs(g)}}
+		m := l.Mul(l.Transpose()).AddDiagonal(1)
+		inv, err := m.Inverse()
+		if err != nil {
+			return false
+		}
+		return matAlmostEq(m.Mul(inv), Identity3(), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,196 @@
+package stream
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// The CSV codecs below give the command line tools a simple on-disk trace
+// format:
+//
+//	readings.csv:  time,tag
+//	locations.csv: time,x,y,z[,phi]
+//	events.csv:    time,tag,x,y,z,varx,vary,varz
+//
+// All files carry a header row.
+
+// WriteReadingsCSV writes a reading stream in CSV form.
+func WriteReadingsCSV(w io.Writer, readings []Reading) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time", "tag"}); err != nil {
+		return err
+	}
+	for _, r := range readings {
+		rec := []string{strconv.Itoa(r.Time), string(r.Tag)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadReadingsCSV parses a reading stream written by WriteReadingsCSV.
+func ReadReadingsCSV(r io.Reader) ([]Reading, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	var out []Reading
+	for i, row := range rows {
+		if i == 0 && len(row) > 0 && row[0] == "time" {
+			continue
+		}
+		if len(row) < 2 {
+			return nil, fmt.Errorf("stream: readings row %d: expected 2 fields, got %d", i, len(row))
+		}
+		t, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("stream: readings row %d: bad time %q: %w", i, row[0], err)
+		}
+		out = append(out, Reading{Time: t, Tag: TagID(row[1])})
+	}
+	return out, nil
+}
+
+// WriteLocationsCSV writes a reader location stream in CSV form.
+func WriteLocationsCSV(w io.Writer, locs []LocationReport) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time", "x", "y", "z", "phi"}); err != nil {
+		return err
+	}
+	for _, l := range locs {
+		phi := ""
+		if l.HasPhi {
+			phi = formatFloat(l.Phi)
+		}
+		rec := []string{
+			strconv.Itoa(l.Time),
+			formatFloat(l.Pos.X), formatFloat(l.Pos.Y), formatFloat(l.Pos.Z),
+			phi,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadLocationsCSV parses a location stream written by WriteLocationsCSV.
+func ReadLocationsCSV(r io.Reader) ([]LocationReport, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	var out []LocationReport
+	for i, row := range rows {
+		if i == 0 && len(row) > 0 && row[0] == "time" {
+			continue
+		}
+		if len(row) < 4 {
+			return nil, fmt.Errorf("stream: locations row %d: expected at least 4 fields, got %d", i, len(row))
+		}
+		t, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("stream: locations row %d: bad time %q: %w", i, row[0], err)
+		}
+		var l LocationReport
+		l.Time = t
+		if l.Pos.X, err = strconv.ParseFloat(row[1], 64); err != nil {
+			return nil, fmt.Errorf("stream: locations row %d: bad x: %w", i, err)
+		}
+		if l.Pos.Y, err = strconv.ParseFloat(row[2], 64); err != nil {
+			return nil, fmt.Errorf("stream: locations row %d: bad y: %w", i, err)
+		}
+		if l.Pos.Z, err = strconv.ParseFloat(row[3], 64); err != nil {
+			return nil, fmt.Errorf("stream: locations row %d: bad z: %w", i, err)
+		}
+		if len(row) >= 5 && row[4] != "" {
+			if l.Phi, err = strconv.ParseFloat(row[4], 64); err != nil {
+				return nil, fmt.Errorf("stream: locations row %d: bad phi: %w", i, err)
+			}
+			l.HasPhi = true
+		}
+		out = append(out, l)
+	}
+	return out, nil
+}
+
+// WriteEventsCSV writes an event stream in CSV form.
+func WriteEventsCSV(w io.Writer, events []Event) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time", "tag", "x", "y", "z", "varx", "vary", "varz"}); err != nil {
+		return err
+	}
+	for _, ev := range events {
+		rec := []string{
+			strconv.Itoa(ev.Time), string(ev.Tag),
+			formatFloat(ev.Loc.X), formatFloat(ev.Loc.Y), formatFloat(ev.Loc.Z),
+			formatFloat(ev.Stats.Variance.X), formatFloat(ev.Stats.Variance.Y), formatFloat(ev.Stats.Variance.Z),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadEventsCSV parses an event stream written by WriteEventsCSV.
+func ReadEventsCSV(r io.Reader) ([]Event, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	var out []Event
+	for i, row := range rows {
+		if i == 0 && len(row) > 0 && row[0] == "time" {
+			continue
+		}
+		if len(row) < 5 {
+			return nil, fmt.Errorf("stream: events row %d: expected at least 5 fields, got %d", i, len(row))
+		}
+		t, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("stream: events row %d: bad time: %w", i, err)
+		}
+		var ev Event
+		ev.Time = t
+		ev.Tag = TagID(row[1])
+		if ev.Loc.X, err = strconv.ParseFloat(row[2], 64); err != nil {
+			return nil, fmt.Errorf("stream: events row %d: bad x: %w", i, err)
+		}
+		if ev.Loc.Y, err = strconv.ParseFloat(row[3], 64); err != nil {
+			return nil, fmt.Errorf("stream: events row %d: bad y: %w", i, err)
+		}
+		if ev.Loc.Z, err = strconv.ParseFloat(row[4], 64); err != nil {
+			return nil, fmt.Errorf("stream: events row %d: bad z: %w", i, err)
+		}
+		if len(row) >= 8 {
+			if ev.Stats.Variance.X, err = strconv.ParseFloat(row[5], 64); err != nil {
+				return nil, fmt.Errorf("stream: events row %d: bad varx: %w", i, err)
+			}
+			if ev.Stats.Variance.Y, err = strconv.ParseFloat(row[6], 64); err != nil {
+				return nil, fmt.Errorf("stream: events row %d: bad vary: %w", i, err)
+			}
+			if ev.Stats.Variance.Z, err = strconv.ParseFloat(row[7], 64); err != nil {
+				return nil, fmt.Errorf("stream: events row %d: bad varz: %w", i, err)
+			}
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

@@ -1,0 +1,188 @@
+package stream
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestEpochObservedList(t *testing.T) {
+	e := NewEpoch(3)
+	e.Observed["b"] = true
+	e.Observed["a"] = true
+	e.Observed["c"] = true
+	got := e.ObservedList()
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("ObservedList = %v, want sorted [a b c]", got)
+	}
+	if !e.Contains("a") || e.Contains("zzz") {
+		t.Error("Contains misbehaves")
+	}
+}
+
+func TestEpochClone(t *testing.T) {
+	e := NewEpoch(1)
+	e.Observed["x"] = true
+	e.HasPose = true
+	e.ReportedPose = geom.P(1, 2, 3, 0.5)
+	c := e.Clone()
+	c.Observed["y"] = true
+	if e.Contains("y") {
+		t.Error("Clone shares the observed map")
+	}
+	if c.Time != 1 || !c.HasPose || c.ReportedPose != e.ReportedPose {
+		t.Error("Clone lost fields")
+	}
+}
+
+func TestByTimeThenTag(t *testing.T) {
+	events := []Event{
+		{Time: 5, Tag: "b"},
+		{Time: 1, Tag: "z"},
+		{Time: 5, Tag: "a"},
+	}
+	ByTimeThenTag(events)
+	if events[0].Tag != "z" || events[1].Tag != "a" || events[2].Tag != "b" {
+		t.Errorf("sorted order wrong: %v", events)
+	}
+}
+
+func TestReportPolicyString(t *testing.T) {
+	if ReportAfterDelay.String() != "after-delay" ||
+		ReportOnLeaveScope.String() != "on-leave-scope" ||
+		ReportEveryEpoch.String() != "every-epoch" {
+		t.Error("report policy names wrong")
+	}
+	if !strings.Contains(ReportPolicy(99).String(), "99") {
+		t.Error("unknown policy should include its numeric value")
+	}
+}
+
+func TestSynchronizerGroupsByEpoch(t *testing.T) {
+	s := NewSynchronizer()
+	s.AddReading(Reading{Time: 1, Tag: "a"})
+	s.AddReading(Reading{Time: 1, Tag: "b"})
+	s.AddReading(Reading{Time: 1, Tag: "a"}) // duplicate within the epoch
+	s.AddReading(Reading{Time: 3, Tag: "c"})
+	s.AddLocation(LocationReport{Time: 1, Pos: geom.V(0, 0, 0)})
+	s.AddLocation(LocationReport{Time: 1, Pos: geom.V(2, 2, 0)})
+	s.AddLocation(LocationReport{Time: 2, Pos: geom.V(5, 5, 0), Phi: 1.5, HasPhi: true})
+
+	epochs := s.Epochs()
+	if len(epochs) != 3 {
+		t.Fatalf("expected 3 epochs, got %d", len(epochs))
+	}
+	// Epoch 1: two distinct tags, averaged location.
+	e1 := epochs[0]
+	if e1.Time != 1 || len(e1.Observed) != 2 {
+		t.Errorf("epoch 1 = %+v", e1)
+	}
+	if !e1.HasPose || e1.ReportedPose.Pos != geom.V(1, 1, 0) {
+		t.Errorf("epoch 1 pose = %v", e1.ReportedPose.Pos)
+	}
+	// Epoch 2: location only, with heading.
+	e2 := epochs[1]
+	if e2.Time != 2 || len(e2.Observed) != 0 || !e2.HasPose || e2.ReportedPose.Phi != 1.5 {
+		t.Errorf("epoch 2 = %+v", e2)
+	}
+	// Epoch 3: reading only, no pose.
+	e3 := epochs[2]
+	if e3.Time != 3 || e3.HasPose || !e3.Contains("c") {
+		t.Errorf("epoch 3 = %+v", e3)
+	}
+}
+
+func TestSynchronizeConvenience(t *testing.T) {
+	epochs := Synchronize(
+		[]Reading{{Time: 10, Tag: "x"}},
+		[]LocationReport{{Time: 10, Pos: geom.V(1, 0, 0)}},
+	)
+	if len(epochs) != 1 || !epochs[0].Contains("x") || !epochs[0].HasPose {
+		t.Errorf("Synchronize result wrong: %+v", epochs[0])
+	}
+}
+
+func TestReadingsCSVRoundTrip(t *testing.T) {
+	in := []Reading{{Time: 0, Tag: "a"}, {Time: 2, Tag: "b,with,commas"}}
+	var buf bytes.Buffer
+	if err := WriteReadingsCSV(&buf, in); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	out, err := ReadReadingsCSV(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip changed length: %d", len(out))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Errorf("row %d: %v != %v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestLocationsCSVRoundTrip(t *testing.T) {
+	in := []LocationReport{
+		{Time: 0, Pos: geom.V(1.25, -2, 0)},
+		{Time: 1, Pos: geom.V(0, 0.5, 3), Phi: 1.57, HasPhi: true},
+	}
+	var buf bytes.Buffer
+	if err := WriteLocationsCSV(&buf, in); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	out, err := ReadLocationsCSV(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("round trip changed length")
+	}
+	if out[0].HasPhi {
+		t.Error("row without phi gained one")
+	}
+	if !out[1].HasPhi || out[1].Phi != 1.57 {
+		t.Error("phi lost in round trip")
+	}
+	if out[0].Pos != in[0].Pos || out[1].Pos != in[1].Pos {
+		t.Error("positions changed in round trip")
+	}
+}
+
+func TestEventsCSVRoundTrip(t *testing.T) {
+	in := []Event{
+		{Time: 7, Tag: "obj-1", Loc: geom.V(1, 2, 0), Stats: EventStats{Variance: geom.V(0.1, 0.2, 0)}},
+		{Time: 8, Tag: "obj-2", Loc: geom.V(-1, 0, 0.5)},
+	}
+	var buf bytes.Buffer
+	if err := WriteEventsCSV(&buf, in); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	out, err := ReadEventsCSV(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("round trip changed length")
+	}
+	if out[0].Loc != in[0].Loc || out[0].Stats.Variance != in[0].Stats.Variance {
+		t.Errorf("event 0 changed: %+v", out[0])
+	}
+	if out[1].Tag != "obj-2" {
+		t.Errorf("event 1 tag changed: %v", out[1].Tag)
+	}
+}
+
+func TestCSVRejectsMalformedRows(t *testing.T) {
+	if _, err := ReadReadingsCSV(strings.NewReader("time,tag\nnot-a-number,a\n")); err == nil {
+		t.Error("expected error for bad time")
+	}
+	if _, err := ReadLocationsCSV(strings.NewReader("time,x,y,z,phi\n1,a,b,c,\n")); err == nil {
+		t.Error("expected error for bad coordinates")
+	}
+	if _, err := ReadEventsCSV(strings.NewReader("time,tag,x,y,z,varx,vary,varz\n1,t,1,2\n")); err == nil {
+		t.Error("expected error for short row")
+	}
+}

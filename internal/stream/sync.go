@@ -1,0 +1,104 @@
+package stream
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Synchronizer merges the two slightly out-of-sync raw streams into a single
+// sequence of epochs, as described in Section II: all RFID readings produced
+// within one epoch are assigned that epoch's time, and multiple location
+// updates within an epoch are averaged into a single reported location.
+type Synchronizer struct {
+	epochs map[int]*epochAccum
+}
+
+type epochAccum struct {
+	observed map[TagID]bool
+	posSum   geom.Vec3
+	phiSum   float64
+	nPos     int
+	nPhi     int
+}
+
+// NewSynchronizer returns an empty Synchronizer.
+func NewSynchronizer() *Synchronizer {
+	return &Synchronizer{epochs: make(map[int]*epochAccum)}
+}
+
+func (s *Synchronizer) accum(t int) *epochAccum {
+	a, ok := s.epochs[t]
+	if !ok {
+		a = &epochAccum{observed: make(map[TagID]bool)}
+		s.epochs[t] = a
+	}
+	return a
+}
+
+// AddReading feeds one raw RFID reading.
+func (s *Synchronizer) AddReading(r Reading) {
+	s.accum(r.Time).observed[r.Tag] = true
+}
+
+// AddLocation feeds one raw reader location report.
+func (s *Synchronizer) AddLocation(l LocationReport) {
+	a := s.accum(l.Time)
+	a.posSum = a.posSum.Add(l.Pos)
+	a.nPos++
+	if l.HasPhi {
+		a.phiSum += l.Phi
+		a.nPhi++
+	}
+}
+
+// AddReadings feeds a batch of readings.
+func (s *Synchronizer) AddReadings(rs []Reading) {
+	for _, r := range rs {
+		s.AddReading(r)
+	}
+}
+
+// AddLocations feeds a batch of location reports.
+func (s *Synchronizer) AddLocations(ls []LocationReport) {
+	for _, l := range ls {
+		s.AddLocation(l)
+	}
+}
+
+// Epochs returns the synchronized epochs in time order. Epochs with readings
+// but no location report have HasPose == false; the inference engine falls
+// back to the motion model for those steps.
+func (s *Synchronizer) Epochs() []*Epoch {
+	times := make([]int, 0, len(s.epochs))
+	for t := range s.epochs {
+		times = append(times, t)
+	}
+	sort.Ints(times)
+	out := make([]*Epoch, 0, len(times))
+	for _, t := range times {
+		a := s.epochs[t]
+		e := NewEpoch(t)
+		for id := range a.observed {
+			e.Observed[id] = true
+		}
+		if a.nPos > 0 {
+			e.HasPose = true
+			e.ReportedPose.Pos = a.posSum.Scale(1 / float64(a.nPos))
+			if a.nPhi > 0 {
+				e.ReportedPose.Phi = a.phiSum / float64(a.nPhi)
+			}
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Synchronize is a convenience wrapper that merges complete reading and
+// location slices into an epoch sequence.
+func Synchronize(readings []Reading, locations []LocationReport) []*Epoch {
+	s := NewSynchronizer()
+	s.AddReadings(readings)
+	s.AddLocations(locations)
+	return s.Epochs()
+}

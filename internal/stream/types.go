@@ -1,0 +1,149 @@
+// Package stream defines the data stream types that flow through the system:
+// the two raw, noisy input streams produced by a mobile RFID reader (tag
+// readings and reported reader locations), the synchronized per-epoch view
+// the inference engine consumes, and the clean output event stream with
+// object locations.
+package stream
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// TagID identifies an RFID tag (an EPC code in a real deployment).
+type TagID string
+
+// Reading is one element of the raw RFID reading stream:
+// (time, tag id of object O_i or shelf S_j).
+type Reading struct {
+	Time int   // epoch index (the paper uses one-second epochs)
+	Tag  TagID // tag id, either an object tag or a shelf tag
+}
+
+// LocationReport is one element of the raw reader location stream:
+// (time, (x, y, z)) as reported by the positioning subsystem (indoor GPS,
+// ultrasound or dead reckoning). It is noisy and possibly biased.
+type LocationReport struct {
+	Time int
+	Pos  geom.Vec3
+	// Phi is the reported heading. Readers whose positioning system does not
+	// report orientation leave it zero and the heading must be inferred from
+	// the motion model.
+	Phi float64
+	// HasPhi records whether Phi carries information.
+	HasPhi bool
+}
+
+// Epoch is the synchronized view of both raw streams for one time step: all
+// tags observed during the epoch and a single (averaged) reported reader
+// location. The inference engine consumes a sequence of epochs.
+type Epoch struct {
+	Time int
+	// ReportedPose is the noisy reader pose derived from the location stream.
+	ReportedPose geom.Pose
+	// HasPose is false when no location report arrived during this epoch.
+	HasPose bool
+	// Observed is the set of tags read during this epoch.
+	Observed map[TagID]bool
+}
+
+// NewEpoch returns an empty epoch at time t.
+func NewEpoch(t int) *Epoch {
+	return &Epoch{Time: t, Observed: make(map[TagID]bool)}
+}
+
+// ObservedList returns the observed tags in deterministic (sorted) order.
+func (e *Epoch) ObservedList() []TagID {
+	out := make([]TagID, 0, len(e.Observed))
+	for id := range e.Observed {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Contains reports whether the epoch observed the given tag.
+func (e *Epoch) Contains(id TagID) bool { return e.Observed[id] }
+
+// Clone returns a deep copy of the epoch.
+func (e *Epoch) Clone() *Epoch {
+	c := NewEpoch(e.Time)
+	c.ReportedPose = e.ReportedPose
+	c.HasPose = e.HasPose
+	for id := range e.Observed {
+		c.Observed[id] = true
+	}
+	return c
+}
+
+// EventStats carries optional summary statistics about the estimated location
+// distribution reported with an event.
+type EventStats struct {
+	// Variance is the per-axis variance of the location estimate.
+	Variance geom.Vec3
+	// NumParticles is the number of particles backing the estimate (zero when
+	// the estimate came from a compressed Gaussian).
+	NumParticles int
+	// Compressed reports whether the belief was in compressed (Gaussian) form
+	// when the event was emitted.
+	Compressed bool
+}
+
+// Event is one element of the clean output stream:
+// (time, tag id, (x, y, z), statistics). Events are emitted for observed
+// objects and for objects whose readings were missed, mitigating data loss.
+type Event struct {
+	Time  int
+	Tag   TagID
+	Loc   geom.Vec3
+	Stats EventStats
+}
+
+// String implements fmt.Stringer.
+func (ev Event) String() string {
+	return fmt.Sprintf("t=%d tag=%s loc=%v", ev.Time, ev.Tag, ev.Loc)
+}
+
+// ByTimeThenTag sorts events by time, breaking ties by tag id; the canonical
+// output order.
+func ByTimeThenTag(events []Event) {
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].Time != events[j].Time {
+			return events[i].Time < events[j].Time
+		}
+		return events[i].Tag < events[j].Tag
+	})
+}
+
+// ReportPolicy controls when the engine emits location events for an object.
+// The paper leaves the choice to the application; the engine supports the
+// three policies described in Section II.
+type ReportPolicy int
+
+const (
+	// ReportAfterDelay emits an event DelayEpochs after an object was first
+	// read in the current scan (the policy used in the evaluation: 60s).
+	ReportAfterDelay ReportPolicy = iota
+	// ReportOnLeaveScope emits an event when an object leaves the reader's
+	// scope (e.g. upon completion of a shelf scan).
+	ReportOnLeaveScope
+	// ReportEveryEpoch emits an event for every in-scope object at every
+	// epoch. Useful for debugging and for continuous queries.
+	ReportEveryEpoch
+)
+
+// String implements fmt.Stringer.
+func (p ReportPolicy) String() string {
+	switch p {
+	case ReportAfterDelay:
+		return "after-delay"
+	case ReportOnLeaveScope:
+		return "on-leave-scope"
+	case ReportEveryEpoch:
+		return "every-epoch"
+	default:
+		return fmt.Sprintf("ReportPolicy(%d)", int(p))
+	}
+}

@@ -1,0 +1,270 @@
+// Package traceio reads and writes trace directories in the on-disk layout
+// shared by the command line tools:
+//
+//	readings.csv     time,tag                      raw RFID reading stream
+//	locations.csv    time,x,y,z,phi                raw reader location stream
+//	shelftags.csv    tag,x,y,z                     shelf tags with known locations
+//	shelves.csv      id,minx,miny,minz,maxx,...    optional explicit shelf regions
+//	groundtruth.csv  tag,time,x,y,z                optional ground truth for scoring
+package traceio
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/geom"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/stream"
+)
+
+// Dir is the in-memory form of a trace directory.
+type Dir struct {
+	Readings  []stream.Reading
+	Locations []stream.LocationReport
+	World     *model.World
+	// Truth maps object tags to their true locations (at the final epoch)
+	// when groundtruth.csv is present.
+	Truth map[stream.TagID]geom.Vec3
+}
+
+// Write writes a simulated trace into dir, creating it if needed.
+func Write(dir string, trace *sim.Trace) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	readings, locations := sim.RawStreams(trace)
+
+	if err := writeFile(filepath.Join(dir, "readings.csv"), func(w io.Writer) error {
+		return stream.WriteReadingsCSV(w, readings)
+	}); err != nil {
+		return err
+	}
+	if err := writeFile(filepath.Join(dir, "locations.csv"), func(w io.Writer) error {
+		return stream.WriteLocationsCSV(w, locations)
+	}); err != nil {
+		return err
+	}
+	if err := writeFile(filepath.Join(dir, "shelftags.csv"), func(w io.Writer) error {
+		cw := csv.NewWriter(w)
+		if err := cw.Write([]string{"tag", "x", "y", "z"}); err != nil {
+			return err
+		}
+		for _, id := range trace.World.ShelfTagIDs() {
+			loc := trace.World.ShelfTags[id]
+			if err := cw.Write([]string{string(id), ftoa(loc.X), ftoa(loc.Y), ftoa(loc.Z)}); err != nil {
+				return err
+			}
+		}
+		cw.Flush()
+		return cw.Error()
+	}); err != nil {
+		return err
+	}
+	if err := writeFile(filepath.Join(dir, "shelves.csv"), func(w io.Writer) error {
+		cw := csv.NewWriter(w)
+		if err := cw.Write([]string{"id", "minx", "miny", "minz", "maxx", "maxy", "maxz"}); err != nil {
+			return err
+		}
+		for _, s := range trace.World.Shelves {
+			r := s.Region
+			rec := []string{s.ID, ftoa(r.Min.X), ftoa(r.Min.Y), ftoa(r.Min.Z), ftoa(r.Max.X), ftoa(r.Max.Y), ftoa(r.Max.Z)}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+		cw.Flush()
+		return cw.Error()
+	}); err != nil {
+		return err
+	}
+	return writeFile(filepath.Join(dir, "groundtruth.csv"), func(w io.Writer) error {
+		cw := csv.NewWriter(w)
+		if err := cw.Write([]string{"tag", "time", "x", "y", "z"}); err != nil {
+			return err
+		}
+		final := 0
+		if len(trace.Epochs) > 0 {
+			final = trace.Epochs[len(trace.Epochs)-1].Time
+		}
+		for _, id := range trace.ObjectIDs {
+			loc, _ := trace.Truth.ObjectAt(id, final)
+			if err := cw.Write([]string{string(id), strconv.Itoa(final), ftoa(loc.X), ftoa(loc.Y), ftoa(loc.Z)}); err != nil {
+				return err
+			}
+		}
+		cw.Flush()
+		return cw.Error()
+	})
+}
+
+// Read loads a trace directory. When shelves.csv is absent, a single shelf
+// region of the given depth is synthesized around the shelf tags so the
+// engine has a sampling region to work with.
+func Read(dir string, defaultShelfDepth float64) (*Dir, error) {
+	out := &Dir{World: model.NewWorld(), Truth: make(map[stream.TagID]geom.Vec3)}
+
+	if err := readFile(filepath.Join(dir, "readings.csv"), func(r io.Reader) error {
+		var err error
+		out.Readings, err = stream.ReadReadingsCSV(r)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if err := readFile(filepath.Join(dir, "locations.csv"), func(r io.Reader) error {
+		var err error
+		out.Locations, err = stream.ReadLocationsCSV(r)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	// Shelf tags.
+	if err := readFile(filepath.Join(dir, "shelftags.csv"), func(r io.Reader) error {
+		rows, err := csv.NewReader(r).ReadAll()
+		if err != nil {
+			return err
+		}
+		for i, row := range rows {
+			if i == 0 && len(row) > 0 && row[0] == "tag" {
+				continue
+			}
+			if len(row) < 4 {
+				return fmt.Errorf("shelftags.csv row %d: want 4 fields", i)
+			}
+			v, err := parseVec(row[1], row[2], row[3])
+			if err != nil {
+				return fmt.Errorf("shelftags.csv row %d: %w", i, err)
+			}
+			out.World.AddShelfTag(stream.TagID(row[0]), v)
+		}
+		return nil
+	}); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, err
+	}
+
+	// Shelves (optional).
+	shelvesErr := readFile(filepath.Join(dir, "shelves.csv"), func(r io.Reader) error {
+		rows, err := csv.NewReader(r).ReadAll()
+		if err != nil {
+			return err
+		}
+		for i, row := range rows {
+			if i == 0 && len(row) > 0 && row[0] == "id" {
+				continue
+			}
+			if len(row) < 7 {
+				return fmt.Errorf("shelves.csv row %d: want 7 fields", i)
+			}
+			lo, err := parseVec(row[1], row[2], row[3])
+			if err != nil {
+				return fmt.Errorf("shelves.csv row %d: %w", i, err)
+			}
+			hi, err := parseVec(row[4], row[5], row[6])
+			if err != nil {
+				return fmt.Errorf("shelves.csv row %d: %w", i, err)
+			}
+			out.World.AddShelf(model.Shelf{ID: row[0], Region: geom.NewBBox(lo, hi)})
+		}
+		return nil
+	})
+	if shelvesErr != nil && !errors.Is(shelvesErr, os.ErrNotExist) {
+		return nil, shelvesErr
+	}
+	if len(out.World.Shelves) == 0 {
+		synthesizeShelf(out.World, defaultShelfDepth)
+	}
+
+	// Ground truth (optional).
+	truthErr := readFile(filepath.Join(dir, "groundtruth.csv"), func(r io.Reader) error {
+		rows, err := csv.NewReader(r).ReadAll()
+		if err != nil {
+			return err
+		}
+		for i, row := range rows {
+			if i == 0 && len(row) > 0 && row[0] == "tag" {
+				continue
+			}
+			if len(row) < 5 {
+				return fmt.Errorf("groundtruth.csv row %d: want 5 fields", i)
+			}
+			v, err := parseVec(row[2], row[3], row[4])
+			if err != nil {
+				return fmt.Errorf("groundtruth.csv row %d: %w", i, err)
+			}
+			out.Truth[stream.TagID(row[0])] = v
+		}
+		return nil
+	})
+	if truthErr != nil && !errors.Is(truthErr, os.ErrNotExist) {
+		return nil, truthErr
+	}
+	return out, nil
+}
+
+// synthesizeShelf builds a single shelf region around the known shelf tags
+// (or a generous default box when there are none).
+func synthesizeShelf(w *model.World, depth float64) {
+	if depth <= 0 {
+		depth = 1
+	}
+	box := geom.EmptyBBox()
+	for _, loc := range w.ShelfTags {
+		box = box.Extend(loc)
+	}
+	if box.IsEmpty() {
+		box = geom.NewBBox(geom.Vec3{X: -10, Y: -10, Z: 0}, geom.Vec3{X: 10, Y: 10, Z: 0})
+	}
+	box = box.Expand(0.5)
+	box.Max.X += depth
+	w.AddShelf(model.Shelf{ID: "shelf-row", Region: box})
+}
+
+// Epochs synchronizes the directory's raw streams into epochs.
+func (d *Dir) Epochs() []*stream.Epoch {
+	return stream.Synchronize(d.Readings, d.Locations)
+}
+
+func writeFile(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func readFile(path string, fn func(io.Reader) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return fn(f)
+}
+
+func parseVec(xs, ys, zs string) (geom.Vec3, error) {
+	x, err := strconv.ParseFloat(xs, 64)
+	if err != nil {
+		return geom.Vec3{}, err
+	}
+	y, err := strconv.ParseFloat(ys, 64)
+	if err != nil {
+		return geom.Vec3{}, err
+	}
+	z, err := strconv.ParseFloat(zs, 64)
+	if err != nil {
+		return geom.Vec3{}, err
+	}
+	return geom.Vec3{X: x, Y: y, Z: z}, nil
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,124 @@
+package traceio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestWriteAndReadRoundTrip(t *testing.T) {
+	cfg := sim.DefaultWarehouseConfig()
+	cfg.NumObjects = 8
+	cfg.NumShelfTags = 3
+	cfg.Seed = 5
+	trace, err := sim.GenerateWarehouse(cfg)
+	if err != nil {
+		t.Fatalf("GenerateWarehouse: %v", err)
+	}
+
+	dir := t.TempDir()
+	if err := Write(dir, trace); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	for _, name := range []string{"readings.csv", "locations.csv", "shelftags.csv", "shelves.csv", "groundtruth.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing %s: %v", name, err)
+		}
+	}
+
+	loaded, err := Read(dir, 1.0)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(loaded.Readings) != trace.NumReadings() {
+		t.Errorf("readings %d != %d", len(loaded.Readings), trace.NumReadings())
+	}
+	if len(loaded.World.ShelfTags) != 3 {
+		t.Errorf("shelf tags = %d", len(loaded.World.ShelfTags))
+	}
+	if len(loaded.World.Shelves) != len(trace.World.Shelves) {
+		t.Errorf("shelves = %d, want %d", len(loaded.World.Shelves), len(trace.World.Shelves))
+	}
+	if len(loaded.Truth) != len(trace.ObjectIDs) {
+		t.Errorf("ground truth rows = %d, want %d", len(loaded.Truth), len(trace.ObjectIDs))
+	}
+	// Epoch reconstruction matches the original epoch count.
+	if got := len(loaded.Epochs()); got != len(trace.Epochs) {
+		t.Errorf("epochs = %d, want %d", got, len(trace.Epochs))
+	}
+	// Ground-truth locations survive the round trip.
+	final := trace.Epochs[len(trace.Epochs)-1].Time
+	for _, id := range trace.ObjectIDs {
+		want, _ := trace.Truth.ObjectAt(id, final)
+		got, ok := loaded.Truth[id]
+		if !ok || got.Dist(want) > 1e-9 {
+			t.Errorf("truth for %s = %v, want %v", id, got, want)
+		}
+	}
+}
+
+func TestReadSynthesizesShelfWhenMissing(t *testing.T) {
+	cfg := sim.DefaultWarehouseConfig()
+	cfg.NumObjects = 4
+	cfg.NumShelfTags = 2
+	cfg.Seed = 7
+	trace, err := sim.GenerateWarehouse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := Write(dir, trace); err != nil {
+		t.Fatal(err)
+	}
+	// Remove the shelves file; Read must synthesize a shelf around the tags.
+	if err := os.Remove(filepath.Join(dir, "shelves.csv")); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Read(dir, 0.8)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(loaded.World.Shelves) != 1 {
+		t.Fatalf("expected one synthesized shelf, got %d", len(loaded.World.Shelves))
+	}
+	region := loaded.World.Shelves[0].Region
+	for _, loc := range loaded.World.ShelfTags {
+		if !region.Contains(loc) {
+			t.Errorf("synthesized shelf does not contain shelf tag at %v", loc)
+		}
+	}
+}
+
+func TestReadMissingDirectoryFails(t *testing.T) {
+	if _, err := Read(filepath.Join(t.TempDir(), "nope"), 1); err == nil {
+		t.Error("expected error for a missing trace directory")
+	}
+}
+
+func TestReadToleratesMissingOptionalFiles(t *testing.T) {
+	cfg := sim.DefaultWarehouseConfig()
+	cfg.NumObjects = 3
+	cfg.Seed = 9
+	trace, err := sim.GenerateWarehouse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := Write(dir, trace); err != nil {
+		t.Fatal(err)
+	}
+	os.Remove(filepath.Join(dir, "groundtruth.csv"))
+	os.Remove(filepath.Join(dir, "shelves.csv"))
+	loaded, err := Read(dir, 1)
+	if err != nil {
+		t.Fatalf("Read without optional files: %v", err)
+	}
+	if len(loaded.Truth) != 0 {
+		t.Error("truth should be empty when groundtruth.csv is absent")
+	}
+	if len(loaded.Readings) == 0 {
+		t.Error("readings lost")
+	}
+}
