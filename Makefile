@@ -1,0 +1,42 @@
+# Development and CI entry points. CI (.github/workflows/ci.yml) runs exactly
+# these targets so local runs reproduce CI results.
+
+GO ?= go
+
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke baseline
+
+all: build vet fmt-check test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt rewrites; fmt-check only verifies (used by CI).
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+test:
+	$(GO) test ./...
+
+# Race gate over the packages with concurrent code paths (the sharded engine
+# fan-out and the filter phases it drives).
+race:
+	$(GO) test -race ./internal/core ./internal/factored
+
+# Full benchmark run (slow; minutes).
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# CI smoke: every benchmark must still compile and complete one iteration.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Refresh the committed parallel-vs-serial baseline snapshot.
+baseline:
+	$(GO) run ./cmd/rfidbench -par -json BENCH_baseline.json

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -203,4 +204,58 @@ func BenchmarkAblationSpatialIndexOnly(b *testing.B) {
 
 func benchName(prefix string, v int) string {
 	return prefix + "-" + strconv.Itoa(v)
+}
+
+// ---------------------------------------------------------------------------
+// Parallel-vs-serial benchmarks for the sharded engine. The serial baseline
+// and the Workers=1 sharded run bound the sharding overhead; the
+// Workers=GOMAXPROCS run shows the speedup (a no-op on single-CPU machines).
+
+func benchShardedVariant(b *testing.B, objects, workers int) {
+	trace := benchTrace(b, objects)
+	readings := trace.NumReadings()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig(benchParams(), trace.World)
+		cfg.Compression = false // keep beliefs particle-backed: maximum per-object work
+		cfg.NumObjectParticles = 150
+		cfg.NumReaderParticles = 50
+		cfg.Workers = workers
+		cfg.Seed = 7
+		eng, err := core.NewSharded(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, ep := range trace.Epochs {
+			if _, err := eng.ProcessEpoch(ep); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	if readings > 0 {
+		perReading := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(readings)
+		b.ReportMetric(perReading, "ns/reading")
+	}
+}
+
+// BenchmarkShardedVsSerial compares the serial engine against the sharded
+// engine at 1, 2 and GOMAXPROCS workers on the scalability workload.
+func BenchmarkShardedVsSerial(b *testing.B) {
+	const objects = 300
+	b.Run("serial", func(b *testing.B) {
+		benchEngineVariant(b, objects, true, true, false, 150)
+	})
+	workerCounts := []int{1, 2, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	for _, w := range workerCounts {
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		w := w
+		b.Run(benchName("workers", w), func(b *testing.B) {
+			benchShardedVariant(b, objects, w)
+		})
+	}
 }

@@ -8,6 +8,8 @@
 //	rfidbench -exp table6b -scale 0.5
 //	rfidbench -exp all -scale 0.25
 //	rfidbench -art            # ASCII heat maps of the true and learned sensor models
+//	rfidbench -par -workers 8 # parallel-vs-serial sharded-engine benchmark
+//	rfidbench -par -json BENCH_baseline.json
 package main
 
 import (
@@ -24,15 +26,37 @@ func main() {
 	log.SetPrefix("rfidbench: ")
 
 	var (
-		exp   = flag.String("exp", "", "experiment id to run (see -list), or 'all'")
-		scale = flag.Float64("scale", 0.25, "experiment scale in (0,1]; 1.0 approximates the paper's sizes")
-		seed  = flag.Int64("seed", 1, "random seed")
-		list  = flag.Bool("list", false, "list available experiments")
-		art   = flag.Bool("art", false, "render the sensor models of Fig. 5(a)-(b) as ASCII heat maps")
+		exp     = flag.String("exp", "", "experiment id to run (see -list), or 'all'")
+		scale   = flag.Float64("scale", 0.25, "experiment scale in (0,1]; 1.0 approximates the paper's sizes")
+		seed    = flag.Int64("seed", 1, "random seed")
+		list    = flag.Bool("list", false, "list available experiments")
+		art     = flag.Bool("art", false, "render the sensor models of Fig. 5(a)-(b) as ASCII heat maps")
+		par     = flag.Bool("par", false, "run the parallel-vs-serial sharded-engine benchmark")
+		workers = flag.Int("workers", 0, "worker goroutines for -par (0 = GOMAXPROCS)")
+		objects = flag.Int("objects", 300, "number of objects for -par")
+		jsonOut = flag.String("json", "", "write -par results as JSON to this file (e.g. BENCH_baseline.json)")
 	)
 	flag.Parse()
 
 	opts := experiments.Options{Scale: *scale, Seed: *seed}
+
+	if *par {
+		res, err := runParallelBench(*objects, *workers, *seed)
+		if err != nil {
+			log.Fatalf("parallel benchmark: %v", err)
+		}
+		printParResult(res)
+		if !res.EventsOK {
+			log.Fatal("sharded engine output diverged from the serial engine")
+		}
+		if *jsonOut != "" {
+			if err := writeParResultJSON(res, *jsonOut); err != nil {
+				log.Fatalf("write %s: %v", *jsonOut, err)
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		return
+	}
 
 	if *list {
 		fmt.Println("available experiments:")

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// parResult is the machine-readable record of one parallel-vs-serial run;
+// BENCH_baseline.json holds a committed snapshot so CI and future sessions
+// can compare against a known-good shape of the numbers.
+type parResult struct {
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Workers    int     `json:"workers"`
+	Shards     int     `json:"shards"`
+	Objects    int     `json:"objects"`
+	Epochs     int     `json:"epochs"`
+	Readings   int     `json:"readings"`
+	SerialMs   float64 `json:"serial_ms"`
+	ShardedMs  float64 `json:"sharded_ms"`
+	SerialRPS  float64 `json:"serial_readings_per_sec"`
+	ShardedRPS float64 `json:"sharded_readings_per_sec"`
+	Speedup    float64 `json:"speedup"`
+	EventsOK   bool    `json:"events_identical"`
+}
+
+// runParallelBench times the serial engine against the sharded engine on the
+// scalability workload and verifies on the way that both produce identical
+// event streams.
+func runParallelBench(objects, workers int, seed int64) (parResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cfg := sim.DefaultWarehouseConfig()
+	cfg.NumObjects = objects
+	cfg.NumShelfTags = 4
+	cfg.ObjectSpacing = 0.25
+	cfg.RowsDeep = 4
+	cfg.Rounds = 2
+	cfg.Seed = seed
+	trace, err := sim.GenerateWarehouse(cfg)
+	if err != nil {
+		return parResult{}, fmt.Errorf("generate warehouse: %w", err)
+	}
+
+	engCfg := core.DefaultConfig(model.DefaultParams(), trace.World)
+	engCfg.Compression = false // keep beliefs particle-backed: maximum per-object work
+	engCfg.NumObjectParticles = 150
+	engCfg.NumReaderParticles = 50
+	engCfg.Seed = seed
+
+	serial, err := core.New(engCfg)
+	if err != nil {
+		return parResult{}, err
+	}
+	start := time.Now()
+	serialEvents, err := serial.Run(trace.Epochs)
+	if err != nil {
+		return parResult{}, err
+	}
+	serialTime := time.Since(start)
+
+	engCfg.Workers = workers
+	sharded, err := core.NewSharded(engCfg)
+	if err != nil {
+		return parResult{}, err
+	}
+	start = time.Now()
+	shardedEvents, err := sharded.Run(trace.Epochs)
+	if err != nil {
+		return parResult{}, err
+	}
+	shardedTime := time.Since(start)
+
+	identical := len(serialEvents) == len(shardedEvents)
+	if identical {
+		for i := range serialEvents {
+			if serialEvents[i] != shardedEvents[i] {
+				identical = false
+				break
+			}
+		}
+	}
+
+	readings := trace.NumReadings()
+	res := parResult{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    sharded.Workers(),
+		Shards:     sharded.ShardCount(),
+		Objects:    objects,
+		Epochs:     len(trace.Epochs),
+		Readings:   readings,
+		SerialMs:   float64(serialTime.Microseconds()) / 1e3,
+		ShardedMs:  float64(shardedTime.Microseconds()) / 1e3,
+		SerialRPS:  float64(readings) / serialTime.Seconds(),
+		ShardedRPS: float64(readings) / shardedTime.Seconds(),
+		Speedup:    float64(serialTime) / float64(shardedTime),
+		EventsOK:   identical,
+	}
+	return res, nil
+}
+
+// printParResult renders the comparison as a small table.
+func printParResult(r parResult) {
+	fmt.Printf("parallel-vs-serial scalability benchmark (GOMAXPROCS=%d)\n", r.GOMAXPROCS)
+	fmt.Printf("  workload: %d objects, %d epochs, %d readings\n", r.Objects, r.Epochs, r.Readings)
+	fmt.Printf("  %-28s %12s %16s\n", "engine", "time (ms)", "readings/sec")
+	fmt.Printf("  %-28s %12.1f %16.0f\n", "serial Engine", r.SerialMs, r.SerialRPS)
+	fmt.Printf("  %-28s %12.1f %16.0f\n",
+		fmt.Sprintf("ShardedEngine (w=%d, s=%d)", r.Workers, r.Shards), r.ShardedMs, r.ShardedRPS)
+	fmt.Printf("  speedup: %.2fx, events identical: %v\n", r.Speedup, r.EventsOK)
+}
+
+// writeParResultJSON writes the result snapshot to path.
+func writeParResultJSON(r parResult, path string) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	return os.WriteFile(path, buf, 0o644)
+}

@@ -9,4 +9,15 @@
 // regenerate every table and figure of the paper's evaluation — lives under
 // internal/. The benchmarks in bench_test.go regenerate the paper's tables
 // and figures via `go test -bench`.
+//
+// Beyond the paper, the engine scales out: because the factored distribution
+// makes per-object inference independent given the reader particles, the
+// sharded engine (internal/core.ShardedEngine, reachable through
+// rfid.Config.Workers) partitions objects across worker goroutines by a
+// stable hash of their tag id and fans each epoch's per-object
+// predict/update/resample work out to a pool, with a barrier before report
+// emission. Per-object random streams derived from (seed, tag id) make the
+// parallel output byte-identical to the serial engine's for any worker or
+// shard count. See ARCHITECTURE.md for the shard/worker model, the epoch
+// barrier and the reproducibility argument.
 package repro

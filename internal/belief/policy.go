@@ -127,7 +127,12 @@ func (m *Manager) Select(epoch int, candidates []Candidate, f Filter) []stream.T
 				eligible[i].KL = kl
 			}
 		}
-		sort.Slice(eligible, func(i, j int) bool { return eligible[i].KL < eligible[j].KL })
+		sort.Slice(eligible, func(i, j int) bool {
+			if eligible[i].KL != eligible[j].KL {
+				return eligible[i].KL < eligible[j].KL
+			}
+			return eligible[i].ID < eligible[j].ID
+		})
 		if m.cfg.KLThreshold > 0 {
 			cut := 0
 			for cut < len(eligible) && eligible[cut].KL <= m.cfg.KLThreshold {

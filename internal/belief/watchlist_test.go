@@ -1,0 +1,78 @@
+package belief
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func TestWatchlistMarkDropMerge(t *testing.T) {
+	w := NewWatchlist(4)
+	if w.Shards() != 4 {
+		t.Fatalf("Shards() = %d", w.Shards())
+	}
+	ids := []stream.TagID{"a", "b", "c", "d", "e"}
+	for _, id := range ids {
+		w.Mark(id)
+		w.Mark(id) // idempotent
+	}
+	if w.Len() != len(ids) {
+		t.Errorf("Len() = %d, want %d", w.Len(), len(ids))
+	}
+	got := w.Merged()
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	for i, id := range ids {
+		if got[i] != id {
+			t.Fatalf("Merged() = %v, want %v", got, ids)
+		}
+	}
+	w.Drop("c")
+	w.Drop("zzz") // unknown: no-op
+	if w.Len() != 4 {
+		t.Errorf("Len() after drop = %d, want 4", w.Len())
+	}
+}
+
+func TestWatchlistMinimumOneShard(t *testing.T) {
+	w := NewWatchlist(0)
+	if w.Shards() != 1 {
+		t.Fatalf("Shards() = %d, want 1", w.Shards())
+	}
+	w.Mark("x")
+	if w.Len() != 1 {
+		t.Error("mark on single-shard watchlist failed")
+	}
+}
+
+// TestWatchlistShardLocalConcurrency exercises the engine's usage pattern:
+// one goroutine per shard, each marking only tags of its own shard. Run under
+// -race this validates the lock-free contract.
+func TestWatchlistShardLocalConcurrency(t *testing.T) {
+	const shards = 8
+	w := NewWatchlist(shards)
+	ids := make([]stream.TagID, 200)
+	for i := range ids {
+		ids[i] = stream.TagID(string(rune('a'+i%26)) + string(rune('0'+i/26)))
+	}
+	perShard := make([][]stream.TagID, shards)
+	for _, id := range ids {
+		s := id.Shard(shards)
+		perShard[s] = append(perShard[s], id)
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for _, id := range perShard[s] {
+				w.Mark(id)
+			}
+		}(s)
+	}
+	wg.Wait()
+	if w.Len() != len(ids) {
+		t.Errorf("Len() = %d, want %d", w.Len(), len(ids))
+	}
+}

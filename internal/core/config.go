@@ -74,6 +74,18 @@ type Config struct {
 	// reading counts as a new scan visit (default 30).
 	ScopeGapEpochs int
 
+	// Workers is the number of worker goroutines the sharded engine
+	// (NewSharded) fans the per-object phase of each epoch out to; zero
+	// selects runtime.GOMAXPROCS(0). The serial Engine ignores it. Output is
+	// independent of the worker count: a Workers=8 run is byte-identical to
+	// a Workers=1 run and to the serial Engine.
+	Workers int
+	// ShardCount is the number of object shards for the sharded engine;
+	// objects are assigned to shards by a stable hash of their tag id, so an
+	// object stays on the same shard for the lifetime of a run. Zero selects
+	// max(8, 4*Workers). Output is independent of the shard count.
+	ShardCount int
+
 	// Seed seeds all random choices of the engine.
 	Seed int64
 }

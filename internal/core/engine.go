@@ -23,6 +23,11 @@ type Engine struct {
 	fact  *factored.Filter
 	basic *pf.Filter
 
+	// stepFact runs the factored pipeline for one epoch. New installs the
+	// serial stepFactored; NewSharded swaps in the parallel stepSharded, so
+	// every epoch-driving method (ProcessEpoch, Run) serves both engines.
+	stepFact func(*stream.Epoch, []stream.TagID)
+
 	index     *spatial.SensingIndex
 	beliefMgr *belief.Manager
 
@@ -32,8 +37,10 @@ type Engine struct {
 	inScope  map[stream.TagID]bool
 
 	// Compression watchlist: objects recently in scope whose beliefs may
-	// become compression candidates.
-	watch map[stream.TagID]bool
+	// become compression candidates. The serial engine uses a single shard;
+	// the sharded engine replaces it with one shard per object partition so
+	// workers can mark entries without locks.
+	watch *belief.Watchlist
 
 	stats     Stats
 	lastEpoch int
@@ -51,8 +58,9 @@ func New(cfg Config) (*Engine, error) {
 		lastSeen: make(map[stream.TagID]int),
 		pending:  make(map[stream.TagID]int),
 		inScope:  make(map[stream.TagID]bool),
-		watch:    make(map[stream.TagID]bool),
+		watch:    belief.NewWatchlist(1),
 	}
+	e.stepFact = e.stepFactored
 	if cfg.Factored {
 		e.fact = factored.New(factored.Config{
 			NumReaderParticles:     cfg.NumReaderParticles,
@@ -108,7 +116,7 @@ func (e *Engine) ProcessEpoch(ep *stream.Epoch) ([]stream.Event, error) {
 
 	observed := e.observedObjects(ep)
 	if e.cfg.Factored {
-		e.stepFactored(ep, observed)
+		e.stepFact(ep, observed)
 	} else {
 		e.basic.Step(ep)
 		e.stats.ObjectsProcessed += len(e.basic.TrackedObjects())
@@ -131,41 +139,56 @@ func (e *Engine) observedObjects(ep *stream.Epoch) []stream.TagID {
 	return out
 }
 
-// stepFactored runs one epoch of the factored pipeline: Case-1/Case-2 object
-// selection through the spatial index, the factored filter update, index
-// maintenance and belief compression.
-func (e *Engine) stepFactored(ep *stream.Epoch, observed []stream.TagID) {
-	// Count upcoming decompressions (observed objects whose beliefs are
-	// currently compressed).
+// countPendingDecompressions counts the observed objects whose beliefs are
+// currently compressed; stepping them will decompress.
+func (e *Engine) countPendingDecompressions(observed []stream.TagID) {
 	for _, id := range observed {
 		if b := e.fact.Belief(id); b != nil && b.IsCompressed() {
 			e.stats.Decompressions++
 		}
 	}
+}
+
+// selectActive computes the epoch's active object set through the spatial
+// index: the observed tags (Case 1) plus the indexed tags with particles near
+// the current sensing region (Case 2), de-duplicated in that order, skipping
+// compressed Case-2 beliefs (they are only touched when read again). The
+// serial and sharded engines share this selection, which keeps their active
+// sets — and therefore their outputs — identical. Only valid when the
+// spatial index is enabled.
+func (e *Engine) selectActive(ep *stream.Epoch, observed []stream.TagID) ([]stream.TagID, geom.BBox) {
+	box := e.sensingBox(ep)
+	case2 := e.index.Query(box)
+	seen := make(map[stream.TagID]bool, len(observed)+len(case2))
+	active := make([]stream.TagID, 0, len(observed)+len(case2))
+	for _, id := range observed {
+		if !seen[id] {
+			seen[id] = true
+			active = append(active, id)
+		}
+	}
+	for _, id := range case2 {
+		if b := e.fact.Belief(id); b != nil && b.IsCompressed() {
+			continue
+		}
+		if !seen[id] {
+			seen[id] = true
+			active = append(active, id)
+		}
+	}
+	return active, box
+}
+
+// stepFactored runs one epoch of the factored pipeline: Case-1/Case-2 object
+// selection through the spatial index, the factored filter update, index
+// maintenance and belief compression.
+func (e *Engine) stepFactored(ep *stream.Epoch, observed []stream.TagID) {
+	e.countPendingDecompressions(observed)
 
 	var active []stream.TagID
 	var box geom.BBox
 	if e.index != nil {
-		box = e.sensingBox(ep)
-		case2 := e.index.Query(box)
-		seen := make(map[stream.TagID]bool, len(observed)+len(case2))
-		active = make([]stream.TagID, 0, len(observed)+len(case2))
-		for _, id := range observed {
-			if !seen[id] {
-				seen[id] = true
-				active = append(active, id)
-			}
-		}
-		for _, id := range case2 {
-			if b := e.fact.Belief(id); b != nil && b.IsCompressed() {
-				// Compressed objects are only touched when read again.
-				continue
-			}
-			if !seen[id] {
-				seen[id] = true
-				active = append(active, id)
-			}
-		}
+		active, box = e.selectActive(ep, observed)
 		e.fact.Step(ep, active)
 		e.stats.ObjectsProcessed += len(active)
 	} else {
@@ -189,7 +212,7 @@ func (e *Engine) stepFactored(ep *stream.Epoch, observed []stream.TagID) {
 	// Belief compression.
 	if e.beliefMgr != nil {
 		for _, id := range active {
-			e.watch[id] = true
+			e.watch.Mark(id)
 		}
 		e.runCompression(ep.Time)
 	}
@@ -215,16 +238,18 @@ func (e *Engine) sensingBox(ep *stream.Epoch) geom.BBox {
 }
 
 // runCompression asks the policy which watched objects to compress and
-// applies the filter's compression operator to them.
+// applies the filter's compression operator to them. It runs at the epoch
+// barrier, reading the merged view of all watchlist shards.
 func (e *Engine) runCompression(epoch int) {
-	if len(e.watch) == 0 {
+	if e.watch.Len() == 0 {
 		return
 	}
-	candidates := make([]belief.Candidate, 0, len(e.watch))
-	for id := range e.watch {
+	watched := e.watch.Merged()
+	candidates := make([]belief.Candidate, 0, len(watched))
+	for _, id := range watched {
 		b := e.fact.Belief(id)
 		if b == nil || b.IsCompressed() {
-			delete(e.watch, id)
+			e.watch.Drop(id)
 			continue
 		}
 		candidates = append(candidates, belief.Candidate{ID: id, LastSeen: b.LastSeen})
@@ -237,7 +262,7 @@ func (e *Engine) runCompression(epoch int) {
 		if _, ok := e.fact.CompressObject(id); ok {
 			e.stats.Compressions++
 		}
-		delete(e.watch, id)
+		e.watch.Drop(id)
 	}
 }
 

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/belief"
+	"repro/internal/geom"
+	"repro/internal/stream"
+)
+
+// ShardedEngine is the parallel variant of Engine: it partitions objects
+// across shards by a stable hash of their tag id and fans the per-object
+// predict/update/resample work of each epoch out to a pool of workers, with a
+// barrier before report emission.
+//
+// The epoch pipeline is
+//
+//	prologue (sequential): reader particle step, Case-1/Case-2 selection,
+//	    fresh-belief creation
+//	fan-out (parallel):    per-shard object steps, per-shard sensing-region
+//	    membership tests, shard-local compression watchlist marking
+//	barrier (sequential):  reader resampling, spatial-index maintenance,
+//	    belief compression, report emission
+//
+// Because every per-object stochastic operation draws from a private random
+// stream derived from (seed, tag id), the output is byte-identical to the
+// serial Engine for any Workers and ShardCount — parallelism changes only
+// wall-clock time, never results.
+type ShardedEngine struct {
+	*Engine
+	workers    int
+	shardCount int
+}
+
+// NewSharded returns a configured ShardedEngine. Sharding parallelizes the
+// per-object updates of the factored filter, so the configuration must have
+// Factored set.
+func NewSharded(cfg Config) (*ShardedEngine, error) {
+	if !cfg.Factored {
+		return nil, fmt.Errorf("core: sharded engine requires the factored filter")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	shards := cfg.ShardCount
+	if shards <= 0 {
+		shards = 4 * workers
+		if shards < 8 {
+			shards = 8
+		}
+	}
+	cfg.Workers, cfg.ShardCount = workers, shards
+	eng, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// One watchlist shard per object shard, so workers mark without locks.
+	eng.watch = belief.NewWatchlist(shards)
+	se := &ShardedEngine{Engine: eng, workers: workers, shardCount: shards}
+	// Route every epoch-driving method (ProcessEpoch, Run) through the
+	// parallel step.
+	eng.stepFact = se.stepSharded
+	return se, nil
+}
+
+// Workers returns the effective worker count.
+func (se *ShardedEngine) Workers() int { return se.workers }
+
+// ShardCount returns the effective shard count.
+func (se *ShardedEngine) ShardCount() int { return se.shardCount }
+
+// stepSharded is the parallel counterpart of Engine.stepFactored. The
+// sequential prologue and epilogue share the serial engine's code
+// (countPendingDecompressions, selectActive, runCompression); only the
+// per-object middle phase is fanned out.
+func (se *ShardedEngine) stepSharded(ep *stream.Epoch, observed []stream.TagID) {
+	e := se.Engine
+
+	e.countPendingDecompressions(observed)
+
+	// Case-1/Case-2 selection through the spatial index (sequential: it
+	// reads and later writes the shared index).
+	var active []stream.TagID
+	var box geom.BBox
+	useIndex := e.index != nil
+	if useIndex {
+		active, box = e.selectActive(ep, observed)
+	}
+
+	// Prologue: reader step and fresh-belief creation, then partition the
+	// step set across shards.
+	var stepIDs []stream.TagID
+	if useIndex {
+		stepIDs = e.fact.BeginEpoch(ep, active)
+	} else {
+		stepIDs = e.fact.BeginEpoch(ep, nil)
+		active = observed
+	}
+	shardSteps := stream.PartitionTags(stepIDs, se.shardCount)
+
+	// Sensing-region membership is tested per shard during the fan-out so
+	// the O(active x particles) scans are amortized across workers; results
+	// land in a position-indexed slice and are merged in active order at the
+	// barrier, keeping index contents identical to a serial run.
+	assocNeeded := useIndex && !box.IsEmpty()
+	var has []bool
+	var posByShard [][]int
+	if assocNeeded {
+		has = make([]bool, len(active))
+		posByShard = make([][]int, se.shardCount)
+		for i, id := range active {
+			s := id.Shard(se.shardCount)
+			posByShard[s] = append(posByShard[s], i)
+		}
+	}
+
+	// Watch marking is shard-local: each worker touches only its own
+	// watchlist shard, merged at the barrier by runCompression.
+	var watchByShard [][]stream.TagID
+	if e.beliefMgr != nil {
+		watchByShard = stream.PartitionTags(active, se.shardCount)
+	}
+
+	// Fan-out: per-shard object steps. Workers mutate only beliefs of their
+	// own shard and read shared filter state that no one writes during this
+	// phase.
+	se.forEachShard(func(s int) {
+		if len(shardSteps) > s {
+			e.fact.StepObjects(ep, shardSteps[s])
+		}
+		if assocNeeded {
+			for _, i := range posByShard[s] {
+				if b := e.fact.Belief(active[i]); b != nil && b.HasParticleIn(box) {
+					has[i] = true
+				}
+			}
+		}
+		if watchByShard != nil && len(watchByShard) > s {
+			for _, id := range watchByShard[s] {
+				e.watch.Mark(id)
+			}
+		}
+	})
+
+	// Barrier: reader resampling and all shared-state maintenance.
+	e.fact.EndEpoch()
+	if useIndex {
+		e.stats.ObjectsProcessed += len(active)
+	} else {
+		e.stats.ObjectsProcessed += e.fact.NumTracked()
+	}
+
+	if assocNeeded {
+		var assoc []stream.TagID
+		for i, id := range active {
+			if has[i] {
+				assoc = append(assoc, id)
+			}
+		}
+		e.index.Insert(box, assoc)
+	}
+
+	if e.beliefMgr != nil {
+		e.runCompression(ep.Time)
+	}
+}
+
+// forEachShard runs fn(shard) for every shard on up to se.workers goroutines.
+// With a single worker it runs inline, adding no synchronization overhead.
+func (se *ShardedEngine) forEachShard(fn func(shard int)) {
+	n := se.shardCount
+	w := se.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for s := 0; s < n; s++ {
+			fn(s)
+		}
+		return
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func() {
+			defer wg.Done()
+			for s := range work {
+				fn(s)
+			}
+		}()
+	}
+	for s := 0; s < n; s++ {
+		work <- s
+	}
+	close(work)
+	wg.Wait()
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// goldenTraceConfig is the fixed-seed trace all determinism tests share.
+func goldenTrace(t *testing.T, objects int) ([]*stream.Epoch, Config) {
+	t.Helper()
+	trace, err := generateWarehouse(smallTraceConfig(objects, 11))
+	if err != nil {
+		t.Fatalf("GenerateWarehouse: %v", err)
+	}
+	cfg := DefaultConfig(defaultTestParams(), trace.World)
+	cfg.NumObjectParticles = 120
+	cfg.NumReaderParticles = 25
+	cfg.Seed = 17
+	return trace.Epochs, cfg
+}
+
+// encodeEvents renders events to canonical bytes for byte-identity checks.
+func encodeEvents(t *testing.T, events []stream.Event) []byte {
+	t.Helper()
+	buf, err := json.Marshal(events)
+	if err != nil {
+		t.Fatalf("marshal events: %v", err)
+	}
+	return buf
+}
+
+// TestShardedEngineMatchesSerialGolden is the golden-trace determinism test:
+// the sharded engine must produce byte-identical reports to the serial engine
+// on a fixed-seed trace for every worker and shard count, including at the
+// per-epoch granularity (ProcessEpoch emissions, not just the final stream).
+func TestShardedEngineMatchesSerialGolden(t *testing.T) {
+	epochs, cfg := goldenTrace(t, 25)
+
+	serial, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	want, err := serial.Run(epochs)
+	if err != nil {
+		t.Fatalf("serial Run: %v", err)
+	}
+	if len(want) == 0 {
+		t.Fatal("golden trace produced no events")
+	}
+	wantBytes := encodeEvents(t, want)
+	wantStats := serial.Stats()
+
+	for _, workers := range []int{1, 2, 3, 4} {
+		for _, shards := range []int{1, 5, 16} {
+			scfg := cfg
+			scfg.Workers = workers
+			scfg.ShardCount = shards
+			se, err := NewSharded(scfg)
+			if err != nil {
+				t.Fatalf("NewSharded(workers=%d,shards=%d): %v", workers, shards, err)
+			}
+			got, err := se.Run(epochs)
+			if err != nil {
+				t.Fatalf("sharded Run(workers=%d,shards=%d): %v", workers, shards, err)
+			}
+			if !bytes.Equal(encodeEvents(t, got), wantBytes) {
+				t.Errorf("workers=%d shards=%d: events differ from serial engine", workers, shards)
+			}
+			if se.Stats() != wantStats {
+				t.Errorf("workers=%d shards=%d: stats %+v != serial %+v", workers, shards, se.Stats(), wantStats)
+			}
+		}
+	}
+}
+
+// TestShardedEngineMatchesSerialPerEpoch checks equivalence of the streaming
+// entry point: every epoch's emissions must match, not only the aggregate.
+func TestShardedEngineMatchesSerialPerEpoch(t *testing.T) {
+	epochs, cfg := goldenTrace(t, 12)
+	serial, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	scfg := cfg
+	scfg.Workers = 4
+	scfg.ShardCount = 7
+	se, err := NewSharded(scfg)
+	if err != nil {
+		t.Fatalf("NewSharded: %v", err)
+	}
+	for _, ep := range epochs {
+		want, err := serial.ProcessEpoch(ep)
+		if err != nil {
+			t.Fatalf("serial ProcessEpoch: %v", err)
+		}
+		got, err := se.ProcessEpoch(ep)
+		if err != nil {
+			t.Fatalf("sharded ProcessEpoch: %v", err)
+		}
+		if !bytes.Equal(encodeEvents(t, got), encodeEvents(t, want)) {
+			t.Fatalf("epoch %d: emissions differ", ep.Time)
+		}
+	}
+	if !bytes.Equal(encodeEvents(t, se.Finish()), encodeEvents(t, serial.Finish())) {
+		t.Error("final flush differs")
+	}
+}
+
+// TestShardedEngineVariantsMatchSerial covers the non-default pipelines: no
+// spatial index (every tracked object stepped each epoch) and no compression.
+func TestShardedEngineVariantsMatchSerial(t *testing.T) {
+	cases := []struct {
+		name               string
+		index, compression bool
+	}{
+		{"no-index", false, false},
+		{"index-only", true, false},
+		{"compression-only", false, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			epochs, cfg := goldenTrace(t, 10)
+			cfg.SpatialIndex = tc.index
+			cfg.Compression = tc.compression
+			serial, err := New(cfg)
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			want, err := serial.Run(epochs)
+			if err != nil {
+				t.Fatalf("serial Run: %v", err)
+			}
+			scfg := cfg
+			scfg.Workers = 3
+			scfg.ShardCount = 5
+			se, err := NewSharded(scfg)
+			if err != nil {
+				t.Fatalf("NewSharded: %v", err)
+			}
+			got, err := se.Run(epochs)
+			if err != nil {
+				t.Fatalf("sharded Run: %v", err)
+			}
+			if !bytes.Equal(encodeEvents(t, got), encodeEvents(t, want)) {
+				t.Error("events differ from serial engine")
+			}
+			if se.Stats() != serial.Stats() {
+				t.Errorf("stats %+v != serial %+v", se.Stats(), serial.Stats())
+			}
+		})
+	}
+}
+
+// TestShardedEngineDefaults checks worker/shard resolution and the
+// factored-only restriction.
+func TestShardedEngineDefaults(t *testing.T) {
+	_, cfg := goldenTrace(t, 2)
+
+	cfg.Workers = 0
+	cfg.ShardCount = 0
+	se, err := NewSharded(cfg)
+	if err != nil {
+		t.Fatalf("NewSharded: %v", err)
+	}
+	if se.Workers() != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers() = %d, want GOMAXPROCS = %d", se.Workers(), runtime.GOMAXPROCS(0))
+	}
+	if se.ShardCount() < 8 || se.ShardCount() < 4*se.Workers() {
+		t.Errorf("ShardCount() = %d too small for %d workers", se.ShardCount(), se.Workers())
+	}
+	if se.Config().Workers != se.Workers() || se.Config().ShardCount != se.ShardCount() {
+		t.Error("resolved Workers/ShardCount not reflected in Config()")
+	}
+
+	cfg.Factored = false
+	cfg.SpatialIndex = false
+	cfg.Compression = false
+	if _, err := NewSharded(cfg); err == nil {
+		t.Error("NewSharded should reject non-factored configurations")
+	}
+}
+
+// TestShardedEngineSpeedup measures the parallel speedup on the scalability
+// workload. It only runs on machines with enough cores for a meaningful
+// comparison; single-core CI runners skip it (the race-mode golden tests
+// above still exercise the concurrent path there).
+func TestShardedEngineSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	procs := runtime.GOMAXPROCS(0)
+	if procs < 2 {
+		t.Skipf("needs >= 2 CPUs, have %d", procs)
+	}
+
+	trace, err := generateWarehouse(smallTraceConfig(300, 11))
+	if err != nil {
+		t.Fatalf("GenerateWarehouse: %v", err)
+	}
+	cfg := DefaultConfig(defaultTestParams(), trace.World)
+	cfg.Compression = false // keep every belief particle-backed: maximum per-object work
+	cfg.NumObjectParticles = 200
+	cfg.NumReaderParticles = 30
+	cfg.Seed = 17
+
+	run := func(workers int) time.Duration {
+		scfg := cfg
+		scfg.Workers = workers
+		se, err := NewSharded(scfg)
+		if err != nil {
+			t.Fatalf("NewSharded: %v", err)
+		}
+		start := time.Now()
+		if _, err := se.Run(trace.Epochs); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return time.Since(start)
+	}
+
+	run(procs) // warm-up: page in the trace and JIT the branch predictors
+	serial := run(1)
+	parallel := run(procs)
+	speedup := float64(serial) / float64(parallel)
+	t.Logf("workers=1: %v, workers=%d: %v, speedup %.2fx", serial, procs, parallel, speedup)
+	if procs >= 4 && speedup < 1.5 {
+		t.Errorf("speedup %.2fx < 1.5x with %d workers", speedup, procs)
+	}
+}

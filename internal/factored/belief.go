@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"repro/internal/geom"
+	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/stream"
 )
@@ -54,6 +55,23 @@ type ObjectBelief struct {
 	// the reader's scope (first reading after an out-of-scope period); used
 	// by the engine's report policy.
 	ScopeEntered int
+
+	// src is the object's private random stream, derived deterministically
+	// from the filter seed and the tag id. Keeping every stochastic
+	// per-object operation (particle initialization, proposal sampling,
+	// resampling, decompression) on this stream makes the belief's evolution
+	// independent of the processing order of other objects — the property
+	// that lets shards run concurrently yet produce output byte-identical to
+	// a serial run.
+	//
+	// Compression releases src (its ~5KB generator state would otherwise
+	// dominate the compressed belief) and records a continuation seed in
+	// srcSeed, from which a fresh independent stream is derived on
+	// decompression — still a pure function of (filter seed, tag id), so
+	// determinism and schedule-independence are unaffected.
+	src       *rng.Source
+	srcSeed   int64
+	srcSeeded bool
 }
 
 // IsCompressed reports whether the belief is currently in compressed form.

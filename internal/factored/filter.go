@@ -118,6 +118,11 @@ type Filter struct {
 	hasReported  bool
 	lastDrift    geom.Vec3
 	hasDrift     bool
+
+	// stepReaderPos is the reader position used for per-object bookkeeping
+	// during the current epoch, fixed in BeginEpoch so that concurrent
+	// StepObjects calls all see the same value.
+	stepReaderPos geom.Vec3
 }
 
 // New returns a factored particle filter. UseMotionModel defaults to true
@@ -181,11 +186,31 @@ func (f *Filter) currentReaderPos(ep *stream.Epoch) geom.Vec3 {
 // tags to process this epoch (the union of Case 1 and Case 2 from Section
 // IV-C); passing nil processes every tracked object plus all newly observed
 // ones (the behaviour without a spatial index).
+//
+// Step is the serial composition of the three epoch phases BeginEpoch /
+// StepObjects / EndEpoch; the sharded engine calls the phases directly and
+// fans StepObjects out across workers. Because every per-object stochastic
+// operation draws from the object's private random stream, the serial and
+// sharded compositions produce byte-identical results.
 func (f *Filter) Step(ep *stream.Epoch, active []stream.TagID) {
+	ids := f.BeginEpoch(ep, active)
+	f.StepObjects(ep, ids)
+	f.EndEpoch()
+}
+
+// BeginEpoch runs the sequential epoch prologue: it advances the shared
+// reader particles, creates fresh beliefs for newly observed objects (in
+// sorted tag order, for determinism) and returns the ids of the existing
+// objects that must be stepped this epoch, in first-seen order. The returned
+// ids may be partitioned arbitrarily and passed to concurrent StepObjects
+// calls, as long as no id is stepped twice and EndEpoch runs after all of
+// them (the epoch barrier).
+func (f *Filter) BeginEpoch(ep *stream.Epoch, active []stream.TagID) []stream.TagID {
 	f.ensureStarted(ep)
 	f.epoch = ep.Time
 
 	f.stepReaders(ep)
+	f.stepReaderPos = f.currentReaderPos(ep)
 
 	// Determine the set of objects to process.
 	processSet := make(map[stream.TagID]bool)
@@ -210,23 +235,45 @@ func (f *Filter) Step(ep *stream.Epoch, active []stream.TagID) {
 		processSet[id] = true
 	}
 
-	readerPos := f.currentReaderPos(ep)
-	// Process in deterministic order: first-seen order then new tags sorted.
+	// Existing objects, in first-seen order.
+	ids := make([]stream.TagID, 0, len(processSet))
 	for _, id := range f.order {
 		if processSet[id] {
-			f.stepObject(ep, id, readerPos)
+			ids = append(ids, id)
 			delete(processSet, id)
 		}
 	}
+	// The remaining ids are unknown: observed ones get a fresh belief (and
+	// need no further stepping this epoch, since weighting a belief against
+	// the very reading that created it adds nothing); unobserved unknown ids
+	// carry no information and are dropped.
 	newIDs := make([]stream.TagID, 0, len(processSet))
 	for id := range processSet {
-		newIDs = append(newIDs, id)
+		if ep.Contains(id) {
+			newIDs = append(newIDs, id)
+		}
 	}
 	sortTagIDs(newIDs)
 	for _, id := range newIDs {
-		f.stepObject(ep, id, readerPos)
+		f.createBelief(id, ep.Time, f.stepReaderPos)
 	}
+	return ids
+}
 
+// StepObjects steps the listed objects for the epoch begun by BeginEpoch.
+// Distinct calls may run concurrently on disjoint id sets: each call mutates
+// only the listed objects' beliefs and reads shared filter state (reader
+// particles, configuration, world) that no concurrent phase writes.
+func (f *Filter) StepObjects(ep *stream.Epoch, ids []stream.TagID) {
+	for _, id := range ids {
+		f.stepObject(ep, id, f.stepReaderPos)
+	}
+}
+
+// EndEpoch runs the sequential epoch epilogue at the barrier after all
+// StepObjects calls have returned: reader resampling, which reads every
+// object's particles and may remap their reader pointers.
+func (f *Filter) EndEpoch() {
 	f.maybeResampleReaders()
 }
 

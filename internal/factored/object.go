@@ -2,34 +2,41 @@ package factored
 
 import (
 	"repro/internal/geom"
+	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/stream"
 )
 
-// stepObject performs the per-object part of the factored update: belief
-// creation for newly seen objects, movement handling, decompression, proposal
-// sampling, factored weighting and per-object resampling.
+// objectSrc returns the object's private random stream, deriving it lazily
+// from the filter seed and the tag id (or from the continuation seed stored
+// by compression). Every stochastic per-object operation draws from this
+// stream (never from the filter-level stream), so an object's belief evolves
+// identically no matter how many sibling objects exist, in which order they
+// are processed, or on which shard they run.
+func (f *Filter) objectSrc(b *ObjectBelief) *rng.Source {
+	if b.src == nil {
+		if !b.srcSeeded {
+			b.srcSeed = rng.SeedFor(f.cfg.Seed, "object:"+string(b.ID))
+			b.srcSeeded = true
+		}
+		b.src = rng.New(b.srcSeed)
+	}
+	return b.src
+}
+
+// stepObject performs the per-object part of the factored update: movement
+// handling, decompression, proposal sampling, factored weighting and
+// per-object resampling. The belief must already exist (beliefs for newly
+// observed objects are created in BeginEpoch); it only touches the belief
+// itself and read-only filter state, so distinct objects may be stepped
+// concurrently.
 func (f *Filter) stepObject(ep *stream.Epoch, id stream.TagID, readerPos geom.Vec3) {
 	observed := ep.Contains(id)
 	b, exists := f.objects[id]
-
 	if !exists {
-		if !observed {
-			// Nothing is known about an object that has never been read;
-			// there is no belief to update.
-			return
-		}
-		b = f.newBelief(id, ep.Time, readerPos)
-		f.objects[id] = b
-		f.order = append(f.order, id)
-		// A fresh belief was just initialized around the current reader
-		// location; weighting it against the very reading that created it
-		// adds nothing, so return after the bookkeeping.
-		b.LastSeen = ep.Time
-		b.LastSeenReaderPos = readerPos
-		b.ScopeEntered = ep.Time
 		return
 	}
+	src := f.objectSrc(b)
 
 	if observed && b.IsCompressed() {
 		f.decompress(b)
@@ -47,7 +54,7 @@ func (f *Filter) stepObject(ep *stream.Epoch, id stream.TagID, readerPos geom.Ve
 	// Proposal: object locations evolve under the object location model.
 	if f.cfg.Params.Object.MoveProb > 0 {
 		for i := range b.Particles {
-			b.Particles[i].Loc = f.cfg.Params.Object.Sample(b.Particles[i].Loc, f.cfg.World, f.src)
+			b.Particles[i].Loc = f.cfg.Params.Object.Sample(b.Particles[i].Loc, f.cfg.World, src)
 		}
 	}
 
@@ -87,6 +94,20 @@ func (f *Filter) readerPoseFor(idx int) geom.Pose {
 	return f.ReaderEstimate()
 }
 
+// createBelief registers a belief for an object seen for the first time. A
+// fresh belief is initialized around the current reader location; weighting it
+// against the very reading that created it adds nothing, so the object is not
+// stepped further this epoch.
+func (f *Filter) createBelief(id stream.TagID, epoch int, readerPos geom.Vec3) *ObjectBelief {
+	b := f.newBelief(id, epoch, readerPos)
+	f.objects[id] = b
+	f.order = append(f.order, id)
+	b.LastSeen = epoch
+	b.LastSeenReaderPos = readerPos
+	b.ScopeEntered = epoch
+	return b
+}
+
 // newBelief creates a belief for an object seen for the first time, drawing
 // particles from the sensor-model-based initialization cone rooted at reader
 // particles (sampled according to their weights) and clamped to the shelves.
@@ -97,19 +118,37 @@ func (f *Filter) newBelief(id stream.TagID, epoch int, readerPos geom.Vec3) *Obj
 		LastSeen:          epoch,
 		ScopeEntered:      epoch,
 		LastSeenReaderPos: readerPos,
-		Particles:         make([]ObjectParticle, f.cfg.NumObjectParticles),
 	}
-	n := len(b.Particles)
+	f.initParticles(b, f.cfg.NumObjectParticles, 0)
+	return b
+}
+
+// initParticles (re)draws n particles for the belief from the initialization
+// cone, overwriting b.Particles[from:]; callers pass from == 0 to rebuild the
+// whole belief and from == n/2 to keep the first half.
+func (f *Filter) initParticles(b *ObjectBelief, n, from int) {
+	src := f.objectSrc(b)
+	if len(b.Particles) != n {
+		old := b.Particles
+		b.Particles = make([]ObjectParticle, n)
+		copy(b.Particles, old)
+	}
 	u := 1 / float64(n)
-	for i := range b.Particles {
-		rIdx := f.sampleReaderIndex()
-		loc := f.src.UniformInCone(f.readers[rIdx].Pose, f.cfg.InitConeHalfAngle, f.cfg.InitConeRange)
+	for i := from; i < n; i++ {
+		rIdx := f.sampleReaderIndex(src)
+		loc := src.UniformInCone(f.readers[rIdx].Pose, f.cfg.InitConeHalfAngle, f.cfg.InitConeRange)
 		if f.cfg.World != nil && len(f.cfg.World.Shelves) > 0 {
 			loc = f.cfg.World.ClampToShelves(loc)
 		}
-		b.Particles[i] = ObjectParticle{Loc: loc, Reader: rIdx, logW: 0, normW: u}
+		logW, normW := 0.0, u
+		if from > 0 {
+			// Partial re-initialization keeps the replaced particles'
+			// weights so that weighting and resampling arbitrate between
+			// the old and the new hypotheses.
+			logW, normW = b.Particles[i].logW, b.Particles[i].normW
+		}
+		b.Particles[i] = ObjectParticle{Loc: loc, Reader: rIdx, logW: logW, normW: normW}
 	}
-	return b
 }
 
 // handleMovement implements the subtlety discussed in Section IV-A: when an
@@ -124,30 +163,22 @@ func (f *Filter) handleMovement(b *ObjectBelief, epoch int, readerPos geom.Vec3)
 	case d > 2*reinit:
 		// Far: discard the old particles entirely and re-create them at the
 		// new location.
-		nb := f.newBelief(b.ID, epoch, readerPos)
-		b.Particles = nb.Particles
+		b.Particles = nil
+		f.initParticles(b, f.cfg.NumObjectParticles, 0)
 	case d > reinit:
 		// Moderate: keep half of the old particles and move the other half
 		// to the new location; weighting and resampling will arbitrate.
-		half := len(b.Particles) / 2
-		for i := half; i < len(b.Particles); i++ {
-			rIdx := f.sampleReaderIndex()
-			loc := f.src.UniformInCone(f.readers[rIdx].Pose, f.cfg.InitConeHalfAngle, f.cfg.InitConeRange)
-			if f.cfg.World != nil && len(f.cfg.World.Shelves) > 0 {
-				loc = f.cfg.World.ClampToShelves(loc)
-			}
-			b.Particles[i] = ObjectParticle{Loc: loc, Reader: rIdx, logW: b.Particles[i].logW, normW: b.Particles[i].normW}
-		}
+		f.initParticles(b, len(b.Particles), len(b.Particles)/2)
 	}
 }
 
-// sampleReaderIndex draws a reader particle index according to the current
-// normalized reader weights.
-func (f *Filter) sampleReaderIndex() int {
+// sampleReaderIndex draws a reader particle index from the given stream
+// according to the current normalized reader weights.
+func (f *Filter) sampleReaderIndex(src *rng.Source) int {
 	if len(f.readerNorm) == 0 {
 		return 0
 	}
-	return f.src.Categorical(f.readerNorm)
+	return src.Categorical(f.readerNorm)
 }
 
 // CompressObject compresses an object's belief into a Gaussian (Section
@@ -163,6 +194,15 @@ func (f *Filter) CompressObject(id stream.TagID) (float64, bool) {
 	b.Compressed = &g
 	b.CompressionKL = kl
 	b.Particles = nil
+	// Release the private random stream — its generator state would dwarf
+	// the compressed Gaussian — keeping only a continuation seed so the
+	// post-decompression stream is fresh (no replay of earlier draws) yet
+	// still deterministic.
+	if b.src != nil {
+		b.srcSeed = b.src.Int63()
+		b.srcSeeded = true
+		b.src = nil
+	}
 	return kl, true
 }
 
@@ -182,16 +222,17 @@ func (f *Filter) CompressionCandidateKL(id stream.TagID) (float64, bool) {
 // Gaussian. The paper observes that far fewer particles are needed after
 // decompression because the compressed belief is already well-behaved.
 func (f *Filter) decompress(b *ObjectBelief) {
+	src := f.objectSrc(b)
 	n := f.cfg.NumDecompressParticles
 	g := *b.Compressed
 	b.Particles = make([]ObjectParticle, n)
 	u := 1 / float64(n)
 	for i := 0; i < n; i++ {
-		loc := g.Sample(f.src)
+		loc := g.Sample(src)
 		if f.cfg.World != nil && len(f.cfg.World.Shelves) > 0 {
 			loc = f.cfg.World.ClampToShelves(loc)
 		}
-		b.Particles[i] = ObjectParticle{Loc: loc, Reader: f.sampleReaderIndex(), logW: 0, normW: u}
+		b.Particles[i] = ObjectParticle{Loc: loc, Reader: f.sampleReaderIndex(src), logW: 0, normW: u}
 	}
 	b.Compressed = nil
 }

@@ -6,7 +6,9 @@ import (
 
 // resampleObject resamples an object's particles in proportion to their
 // normalized factored weights while preserving the reader pointers, as
-// required by the factored representation (Section IV-B).
+// required by the factored representation (Section IV-B). The resampling
+// indices are drawn from the object's private stream, so the operation is
+// safe and deterministic under concurrent per-shard execution.
 func (f *Filter) resampleObject(b *ObjectBelief) {
 	n := len(b.Particles)
 	if n == 0 {
@@ -16,7 +18,7 @@ func (f *Filter) resampleObject(b *ObjectBelief) {
 	for i, p := range b.Particles {
 		weights[i] = p.normW
 	}
-	idx := f.src.Systematic(weights, n)
+	idx := f.objectSrc(b).Systematic(weights, n)
 	newParticles := make([]ObjectParticle, n)
 	u := 1 / float64(n)
 	for i, j := range idx {

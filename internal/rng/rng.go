@@ -5,6 +5,8 @@
 package rng
 
 import (
+	"encoding/binary"
+	"hash/fnv"
 	"math"
 	"math/rand"
 
@@ -28,6 +30,27 @@ func New(seed int64) *Source {
 // deterministically regardless of the processing order of their siblings.
 func (s *Source) Fork() *Source {
 	return New(s.r.Int63())
+}
+
+// SeedFor derives a child seed from a base seed and a string key by hashing
+// both with FNV-1a. Unlike Fork, the derivation does not consume any state
+// from an existing stream, so the resulting seed depends only on (seed, key):
+// components keyed by a stable identifier (e.g. a tag id) receive the same
+// stream no matter how many siblings exist or in which order they are
+// created. This is what makes sharded inference results independent of the
+// shard count and worker schedule.
+func SeedFor(seed int64, key string) int64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(seed))
+	h.Write(buf[:])
+	h.Write([]byte(key))
+	return int64(h.Sum64() & math.MaxInt64)
+}
+
+// Derive returns a Source seeded with SeedFor(seed, key).
+func Derive(seed int64, key string) *Source {
+	return New(SeedFor(seed, key))
 }
 
 // Float64 returns a uniform draw in [0, 1).

@@ -203,3 +203,31 @@ func TestShuffleAndPerm(t *testing.T) {
 		t.Error("Perm must not alias its input")
 	}
 }
+
+func TestSeedForDerivation(t *testing.T) {
+	if SeedFor(1, "object:a") != SeedFor(1, "object:a") {
+		t.Error("SeedFor not deterministic")
+	}
+	if SeedFor(1, "object:a") == SeedFor(1, "object:b") {
+		t.Error("distinct keys should derive distinct seeds")
+	}
+	if SeedFor(1, "object:a") == SeedFor(2, "object:a") {
+		t.Error("distinct base seeds should derive distinct seeds")
+	}
+	if SeedFor(1, "x") < 0 {
+		t.Error("derived seed must be non-negative")
+	}
+}
+
+func TestDeriveIndependentOfSiblings(t *testing.T) {
+	// Unlike Fork, Derive consumes no stream state: deriving b after a (or
+	// not deriving a at all) yields the same stream for b.
+	b1 := Derive(7, "b")
+	_ = Derive(7, "a")
+	b2 := Derive(7, "b")
+	for i := 0; i < 10; i++ {
+		if b1.Float64() != b2.Float64() {
+			t.Fatal("Derive stream depends on sibling derivations")
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package stream
+
+// Sharding helpers: the sharded inference engine partitions objects across
+// workers by a stable hash of their tag id, so that a given tag always lands
+// on the same shard regardless of the epoch, the shard count of a previous
+// run, or the worker schedule.
+
+// fnvOffset64 and fnvPrime64 are the FNV-1a 64-bit parameters.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Hash64 returns a stable FNV-1a hash of the tag id. It is the basis for
+// shard assignment: equal ids hash equally across processes and runs.
+func (t TagID) Hash64() uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(t); i++ {
+		h ^= uint64(t[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// Shard returns the shard index of the tag for n shards.
+func (t TagID) Shard(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(t.Hash64() % uint64(n))
+}
+
+// PartitionTags splits ids into n batches by stable hash, preserving the
+// relative order of ids within each batch. The same id always lands in the
+// same batch for a fixed n, so per-shard state (watchlists, RNG streams)
+// stays consistent across epochs.
+func PartitionTags(ids []TagID, n int) [][]TagID {
+	if n <= 1 {
+		if len(ids) == 0 {
+			return make([][]TagID, 1)
+		}
+		return [][]TagID{ids}
+	}
+	out := make([][]TagID, n)
+	for _, id := range ids {
+		s := id.Shard(n)
+		out[s] = append(out[s], id)
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package stream
+
+import (
+	"testing"
+)
+
+func TestHash64StableAndSpread(t *testing.T) {
+	if TagID("obj-001").Hash64() != TagID("obj-001").Hash64() {
+		t.Error("hash not stable")
+	}
+	if TagID("obj-001").Hash64() == TagID("obj-002").Hash64() {
+		t.Error("distinct tags should (almost surely) hash differently")
+	}
+	// Shard assignment must cover all shards reasonably for sequential ids.
+	const n = 8
+	counts := make([]int, n)
+	for i := 0; i < 800; i++ {
+		counts[TagID(tagName(i)).Shard(n)]++
+	}
+	for s, c := range counts {
+		if c == 0 {
+			t.Errorf("shard %d received no tags", s)
+		}
+	}
+}
+
+func tagName(i int) string {
+	const digits = "0123456789"
+	return "obj-" + string([]byte{digits[i/100%10], digits[i/10%10], digits[i%10]})
+}
+
+func TestShardBounds(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64} {
+		s := TagID("x").Shard(n)
+		if n <= 1 {
+			if s != 0 {
+				t.Errorf("Shard(%d) = %d, want 0", n, s)
+			}
+			continue
+		}
+		if s < 0 || s >= n {
+			t.Errorf("Shard(%d) = %d out of range", n, s)
+		}
+	}
+}
+
+func TestPartitionTags(t *testing.T) {
+	ids := make([]TagID, 100)
+	for i := range ids {
+		ids[i] = TagID(tagName(i))
+	}
+	parts := PartitionTags(ids, 4)
+	if len(parts) != 4 {
+		t.Fatalf("len(parts) = %d", len(parts))
+	}
+	total := 0
+	for s, part := range parts {
+		total += len(part)
+		for _, id := range part {
+			if id.Shard(4) != s {
+				t.Errorf("tag %s in shard %d, want %d", id, s, id.Shard(4))
+			}
+		}
+	}
+	if total != len(ids) {
+		t.Errorf("partition lost tags: %d != %d", total, len(ids))
+	}
+	// n <= 1 collapses to a single batch.
+	one := PartitionTags(ids, 1)
+	if len(one) != 1 || len(one[0]) != len(ids) {
+		t.Errorf("PartitionTags(n=1) = %d batches, %d tags", len(one), len(one[0]))
+	}
+	empty := PartitionTags(nil, 1)
+	if len(empty) != 1 {
+		t.Errorf("PartitionTags(nil, 1) = %d batches, want 1", len(empty))
+	}
+}

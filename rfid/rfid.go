@@ -105,14 +105,44 @@ func Synchronize(readings []Reading, locations []LocationReport) []*Epoch {
 	return stream.Synchronize(readings, locations)
 }
 
-// Pipeline is the end-to-end cleaning and transformation engine.
-type Pipeline struct {
-	eng *core.Engine
+// engine is the method set shared by the serial core.Engine and the
+// sharded core.ShardedEngine; Pipeline delegates to whichever the Config
+// selected.
+type engine interface {
+	ProcessEpoch(*stream.Epoch) ([]stream.Event, error)
+	Finish() []stream.Event
+	Run([]*stream.Epoch) ([]stream.Event, error)
+	Estimate(stream.TagID) (geom.Vec3, stream.EventStats, bool)
+	ReaderEstimate() geom.Pose
+	TrackedObjects() []stream.TagID
+	Stats() core.Stats
 }
 
-// NewPipeline builds a Pipeline from a Config.
+// Pipeline is the end-to-end cleaning and transformation engine.
+type Pipeline struct {
+	eng engine
+}
+
+// NewPipeline builds a Pipeline from a Config. Setting Config.Workers to a
+// value greater than one (or to zero with NewShardedPipeline) selects the
+// sharded parallel engine, which partitions objects across worker goroutines
+// per epoch; its output is byte-identical to the serial engine's.
 func NewPipeline(cfg Config) (*Pipeline, error) {
+	if cfg.Workers > 1 {
+		return NewShardedPipeline(cfg)
+	}
 	eng, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{eng: eng}, nil
+}
+
+// NewShardedPipeline builds a Pipeline backed by the sharded parallel engine
+// regardless of Config.Workers (zero means one worker per CPU). It requires a
+// factored configuration.
+func NewShardedPipeline(cfg Config) (*Pipeline, error) {
+	eng, err := core.NewSharded(cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -183,3 +183,57 @@ func TestPublicWorldConstruction(t *testing.T) {
 		t.Error("expected config validation error")
 	}
 }
+
+// TestPublicShardedPipeline verifies the parallel engine through the public
+// API: Config.Workers > 1 routes to the sharded engine and its output is
+// identical to the serial pipeline's.
+func TestPublicShardedPipeline(t *testing.T) {
+	trace := simulateSmall(t, 8, 9)
+	cfg := rfid.DefaultConfig(rfid.DefaultParams(), trace.World)
+	cfg.NumObjectParticles = 150
+	cfg.Seed = 9
+
+	serial, err := rfid.NewPipeline(cfg)
+	if err != nil {
+		t.Fatalf("NewPipeline: %v", err)
+	}
+	want, err := serial.Run(trace.Epochs)
+	if err != nil {
+		t.Fatalf("serial Run: %v", err)
+	}
+
+	cfg.Workers = 4
+	par, err := rfid.NewPipeline(cfg)
+	if err != nil {
+		t.Fatalf("NewPipeline(Workers=4): %v", err)
+	}
+	got, err := par.Run(trace.Epochs)
+	if err != nil {
+		t.Fatalf("parallel Run: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("event counts differ: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("event %d differs: %v vs %v", i, got[i], want[i])
+		}
+	}
+
+	// NewShardedPipeline with default workers also works.
+	sp, err := rfid.NewShardedPipeline(cfg)
+	if err != nil {
+		t.Fatalf("NewShardedPipeline: %v", err)
+	}
+	if _, err := sp.Run(trace.Epochs); err != nil {
+		t.Fatalf("sharded Run: %v", err)
+	}
+	// The sharded pipeline rejects non-factored configurations.
+	bad := cfg
+	bad.Factored = false
+	bad.SpatialIndex = false
+	bad.Compression = false
+	if _, err := rfid.NewShardedPipeline(bad); err == nil {
+		t.Error("NewShardedPipeline should reject non-factored configs")
+	}
+}
