@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke baseline
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke baseline doc-check serve-smoke
 
-all: build vet fmt-check test
+all: build vet fmt-check doc-check test
 
 build:
 	$(GO) build ./...
@@ -25,9 +25,31 @@ test:
 	$(GO) test ./...
 
 # Race gate over the packages with concurrent code paths (the sharded engine
-# fan-out and the filter phases it drives).
+# fan-out and the filter phases it drives, the continuous runner, and the
+# serving layer's ingest/snapshot concurrency).
 race:
-	$(GO) test -race ./internal/core ./internal/factored
+	$(GO) test -race ./internal/core ./internal/factored ./internal/serve ./rfid
+
+# Godoc gate: every package (and command) must carry a package doc comment —
+# a comment block immediately above its package clause in at least one
+# non-test file.
+doc-check:
+	@fail=0; \
+	for dir in $$($(GO) list -f '{{.Dir}}' ./...); do \
+		ok=0; \
+		for f in $$dir/*.go; do \
+			case $$f in *_test.go) continue;; esac; \
+			if awk 'prev ~ /^\/\// && /^package /{found=1} {prev=$$0} END{exit !found}' $$f; then ok=1; break; fi; \
+		done; \
+		if [ $$ok -eq 0 ]; then echo "doc-check: missing package doc comment in $$dir"; fail=1; fi; \
+	done; \
+	if [ $$fail -ne 0 ]; then exit 1; fi; \
+	echo "doc-check: all packages documented"
+
+# Serving-layer smoke: the end-to-end HTTP test (ingest -> flush -> snapshot
+# -> query results -> metrics) under the race detector.
+serve-smoke:
+	$(GO) test -race -run 'TestServer' ./internal/serve
 
 # Full benchmark run (slow; minutes).
 bench:

@@ -1,11 +1,15 @@
 // Command rfidquery runs the continuous queries of Section II-B over a clean
-// event stream produced by rfidclean: the location-update query and the
-// fire-code weight-density query.
+// event stream produced by rfidclean: the location-update query, the
+// fire-code weight-density query and the windowed aggregate query. Queries
+// are declared as query-registry specs — exactly the registration path the
+// serving layer (rfidserve) uses — and evaluated incrementally over the
+// stream.
 //
 // Usage:
 //
 //	rfidquery -events events.csv -query location-updates
 //	rfidquery -events events.csv -query fire-code -weight 25 -threshold 200 -window 5
+//	rfidquery -events events.csv -query windowed-aggregate -op count -group-by area -window 5
 package main
 
 import (
@@ -14,6 +18,7 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/query"
 	"repro/rfid"
 )
 
@@ -23,11 +28,13 @@ func main() {
 
 	var (
 		eventsFile = flag.String("events", "events.csv", "clean event stream CSV (from rfidclean)")
-		queryName  = flag.String("query", "location-updates", "query to run: location-updates or fire-code")
+		queryName  = flag.String("query", "location-updates", "query to run: location-updates, fire-code or windowed-aggregate")
 		minChange  = flag.Float64("min-change", 0.1, "location-updates: minimum location change (ft) to report")
-		weight     = flag.Float64("weight", 25, "fire-code: weight in pounds assigned to each object")
+		weight     = flag.Float64("weight", 25, "fire-code / windowed-aggregate: weight in pounds assigned to each object")
 		threshold  = flag.Float64("threshold", 200, "fire-code: maximum pounds per square foot")
-		window     = flag.Int("window", 5, "fire-code: window length in seconds (epochs)")
+		window     = flag.Int("window", 5, "fire-code / windowed-aggregate: window length in seconds (epochs)")
+		op         = flag.String("op", "count", "windowed-aggregate: aggregate op (count, sum-weight, mean-weight)")
+		groupBy    = flag.String("group-by", "none", "windowed-aggregate: grouping (none or area)")
 		limit      = flag.Int("limit", 50, "maximum number of rows to print (0 = all)")
 	)
 	flag.Parse()
@@ -42,39 +49,66 @@ func main() {
 		log.Fatalf("read events: %v", err)
 	}
 
-	switch *queryName {
-	case "location-updates":
-		q := rfid.NewLocationUpdateQuery(*minChange)
-		updates := q.Run(events)
-		fmt.Printf("%d location updates\n", len(updates))
-		for i, u := range updates {
-			if *limit > 0 && i >= *limit {
-				fmt.Printf("... (%d more)\n", len(updates)-i)
-				break
-			}
-			if u.HasPrev {
-				fmt.Printf("t=%d %s moved %v -> %v\n", u.Time, u.Tag, u.Prev, u.Loc)
-			} else {
-				fmt.Printf("t=%d %s first seen at %v\n", u.Time, u.Tag, u.Loc)
-			}
+	spec := rfid.QuerySpec{
+		Kind:            rfid.QueryKind(*queryName),
+		MinChange:       *minChange,
+		WindowEpochs:    *window,
+		ThresholdPounds: *threshold,
+		WeightPounds:    *weight,
+		Op:              query.AggregateOp(*op),
+		GroupBy:         query.GroupKey(*groupBy),
+	}
+	results, err := runSpec(spec, events)
+	if err != nil {
+		log.Fatalf("%v", err)
+	}
+
+	fmt.Printf("%d %s rows\n", len(results), spec.Kind)
+	for i, res := range results {
+		if *limit > 0 && i >= *limit {
+			fmt.Printf("... (%d more)\n", len(results)-i)
+			break
 		}
-	case "fire-code":
-		q := rfid.NewFireCodeQuery(rfid.FireCodeConfig{
-			WindowEpochs:    *window,
-			ThresholdPounds: *threshold,
-			Weight:          func(rfid.TagID) float64 { return *weight },
-		})
-		violations := q.Run(events)
-		fmt.Printf("%d fire-code violations (threshold %.0f lb/sqft, window %d s)\n",
-			len(violations), *threshold, *window)
-		for i, v := range violations {
-			if *limit > 0 && i >= *limit {
-				fmt.Printf("... (%d more)\n", len(violations)-i)
-				break
-			}
-			fmt.Printf("t=%d area %s total weight %.0f lb\n", v.Time, v.Area, v.TotalWeight)
+		fmt.Println(formatRow(res.Row))
+	}
+}
+
+// runSpec evaluates one declarative query spec over a complete event stream
+// through the query registry — the same registration and incremental
+// feeding path rfidserve drives per epoch.
+func runSpec(spec rfid.QuerySpec, events []rfid.Event) ([]rfid.QueryResult, error) {
+	// Uncapped buffer: a batch CLI over a finite stream must print every
+	// row, unlike the server's bounded polling buffers.
+	reg := rfid.NewQueryRegistry(-1)
+	info, err := reg.Register(spec)
+	if err != nil {
+		return nil, err
+	}
+	sorted := make([]rfid.Event, len(events))
+	copy(sorted, events)
+	rfid.SortEventsByTimeThenTag(sorted)
+	reg.Feed(sorted)
+	reg.FlushAll()
+	results, _, err := reg.Results(info.ID, -1, 0)
+	return results, err
+}
+
+// formatRow renders one typed result row for the terminal.
+func formatRow(row any) string {
+	switch r := row.(type) {
+	case rfid.LocationUpdate:
+		if r.HasPrev {
+			return fmt.Sprintf("t=%d %s moved %v -> %v", r.Time, r.Tag, r.Prev, r.Loc)
 		}
+		return fmt.Sprintf("t=%d %s first seen at %v", r.Time, r.Tag, r.Loc)
+	case rfid.Violation:
+		return fmt.Sprintf("t=%d area %s total weight %.0f lb", r.Time, r.Area, r.TotalWeight)
+	case rfid.AggregateRow:
+		if r.Grouped {
+			return fmt.Sprintf("t=%d area %s value %.2f (%d objects)", r.Time, r.Area, r.Value, r.Objects)
+		}
+		return fmt.Sprintf("t=%d value %.2f (%d objects)", r.Time, r.Value, r.Objects)
 	default:
-		log.Fatalf("unknown query %q (want location-updates or fire-code)", *queryName)
+		return fmt.Sprintf("%+v", row)
 	}
 }

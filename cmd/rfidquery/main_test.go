@@ -1,0 +1,122 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/query"
+	"repro/rfid"
+)
+
+// cannedEvents is a fixed clean event stream: four 60-lb objects packed into
+// square foot (2,3) from epoch 1 on, plus a lone object elsewhere. With a
+// 5-epoch window and a 200-lb threshold, area (2,3) violates the fire code
+// from epoch 1 onward (240 lb > 200 lb).
+func cannedEvents() []rfid.Event {
+	mk := func(t int, tag string, x, y float64) rfid.Event {
+		return rfid.Event{Time: t, Tag: rfid.TagID(tag), Loc: rfid.Vec3{X: x, Y: y}}
+	}
+	return []rfid.Event{
+		mk(0, "a", 2.1, 3.2),
+		mk(0, "b", 2.5, 3.5),
+		mk(0, "c", 2.9, 3.9),
+		mk(0, "lone", 9.5, 9.5),
+		mk(1, "a", 2.1, 3.2),
+		mk(1, "b", 2.5, 3.5),
+		mk(1, "c", 2.9, 3.9),
+		mk(1, "d", 2.4, 3.1), // fourth object arrives: 240 lb in (2,3)
+		mk(2, "a", 2.2, 3.2),
+		mk(2, "d", 2.4, 3.1),
+	}
+}
+
+// TestFireCodeRegression pins the fire-code weight-density query, evaluated
+// through the query registry exactly as the CLI and the serving layer run
+// it, against a canned trace with a known violation pattern.
+func TestFireCodeRegression(t *testing.T) {
+	spec := rfid.QuerySpec{
+		Kind:            rfid.QueryFireCode,
+		WindowEpochs:    5,
+		ThresholdPounds: 200,
+		WeightPounds:    60,
+	}
+	results, err := runSpec(spec, cannedEvents())
+	if err != nil {
+		t.Fatalf("runSpec: %v", err)
+	}
+	// Epoch 0 holds only 180 lb in (2,3); epochs 1 and 2 violate.
+	if len(results) != 2 {
+		t.Fatalf("got %d violations, want 2: %+v", len(results), results)
+	}
+	for i, wantTime := range []int{1, 2} {
+		v, ok := results[i].Row.(rfid.Violation)
+		if !ok {
+			t.Fatalf("row %d has type %T, want Violation", i, results[i].Row)
+		}
+		if v.Time != wantTime || v.Area != (rfid.AreaID{X: 2, Y: 3}) || v.TotalWeight != 240 {
+			t.Errorf("violation %d = %+v, want t=%d area (2,3) 240 lb", i, v, wantTime)
+		}
+	}
+
+	// Raising the threshold above the packed weight clears the violations.
+	spec.ThresholdPounds = 300
+	results, err = runSpec(spec, cannedEvents())
+	if err != nil {
+		t.Fatalf("runSpec: %v", err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("got %d violations above a 300-lb threshold, want 0", len(results))
+	}
+}
+
+// TestRunSpecLocationUpdatesAndAggregate smoke-tests the other registry
+// kinds through the CLI path, including out-of-order input (runSpec sorts).
+func TestRunSpecLocationUpdatesAndAggregate(t *testing.T) {
+	events := cannedEvents()
+	// Shuffle two entries out of time order; runSpec must sort.
+	events[0], events[len(events)-1] = events[len(events)-1], events[0]
+
+	updates, err := runSpec(rfid.QuerySpec{Kind: rfid.QueryLocationUpdates, MinChange: 0.05}, events)
+	if err != nil {
+		t.Fatalf("location-updates: %v", err)
+	}
+	if len(updates) == 0 {
+		t.Fatal("no location updates")
+	}
+	first, ok := updates[0].Row.(rfid.LocationUpdate)
+	if !ok || first.HasPrev {
+		t.Fatalf("first update should be a first-seen row: %+v", updates[0].Row)
+	}
+
+	aggs, err := runSpec(rfid.QuerySpec{
+		Kind:         rfid.QueryWindowedAggregate,
+		WindowEpochs: 5,
+		Op:           query.AggCount,
+		GroupBy:      query.GroupByArea,
+	}, events)
+	if err != nil {
+		t.Fatalf("windowed-aggregate: %v", err)
+	}
+	if len(aggs) == 0 {
+		t.Fatal("no aggregate rows")
+	}
+
+	if _, err := runSpec(rfid.QuerySpec{Kind: "bogus"}, events); err == nil {
+		t.Fatal("bogus spec succeeded")
+	}
+}
+
+// TestFormatRow pins the terminal rendering of each row type.
+func TestFormatRow(t *testing.T) {
+	u := rfid.LocationUpdate{Time: 3, Tag: "a", Loc: rfid.Vec3{X: 1}}
+	if got := formatRow(u); got != "t=3 a first seen at (1.000, 0.000, 0.000)" {
+		t.Errorf("first-seen row = %q", got)
+	}
+	v := rfid.Violation{Time: 4, Area: rfid.AreaID{X: 2, Y: 3}, TotalWeight: 240}
+	if got := formatRow(v); got != "t=4 area (2,3) total weight 240 lb" {
+		t.Errorf("violation row = %q", got)
+	}
+	a := rfid.AggregateRow{Time: 5, Value: 2, Objects: 2}
+	if got := formatRow(a); got != "t=5 value 2.00 (2 objects)" {
+		t.Errorf("aggregate row = %q", got)
+	}
+}

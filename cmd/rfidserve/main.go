@@ -1,0 +1,128 @@
+// Command rfidserve runs the continuous-query serving layer: a long-running
+// HTTP service that ingests raw RFID readings in batched epochs, drives the
+// sharded inference pipeline continuously and evaluates registered
+// continuous queries (location-update, fire-code, windowed aggregates)
+// incrementally per epoch.
+//
+// Usage:
+//
+//	rfidserve -addr :8080                            # empty world, default params
+//	rfidserve -addr :8080 -trace trace/ -calibrate   # world + params from a trace dir
+//
+// Interact with curl:
+//
+//	curl -X POST localhost:8080/ingest -d '{"readings":[{"time":0,"tag":"obj-001"}],
+//	     "locations":[{"time":0,"x":1,"y":2,"z":3}]}'
+//	curl -X POST localhost:8080/queries -d '{"kind":"location-updates","min_change":0.1}'
+//	curl -X POST localhost:8080/flush
+//	curl localhost:8080/snapshot/obj-001
+//	curl localhost:8080/queries/q1/results?after=-1
+//	curl localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/traceio"
+	"repro/rfid"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rfidserve: ")
+
+	var (
+		addr        = flag.String("addr", ":8080", "HTTP listen address")
+		traceDir    = flag.String("trace", "", "optional trace directory supplying the world (shelves, shelf tags)")
+		calibrate   = flag.Bool("calibrate", false, "calibrate model parameters from the trace before serving (requires -trace)")
+		shelfDepth  = flag.Float64("shelf-depth", 1.0, "synthesized shelf depth when shelves.csv is absent")
+		particles   = flag.Int("particles", 1000, "particles per object")
+		readerParts = flag.Int("reader-particles", 100, "reader particles")
+		workers     = flag.Int("workers", 0, "worker goroutines for the sharded engine (0 = GOMAXPROCS)")
+		seed        = flag.Int64("seed", 1, "random seed")
+		queue       = flag.Int("queue", 64, "ingest queue bound, in batches (backpressure threshold)")
+		hold        = flag.Int("hold", 0, "epochs of lateness slack before an epoch is sealed")
+		ingestWait  = flag.Duration("ingest-wait", 2*time.Second, "how long POST /ingest blocks when the queue is full before failing with 503")
+		floorX      = flag.Float64("floor-x", 40, "default open-floor extent in x (ft), used when no -trace world is given")
+		floorY      = flag.Float64("floor-y", 40, "default open-floor extent in y (ft)")
+		floorZ      = flag.Float64("floor-z", 8, "default open-floor extent in z (ft)")
+	)
+	flag.Parse()
+
+	world := rfid.NewWorld()
+	// The engine requires at least one shelf region; without a trace
+	// directory, serve a generic open floor so ad-hoc ingest works out of
+	// the box.
+	world.AddShelf(rfid.Shelf{
+		ID:     "floor",
+		Region: rfid.NewBBox(rfid.Vec3{}, rfid.Vec3{X: *floorX, Y: *floorY, Z: *floorZ}),
+	})
+	params := rfid.DefaultParams()
+	if *traceDir != "" {
+		dir, err := traceio.Read(*traceDir, *shelfDepth)
+		if err != nil {
+			log.Fatalf("load trace: %v", err)
+		}
+		world = dir.World
+		if *calibrate && len(world.ShelfTags) > 0 {
+			epochs := rfid.Synchronize(dir.Readings, dir.Locations)
+			calCfg := rfid.DefaultCalibrationConfig()
+			calCfg.Seed = *seed
+			res, err := rfid.Calibrate(epochs, world, params, calCfg)
+			if err != nil {
+				log.Printf("calibration failed (%v); continuing with default parameters", err)
+			} else {
+				params = res.Params
+				log.Printf("calibrated sensor model: %v", params.Sensor)
+			}
+		}
+	}
+
+	cfg := rfid.DefaultConfig(params, world)
+	cfg.NumObjectParticles = *particles
+	cfg.NumReaderParticles = *readerParts
+	cfg.Workers = *workers
+	cfg.Seed = *seed
+	// Continuous queries want a continuous clean stream, not delayed batch
+	// reports.
+	cfg.ReportPolicy = rfid.ReportEveryEpoch
+
+	runner, err := rfid.NewRunner(cfg, rfid.RunnerConfig{HoldEpochs: *hold, Sharded: true})
+	if err != nil {
+		log.Fatalf("runner: %v", err)
+	}
+	srv, err := serve.New(serve.Config{
+		Runner:     runner,
+		QueueSize:  *queue,
+		IngestWait: *ingestWait,
+	})
+	if err != nil {
+		log.Fatalf("server: %v", err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	go func() {
+		<-ctx.Done()
+		log.Printf("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutdownCtx)
+		srv.Close()
+	}()
+
+	log.Printf("serving on %s (queue=%d, workers=%d, particles=%d)", *addr, *queue, *workers, *particles)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("serve: %v", err)
+	}
+}

@@ -20,4 +20,13 @@
 // parallel output byte-identical to the serial engine's for any worker or
 // shard count. See ARCHITECTURE.md for the shard/worker model, the epoch
 // barrier and the reproducibility argument.
+//
+// The engine also runs online: rfid.Runner drives the pipeline continuously
+// from incrementally ingested raw streams (epochs sealed by the ingest
+// watermark, not a fixed trace), and the serving layer (internal/serve,
+// command rfidserve) exposes it over HTTP — batched ingest with
+// backpressure, live snapshots, registered continuous queries evaluated
+// incrementally per epoch, and Prometheus-style metrics. README.md has the
+// quickstart; ARCHITECTURE.md describes the serving layer's epoch clocking
+// and concurrency story.
 package repro

@@ -269,6 +269,7 @@ func (e *Engine) runCompression(epoch int) {
 // filterAdapter adapts *factored.Filter to the belief.Filter interface.
 type filterAdapter struct{ f *factored.Filter }
 
+// CandidateKL implements belief.Filter.
 func (a filterAdapter) CandidateKL(id stream.TagID) (float64, bool) {
 	return a.f.CompressionCandidateKL(id)
 }
@@ -310,6 +311,17 @@ func (e *Engine) TrackedObjects() []stream.TagID {
 		return e.fact.TrackedObjects()
 	}
 	return e.basic.TrackedObjects()
+}
+
+// ParticleCount returns the number of particles currently alive in the
+// engine (reader particles plus per-object particles for the factored
+// filter, the joint particle set for the basic filter); exposed for serving
+// metrics and diagnostics.
+func (e *Engine) ParticleCount() int {
+	if e.cfg.Factored {
+		return e.fact.ParticleCount()
+	}
+	return e.basic.NumParticles()
 }
 
 // IndexSize returns the number of sensing regions currently indexed (zero

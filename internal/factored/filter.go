@@ -152,6 +152,18 @@ func (f *Filter) Belief(id stream.TagID) *ObjectBelief { return f.objects[id] }
 // NumTracked returns the number of objects the filter has seen.
 func (f *Filter) NumTracked() int { return len(f.order) }
 
+// ParticleCount returns the number of particles currently alive in the
+// filter: the reader particles plus every uncompressed object belief's
+// particle set. Compressed beliefs contribute nothing (their particles were
+// replaced by a Gaussian), so the count also tracks compression activity.
+func (f *Filter) ParticleCount() int {
+	n := len(f.readers)
+	for _, b := range f.objects {
+		n += len(b.Particles)
+	}
+	return n
+}
+
 func (f *Filter) ensureStarted(ep *stream.Epoch) {
 	if f.started {
 		return

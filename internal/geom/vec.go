@@ -11,9 +11,12 @@ import (
 	"math"
 )
 
-// Vec3 is a point or displacement in three-dimensional space.
+// Vec3 is a point or displacement in three-dimensional space. The JSON tags
+// fix the lowercase wire shape the serving layer exposes.
 type Vec3 struct {
-	X, Y, Z float64
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+	Z float64 `json:"z"`
 }
 
 // V is shorthand for constructing a Vec3.

@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter, safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are ignored to keep the counter monotone).
+func (c *Counter) Add(n int) {
+	if n > 0 {
+		c.v.Add(int64(n))
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float-valued gauge, safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Set is a named collection of counters and gauges that a serving process
+// exposes on its /metrics endpoint. Names follow the Prometheus convention
+// (snake_case, counters suffixed _total); registration is idempotent so
+// independent components can share a Set.
+type Set struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	help     map[string]string
+}
+
+// NewSet returns an empty metric set.
+func NewSet() *Set {
+	return &Set{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		help:     make(map[string]string),
+	}
+}
+
+// Counter returns the counter registered under name, creating it (with the
+// given help text) on first use.
+func (s *Set) Counter(name, help string) *Counter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.counters[name]
+	if !ok {
+		c = &Counter{}
+		s.counters[name] = c
+		s.help[name] = help
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it (with the
+// given help text) on first use.
+func (s *Set) Gauge(name, help string) *Gauge {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		s.gauges[name] = g
+		s.help[name] = help
+	}
+	return g
+}
+
+// Snapshot returns the current value of every registered metric keyed by
+// name.
+func (s *Set) Snapshot() map[string]float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]float64, len(s.counters)+len(s.gauges))
+	for name, c := range s.counters {
+		out[name] = float64(c.Value())
+	}
+	for name, g := range s.gauges {
+		out[name] = g.Value()
+	}
+	return out
+}
+
+// WriteProm writes the set in the Prometheus text exposition format, metrics
+// sorted by name.
+func (s *Set) WriteProm(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.counters)+len(s.gauges))
+	for name := range s.counters {
+		names = append(names, name)
+	}
+	for name := range s.gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if help := s.help[name]; help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
+				return err
+			}
+		}
+		if c, ok := s.counters[name]; ok {
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, c.Value()); err != nil {
+				return err
+			}
+			continue
+		}
+		g := s.gauges[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, g.Value()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	var g Gauge
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Errorf("gauge = %g, want 2.5", got)
+	}
+}
+
+func TestSetIdempotentRegistration(t *testing.T) {
+	s := NewSet()
+	a := s.Counter("x_total", "help")
+	b := s.Counter("x_total", "ignored on re-registration")
+	if a != b {
+		t.Fatal("re-registering a counter returned a different instance")
+	}
+	a.Inc()
+	snap := s.Snapshot()
+	if snap["x_total"] != 1 {
+		t.Errorf("snapshot = %v", snap)
+	}
+}
+
+func TestSetWriteProm(t *testing.T) {
+	s := NewSet()
+	s.Counter("b_total", "a counter").Add(3)
+	s.Gauge("a_gauge", "a gauge").Set(1.5)
+	var sb strings.Builder
+	if err := s.WriteProm(&sb); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP a_gauge a gauge",
+		"# TYPE a_gauge gauge",
+		"a_gauge 1.5",
+		"# TYPE b_total counter",
+		"b_total 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Sorted by name: the gauge precedes the counter.
+	if strings.Index(out, "a_gauge") > strings.Index(out, "b_total") {
+		t.Error("metrics not sorted by name")
+	}
+}
+
+func TestSetConcurrentUse(t *testing.T) {
+	s := NewSet()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s.Counter("c_total", "").Inc()
+				s.Gauge("g", "").Set(float64(j))
+				s.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Snapshot()["c_total"]; got != 800 {
+		t.Errorf("c_total = %g, want 800", got)
+	}
+}

@@ -18,14 +18,14 @@ import (
 // An update is emitted whenever the most recent location report of an object
 // differs from its previous one.
 type LocationUpdate struct {
-	Time int
-	Tag  stream.TagID
-	Loc  geom.Vec3
+	Time int          `json:"time"`
+	Tag  stream.TagID `json:"tag"`
+	Loc  geom.Vec3    `json:"loc"`
 	// Prev is the previous reported location; HasPrev is false for the first
 	// report of a tag (which is also emitted, since the partition's content
 	// changed from empty).
-	Prev    geom.Vec3
-	HasPrev bool
+	Prev    geom.Vec3 `json:"prev"`
+	HasPrev bool      `json:"has_prev"`
 }
 
 // LocationUpdateQuery evaluates the location-update query in a streaming
@@ -79,7 +79,8 @@ func (q *LocationUpdateQuery) Run(events []stream.Event) []LocationUpdate {
 
 // AreaID identifies one square-foot cell of the storage area.
 type AreaID struct {
-	X, Y int
+	X int `json:"x"`
+	Y int `json:"y"`
 }
 
 // String implements fmt.Stringer.
@@ -94,9 +95,9 @@ func SquareFtArea(loc geom.Vec3) AreaID {
 // Violation is one output row of the fire-code query: a square-foot area
 // whose total object weight exceeded the threshold within the window.
 type Violation struct {
-	Time        int
-	Area        AreaID
-	TotalWeight float64
+	Time        int     `json:"time"`
+	Area        AreaID  `json:"area"`
+	TotalWeight float64 `json:"total_weight"`
 }
 
 // FireCodeConfig configures the fire-code query of Section II-B:

@@ -1,0 +1,320 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/stream"
+)
+
+// Kind names a continuous-query type the registry can instantiate.
+type Kind string
+
+// Registered query kinds.
+const (
+	// KindLocationUpdates is the per-object location-update query.
+	KindLocationUpdates Kind = "location-updates"
+	// KindFireCode is the fire-code weight-density query.
+	KindFireCode Kind = "fire-code"
+	// KindWindowedAggregate is the generalized windowed aggregate query.
+	KindWindowedAggregate Kind = "windowed-aggregate"
+)
+
+// Spec is the declarative, JSON-serializable description of a continuous
+// query; the serving layer's POST /queries body is exactly this shape. Only
+// the fields of the selected Kind are consulted.
+type Spec struct {
+	Kind Kind `json:"kind"`
+
+	// MinChange (location-updates): suppress updates that moved at most this
+	// many feet.
+	MinChange float64 `json:"min_change,omitempty"`
+
+	// WindowEpochs (fire-code, windowed-aggregate): range window length in
+	// epochs (default 5).
+	WindowEpochs int `json:"window_epochs,omitempty"`
+	// ThresholdPounds (fire-code): the Having threshold (default 200).
+	ThresholdPounds float64 `json:"threshold_pounds,omitempty"`
+	// WeightPounds (fire-code, windowed-aggregate): uniform per-object
+	// weight in pounds (default 1).
+	WeightPounds float64 `json:"weight_pounds,omitempty"`
+
+	// Op (windowed-aggregate): aggregation function (default "count").
+	Op AggregateOp `json:"op,omitempty"`
+	// GroupBy (windowed-aggregate): grouping key (default "none").
+	GroupBy GroupKey `json:"group_by,omitempty"`
+}
+
+// Validate reports whether the spec describes an instantiable query.
+func (s Spec) Validate() error {
+	switch s.Kind {
+	case KindLocationUpdates, KindFireCode:
+		return nil
+	case KindWindowedAggregate:
+		return AggregateConfig{Op: s.Op, GroupBy: s.GroupBy}.Validate()
+	default:
+		return fmt.Errorf("query: unknown kind %q (want %s, %s or %s)",
+			s.Kind, KindLocationUpdates, KindFireCode, KindWindowedAggregate)
+	}
+}
+
+// Continuous is the streaming interface the registry drives: one event in,
+// zero or more result rows out, plus a flush for the final partial epoch.
+// The concrete row type depends on the query kind (LocationUpdate, Violation
+// or AggregateRow).
+type Continuous interface {
+	// PushEvent feeds one clean event (events must arrive in time order).
+	PushEvent(ev stream.Event) []any
+	// FlushFinal evaluates whatever the query was holding back for the
+	// still-open epoch (windowed queries emit an epoch's rows only once a
+	// later epoch begins).
+	FlushFinal() []any
+}
+
+// NewContinuous instantiates the streaming query a spec describes.
+func NewContinuous(s Spec) (Continuous, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	weight := func(stream.TagID) float64 { return 1 }
+	if s.WeightPounds > 0 {
+		w := s.WeightPounds
+		weight = func(stream.TagID) float64 { return w }
+	}
+	switch s.Kind {
+	case KindLocationUpdates:
+		return locationAdapter{NewLocationUpdateQuery(s.MinChange)}, nil
+	case KindFireCode:
+		return fireCodeAdapter{NewFireCodeQuery(FireCodeConfig{
+			WindowEpochs:    s.WindowEpochs,
+			ThresholdPounds: s.ThresholdPounds,
+			Weight:          weight,
+		})}, nil
+	case KindWindowedAggregate:
+		return aggregateAdapter{NewWindowedAggregateQuery(AggregateConfig{
+			WindowEpochs: s.WindowEpochs,
+			Op:           s.Op,
+			GroupBy:      s.GroupBy,
+			Weight:       weight,
+		})}, nil
+	}
+	return nil, fmt.Errorf("query: unknown kind %q", s.Kind)
+}
+
+// locationAdapter lifts LocationUpdateQuery to the Continuous interface.
+type locationAdapter struct{ q *LocationUpdateQuery }
+
+// PushEvent implements Continuous.
+func (a locationAdapter) PushEvent(ev stream.Event) []any {
+	if u, ok := a.q.Push(ev); ok {
+		return []any{u}
+	}
+	return nil
+}
+
+// FlushFinal implements Continuous; location updates are emitted eagerly so
+// there is nothing to flush.
+func (a locationAdapter) FlushFinal() []any { return nil }
+
+// fireCodeAdapter lifts FireCodeQuery to the Continuous interface.
+type fireCodeAdapter struct{ q *FireCodeQuery }
+
+// PushEvent implements Continuous.
+func (a fireCodeAdapter) PushEvent(ev stream.Event) []any { return wrapRows(a.q.Push(ev)) }
+
+// FlushFinal implements Continuous.
+func (a fireCodeAdapter) FlushFinal() []any { return wrapRows(a.q.Flush()) }
+
+// aggregateAdapter lifts WindowedAggregateQuery to the Continuous interface.
+type aggregateAdapter struct{ q *WindowedAggregateQuery }
+
+// PushEvent implements Continuous.
+func (a aggregateAdapter) PushEvent(ev stream.Event) []any { return wrapRows(a.q.Push(ev)) }
+
+// FlushFinal implements Continuous.
+func (a aggregateAdapter) FlushFinal() []any { return wrapRows(a.q.Flush()) }
+
+// wrapRows boxes a concrete row slice into []any.
+func wrapRows[T any](rows []T) []any {
+	if len(rows) == 0 {
+		return nil
+	}
+	out := make([]any, len(rows))
+	for i, r := range rows {
+		out[i] = r
+	}
+	return out
+}
+
+// Result is one buffered result row of a registered query. Seq numbers are
+// per query, start at 0 and never repeat, so clients poll with
+// "give me everything after seq N".
+type Result struct {
+	Seq int `json:"seq"`
+	Row any `json:"row"`
+}
+
+// Info describes a registered query.
+type Info struct {
+	ID   string `json:"id"`
+	Spec Spec   `json:"spec"`
+	// NextSeq is the sequence number the next result will get (equivalently:
+	// the number of results produced so far).
+	NextSeq int `json:"next_seq"`
+	// Buffered is the number of results currently held for polling.
+	Buffered int `json:"buffered"`
+	// Dropped is the number of old results evicted because the buffer was
+	// full before the client polled them.
+	Dropped int `json:"dropped"`
+}
+
+// registered is one live query plus its result buffer.
+type registered struct {
+	info Info
+	q    Continuous
+	// results[start:] holds the most recent rows; start advances as old rows
+	// are evicted and the slice is compacted only once start exceeds the
+	// cap, so eviction is amortized O(1) per row.
+	results []Result
+	start   int
+}
+
+// live returns the non-evicted result window.
+func (reg *registered) live() []Result { return reg.results[reg.start:] }
+
+// Registry owns the set of registered continuous queries and drives them
+// incrementally: the serving layer feeds each epoch's clean events once, and
+// every registered query sees them in order. Registration, feeding and
+// result polling are safe for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	nextID  int
+	queries map[string]*registered
+	// maxBuffered caps each query's result buffer; oldest rows are evicted
+	// first.
+	maxBuffered int
+}
+
+// DefaultMaxBufferedResults is the per-query result-buffer cap used when
+// NewRegistry is given a non-positive limit.
+const DefaultMaxBufferedResults = 4096
+
+// NewRegistry returns an empty registry whose queries each buffer at most
+// maxBuffered undelivered results (0 selects DefaultMaxBufferedResults;
+// negative disables the cap, for batch evaluation over a finite stream).
+func NewRegistry(maxBuffered int) *Registry {
+	if maxBuffered == 0 {
+		maxBuffered = DefaultMaxBufferedResults
+	}
+	return &Registry{queries: make(map[string]*registered), maxBuffered: maxBuffered}
+}
+
+// Register instantiates the query a spec describes, assigns it an id and
+// starts feeding it from the next Feed call on.
+func (r *Registry) Register(spec Spec) (Info, error) {
+	q, err := NewContinuous(spec)
+	if err != nil {
+		return Info{}, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextID++
+	id := fmt.Sprintf("q%d", r.nextID)
+	reg := &registered{info: Info{ID: id, Spec: spec}, q: q}
+	r.queries[id] = reg
+	return reg.info, nil
+}
+
+// Unregister removes a query; false when the id is unknown.
+func (r *Registry) Unregister(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.queries[id]
+	delete(r.queries, id)
+	return ok
+}
+
+// List returns the registered queries sorted by id.
+func (r *Registry) List() []Info {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Info, 0, len(r.queries))
+	for _, reg := range r.queries {
+		out = append(out, reg.info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Feed pushes a batch of clean events (which must be in time order, as the
+// engine emits them) through every registered query and buffers the produced
+// rows. It returns the total number of new rows.
+func (r *Registry) Feed(events []stream.Event) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, ev := range events {
+		for _, reg := range r.queries {
+			n += r.buffer(reg, reg.q.PushEvent(ev))
+		}
+	}
+	return n
+}
+
+// FlushAll tells every query the stream ended, buffering the rows held back
+// for the final epoch. The registry remains usable afterwards, but windowed
+// queries may double-report the flushed epoch if feeding resumes.
+func (r *Registry) FlushAll() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, reg := range r.queries {
+		n += r.buffer(reg, reg.q.FlushFinal())
+	}
+	return n
+}
+
+// buffer appends rows to a query's result buffer, evicting the oldest rows
+// beyond the cap by advancing the start offset (the backing slice is
+// compacted only once the dead prefix exceeds the cap, so eviction costs
+// amortized O(1) per row). Caller holds r.mu.
+func (r *Registry) buffer(reg *registered, rows []any) int {
+	for _, row := range rows {
+		reg.results = append(reg.results, Result{Seq: reg.info.NextSeq, Row: row})
+		reg.info.NextSeq++
+	}
+	if r.maxBuffered > 0 {
+		if over := len(reg.live()) - r.maxBuffered; over > 0 {
+			reg.info.Dropped += over
+			reg.start += over
+		}
+		if reg.start > r.maxBuffered {
+			reg.results = append([]Result(nil), reg.live()...)
+			reg.start = 0
+		}
+	}
+	reg.info.Buffered = len(reg.live())
+	return len(rows)
+}
+
+// Results returns up to limit buffered results with Seq > afterSeq (limit
+// <= 0 means no limit) together with the query's current info; the error is
+// non-nil when the id is unknown. Results stay buffered until evicted by the
+// cap, so polling is idempotent.
+func (r *Registry) Results(id string, afterSeq, limit int) ([]Result, Info, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	reg, ok := r.queries[id]
+	if !ok {
+		return nil, Info{}, fmt.Errorf("query: unknown query id %q", id)
+	}
+	// Binary search: buffered seqs are contiguous and ascending.
+	live := reg.live()
+	idx := sort.Search(len(live), func(i int) bool { return live[i].Seq > afterSeq })
+	out := live[idx:]
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return append([]Result(nil), out...), reg.info, nil
+}

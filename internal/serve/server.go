@@ -1,0 +1,492 @@
+// Package serve is the continuous-query serving layer: a long-running HTTP
+// service that ingests raw RFID readings in batched epochs, drives the
+// inference pipeline continuously through an rfid.Runner, and evaluates
+// registered continuous queries incrementally as each epoch completes.
+//
+// The HTTP/JSON API:
+//
+//	POST   /ingest               enqueue a batch of raw readings/locations
+//	POST   /flush                force-process buffered epochs (synchronous)
+//	GET    /snapshot             reader pose + all tracked tags
+//	GET    /snapshot/{tag}       current belief/location of one tag
+//	POST   /queries              register a continuous query (query.Spec)
+//	GET    /queries              list registered queries
+//	GET    /queries/{id}/results poll results (?after=SEQ&limit=N)
+//	DELETE /queries/{id}         unregister a query
+//	GET    /metrics              Prometheus text (or ?format=json)
+//	GET    /healthz              liveness
+//
+// Concurrency model: all ingest and flush work funnels through one bounded
+// channel drained by a single engine goroutine, so epochs are processed
+// strictly in arrival order and the pipeline's determinism is preserved; the
+// channel bound is the backpressure mechanism (POST /ingest blocks briefly,
+// then fails with 503 when the engine cannot keep up). Snapshot reads go
+// straight to the Runner, whose mutex serializes them against epoch
+// processing, so they always observe a consistent post-epoch state.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/query"
+	"repro/rfid"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Runner is the continuous pipeline driver; required.
+	Runner *rfid.Runner
+	// QueueSize bounds the ingest queue, in batches (default 64). A full
+	// queue is the backpressure signal.
+	QueueSize int
+	// IngestWait is how long POST /ingest blocks for queue space before
+	// giving up with 503 (default 2s).
+	IngestWait time.Duration
+	// MaxBufferedResults caps each registered query's undelivered result
+	// buffer (default query.DefaultMaxBufferedResults).
+	MaxBufferedResults int
+	// MaxBodyBytes caps request bodies (default 8 MiB); the batch-count
+	// queue bound only limits memory if each batch is bounded too.
+	MaxBodyBytes int64
+}
+
+func (c *Config) applyDefaults() {
+	if c.QueueSize <= 0 {
+		c.QueueSize = 64
+	}
+	if c.IngestWait <= 0 {
+		c.IngestWait = 2 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+}
+
+// op is one unit of work for the engine goroutine: an ingest batch or a
+// flush request.
+type op struct {
+	readings  []rfid.Reading
+	locations []rfid.LocationReport
+	// flushWindows additionally flushes the registered queries' held-back
+	// final epoch; only meaningful on flush ops.
+	flushWindows bool
+	// done, when non-nil, receives the op's outcome (flush ops are
+	// synchronous).
+	done chan opResult
+}
+
+type opResult struct {
+	events  int
+	results int
+	err     error
+}
+
+// Server wires a Runner, a query registry and a metric set behind the HTTP
+// API. Create it with New, expose Handler on an http.Server, and Close it to
+// stop the engine goroutine.
+type Server struct {
+	cfg    Config
+	runner *rfid.Runner
+	reg    *query.Registry
+	mux    *http.ServeMux
+
+	ops    chan op
+	quit   chan struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	set   *metrics.Set
+	start time.Time
+
+	// engine-loop counters (written only by the engine goroutine)
+	engineErrs  *metrics.Counter
+	batches     *metrics.Counter
+	rejected    *metrics.Counter
+	readings    *metrics.Counter
+	locations   *metrics.Counter
+	lateDropped *metrics.Counter
+	epochs      *metrics.Counter
+	events      *metrics.Counter
+	results     *metrics.Counter
+
+	// scrape-time gauges
+	queueDepth  *metrics.Gauge
+	tracked     *metrics.Gauge
+	particles   *metrics.Gauge
+	buffered    *metrics.Gauge
+	epochsRate  *metrics.Gauge
+	lastEpochsN int64 // engine-goroutine-local: epochs seen at last delta
+}
+
+// New returns a started Server (its engine goroutine is running).
+func New(cfg Config) (*Server, error) {
+	if cfg.Runner == nil {
+		return nil, fmt.Errorf("serve: Config.Runner is required")
+	}
+	cfg.applyDefaults()
+	s := &Server{
+		cfg:    cfg,
+		runner: cfg.Runner,
+		reg:    query.NewRegistry(cfg.MaxBufferedResults),
+		ops:    make(chan op, cfg.QueueSize),
+		quit:   make(chan struct{}),
+		set:    metrics.NewSet(),
+		start:  time.Now(),
+	}
+	s.engineErrs = s.set.Counter("rfidserve_engine_errors_total", "epoch-processing errors (failing epochs are skipped)")
+	s.batches = s.set.Counter("rfidserve_batches_total", "ingest batches accepted")
+	s.rejected = s.set.Counter("rfidserve_batches_rejected_total", "ingest batches rejected by backpressure")
+	s.readings = s.set.Counter("rfidserve_readings_total", "raw tag readings accepted")
+	s.locations = s.set.Counter("rfidserve_locations_total", "raw location reports accepted")
+	s.lateDropped = s.set.Counter("rfidserve_late_dropped_total", "records dropped for already-processed epochs")
+	s.epochs = s.set.Counter("rfidserve_epochs_total", "epochs processed by the inference engine")
+	s.events = s.set.Counter("rfidserve_events_total", "clean location events emitted")
+	s.results = s.set.Counter("rfidserve_query_results_total", "continuous-query result rows produced")
+	s.queueDepth = s.set.Gauge("rfidserve_queue_depth", "ingest batches waiting in the bounded queue")
+	s.tracked = s.set.Gauge("rfidserve_tracked_objects", "distinct objects the engine has seen")
+	s.particles = s.set.Gauge("rfidserve_particles", "particles currently alive in the engine")
+	s.buffered = s.set.Gauge("rfidserve_buffered_epochs", "ingested epochs not yet processed")
+	s.epochsRate = s.set.Gauge("rfidserve_epochs_per_second", "average epoch processing rate since start")
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /ingest", s.handleIngest)
+	s.mux.HandleFunc("POST /flush", s.handleFlush)
+	s.mux.HandleFunc("GET /snapshot", s.handleSnapshotAll)
+	s.mux.HandleFunc("GET /snapshot/{tag}", s.handleSnapshot)
+	s.mux.HandleFunc("POST /queries", s.handleRegister)
+	s.mux.HandleFunc("GET /queries", s.handleList)
+	s.mux.HandleFunc("GET /queries/{id}/results", s.handleResults)
+	s.mux.HandleFunc("DELETE /queries/{id}", s.handleUnregister)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+
+	s.wg.Add(1)
+	go s.loop()
+	return s, nil
+}
+
+// Handler returns the HTTP handler serving the API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the query registry (used by the CLI to pre-register
+// queries from flags).
+func (s *Server) Registry() *query.Registry { return s.reg }
+
+// Close stops the engine goroutine after it finishes the op in flight.
+// Batches still queued are dropped; new ingests fail with 503. Close is
+// idempotent.
+func (s *Server) Close() {
+	if s.closed.CompareAndSwap(false, true) {
+		close(s.quit)
+		s.wg.Wait()
+	}
+}
+
+// loop is the engine goroutine: it serializes every state mutation (ingest,
+// epoch processing, query feeding) so the pipeline sees exactly one epoch
+// stream, in order.
+func (s *Server) loop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case o := <-s.ops:
+			res := s.handleOp(o)
+			if o.done != nil {
+				o.done <- res
+			}
+		}
+	}
+}
+
+// handleOp runs one op on the engine goroutine.
+func (s *Server) handleOp(o op) opResult {
+	var events []rfid.Event
+	var err error
+	if o.done == nil { // ingest batch
+		rep := s.runner.Ingest(o.readings, o.locations)
+		s.readings.Add(rep.Readings)
+		s.locations.Add(rep.Locations)
+		s.lateDropped.Add(rep.LateDropped)
+		events, err = s.runner.Advance()
+	} else { // flush
+		events, err = s.runner.Flush()
+	}
+	if err != nil {
+		// The runner skips failing epochs rather than wedging the stream;
+		// surface the failure on the error counter (and to flush callers).
+		s.engineErrs.Inc()
+		log.Printf("serve: epoch processing: %v", err)
+	}
+	rows := s.reg.Feed(events)
+	if o.flushWindows {
+		rows += s.reg.FlushAll()
+	}
+	s.events.Add(len(events))
+	s.results.Add(rows)
+	if n := int64(s.runner.Stats().Epochs); n > s.lastEpochsN {
+		s.epochs.Add(int(n - s.lastEpochsN))
+		s.lastEpochsN = n
+	}
+	return opResult{events: len(events), results: rows, err: err}
+}
+
+// --- wire types ---
+
+// readingDTO is the JSON shape of one raw reading.
+type readingDTO struct {
+	Time int    `json:"time"`
+	Tag  string `json:"tag"`
+}
+
+// locationDTO is the JSON shape of one raw reader-location report.
+type locationDTO struct {
+	Time   int     `json:"time"`
+	X      float64 `json:"x"`
+	Y      float64 `json:"y"`
+	Z      float64 `json:"z"`
+	Phi    float64 `json:"phi"`
+	HasPhi bool    `json:"has_phi"`
+}
+
+// ingestRequest is the POST /ingest body.
+type ingestRequest struct {
+	Readings  []readingDTO  `json:"readings"`
+	Locations []locationDTO `json:"locations"`
+}
+
+// snapshotResponse is the GET /snapshot/{tag} body.
+type snapshotResponse struct {
+	Tag          string  `json:"tag"`
+	Found        bool    `json:"found"`
+	X            float64 `json:"x"`
+	Y            float64 `json:"y"`
+	Z            float64 `json:"z"`
+	VarX         float64 `json:"var_x"`
+	VarY         float64 `json:"var_y"`
+	VarZ         float64 `json:"var_z"`
+	NumParticles int     `json:"num_particles"`
+	Compressed   bool    `json:"compressed"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// --- handlers ---
+
+// handleIngest enqueues a batch on the bounded queue, blocking up to
+// IngestWait for space; 503 signals backpressure and the client should
+// retry.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.closed.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	var req ingestRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad ingest body: %v", err)
+		return
+	}
+	o := op{
+		readings:  make([]rfid.Reading, len(req.Readings)),
+		locations: make([]rfid.LocationReport, len(req.Locations)),
+	}
+	for i, rd := range req.Readings {
+		o.readings[i] = rfid.Reading{Time: rd.Time, Tag: rfid.TagID(rd.Tag)}
+	}
+	for i, l := range req.Locations {
+		o.locations[i] = rfid.LocationReport{
+			Time: l.Time,
+			Pos:  rfid.Vec3{X: l.X, Y: l.Y, Z: l.Z},
+			Phi:  l.Phi, HasPhi: l.HasPhi,
+		}
+	}
+	timer := time.NewTimer(s.cfg.IngestWait)
+	defer timer.Stop()
+	select {
+	case s.ops <- o:
+		s.batches.Inc()
+		writeJSON(w, http.StatusAccepted, map[string]any{
+			"queued":      true,
+			"readings":    len(o.readings),
+			"locations":   len(o.locations),
+			"queue_depth": len(s.ops),
+		})
+	case <-r.Context().Done():
+		s.rejected.Inc()
+		writeError(w, http.StatusServiceUnavailable, "ingest canceled: %v", r.Context().Err())
+	case <-timer.C:
+		s.rejected.Inc()
+		writeError(w, http.StatusServiceUnavailable, "ingest queue full (backpressure); retry")
+	}
+}
+
+// handleFlush synchronously processes every buffered epoch (and, with
+// ?windows=true, flushes the queries' held-back final epoch). Because the
+// flush op queues behind earlier ingest batches, a 200 response means
+// everything ingested before the flush has been fully processed — the
+// deterministic synchronization point tests and batch clients use.
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if s.closed.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	o := op{flushWindows: r.URL.Query().Get("windows") == "true", done: make(chan opResult, 1)}
+	select {
+	case s.ops <- o:
+	case <-r.Context().Done():
+		writeError(w, http.StatusServiceUnavailable, "flush canceled: %v", r.Context().Err())
+		return
+	}
+	select {
+	case res := <-o.done:
+		if res.err != nil {
+			writeError(w, http.StatusInternalServerError, "flush: %v", res.err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"events": res.events, "results": res.results})
+	case <-s.quit:
+		writeError(w, http.StatusServiceUnavailable, "server closed during flush")
+	}
+}
+
+// handleSnapshot answers GET /snapshot/{tag}.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	tag := r.PathValue("tag")
+	loc, st, ok := s.runner.Snapshot(rfid.TagID(tag))
+	resp := snapshotResponse{Tag: tag, Found: ok}
+	if ok {
+		resp.X, resp.Y, resp.Z = loc.X, loc.Y, loc.Z
+		resp.VarX, resp.VarY, resp.VarZ = st.Variance.X, st.Variance.Y, st.Variance.Z
+		resp.NumParticles = st.NumParticles
+		resp.Compressed = st.Compressed
+	}
+	code := http.StatusOK
+	if !ok {
+		code = http.StatusNotFound
+	}
+	writeJSON(w, code, resp)
+}
+
+// handleSnapshotAll answers GET /snapshot: the reader pose estimate, the
+// driver's progress counters and the tracked tags.
+func (s *Server) handleSnapshotAll(w http.ResponseWriter, r *http.Request) {
+	pose := s.runner.ReaderSnapshot()
+	st := s.runner.Stats()
+	tags := s.runner.Tracked()
+	names := make([]string, len(tags))
+	for i, id := range tags {
+		names[i] = string(id)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"reader":          map[string]float64{"x": pose.Pos.X, "y": pose.Pos.Y, "z": pose.Pos.Z, "phi": pose.Phi},
+		"epochs":          st.Epochs,
+		"next_epoch":      st.NextEpoch,
+		"watermark":       st.Watermark,
+		"buffered_epochs": st.BufferedEpochs,
+		"particles":       st.Particles,
+		"tracked":         names,
+	})
+}
+
+// handleRegister answers POST /queries with a query.Spec body.
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var spec query.Spec
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad query spec: %v", err)
+		return
+	}
+	info, err := s.reg.Register(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+// handleList answers GET /queries.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.List())
+}
+
+// handleResults answers GET /queries/{id}/results?after=SEQ&limit=N.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	after := -1
+	if v := r.URL.Query().Get("after"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad after: %v", err)
+			return
+		}
+		after = n
+	}
+	limit := 0
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad limit: %v", err)
+			return
+		}
+		limit = n
+	}
+	results, info, err := s.reg.Results(r.PathValue("id"), after, limit)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"query": info, "results": results})
+}
+
+// handleUnregister answers DELETE /queries/{id}.
+func (s *Server) handleUnregister(w http.ResponseWriter, r *http.Request) {
+	if !s.reg.Unregister(r.PathValue("id")) {
+		writeError(w, http.StatusNotFound, "unknown query id %q", r.PathValue("id"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleMetrics answers GET /metrics in the Prometheus text format, or as a
+// flat JSON object with ?format=json.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.scrapeGauges()
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, s.set.Snapshot())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = s.set.WriteProm(w)
+}
+
+// scrapeGauges refreshes the gauges derived from live state at scrape time.
+func (s *Server) scrapeGauges() {
+	st := s.runner.Stats()
+	s.queueDepth.Set(float64(len(s.ops)))
+	s.tracked.Set(float64(st.TrackedObjects))
+	s.particles.Set(float64(st.Particles))
+	s.buffered.Set(float64(st.BufferedEpochs))
+	if el := time.Since(s.start).Seconds(); el > 0 {
+		s.epochsRate.Set(float64(st.Epochs) / el)
+	}
+}
+
+// handleHealthz answers GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "uptime_seconds": time.Since(s.start).Seconds()})
+}

@@ -77,21 +77,48 @@ func (s *Synchronizer) Epochs() []*Epoch {
 	sort.Ints(times)
 	out := make([]*Epoch, 0, len(times))
 	for _, t := range times {
-		a := s.epochs[t]
-		e := NewEpoch(t)
-		for id := range a.observed {
-			e.Observed[id] = true
-		}
-		if a.nPos > 0 {
-			e.HasPose = true
-			e.ReportedPose.Pos = a.posSum.Scale(1 / float64(a.nPos))
-			if a.nPhi > 0 {
-				e.ReportedPose.Phi = a.phiSum / float64(a.nPhi)
-			}
-		}
-		out = append(out, e)
+		out = append(out, s.build(t))
 	}
 	return out
+}
+
+// Pending returns the number of buffered (not yet drained) epochs.
+func (s *Synchronizer) Pending() int { return len(s.epochs) }
+
+// DrainUpTo removes and returns, in time order, every buffered epoch with
+// time <= upTo. It is the incremental counterpart of Epochs, used by
+// continuous drivers that seal epochs as the ingest watermark advances.
+func (s *Synchronizer) DrainUpTo(upTo int) []*Epoch {
+	times := make([]int, 0, len(s.epochs))
+	for t := range s.epochs {
+		if t <= upTo {
+			times = append(times, t)
+		}
+	}
+	sort.Ints(times)
+	out := make([]*Epoch, 0, len(times))
+	for _, t := range times {
+		out = append(out, s.build(t))
+		delete(s.epochs, t)
+	}
+	return out
+}
+
+// build materializes the epoch at time t from its accumulator.
+func (s *Synchronizer) build(t int) *Epoch {
+	a := s.epochs[t]
+	e := NewEpoch(t)
+	for id := range a.observed {
+		e.Observed[id] = true
+	}
+	if a.nPos > 0 {
+		e.HasPose = true
+		e.ReportedPose.Pos = a.posSum.Scale(1 / float64(a.nPos))
+		if a.nPhi > 0 {
+			e.ReportedPose.Phi = a.phiSum / float64(a.nPhi)
+		}
+	}
+	return e
 }
 
 // Synchronize is a convenience wrapper that merges complete reading and

@@ -99,6 +99,10 @@ func DefaultParams() Params { return model.DefaultParams() }
 // spatial index and belief compression enabled).
 func DefaultConfig(params Params, world *World) Config { return core.DefaultConfig(params, world) }
 
+// SortEventsByTimeThenTag sorts events in place into the canonical output
+// order (by time, ties broken by tag id).
+func SortEventsByTimeThenTag(events []Event) { stream.ByTimeThenTag(events) }
+
 // Synchronize merges the two raw streams into per-epoch views, averaging
 // location reports and grouping readings by epoch.
 func Synchronize(readings []Reading, locations []LocationReport) []*Epoch {
@@ -116,6 +120,7 @@ type engine interface {
 	ReaderEstimate() geom.Pose
 	TrackedObjects() []stream.TagID
 	Stats() core.Stats
+	ParticleCount() int
 }
 
 // Pipeline is the end-to-end cleaning and transformation engine.
@@ -171,6 +176,11 @@ func (p *Pipeline) TrackedObjects() []TagID { return p.eng.TrackedObjects() }
 // Stats returns cumulative work counters.
 func (p *Pipeline) Stats() Stats { return p.eng.Stats() }
 
+// Particles returns the number of particles currently alive in the engine
+// (reader plus per-object particles); a live capacity signal for serving
+// metrics.
+func (p *Pipeline) Particles() int { return p.eng.ParticleCount() }
+
 // Calibration (Section III-C).
 type (
 	// CalibrationConfig tunes the EM-based self-calibration.
@@ -213,6 +223,46 @@ func NewLocationUpdateQuery(minChange float64) *LocationUpdateQuery {
 
 // NewFireCodeQuery returns a streaming fire-code query.
 func NewFireCodeQuery(cfg FireCodeConfig) *FireCodeQuery { return query.NewFireCodeQuery(cfg) }
+
+// Query registry: declarative registration and incremental evaluation of
+// continuous queries, the substrate of the serving layer (cmd/rfidserve).
+type (
+	// QuerySpec declaratively describes a continuous query (JSON-friendly).
+	QuerySpec = query.Spec
+	// QueryKind names a continuous-query type.
+	QueryKind = query.Kind
+	// QueryRegistry owns registered continuous queries and feeds them the
+	// clean event stream incrementally.
+	QueryRegistry = query.Registry
+	// QueryInfo describes a registered query.
+	QueryInfo = query.Info
+	// QueryResult is one buffered result row of a registered query.
+	QueryResult = query.Result
+	// AggregateConfig configures the windowed aggregate query.
+	AggregateConfig = query.AggregateConfig
+	// AggregateRow is an output row of the windowed aggregate query.
+	AggregateRow = query.AggregateRow
+	// WindowedAggregateQuery streams windowed aggregates over the clean
+	// event stream.
+	WindowedAggregateQuery = query.WindowedAggregateQuery
+)
+
+// Registrable query kinds.
+const (
+	QueryLocationUpdates   = query.KindLocationUpdates
+	QueryFireCode          = query.KindFireCode
+	QueryWindowedAggregate = query.KindWindowedAggregate
+)
+
+// NewQueryRegistry returns an empty continuous-query registry; maxBuffered
+// caps each query's undelivered results (0 selects the default, negative
+// disables the cap for batch evaluation over a finite stream).
+func NewQueryRegistry(maxBuffered int) *QueryRegistry { return query.NewRegistry(maxBuffered) }
+
+// NewWindowedAggregateQuery returns a streaming windowed aggregate query.
+func NewWindowedAggregateQuery(cfg AggregateConfig) *WindowedAggregateQuery {
+	return query.NewWindowedAggregateQuery(cfg)
+}
 
 // Simulation (the evaluation substrate of Section V).
 type (

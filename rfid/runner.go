@@ -1,0 +1,232 @@
+package rfid
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/stream"
+)
+
+// RunnerConfig tunes the continuous driving behavior of a Runner on top of
+// the engine Config.
+type RunnerConfig struct {
+	// HoldEpochs is the lateness slack: an epoch t is sealed and processed
+	// only once the ingest watermark (the largest epoch time seen so far)
+	// reaches t + HoldEpochs. Zero processes an epoch as soon as any data
+	// for it has arrived — right when each ingest batch carries whole
+	// epochs; use one or more when a single epoch's readings may be split
+	// across batches.
+	HoldEpochs int
+	// Sharded selects the sharded parallel engine even when Config.Workers
+	// is zero or one (zero then means one worker per CPU), exactly like
+	// NewShardedPipeline; serving deployments want this.
+	Sharded bool
+}
+
+// RunnerStats extends the engine's work counters with the continuous
+// driver's own bookkeeping.
+type RunnerStats struct {
+	// Stats are the underlying engine's cumulative counters.
+	Stats
+	// Particles is the number of particles currently alive in the engine.
+	Particles int
+	// BufferedEpochs is the number of ingested epochs not yet processed.
+	BufferedEpochs int
+	// NextEpoch is the first epoch time that has not been processed yet.
+	NextEpoch int
+	// Watermark is the largest epoch time seen on ingest (-1 before any
+	// data).
+	Watermark int
+	// LateDropped counts readings and location reports that arrived for an
+	// already-processed epoch and were discarded.
+	LateDropped int
+}
+
+// IngestReport summarizes one Ingest call.
+type IngestReport struct {
+	// Readings and Locations are the numbers of accepted records.
+	Readings  int
+	Locations int
+	// LateDropped is the number of records discarded because their epoch was
+	// already processed.
+	LateDropped int
+	// Watermark is the ingest watermark after the call.
+	Watermark int
+}
+
+// Runner drives a Pipeline continuously: instead of consuming a fixed trace,
+// it accepts raw readings and reader-location reports incrementally, buffers
+// them into epochs, and processes each epoch once the ingest watermark has
+// moved past it (external clocking — the data, not a wall clock, advances
+// time). All methods are safe for concurrent use, so a serving layer can
+// ingest batches and answer snapshot reads from different goroutines; epoch
+// processing is serialized internally, which preserves the engine's
+// deterministic, seed-reproducible behavior.
+type Runner struct {
+	mu     sync.Mutex
+	pipe   *Pipeline
+	sync   *stream.Synchronizer
+	hold   int
+	next   int // first epoch time not yet processed
+	mark   int // ingest watermark (max epoch time seen); -1 before any data
+	late   int // late records dropped
+	closed bool
+}
+
+// NewRunner builds a Runner around a new Pipeline for cfg (Config.Workers
+// selects the sharded engine exactly as in NewPipeline).
+func NewRunner(cfg Config, rc RunnerConfig) (*Runner, error) {
+	var (
+		pipe *Pipeline
+		err  error
+	)
+	if rc.Sharded {
+		pipe, err = NewShardedPipeline(cfg)
+	} else {
+		pipe, err = NewPipeline(cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if rc.HoldEpochs < 0 {
+		rc.HoldEpochs = 0
+	}
+	return &Runner{
+		pipe: pipe,
+		sync: stream.NewSynchronizer(),
+		hold: rc.HoldEpochs,
+		mark: -1,
+	}, nil
+}
+
+// Ingest buffers a batch of raw readings and location reports. Records for
+// epochs that were already processed are dropped (and counted); everything
+// else is merged into the pending epochs. Ingest never processes epochs —
+// call Advance (or Flush) to run the engine over the sealed ones.
+func (r *Runner) Ingest(readings []Reading, locations []LocationReport) IngestReport {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rep := IngestReport{}
+	for _, rd := range readings {
+		if r.closed || rd.Time < r.next {
+			rep.LateDropped++
+			continue
+		}
+		r.sync.AddReading(rd)
+		rep.Readings++
+		if rd.Time > r.mark {
+			r.mark = rd.Time
+		}
+	}
+	for _, l := range locations {
+		if r.closed || l.Time < r.next {
+			rep.LateDropped++
+			continue
+		}
+		r.sync.AddLocation(l)
+		rep.Locations++
+		if l.Time > r.mark {
+			r.mark = l.Time
+		}
+	}
+	r.late += rep.LateDropped
+	rep.Watermark = r.mark
+	return rep
+}
+
+// Advance seals and processes every pending epoch the watermark has moved
+// past (epoch t is sealed once watermark >= t + HoldEpochs) and returns the
+// location events those epochs emitted, in time order.
+func (r *Runner) Advance() ([]Event, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.mark < 0 {
+		return nil, nil
+	}
+	return r.processUpTo(r.mark - r.hold)
+}
+
+// Flush processes every pending epoch regardless of the hold slack. It does
+// not finalize the engine; ingest can continue afterwards (with anything
+// older than the flushed epochs counting as late).
+func (r *Runner) Flush() ([]Event, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.processUpTo(r.mark)
+}
+
+// processUpTo drains and runs the buffered epochs with time <= upTo. A
+// failing epoch is skipped rather than aborting the loop — the epochs were
+// already drained from the buffer, so stopping would silently lose the rest
+// of the batch; the first error is returned alongside the events that did
+// process. Caller holds r.mu.
+func (r *Runner) processUpTo(upTo int) ([]Event, error) {
+	var all []Event
+	var firstErr error
+	for _, ep := range r.sync.DrainUpTo(upTo) {
+		events, err := r.pipe.ProcessEpoch(ep)
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("epoch %d: %w", ep.Time, err)
+		}
+		if ep.Time+1 > r.next {
+			r.next = ep.Time + 1
+		}
+		all = append(all, events...)
+	}
+	return all, firstErr
+}
+
+// Close flushes all pending epochs, emits the engine's final location events
+// for every tracked object, and marks the runner closed (subsequent ingests
+// are dropped as late). The returned slice contains the events of the
+// flushed epochs followed by the final flush.
+func (r *Runner) Close() ([]Event, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, nil
+	}
+	events, err := r.processUpTo(r.mark)
+	if err != nil {
+		return events, err
+	}
+	r.closed = true
+	return append(events, r.pipe.Finish()...), nil
+}
+
+// Snapshot returns the engine's current location estimate for a tag. It is
+// safe to call concurrently with Ingest/Advance; reads observe the state
+// after the most recently completed epoch.
+func (r *Runner) Snapshot(id TagID) (Vec3, EventStats, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pipe.Estimate(id)
+}
+
+// ReaderSnapshot returns the current estimate of the true reader pose.
+func (r *Runner) ReaderSnapshot() Pose {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pipe.ReaderEstimate()
+}
+
+// Tracked returns the ids of all objects the engine has seen so far.
+func (r *Runner) Tracked() []TagID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pipe.TrackedObjects()
+}
+
+// Stats returns the engine counters plus the driver's own bookkeeping.
+func (r *Runner) Stats() RunnerStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RunnerStats{
+		Stats:          r.pipe.Stats(),
+		Particles:      r.pipe.Particles(),
+		BufferedEpochs: r.sync.Pending(),
+		NextEpoch:      r.next,
+		Watermark:      r.mark,
+		LateDropped:    r.late,
+	}
+}
