@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke baseline doc-check serve-smoke
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke baseline doc-check serve-smoke cover alloc-gate fuzz-smoke
 
 all: build vet fmt-check doc-check test
 
@@ -26,9 +26,37 @@ test:
 
 # Race gate over the packages with concurrent code paths (the sharded engine
 # fan-out and the filter phases it drives, the continuous runner, and the
-# serving layer's ingest/snapshot concurrency).
+# serving layer's ingest/snapshot concurrency). This also runs the alloc-gate
+# and determinism property tests under the race detector: the zero-allocation
+# assertions themselves are skipped (race instrumentation allocates) but the
+# arena-backed hot path is still exercised for data races.
 race:
 	$(GO) test -race ./internal/core ./internal/factored ./internal/serve ./rfid
+
+# Allocation gate: the per-object hot path must perform zero steady-state
+# heap allocations (structure-of-arrays particle storage + arena scratch).
+alloc-gate:
+	$(GO) test -run 'TestStepObjectsZeroAlloc|TestEpochPrologueAllocBound' -v ./internal/factored
+
+# Coverage ratchet: fails when total statement coverage drops below the
+# recorded threshold. Raise the threshold when coverage improves; never lower
+# it to make a PR pass.
+COVER_THRESHOLD = 75.0
+
+cover:
+	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/{sub(/%/,"",$$3); print $$3}'); \
+	echo "total coverage: $${total}% (ratchet: $(COVER_THRESHOLD)%)"; \
+	awk -v t="$$total" -v th="$(COVER_THRESHOLD)" 'BEGIN{exit (t+0 < th+0) ? 1 : 0}' \
+		|| { echo "coverage $${total}% fell below the ratchet $(COVER_THRESHOLD)%"; exit 1; }
+
+# Native fuzz smoke: each target runs briefly so CI catches panics and
+# round-trip regressions on the untrusted-input surfaces (CSV trace codecs,
+# JSON query specs) without the cost of a long campaign.
+fuzz-smoke:
+	$(GO) test -fuzz='^FuzzDecodeReading$$' -fuzztime=20s -run '^$$' ./internal/stream
+	$(GO) test -fuzz='^FuzzDecodeLocation$$' -fuzztime=10s -run '^$$' ./internal/stream
+	$(GO) test -fuzz='^FuzzParseSpec$$' -fuzztime=20s -run '^$$' ./internal/query
 
 # Godoc gate: every package (and command) must carry a package doc comment —
 # a comment block immediately above its package clause in at least one
@@ -59,6 +87,7 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-# Refresh the committed parallel-vs-serial baseline snapshot.
+# Refresh the committed parallel-vs-serial baseline snapshot (4 workers, the
+# configuration the acceptance numbers are quoted at).
 baseline:
-	$(GO) run ./cmd/rfidbench -par -json BENCH_baseline.json
+	$(GO) run ./cmd/rfidbench -par -workers 4 -json BENCH_baseline.json

@@ -10,11 +10,15 @@ import (
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/sim"
+	"repro/internal/stream"
 )
 
 // parResult is the machine-readable record of one parallel-vs-serial run;
 // BENCH_baseline.json holds a committed snapshot so CI and future sessions
-// can compare against a known-good shape of the numbers.
+// can compare against a known-good shape of the numbers. Besides wall-clock
+// throughput it records the allocation profile per reading (heap allocations
+// and bytes, from runtime.MemStats deltas around each run), so performance
+// PRs inherit an allocation trajectory, not just timings.
 type parResult struct {
 	GOMAXPROCS int     `json:"gomaxprocs"`
 	Workers    int     `json:"workers"`
@@ -28,6 +32,26 @@ type parResult struct {
 	ShardedRPS float64 `json:"sharded_readings_per_sec"`
 	Speedup    float64 `json:"speedup"`
 	EventsOK   bool    `json:"events_identical"`
+
+	SerialAllocsPerReading  float64 `json:"serial_allocs_per_reading"`
+	SerialBytesPerReading   float64 `json:"serial_bytes_per_reading"`
+	ShardedAllocsPerReading float64 `json:"sharded_allocs_per_reading"`
+	ShardedBytesPerReading  float64 `json:"sharded_bytes_per_reading"`
+}
+
+// measureRun times fn and returns its wall-clock duration plus the heap
+// allocation deltas (object count and bytes) it incurred, taken from
+// runtime.MemStats around the run. A GC runs first so the deltas reflect the
+// measured work rather than leftover garbage from earlier phases.
+func measureRun(fn func() error) (time.Duration, uint64, uint64, error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	err := fn()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return elapsed, after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc, err
 }
 
 // runParallelBench times the serial engine against the sharded engine on the
@@ -59,24 +83,30 @@ func runParallelBench(objects, workers int, seed int64) (parResult, error) {
 	if err != nil {
 		return parResult{}, err
 	}
-	start := time.Now()
-	serialEvents, err := serial.Run(trace.Epochs)
+	var serialEvents []stream.Event
+	serialTime, serialAllocs, serialBytes, err := measureRun(func() error {
+		ev, err := serial.Run(trace.Epochs)
+		serialEvents = ev
+		return err
+	})
 	if err != nil {
 		return parResult{}, err
 	}
-	serialTime := time.Since(start)
 
 	engCfg.Workers = workers
 	sharded, err := core.NewSharded(engCfg)
 	if err != nil {
 		return parResult{}, err
 	}
-	start = time.Now()
-	shardedEvents, err := sharded.Run(trace.Epochs)
+	var shardedEvents []stream.Event
+	shardedTime, shardedAllocs, shardedBytes, err := measureRun(func() error {
+		ev, err := sharded.Run(trace.Epochs)
+		shardedEvents = ev
+		return err
+	})
 	if err != nil {
 		return parResult{}, err
 	}
-	shardedTime := time.Since(start)
 
 	identical := len(serialEvents) == len(shardedEvents)
 	if identical {
@@ -89,6 +119,12 @@ func runParallelBench(objects, workers int, seed int64) (parResult, error) {
 	}
 
 	readings := trace.NumReadings()
+	perReading := func(n uint64) float64 {
+		if readings == 0 {
+			return 0
+		}
+		return float64(n) / float64(readings)
+	}
 	res := parResult{
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Workers:    sharded.Workers(),
@@ -102,6 +138,11 @@ func runParallelBench(objects, workers int, seed int64) (parResult, error) {
 		ShardedRPS: float64(readings) / shardedTime.Seconds(),
 		Speedup:    float64(serialTime) / float64(shardedTime),
 		EventsOK:   identical,
+
+		SerialAllocsPerReading:  perReading(serialAllocs),
+		SerialBytesPerReading:   perReading(serialBytes),
+		ShardedAllocsPerReading: perReading(shardedAllocs),
+		ShardedBytesPerReading:  perReading(shardedBytes),
 	}
 	return res, nil
 }
@@ -110,10 +151,12 @@ func runParallelBench(objects, workers int, seed int64) (parResult, error) {
 func printParResult(r parResult) {
 	fmt.Printf("parallel-vs-serial scalability benchmark (GOMAXPROCS=%d)\n", r.GOMAXPROCS)
 	fmt.Printf("  workload: %d objects, %d epochs, %d readings\n", r.Objects, r.Epochs, r.Readings)
-	fmt.Printf("  %-28s %12s %16s\n", "engine", "time (ms)", "readings/sec")
-	fmt.Printf("  %-28s %12.1f %16.0f\n", "serial Engine", r.SerialMs, r.SerialRPS)
-	fmt.Printf("  %-28s %12.1f %16.0f\n",
-		fmt.Sprintf("ShardedEngine (w=%d, s=%d)", r.Workers, r.Shards), r.ShardedMs, r.ShardedRPS)
+	fmt.Printf("  %-28s %12s %16s %12s %12s\n", "engine", "time (ms)", "readings/sec", "allocs/read", "B/read")
+	fmt.Printf("  %-28s %12.1f %16.0f %12.2f %12.1f\n",
+		"serial Engine", r.SerialMs, r.SerialRPS, r.SerialAllocsPerReading, r.SerialBytesPerReading)
+	fmt.Printf("  %-28s %12.1f %16.0f %12.2f %12.1f\n",
+		fmt.Sprintf("ShardedEngine (w=%d, s=%d)", r.Workers, r.Shards), r.ShardedMs, r.ShardedRPS,
+		r.ShardedAllocsPerReading, r.ShardedBytesPerReading)
 	fmt.Printf("  speedup: %.2fx, events identical: %v\n", r.Speedup, r.EventsOK)
 }
 

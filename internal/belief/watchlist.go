@@ -59,11 +59,18 @@ func (w *Watchlist) Len() int {
 // caller (the compression policy) is responsible for ordering; Manager.Select
 // sorts its candidates deterministically.
 func (w *Watchlist) Merged() []stream.TagID {
-	out := make([]stream.TagID, 0, w.Len())
+	return w.AppendMerged(make([]stream.TagID, 0, w.Len()))
+}
+
+// AppendMerged appends all watched tags across shards to dst and returns the
+// extended slice, in no particular order. Passing a reused buffer (dst[:0])
+// lets the per-epoch compression pass read the merged view without
+// allocating.
+func (w *Watchlist) AppendMerged(dst []stream.TagID) []stream.TagID {
 	for _, s := range w.shards {
 		for id := range s {
-			out = append(out, id)
+			dst = append(dst, id)
 		}
 	}
-	return out
+	return dst
 }

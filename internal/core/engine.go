@@ -42,6 +42,17 @@ type Engine struct {
 	// workers can mark entries without locks.
 	watch *belief.Watchlist
 
+	// Reusable per-epoch scratch, only ever touched from the sequential
+	// phases of an epoch (prologue and barrier): the observed-object list,
+	// the Case-1/Case-2 active set with its de-dup map, the spatial-index
+	// probe buffer, and the compression candidate list.
+	observedBuf []stream.TagID
+	activeBuf   []stream.TagID
+	activeSeen  map[stream.TagID]bool
+	case2Buf    []stream.TagID
+	mergedBuf   []stream.TagID
+	candBuf     []belief.Candidate
+
 	stats     Stats
 	lastEpoch int
 }
@@ -53,12 +64,13 @@ func New(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{
-		cfg:      cfg,
-		profile:  cfg.observationProfile(),
-		lastSeen: make(map[stream.TagID]int),
-		pending:  make(map[stream.TagID]int),
-		inScope:  make(map[stream.TagID]bool),
-		watch:    belief.NewWatchlist(1),
+		cfg:        cfg,
+		profile:    cfg.observationProfile(),
+		lastSeen:   make(map[stream.TagID]int),
+		pending:    make(map[stream.TagID]int),
+		inScope:    make(map[stream.TagID]bool),
+		watch:      belief.NewWatchlist(1),
+		activeSeen: make(map[stream.TagID]bool),
 	}
 	e.stepFact = e.stepFactored
 	if cfg.Factored {
@@ -127,15 +139,17 @@ func (e *Engine) ProcessEpoch(ep *stream.Epoch) ([]stream.Event, error) {
 	return events, nil
 }
 
-// observedObjects returns the object (non-shelf) tags read in the epoch.
+// observedObjects returns the object (non-shelf) tags read in the epoch. The
+// returned slice is engine-owned scratch, valid until the next epoch.
 func (e *Engine) observedObjects(ep *stream.Epoch) []stream.TagID {
-	var out []stream.TagID
+	out := e.observedBuf[:0]
 	for _, id := range ep.ObservedList() {
 		if e.cfg.World.IsShelfTag(id) {
 			continue
 		}
 		out = append(out, id)
 	}
+	e.observedBuf = out
 	return out
 }
 
@@ -158,9 +172,11 @@ func (e *Engine) countPendingDecompressions(observed []stream.TagID) {
 // spatial index is enabled.
 func (e *Engine) selectActive(ep *stream.Epoch, observed []stream.TagID) ([]stream.TagID, geom.BBox) {
 	box := e.sensingBox(ep)
-	case2 := e.index.Query(box)
-	seen := make(map[stream.TagID]bool, len(observed)+len(case2))
-	active := make([]stream.TagID, 0, len(observed)+len(case2))
+	e.case2Buf = e.index.QueryInto(box, e.case2Buf[:0])
+	case2 := e.case2Buf
+	seen := e.activeSeen
+	clear(seen)
+	active := e.activeBuf[:0]
 	for _, id := range observed {
 		if !seen[id] {
 			seen[id] = true
@@ -176,6 +192,7 @@ func (e *Engine) selectActive(ep *stream.Epoch, observed []stream.TagID) ([]stre
 			active = append(active, id)
 		}
 	}
+	e.activeBuf = active
 	return active, box
 }
 
@@ -198,7 +215,9 @@ func (e *Engine) stepFactored(ep *stream.Epoch, observed []stream.TagID) {
 	}
 
 	// Maintain the sensing-region index: associate the current bounding box
-	// with the processed objects that have particles inside it.
+	// with the processed objects that have particles inside it. The
+	// association list is built once and handed to the index (InsertOwned),
+	// which stores it without a second copy.
 	if e.index != nil && !box.IsEmpty() {
 		var assoc []stream.TagID
 		for _, id := range active {
@@ -206,7 +225,7 @@ func (e *Engine) stepFactored(ep *stream.Epoch, observed []stream.TagID) {
 				assoc = append(assoc, id)
 			}
 		}
-		e.index.Insert(box, assoc)
+		e.index.InsertOwned(box, assoc)
 	}
 
 	// Belief compression.
@@ -244,8 +263,9 @@ func (e *Engine) runCompression(epoch int) {
 	if e.watch.Len() == 0 {
 		return
 	}
-	watched := e.watch.Merged()
-	candidates := make([]belief.Candidate, 0, len(watched))
+	e.mergedBuf = e.watch.AppendMerged(e.mergedBuf[:0])
+	watched := e.mergedBuf
+	candidates := e.candBuf[:0]
 	for _, id := range watched {
 		b := e.fact.Belief(id)
 		if b == nil || b.IsCompressed() {
@@ -254,6 +274,7 @@ func (e *Engine) runCompression(epoch int) {
 		}
 		candidates = append(candidates, belief.Candidate{ID: id, LastSeen: b.LastSeen})
 	}
+	e.candBuf = candidates
 	if len(candidates) == 0 {
 		return
 	}
@@ -285,7 +306,7 @@ func (e *Engine) Estimate(id stream.TagID) (geom.Vec3, stream.EventStats, bool) 
 		st := stream.EventStats{Variance: variance}
 		if b := e.fact.Belief(id); b != nil {
 			st.Compressed = b.IsCompressed()
-			st.NumParticles = len(b.Particles)
+			st.NumParticles = b.NumParticles()
 		}
 		return mean, st, true
 	}

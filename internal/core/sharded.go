@@ -6,7 +6,9 @@ import (
 	"sync"
 
 	"repro/internal/belief"
+	"repro/internal/factored"
 	"repro/internal/geom"
+	"repro/internal/scratch"
 	"repro/internal/stream"
 )
 
@@ -28,10 +30,28 @@ import (
 // stream derived from (seed, tag id), the output is byte-identical to the
 // serial Engine for any Workers and ShardCount — parallelism changes only
 // wall-clock time, never results.
+//
+// Each worker owns a factored.Arena: all scratch memory of the per-object
+// hot path (resampling indices, gather double buffers) lives there, so the
+// fan-out performs zero steady-state heap allocations and workers never
+// contend on shared scratch. The engine-level per-epoch buffers (shard
+// partitions, membership flags, watch batches) are likewise reused across
+// epochs.
 type ShardedEngine struct {
 	*Engine
 	workers    int
 	shardCount int
+
+	// arenas[w] is worker w's private scratch arena.
+	arenas []*factored.Arena
+
+	// Reusable per-epoch scratch (written in the prologue, read-only or
+	// disjointly indexed during the fan-out, reset at the next prologue).
+	stepsBuf [][]stream.TagID
+	watchBuf [][]stream.TagID
+	hasBuf   []bool
+	posBuf   [][]int
+	assocBuf []stream.TagID
 }
 
 // NewSharded returns a configured ShardedEngine. Sharding parallelizes the
@@ -60,6 +80,10 @@ func NewSharded(cfg Config) (*ShardedEngine, error) {
 	// One watchlist shard per object shard, so workers mark without locks.
 	eng.watch = belief.NewWatchlist(shards)
 	se := &ShardedEngine{Engine: eng, workers: workers, shardCount: shards}
+	se.arenas = make([]*factored.Arena, workers)
+	for w := range se.arenas {
+		se.arenas[w] = factored.NewArena()
+	}
 	// Route every epoch-driving method (ProcessEpoch, Run) through the
 	// parallel step.
 	eng.stepFact = se.stepSharded
@@ -91,7 +115,7 @@ func (se *ShardedEngine) stepSharded(ep *stream.Epoch, observed []stream.TagID) 
 	}
 
 	// Prologue: reader step and fresh-belief creation, then partition the
-	// step set across shards.
+	// step set across shards (into the reusable per-shard batches).
 	var stepIDs []stream.TagID
 	if useIndex {
 		stepIDs = e.fact.BeginEpoch(ep, active)
@@ -99,7 +123,8 @@ func (se *ShardedEngine) stepSharded(ep *stream.Epoch, observed []stream.TagID) 
 		stepIDs = e.fact.BeginEpoch(ep, nil)
 		active = observed
 	}
-	shardSteps := stream.PartitionTags(stepIDs, se.shardCount)
+	se.stepsBuf = stream.PartitionTagsInto(se.stepsBuf, stepIDs, se.shardCount)
+	shardSteps := se.stepsBuf
 
 	// Sensing-region membership is tested per shard during the fan-out so
 	// the O(active x particles) scans are amortized across workers; results
@@ -109,8 +134,16 @@ func (se *ShardedEngine) stepSharded(ep *stream.Epoch, observed []stream.TagID) 
 	var has []bool
 	var posByShard [][]int
 	if assocNeeded {
-		has = make([]bool, len(active))
-		posByShard = make([][]int, se.shardCount)
+		se.hasBuf = scratch.Grow(se.hasBuf, len(active))
+		has = se.hasBuf
+		for i := range has {
+			has[i] = false
+		}
+		se.posBuf = scratch.Grow(se.posBuf, se.shardCount)
+		posByShard = se.posBuf
+		for s := range posByShard {
+			posByShard[s] = posByShard[s][:0]
+		}
 		for i, id := range active {
 			s := id.Shard(se.shardCount)
 			posByShard[s] = append(posByShard[s], i)
@@ -121,15 +154,16 @@ func (se *ShardedEngine) stepSharded(ep *stream.Epoch, observed []stream.TagID) 
 	// watchlist shard, merged at the barrier by runCompression.
 	var watchByShard [][]stream.TagID
 	if e.beliefMgr != nil {
-		watchByShard = stream.PartitionTags(active, se.shardCount)
+		se.watchBuf = stream.PartitionTagsInto(se.watchBuf, active, se.shardCount)
+		watchByShard = se.watchBuf
 	}
 
 	// Fan-out: per-shard object steps. Workers mutate only beliefs of their
-	// own shard and read shared filter state that no one writes during this
-	// phase.
-	se.forEachShard(func(s int) {
+	// own shard and their private arena, and read shared filter state that
+	// no one writes during this phase.
+	se.forEachShard(func(worker, s int) {
 		if len(shardSteps) > s {
-			e.fact.StepObjects(ep, shardSteps[s])
+			e.fact.StepObjectsWith(se.arenas[worker], ep, shardSteps[s])
 		}
 		if assocNeeded {
 			for _, i := range posByShard[s] {
@@ -154,13 +188,20 @@ func (se *ShardedEngine) stepSharded(ep *stream.Epoch, observed []stream.TagID) 
 	}
 
 	if assocNeeded {
-		var assoc []stream.TagID
+		assoc := se.assocBuf[:0]
 		for i, id := range active {
 			if has[i] {
 				assoc = append(assoc, id)
 			}
 		}
-		e.index.Insert(box, assoc)
+		se.assocBuf = assoc
+		if len(assoc) > 0 {
+			// The index takes ownership, so hand it a copy and keep the
+			// scratch buffer for the next epoch.
+			owned := make([]stream.TagID, len(assoc))
+			copy(owned, assoc)
+			e.index.InsertOwned(box, owned)
+		}
 	}
 
 	if e.beliefMgr != nil {
@@ -168,9 +209,10 @@ func (se *ShardedEngine) stepSharded(ep *stream.Epoch, observed []stream.TagID) 
 	}
 }
 
-// forEachShard runs fn(shard) for every shard on up to se.workers goroutines.
-// With a single worker it runs inline, adding no synchronization overhead.
-func (se *ShardedEngine) forEachShard(fn func(shard int)) {
+// forEachShard runs fn(worker, shard) for every shard on up to se.workers
+// goroutines; the worker index selects the goroutine-private arena. With a
+// single worker it runs inline, adding no synchronization overhead.
+func (se *ShardedEngine) forEachShard(fn func(worker, shard int)) {
 	n := se.shardCount
 	w := se.workers
 	if w > n {
@@ -178,7 +220,7 @@ func (se *ShardedEngine) forEachShard(fn func(shard int)) {
 	}
 	if w <= 1 {
 		for s := 0; s < n; s++ {
-			fn(s)
+			fn(0, s)
 		}
 		return
 	}
@@ -186,12 +228,12 @@ func (se *ShardedEngine) forEachShard(fn func(shard int)) {
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for i := 0; i < w; i++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for s := range work {
-				fn(s)
+				fn(worker, s)
 			}
-		}()
+		}(i)
 	}
 	for s := 0; s < n; s++ {
 		work <- s

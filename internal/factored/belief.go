@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/rng"
+	"repro/internal/scratch"
 	"repro/internal/stats"
 	"repro/internal/stream"
 )
@@ -19,6 +20,10 @@ import (
 // ObjectParticle is one hypothesis about a single object's location. It
 // references the reader particle it was weighted against (Fig. 3(b) of the
 // paper keeps a pointer to the reader particle; we store its index).
+//
+// The belief stores particles column-wise (structure of arrays); this struct
+// is the row-wise view returned by ObjectBelief.Particle for callers that
+// want one particle at a time.
 type ObjectParticle struct {
 	Loc    geom.Vec3
 	Reader int
@@ -32,12 +37,26 @@ func (p ObjectParticle) Weight() float64 { return p.normW }
 
 // ObjectBelief is the filter's state for one object: either a weighted
 // particle set or, after belief compression, a parametric Gaussian.
+//
+// Particles are stored as a structure of arrays — parallel slices for
+// location, reader pointer, cumulative log weight and normalized weight — so
+// that each hot-path pass (proposal sampling touches only locations,
+// weighting reads locations and reader pointers and writes log weights,
+// normalization touches only the two weight columns) streams through densely
+// packed memory, and so that the weight columns can be handed to the stats
+// and resampling routines directly, with no per-epoch gather copies.
 type ObjectBelief struct {
-	ID        stream.TagID
-	Particles []ObjectParticle
+	ID stream.TagID
+
+	// SoA particle columns; all four always have equal length.
+	locs   []geom.Vec3
+	reader []int32
+	logW   []float64
+	normW  []float64
 
 	// Compressed is non-nil when the belief has been compressed into a
-	// Gaussian (Section IV-D). While compressed, Particles is empty.
+	// Gaussian (Section IV-D). While compressed, the particle columns are
+	// released.
 	Compressed *stats.Gaussian3
 	// CompressionKL is the KL divergence measured when the belief was last
 	// compressed; it quantifies the information lost by compression.
@@ -77,58 +96,117 @@ type ObjectBelief struct {
 // IsCompressed reports whether the belief is currently in compressed form.
 func (b *ObjectBelief) IsCompressed() bool { return b.Compressed != nil }
 
-// locationsAndWeights extracts the particle locations and their normalized
-// weights, where each particle's weight is its own factored weight times the
-// weight of its associated reader particle — exactly the semantics of
-// factored weights (Eq. 5).
-func (b *ObjectBelief) locationsAndWeights(readerNorm []float64) ([]geom.Vec3, []float64) {
-	locs := make([]geom.Vec3, len(b.Particles))
-	w := make([]float64, len(b.Particles))
-	for i, p := range b.Particles {
-		locs[i] = p.Loc
-		rw := 1.0
-		if p.Reader >= 0 && p.Reader < len(readerNorm) {
-			rw = readerNorm[p.Reader]
-		}
-		w[i] = p.normW * rw
+// NumParticles returns the number of particles backing the belief (zero while
+// compressed).
+func (b *ObjectBelief) NumParticles() int { return len(b.locs) }
+
+// Particle returns the row-wise view of particle i.
+func (b *ObjectBelief) Particle(i int) ObjectParticle {
+	return ObjectParticle{
+		Loc:    b.locs[i],
+		Reader: int(b.reader[i]),
+		logW:   b.logW[i],
+		normW:  b.normW[i],
 	}
-	return locs, w
+}
+
+// Locs returns the particle location column. It is the belief's live backing
+// array — callers (the spatial index's membership tests, the stats fits) read
+// it in place instead of copying particles out.
+func (b *ObjectBelief) Locs() []geom.Vec3 { return b.locs }
+
+// setLen resizes all particle columns to n, preserving the common prefix and
+// reusing capacity. Elements beyond the previous length are stale; callers
+// must overwrite them.
+func (b *ObjectBelief) setLen(n int) {
+	b.locs = scratch.Grow(b.locs, n)
+	b.reader = scratch.Grow(b.reader, n)
+	b.logW = scratch.Grow(b.logW, n)
+	b.normW = scratch.Grow(b.normW, n)
+}
+
+// release drops the particle columns entirely (used by compression, where the
+// particles are replaced by a Gaussian and their memory must be returned).
+func (b *ObjectBelief) release() {
+	b.locs, b.reader, b.logW, b.normW = nil, nil, nil, nil
+}
+
+// setParticles installs a row-wise particle set, used by tests to build
+// beliefs in a fixed state.
+func (b *ObjectBelief) setParticles(ps []ObjectParticle) {
+	b.setLen(len(ps))
+	for i, p := range ps {
+		b.locs[i] = p.Loc
+		b.reader[i] = int32(p.Reader)
+		b.logW[i] = p.logW
+		b.normW[i] = p.normW
+	}
+}
+
+// weightsInto fills buf (grown as needed) with each particle's combined
+// factored weight: its own normalized weight times the weight of its
+// associated reader particle — exactly the semantics of factored weights
+// (Eq. 5). The locations never need extracting: b.Locs() is already the
+// matching column.
+func (b *ObjectBelief) weightsInto(readerNorm []float64, buf []float64) []float64 {
+	buf = scratch.Grow(buf, len(b.normW))
+	for i, nw := range b.normW {
+		rw := 1.0
+		if r := int(b.reader[i]); r >= 0 && r < len(readerNorm) {
+			rw = readerNorm[r]
+		}
+		buf[i] = nw * rw
+	}
+	return buf
 }
 
 // Mean returns the posterior mean and per-axis variance of the object's
 // location under the current belief.
 func (b *ObjectBelief) Mean(readerNorm []float64) (geom.Vec3, geom.Vec3) {
+	mean, variance, _ := b.meanWith(readerNorm, nil)
+	return mean, variance
+}
+
+// meanWith is Mean with a caller-provided weight scratch buffer (which is
+// grown as needed and returned for reuse).
+func (b *ObjectBelief) meanWith(readerNorm, buf []float64) (geom.Vec3, geom.Vec3, []float64) {
 	if b.Compressed != nil {
 		v := b.Compressed.Variance()
-		return b.Compressed.Mean, v
+		return b.Compressed.Mean, v, buf
 	}
-	locs, w := b.locationsAndWeights(readerNorm)
-	mean := stats.WeightedMeanVec(locs, w)
-	cov := stats.WeightedCovariance(locs, w, mean)
-	return mean, geom.Vec3{X: cov[0][0], Y: cov[1][1], Z: cov[2][2]}
+	buf = b.weightsInto(readerNorm, buf)
+	mean := stats.WeightedMeanVec(b.locs, buf)
+	cov := stats.WeightedCovariance(b.locs, buf, mean)
+	return mean, geom.Vec3{X: cov[0][0], Y: cov[1][1], Z: cov[2][2]}, buf
 }
 
 // Gaussian returns the moment-matched Gaussian of the current belief and the
 // KL divergence between the particle distribution and that Gaussian.
 func (b *ObjectBelief) Gaussian(readerNorm []float64) (stats.Gaussian3, float64) {
-	if b.Compressed != nil {
-		return *b.Compressed, 0
-	}
-	locs, w := b.locationsAndWeights(readerNorm)
-	g := stats.FitGaussian3(locs, w)
-	kl := stats.KLToGaussian(locs, w, g)
+	g, kl, _ := b.gaussianWith(readerNorm, nil)
 	return g, kl
+}
+
+// gaussianWith is Gaussian with a caller-provided weight scratch buffer.
+func (b *ObjectBelief) gaussianWith(readerNorm, buf []float64) (stats.Gaussian3, float64, []float64) {
+	if b.Compressed != nil {
+		return *b.Compressed, 0, buf
+	}
+	buf = b.weightsInto(readerNorm, buf)
+	g := stats.FitGaussian3(b.locs, buf)
+	kl := stats.KLToGaussian(b.locs, buf, g)
+	return g, kl, buf
 }
 
 // HasParticleIn reports whether any particle (or the compressed mean) lies
 // inside the bounding box. The spatial index uses this to associate sensing
-// regions with objects.
+// regions with objects; it scans the location column in place.
 func (b *ObjectBelief) HasParticleIn(box geom.BBox) bool {
 	if b.Compressed != nil {
 		return box.Contains(b.Compressed.Mean)
 	}
-	for _, p := range b.Particles {
-		if box.Contains(p.Loc) {
+	for _, loc := range b.locs {
+		if box.Contains(loc) {
 			return true
 		}
 	}
@@ -136,33 +214,38 @@ func (b *ObjectBelief) HasParticleIn(box geom.BBox) bool {
 }
 
 // normalizeParticles converts the particles' cumulative log weights into
-// normalized weights and returns the effective sample size.
+// normalized weights and returns the effective sample size. It works entirely
+// in the belief's own weight columns — no temporaries.
 func (b *ObjectBelief) normalizeParticles() float64 {
-	if len(b.Particles) == 0 {
+	n := len(b.logW)
+	if n == 0 {
 		return 0
 	}
-	logs := make([]float64, len(b.Particles))
 	maxLog := math.Inf(-1)
-	for i, p := range b.Particles {
-		logs[i] = p.logW
-		if p.logW > maxLog {
-			maxLog = p.logW
+	for _, lw := range b.logW {
+		if lw > maxLog {
+			maxLog = lw
 		}
 	}
 	if math.IsInf(maxLog, -1) {
-		u := 1 / float64(len(b.Particles))
-		for i := range b.Particles {
-			b.Particles[i].normW = u
+		u := 1 / float64(n)
+		for i := range b.normW {
+			b.normW[i] = u
 		}
-		return float64(len(b.Particles))
+		return float64(n)
 	}
+	// normW temporarily holds the shifted linear weights; the ESS is taken
+	// from exactly those values (as before the SoA rewrite), then the column
+	// is normalized in place.
 	sum := 0.0
-	for i := range logs {
-		logs[i] = math.Exp(logs[i] - maxLog)
-		sum += logs[i]
+	for i, lw := range b.logW {
+		e := math.Exp(lw - maxLog)
+		b.normW[i] = e
+		sum += e
 	}
-	for i := range b.Particles {
-		b.Particles[i].normW = logs[i] / sum
+	ess := stats.EffectiveSampleSize(b.normW)
+	for i := range b.normW {
+		b.normW[i] /= sum
 	}
-	return stats.EffectiveSampleSize(logs)
+	return ess
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/model"
 	"repro/internal/rng"
+	"repro/internal/scratch"
 	"repro/internal/sensor"
 	"repro/internal/stats"
 	"repro/internal/stream"
@@ -123,6 +124,34 @@ type Filter struct {
 	// during the current epoch, fixed in BeginEpoch so that concurrent
 	// StepObjects calls all see the same value.
 	stepReaderPos geom.Vec3
+
+	// arena is the scratch memory used by the serial entry points (Step,
+	// StepObjects without an explicit arena). Concurrent callers use
+	// StepObjectsWith with their own per-worker arenas instead.
+	arena *Arena
+
+	// Reusable epoch-prologue and estimate scratch. These buffers are only
+	// touched by the sequential phases (BeginEpoch, stepReaders, EndEpoch,
+	// Estimate/compression at the barrier), never by the concurrent
+	// per-object fan-out, so a single copy per filter suffices.
+	processSet map[stream.TagID]bool
+	idsBuf     []stream.TagID
+	newIDsBuf  []stream.TagID
+	shelfBuf   []stream.TagID
+	logBuf     []float64
+	wBuf       []float64
+
+	// Reader-resampling scratch (EndEpoch barrier only): weight/score
+	// columns, the resampling index buffer, the reader double buffer and the
+	// flat old-slot -> new-slot-run tables.
+	normBuf    []float64
+	supportBuf []float64
+	scoreBuf   []float64
+	resIdxBuf  []int
+	readersTmp []readerParticle
+	slotStart  []int
+	slotCount  []int
+	rotBuf     []int
 }
 
 // New returns a factored particle filter. UseMotionModel defaults to true
@@ -130,9 +159,11 @@ type Filter struct {
 func New(cfg Config) *Filter {
 	cfg.applyDefaults()
 	return &Filter{
-		cfg:     cfg,
-		src:     rng.New(cfg.Seed),
-		objects: make(map[stream.TagID]*ObjectBelief),
+		cfg:        cfg,
+		src:        rng.New(cfg.Seed),
+		objects:    make(map[stream.TagID]*ObjectBelief),
+		arena:      NewArena(),
+		processSet: make(map[stream.TagID]bool),
 	}
 }
 
@@ -159,7 +190,7 @@ func (f *Filter) NumTracked() int { return len(f.order) }
 func (f *Filter) ParticleCount() int {
 	n := len(f.readers)
 	for _, b := range f.objects {
-		n += len(b.Particles)
+		n += b.NumParticles()
 	}
 	return n
 }
@@ -216,7 +247,8 @@ func (f *Filter) Step(ep *stream.Epoch, active []stream.TagID) {
 // objects that must be stepped this epoch, in first-seen order. The returned
 // ids may be partitioned arbitrarily and passed to concurrent StepObjects
 // calls, as long as no id is stepped twice and EndEpoch runs after all of
-// them (the epoch barrier).
+// them (the epoch barrier). The returned slice is backed by filter-owned
+// scratch and is valid until the next BeginEpoch call.
 func (f *Filter) BeginEpoch(ep *stream.Epoch, active []stream.TagID) []stream.TagID {
 	f.ensureStarted(ep)
 	f.epoch = ep.Time
@@ -224,8 +256,9 @@ func (f *Filter) BeginEpoch(ep *stream.Epoch, active []stream.TagID) []stream.Ta
 	f.stepReaders(ep)
 	f.stepReaderPos = f.currentReaderPos(ep)
 
-	// Determine the set of objects to process.
-	processSet := make(map[stream.TagID]bool)
+	// Determine the set of objects to process (reusable scratch map).
+	processSet := f.processSet
+	clear(processSet)
 	if active == nil {
 		for _, id := range f.order {
 			processSet[id] = true
@@ -248,23 +281,25 @@ func (f *Filter) BeginEpoch(ep *stream.Epoch, active []stream.TagID) []stream.Ta
 	}
 
 	// Existing objects, in first-seen order.
-	ids := make([]stream.TagID, 0, len(processSet))
+	ids := f.idsBuf[:0]
 	for _, id := range f.order {
 		if processSet[id] {
 			ids = append(ids, id)
 			delete(processSet, id)
 		}
 	}
+	f.idsBuf = ids
 	// The remaining ids are unknown: observed ones get a fresh belief (and
 	// need no further stepping this epoch, since weighting a belief against
 	// the very reading that created it adds nothing); unobserved unknown ids
 	// carry no information and are dropped.
-	newIDs := make([]stream.TagID, 0, len(processSet))
+	newIDs := f.newIDsBuf[:0]
 	for id := range processSet {
 		if ep.Contains(id) {
 			newIDs = append(newIDs, id)
 		}
 	}
+	f.newIDsBuf = newIDs
 	sortTagIDs(newIDs)
 	for _, id := range newIDs {
 		f.createBelief(id, ep.Time, f.stepReaderPos)
@@ -272,13 +307,25 @@ func (f *Filter) BeginEpoch(ep *stream.Epoch, active []stream.TagID) []stream.Ta
 	return ids
 }
 
-// StepObjects steps the listed objects for the epoch begun by BeginEpoch.
-// Distinct calls may run concurrently on disjoint id sets: each call mutates
-// only the listed objects' beliefs and reads shared filter state (reader
-// particles, configuration, world) that no concurrent phase writes.
+// StepObjects steps the listed objects for the epoch begun by BeginEpoch
+// using the filter's own scratch arena. Use StepObjectsWith for concurrent
+// calls.
 func (f *Filter) StepObjects(ep *stream.Epoch, ids []stream.TagID) {
+	f.StepObjectsWith(f.arena, ep, ids)
+}
+
+// StepObjectsWith steps the listed objects for the epoch begun by BeginEpoch,
+// drawing all scratch memory from the caller's arena. Distinct calls may run
+// concurrently on disjoint id sets as long as each goroutine passes its own
+// arena: each call mutates only the listed objects' beliefs and its arena,
+// and reads shared filter state (reader particles, configuration, world) that
+// no concurrent phase writes.
+func (f *Filter) StepObjectsWith(a *Arena, ep *stream.Epoch, ids []stream.TagID) {
+	if a == nil {
+		a = f.arena
+	}
 	for _, id := range ids {
-		f.stepObject(ep, id, f.stepReaderPos)
+		f.stepObject(ep, id, f.stepReaderPos, a)
 	}
 }
 
@@ -355,13 +402,14 @@ func (f *Filter) effectiveMotion(ep *stream.Epoch) model.MotionModel {
 }
 
 // relevantShelfTags returns shelf tags observed this epoch or close enough to
-// the reported reader location that their non-observation is informative.
+// the reported reader location that their non-observation is informative. The
+// returned slice is filter-owned scratch, valid until the next call.
 func (f *Filter) relevantShelfTags(ep *stream.Epoch) []stream.TagID {
 	if f.cfg.World == nil {
 		return nil
 	}
 	maxR := f.cfg.Sensor.MaxRange() + 1
-	var out []stream.TagID
+	out := f.shelfBuf[:0]
 	for _, id := range f.cfg.World.ShelfTagIDs() {
 		if ep.Contains(id) {
 			out = append(out, id)
@@ -371,11 +419,13 @@ func (f *Filter) relevantShelfTags(ep *stream.Epoch) []stream.TagID {
 			out = append(out, id)
 		}
 	}
+	f.shelfBuf = out
 	return out
 }
 
 func (f *Filter) normalizeReaders() {
-	logs := make([]float64, len(f.readers))
+	f.logBuf = scratch.Grow(f.logBuf, len(f.readers))
+	logs := f.logBuf
 	for j, r := range f.readers {
 		logs[j] = r.logW
 	}
@@ -404,13 +454,16 @@ func (f *Filter) ReaderEstimate() geom.Pose {
 }
 
 // Estimate returns the posterior mean and per-axis variance of an object's
-// location.
+// location. It reuses the filter's weight scratch buffer, so it must not be
+// called concurrently with itself or with the epoch phases (the engine only
+// calls it from the sequential report/serving paths).
 func (f *Filter) Estimate(id stream.TagID) (geom.Vec3, geom.Vec3, bool) {
 	b, ok := f.objects[id]
 	if !ok {
 		return geom.Vec3{}, geom.Vec3{}, false
 	}
-	mean, variance := b.Mean(f.readerNorm)
+	mean, variance, buf := b.meanWith(f.readerNorm, f.wBuf)
+	f.wBuf = buf
 	return mean, variance, true
 }
 

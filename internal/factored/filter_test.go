@@ -210,7 +210,7 @@ func TestCompressAndDecompress(t *testing.T) {
 		t.Errorf("negative KL: %v", kl)
 	}
 	b := f.Belief("obj")
-	if !b.IsCompressed() || len(b.Particles) != 0 {
+	if !b.IsCompressed() || b.NumParticles() != 0 {
 		t.Error("belief not in compressed form")
 	}
 	// The estimate survives compression.
@@ -236,8 +236,8 @@ func TestCompressAndDecompress(t *testing.T) {
 	if b.IsCompressed() {
 		t.Error("belief still compressed after a new reading")
 	}
-	if len(b.Particles) == 0 || len(b.Particles) > f.Config().NumDecompressParticles {
-		t.Errorf("decompressed particle count = %d", len(b.Particles))
+	if b.NumParticles() == 0 || b.NumParticles() > f.Config().NumDecompressParticles {
+		t.Errorf("decompressed particle count = %d", b.NumParticles())
 	}
 	est, _, _ := f.Estimate("obj")
 	if est.DistXY(objLoc) > 1.0 {

@@ -28,9 +28,11 @@ func (f *Filter) objectSrc(b *ObjectBelief) *rng.Source {
 // handling, decompression, proposal sampling, factored weighting and
 // per-object resampling. The belief must already exist (beliefs for newly
 // observed objects are created in BeginEpoch); it only touches the belief
-// itself and read-only filter state, so distinct objects may be stepped
-// concurrently.
-func (f *Filter) stepObject(ep *stream.Epoch, id stream.TagID, readerPos geom.Vec3) {
+// itself, the arena's scratch buffers and read-only filter state, so distinct
+// objects may be stepped concurrently as long as each goroutine has its own
+// arena. In steady state (no fresh belief, no decompression, no far-move
+// rebuild) the whole update performs zero heap allocations.
+func (f *Filter) stepObject(ep *stream.Epoch, id stream.TagID, readerPos geom.Vec3, a *Arena) {
 	observed := ep.Contains(id)
 	b, exists := f.objects[id]
 	if !exists {
@@ -52,23 +54,24 @@ func (f *Filter) stepObject(ep *stream.Epoch, id stream.TagID, readerPos geom.Ve
 	}
 
 	// Proposal: object locations evolve under the object location model.
+	// Touches only the location column.
 	if f.cfg.Params.Object.MoveProb > 0 {
-		for i := range b.Particles {
-			b.Particles[i].Loc = f.cfg.Params.Object.Sample(b.Particles[i].Loc, f.cfg.World, src)
+		for i := range b.locs {
+			b.locs[i] = f.cfg.Params.Object.Sample(b.locs[i], f.cfg.World, src)
 		}
 	}
 
 	// Factored weighting: each object particle is weighted against its
-	// associated reader particle only (Eq. 5).
-	for i := range b.Particles {
-		p := &b.Particles[i]
-		pose := f.readerPoseFor(p.Reader)
-		p.logW += logObs(f.cfg.Sensor, observed, pose, p.Loc)
+	// associated reader particle only (Eq. 5). Reads the location and reader
+	// columns, accumulates into the log-weight column.
+	for i := range b.locs {
+		pose := f.readerPoseFor(int(b.reader[i]))
+		b.logW[i] += logObs(f.cfg.Sensor, observed, pose, b.locs[i])
 	}
 
 	ess := b.normalizeParticles()
-	if ess < f.cfg.ResampleThreshold*float64(len(b.Particles)) {
-		f.resampleObject(b)
+	if ess < f.cfg.ResampleThreshold*float64(b.NumParticles()) {
+		f.resampleObject(b, a)
 	}
 
 	if observed {
@@ -124,14 +127,14 @@ func (f *Filter) newBelief(id stream.TagID, epoch int, readerPos geom.Vec3) *Obj
 }
 
 // initParticles (re)draws n particles for the belief from the initialization
-// cone, overwriting b.Particles[from:]; callers pass from == 0 to rebuild the
-// whole belief and from == n/2 to keep the first half.
+// cone, overwriting particles [from:n); callers pass from == 0 to rebuild the
+// whole belief and from == n/2 to keep the first half. The columns are
+// resized in place (prefix preserved, capacity reused), so rebuilding an
+// existing belief does not allocate once its columns have reached capacity.
 func (f *Filter) initParticles(b *ObjectBelief, n, from int) {
 	src := f.objectSrc(b)
-	if len(b.Particles) != n {
-		old := b.Particles
-		b.Particles = make([]ObjectParticle, n)
-		copy(b.Particles, old)
+	if b.NumParticles() != n {
+		b.setLen(n)
 	}
 	u := 1 / float64(n)
 	for i := from; i < n; i++ {
@@ -140,14 +143,15 @@ func (f *Filter) initParticles(b *ObjectBelief, n, from int) {
 		if f.cfg.World != nil && len(f.cfg.World.Shelves) > 0 {
 			loc = f.cfg.World.ClampToShelves(loc)
 		}
-		logW, normW := 0.0, u
-		if from > 0 {
-			// Partial re-initialization keeps the replaced particles'
-			// weights so that weighting and resampling arbitrate between
-			// the old and the new hypotheses.
-			logW, normW = b.Particles[i].logW, b.Particles[i].normW
+		b.locs[i] = loc
+		b.reader[i] = int32(rIdx)
+		if from == 0 {
+			b.logW[i] = 0
+			b.normW[i] = u
 		}
-		b.Particles[i] = ObjectParticle{Loc: loc, Reader: rIdx, logW: logW, normW: normW}
+		// Partial re-initialization (from > 0) keeps the replaced particles'
+		// weights so that weighting and resampling arbitrate between the old
+		// and the new hypotheses.
 	}
 }
 
@@ -162,13 +166,13 @@ func (f *Filter) handleMovement(b *ObjectBelief, epoch int, readerPos geom.Vec3)
 	switch {
 	case d > 2*reinit:
 		// Far: discard the old particles entirely and re-create them at the
-		// new location.
-		b.Particles = nil
+		// new location (in place — the columns are overwritten, not
+		// reallocated).
 		f.initParticles(b, f.cfg.NumObjectParticles, 0)
 	case d > reinit:
 		// Moderate: keep half of the old particles and move the other half
 		// to the new location; weighting and resampling will arbitrate.
-		f.initParticles(b, len(b.Particles), len(b.Particles)/2)
+		f.initParticles(b, b.NumParticles(), b.NumParticles()/2)
 	}
 }
 
@@ -187,13 +191,14 @@ func (f *Filter) sampleReaderIndex(src *rng.Source) int {
 // compressed.
 func (f *Filter) CompressObject(id stream.TagID) (float64, bool) {
 	b, ok := f.objects[id]
-	if !ok || b.IsCompressed() || len(b.Particles) == 0 {
+	if !ok || b.IsCompressed() || b.NumParticles() == 0 {
 		return 0, false
 	}
-	g, kl := b.Gaussian(f.readerNorm)
+	g, kl, buf := b.gaussianWith(f.readerNorm, f.wBuf)
+	f.wBuf = buf
 	b.Compressed = &g
 	b.CompressionKL = kl
-	b.Particles = nil
+	b.release()
 	// Release the private random stream — its generator state would dwarf
 	// the compressed Gaussian — keeping only a continuation seed so the
 	// post-decompression stream is fresh (no replay of earlier draws) yet
@@ -211,10 +216,11 @@ func (f *Filter) CompressObject(id stream.TagID) (float64, bool) {
 // unknown or already-compressed objects.
 func (f *Filter) CompressionCandidateKL(id stream.TagID) (float64, bool) {
 	b, ok := f.objects[id]
-	if !ok || b.IsCompressed() || len(b.Particles) == 0 {
+	if !ok || b.IsCompressed() || b.NumParticles() == 0 {
 		return 0, false
 	}
-	_, kl := b.Gaussian(f.readerNorm)
+	_, kl, buf := b.gaussianWith(f.readerNorm, f.wBuf)
+	f.wBuf = buf
 	return kl, true
 }
 
@@ -225,14 +231,17 @@ func (f *Filter) decompress(b *ObjectBelief) {
 	src := f.objectSrc(b)
 	n := f.cfg.NumDecompressParticles
 	g := *b.Compressed
-	b.Particles = make([]ObjectParticle, n)
+	b.setLen(n)
 	u := 1 / float64(n)
 	for i := 0; i < n; i++ {
 		loc := g.Sample(src)
 		if f.cfg.World != nil && len(f.cfg.World.Shelves) > 0 {
 			loc = f.cfg.World.ClampToShelves(loc)
 		}
-		b.Particles[i] = ObjectParticle{Loc: loc, Reader: f.sampleReaderIndex(src), logW: 0, normW: u}
+		b.locs[i] = loc
+		b.reader[i] = int32(f.sampleReaderIndex(src))
+		b.logW[i] = 0
+		b.normW[i] = u
 	}
 	b.Compressed = nil
 }

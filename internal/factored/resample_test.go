@@ -21,16 +21,17 @@ func TestResampleObjectPreservesPointersAndMass(t *testing.T) {
 
 	b := &ObjectBelief{ID: "x"}
 	// Three particles: one dominant, one moderate, one dead.
-	b.Particles = []ObjectParticle{
+	b.setParticles([]ObjectParticle{
 		{Loc: geom.V(0, 1, 0), Reader: 3, normW: 0.79},
 		{Loc: geom.V(0, 2, 0), Reader: 7, normW: 0.21},
 		{Loc: geom.V(0, 9, 0), Reader: 9, normW: 0.0},
+	})
+	f.resampleObject(b, f.arena)
+	if b.NumParticles() != 3 {
+		t.Fatalf("particle count changed: %d", b.NumParticles())
 	}
-	f.resampleObject(b)
-	if len(b.Particles) != 3 {
-		t.Fatalf("particle count changed: %d", len(b.Particles))
-	}
-	for _, p := range b.Particles {
+	for i := 0; i < b.NumParticles(); i++ {
+		p := b.Particle(i)
 		switch p.Loc.Y {
 		case 1.0:
 			if p.Reader != 3 {
@@ -64,8 +65,8 @@ func TestReaderResamplingKeepsPointersValid(t *testing.T) {
 		if b == nil {
 			continue
 		}
-		for _, p := range b.Particles {
-			if p.Reader < 0 || p.Reader >= len(f.readers) {
+		for i := 0; i < b.NumParticles(); i++ {
+			if p := b.Particle(i); p.Reader < 0 || p.Reader >= len(f.readers) {
 				t.Fatalf("dangling reader pointer %d (readers: %d)", p.Reader, len(f.readers))
 			}
 		}
@@ -86,27 +87,29 @@ func TestReaderResamplingKeepsPointersValid(t *testing.T) {
 // TestNormalizeParticlesHandlesDegenerateWeights exercises the log-weight
 // normalization paths: all-equal weights and all-minus-infinity weights.
 func TestNormalizeParticlesHandlesDegenerateWeights(t *testing.T) {
-	b := &ObjectBelief{ID: "x", Particles: []ObjectParticle{
+	b := &ObjectBelief{ID: "x"}
+	b.setParticles([]ObjectParticle{
 		{Loc: geom.V(0, 0, 0), logW: -5},
 		{Loc: geom.V(0, 1, 0), logW: -5},
-	}}
+	})
 	ess := b.normalizeParticles()
 	if math.Abs(ess-2) > 1e-9 {
 		t.Errorf("equal weights should give ESS 2, got %v", ess)
 	}
-	for _, p := range b.Particles {
-		if math.Abs(p.normW-0.5) > 1e-9 {
+	for i := 0; i < b.NumParticles(); i++ {
+		if p := b.Particle(i); math.Abs(p.normW-0.5) > 1e-9 {
 			t.Errorf("normalized weight %v, want 0.5", p.normW)
 		}
 	}
 	inf := math.Inf(-1)
-	b2 := &ObjectBelief{ID: "y", Particles: []ObjectParticle{
+	b2 := &ObjectBelief{ID: "y"}
+	b2.setParticles([]ObjectParticle{
 		{Loc: geom.V(0, 0, 0), logW: inf},
 		{Loc: geom.V(0, 1, 0), logW: inf},
-	}}
+	})
 	b2.normalizeParticles()
-	for _, p := range b2.Particles {
-		if math.IsNaN(p.normW) || p.normW <= 0 {
+	for i := 0; i < b2.NumParticles(); i++ {
+		if p := b2.Particle(i); math.IsNaN(p.normW) || p.normW <= 0 {
 			t.Errorf("degenerate weights not recovered: %v", p.normW)
 		}
 	}
@@ -119,10 +122,11 @@ func TestNormalizeParticlesHandlesDegenerateWeights(t *testing.T) {
 // to a heavily weighted reader dominates the location estimate, which is the
 // semantics of factored weights (Eq. 5).
 func TestBeliefMeanUsesFactoredWeights(t *testing.T) {
-	b := &ObjectBelief{ID: "x", Particles: []ObjectParticle{
+	b := &ObjectBelief{ID: "x"}
+	b.setParticles([]ObjectParticle{
 		{Loc: geom.V(0, 0, 0), Reader: 0, normW: 0.5},
 		{Loc: geom.V(0, 10, 0), Reader: 1, normW: 0.5},
-	}}
+	})
 	readerNorm := []float64{0.9, 0.1}
 	mean, _ := b.Mean(readerNorm)
 	if mean.Y > 2.0 {

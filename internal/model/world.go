@@ -32,6 +32,17 @@ type World struct {
 	Shelves []Shelf
 	// ShelfTags maps a shelf tag id to its known, fixed location S_i.
 	ShelfTags map[stream.TagID]geom.Vec3
+
+	// Caches maintained by AddShelf/AddShelfTag so the per-epoch hot paths
+	// (shelf-tag weighting, uniform relocation) do not rebuild them on every
+	// call. Build worlds through AddShelf/AddShelfTag: staleness from direct
+	// mutation is detected by length only, so adding or removing entries
+	// directly makes the accessors recompute on the fly (correct, just
+	// slower, never mutating the world — safe for concurrent readers), but
+	// replacing an existing shelf or tag in place without going through the
+	// Add methods leaves the caches stale.
+	sortedTagIDs []stream.TagID
+	shelfWeights []float64
 }
 
 // NewWorld returns an empty world.
@@ -40,7 +51,10 @@ func NewWorld() *World {
 }
 
 // AddShelf appends a shelf to the world.
-func (w *World) AddShelf(s Shelf) { w.Shelves = append(w.Shelves, s) }
+func (w *World) AddShelf(s Shelf) {
+	w.Shelves = append(w.Shelves, s)
+	w.shelfWeights = shelfVolumeWeights(w.Shelves)
+}
 
 // AddShelfTag registers a shelf tag with a known location.
 func (w *World) AddShelfTag(id stream.TagID, loc geom.Vec3) {
@@ -48,6 +62,7 @@ func (w *World) AddShelfTag(id stream.TagID, loc geom.Vec3) {
 		w.ShelfTags = make(map[stream.TagID]geom.Vec3)
 	}
 	w.ShelfTags[id] = loc
+	w.sortedTagIDs = sortedShelfTagIDs(w.ShelfTags)
 }
 
 // IsShelfTag reports whether the id belongs to a shelf tag.
@@ -56,10 +71,23 @@ func (w *World) IsShelfTag(id stream.TagID) bool {
 	return ok
 }
 
-// ShelfTagIDs returns the shelf tag ids in deterministic order.
+// ShelfTagIDs returns the shelf tag ids in deterministic (sorted) order. The
+// returned slice is a world-owned cache that callers must treat as read-only;
+// it is rebuilt by AddShelfTag, so the per-epoch shelf-tag weighting pass
+// reads it without allocating.
 func (w *World) ShelfTagIDs() []stream.TagID {
-	out := make([]stream.TagID, 0, len(w.ShelfTags))
-	for id := range w.ShelfTags {
+	if len(w.sortedTagIDs) == len(w.ShelfTags) {
+		return w.sortedTagIDs
+	}
+	// ShelfTags was mutated directly; recompute without touching the cache
+	// (the world may be shared by concurrent readers).
+	return sortedShelfTagIDs(w.ShelfTags)
+}
+
+// sortedShelfTagIDs returns the map keys in sorted order.
+func sortedShelfTagIDs(tags map[stream.TagID]geom.Vec3) []stream.TagID {
+	out := make([]stream.TagID, 0, len(tags))
+	for id := range tags {
 		out = append(out, id)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
@@ -79,16 +107,29 @@ func (w *World) ShelfBBox() geom.BBox {
 
 // UniformOnShelves draws a point uniformly at random across the shelf
 // regions, weighting each shelf by its volume (or area for flat shelves).
+// The shelf weights come from a cache maintained by AddShelf, so the object
+// relocation proposal draws without allocating.
 func (w *World) UniformOnShelves(src *rng.Source) geom.Vec3 {
 	if len(w.Shelves) == 0 {
 		return geom.Vec3{}
 	}
-	weights := make([]float64, len(w.Shelves))
-	for i, s := range w.Shelves {
+	weights := w.shelfWeights
+	if len(weights) != len(w.Shelves) {
+		// Shelves was mutated directly; recompute without touching the cache.
+		weights = shelfVolumeWeights(w.Shelves)
+	}
+	idx := src.Categorical(weights)
+	return src.UniformInBox(w.Shelves[idx].Region)
+}
+
+// shelfVolumeWeights computes the per-shelf selection weights for
+// UniformOnShelves: the shelf volume, or the largest face area for
+// degenerate (flat or linear) shelves so they are still selectable.
+func shelfVolumeWeights(shelves []Shelf) []float64 {
+	weights := make([]float64, len(shelves))
+	for i, s := range shelves {
 		v := s.Region.Volume()
 		if v <= 0 {
-			// Degenerate (flat or linear) shelves get weight from their
-			// largest face so they are still selectable.
 			sz := s.Region.Size()
 			v = sz.X*sz.Y + sz.Y*sz.Z + sz.X*sz.Z
 			if v <= 0 {
@@ -97,8 +138,7 @@ func (w *World) UniformOnShelves(src *rng.Source) geom.Vec3 {
 		}
 		weights[i] = v
 	}
-	idx := src.Categorical(weights)
-	return src.UniformInBox(w.Shelves[idx].Region)
+	return weights
 }
 
 // NearestShelf returns the shelf whose region center is closest to p, or

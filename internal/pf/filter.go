@@ -12,6 +12,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/model"
 	"repro/internal/rng"
+	"repro/internal/scratch"
 	"repro/internal/sensor"
 	"repro/internal/stats"
 	"repro/internal/stream"
@@ -69,29 +70,38 @@ func (c *Config) applyDefaults() {
 	}
 }
 
-// Particle is one joint hypothesis about the hidden state: the reader pose
-// and the location of every tracked object.
-type Particle struct {
-	Reader  geom.Pose
-	Objects []geom.Vec3 // parallel to Filter.objectIDs
-}
-
-// Filter is the basic particle filter.
+// Filter is the basic particle filter. The joint particle set is stored as a
+// structure of arrays: the reader poses in one column and all object location
+// hypotheses in a single flat particle-major array (particle j's hypothesis
+// for object k lives at objLocs[j*stride+k], with stride == the number of
+// tracked objects). Resampling gathers whole rows through reusable double
+// buffers, so a steady-state epoch performs zero heap allocations.
 type Filter struct {
 	cfg       Config
 	src       *rng.Source
 	objectIDs []stream.TagID
 	objIndex  map[stream.TagID]int
-	particles []Particle
-	logW      []float64
-	normW     []float64
-	started   bool
-	epoch     int
+
+	readers []geom.Pose // reader pose per particle
+	objLocs []geom.Vec3 // flat particle-major object locations
+	stride  int         // row width; equals len(objectIDs)
+	logW    []float64
+	normW   []float64
+	started bool
+	epoch   int
 
 	prevReported geom.Vec3
 	hasReported  bool
 	lastDrift    geom.Vec3
 	hasDrift     bool
+
+	// Reusable scratch: resampling indices and double buffers, estimate
+	// gather column, shelf-tag selection.
+	idxBuf     []int
+	locsTmp    []geom.Vec3
+	readersTmp []geom.Pose
+	vecBuf     []geom.Vec3
+	shelfBuf   []stream.TagID
 }
 
 // New returns a basic particle filter.
@@ -115,12 +125,17 @@ func (f *Filter) TrackedObjects() []stream.TagID {
 	return out
 }
 
+// row returns particle j's object location row.
+func (f *Filter) row(j int) []geom.Vec3 {
+	return f.objLocs[j*f.stride : (j+1)*f.stride]
+}
+
 func (f *Filter) ensureStarted(ep *stream.Epoch) {
 	if f.started {
 		return
 	}
 	f.started = true
-	f.particles = make([]Particle, f.cfg.NumParticles)
+	f.readers = make([]geom.Pose, f.cfg.NumParticles)
 	f.logW = make([]float64, f.cfg.NumParticles)
 	f.normW = make([]float64, f.cfg.NumParticles)
 	var base geom.Pose
@@ -128,8 +143,8 @@ func (f *Filter) ensureStarted(ep *stream.Epoch) {
 		base = ep.ReportedPose
 	}
 	spread := f.cfg.Params.Sensing.Noise.Add(geom.Vec3{X: 0.05, Y: 0.05, Z: 0.01})
-	for j := range f.particles {
-		f.particles[j].Reader = geom.Pose{
+	for j := range f.readers {
+		f.readers[j] = geom.Pose{
 			Pos: base.Pos.Sub(f.cfg.Params.Sensing.Bias).Add(f.src.NormalVec(geom.Vec3{}, spread)),
 			Phi: base.Phi + f.src.Normal(0, f.cfg.Params.Motion.PhiNoise+0.01),
 		}
@@ -139,18 +154,26 @@ func (f *Filter) ensureStarted(ep *stream.Epoch) {
 
 // addObject registers a newly observed object and initializes its location
 // hypothesis in every particle from the initialization cone rooted at that
-// particle's reader pose.
+// particle's reader pose. The flat array is re-laid-out for the wider stride
+// (an allocation, but only when a never-before-seen tag appears).
 func (f *Filter) addObject(id stream.TagID) {
 	idx := len(f.objectIDs)
 	f.objectIDs = append(f.objectIDs, id)
 	f.objIndex[id] = idx
-	for j := range f.particles {
-		loc := f.src.UniformInCone(f.particles[j].Reader, f.cfg.InitConeHalfAngle, f.cfg.InitConeRange)
+	np := len(f.readers)
+	oldStride := f.stride
+	newStride := oldStride + 1
+	newFlat := make([]geom.Vec3, np*newStride)
+	for j := 0; j < np; j++ {
+		copy(newFlat[j*newStride:j*newStride+oldStride], f.objLocs[j*oldStride:(j+1)*oldStride])
+		loc := f.src.UniformInCone(f.readers[j], f.cfg.InitConeHalfAngle, f.cfg.InitConeRange)
 		if f.cfg.World != nil && len(f.cfg.World.Shelves) > 0 {
 			loc = f.cfg.World.ClampToShelves(loc)
 		}
-		f.particles[j].Objects = append(f.particles[j].Objects, loc)
+		newFlat[j*newStride+oldStride] = loc
 	}
+	f.objLocs = newFlat
+	f.stride = newStride
 }
 
 // Step advances the filter by one epoch: proposal sampling, weighting against
@@ -172,28 +195,29 @@ func (f *Filter) Step(ep *stream.Epoch) {
 	shelfIDs := f.relevantShelfTags(ep)
 	motion := f.effectiveMotion(ep)
 
-	// Sampling and weighting.
-	for j := range f.particles {
-		p := &f.particles[j]
-		p.Reader = motion.Sample(p.Reader, f.src)
+	// Sampling and weighting: one pass per particle over its contiguous
+	// object-location row.
+	for j := range f.readers {
+		f.readers[j] = motion.Sample(f.readers[j], f.src)
 		if ep.HasPose {
 			// Track the reported heading directly (see the factored filter).
-			p.Reader.Phi = ep.ReportedPose.Phi + f.src.Normal(0, motion.PhiNoise)
+			f.readers[j].Phi = ep.ReportedPose.Phi + f.src.Normal(0, motion.PhiNoise)
 		}
-		for k := range p.Objects {
-			p.Objects[k] = f.cfg.Params.Object.Sample(p.Objects[k], f.cfg.World, f.src)
+		row := f.row(j)
+		for k := range row {
+			row[k] = f.cfg.Params.Object.Sample(row[k], f.cfg.World, f.src)
 		}
 
 		lw := 0.0
 		if ep.HasPose {
-			lw += f.cfg.Params.Sensing.LogProb(p.Reader, ep.ReportedPose.Pos)
+			lw += f.cfg.Params.Sensing.LogProb(f.readers[j], ep.ReportedPose.Pos)
 		}
 		for _, sid := range shelfIDs {
 			loc := f.cfg.World.ShelfTags[sid]
-			lw += logObs(f.cfg.Sensor, ep.Contains(sid), p.Reader, loc)
+			lw += logObs(f.cfg.Sensor, ep.Contains(sid), f.readers[j], loc)
 		}
 		for k, id := range f.objectIDs {
-			lw += logObs(f.cfg.Sensor, ep.Contains(id), p.Reader, p.Objects[k])
+			lw += logObs(f.cfg.Sensor, ep.Contains(id), f.readers[j], row[k])
 		}
 		f.logW[j] += lw
 	}
@@ -202,7 +226,7 @@ func (f *Filter) Step(ep *stream.Epoch) {
 	copy(f.normW, f.logW)
 	stats.NormalizeLogWeights(f.normW)
 	ess := stats.EffectiveSampleSize(f.normW)
-	if ess < f.cfg.ResampleThreshold*float64(len(f.particles)) {
+	if ess < f.cfg.ResampleThreshold*float64(len(f.readers)) {
 		f.resample()
 	}
 }
@@ -229,12 +253,13 @@ func (f *Filter) effectiveMotion(ep *stream.Epoch) model.MotionModel {
 
 // relevantShelfTags returns the shelf tags worth weighting this epoch: those
 // observed, plus those within sensing range of the reported reader location.
+// The returned slice is filter-owned scratch, valid until the next call.
 func (f *Filter) relevantShelfTags(ep *stream.Epoch) []stream.TagID {
 	if f.cfg.World == nil {
 		return nil
 	}
 	maxR := f.cfg.Sensor.MaxRange() + 1
-	var out []stream.TagID
+	out := f.shelfBuf[:0]
 	for _, id := range f.cfg.World.ShelfTagIDs() {
 		if ep.Contains(id) {
 			out = append(out, id)
@@ -244,36 +269,45 @@ func (f *Filter) relevantShelfTags(ep *stream.Epoch) []stream.TagID {
 			out = append(out, id)
 		}
 	}
+	f.shelfBuf = out
 	return out
 }
 
+// resample gathers whole particle rows (reader pose plus the object-location
+// row) through the filter's double buffers and swaps them with the live
+// columns — no allocation once the buffers are warm.
 func (f *Filter) resample() {
-	idx := f.src.Systematic(f.normW, len(f.particles))
+	n := len(f.readers)
+	f.idxBuf = f.src.SystematicInto(f.idxBuf[:0], f.normW, n)
+	idx := f.idxBuf
 	sort.Ints(idx)
-	newParticles := make([]Particle, len(f.particles))
+	f.readersTmp = scratch.Grow(f.readersTmp, n)
+	f.locsTmp = scratch.Grow(f.locsTmp, len(f.objLocs))
 	for i, j := range idx {
-		src := f.particles[j]
-		np := Particle{Reader: src.Reader, Objects: make([]geom.Vec3, len(src.Objects))}
-		copy(np.Objects, src.Objects)
-		newParticles[i] = np
+		f.readersTmp[i] = f.readers[j]
+		copy(f.locsTmp[i*f.stride:(i+1)*f.stride], f.row(j))
 	}
-	f.particles = newParticles
+	f.readers, f.readersTmp = f.readersTmp, f.readers
+	f.objLocs, f.locsTmp = f.locsTmp, f.objLocs
 	for j := range f.logW {
 		f.logW[j] = 0
-		f.normW[j] = 1 / float64(len(f.particles))
+		f.normW[j] = 1 / float64(n)
 	}
 }
 
 // Estimate returns the posterior mean and per-axis variance of the object's
-// location, or ok == false for unknown objects.
+// location, or ok == false for unknown objects. It gathers the object's
+// column into a reusable scratch buffer, so it must not be called
+// concurrently with itself or Step.
 func (f *Filter) Estimate(id stream.TagID) (mean geom.Vec3, variance geom.Vec3, ok bool) {
 	k, found := f.objIndex[id]
 	if !found {
 		return geom.Vec3{}, geom.Vec3{}, false
 	}
-	locs := make([]geom.Vec3, len(f.particles))
-	for j := range f.particles {
-		locs[j] = f.particles[j].Objects[k]
+	f.vecBuf = scratch.Grow(f.vecBuf, len(f.readers))
+	locs := f.vecBuf
+	for j := range f.readers {
+		locs[j] = f.objLocs[j*f.stride+k]
 	}
 	m := stats.WeightedMeanVec(locs, f.normW)
 	cov := stats.WeightedCovariance(locs, f.normW, m)
@@ -285,13 +319,14 @@ func (f *Filter) ReaderEstimate() geom.Pose {
 	if !f.started {
 		return geom.Pose{}
 	}
-	locs := make([]geom.Vec3, len(f.particles))
+	f.vecBuf = scratch.Grow(f.vecBuf, len(f.readers))
+	locs := f.vecBuf
 	phiSin, phiCos := 0.0, 0.0
-	for j := range f.particles {
-		locs[j] = f.particles[j].Reader.Pos
+	for j := range f.readers {
+		locs[j] = f.readers[j].Pos
 		w := f.normW[j]
-		phiSin += w * math.Sin(f.particles[j].Reader.Phi)
-		phiCos += w * math.Cos(f.particles[j].Reader.Phi)
+		phiSin += w * math.Sin(f.readers[j].Phi)
+		phiCos += w * math.Cos(f.readers[j].Phi)
 	}
 	return geom.Pose{
 		Pos: stats.WeightedMeanVec(locs, f.normW),

@@ -1,0 +1,22 @@
+package query
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// ParseSpec decodes a JSON query spec and validates it. It is the single
+// entry point for untrusted spec bytes (the serving layer's POST /queries
+// body) and the surface the FuzzParseSpec target hardens: a spec that
+// ParseSpec accepts is guaranteed to instantiate via NewContinuous.
+func ParseSpec(data []byte) (Spec, error) {
+	var s Spec
+	if err := json.NewDecoder(bytes.NewReader(data)).Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("query: bad spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}

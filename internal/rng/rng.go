@@ -150,8 +150,16 @@ func (s *Source) Categorical(weights []float64) int {
 // single uniform offset. Systematic resampling is the standard choice for
 // particle filters because it minimizes resampling noise.
 func (s *Source) Systematic(weights []float64, n int) []int {
+	return s.SystematicInto(make([]int, 0, n), weights, n)
+}
+
+// SystematicInto is Systematic with a caller-provided destination buffer: the
+// n drawn indices are appended to dst and the extended slice returned, so hot
+// paths can reuse one buffer across calls and resample without allocating.
+// The draw sequence is identical to Systematic's for the same source state.
+func (s *Source) SystematicInto(dst []int, weights []float64, n int) []int {
 	m := len(weights)
-	out := make([]int, 0, n)
+	out := dst
 	if m == 0 || n == 0 {
 		return out
 	}

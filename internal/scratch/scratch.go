@@ -1,0 +1,21 @@
+// Package scratch provides tiny helpers for reusable scratch buffers. The
+// inference hot path (predict/update/resample per object per epoch) must not
+// allocate in steady state, so every per-epoch temporary lives in a buffer
+// owned by a filter, an engine or a per-worker arena and is resized with Grow
+// instead of make. Grow reuses the existing backing array whenever its
+// capacity suffices, so after a short warm-up no call allocates.
+package scratch
+
+// Grow returns s resized to length n. When the existing capacity suffices the
+// backing array is reused (no allocation) and the first min(len(s), n)
+// elements are preserved; otherwise a new array of exactly n elements is
+// allocated and the old contents copied over. Elements between the old and
+// new length are stale scratch data: callers that care must overwrite them.
+func Grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	ns := make([]T, n)
+	copy(ns, s)
+	return ns
+}

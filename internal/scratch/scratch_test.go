@@ -1,0 +1,45 @@
+package scratch
+
+import "testing"
+
+func TestGrowReusesCapacity(t *testing.T) {
+	s := make([]int, 2, 8)
+	s[0], s[1] = 10, 20
+	g := Grow(s, 5)
+	if len(g) != 5 {
+		t.Fatalf("len = %d, want 5", len(g))
+	}
+	if &g[0] != &s[0] {
+		t.Error("Grow within capacity must reuse the backing array")
+	}
+	if g[0] != 10 || g[1] != 20 {
+		t.Errorf("prefix not preserved: %v", g[:2])
+	}
+}
+
+func TestGrowAllocatesBeyondCapacity(t *testing.T) {
+	s := make([]float64, 3, 3)
+	s[0], s[1], s[2] = 1, 2, 3
+	g := Grow(s, 6)
+	if len(g) != 6 {
+		t.Fatalf("len = %d, want 6", len(g))
+	}
+	if g[0] != 1 || g[1] != 2 || g[2] != 3 {
+		t.Errorf("prefix not preserved: %v", g[:3])
+	}
+	g[0] = 99
+	if s[0] != 1 {
+		t.Error("grown slice must not alias the old backing array")
+	}
+}
+
+func TestGrowShrinks(t *testing.T) {
+	s := []byte{1, 2, 3, 4}
+	g := Grow(s, 2)
+	if len(g) != 2 || &g[0] != &s[0] {
+		t.Errorf("shrink should reslice in place: len=%d", len(g))
+	}
+	if g2 := Grow([]int(nil), 0); len(g2) != 0 {
+		t.Errorf("Grow(nil, 0) = %v", g2)
+	}
+}

@@ -28,6 +28,7 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"strconv"
@@ -407,9 +408,14 @@ func (s *Server) handleSnapshotAll(w http.ResponseWriter, r *http.Request) {
 
 // handleRegister answers POST /queries with a query.Spec body.
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
-	var spec query.Spec
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(&spec); err != nil {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad query spec: %v", err)
+		return
+	}
+	spec, err := query.ParseSpec(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	info, err := s.reg.Register(spec)

@@ -149,7 +149,9 @@ func (tr *Trace) SplitForTraining(keepShelfTags int) *Trace {
 		Epochs: tr.Epochs,
 		Truth:  tr.Truth,
 	}
-	out.World.Shelves = tr.World.Shelves
+	for _, s := range tr.World.Shelves {
+		out.World.AddShelf(s)
+	}
 	ids := tr.World.ShelfTagIDs()
 	for i, id := range ids {
 		if i < keepShelfTags {

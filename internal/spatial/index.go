@@ -21,11 +21,15 @@ type SensingIndex struct {
 	// not blow up the index: a new box for an object is only recorded when it
 	// does not contain the previous one.
 	numEntries int
+
+	// seen is the query-time de-duplication scratch, cleared per query so
+	// that probing every epoch does not allocate a fresh map.
+	seen map[stream.TagID]bool
 }
 
 // NewSensingIndex returns an empty index.
 func NewSensingIndex() *SensingIndex {
-	return &SensingIndex{tree: NewRTree(8)}
+	return &SensingIndex{tree: NewRTree(8), seen: make(map[stream.TagID]bool)}
 }
 
 // Len returns the number of indexed sensing regions.
@@ -33,16 +37,28 @@ func (x *SensingIndex) Len() int { return x.numEntries }
 
 // Insert records a sensing-region bounding box together with the objects that
 // currently have at least one particle inside it. Boxes with no associated
-// objects are not stored.
+// objects are not stored. The objs slice is copied; use InsertOwned when the
+// caller can hand over ownership instead.
 func (x *SensingIndex) Insert(box geom.BBox, objs []stream.TagID) {
+	if box.IsEmpty() || len(objs) == 0 {
+		return
+	}
+	cp := make([]stream.TagID, len(objs))
+	copy(cp, objs)
+	x.InsertOwned(box, cp)
+}
+
+// InsertOwned is Insert taking ownership of objs: the index stores the slice
+// directly and the caller must not reuse it. The engine builds each epoch's
+// association list once and hands it over, so indexed state is written
+// exactly once with no intermediate copies.
+func (x *SensingIndex) InsertOwned(box geom.BBox, objs []stream.TagID) {
 	if box.IsEmpty() || len(objs) == 0 {
 		return
 	}
 	id := len(x.boxes)
 	x.boxes = append(x.boxes, box)
-	cp := make([]stream.TagID, len(objs))
-	copy(cp, objs)
-	x.objects = append(x.objects, cp)
+	x.objects = append(x.objects, objs)
 	x.tree.Insert(box, id)
 	x.numEntries++
 }
@@ -51,15 +67,24 @@ func (x *SensingIndex) Insert(box geom.BBox, objs []stream.TagID) {
 // sensing region that overlaps the query box, de-duplicated, in no particular
 // order.
 func (x *SensingIndex) Query(box geom.BBox) []stream.TagID {
+	return x.QueryInto(box, nil)
+}
+
+// QueryInto is Query appending into a caller-owned buffer (pass dst[:0] to
+// reuse its backing array). De-duplication runs through the index's scratch
+// map, so a warm caller probes without allocating; consequently the index is
+// not safe for concurrent queries (the engine only queries from the
+// sequential epoch prologue).
+func (x *SensingIndex) QueryInto(box geom.BBox, dst []stream.TagID) []stream.TagID {
 	if box.IsEmpty() || x.numEntries == 0 {
-		return nil
+		return dst
 	}
-	seen := make(map[stream.TagID]bool)
-	var out []stream.TagID
+	clear(x.seen)
+	out := dst
 	x.tree.SearchFunc(box, func(id int) {
 		for _, obj := range x.objects[id] {
-			if !seen[obj] {
-				seen[obj] = true
+			if !x.seen[obj] {
+				x.seen[obj] = true
 				out = append(out, obj)
 			}
 		}

@@ -1,0 +1,135 @@
+package stream_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/stream"
+)
+
+// cannedReadingsCSV renders a small simulated warehouse trace through the
+// writer, giving the fuzzers a realistic seed: real tag-id shapes, real epoch
+// spacing, a header row — the bytes the CLI tools actually exchange.
+func cannedReadingsCSV(t testing.TB) []byte {
+	t.Helper()
+	cfg := sim.DefaultWarehouseConfig()
+	cfg.NumObjects = 6
+	cfg.NumShelfTags = 2
+	cfg.Seed = 7
+	trace, err := sim.GenerateWarehouse(cfg)
+	if err != nil {
+		t.Fatalf("GenerateWarehouse: %v", err)
+	}
+	var readings []stream.Reading
+	for _, ep := range trace.Epochs {
+		for _, id := range ep.ObservedList() {
+			readings = append(readings, stream.Reading{Time: ep.Time, Tag: id})
+		}
+		if len(readings) > 200 {
+			break
+		}
+	}
+	var buf bytes.Buffer
+	if err := stream.WriteReadingsCSV(&buf, readings); err != nil {
+		t.Fatalf("WriteReadingsCSV: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// normalizeCSVText applies the line-ending normalization encoding/csv
+// performs inside quoted fields (\r\n becomes \n), so the round-trip
+// comparison checks semantics rather than byte-level CRLF trivia.
+func normalizeCSVText(s string) string {
+	return strings.ReplaceAll(s, "\r\n", "\n")
+}
+
+// FuzzDecodeReading hardens the reading-stream codec against arbitrary
+// on-disk bytes: the decoder must never panic, and any stream it accepts
+// must survive a write/re-read round trip with identical records (times
+// exact, tags equal up to the CSV quoted-CRLF normalization).
+func FuzzDecodeReading(f *testing.F) {
+	f.Add(cannedReadingsCSV(f))
+	f.Add([]byte("time,tag\n1,obj-001\n2,shelf-000\n"))
+	f.Add([]byte("1,obj-001\n"))                 // headerless
+	f.Add([]byte("time,tag\n-5,\"a,b\"\n"))      // negative time, quoted comma
+	f.Add([]byte("time,tag\n1,\"multi\nline\"")) // embedded newline
+	f.Add([]byte("time,tag\nnot-a-number,x\n"))  // bad time
+	f.Add([]byte("time,tag\n3\n"))               // short row
+	f.Add([]byte(""))
+	f.Add([]byte("\xff\xfe,\x00"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		readings, err := stream.ReadReadingsCSV(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := stream.WriteReadingsCSV(&buf, readings); err != nil {
+			t.Fatalf("write-back of accepted stream failed: %v", err)
+		}
+		again, err := stream.ReadReadingsCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-read of written stream failed: %v", err)
+		}
+		if len(again) != len(readings) {
+			t.Fatalf("round trip changed record count: %d -> %d", len(readings), len(again))
+		}
+		for i := range readings {
+			if again[i].Time != readings[i].Time {
+				t.Fatalf("record %d time changed: %d -> %d", i, readings[i].Time, again[i].Time)
+			}
+			if string(again[i].Tag) != normalizeCSVText(string(readings[i].Tag)) {
+				t.Fatalf("record %d tag changed: %q -> %q", i, readings[i].Tag, again[i].Tag)
+			}
+		}
+	})
+}
+
+// FuzzDecodeLocation applies the same no-panic/round-trip hardening to the
+// reader location stream codec, whose rows mix ints, floats and an optional
+// heading column.
+func FuzzDecodeLocation(f *testing.F) {
+	f.Add([]byte("time,x,y,z,phi\n1,0.5,2,0,\n2,0.6,2.1,0,1.57\n"))
+	f.Add([]byte("time,x,y,z,phi\n1,1e308,-2.5e-10,0,0.1\n"))
+	f.Add([]byte("1,2,3,4\n"))
+	f.Add([]byte("time,x,y,z,phi\n1,NaN,Inf,-Inf,\n"))
+	f.Add([]byte("time,x,y,z,phi\n1,a,b,c,d\n"))
+	f.Add([]byte(""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		locs, err := stream.ReadLocationsCSV(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := stream.WriteLocationsCSV(&buf, locs); err != nil {
+			t.Fatalf("write-back of accepted stream failed: %v", err)
+		}
+		again, err := stream.ReadLocationsCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-read of written stream failed: %v", err)
+		}
+		if len(again) != len(locs) {
+			t.Fatalf("round trip changed record count: %d -> %d", len(locs), len(again))
+		}
+		for i := range locs {
+			if again[i].Time != locs[i].Time || again[i].HasPhi != locs[i].HasPhi {
+				t.Fatalf("record %d metadata changed: %+v -> %+v", i, locs[i], again[i])
+			}
+			if !sameFloat(again[i].Pos.X, locs[i].Pos.X) ||
+				!sameFloat(again[i].Pos.Y, locs[i].Pos.Y) ||
+				!sameFloat(again[i].Pos.Z, locs[i].Pos.Z) ||
+				(locs[i].HasPhi && !sameFloat(again[i].Phi, locs[i].Phi)) {
+				t.Fatalf("record %d values changed: %+v -> %+v", i, locs[i], again[i])
+			}
+		}
+	})
+}
+
+// sameFloat compares floats for round-trip identity, treating NaN as equal
+// to NaN (the 'g'/-1 format is otherwise exact for float64).
+func sameFloat(a, b float64) bool {
+	return a == b || (a != a && b != b)
+}

@@ -48,3 +48,33 @@ func PartitionTags(ids []TagID, n int) [][]TagID {
 	}
 	return out
 }
+
+// PartitionTagsInto is PartitionTags with caller-owned batch buffers: the
+// outer slice is grown to n batches and each batch is truncated and refilled,
+// reusing its backing array. Callers that partition every epoch (the sharded
+// engine) keep one buffer and repartition without allocating once the batches
+// are warm.
+func PartitionTagsInto(dst [][]TagID, ids []TagID, n int) [][]TagID {
+	if n < 1 {
+		n = 1
+	}
+	if cap(dst) >= n {
+		dst = dst[:n]
+	} else {
+		grown := make([][]TagID, n)
+		copy(grown, dst)
+		dst = grown
+	}
+	for s := range dst {
+		dst[s] = dst[s][:0]
+	}
+	if n == 1 {
+		dst[0] = append(dst[0], ids...)
+		return dst
+	}
+	for _, id := range ids {
+		s := id.Shard(n)
+		dst[s] = append(dst[s], id)
+	}
+	return dst
+}

@@ -124,6 +124,14 @@ type engine interface {
 }
 
 // Pipeline is the end-to-end cleaning and transformation engine.
+//
+// A Pipeline is not safe for concurrent use: the hot path keeps its working
+// memory in pipeline-owned scratch arenas (that is what makes steady-state
+// epochs allocation-free), so ProcessEpoch/Run and the read-side methods
+// (Estimate, ReaderEstimate, Particles) must be serialized by the caller.
+// The Runner and the serving layer already do this — the Runner under its
+// mutex, the server on its single engine goroutine. Parallelism belongs
+// inside an epoch (Config.Workers), where each worker has its own arena.
 type Pipeline struct {
 	eng engine
 }
