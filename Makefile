@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke baseline doc-check serve-smoke cover alloc-gate fuzz-smoke
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke baseline doc-check serve-smoke cover alloc-gate fuzz-smoke recover-smoke
 
 all: build vet fmt-check doc-check test
 
@@ -31,7 +31,7 @@ test:
 # assertions themselves are skipped (race instrumentation allocates) but the
 # arena-backed hot path is still exercised for data races.
 race:
-	$(GO) test -race ./internal/core ./internal/factored ./internal/serve ./rfid
+	$(GO) test -race ./internal/core ./internal/factored ./internal/serve ./rfid ./internal/wal ./internal/checkpoint
 
 # Allocation gate: the per-object hot path must perform zero steady-state
 # heap allocations (structure-of-arrays particle storage + arena scratch).
@@ -41,7 +41,7 @@ alloc-gate:
 # Coverage ratchet: fails when total statement coverage drops below the
 # recorded threshold. Raise the threshold when coverage improves; never lower
 # it to make a PR pass.
-COVER_THRESHOLD = 75.0
+COVER_THRESHOLD = 76.0
 
 cover:
 	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
@@ -52,11 +52,16 @@ cover:
 
 # Native fuzz smoke: each target runs briefly so CI catches panics and
 # round-trip regressions on the untrusted-input surfaces (CSV trace codecs,
-# JSON query specs) without the cost of a long campaign.
+# JSON query specs, WAL segments and checkpoint files) without the cost of a
+# long campaign.
 fuzz-smoke:
-	$(GO) test -fuzz='^FuzzDecodeReading$$' -fuzztime=20s -run '^$$' ./internal/stream
+	$(GO) test -fuzz='^FuzzDecodeReading$$' -fuzztime=15s -run '^$$' ./internal/stream
 	$(GO) test -fuzz='^FuzzDecodeLocation$$' -fuzztime=10s -run '^$$' ./internal/stream
-	$(GO) test -fuzz='^FuzzParseSpec$$' -fuzztime=20s -run '^$$' ./internal/query
+	$(GO) test -fuzz='^FuzzParseSpec$$' -fuzztime=15s -run '^$$' ./internal/query
+	$(GO) test -fuzz='^FuzzWALDecode$$' -fuzztime=15s -run '^$$' ./internal/wal
+	$(GO) test -fuzz='^FuzzRecordDecode$$' -fuzztime=10s -run '^$$' ./internal/wal
+	$(GO) test -fuzz='^FuzzCheckpointDecode$$' -fuzztime=15s -run '^$$' ./internal/checkpoint
+	$(GO) test -fuzz='^FuzzDecoderPrimitives$$' -fuzztime=10s -run '^$$' ./internal/checkpoint
 
 # Godoc gate: every package (and command) must carry a package doc comment —
 # a comment block immediately above its package clause in at least one
@@ -78,6 +83,13 @@ doc-check:
 # -> query results -> metrics) under the race detector.
 serve-smoke:
 	$(GO) test -race -run 'TestServer' ./internal/serve
+
+# Crash-recovery smoke: a real subprocess kill -9 (start server, ingest,
+# SIGKILL, restart, verify byte-identical state) plus the randomized
+# crash-recovery equivalence property over the Workers x ShardCount matrix,
+# both under the race detector.
+recover-smoke:
+	$(GO) test -race -run 'TestRecoverSmoke$$|TestCrashRecoveryEquivalence' -v ./internal/serve
 
 # Full benchmark run (slow; minutes).
 bench:

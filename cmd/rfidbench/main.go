@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -35,10 +36,30 @@ func main() {
 		workers = flag.Int("workers", 0, "worker goroutines for -par (0 = GOMAXPROCS)")
 		objects = flag.Int("objects", 300, "number of objects for -par")
 		jsonOut = flag.String("json", "", "write -par results as JSON to this file (e.g. BENCH_baseline.json)")
+
+		durable   = flag.Bool("durable", false, "run the durability-overhead benchmark (WAL + checkpoints vs in-memory)")
+		fsyncMode = flag.String("fsync", "never", "WAL fsync policy for -durable: always, interval or never")
+		ckptEvery = flag.Int("checkpoint-every", 32, "epochs between checkpoints for -durable")
 	)
 	flag.Parse()
 
 	opts := experiments.Options{Scale: *scale, Seed: *seed}
+
+	if *durable {
+		policy, err := wal.ParseSyncPolicy(*fsyncMode)
+		if err != nil {
+			log.Fatalf("%v", err)
+		}
+		res, err := runDurableBench(*objects, *workers, *seed, policy, *ckptEvery)
+		if err != nil {
+			log.Fatalf("durability benchmark: %v", err)
+		}
+		printDurableResult(res)
+		if !res.EventsIdentical {
+			log.Fatal("durable run output diverged from the in-memory run")
+		}
+		return
+	}
 
 	if *par {
 		res, err := runParallelBench(*objects, *workers, *seed)

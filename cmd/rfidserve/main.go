@@ -8,6 +8,14 @@
 //
 //	rfidserve -addr :8080                            # empty world, default params
 //	rfidserve -addr :8080 -trace trace/ -calibrate   # world + params from a trace dir
+//	rfidserve -addr :8080 -data-dir /var/lib/rfid    # durable: WAL + checkpoints + recovery
+//
+// With -data-dir set, every ingested batch is written to a CRC-checked
+// write-ahead log before the engine applies it and the full engine state is
+// checkpointed every -checkpoint-every epochs; on restart (including after
+// kill -9) the server recovers to a byte-identical continuation of the
+// interrupted run. SIGINT/SIGTERM triggers a graceful shutdown: the current
+// epoch is sealed, a final checkpoint written and the WAL closed.
 //
 // Interact with curl:
 //
@@ -16,8 +24,10 @@
 //	curl -X POST localhost:8080/queries -d '{"kind":"location-updates","min_change":0.1}'
 //	curl -X POST localhost:8080/flush
 //	curl localhost:8080/snapshot/obj-001
+//	curl 'localhost:8080/snapshot?epoch=42'          # time-travel read (needs -history)
 //	curl localhost:8080/queries/q1/results?after=-1
 //	curl localhost:8080/metrics
+//	curl localhost:8080/healthz                      # state: recovering|serving|...
 package main
 
 import (
@@ -32,6 +42,7 @@ import (
 
 	"repro/internal/serve"
 	"repro/internal/traceio"
+	"repro/internal/wal"
 	"repro/rfid"
 )
 
@@ -54,8 +65,20 @@ func main() {
 		floorX      = flag.Float64("floor-x", 40, "default open-floor extent in x (ft), used when no -trace world is given")
 		floorY      = flag.Float64("floor-y", 40, "default open-floor extent in y (ft)")
 		floorZ      = flag.Float64("floor-z", 8, "default open-floor extent in z (ft)")
+
+		dataDir    = flag.String("data-dir", "", "durability directory (WAL segments + checkpoints); empty disables durability")
+		ckptEvery  = flag.Int("checkpoint-every", 64, "epochs between checkpoints (with -data-dir)")
+		keepCkpts  = flag.Int("keep-checkpoints", 3, "checkpoint files to retain (with -data-dir)")
+		fsyncMode  = flag.String("fsync", "always", "WAL fsync policy: always (durable acks), interval, or never")
+		fsyncEvery = flag.Duration("fsync-interval", 100*time.Millisecond, "fsync period for -fsync=interval")
+		history    = flag.Int("history", 0, "epochs of MAP-snapshot history to retain for time-travel reads (0 disables)")
 	)
 	flag.Parse()
+
+	syncPolicy, err := wal.ParseSyncPolicy(*fsyncMode)
+	if err != nil {
+		log.Fatalf("%v", err)
+	}
 
 	world := rfid.NewWorld()
 	// The engine requires at least one shelf region; without a trace
@@ -95,34 +118,63 @@ func main() {
 	// reports.
 	cfg.ReportPolicy = rfid.ReportEveryEpoch
 
-	runner, err := rfid.NewRunner(cfg, rfid.RunnerConfig{HoldEpochs: *hold, Sharded: true})
+	runner, err := rfid.NewRunner(cfg, rfid.RunnerConfig{
+		HoldEpochs:    *hold,
+		Sharded:       true,
+		HistoryEpochs: *history,
+	})
 	if err != nil {
 		log.Fatalf("runner: %v", err)
 	}
 	srv, err := serve.New(serve.Config{
-		Runner:     runner,
-		QueueSize:  *queue,
-		IngestWait: *ingestWait,
+		Runner:          runner,
+		QueueSize:       *queue,
+		IngestWait:      *ingestWait,
+		DataDir:         *dataDir,
+		CheckpointEvery: *ckptEvery,
+		KeepCheckpoints: *keepCkpts,
+		Fsync:           syncPolicy,
+		FsyncInterval:   *fsyncEvery,
 	})
 	if err != nil {
 		log.Fatalf("server: %v", err)
 	}
+	// Surface recovery progress/failure without delaying the listener:
+	// /healthz answers "recovering" while the WAL tail replays.
+	go func() {
+		if err := srv.WaitReady(context.Background()); err != nil {
+			log.Fatalf("%v", err)
+		}
+		if *dataDir != "" {
+			log.Printf("durable state ready (data-dir %s, fsync %s, checkpoint every %d epochs)",
+				*dataDir, syncPolicy, *ckptEvery)
+		}
+	}()
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	shutdownDone := make(chan struct{})
 	go func() {
+		defer close(shutdownDone)
 		<-ctx.Done()
-		log.Printf("shutting down")
+		log.Printf("shutting down (sealing current epoch, writing final checkpoint)")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = httpSrv.Shutdown(shutdownCtx)
+		// Close runs the graceful durable sequence: seal the buffered
+		// epochs, feed the queries, write a final checkpoint, close the WAL.
 		srv.Close()
+		log.Printf("shutdown complete")
 	}()
 
 	log.Printf("serving on %s (queue=%d, workers=%d, particles=%d)", *addr, *queue, *workers, *particles)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("serve: %v", err)
 	}
+	// ListenAndServe returns as soon as Shutdown is initiated; wait for the
+	// durable close to finish before letting the process exit, or the final
+	// checkpoint would be cut short.
+	<-shutdownDone
 }

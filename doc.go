@@ -29,4 +29,15 @@
 // incrementally per epoch, and Prometheus-style metrics. README.md has the
 // quickstart; ARCHITECTURE.md describes the serving layer's epoch clocking
 // and concurrency story.
+//
+// Serving state is durable: a segmented, CRC-checked write-ahead log
+// (internal/wal) records every ingested batch before the engine applies it,
+// a versioned binary codec (internal/checkpoint) serializes the full engine
+// state — particle columns, reader poses, per-object random-stream
+// positions, query-registry sequence state — and recovery (checkpoint + WAL
+// tail replay) reproduces the interrupted run byte-exactly, even across a
+// kill -9 and across different worker/shard counts. The same machinery backs
+// time-travel reads: a bounded per-epoch history of sealed location
+// estimates serves GET /snapshot?epoch=N and history-mode queries. See the
+// "Durability & recovery" section of ARCHITECTURE.md.
 package repro

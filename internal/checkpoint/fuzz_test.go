@@ -1,0 +1,74 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCheckpointDecode hardens the checkpoint-file surface: Decode must never
+// panic on arbitrary bytes, and any snapshot it does accept must survive an
+// encode/decode round trip unchanged (byte equality of the re-encoding is NOT
+// required — varint prefixes may legally be non-minimal in adversarial input
+// — but the decoded state must be stable).
+func FuzzCheckpointDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(Magic))
+	f.Add(Encode(Snapshot{Version: Version, Fingerprint: 1, Epoch: 9, WALSegment: 2, Payload: []byte("payload")}))
+	f.Add(Encode(Snapshot{Version: Version, Epoch: 0}))
+	long := Encode(Snapshot{Version: Version, Fingerprint: 1 << 60, Epoch: 1 << 30, WALSegment: 1 << 40, Payload: bytes.Repeat([]byte{0xab}, 300)})
+	f.Add(long)
+	f.Add(long[:len(long)-3])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := Decode(data)
+		if err != nil {
+			return
+		}
+		again, err := Decode(Encode(snap))
+		if err != nil {
+			t.Fatalf("re-encoding an accepted snapshot no longer decodes: %v", err)
+		}
+		if again.Version != snap.Version || again.Fingerprint != snap.Fingerprint ||
+			again.Epoch != snap.Epoch || again.WALSegment != snap.WALSegment ||
+			!bytes.Equal(again.Payload, snap.Payload) {
+			t.Fatalf("round trip changed the snapshot: %+v vs %+v", again, snap)
+		}
+	})
+}
+
+// FuzzDecoderPrimitives drives the primitive decoder over arbitrary bytes: no
+// input may panic or allocate unboundedly, and the sticky error must keep
+// later reads safe.
+func FuzzDecoderPrimitives(f *testing.F) {
+	e := NewEncoder()
+	e.Section("s")
+	e.Uvarint(7)
+	e.Float64s([]float64{1, 2, 3})
+	e.String("x")
+	f.Add(e.Bytes())
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDecoder(data)
+		for d.Err() == nil && d.Remaining() > 0 {
+			switch d.Remaining() % 5 {
+			case 0:
+				d.Uvarint()
+			case 1:
+				d.Float64()
+			case 2:
+				_ = d.String()
+			case 3:
+				d.Float64s()
+			case 4:
+				d.Bool()
+			}
+		}
+		// Post-error reads must stay inert.
+		if d.Err() != nil {
+			_ = d.Int()
+			_ = d.Vec3()
+			_ = d.SliceLen(8)
+		}
+	})
+}

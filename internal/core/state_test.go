@@ -1,0 +1,256 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/geom"
+	"repro/internal/stream"
+)
+
+// durableTestConfig returns a full-system config (factored + index +
+// compression, short report delay so events flow) sized for fast tests.
+func durableTestConfig(t *testing.T, nObjects int) (Config, []*stream.Epoch) {
+	t.Helper()
+	simCfg := smallTraceConfig(nObjects, 11)
+	trace, err := generateWarehouse(simCfg)
+	if err != nil {
+		t.Fatalf("generate trace: %v", err)
+	}
+	if len(trace.Epochs) > 120 {
+		trace.Epochs = trace.Epochs[:120]
+	}
+	cfg := DefaultConfig(defaultTestParams(), trace.World)
+	cfg.NumObjectParticles = 120
+	cfg.NumReaderParticles = 25
+	cfg.ReportDelay = 10
+	cfg.Seed = 5
+	return cfg, trace.Epochs
+}
+
+// newEngineForTest builds a serial or sharded engine from cfg.
+func newEngineForTest(t *testing.T, cfg Config, workers, shards int) interface {
+	ProcessEpoch(*stream.Epoch) ([]stream.Event, error)
+	Finish() []stream.Event
+	Estimate(stream.TagID) (geom.Vec3, stream.EventStats, bool)
+	TrackedObjects() []stream.TagID
+	SaveState(*checkpoint.Encoder)
+	RestoreState(*checkpoint.Decoder) error
+	Stats() Stats
+} {
+	t.Helper()
+	if workers == 0 {
+		eng, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		return eng
+	}
+	cfg.Workers, cfg.ShardCount = workers, shards
+	eng, err := NewSharded(cfg)
+	if err != nil {
+		t.Fatalf("NewSharded: %v", err)
+	}
+	return eng
+}
+
+// eventsEqual compares event streams for bit-exact equality.
+func eventsEqual(a, b []stream.Event) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCheckpointRestoreEquivalence is the core durability property: an engine
+// checkpointed mid-stream and restored into a FRESH engine — possibly with a
+// different Workers/ShardCount — continues the run byte-identically to one
+// that never stopped. It exercises the full state surface: particle columns,
+// reader particles, random-stream positions, the sensing-region index, the
+// compression watchlist and the report bookkeeping.
+func TestCheckpointRestoreEquivalence(t *testing.T) {
+	cfg, epochs := durableTestConfig(t, 12)
+
+	// Reference: one uninterrupted serial run.
+	ref := newEngineForTest(t, cfg, 0, 0)
+	var refEvents []stream.Event
+	for _, ep := range epochs {
+		evs, err := ref.ProcessEpoch(ep)
+		if err != nil {
+			t.Fatalf("reference epoch %d: %v", ep.Time, err)
+		}
+		refEvents = append(refEvents, evs...)
+	}
+	refEvents = append(refEvents, ref.Finish()...)
+
+	type variant struct {
+		name                          string
+		saveWorkers, saveShards       int
+		restoreWorkers, restoreShards int
+	}
+	variants := []variant{
+		{"serial-to-serial", 0, 0, 0, 0},
+		{"serial-to-sharded", 0, 0, 4, 8},
+		{"sharded-to-serial", 4, 8, 0, 0},
+		{"sharded-to-sharded-reshard", 1, 1, 4, 8},
+	}
+	for _, v := range variants {
+		for _, split := range []int{1, len(epochs) / 3, 2 * len(epochs) / 3} {
+			a := newEngineForTest(t, cfg, v.saveWorkers, v.saveShards)
+			var got []stream.Event
+			for _, ep := range epochs[:split] {
+				evs, err := a.ProcessEpoch(ep)
+				if err != nil {
+					t.Fatalf("%s split %d: epoch %d: %v", v.name, split, ep.Time, err)
+				}
+				got = append(got, evs...)
+			}
+
+			enc := checkpoint.NewEncoder()
+			a.SaveState(enc)
+
+			b := newEngineForTest(t, cfg, v.restoreWorkers, v.restoreShards)
+			dec := checkpoint.NewDecoder(enc.Bytes())
+			if err := b.RestoreState(dec); err != nil {
+				t.Fatalf("%s split %d: restore: %v", v.name, split, err)
+			}
+			for _, ep := range epochs[split:] {
+				evs, err := b.ProcessEpoch(ep)
+				if err != nil {
+					t.Fatalf("%s split %d: resumed epoch %d: %v", v.name, split, ep.Time, err)
+				}
+				got = append(got, evs...)
+			}
+			got = append(got, b.Finish()...)
+
+			if !eventsEqual(got, refEvents) {
+				t.Fatalf("%s split %d: event stream diverged after restore (%d vs %d events)",
+					v.name, split, len(got), len(refEvents))
+			}
+			// Final estimates must agree bit-exactly too.
+			for _, id := range ref.TrackedObjects() {
+				wantLoc, wantSt, wantOK := ref.Estimate(id)
+				gotLoc, gotSt, gotOK := b.Estimate(id)
+				if wantOK != gotOK || wantLoc != gotLoc || wantSt != gotSt {
+					t.Fatalf("%s split %d: estimate for %s diverged: %v/%v vs %v/%v",
+						v.name, split, id, gotLoc, gotSt, wantLoc, wantSt)
+				}
+			}
+			if as, bs := a.Stats(), b.Stats(); as.Epochs+len(epochs)-split != bs.Epochs {
+				t.Fatalf("%s split %d: stats not carried across restore: %+v vs %+v", v.name, split, as, bs)
+			}
+		}
+	}
+}
+
+// TestCheckpointRestoreBasicFilter covers the basic (unfactorized) filter's
+// codec through the serial engine.
+func TestCheckpointRestoreBasicFilter(t *testing.T) {
+	cfg, epochs := durableTestConfig(t, 4)
+	cfg.Factored = false
+	cfg.SpatialIndex = false
+	cfg.Compression = false
+	cfg.NumBasicParticles = 200
+	epochs = epochs[:40]
+
+	ref := newEngineForTest(t, cfg, 0, 0)
+	var refEvents []stream.Event
+	for _, ep := range epochs {
+		evs, err := ref.ProcessEpoch(ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refEvents = append(refEvents, evs...)
+	}
+	refEvents = append(refEvents, ref.Finish()...)
+
+	split := len(epochs) / 2
+	a := newEngineForTest(t, cfg, 0, 0)
+	var got []stream.Event
+	for _, ep := range epochs[:split] {
+		evs, err := a.ProcessEpoch(ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, evs...)
+	}
+	enc := checkpoint.NewEncoder()
+	a.SaveState(enc)
+	b := newEngineForTest(t, cfg, 0, 0)
+	if err := b.RestoreState(checkpoint.NewDecoder(enc.Bytes())); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	for _, ep := range epochs[split:] {
+		evs, err := b.ProcessEpoch(ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, evs...)
+	}
+	got = append(got, b.Finish()...)
+	if !eventsEqual(got, refEvents) {
+		t.Fatalf("basic filter diverged after restore (%d vs %d events)", len(got), len(refEvents))
+	}
+}
+
+// TestRestoreRejectsCorruptPayload pins the decode-robustness contract at the
+// engine level: truncated and bit-flipped payloads error, never panic.
+func TestRestoreRejectsCorruptPayload(t *testing.T) {
+	cfg, epochs := durableTestConfig(t, 5)
+	a := newEngineForTest(t, cfg, 0, 0)
+	for _, ep := range epochs[:30] {
+		if _, err := a.ProcessEpoch(ep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	enc := checkpoint.NewEncoder()
+	a.SaveState(enc)
+	payload := enc.Bytes()
+
+	for _, cut := range []int{0, 1, len(payload) / 4, len(payload) / 2, len(payload) - 1} {
+		b := newEngineForTest(t, cfg, 0, 0)
+		if err := b.RestoreState(checkpoint.NewDecoder(payload[:cut])); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+	// Mismatched shape: a config without an index must reject an
+	// index-carrying payload.
+	cfgNoIndex := cfg
+	cfgNoIndex.SpatialIndex = false
+	b := newEngineForTest(t, cfgNoIndex, 0, 0)
+	if err := b.RestoreState(checkpoint.NewDecoder(payload)); err == nil {
+		t.Fatal("index-shape mismatch accepted")
+	}
+}
+
+// TestConfigFingerprint pins that behaviour-shaping fields change the
+// fingerprint while parallelism fields do not.
+func TestConfigFingerprint(t *testing.T) {
+	cfg, _ := durableTestConfig(t, 3)
+	base := cfg.Fingerprint()
+
+	same := cfg
+	same.Workers = 8
+	same.ShardCount = 32
+	if same.Fingerprint() != base {
+		t.Fatal("Workers/ShardCount must not change the fingerprint (checkpoints are parallelism-portable)")
+	}
+
+	for name, mutate := range map[string]func(*Config){
+		"seed":      func(c *Config) { c.Seed++ },
+		"particles": func(c *Config) { c.NumObjectParticles++ },
+		"policy":    func(c *Config) { c.ReportDelay++ },
+		"filter":    func(c *Config) { c.Factored = false; c.SpatialIndex = false; c.Compression = false },
+	} {
+		mut := cfg
+		mutate(&mut)
+		if mut.Fingerprint() == base {
+			t.Fatalf("%s change did not alter the fingerprint", name)
+		}
+	}
+}

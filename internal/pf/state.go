@@ -1,0 +1,112 @@
+package pf
+
+import (
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/geom"
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+// The basic filter's checkpoint codec: the joint particle columns, the
+// object registry and the random stream position. Scratch buffers are
+// excluded (they carry no cross-epoch information).
+
+const filterSection = "pf.Filter"
+
+// SaveState appends the filter's full state to the encoder. Callers must not
+// run it concurrently with Step.
+func (f *Filter) SaveState(e *checkpoint.Encoder) {
+	e.Section(filterSection)
+	e.Bool(f.started)
+	e.Int(f.epoch)
+	e.Vec3(f.prevReported)
+	e.Bool(f.hasReported)
+	e.Vec3(f.lastDrift)
+	e.Bool(f.hasDrift)
+	e.Uvarint(f.src.Pos())
+
+	e.Uvarint(uint64(len(f.objectIDs)))
+	for _, id := range f.objectIDs {
+		e.String(string(id))
+	}
+	e.Uvarint(uint64(len(f.readers)))
+	for j := range f.readers {
+		e.Pose(f.readers[j])
+	}
+	e.Uvarint(uint64(len(f.objLocs)))
+	for i := range f.objLocs {
+		e.Vec3(f.objLocs[i])
+	}
+	e.Float64s(f.logW)
+	e.Float64s(f.normW)
+}
+
+// RestoreState rebuilds the filter from a SaveState payload into a filter
+// freshly constructed with the same Config. Corrupt input errors, never
+// panics.
+func (f *Filter) RestoreState(d *checkpoint.Decoder) error {
+	d.Section(filterSection)
+	started := d.Bool()
+	epoch := d.Int()
+	prevReported := d.Vec3()
+	hasReported := d.Bool()
+	lastDrift := d.Vec3()
+	hasDrift := d.Bool()
+	srcPos := d.Uvarint()
+
+	nIDs := d.SliceLen(1)
+	ids := make([]stream.TagID, 0, nIDs)
+	for i := 0; i < nIDs && d.Err() == nil; i++ {
+		ids = append(ids, stream.TagID(d.String()))
+	}
+	nr := d.SliceLen(8 * 4)
+	readers := make([]geom.Pose, 0, nr)
+	for j := 0; j < nr && d.Err() == nil; j++ {
+		readers = append(readers, d.Pose())
+	}
+	nl := d.SliceLen(8 * 3)
+	locs := make([]geom.Vec3, 0, nl)
+	for i := 0; i < nl && d.Err() == nil; i++ {
+		locs = append(locs, d.Vec3())
+	}
+	logW := d.Float64s()
+	normW := d.Float64s()
+	if err := d.Err(); err != nil {
+		return err
+	}
+
+	stride := len(ids)
+	if started {
+		if len(logW) != len(readers) || len(normW) != len(readers) {
+			return fmt.Errorf("pf: weight columns (%d, %d) do not match %d particles", len(logW), len(normW), len(readers))
+		}
+		if len(locs) != len(readers)*stride {
+			return fmt.Errorf("pf: %d object locations do not match %d particles x %d objects", len(locs), len(readers), stride)
+		}
+	}
+	index := make(map[stream.TagID]int, len(ids))
+	for i, id := range ids {
+		if _, dup := index[id]; dup {
+			return fmt.Errorf("pf: duplicate object id %q", id)
+		}
+		index[id] = i
+	}
+
+	f.started = started
+	f.epoch = epoch
+	f.prevReported = prevReported
+	f.hasReported = hasReported
+	f.lastDrift = lastDrift
+	f.hasDrift = hasDrift
+	f.src = rng.NewAt(f.cfg.Seed, srcPos)
+	f.objectIDs = ids
+	f.objIndex = index
+	f.readers = readers
+	f.objLocs = locs
+	f.stride = stride
+	f.logW = logW
+	f.normW = normW
+	return nil
+}

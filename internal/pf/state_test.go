@@ -1,0 +1,77 @@
+package pf
+
+import (
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/geom"
+	"repro/internal/model"
+	"repro/internal/stream"
+)
+
+func stateTestFilter(seed int64) *Filter {
+	world := model.NewWorld()
+	world.AddShelf(model.Shelf{ID: "s", Region: geom.NewBBox(geom.Vec3{}, geom.Vec3{X: 2, Y: 10, Z: 2})})
+	return New(Config{
+		NumParticles: 80,
+		Params:       model.DefaultParams(),
+		World:        world,
+		Seed:         seed,
+	})
+}
+
+func stepEpochs(f *Filter, from, to int) {
+	for t := from; t < to; t++ {
+		ep := stream.NewEpoch(t)
+		ep.HasPose = true
+		ep.ReportedPose = geom.Pose{Pos: geom.Vec3{X: 1.5, Y: 0.2 * float64(t), Z: 1}}
+		ep.Observed["obj-a"] = true
+		if t%2 == 0 {
+			ep.Observed["obj-b"] = true
+		}
+		f.Step(ep)
+	}
+}
+
+// TestBasicFilterStateRoundTrip pins the basic filter's recovery property: a
+// restored filter continues bit-identically.
+func TestBasicFilterStateRoundTrip(t *testing.T) {
+	ref := stateTestFilter(9)
+	stepEpochs(ref, 0, 24)
+
+	a := stateTestFilter(9)
+	stepEpochs(a, 0, 11)
+	enc := checkpoint.NewEncoder()
+	a.SaveState(enc)
+	b := stateTestFilter(9)
+	if err := b.RestoreState(checkpoint.NewDecoder(enc.Bytes())); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	stepEpochs(b, 11, 24)
+
+	for _, id := range ref.TrackedObjects() {
+		wantLoc, wantVar, wantOK := ref.Estimate(id)
+		gotLoc, gotVar, gotOK := b.Estimate(id)
+		if wantOK != gotOK || wantLoc != gotLoc || wantVar != gotVar {
+			t.Fatalf("estimate for %s diverged after restore", id)
+		}
+	}
+	if want, got := ref.ReaderEstimate(), b.ReaderEstimate(); want != got {
+		t.Fatalf("reader estimate diverged: %v vs %v", got, want)
+	}
+}
+
+// TestBasicFilterRestoreRejectsCorrupt pins error-not-panic on malformed and
+// structurally inconsistent payloads.
+func TestBasicFilterRestoreRejectsCorrupt(t *testing.T) {
+	a := stateTestFilter(2)
+	stepEpochs(a, 0, 6)
+	enc := checkpoint.NewEncoder()
+	a.SaveState(enc)
+	payload := enc.Bytes()
+	for _, cut := range []int{0, 1, len(payload) / 2, len(payload) - 1} {
+		if err := stateTestFilter(2).RestoreState(checkpoint.NewDecoder(payload[:cut])); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+}

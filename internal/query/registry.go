@@ -21,11 +21,32 @@ const (
 	KindWindowedAggregate Kind = "windowed-aggregate"
 )
 
+// Mode selects how a registered query is evaluated.
+const (
+	// ModeContinuous (the default, also spelled "") evaluates the query
+	// incrementally over the live clean event stream.
+	ModeContinuous = "continuous"
+	// ModeHistory evaluates the query once, at registration time, over the
+	// bounded per-epoch history of sealed MAP location estimates the engine
+	// retains (the time-travel read path). The query is finished immediately;
+	// its rows are polled like any other query's but it is never fed again.
+	ModeHistory = "history"
+)
+
 // Spec is the declarative, JSON-serializable description of a continuous
 // query; the serving layer's POST /queries body is exactly this shape. Only
 // the fields of the selected Kind are consulted.
 type Spec struct {
 	Kind Kind `json:"kind"`
+
+	// Mode selects live-stream ("continuous", the default) or time-travel
+	// ("history") evaluation.
+	Mode string `json:"mode,omitempty"`
+	// FromEpoch and ToEpoch bound a history-mode query's epoch range,
+	// clamped to the retained history; ToEpoch == 0 means "through the newest
+	// sealed epoch".
+	FromEpoch int `json:"from_epoch,omitempty"`
+	ToEpoch   int `json:"to_epoch,omitempty"`
 
 	// MinChange (location-updates): suppress updates that moved at most this
 	// many feet.
@@ -48,6 +69,14 @@ type Spec struct {
 
 // Validate reports whether the spec describes an instantiable query.
 func (s Spec) Validate() error {
+	switch s.Mode {
+	case "", ModeContinuous, ModeHistory:
+	default:
+		return fmt.Errorf("query: unknown mode %q (want %s or %s)", s.Mode, ModeContinuous, ModeHistory)
+	}
+	if s.Mode == ModeHistory && s.ToEpoch != 0 && s.ToEpoch < s.FromEpoch {
+		return fmt.Errorf("query: history range [%d, %d] is empty", s.FromEpoch, s.ToEpoch)
+	}
 	switch s.Kind {
 	case KindLocationUpdates, KindFireCode:
 		return nil
@@ -58,6 +87,9 @@ func (s Spec) Validate() error {
 			s.Kind, KindLocationUpdates, KindFireCode, KindWindowedAggregate)
 	}
 }
+
+// IsHistory reports whether the spec selects time-travel evaluation.
+func (s Spec) IsHistory() bool { return s.Mode == ModeHistory }
 
 // Continuous is the streaming interface the registry drives: one event in,
 // zero or more result rows out, plus a flush for the final partial epoch.
@@ -167,6 +199,9 @@ type Info struct {
 	// Dropped is the number of old results evicted because the buffer was
 	// full before the client polled them.
 	Dropped int `json:"dropped"`
+	// Finished reports that the query will produce no further rows (history
+	// queries finish at registration; continuous queries never do).
+	Finished bool `json:"finished,omitempty"`
 }
 
 // registered is one live query plus its result buffer.
@@ -183,6 +218,20 @@ type registered struct {
 // live returns the non-evicted result window.
 func (reg *registered) live() []Result { return reg.results[reg.start:] }
 
+// HistorySource supplies the bounded per-epoch history of sealed MAP
+// location estimates that history-mode queries evaluate over. It is
+// implemented by rfid.Runner; the serving layer wires it in with
+// SetHistorySource.
+type HistorySource interface {
+	// HistoryBounds returns the oldest and newest retained epochs; ok is
+	// false while no epoch has been recorded (or history is disabled).
+	HistoryBounds() (oldest, newest int, ok bool)
+	// HistoryEvents returns the per-object location events recorded at the
+	// given sealed epoch, in tag order; ok is false outside the retained
+	// window.
+	HistoryEvents(epoch int) ([]stream.Event, bool)
+}
+
 // Registry owns the set of registered continuous queries and drives them
 // incrementally: the serving layer feeds each epoch's clean events once, and
 // every registered query sees them in order. Registration, feeding and
@@ -194,6 +243,15 @@ type Registry struct {
 	// maxBuffered caps each query's result buffer; oldest rows are evicted
 	// first.
 	maxBuffered int
+	// history serves ModeHistory registrations; nil rejects them.
+	history HistorySource
+}
+
+// SetHistorySource installs the provider history-mode queries evaluate over.
+func (r *Registry) SetHistorySource(src HistorySource) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.history = src
 }
 
 // DefaultMaxBufferedResults is the per-query result-buffer cap used when
@@ -210,8 +268,11 @@ func NewRegistry(maxBuffered int) *Registry {
 	return &Registry{queries: make(map[string]*registered), maxBuffered: maxBuffered}
 }
 
-// Register instantiates the query a spec describes, assigns it an id and
-// starts feeding it from the next Feed call on.
+// Register instantiates the query a spec describes and assigns it an id. A
+// continuous-mode query is fed from the next Feed call on; a history-mode
+// query is evaluated right here over the retained epoch history — the same
+// query operator, run over the stored past instead of the live stream — and
+// registered already finished, with its rows buffered for polling.
 func (r *Registry) Register(spec Spec) (Info, error) {
 	q, err := NewContinuous(spec)
 	if err != nil {
@@ -222,8 +283,54 @@ func (r *Registry) Register(spec Spec) (Info, error) {
 	r.nextID++
 	id := fmt.Sprintf("q%d", r.nextID)
 	reg := &registered{info: Info{ID: id, Spec: spec}, q: q}
+	if spec.IsHistory() {
+		rows, err := r.evaluateHistory(q, spec)
+		if err != nil {
+			r.nextID-- // the id was never exposed
+			return Info{}, err
+		}
+		reg.info.Finished = true
+		r.queries[id] = reg
+		r.buffer(reg, rows)
+		return reg.info, nil
+	}
 	r.queries[id] = reg
 	return reg.info, nil
+}
+
+// evaluateHistory runs a query operator over the retained epoch history,
+// clamped to the spec's [FromEpoch, ToEpoch] range. Caller holds r.mu.
+func (r *Registry) evaluateHistory(q Continuous, spec Spec) ([]any, error) {
+	if r.history == nil {
+		return nil, fmt.Errorf("query: history-mode queries are not available (no history source)")
+	}
+	oldest, newest, ok := r.history.HistoryBounds()
+	if !ok {
+		return nil, fmt.Errorf("query: no epoch history retained yet")
+	}
+	from, to := spec.FromEpoch, spec.ToEpoch
+	if to == 0 || to > newest {
+		to = newest
+	}
+	if from < oldest {
+		from = oldest
+	}
+	if from > to {
+		return nil, fmt.Errorf("query: history range [%d, %d] is outside the retained epochs [%d, %d]",
+			spec.FromEpoch, spec.ToEpoch, oldest, newest)
+	}
+	var rows []any
+	for ep := from; ep <= to; ep++ {
+		events, ok := r.history.HistoryEvents(ep)
+		if !ok {
+			continue // epoch evicted between bounds check and read
+		}
+		for _, ev := range events {
+			rows = append(rows, q.PushEvent(ev)...)
+		}
+	}
+	rows = append(rows, q.FlushFinal()...)
+	return rows, nil
 }
 
 // Unregister removes a query; false when the id is unknown.
@@ -256,6 +363,9 @@ func (r *Registry) Feed(events []stream.Event) int {
 	n := 0
 	for _, ev := range events {
 		for _, reg := range r.queries {
+			if reg.info.Finished {
+				continue
+			}
 			n += r.buffer(reg, reg.q.PushEvent(ev))
 		}
 	}
@@ -270,6 +380,9 @@ func (r *Registry) FlushAll() int {
 	defer r.mu.Unlock()
 	n := 0
 	for _, reg := range r.queries {
+		if reg.info.Finished {
+			continue
+		}
 		n += r.buffer(reg, reg.q.FlushFinal())
 	}
 	return n

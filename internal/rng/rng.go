@@ -13,17 +13,60 @@ import (
 	"repro/internal/geom"
 )
 
+// countingSource wraps a rand.Source64 and counts the low-level draws it
+// serves. Every Source method ultimately pulls values through this single
+// choke point, so the pair (seed, draw count) fully determines a stream's
+// position: the durability layer checkpoints exactly those two numbers and
+// NewAt replays the count to restore the stream bit-exactly.
+type countingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+// Int63 implements rand.Source.
+func (c *countingSource) Int63() int64 { c.n++; return c.src.Int63() }
+
+// Uint64 implements rand.Source64.
+func (c *countingSource) Uint64() uint64 { c.n++; return c.src.Uint64() }
+
+// Seed implements rand.Source.
+func (c *countingSource) Seed(seed int64) { c.src.Seed(seed); c.n = 0 }
+
 // Source is a seeded pseudo-random source with the sampling helpers the
 // inference engine needs. It is not safe for concurrent use; create one per
 // goroutine.
 type Source struct {
-	r *rand.Rand
+	r    *rand.Rand
+	cs   *countingSource
+	seed int64
 }
 
 // New returns a Source seeded with seed.
 func New(seed int64) *Source {
-	return &Source{r: rand.New(rand.NewSource(seed))}
+	cs := &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+	return &Source{r: rand.New(cs), cs: cs, seed: seed}
 }
+
+// NewAt returns a Source seeded with seed and fast-forwarded to the given
+// stream position (the Pos() of the source being restored). The replay is
+// O(pos) but each skipped draw costs only a generator step, so restoring even
+// multi-million-draw streams takes milliseconds; recovery pays this once.
+func NewAt(seed int64, pos uint64) *Source {
+	s := New(seed)
+	for i := uint64(0); i < pos; i++ {
+		s.cs.src.Uint64()
+	}
+	s.cs.n = pos
+	return s
+}
+
+// Seed returns the seed the source was created with.
+func (s *Source) Seed() int64 { return s.seed }
+
+// Pos returns the number of low-level draws consumed so far. Together with
+// Seed it pins the stream's exact position: NewAt(Seed(), Pos()) produces a
+// source whose future draws are identical to this one's.
+func (s *Source) Pos() uint64 { return s.cs.n }
 
 // Fork returns a new independent Source derived from the current stream.
 // Forked sources let sub-components (e.g. per-object particle sets) evolve

@@ -1,0 +1,348 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/query"
+	"repro/internal/wal"
+)
+
+// The durability layer of the server: a write-ahead log of every ingested
+// batch and explicit seal, periodic checkpoints of the full engine + query
+// state, and crash recovery that restores the newest valid checkpoint and
+// replays the WAL tail through the same deterministic epoch path — so a
+// recovered server's snapshots, events and query results are byte-identical
+// to an uninterrupted run's.
+//
+// Everything here runs on the single engine goroutine (recovery is its first
+// act, appends and checkpoints happen between ops), so the WAL and
+// checkpoint files have exactly one writer and no locking.
+
+// serverState is the lifecycle reported by /healthz.
+type serverState int32
+
+const (
+	// stateRecovering: the engine goroutine is restoring a checkpoint and
+	// replaying the WAL; ingest and flush requests queue behind recovery.
+	stateRecovering serverState = iota
+	// stateServing: normal operation.
+	stateServing
+	// stateFailed: recovery failed; the server answers health checks and
+	// rejects everything else.
+	stateFailed
+	// stateClosed: graceful shutdown completed.
+	stateClosed
+)
+
+// String implements fmt.Stringer.
+func (s serverState) String() string {
+	switch s {
+	case stateRecovering:
+		return "recovering"
+	case stateServing:
+		return "serving"
+	case stateFailed:
+		return "failed"
+	case stateClosed:
+		return "closed"
+	default:
+		return fmt.Sprintf("state(%d)", int32(s))
+	}
+}
+
+// durable reports whether the server was configured with a data directory.
+func (s *Server) durable() bool { return s.cfg.DataDir != "" }
+
+// startup runs on the engine goroutine before the op loop: recover durable
+// state if configured, then open the WAL for appends and flip to serving.
+// The returned error has already been recorded for WaitReady.
+func (s *Server) startup() error {
+	defer close(s.ready)
+	if !s.durable() {
+		s.state.Store(int32(stateServing))
+		return nil
+	}
+	if err := s.recoverLocked(); err != nil {
+		s.readyErr = fmt.Errorf("serve: recovery failed: %w", err)
+		s.state.Store(int32(stateFailed))
+		return s.readyErr
+	}
+	lg, err := wal.Open(s.cfg.DataDir, wal.Options{
+		SegmentBytes: s.cfg.WALSegmentBytes,
+		Sync:         s.cfg.Fsync,
+		SyncEvery:    s.cfg.FsyncInterval,
+	})
+	if err != nil {
+		s.readyErr = fmt.Errorf("serve: open wal: %w", err)
+		s.state.Store(int32(stateFailed))
+		return s.readyErr
+	}
+	s.wal = lg
+	s.state.Store(int32(stateServing))
+	return nil
+}
+
+// recoverLocked restores the newest valid checkpoint (if any) and replays the
+// WAL tail. Runs on the engine goroutine during startup.
+func (s *Server) recoverLocked() error {
+	if err := os.MkdirAll(s.cfg.DataDir, 0o755); err != nil {
+		return fmt.Errorf("create data dir: %w", err)
+	}
+	var fromSeg uint64
+	path, snap, ok, err := checkpoint.Latest(s.cfg.DataDir)
+	if err != nil {
+		return fmt.Errorf("scan checkpoints: %w", err)
+	}
+	if ok {
+		if snap.Fingerprint != s.runner.Fingerprint() {
+			return fmt.Errorf("checkpoint %s was produced under a different engine configuration (fingerprint %#x, running %#x)",
+				path, snap.Fingerprint, s.runner.Fingerprint())
+		}
+		dec := checkpoint.NewDecoder(snap.Payload)
+		if err := s.runner.RestoreState(dec); err != nil {
+			return fmt.Errorf("restore runner from %s: %w", path, err)
+		}
+		if err := s.reg.RestoreState(dec); err != nil {
+			return fmt.Errorf("restore query registry from %s: %w", path, err)
+		}
+		fromSeg = snap.WALSegment
+		s.lastCkptEpoch.Store(int64(snap.Epoch))
+		s.lastCkptNanos.Store(time.Now().UnixNano())
+		s.recoveredEpoch.Store(int64(snap.Epoch))
+	}
+
+	// The checkpoint GC deletes every WAL segment older than the newest
+	// checkpoint's replay start. If that checkpoint file is later corrupted,
+	// Latest falls back to an older one whose segments may be gone — replay
+	// would then silently skip the gap and recover wrong state. Fail loudly
+	// instead: a missing-segment gap means the log cannot reproduce the run.
+	if segs, err := wal.Segments(s.cfg.DataDir); err != nil {
+		return fmt.Errorf("scan wal segments: %w", err)
+	} else if len(segs) > 0 {
+		tail := segs
+		if ok {
+			for len(tail) > 0 && tail[0] < fromSeg {
+				tail = tail[1:]
+			}
+			if len(tail) == 0 || tail[0] != fromSeg {
+				return fmt.Errorf("wal segment %d (the checkpoint's replay start) is missing — the segments were garbage-collected by a newer checkpoint that is no longer readable; restore from backup", fromSeg)
+			}
+		}
+		for i := 1; i < len(tail); i++ {
+			if tail[i] != tail[i-1]+1 {
+				return fmt.Errorf("wal segments %d..%d are missing; the log cannot reproduce the run", tail[i-1]+1, tail[i]-1)
+			}
+		}
+	}
+
+	// Replay the tail through the exact paths live ingestion uses: batches
+	// re-ingest and advance the watermark, explicit seals re-seal the same
+	// horizon (and window flush), so the rebuilt state is byte-identical to
+	// the pre-crash run. Epoch-processing errors are handled exactly as the
+	// live path handles them — counted and logged, the failing epoch skipped
+	// — so a log that was serveable live never becomes unrecoverable.
+	st, err := wal.Replay(s.cfg.DataDir, fromSeg, func(rec wal.Record) error {
+		switch rec.Type {
+		case wal.RecBatch:
+			s.runner.Ingest(rec.Readings, rec.Locations)
+			events, err := s.runner.Advance()
+			s.reg.Feed(events)
+			if err != nil {
+				s.engineErrs.Inc()
+				s.logf("serve: replay epoch processing: %v", err)
+			}
+			return nil
+		case wal.RecSeal:
+			events, err := s.runner.SealTo(rec.UpTo)
+			s.reg.Feed(events)
+			if rec.FlushWindows {
+				s.reg.FlushAll()
+			}
+			if err != nil {
+				s.engineErrs.Inc()
+				s.logf("serve: replay epoch processing: %v", err)
+			}
+			return nil
+		case wal.RecRegister:
+			spec, err := query.ParseSpec([]byte(rec.SpecJSON))
+			if err != nil {
+				return fmt.Errorf("replay registration: %w", err)
+			}
+			// A registration that failed live (e.g. a history range that had
+			// already been evicted) fails identically here; either way the
+			// registry ends in the same state, so the error is not fatal.
+			if _, err := s.reg.Register(spec); err != nil {
+				s.logf("serve: replay registration: %v", err)
+			}
+			return nil
+		case wal.RecUnregister:
+			s.reg.Unregister(rec.QueryID)
+			return nil
+		}
+		return nil // RecCheckpoint and future types: informational
+	})
+	s.replayedRecords.Add(st.Records)
+	if err != nil {
+		return fmt.Errorf("replay wal: %w", err)
+	}
+	s.lastEpochsN = int64(s.runner.Stats().Epochs)
+	s.epochs.Add(int(s.lastEpochsN))
+	return nil
+}
+
+// logBatch appends an ingest batch to the WAL before the engine applies it
+// (the write-ahead ordering). Engine goroutine only.
+func (s *Server) logBatch(o op) error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.Append(wal.Record{Type: wal.RecBatch, Readings: o.readings, Locations: o.locations})
+}
+
+// logSeal appends an explicit-seal record with the horizon a flush is about
+// to process (and whether it also flushes the queries' held-back windows).
+// Watermark-driven sealing is deterministic from the batches alone and needs
+// no record; client-initiated flushes are external events and must be logged
+// to replay identically.
+func (s *Server) logSeal(upTo int, flushWindows bool) error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.Append(wal.Record{Type: wal.RecSeal, UpTo: upTo, FlushWindows: flushWindows})
+}
+
+// handleRegisterOp applies a query registration on the engine goroutine:
+// write-ahead first (so the registration survives a crash with its id and
+// sequence numbers), then register. History-mode registrations are also
+// logged — replay re-evaluates them against the identically rebuilt history
+// ring, reproducing the same rows.
+func (s *Server) handleRegisterOp(o op) opResult {
+	if s.wal != nil {
+		if err := s.wal.Append(wal.Record{Type: wal.RecRegister, SpecJSON: o.registerJSON}); err != nil {
+			s.engineErrs.Inc()
+			s.logf("serve: wal register: %v", err)
+			return opResult{err: err}
+		}
+	}
+	info, err := s.reg.Register(*o.register)
+	s.syncWALMetrics()
+	return opResult{info: info, err: err}
+}
+
+// handleUnregisterOp applies a query removal on the engine goroutine,
+// write-ahead first.
+func (s *Server) handleUnregisterOp(o op) opResult {
+	if s.wal != nil {
+		if err := s.wal.Append(wal.Record{Type: wal.RecUnregister, QueryID: o.unregister}); err != nil {
+			s.engineErrs.Inc()
+			s.logf("serve: wal unregister: %v", err)
+			return opResult{err: err}
+		}
+	}
+	found := s.reg.Unregister(o.unregister)
+	s.syncWALMetrics()
+	return opResult{found: found}
+}
+
+// maybeCheckpoint writes a checkpoint when enough epochs have been processed
+// since the last one. Engine goroutine only.
+func (s *Server) maybeCheckpoint() {
+	if s.wal == nil {
+		return
+	}
+	epochs := int64(s.runner.Stats().Epochs)
+	if epochs-s.epochsAtCkpt < int64(s.cfg.CheckpointEvery) {
+		return
+	}
+	if err := s.writeCheckpoint(); err != nil {
+		s.engineErrs.Inc()
+		s.logf("serve: checkpoint: %v", err)
+	}
+}
+
+// writeCheckpoint rotates the WAL, snapshots the runner + registry and
+// persists the checkpoint atomically; on success older checkpoints and fully
+// covered WAL segments are garbage-collected. Engine goroutine only.
+func (s *Server) writeCheckpoint() error {
+	seg, err := s.wal.Rotate()
+	if err != nil {
+		return err
+	}
+	enc := checkpoint.NewEncoder()
+	s.runner.SaveState(enc)
+	s.reg.SaveState(enc)
+	epoch := s.runner.Stats().NextEpoch - 1
+	if epoch < 0 {
+		epoch = 0
+	}
+	snap := checkpoint.Snapshot{
+		Version:     checkpoint.Version,
+		Fingerprint: s.runner.Fingerprint(),
+		Epoch:       epoch,
+		WALSegment:  seg,
+		Payload:     enc.Bytes(),
+	}
+	if _, err := checkpoint.Write(s.cfg.DataDir, snap); err != nil {
+		return err
+	}
+	s.epochsAtCkpt = int64(s.runner.Stats().Epochs)
+	s.lastCkptEpoch.Store(int64(epoch))
+	s.lastCkptNanos.Store(time.Now().UnixNano())
+	s.checkpoints.Inc()
+	// Best-effort bookkeeping: a marker in the new segment and GC of what the
+	// checkpoint supersedes.
+	_ = s.wal.Append(wal.Record{Type: wal.RecCheckpoint, Epoch: epoch})
+	if err := checkpoint.Prune(s.cfg.DataDir, s.cfg.KeepCheckpoints); err != nil {
+		s.logf("serve: prune checkpoints: %v", err)
+	}
+	if err := s.wal.RemoveSegmentsBefore(seg); err != nil {
+		s.logf("serve: prune wal segments: %v", err)
+	}
+	return nil
+}
+
+// shutdownDurable seals the current epoch, writes a final checkpoint and
+// closes the WAL — the graceful-shutdown sequence SIGTERM triggers. Engine
+// goroutine only.
+func (s *Server) shutdownDurable() {
+	if st := s.runner.Stats(); st.BufferedEpochs > 0 {
+		if err := s.logSeal(st.Watermark, false); err != nil {
+			s.logf("serve: shutdown seal log: %v", err)
+		}
+		events, err := s.runner.SealTo(st.Watermark)
+		if err != nil {
+			s.logf("serve: shutdown seal: %v", err)
+		}
+		rows := s.reg.Feed(events)
+		s.events.Add(len(events))
+		s.results.Add(rows)
+	}
+	if s.wal != nil {
+		if err := s.writeCheckpoint(); err != nil {
+			s.logf("serve: final checkpoint: %v", err)
+		}
+		if err := s.wal.Close(); err != nil {
+			s.logf("serve: close wal: %v", err)
+		}
+		s.wal = nil
+	}
+	s.state.Store(int32(stateClosed))
+}
+
+// syncWALMetrics mirrors the WAL's counters into the metric set (counters
+// take deltas so they stay monotone). Engine goroutine only.
+func (s *Server) syncWALMetrics() {
+	if s.wal == nil {
+		return
+	}
+	st := s.wal.Stats()
+	s.walRecords.Add(int(st.AppendedRecords - s.lastWal.AppendedRecords))
+	s.walBytes.Add(int(st.AppendedBytes - s.lastWal.AppendedBytes))
+	s.walFsyncs.Add(int(st.Fsyncs - s.lastWal.Fsyncs))
+	s.walFsyncMax.Set(st.MaxFsyncLatency.Seconds())
+	s.walSegment.Set(float64(st.Segment))
+	s.lastWal = st
+}

@@ -1,0 +1,456 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/wal"
+	"repro/rfid"
+)
+
+// recoveryTrace generates the shared small warehouse trace and groups its raw
+// streams into per-epoch batches.
+func recoveryTrace(t *testing.T) (*rfid.Trace, map[int][]rfid.Reading, map[int][]rfid.LocationReport, int) {
+	t.Helper()
+	simCfg := rfid.DefaultWarehouseConfig()
+	simCfg.NumObjects = 6
+	simCfg.NumShelfTags = 4
+	simCfg.Seed = 21
+	trace, err := rfid.SimulateWarehouse(simCfg)
+	if err != nil {
+		t.Fatalf("SimulateWarehouse: %v", err)
+	}
+	readings, locations := rfid.RawStreams(trace)
+	rByT := make(map[int][]rfid.Reading)
+	lByT := make(map[int][]rfid.LocationReport)
+	maxT := 0
+	for _, r := range readings {
+		rByT[r.Time] = append(rByT[r.Time], r)
+		if r.Time > maxT {
+			maxT = r.Time
+		}
+	}
+	for _, l := range locations {
+		lByT[l.Time] = append(lByT[l.Time], l)
+		if l.Time > maxT {
+			maxT = l.Time
+		}
+	}
+	return trace, rByT, lByT, maxT
+}
+
+// recoveryConfig is the engine config the recovery tests share.
+func recoveryConfig(trace *rfid.Trace, workers, shards int) rfid.Config {
+	cfg := rfid.DefaultConfig(rfid.DefaultParams(), trace.World)
+	cfg.NumObjectParticles = 120
+	cfg.NumReaderParticles = 30
+	cfg.Seed = 21
+	cfg.ReportPolicy = rfid.ReportEveryEpoch
+	cfg.Workers = workers
+	cfg.ShardCount = shards
+	return cfg
+}
+
+// startRecoveryServer builds a runner + server (durable when dataDir is
+// non-empty) and waits for it to be ready.
+func startRecoveryServer(t *testing.T, trace *rfid.Trace, workers, shards int, dataDir string) (*Server, *httptest.Server) {
+	t.Helper()
+	runner, err := rfid.NewRunner(recoveryConfig(trace, workers, shards),
+		rfid.RunnerConfig{Sharded: true, HistoryEpochs: 256})
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	srv, err := New(Config{
+		Runner:          runner,
+		IngestWait:      10 * time.Second,
+		DataDir:         dataDir,
+		CheckpointEvery: 7,
+		Fsync:           wal.SyncAlways,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.WaitReady(ctx); err != nil {
+		t.Fatalf("WaitReady: %v", err)
+	}
+	return srv, httptest.NewServer(srv.Handler())
+}
+
+// ingestEpochs posts epochs [from, to) one batch per epoch.
+func ingestEpochs(t *testing.T, url string, rByT map[int][]rfid.Reading, lByT map[int][]rfid.LocationReport, from, to int) {
+	t.Helper()
+	for tt := from; tt < to; tt++ {
+		req := ingestRequest{}
+		for _, r := range rByT[tt] {
+			req.Readings = append(req.Readings, readingDTO{Time: r.Time, Tag: string(r.Tag)})
+		}
+		for _, l := range lByT[tt] {
+			req.Locations = append(req.Locations, locationDTO{Time: l.Time, X: l.Pos.X, Y: l.Pos.Y, Z: l.Pos.Z, Phi: l.Phi, HasPhi: l.HasPhi})
+		}
+		if code := postJSON(t, url+"/ingest", req, nil); code != http.StatusAccepted {
+			t.Fatalf("ingest epoch %d: status %d", tt, code)
+		}
+	}
+}
+
+// registerRecoveryQueries registers the query set whose results the
+// equivalence check compares.
+func registerRecoveryQueries(t *testing.T, url string) {
+	t.Helper()
+	for _, spec := range []string{
+		`{"kind":"location-updates","min_change":0.05}`,
+		`{"kind":"windowed-aggregate","window_epochs":3,"op":"sum-weight","group_by":"area"}`,
+	} {
+		resp, err := http.Post(url+"/queries", "application/json", strings.NewReader(spec))
+		if err != nil {
+			t.Fatalf("register query: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("register query: status %d", resp.StatusCode)
+		}
+	}
+}
+
+// observedOutputs collects the comparison surface: every tracked tag's
+// snapshot body, the full result stream of every registered query, and the
+// history snapshot of a few epochs — all as raw JSON bytes so the comparison
+// is byte-exact.
+func observedOutputs(t *testing.T, url string) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	var all struct {
+		Tracked []string `json:"tracked"`
+	}
+	getJSON(t, url+"/snapshot", &all)
+	for _, tag := range all.Tracked {
+		out["snapshot:"+tag] = getRaw(t, url+"/snapshot/"+tag)
+	}
+	for _, q := range []string{"q1", "q2"} {
+		out["results:"+q] = getRaw(t, fmt.Sprintf("%s/queries/%s/results?after=-1", url, q))
+	}
+	for _, ep := range []int{5, 12, 20} {
+		out[fmt.Sprintf("history:%d", ep)] = getRaw(t, fmt.Sprintf("%s/snapshot?epoch=%d", url, ep))
+	}
+	return out
+}
+
+// getRaw fetches a URL and returns its body verbatim.
+func getRaw(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return string(body)
+}
+
+// TestCrashRecoveryEquivalence is the acceptance property of the durability
+// subsystem: a server killed mid-ingest at a random epoch and recovered from
+// disk (newest checkpoint + WAL tail) finishes the stream with snapshots,
+// query results and time-travel reads byte-identical to a server that never
+// crashed — across the Workers x ShardCount matrix, with the recovered
+// process free to use a different parallelism than the crashed one.
+func TestCrashRecoveryEquivalence(t *testing.T) {
+	trace, rByT, lByT, maxT := recoveryTrace(t)
+
+	// Reference: an uninterrupted non-durable serial run.
+	_, refTS := startRecoveryServer(t, trace, 1, 1, "")
+	defer refTS.Close()
+	registerRecoveryQueries(t, refTS.URL)
+	ingestEpochs(t, refTS.URL, rByT, lByT, 0, maxT+1)
+	if code := postJSON(t, refTS.URL+"/flush", map[string]any{}, nil); code != http.StatusOK {
+		t.Fatalf("reference flush: status %d", code)
+	}
+	want := observedOutputs(t, refTS.URL)
+
+	rng := rand.New(rand.NewSource(77))
+	for _, par := range []struct{ workers, shards int }{{1, 1}, {1, 8}, {4, 1}, {4, 8}} {
+		// One kill before the first checkpoint can exist (pure WAL replay)
+		// and one random later kill (checkpoint + tail replay).
+		kills := []int{1 + rng.Intn(5), 8 + rng.Intn(maxT-8)}
+		for _, kill := range kills {
+			name := fmt.Sprintf("w%d.s%d.kill%d", par.workers, par.shards, kill)
+			dataDir := filepath.Join(t.TempDir(), name)
+
+			srvA, tsA := startRecoveryServer(t, trace, par.workers, par.shards, dataDir)
+			registerRecoveryQueries(t, tsA.URL)
+			ingestEpochs(t, tsA.URL, rByT, lByT, 0, kill)
+			// Crash: no final seal, no final checkpoint.
+			tsA.Close()
+			srvA.CloseNow()
+
+			// Recover with the matrix-transposed parallelism: checkpoints
+			// are portable across Workers/ShardCount.
+			srvB, tsB := startRecoveryServer(t, trace, par.shards, par.workers, dataDir)
+			ingestEpochs(t, tsB.URL, rByT, lByT, kill, maxT+1)
+			if code := postJSON(t, tsB.URL+"/flush", map[string]any{}, nil); code != http.StatusOK {
+				t.Fatalf("%s: flush: status %d", name, code)
+			}
+			got := observedOutputs(t, tsB.URL)
+
+			for key, wantBody := range want {
+				if got[key] != wantBody {
+					t.Fatalf("%s: %s diverged after crash recovery:\n got %s\nwant %s",
+						name, key, got[key], wantBody)
+				}
+			}
+			var hz struct {
+				State     string `json:"state"`
+				Recovered *int   `json:"recovered_from_epoch"`
+			}
+			getJSON(t, tsB.URL+"/healthz", &hz)
+			if hz.State != "serving" {
+				t.Fatalf("%s: healthz state %q after recovery", name, hz.State)
+			}
+			tsB.Close()
+			srvB.Close()
+
+			// The graceful close wrote a final checkpoint; it must be
+			// loadable and cover the last processed epoch.
+			_, snap, ok, err := checkpoint.Latest(dataDir)
+			if err != nil || !ok {
+				t.Fatalf("%s: no checkpoint after graceful close (err %v)", name, err)
+			}
+			if snap.Epoch != maxT {
+				t.Fatalf("%s: final checkpoint covers epoch %d, want %d", name, snap.Epoch, maxT)
+			}
+		}
+	}
+}
+
+// TestRecoveryRejectsForeignCheckpoint pins the fingerprint gate: state
+// produced under different model parameters must not load.
+func TestRecoveryRejectsForeignCheckpoint(t *testing.T) {
+	trace, rByT, lByT, _ := recoveryTrace(t)
+	dataDir := t.TempDir()
+
+	srvA, tsA := startRecoveryServer(t, trace, 1, 1, dataDir)
+	ingestEpochs(t, tsA.URL, rByT, lByT, 0, 10)
+	tsA.Close()
+	srvA.Close() // graceful: writes a checkpoint
+
+	// A runner with a different seed has a different fingerprint.
+	cfg := recoveryConfig(trace, 1, 1)
+	cfg.Seed++
+	runner, err := rfid.NewRunner(cfg, rfid.RunnerConfig{Sharded: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvB, err := New(Config{Runner: runner, DataDir: dataDir, Fsync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvB.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srvB.WaitReady(ctx); err == nil {
+		t.Fatal("foreign checkpoint accepted")
+	}
+	ts := httptest.NewServer(srvB.Handler())
+	defer ts.Close()
+	var hz struct {
+		State string `json:"state"`
+	}
+	if code := getJSON(t, ts.URL+"/healthz", &hz); code != http.StatusServiceUnavailable || hz.State != "failed" {
+		t.Fatalf("failed server healthz: code %d state %q", code, hz.State)
+	}
+	// Ops are rejected, not hung.
+	if code := postJSON(t, ts.URL+"/flush", map[string]any{}, nil); code == http.StatusOK {
+		t.Fatal("flush succeeded on a failed server")
+	}
+}
+
+// TestHistoryEndpointsAndQueries covers the time-travel surface end to end:
+// GET /snapshot?epoch=N and history-mode query registration.
+func TestHistoryEndpointsAndQueries(t *testing.T) {
+	trace, rByT, lByT, maxT := recoveryTrace(t)
+	_, ts := startRecoveryServer(t, trace, 1, 1, "")
+	defer ts.Close()
+	ingestEpochs(t, ts.URL, rByT, lByT, 0, maxT+1)
+	postJSON(t, ts.URL+"/flush", map[string]any{}, nil)
+
+	var snap struct {
+		Epoch   int `json:"epoch"`
+		Objects []struct {
+			Tag string `json:"tag"`
+		} `json:"objects"`
+	}
+	if code := getJSON(t, ts.URL+"/snapshot?epoch=10", &snap); code != http.StatusOK {
+		t.Fatalf("snapshot?epoch=10: status %d", code)
+	}
+	if snap.Epoch != 10 || len(snap.Objects) == 0 {
+		t.Fatalf("time-travel snapshot empty: %+v", snap)
+	}
+	if code := getJSON(t, ts.URL+"/snapshot?epoch=99999", nil); code != http.StatusNotFound {
+		t.Fatalf("out-of-window epoch: status %d, want 404", code)
+	}
+	if code := getJSON(t, ts.URL+"/snapshot?epoch=bogus", nil); code != http.StatusBadRequest {
+		t.Fatalf("bad epoch: status %d, want 400", code)
+	}
+
+	// History-mode query: evaluated immediately, finished at registration.
+	var info struct {
+		ID       string `json:"id"`
+		Finished bool   `json:"finished"`
+	}
+	resp, err := http.Post(ts.URL+"/queries", "application/json",
+		strings.NewReader(`{"kind":"windowed-aggregate","mode":"history","from_epoch":5,"to_epoch":15,"window_epochs":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || !info.Finished {
+		t.Fatalf("history query registration: status %d, info %+v", resp.StatusCode, info)
+	}
+	var results struct {
+		Results []json.RawMessage `json:"results"`
+	}
+	getJSON(t, fmt.Sprintf("%s/queries/%s/results?after=-1", ts.URL, info.ID), &results)
+	if len(results.Results) != 11 { // one aggregate row per epoch 5..15
+		t.Fatalf("history query produced %d rows, want 11", len(results.Results))
+	}
+}
+
+// TestDurableMetricsExposed pins the WAL/checkpoint metric names on the
+// Prometheus endpoint.
+func TestDurableMetricsExposed(t *testing.T) {
+	trace, rByT, lByT, _ := recoveryTrace(t)
+	dataDir := t.TempDir()
+	srv, ts := startRecoveryServer(t, trace, 1, 1, dataDir)
+	defer func() { ts.Close(); srv.Close() }()
+	ingestEpochs(t, ts.URL, rByT, lByT, 0, 10)
+	postJSON(t, ts.URL+"/flush", map[string]any{}, nil)
+
+	body := getRaw(t, ts.URL+"/metrics")
+	for _, name := range []string{
+		"rfidserve_wal_records_total",
+		"rfidserve_wal_appended_bytes_total",
+		"rfidserve_wal_fsyncs_total",
+		"rfidserve_wal_fsync_max_seconds",
+		"rfidserve_checkpoints_total",
+		"rfidserve_checkpoint_last_epoch",
+		"rfidserve_checkpoint_age_seconds",
+		"rfidserve_recovery_replayed_records_total",
+	} {
+		if !strings.Contains(body, name) {
+			t.Fatalf("metric %s missing from /metrics", name)
+		}
+	}
+	var m map[string]float64
+	getJSON(t, ts.URL+"/metrics?format=json", &m)
+	if m["rfidserve_wal_records_total"] < 10 {
+		t.Fatalf("wal records metric = %v, want >= 10", m["rfidserve_wal_records_total"])
+	}
+	if m["rfidserve_checkpoints_total"] < 1 {
+		t.Fatalf("checkpoints metric = %v, want >= 1", m["rfidserve_checkpoints_total"])
+	}
+	// The WAL directory must hold segments; checkpoints appear under the
+	// same data dir.
+	segs, err := wal.Segments(dataDir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no wal segments in %s (err %v)", dataDir, err)
+	}
+	if _, err := os.Stat(dataDir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlushWindowsReplay pins review finding: POST /flush?windows=true
+// mutates query-operator state and result sequences, so it must be
+// WAL-logged and replayed — a crash right after a windows flush recovers to
+// identical query results.
+func TestFlushWindowsReplay(t *testing.T) {
+	trace, rByT, lByT, _ := recoveryTrace(t)
+	sequence := func(url string) {
+		registerRecoveryQueries(t, url)
+		ingestEpochs(t, url, rByT, lByT, 0, 6)
+		if code := postJSON(t, url+"/flush?windows=true", map[string]any{}, nil); code != http.StatusOK {
+			t.Fatalf("windows flush: status %d", code)
+		}
+	}
+
+	// Reference: uninterrupted run of the same sequence.
+	_, refTS := startRecoveryServer(t, trace, 1, 1, "")
+	defer refTS.Close()
+	sequence(refTS.URL)
+	want := getRaw(t, refTS.URL+"/queries/q2/results?after=-1")
+
+	// Durable run: crash immediately after the windows flush, then recover.
+	dataDir := t.TempDir()
+	srvA, tsA := startRecoveryServer(t, trace, 1, 1, dataDir)
+	sequence(tsA.URL)
+	tsA.Close()
+	srvA.CloseNow()
+
+	srvB, tsB := startRecoveryServer(t, trace, 1, 1, dataDir)
+	defer func() { tsB.Close(); srvB.Close() }()
+	got := getRaw(t, tsB.URL+"/queries/q2/results?after=-1")
+	if got != want {
+		t.Fatalf("windows-flush state lost across crash:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestRecoveryDetectsWALGap pins review finding: when the newest checkpoint
+// is corrupted and the fallback checkpoint's WAL segments were already
+// garbage-collected, recovery must fail loudly instead of silently skipping
+// the gap.
+func TestRecoveryDetectsWALGap(t *testing.T) {
+	trace, rByT, lByT, maxT := recoveryTrace(t)
+	dataDir := t.TempDir()
+
+	srvA, tsA := startRecoveryServer(t, trace, 1, 1, dataDir)
+	ingestEpochs(t, tsA.URL, rByT, lByT, 0, maxT+1) // several checkpoints at CheckpointEvery=7
+	tsA.Close()
+	srvA.CloseNow()
+
+	ckpts, err := checkpoint.List(dataDir)
+	if err != nil || len(ckpts) < 2 {
+		t.Fatalf("want >= 2 checkpoints, got %v (err %v)", ckpts, err)
+	}
+	// Corrupt the newest checkpoint: Latest falls back to an older one whose
+	// segments the newest checkpoint's GC already deleted.
+	if err := os.WriteFile(ckpts[len(ckpts)-1], []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	runner, err := rfid.NewRunner(recoveryConfig(trace, 1, 1), rfid.RunnerConfig{Sharded: true, HistoryEpochs: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvB, err := New(Config{Runner: runner, DataDir: dataDir, CheckpointEvery: 7, Fsync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvB.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err = srvB.WaitReady(ctx)
+	if err == nil {
+		t.Fatal("recovery over a GC'd WAL gap succeeded silently")
+	}
+	if !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("gap error does not name the missing segments: %v", err)
+	}
+}

@@ -9,12 +9,15 @@
 //	POST   /flush                force-process buffered epochs (synchronous)
 //	GET    /snapshot             reader pose + all tracked tags
 //	GET    /snapshot/{tag}       current belief/location of one tag
-//	POST   /queries              register a continuous query (query.Spec)
+//	GET    /snapshot?epoch=N     time-travel read from the epoch history ring
+//	POST   /queries              register a continuous query (query.Spec;
+//	                             "mode":"history" evaluates over the ring)
 //	GET    /queries              list registered queries
 //	GET    /queries/{id}/results poll results (?after=SEQ&limit=N)
 //	DELETE /queries/{id}         unregister a query
 //	GET    /metrics              Prometheus text (or ?format=json)
-//	GET    /healthz              liveness
+//	GET    /healthz              liveness + durability state
+//	                             (recovering|serving|failed|closed)
 //
 // Concurrency model: all ingest and flush work funnels through one bounded
 // channel drained by a single engine goroutine, so epochs are processed
@@ -23,9 +26,16 @@
 // then fails with 503 when the engine cannot keep up). Snapshot reads go
 // straight to the Runner, whose mutex serializes them against epoch
 // processing, so they always observe a consistent post-epoch state.
+//
+// Durability: with Config.DataDir set, every ingested batch is appended to a
+// CRC-checked write-ahead log before the engine applies it, the full engine
+// and query-registry state is checkpointed every CheckpointEvery epochs, and
+// startup recovers checkpoint + WAL tail into a byte-identical continuation
+// of the interrupted run (see internal/wal and internal/checkpoint).
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -38,6 +48,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/query"
+	"repro/internal/wal"
 	"repro/rfid"
 )
 
@@ -57,6 +68,27 @@ type Config struct {
 	// MaxBodyBytes caps request bodies (default 8 MiB); the batch-count
 	// queue bound only limits memory if each batch is bounded too.
 	MaxBodyBytes int64
+
+	// DataDir, when non-empty, enables the durability subsystem: every
+	// ingested batch is written to a segmented WAL under DataDir before the
+	// engine applies it, the full engine + query-registry state is
+	// checkpointed periodically, and startup recovers from the newest
+	// checkpoint plus the WAL tail. Recovery is byte-exact: the restored
+	// server's snapshots, events and query results are identical to an
+	// uninterrupted run's.
+	DataDir string
+	// CheckpointEvery is the number of processed epochs between checkpoints
+	// (default 64).
+	CheckpointEvery int
+	// KeepCheckpoints is how many checkpoint files to retain (default 3; the
+	// newest is always kept).
+	KeepCheckpoints int
+	// Fsync selects the WAL fsync policy (default wal.SyncAlways);
+	// FsyncInterval is the wal.SyncInterval period (default 100ms).
+	Fsync         wal.SyncPolicy
+	FsyncInterval time.Duration
+	// WALSegmentBytes is the WAL segment rotation threshold (default 64 MiB).
+	WALSegmentBytes int64
 }
 
 func (c *Config) applyDefaults() {
@@ -69,6 +101,12 @@ func (c *Config) applyDefaults() {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 64
+	}
+	if c.KeepCheckpoints <= 0 {
+		c.KeepCheckpoints = 3
+	}
 }
 
 // op is one unit of work for the engine goroutine: an ingest batch or a
@@ -76,17 +114,33 @@ func (c *Config) applyDefaults() {
 type op struct {
 	readings  []rfid.Reading
 	locations []rfid.LocationReport
+	// ingest marks an ingest batch (flush ops leave it false); with
+	// durability enabled ingest ops are synchronous (done != nil), so a 202
+	// means the batch reached the WAL.
+	ingest bool
 	// flushWindows additionally flushes the registered queries' held-back
 	// final epoch; only meaningful on flush ops.
 	flushWindows bool
-	// done, when non-nil, receives the op's outcome (flush ops are
-	// synchronous).
+	// shutdown asks the engine goroutine to seal the current epoch, write a
+	// final checkpoint and close the WAL (graceful shutdown).
+	shutdown bool
+	// register carries a query registration (its raw JSON wire form rides
+	// along for the WAL); unregister carries a removal. Both are routed
+	// through the engine goroutine so their order relative to epoch
+	// processing is exactly the order the WAL records — what makes query
+	// state recoverable.
+	register     *query.Spec
+	registerJSON string
+	unregister   string
+	// done, when non-nil, receives the op's outcome.
 	done chan opResult
 }
 
 type opResult struct {
 	events  int
 	results int
+	info    query.Info
+	found   bool
 	err     error
 }
 
@@ -107,6 +161,18 @@ type Server struct {
 	set   *metrics.Set
 	start time.Time
 
+	// Durability (nil / zero when Config.DataDir is empty). The WAL and the
+	// checkpoint writer run exclusively on the engine goroutine.
+	wal            *wal.Log
+	state          atomic.Int32 // serverState
+	ready          chan struct{}
+	readyErr       error // written before ready closes, read after
+	lastCkptEpoch  atomic.Int64
+	lastCkptNanos  atomic.Int64
+	recoveredEpoch atomic.Int64
+	epochsAtCkpt   int64     // engine-goroutine-local
+	lastWal        wal.Stats // engine-goroutine-local metric mirror
+
 	// engine-loop counters (written only by the engine goroutine)
 	engineErrs  *metrics.Counter
 	batches     *metrics.Counter
@@ -118,6 +184,17 @@ type Server struct {
 	events      *metrics.Counter
 	results     *metrics.Counter
 
+	// durability counters/gauges
+	walRecords      *metrics.Counter
+	walBytes        *metrics.Counter
+	walFsyncs       *metrics.Counter
+	checkpoints     *metrics.Counter
+	replayedRecords *metrics.Counter
+	walFsyncMax     *metrics.Gauge
+	walSegment      *metrics.Gauge
+	ckptEpoch       *metrics.Gauge
+	ckptAge         *metrics.Gauge
+
 	// scrape-time gauges
 	queueDepth  *metrics.Gauge
 	tracked     *metrics.Gauge
@@ -126,6 +203,10 @@ type Server struct {
 	epochsRate  *metrics.Gauge
 	lastEpochsN int64 // engine-goroutine-local: epochs seen at last delta
 }
+
+// logf routes the server's operational log lines (one indirection point so
+// the whole durability path logs consistently).
+func (s *Server) logf(format string, args ...any) { log.Printf(format, args...) }
 
 // New returns a started Server (its engine goroutine is running).
 func New(cfg Config) (*Server, error) {
@@ -139,9 +220,15 @@ func New(cfg Config) (*Server, error) {
 		reg:    query.NewRegistry(cfg.MaxBufferedResults),
 		ops:    make(chan op, cfg.QueueSize),
 		quit:   make(chan struct{}),
+		ready:  make(chan struct{}),
 		set:    metrics.NewSet(),
 		start:  time.Now(),
 	}
+	// History-mode queries evaluate over the runner's time-travel ring (it
+	// reports "no history" when RunnerConfig.HistoryEpochs is zero).
+	s.reg.SetHistorySource(cfg.Runner)
+	s.lastCkptEpoch.Store(-1)
+	s.recoveredEpoch.Store(-1)
 	s.engineErrs = s.set.Counter("rfidserve_engine_errors_total", "epoch-processing errors (failing epochs are skipped)")
 	s.batches = s.set.Counter("rfidserve_batches_total", "ingest batches accepted")
 	s.rejected = s.set.Counter("rfidserve_batches_rejected_total", "ingest batches rejected by backpressure")
@@ -151,6 +238,15 @@ func New(cfg Config) (*Server, error) {
 	s.epochs = s.set.Counter("rfidserve_epochs_total", "epochs processed by the inference engine")
 	s.events = s.set.Counter("rfidserve_events_total", "clean location events emitted")
 	s.results = s.set.Counter("rfidserve_query_results_total", "continuous-query result rows produced")
+	s.walRecords = s.set.Counter("rfidserve_wal_records_total", "records appended to the write-ahead log")
+	s.walBytes = s.set.Counter("rfidserve_wal_appended_bytes_total", "bytes appended to the write-ahead log (including framing)")
+	s.walFsyncs = s.set.Counter("rfidserve_wal_fsyncs_total", "write-ahead-log fsync calls")
+	s.checkpoints = s.set.Counter("rfidserve_checkpoints_total", "checkpoints durably written")
+	s.replayedRecords = s.set.Counter("rfidserve_recovery_replayed_records_total", "WAL records replayed during recovery")
+	s.walFsyncMax = s.set.Gauge("rfidserve_wal_fsync_max_seconds", "slowest WAL fsync observed")
+	s.walSegment = s.set.Gauge("rfidserve_wal_segment", "sequence number of the WAL segment open for appends")
+	s.ckptEpoch = s.set.Gauge("rfidserve_checkpoint_last_epoch", "last epoch covered by a durable checkpoint (-1 before the first)")
+	s.ckptAge = s.set.Gauge("rfidserve_checkpoint_age_seconds", "seconds since the last durable checkpoint")
 	s.queueDepth = s.set.Gauge("rfidserve_queue_depth", "ingest batches waiting in the bounded queue")
 	s.tracked = s.set.Gauge("rfidserve_tracked_objects", "distinct objects the engine has seen")
 	s.particles = s.set.Gauge("rfidserve_particles", "particles currently alive in the engine")
@@ -181,21 +277,71 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // queries from flags).
 func (s *Server) Registry() *query.Registry { return s.reg }
 
-// Close stops the engine goroutine after it finishes the op in flight.
-// Batches still queued are dropped; new ingests fail with 503. Close is
-// idempotent.
-func (s *Server) Close() {
-	if s.closed.CompareAndSwap(false, true) {
-		close(s.quit)
-		s.wg.Wait()
+// WaitReady blocks until the server finished starting up (for durable
+// servers: until recovery completed) and returns the startup error, if any.
+// Requests arriving earlier simply queue behind recovery; WaitReady exists so
+// callers can surface recovery failures promptly.
+func (s *Server) WaitReady(ctx context.Context) error {
+	select {
+	case <-s.ready:
+		return s.readyErr
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
-// loop is the engine goroutine: it serializes every state mutation (ingest,
-// epoch processing, query feeding) so the pipeline sees exactly one epoch
-// stream, in order.
+// Close shuts the server down. With durability enabled this is the graceful
+// sequence: the engine goroutine seals the current epoch, feeds the resulting
+// events to the registered queries, writes a final checkpoint and closes the
+// WAL; only then does the goroutine stop. Batches still queued behind the
+// shutdown op are dropped; new ingests fail with 503. Close is idempotent.
+func (s *Server) Close() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	done := make(chan opResult, 1)
+	select {
+	case s.ops <- op{shutdown: true, done: done}:
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			s.logf("serve: graceful shutdown timed out; forcing")
+		}
+	default:
+		// Queue full (or engine wedged): skip the graceful pass.
+		s.logf("serve: op queue full at shutdown; skipping final checkpoint")
+	}
+	close(s.quit)
+	s.wg.Wait()
+}
+
+// CloseNow stops the engine goroutine WITHOUT the graceful durable shutdown:
+// no final seal, no final checkpoint, the WAL is left exactly as the last
+// append left it. This is the crash-simulation hook the recovery tests use —
+// the on-disk state afterwards is what a kill -9 would leave behind.
+func (s *Server) CloseNow() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(s.quit)
+	s.wg.Wait()
+	// Release the file descriptor (a plain close flushes nothing the kernel
+	// doesn't already have — kill -9 semantics are preserved).
+	if s.wal != nil {
+		_ = s.wal.Close()
+		s.wal = nil
+	}
+}
+
+// loop is the engine goroutine: it recovers durable state first, then
+// serializes every state mutation (ingest, epoch processing, query feeding)
+// so the pipeline sees exactly one epoch stream, in order.
 func (s *Server) loop() {
 	defer s.wg.Done()
+	if err := s.startup(); err != nil {
+		s.logf("serve: %v", err)
+		// Keep draining ops so clients get errors instead of hangs.
+	}
 	for {
 		select {
 		case <-s.quit:
@@ -211,22 +357,63 @@ func (s *Server) loop() {
 
 // handleOp runs one op on the engine goroutine.
 func (s *Server) handleOp(o op) opResult {
+	switch serverState(s.state.Load()) {
+	case stateFailed:
+		return opResult{err: fmt.Errorf("server failed to recover: %v", s.readyErr)}
+	case stateClosed:
+		// An op that slipped into the queue behind the shutdown op must not
+		// be applied: the final checkpoint is already written and the WAL is
+		// closed, so applying (and worse, acking) it would lose the data on
+		// the next restart.
+		if o.done == nil {
+			s.logf("serve: dropping op queued behind shutdown")
+		}
+		return opResult{err: fmt.Errorf("server is shut down")}
+	}
+	if o.shutdown {
+		s.shutdownDurable()
+		s.syncWALMetrics()
+		return opResult{}
+	}
+	if o.register != nil {
+		return s.handleRegisterOp(o)
+	}
+	if o.unregister != "" {
+		return s.handleUnregisterOp(o)
+	}
 	var events []rfid.Event
 	var err error
-	if o.done == nil { // ingest batch
+	if o.ingest { // ingest batch
+		if werr := s.logBatch(o); werr != nil {
+			// Write-ahead failed: refuse the batch rather than accept data
+			// that would vanish on crash.
+			s.engineErrs.Inc()
+			s.logf("serve: wal append: %v", werr)
+			return opResult{err: werr}
+		}
 		rep := s.runner.Ingest(o.readings, o.locations)
 		s.readings.Add(rep.Readings)
 		s.locations.Add(rep.Locations)
 		s.lateDropped.Add(rep.LateDropped)
 		events, err = s.runner.Advance()
 	} else { // flush
+		// Log the seal whenever it will change state: either epochs will be
+		// sealed, or the queries' held-back windows will be flushed (which
+		// mutates operator state and result sequences, so it must replay).
+		if st := s.runner.Stats(); st.Watermark >= st.NextEpoch || o.flushWindows {
+			if werr := s.logSeal(st.Watermark, o.flushWindows); werr != nil {
+				s.engineErrs.Inc()
+				s.logf("serve: wal seal: %v", werr)
+				return opResult{err: werr}
+			}
+		}
 		events, err = s.runner.Flush()
 	}
 	if err != nil {
 		// The runner skips failing epochs rather than wedging the stream;
 		// surface the failure on the error counter (and to flush callers).
 		s.engineErrs.Inc()
-		log.Printf("serve: epoch processing: %v", err)
+		s.logf("serve: epoch processing: %v", err)
 	}
 	rows := s.reg.Feed(events)
 	if o.flushWindows {
@@ -238,6 +425,8 @@ func (s *Server) handleOp(o op) opResult {
 		s.epochs.Add(int(n - s.lastEpochsN))
 		s.lastEpochsN = n
 	}
+	s.maybeCheckpoint()
+	s.syncWALMetrics()
 	return opResult{events: len(events), results: rows, err: err}
 }
 
@@ -305,6 +494,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	o := op{
+		ingest:    true,
 		readings:  make([]rfid.Reading, len(req.Readings)),
 		locations: make([]rfid.LocationReport, len(req.Locations)),
 	}
@@ -318,24 +508,46 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			Phi:  l.Phi, HasPhi: l.HasPhi,
 		}
 	}
+	// With durability enabled the batch is acknowledged only after it reached
+	// the write-ahead log, so a 202 is a durability receipt (under the
+	// "always" fsync policy) rather than a queueing receipt.
+	if s.durable() {
+		o.done = make(chan opResult, 1)
+	}
 	timer := time.NewTimer(s.cfg.IngestWait)
 	defer timer.Stop()
 	select {
 	case s.ops <- o:
-		s.batches.Inc()
-		writeJSON(w, http.StatusAccepted, map[string]any{
-			"queued":      true,
-			"readings":    len(o.readings),
-			"locations":   len(o.locations),
-			"queue_depth": len(s.ops),
-		})
 	case <-r.Context().Done():
 		s.rejected.Inc()
 		writeError(w, http.StatusServiceUnavailable, "ingest canceled: %v", r.Context().Err())
+		return
 	case <-timer.C:
 		s.rejected.Inc()
 		writeError(w, http.StatusServiceUnavailable, "ingest queue full (backpressure); retry")
+		return
 	}
+	if o.done != nil {
+		select {
+		case res := <-o.done:
+			if res.err != nil {
+				s.rejected.Inc()
+				writeError(w, http.StatusServiceUnavailable, "ingest not applied: %v", res.err)
+				return
+			}
+		case <-s.quit:
+			writeError(w, http.StatusServiceUnavailable, "server closed during ingest")
+			return
+		}
+	}
+	s.batches.Inc()
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"queued":      true,
+		"durable":     s.durable(),
+		"readings":    len(o.readings),
+		"locations":   len(o.locations),
+		"queue_depth": len(s.ops),
+	})
 }
 
 // handleFlush synchronously processes every buffered epoch (and, with
@@ -385,9 +597,20 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, resp)
 }
 
-// handleSnapshotAll answers GET /snapshot: the reader pose estimate, the
-// driver's progress counters and the tracked tags.
+// handleSnapshotAll answers GET /snapshot (the live view: reader pose
+// estimate, progress counters, tracked tags) and GET /snapshot?epoch=N (the
+// time-travel view: every object's MAP location as it was when epoch N was
+// sealed, served from the runner's bounded history ring).
 func (s *Server) handleSnapshotAll(w http.ResponseWriter, r *http.Request) {
+	if v := r.URL.Query().Get("epoch"); v != "" {
+		epoch, err := strconv.Atoi(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad epoch: %v", err)
+			return
+		}
+		s.handleSnapshotAt(w, epoch)
+		return
+	}
 	pose := s.runner.ReaderSnapshot()
 	st := s.runner.Stats()
 	tags := s.runner.Tracked()
@@ -406,8 +629,39 @@ func (s *Server) handleSnapshotAll(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleRegister answers POST /queries with a query.Spec body.
+// handleSnapshotAt serves one retained history epoch.
+func (s *Server) handleSnapshotAt(w http.ResponseWriter, epoch int) {
+	events, ok := s.runner.HistoryEvents(epoch)
+	if !ok {
+		oldest, newest, have := s.runner.HistoryBounds()
+		if have {
+			writeError(w, http.StatusNotFound, "epoch %d outside the retained history [%d, %d]", epoch, oldest, newest)
+		} else {
+			writeError(w, http.StatusNotFound, "no epoch history retained (enable it with -history)")
+		}
+		return
+	}
+	objects := make([]snapshotResponse, 0, len(events))
+	for _, ev := range events {
+		objects = append(objects, snapshotResponse{
+			Tag: string(ev.Tag), Found: true,
+			X: ev.Loc.X, Y: ev.Loc.Y, Z: ev.Loc.Z,
+			VarX: ev.Stats.Variance.X, VarY: ev.Stats.Variance.Y, VarZ: ev.Stats.Variance.Z,
+			NumParticles: ev.Stats.NumParticles,
+			Compressed:   ev.Stats.Compressed,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"epoch": epoch, "objects": objects})
+}
+
+// handleRegister answers POST /queries with a query.Spec body. The
+// registration runs on the engine goroutine (write-ahead logged, ordered
+// against epoch processing), so a crash after the 201 cannot lose it.
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if s.closed.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad query spec: %v", err)
@@ -418,12 +672,15 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	info, err := s.reg.Register(spec)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+	res, ok := s.runOp(w, r, op{register: &spec, registerJSON: string(body), done: make(chan opResult, 1)})
+	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusCreated, info)
+	if res.err != nil {
+		writeError(w, http.StatusBadRequest, "%v", res.err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, res.info)
 }
 
 // handleList answers GET /queries.
@@ -459,13 +716,45 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"query": info, "results": results})
 }
 
-// handleUnregister answers DELETE /queries/{id}.
+// handleUnregister answers DELETE /queries/{id}, routed through the engine
+// goroutine like registration.
 func (s *Server) handleUnregister(w http.ResponseWriter, r *http.Request) {
-	if !s.reg.Unregister(r.PathValue("id")) {
+	if s.closed.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	res, ok := s.runOp(w, r, op{unregister: r.PathValue("id"), done: make(chan opResult, 1)})
+	if !ok {
+		return
+	}
+	if !res.found {
 		writeError(w, http.StatusNotFound, "unknown query id %q", r.PathValue("id"))
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// runOp enqueues a synchronous op and waits for its result; on queue timeout
+// or shutdown it writes the error response itself and returns ok == false.
+func (s *Server) runOp(w http.ResponseWriter, r *http.Request, o op) (opResult, bool) {
+	timer := time.NewTimer(s.cfg.IngestWait)
+	defer timer.Stop()
+	select {
+	case s.ops <- o:
+	case <-r.Context().Done():
+		writeError(w, http.StatusServiceUnavailable, "canceled: %v", r.Context().Err())
+		return opResult{}, false
+	case <-timer.C:
+		writeError(w, http.StatusServiceUnavailable, "op queue full (backpressure); retry")
+		return opResult{}, false
+	}
+	select {
+	case res := <-o.done:
+		return res, true
+	case <-s.quit:
+		writeError(w, http.StatusServiceUnavailable, "server closed")
+		return opResult{}, false
+	}
 }
 
 // handleMetrics answers GET /metrics in the Prometheus text format, or as a
@@ -490,9 +779,33 @@ func (s *Server) scrapeGauges() {
 	if el := time.Since(s.start).Seconds(); el > 0 {
 		s.epochsRate.Set(float64(st.Epochs) / el)
 	}
+	s.ckptEpoch.Set(float64(s.lastCkptEpoch.Load()))
+	if nanos := s.lastCkptNanos.Load(); nanos > 0 {
+		s.ckptAge.Set(time.Since(time.Unix(0, nanos)).Seconds())
+	}
 }
 
-// handleHealthz answers GET /healthz.
+// handleHealthz answers GET /healthz. The state field is the durability
+// lifecycle: "recovering" while the engine goroutine restores a checkpoint
+// and replays the WAL, "serving" in normal operation, "failed" when recovery
+// could not complete and "closed" after a graceful shutdown.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "uptime_seconds": time.Since(s.start).Seconds()})
+	state := serverState(s.state.Load())
+	body := map[string]any{
+		"ok":             state == stateServing,
+		"state":          state.String(),
+		"durable":        s.durable(),
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	}
+	if s.durable() {
+		body["last_checkpoint_epoch"] = s.lastCkptEpoch.Load()
+		if ep := s.recoveredEpoch.Load(); ep >= 0 {
+			body["recovered_from_epoch"] = ep
+		}
+	}
+	code := http.StatusOK
+	if state == stateFailed {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, body)
 }

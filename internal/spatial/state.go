@@ -1,0 +1,44 @@
+package spatial
+
+import (
+	"repro/internal/checkpoint"
+	"repro/internal/stream"
+)
+
+const indexSection = "spatial.SensingIndex"
+
+// SaveState appends the index contents — every sensing-region box with its
+// associated objects, in insertion order — to the encoder. The R*-tree itself
+// is not serialized: insertion is deterministic, so RestoreState rebuilds an
+// identical tree by replaying the insertions.
+func (x *SensingIndex) SaveState(e *checkpoint.Encoder) {
+	e.Section(indexSection)
+	e.Uvarint(uint64(len(x.boxes)))
+	for i, box := range x.boxes {
+		e.BBox(box)
+		e.Uvarint(uint64(len(x.objects[i])))
+		for _, id := range x.objects[i] {
+			e.String(string(id))
+		}
+	}
+}
+
+// RestoreState rebuilds the index from a SaveState payload by re-inserting
+// every entry in its original order; the index must be freshly constructed.
+// Corrupt input errors, never panics.
+func (x *SensingIndex) RestoreState(d *checkpoint.Decoder) error {
+	d.Section(indexSection)
+	n := d.SliceLen(8 * 6)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		box := d.BBox()
+		m := d.SliceLen(1)
+		objs := make([]stream.TagID, 0, m)
+		for j := 0; j < m && d.Err() == nil; j++ {
+			objs = append(objs, stream.TagID(d.String()))
+		}
+		if d.Err() == nil {
+			x.InsertOwned(box, objs)
+		}
+	}
+	return d.Err()
+}

@@ -1,0 +1,64 @@
+package spatial
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/geom"
+	"repro/internal/stream"
+)
+
+// TestSensingIndexStateRoundTrip pins that a restored index answers queries
+// identically to the original (the tree is rebuilt by replaying insertions).
+func TestSensingIndexStateRoundTrip(t *testing.T) {
+	a := NewSensingIndex()
+	for i := 0; i < 12; i++ {
+		box := geom.NewBBox(
+			geom.Vec3{X: float64(i), Y: float64(i)},
+			geom.Vec3{X: float64(i) + 2, Y: float64(i) + 2, Z: 1},
+		)
+		a.Insert(box, []stream.TagID{
+			stream.TagID("obj-" + string(rune('a'+i%4))),
+			stream.TagID("obj-x"),
+		})
+	}
+
+	enc := checkpoint.NewEncoder()
+	a.SaveState(enc)
+	b := NewSensingIndex()
+	if err := b.RestoreState(checkpoint.NewDecoder(enc.Bytes())); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("restored index holds %d entries, want %d", b.Len(), a.Len())
+	}
+	for i := 0; i < 14; i++ {
+		probe := geom.NewBBox(
+			geom.Vec3{X: float64(i) - 0.5, Y: float64(i) - 0.5},
+			geom.Vec3{X: float64(i) + 0.5, Y: float64(i) + 0.5, Z: 1},
+		)
+		want := a.Query(probe)
+		got := b.Query(probe)
+		sort.Slice(want, func(x, y int) bool { return want[x] < want[y] })
+		sort.Slice(got, func(x, y int) bool { return got[x] < got[y] })
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("probe %d diverged: %v vs %v", i, got, want)
+		}
+	}
+}
+
+// TestSensingIndexRestoreRejectsCorrupt pins error-not-panic.
+func TestSensingIndexRestoreRejectsCorrupt(t *testing.T) {
+	a := NewSensingIndex()
+	a.Insert(geom.NewBBox(geom.Vec3{}, geom.Vec3{X: 1, Y: 1, Z: 1}), []stream.TagID{"o"})
+	enc := checkpoint.NewEncoder()
+	a.SaveState(enc)
+	payload := enc.Bytes()
+	for _, cut := range []int{0, 1, len(payload) - 1} {
+		if err := NewSensingIndex().RestoreState(checkpoint.NewDecoder(payload[:cut])); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+}

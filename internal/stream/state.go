@@ -1,0 +1,69 @@
+package stream
+
+import (
+	"sort"
+
+	"repro/internal/checkpoint"
+)
+
+const syncSection = "stream.Synchronizer"
+
+// SaveState appends the synchronizer's buffered (ingested but not yet
+// sealed) epoch accumulators to the encoder, in time order with sorted tag
+// sets so identical logical state always encodes to identical bytes. A
+// checkpoint that includes this state needs no WAL records from before the
+// checkpoint: recovery restores the partial epochs directly.
+func (s *Synchronizer) SaveState(e *checkpoint.Encoder) {
+	e.Section(syncSection)
+	times := make([]int, 0, len(s.epochs))
+	for t := range s.epochs {
+		times = append(times, t)
+	}
+	sort.Ints(times)
+	e.Uvarint(uint64(len(times)))
+	for _, t := range times {
+		a := s.epochs[t]
+		e.Int(t)
+		tags := make([]TagID, 0, len(a.observed))
+		for id := range a.observed {
+			tags = append(tags, id)
+		}
+		sort.Slice(tags, func(i, j int) bool { return tags[i] < tags[j] })
+		e.Uvarint(uint64(len(tags)))
+		for _, id := range tags {
+			e.String(string(id))
+		}
+		e.Vec3(a.posSum)
+		e.Float64(a.phiSum)
+		e.Int(a.nPos)
+		e.Int(a.nPhi)
+	}
+}
+
+// RestoreState rebuilds the buffered epochs from a SaveState payload,
+// replacing any current buffer. Corrupt input errors, never panics.
+func (s *Synchronizer) RestoreState(d *checkpoint.Decoder) error {
+	d.Section(syncSection)
+	n := d.SliceLen(1)
+	epochs := make(map[int]*epochAccum, n)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		t := d.Int()
+		m := d.SliceLen(1)
+		a := &epochAccum{observed: make(map[TagID]bool, m)}
+		for j := 0; j < m && d.Err() == nil; j++ {
+			a.observed[TagID(d.String())] = true
+		}
+		a.posSum = d.Vec3()
+		a.phiSum = d.Float64()
+		a.nPos = d.Int()
+		a.nPhi = d.Int()
+		if d.Err() == nil {
+			epochs[t] = a
+		}
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	s.epochs = epochs
+	return nil
+}

@@ -1,0 +1,59 @@
+package stream
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/geom"
+)
+
+// TestSynchronizerStateRoundTrip pins that buffered (unsealed) epoch
+// accumulators survive a save/restore unchanged — the property that makes
+// checkpoints self-contained.
+func TestSynchronizerStateRoundTrip(t *testing.T) {
+	a := NewSynchronizer()
+	a.AddReading(Reading{Time: 3, Tag: "obj-b"})
+	a.AddReading(Reading{Time: 3, Tag: "obj-a"})
+	a.AddReading(Reading{Time: 5, Tag: "obj-a"})
+	a.AddLocation(LocationReport{Time: 3, Pos: geom.Vec3{X: 1, Y: 2, Z: 3}})
+	a.AddLocation(LocationReport{Time: 3, Pos: geom.Vec3{X: 2, Y: 2, Z: 3}, Phi: 0.5, HasPhi: true})
+	a.AddLocation(LocationReport{Time: 7, Pos: geom.Vec3{X: 9}})
+
+	enc := checkpoint.NewEncoder()
+	a.SaveState(enc)
+	// Identical logical state encodes to identical bytes (sorted iteration).
+	enc2 := checkpoint.NewEncoder()
+	a.SaveState(enc2)
+	if !reflect.DeepEqual(enc.Bytes(), enc2.Bytes()) {
+		t.Fatal("SaveState is not byte-stable")
+	}
+
+	b := NewSynchronizer()
+	if err := b.RestoreState(checkpoint.NewDecoder(enc.Bytes())); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if a.Pending() != b.Pending() {
+		t.Fatalf("pending diverged: %d vs %d", b.Pending(), a.Pending())
+	}
+	wantEpochs := a.Epochs()
+	gotEpochs := b.Epochs()
+	if !reflect.DeepEqual(gotEpochs, wantEpochs) {
+		t.Fatalf("restored epochs diverged:\n got %+v\nwant %+v", gotEpochs, wantEpochs)
+	}
+}
+
+// TestSynchronizerRestoreRejectsCorrupt pins error-not-panic.
+func TestSynchronizerRestoreRejectsCorrupt(t *testing.T) {
+	a := NewSynchronizer()
+	a.AddReading(Reading{Time: 1, Tag: "x"})
+	a.AddLocation(LocationReport{Time: 1, Pos: geom.Vec3{X: 1}})
+	enc := checkpoint.NewEncoder()
+	a.SaveState(enc)
+	payload := enc.Bytes()
+	for _, cut := range []int{0, 1, len(payload) / 2, len(payload) - 1} {
+		if err := NewSynchronizer().RestoreState(checkpoint.NewDecoder(payload[:cut])); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+}

@@ -21,6 +21,7 @@
 package rfid
 
 import (
+	"repro/internal/checkpoint"
 	"repro/internal/containment"
 	"repro/internal/core"
 	"repro/internal/geom"
@@ -121,6 +122,9 @@ type engine interface {
 	TrackedObjects() []stream.TagID
 	Stats() core.Stats
 	ParticleCount() int
+	Config() core.Config
+	SaveState(*checkpoint.Encoder)
+	RestoreState(*checkpoint.Decoder) error
 }
 
 // Pipeline is the end-to-end cleaning and transformation engine.
@@ -188,6 +192,24 @@ func (p *Pipeline) Stats() Stats { return p.eng.Stats() }
 // (reader plus per-object particles); a live capacity signal for serving
 // metrics.
 func (p *Pipeline) Particles() int { return p.eng.ParticleCount() }
+
+// Fingerprint returns the stable hash of the pipeline's effective
+// configuration. Checkpoints record it so that restore can refuse state
+// produced under different model parameters (which would silently diverge
+// rather than fail). Worker and shard counts are excluded — checkpoints are
+// portable across parallelism settings.
+func (p *Pipeline) Fingerprint() uint64 { return p.eng.Config().Fingerprint() }
+
+// SaveState serializes the pipeline's full inference state (particle columns,
+// reader particles, random-stream positions, index and compression state)
+// into the encoder. The caller must serialize against ProcessEpoch, exactly
+// as for the read-side methods.
+func (p *Pipeline) SaveState(e *checkpoint.Encoder) { p.eng.SaveState(e) }
+
+// RestoreState rebuilds the pipeline's inference state from a SaveState
+// payload. The pipeline must be freshly built from a Config with the same
+// Fingerprint; corrupt input errors, never panics.
+func (p *Pipeline) RestoreState(d *checkpoint.Decoder) error { return p.eng.RestoreState(d) }
 
 // Calibration (Section III-C).
 type (

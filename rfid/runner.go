@@ -21,6 +21,14 @@ type RunnerConfig struct {
 	// is zero or one (zero then means one worker per CPU), exactly like
 	// NewShardedPipeline; serving deployments want this.
 	Sharded bool
+	// HistoryEpochs, when positive, keeps a bounded ring of per-epoch MAP
+	// location snapshots: after each sealed epoch the runner records every
+	// tracked object's posterior-mean location, retaining the newest
+	// HistoryEpochs epochs. The ring backs time-travel reads (HistoryEvents,
+	// the serving layer's GET /snapshot?epoch=N and history-mode queries) and
+	// rides along in checkpoints. Zero disables history — and its per-epoch
+	// estimate cost — entirely.
+	HistoryEpochs int
 }
 
 // RunnerStats extends the engine's work counters with the continuous
@@ -71,6 +79,20 @@ type Runner struct {
 	mark   int // ingest watermark (max epoch time seen); -1 before any data
 	late   int // late records dropped
 	closed bool
+
+	// histCap bounds the epoch-snapshot ring; history is the ring itself, in
+	// ascending epoch order with a dead prefix [0:histStart) compacted
+	// lazily (same amortized-O(1) eviction the query result buffers use).
+	histCap   int
+	history   []epochSnapshot
+	histStart int
+}
+
+// epochSnapshot is one retained time-travel entry: the MAP location of every
+// tracked object right after the epoch was sealed, in tag order.
+type epochSnapshot struct {
+	epoch  int
+	events []Event
 }
 
 // NewRunner builds a Runner around a new Pipeline for cfg (Config.Workers
@@ -91,11 +113,15 @@ func NewRunner(cfg Config, rc RunnerConfig) (*Runner, error) {
 	if rc.HoldEpochs < 0 {
 		rc.HoldEpochs = 0
 	}
+	if rc.HistoryEpochs < 0 {
+		rc.HistoryEpochs = 0
+	}
 	return &Runner{
-		pipe: pipe,
-		sync: stream.NewSynchronizer(),
-		hold: rc.HoldEpochs,
-		mark: -1,
+		pipe:    pipe,
+		sync:    stream.NewSynchronizer(),
+		hold:    rc.HoldEpochs,
+		mark:    -1,
+		histCap: rc.HistoryEpochs,
 	}, nil
 }
 
@@ -171,9 +197,100 @@ func (r *Runner) processUpTo(upTo int) ([]Event, error) {
 		if ep.Time+1 > r.next {
 			r.next = ep.Time + 1
 		}
+		r.recordHistory(ep.Time)
 		all = append(all, events...)
 	}
 	return all, firstErr
+}
+
+// recordHistory snapshots every tracked object's MAP location right after an
+// epoch was sealed, appending to the bounded ring. Caller holds r.mu.
+func (r *Runner) recordHistory(epoch int) {
+	if r.histCap <= 0 {
+		return
+	}
+	tags := r.pipe.TrackedObjects()
+	snap := epochSnapshot{epoch: epoch, events: make([]Event, 0, len(tags))}
+	sortTagIDs(tags)
+	for _, id := range tags {
+		loc, st, ok := r.pipe.Estimate(id)
+		if !ok {
+			continue
+		}
+		snap.events = append(snap.events, Event{Time: epoch, Tag: id, Loc: loc, Stats: st})
+	}
+	r.history = append(r.history, snap)
+	if over := len(r.history) - r.histStart - r.histCap; over > 0 {
+		r.histStart += over
+	}
+	if r.histStart > r.histCap {
+		r.history = append([]epochSnapshot(nil), r.history[r.histStart:]...)
+		r.histStart = 0
+	}
+}
+
+// liveHistory returns the retained snapshots, oldest first. Caller holds
+// r.mu.
+func (r *Runner) liveHistory() []epochSnapshot { return r.history[r.histStart:] }
+
+// HistoryBounds returns the oldest and newest retained history epochs; ok is
+// false while no epoch has been recorded (or history is disabled). Together
+// with HistoryEvents it implements query.HistorySource, so history-mode
+// queries evaluate directly over the runner's ring.
+func (r *Runner) HistoryBounds() (oldest, newest int, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	live := r.liveHistory()
+	if len(live) == 0 {
+		return 0, 0, false
+	}
+	return live[0].epoch, live[len(live)-1].epoch, true
+}
+
+// HistoryEvents returns the per-object MAP location events recorded when the
+// given epoch was sealed, in tag order, or ok == false outside the retained
+// window. The returned slice is shared immutable state; callers must not
+// modify it.
+func (r *Runner) HistoryEvents(epoch int) ([]Event, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	live := r.liveHistory()
+	// Snapshots are appended in strictly increasing epoch order but need not
+	// be contiguous (epochs with no data are never sealed); binary search.
+	lo, hi := 0, len(live)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if live[mid].epoch < epoch {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(live) && live[lo].epoch == epoch {
+		return live[lo].events, true
+	}
+	return nil, false
+}
+
+// sortTagIDs sorts tag ids in place (insertion sort: history snapshots are
+// small and mostly sorted already, since TrackedObjects is first-seen order).
+func sortTagIDs(ids []TagID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// SealTo seals and processes every buffered epoch with time <= upTo,
+// regardless of the watermark or hold slack. It is the replay primitive the
+// durability layer uses: an explicit flush is logged with its horizon, and
+// recovery re-drives the exact same seal through SealTo, keeping the
+// recovered epoch sequence identical to the original run's.
+func (r *Runner) SealTo(upTo int) ([]Event, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.processUpTo(upTo)
 }
 
 // Close flushes all pending epochs, emits the engine's final location events
