@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke baseline doc-check serve-smoke cover alloc-gate fuzz-smoke recover-smoke
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke baseline baseline-serve doc-check serve-smoke cover alloc-gate fuzz-smoke recover-smoke api-smoke
 
 all: build vet fmt-check doc-check test
 
@@ -31,7 +31,7 @@ test:
 # assertions themselves are skipped (race instrumentation allocates) but the
 # arena-backed hot path is still exercised for data races.
 race:
-	$(GO) test -race ./internal/core ./internal/factored ./internal/serve ./rfid ./internal/wal ./internal/checkpoint
+	$(GO) test -race ./internal/core ./internal/factored ./internal/serve ./rfid ./rfid/client ./internal/wal ./internal/checkpoint
 
 # Allocation gate: the per-object hot path must perform zero steady-state
 # heap allocations (structure-of-arrays particle storage + arena scratch).
@@ -91,6 +91,14 @@ serve-smoke:
 recover-smoke:
 	$(GO) test -race -run 'TestRecoverSmoke$$|TestCrashRecoveryEquivalence' -v ./internal/serve
 
+# v1 API smoke: the end-to-end multi-session gate under the race detector — a
+# real subprocess serves the v1 API, the parent creates two sessions through
+# the rfid/client SDK, ingests into both, long-polls results, kill -9s the
+# process and verifies both sessions recover from their own subdirectories;
+# plus the in-process two-session crash-recovery equivalence property.
+api-smoke:
+	$(GO) test -race -run 'TestAPISmoke$$|TestMultiSessionCrashRecovery' -v ./internal/serve
+
 # Full benchmark run (slow; minutes).
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
@@ -103,3 +111,8 @@ bench-smoke:
 # configuration the acceptance numbers are quoted at).
 baseline:
 	$(GO) run ./cmd/rfidbench -par -workers 4 -json BENCH_baseline.json
+
+# Refresh the committed serving-path baseline (HTTP ingest -> long-polled
+# result latency/throughput at 1 vs 4 sessions).
+baseline-serve:
+	$(GO) run ./cmd/rfidbench -serve -sessions 1,4 -json BENCH_serve.json

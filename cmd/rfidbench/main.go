@@ -10,12 +10,15 @@
 //	rfidbench -art            # ASCII heat maps of the true and learned sensor models
 //	rfidbench -par -workers 8 # parallel-vs-serial sharded-engine benchmark
 //	rfidbench -par -json BENCH_baseline.json
+//	rfidbench -serve -sessions 1,4 -json BENCH_serve.json  # HTTP serving-path bench
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
@@ -37,6 +40,12 @@ func main() {
 		objects = flag.Int("objects", 300, "number of objects for -par")
 		jsonOut = flag.String("json", "", "write -par results as JSON to this file (e.g. BENCH_baseline.json)")
 
+		serveBench = flag.Bool("serve", false, "run the serving-path benchmark (HTTP ingest -> long-polled result latency/throughput per session count)")
+		sessions   = flag.String("sessions", "1,4", "comma-separated session counts for -serve")
+		epochs     = flag.Int("epochs", 40, "epochs ingested per session for -serve")
+		batchObjs  = flag.Int("batch", 16, "objects (readings) per ingest batch for -serve")
+		particles  = flag.Int("particles", 200, "particles per object for -serve")
+
 		durable   = flag.Bool("durable", false, "run the durability-overhead benchmark (WAL + checkpoints vs in-memory)")
 		fsyncMode = flag.String("fsync", "never", "WAL fsync policy for -durable: always, interval or never")
 		ckptEvery = flag.Int("checkpoint-every", 32, "epochs between checkpoints for -durable")
@@ -44,6 +53,29 @@ func main() {
 	flag.Parse()
 
 	opts := experiments.Options{Scale: *scale, Seed: *seed}
+
+	if *serveBench {
+		var counts []int
+		for _, part := range strings.Split(*sessions, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				log.Fatalf("bad -sessions %q", *sessions)
+			}
+			counts = append(counts, n)
+		}
+		rep, err := runServeBench(counts, *epochs, *batchObjs, *particles, *seed)
+		if err != nil {
+			log.Fatalf("serving benchmark: %v", err)
+		}
+		printServeReport(rep)
+		if *jsonOut != "" {
+			if err := writeServeReportJSON(rep, *jsonOut); err != nil {
+				log.Fatalf("write %s: %v", *jsonOut, err)
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		return
+	}
 
 	if *durable {
 		policy, err := wal.ParseSyncPolicy(*fsyncMode)

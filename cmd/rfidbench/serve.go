@@ -1,0 +1,228 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+	"repro/rfid"
+	"repro/rfid/api"
+	"repro/rfid/client"
+)
+
+// The serving-path benchmark: drive the full HTTP surface (v1 sessions, JSON
+// wire schema, long-polled result delivery) the way a fleet of per-site
+// readers would, and measure ingest->result latency and throughput as the
+// session count grows. This is the serving counterpart of the engine-level
+// -par benchmark: it includes JSON codec cost, the per-session op queues and
+// the long-poll wakeup path.
+
+// serveBenchResult is one session-count configuration's outcome.
+type serveBenchResult struct {
+	Sessions        int     `json:"sessions"`
+	EpochsPerSess   int     `json:"epochs_per_session"`
+	ReadingsPerSess int     `json:"readings_per_session"`
+	ElapsedMS       float64 `json:"elapsed_ms"`
+	BatchesPerSec   float64 `json:"batches_per_sec"`
+	ReadingsPerSec  float64 `json:"readings_per_sec"`
+	// Ingest->result latency: POST ingest until the epoch's first
+	// continuous-query row is observable through a long-polled results read.
+	LatencyMeanMS float64 `json:"latency_mean_ms"`
+	LatencyP50MS  float64 `json:"latency_p50_ms"`
+	LatencyP95MS  float64 `json:"latency_p95_ms"`
+	LatencyMaxMS  float64 `json:"latency_max_ms"`
+}
+
+// serveBenchReport is the BENCH_serve.json schema.
+type serveBenchReport struct {
+	Epochs          int                `json:"epochs"`
+	ObjectsPerBatch int                `json:"objects_per_batch"`
+	ObjectParticles int                `json:"object_particles"`
+	Seed            int64              `json:"seed"`
+	Results         []serveBenchResult `json:"results"`
+}
+
+// runServeBench runs the benchmark for each session count.
+func runServeBench(sessionCounts []int, epochs, objectsPerBatch, particles int, seed int64) (serveBenchReport, error) {
+	rep := serveBenchReport{
+		Epochs:          epochs,
+		ObjectsPerBatch: objectsPerBatch,
+		ObjectParticles: particles,
+		Seed:            seed,
+	}
+	for _, n := range sessionCounts {
+		res, err := runServeBenchOne(n, epochs, objectsPerBatch, particles, seed)
+		if err != nil {
+			return rep, fmt.Errorf("%d sessions: %w", n, err)
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep, nil
+}
+
+// runServeBenchOne starts one in-process server, creates n sessions and
+// drives them concurrently over real loopback HTTP.
+func runServeBenchOne(n, epochs, objectsPerBatch, particles int, seed int64) (serveBenchResult, error) {
+	world := rfid.NewWorld()
+	world.AddShelf(rfid.Shelf{ID: "floor", Region: rfid.NewBBox(rfid.Vec3{}, rfid.Vec3{X: 40, Y: 40, Z: 8})})
+	cfg := rfid.DefaultConfig(rfid.DefaultParams(), world)
+	cfg.ReportPolicy = rfid.ReportEveryEpoch
+	cfg.Seed = seed
+	runner, err := rfid.NewRunner(cfg, rfid.RunnerConfig{Sharded: true})
+	if err != nil {
+		return serveBenchResult{}, err
+	}
+	srv, err := serve.New(serve.Config{Runner: runner, MaxSessions: n + 1})
+	if err != nil {
+		return serveBenchResult{}, err
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ctx := context.Background()
+	c := client.New(ts.URL)
+	type driver struct {
+		sess    *client.Session
+		queryID string
+	}
+	drivers := make([]driver, n)
+	for i := range drivers {
+		created, err := c.CreateSession(ctx, api.CreateSessionRequest{
+			Source: api.SourceSynthetic,
+			Engine: &api.EngineConfig{ObjectParticles: particles, Seed: seed + int64(i)},
+		})
+		if err != nil {
+			return serveBenchResult{}, err
+		}
+		sess := c.Session(created.ID)
+		info, err := sess.RegisterQuery(ctx, api.QuerySpec{Kind: api.QueryLocationUpdates, MinChange: 0.0})
+		if err != nil {
+			return serveBenchResult{}, err
+		}
+		drivers[i] = driver{sess: sess, queryID: info.ID}
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		firstErr  error
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, d := range drivers {
+		wg.Add(1)
+		go func(i int, d driver) {
+			defer wg.Done()
+			after := -1
+			for ep := 0; ep < epochs; ep++ {
+				batch := api.IngestRequest{
+					Locations: []api.LocationReport{{Time: ep, X: 1 + 0.05*float64(ep), Y: 2, Z: 3}},
+				}
+				for o := 0; o < objectsPerBatch; o++ {
+					batch.Readings = append(batch.Readings, api.Reading{
+						Time: ep, Tag: fmt.Sprintf("obj-%d", o),
+					})
+				}
+				t0 := time.Now()
+				if _, err := d.sess.Ingest(ctx, batch); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("session %d ingest epoch %d: %w", i, ep, err)
+					}
+					mu.Unlock()
+					return
+				}
+				// Long-poll until this epoch's rows land (hold=0: every
+				// ingest seals its epoch). An empty page is a wait timeout,
+				// not a latency observation — retry rather than record it, or
+				// the percentiles would mix poll-timeout artifacts with real
+				// ingest->result latency (and misattribute the late rows to
+				// the next epoch's sample).
+				for {
+					page, err := d.sess.PollResults(ctx, d.queryID, client.PollOptions{After: after, Wait: 10 * time.Second})
+					if err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = fmt.Errorf("session %d poll epoch %d: %w", i, ep, err)
+						}
+						mu.Unlock()
+						return
+					}
+					if len(page.Results) == 0 {
+						continue
+					}
+					lat := time.Since(t0).Seconds() * 1e3
+					after = page.Results[len(page.Results)-1].Seq
+					mu.Lock()
+					latencies = append(latencies, lat)
+					mu.Unlock()
+					break
+				}
+			}
+		}(i, d)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return serveBenchResult{}, firstErr
+	}
+
+	sort.Float64s(latencies)
+	mean := 0.0
+	for _, l := range latencies {
+		mean += l
+	}
+	if len(latencies) > 0 {
+		mean /= float64(len(latencies))
+	}
+	pct := func(p float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(latencies)-1))
+		return latencies[idx]
+	}
+	totalBatches := float64(n * epochs)
+	totalReadings := float64(n * epochs * objectsPerBatch)
+	return serveBenchResult{
+		Sessions:        n,
+		EpochsPerSess:   epochs,
+		ReadingsPerSess: epochs * objectsPerBatch,
+		ElapsedMS:       elapsed.Seconds() * 1e3,
+		BatchesPerSec:   totalBatches / elapsed.Seconds(),
+		ReadingsPerSec:  totalReadings / elapsed.Seconds(),
+		LatencyMeanMS:   mean,
+		LatencyP50MS:    pct(0.50),
+		LatencyP95MS:    pct(0.95),
+		LatencyMaxMS:    pct(1.0),
+	}, nil
+}
+
+// printServeReport renders the benchmark for the terminal.
+func printServeReport(rep serveBenchReport) {
+	fmt.Printf("serving-path benchmark: %d epochs/session, %d objects/batch, %d particles/object\n",
+		rep.Epochs, rep.ObjectsPerBatch, rep.ObjectParticles)
+	fmt.Printf("%-10s %12s %14s %12s %10s %10s %10s\n",
+		"sessions", "elapsed", "readings/s", "batches/s", "lat p50", "lat p95", "lat max")
+	for _, r := range rep.Results {
+		fmt.Printf("%-10d %10.1fms %14.0f %12.1f %8.2fms %8.2fms %8.2fms\n",
+			r.Sessions, r.ElapsedMS, r.ReadingsPerSec, r.BatchesPerSec,
+			r.LatencyP50MS, r.LatencyP95MS, r.LatencyMaxMS)
+	}
+}
+
+// writeServeReportJSON persists the benchmark snapshot (BENCH_serve.json).
+func writeServeReportJSON(rep serveBenchReport, path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

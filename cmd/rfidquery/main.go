@@ -5,21 +5,31 @@
 // serving layer (rfidserve) uses — and evaluated incrementally over the
 // stream.
 //
+// With -server the command runs against a live rfidserve process instead,
+// through the typed rfid/client SDK: the query is registered on the chosen
+// session's v1 API and results are streamed back with long-polling.
+//
 // Usage:
 //
 //	rfidquery -events events.csv -query location-updates
 //	rfidquery -events events.csv -query fire-code -weight 25 -threshold 200 -window 5
 //	rfidquery -events events.csv -query windowed-aggregate -op count -group-by area -window 5
+//	rfidquery -server http://localhost:8080 -session default -query location-updates -follow
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"time"
 
 	"repro/internal/query"
 	"repro/rfid"
+	"repro/rfid/api"
+	"repro/rfid/client"
 )
 
 func main() {
@@ -36,8 +46,29 @@ func main() {
 		op         = flag.String("op", "count", "windowed-aggregate: aggregate op (count, sum-weight, mean-weight)")
 		groupBy    = flag.String("group-by", "none", "windowed-aggregate: grouping (none or area)")
 		limit      = flag.Int("limit", 50, "maximum number of rows to print (0 = all)")
+
+		server  = flag.String("server", "", "rfidserve base URL; when set, run the query against a live session instead of a local CSV")
+		session = flag.String("session", "default", "session id to register the query on (with -server)")
+		wait    = flag.Duration("wait", 5*time.Second, "long-poll wait per results request (with -server)")
+		follow  = flag.Bool("follow", false, "keep long-polling for new results until interrupted (with -server)")
 	)
 	flag.Parse()
+
+	if *server != "" {
+		spec := api.QuerySpec{
+			Kind:            *queryName,
+			MinChange:       *minChange,
+			WindowEpochs:    *window,
+			ThresholdPounds: *threshold,
+			WeightPounds:    *weight,
+			Op:              *op,
+			GroupBy:         *groupBy,
+		}
+		if err := runRemote(*server, *session, spec, *wait, *follow, *limit); err != nil {
+			log.Fatalf("%v", err)
+		}
+		return
+	}
 
 	f, err := os.Open(*eventsFile)
 	if err != nil {
@@ -70,6 +101,55 @@ func main() {
 			break
 		}
 		fmt.Println(formatRow(res.Row))
+	}
+}
+
+// runRemote registers the spec on a live session through the rfid/client SDK
+// and streams its results: each iteration long-polls the results endpoint, so
+// rows print as soon as the server produces them. Without -follow the command
+// exits after the first empty poll (the stream went quiet for one wait
+// window); with -follow it streams until interrupted.
+func runRemote(server, sessionID string, spec api.QuerySpec, wait time.Duration, follow bool, limit int) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	sess := client.New(server).Session(sessionID)
+	info, err := sess.RegisterQuery(ctx, spec)
+	if err != nil {
+		return fmt.Errorf("register query on session %q: %w", sessionID, err)
+	}
+	fmt.Printf("registered %s as %s on session %s\n", spec.Kind, info.ID, sessionID)
+	// This is a transient viewing query: unregister it on the way out (with a
+	// fresh context — the signal context is already canceled on Ctrl-C), or
+	// every invocation would permanently leak one registered query on the
+	// session, WAL-logged and all on a durable server.
+	defer func() {
+		cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := sess.DeleteQuery(cctx, info.ID); err != nil {
+			log.Printf("warning: failed to unregister %s: %v", info.ID, err)
+		}
+	}()
+	it := sess.Results(info.ID, client.PollOptions{After: client.FromStart, Wait: wait})
+	printed := 0
+	for {
+		rows, more, err := it.Next(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil // interrupted while long-polling
+			}
+			return fmt.Errorf("poll results: %w", err)
+		}
+		for _, row := range rows {
+			if limit > 0 && printed >= limit {
+				fmt.Println("... (row limit reached)")
+				return nil
+			}
+			fmt.Printf("seq=%d %s\n", row.Seq, row.Row)
+			printed++
+		}
+		if !more || (!follow && len(rows) == 0) {
+			return nil
+		}
 	}
 }
 

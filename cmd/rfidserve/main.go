@@ -17,17 +17,27 @@
 // interrupted run. SIGINT/SIGTERM triggers a graceful shutdown: the current
 // epoch is sealed, a final checkpoint written and the WAL closed.
 //
+// The service is multi-session: the v1 API exposes sessions as resources,
+// each an isolated inference world with its own engine, queries, metrics
+// labels and (with -data-dir) durability subdirectory. The flags configure
+// the reserved "default" session, which the legacy unversioned routes
+// (POST /ingest, GET /snapshot, ...) alias onto.
+//
 // Interact with curl:
 //
-//	curl -X POST localhost:8080/ingest -d '{"readings":[{"time":0,"tag":"obj-001"}],
+//	curl -X POST localhost:8080/v1/sessions -d '{"source":"synthetic","engine":{"seed":7}}'
+//	curl -X POST localhost:8080/v1/sessions/s1/ingest -d '{"readings":[{"time":0,"tag":"obj-001"}],
 //	     "locations":[{"time":0,"x":1,"y":2,"z":3}]}'
-//	curl -X POST localhost:8080/queries -d '{"kind":"location-updates","min_change":0.1}'
-//	curl -X POST localhost:8080/flush
-//	curl localhost:8080/snapshot/obj-001
-//	curl 'localhost:8080/snapshot?epoch=42'          # time-travel read (needs -history)
-//	curl localhost:8080/queries/q1/results?after=-1
+//	curl -X POST localhost:8080/v1/sessions/s1/queries -d '{"kind":"location-updates","min_change":0.1}'
+//	curl -X POST localhost:8080/v1/sessions/s1/flush
+//	curl localhost:8080/v1/sessions/s1/snapshot/obj-001
+//	curl 'localhost:8080/v1/sessions/s1/snapshot?epoch=42'  # time-travel (needs history_epochs)
+//	curl 'localhost:8080/v1/sessions/s1/queries/q1/results?after=-1&wait=30s'  # long-poll
 //	curl localhost:8080/metrics
 //	curl localhost:8080/healthz                      # state: recovering|serving|...
+//
+// See API.md for the full endpoint reference and rfid/client for the typed
+// Go SDK.
 package main
 
 import (
@@ -65,6 +75,9 @@ func main() {
 		floorX      = flag.Float64("floor-x", 40, "default open-floor extent in x (ft), used when no -trace world is given")
 		floorY      = flag.Float64("floor-y", 40, "default open-floor extent in y (ft)")
 		floorZ      = flag.Float64("floor-z", 8, "default open-floor extent in z (ft)")
+
+		maxSessions = flag.Int("max-sessions", 32, "maximum concurrently live sessions (the default session included)")
+		maxWait     = flag.Duration("max-poll-wait", 60*time.Second, "cap on the results endpoint's ?wait= long-poll duration")
 
 		dataDir    = flag.String("data-dir", "", "durability directory (WAL segments + checkpoints); empty disables durability")
 		ckptEvery  = flag.Int("checkpoint-every", 64, "epochs between checkpoints (with -data-dir)")
@@ -135,6 +148,8 @@ func main() {
 		KeepCheckpoints: *keepCkpts,
 		Fsync:           syncPolicy,
 		FsyncInterval:   *fsyncEvery,
+		MaxSessions:     *maxSessions,
+		MaxLongPollWait: *maxWait,
 	})
 	if err != nil {
 		log.Fatalf("server: %v", err)
@@ -151,7 +166,18 @@ func main() {
 		}
 	}()
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// Slow-loris hardening: a client that dribbles its headers or body can
+	// otherwise pin a connection (and, behind a small pool, the listener)
+	// indefinitely. No WriteTimeout — long-polled result reads legitimately
+	// hold their response for up to -max-poll-wait; per-request read deadlines
+	// bound the request side instead.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 

@@ -26,9 +26,16 @@
 // watermark, not a fixed trace), and the serving layer (internal/serve,
 // command rfidserve) exposes it over HTTP — batched ingest with
 // backpressure, live snapshots, registered continuous queries evaluated
-// incrementally per epoch, and Prometheus-style metrics. README.md has the
-// quickstart; ARCHITECTURE.md describes the serving layer's epoch clocking
-// and concurrency story.
+// incrementally per epoch, and Prometheus-style metrics. The service is
+// multi-tenant: sessions are first-class resources under the versioned /v1
+// API, each an isolated inference world with its own engine, queries,
+// metric labels and durability directory; the public wire schema lives in
+// rfid/api (JSON DTOs plus a structured error envelope, decoupled from the
+// internal types) and rfid/client is the typed Go SDK — session lifecycle,
+// ingest, snapshots and long-polled result streaming — with no dependency
+// on internal packages. README.md has the quickstart; API.md is the
+// endpoint reference; ARCHITECTURE.md describes the serving layer's epoch
+// clocking, session isolation and concurrency story.
 //
 // Serving state is durable: a segmented, CRC-checked write-ahead log
 // (internal/wal) records every ingested batch before the engine applies it,

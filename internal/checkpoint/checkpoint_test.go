@@ -192,3 +192,34 @@ func TestLatestSkipsCorruptAndPrunes(t *testing.T) {
 		t.Fatalf("missing dir: ok=%v err=%v", ok, err)
 	}
 }
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteFileAtomic(dir, "m.json", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "m.json"))
+	if err != nil || string(got) != "v1" {
+		t.Fatalf("read back %q (err %v)", got, err)
+	}
+	// Overwrite atomically: the new content replaces the old in one rename.
+	if err := WriteFileAtomic(dir, "m.json", []byte("v2-longer")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(filepath.Join(dir, "m.json"))
+	if string(got) != "v2-longer" {
+		t.Fatalf("after overwrite: %q", got)
+	}
+	// No temp droppings survive a successful write.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory holds %d entries, want just the file: %v", len(entries), entries)
+	}
+	// A missing directory fails loudly instead of writing somewhere else.
+	if err := WriteFileAtomic(filepath.Join(dir, "nope"), "m.json", []byte("x")); err == nil {
+		t.Fatal("write into missing dir succeeded")
+	}
+}

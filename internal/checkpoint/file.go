@@ -149,6 +149,43 @@ func syncDir(dir string) {
 	}
 }
 
+// SyncDir is the exported form of syncDir for sibling durability layers
+// (e.g. the serving layer's session manifests) so the crash-safe directory
+// handling lives in exactly one place.
+func SyncDir(dir string) { syncDir(dir) }
+
+// WriteFileAtomic persists data under dir/name with the same crash-safety
+// contract as Write: temp file, fsync, rename into place, directory fsync. A
+// crash mid-write leaves either the previous file or no file — never a torn
+// one — and once the call returns the bytes survive power loss.
+func WriteFileAtomic(dir, name string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, name+"-*.tmp")
+	if err != nil {
+		return fmt.Errorf("checkpoint: create temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: write temp: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: sync temp: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: close temp: %w", err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, name)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: rename into place: %w", err)
+	}
+	syncDir(dir)
+	return nil
+}
+
 // Load reads and decodes one checkpoint file.
 func Load(path string) (Snapshot, error) {
 	data, err := os.ReadFile(path)

@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -42,6 +43,11 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 // exposes on its /metrics endpoint. Names follow the Prometheus convention
 // (snake_case, counters suffixed _total); registration is idempotent so
 // independent components can share a Set.
+//
+// A name may carry a label set in the Prometheus series syntax, e.g.
+// `rfidserve_epochs_total{session="s1"}`; series sharing a base name are
+// grouped under one HELP/TYPE header in the exposition, which is how the
+// multi-session serving layer keeps per-session metrics in a single Set.
 type Set struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
@@ -114,22 +120,69 @@ func (s *Set) WriteProm(w io.Writer) error {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	// Labelled series of one base name sort adjacently (the bare name first,
+	// `name{...}` series after it), so HELP/TYPE headers are emitted exactly
+	// once per base name, at its first series.
+	lastBase := ""
 	for _, name := range names {
-		if help := s.help[name]; help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
+		base := BaseName(name)
+		if base != lastBase {
+			lastBase = base
+			if help := s.help[name]; help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", base, help); err != nil {
+					return err
+				}
+			}
+			kind := "gauge"
+			if _, ok := s.counters[name]; ok {
+				kind = "counter"
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, kind); err != nil {
 				return err
 			}
 		}
 		if c, ok := s.counters[name]; ok {
-			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, c.Value()); err != nil {
+			if _, err := fmt.Fprintf(w, "%s %d\n", name, c.Value()); err != nil {
 				return err
 			}
 			continue
 		}
-		g := s.gauges[name]
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, g.Value()); err != nil {
+		if _, err := fmt.Fprintf(w, "%s %g\n", name, s.gauges[name].Value()); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// BaseName strips a series name's label set: `name{session="s1"}` -> `name`.
+func BaseName(series string) string {
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		return series[:i]
+	}
+	return series
+}
+
+// DropSeries removes every series whose name carries the given suffix (e.g. a
+// session's `{session="s1"}` label). The owner of a retiring label set calls
+// this so stale series stop being exposed and a later re-registration under
+// the same name starts from zero instead of inheriting the dead series'
+// values.
+func (s *Set) DropSeries(suffix string) {
+	if suffix == "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for name := range s.counters {
+		if strings.HasSuffix(name, suffix) {
+			delete(s.counters, name)
+			delete(s.help, name)
+		}
+	}
+	for name := range s.gauges {
+		if strings.HasSuffix(name, suffix) {
+			delete(s.gauges, name)
+			delete(s.help, name)
+		}
+	}
 }

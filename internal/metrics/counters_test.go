@@ -80,3 +80,43 @@ func TestSetConcurrentUse(t *testing.T) {
 		t.Errorf("c_total = %g, want 800", got)
 	}
 }
+
+func TestLabelledSeriesAndDropSeries(t *testing.T) {
+	s := NewSet()
+	s.Counter("x_total", "base help").Add(1)
+	s.Counter(`x_total{session="a"}`, "base help").Add(2)
+	s.Gauge(`x_depth{session="a"}`, "depth").Set(7)
+
+	if got := BaseName(`x_total{session="a"}`); got != "x_total" {
+		t.Fatalf("BaseName = %q", got)
+	}
+	if got := BaseName("x_total"); got != "x_total" {
+		t.Fatalf("BaseName bare = %q", got)
+	}
+
+	var buf strings.Builder
+	if err := s.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "# TYPE x_total ") != 1 {
+		t.Fatalf("TYPE header not grouped per base name:\n%s", out)
+	}
+	if !strings.Contains(out, `x_total{session="a"} 2`) || !strings.Contains(out, "\nx_total 1") {
+		t.Fatalf("series missing from exposition:\n%s", out)
+	}
+
+	// DropSeries retires exactly the labelled series; a re-registration
+	// starts from zero instead of inheriting the dead series' value.
+	s.DropSeries(`{session="a"}`)
+	if got := s.Snapshot(); len(got) != 1 || got["x_total"] != 1 {
+		t.Fatalf("snapshot after drop = %v, want only bare x_total", got)
+	}
+	if v := s.Counter(`x_total{session="a"}`, "base help").Value(); v != 0 {
+		t.Fatalf("re-registered series inherited value %d", v)
+	}
+	s.DropSeries("") // no-op, must not wipe bare names
+	if got := s.Snapshot(); got["x_total"] != 1 {
+		t.Fatalf("empty-suffix drop damaged the set: %v", got)
+	}
+}

@@ -342,6 +342,15 @@ func (r *Registry) Unregister(id string) bool {
 	return ok
 }
 
+// Count returns the number of registered queries without materializing their
+// descriptions (the allocation-free companion to List for counters and
+// resource views).
+func (r *Registry) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.queries)
+}
+
 // List returns the registered queries sorted by id.
 func (r *Registry) List() []Info {
 	r.mu.Lock()

@@ -54,19 +54,19 @@ func (s serverState) String() string {
 }
 
 // durable reports whether the server was configured with a data directory.
-func (s *Server) durable() bool { return s.cfg.DataDir != "" }
+func (s *session) durable() bool { return s.cfg.DataDir != "" }
 
 // startup runs on the engine goroutine before the op loop: recover durable
 // state if configured, then open the WAL for appends and flip to serving.
 // The returned error has already been recorded for WaitReady.
-func (s *Server) startup() error {
+func (s *session) startup() error {
 	defer close(s.ready)
 	if !s.durable() {
 		s.state.Store(int32(stateServing))
 		return nil
 	}
 	if err := s.recoverLocked(); err != nil {
-		s.readyErr = fmt.Errorf("serve: recovery failed: %w", err)
+		s.readyErr = fmt.Errorf("serve: session %q recovery failed: %w", s.id, err)
 		s.state.Store(int32(stateFailed))
 		return s.readyErr
 	}
@@ -76,7 +76,7 @@ func (s *Server) startup() error {
 		SyncEvery:    s.cfg.FsyncInterval,
 	})
 	if err != nil {
-		s.readyErr = fmt.Errorf("serve: open wal: %w", err)
+		s.readyErr = fmt.Errorf("serve: session %q open wal: %w", s.id, err)
 		s.state.Store(int32(stateFailed))
 		return s.readyErr
 	}
@@ -87,7 +87,7 @@ func (s *Server) startup() error {
 
 // recoverLocked restores the newest valid checkpoint (if any) and replays the
 // WAL tail. Runs on the engine goroutine during startup.
-func (s *Server) recoverLocked() error {
+func (s *session) recoverLocked() error {
 	if err := os.MkdirAll(s.cfg.DataDir, 0o755); err != nil {
 		return fmt.Errorf("create data dir: %w", err)
 	}
@@ -152,7 +152,7 @@ func (s *Server) recoverLocked() error {
 			s.reg.Feed(events)
 			if err != nil {
 				s.engineErrs.Inc()
-				s.logf("serve: replay epoch processing: %v", err)
+				s.logf("replay epoch processing: %v", err)
 			}
 			return nil
 		case wal.RecSeal:
@@ -163,7 +163,7 @@ func (s *Server) recoverLocked() error {
 			}
 			if err != nil {
 				s.engineErrs.Inc()
-				s.logf("serve: replay epoch processing: %v", err)
+				s.logf("replay epoch processing: %v", err)
 			}
 			return nil
 		case wal.RecRegister:
@@ -175,7 +175,7 @@ func (s *Server) recoverLocked() error {
 			// already been evicted) fails identically here; either way the
 			// registry ends in the same state, so the error is not fatal.
 			if _, err := s.reg.Register(spec); err != nil {
-				s.logf("serve: replay registration: %v", err)
+				s.logf("replay registration: %v", err)
 			}
 			return nil
 		case wal.RecUnregister:
@@ -195,7 +195,7 @@ func (s *Server) recoverLocked() error {
 
 // logBatch appends an ingest batch to the WAL before the engine applies it
 // (the write-ahead ordering). Engine goroutine only.
-func (s *Server) logBatch(o op) error {
+func (s *session) logBatch(o op) error {
 	if s.wal == nil {
 		return nil
 	}
@@ -207,7 +207,7 @@ func (s *Server) logBatch(o op) error {
 // Watermark-driven sealing is deterministic from the batches alone and needs
 // no record; client-initiated flushes are external events and must be logged
 // to replay identically.
-func (s *Server) logSeal(upTo int, flushWindows bool) error {
+func (s *session) logSeal(upTo int, flushWindows bool) error {
 	if s.wal == nil {
 		return nil
 	}
@@ -219,37 +219,45 @@ func (s *Server) logSeal(upTo int, flushWindows bool) error {
 // sequence numbers), then register. History-mode registrations are also
 // logged — replay re-evaluates them against the identically rebuilt history
 // ring, reproducing the same rows.
-func (s *Server) handleRegisterOp(o op) opResult {
+func (s *session) handleRegisterOp(o op) opResult {
 	if s.wal != nil {
 		if err := s.wal.Append(wal.Record{Type: wal.RecRegister, SpecJSON: o.registerJSON}); err != nil {
 			s.engineErrs.Inc()
-			s.logf("serve: wal register: %v", err)
+			s.logf("wal register: %v", err)
 			return opResult{err: err}
 		}
 	}
 	info, err := s.reg.Register(*o.register)
+	if err == nil && info.Buffered > 0 {
+		// History-mode queries buffer their full result set at registration.
+		s.notifyResults()
+	}
 	s.syncWALMetrics()
 	return opResult{info: info, err: err}
 }
 
 // handleUnregisterOp applies a query removal on the engine goroutine,
 // write-ahead first.
-func (s *Server) handleUnregisterOp(o op) opResult {
+func (s *session) handleUnregisterOp(o op) opResult {
 	if s.wal != nil {
 		if err := s.wal.Append(wal.Record{Type: wal.RecUnregister, QueryID: o.unregister}); err != nil {
 			s.engineErrs.Inc()
-			s.logf("serve: wal unregister: %v", err)
+			s.logf("wal unregister: %v", err)
 			return opResult{err: err}
 		}
 	}
 	found := s.reg.Unregister(o.unregister)
+	if found {
+		// Wake long-poll readers so they observe the deletion promptly.
+		s.notifyResults()
+	}
 	s.syncWALMetrics()
 	return opResult{found: found}
 }
 
 // maybeCheckpoint writes a checkpoint when enough epochs have been processed
 // since the last one. Engine goroutine only.
-func (s *Server) maybeCheckpoint() {
+func (s *session) maybeCheckpoint() {
 	if s.wal == nil {
 		return
 	}
@@ -259,14 +267,14 @@ func (s *Server) maybeCheckpoint() {
 	}
 	if err := s.writeCheckpoint(); err != nil {
 		s.engineErrs.Inc()
-		s.logf("serve: checkpoint: %v", err)
+		s.logf("checkpoint: %v", err)
 	}
 }
 
 // writeCheckpoint rotates the WAL, snapshots the runner + registry and
 // persists the checkpoint atomically; on success older checkpoints and fully
 // covered WAL segments are garbage-collected. Engine goroutine only.
-func (s *Server) writeCheckpoint() error {
+func (s *session) writeCheckpoint() error {
 	seg, err := s.wal.Rotate()
 	if err != nil {
 		return err
@@ -296,10 +304,10 @@ func (s *Server) writeCheckpoint() error {
 	// checkpoint supersedes.
 	_ = s.wal.Append(wal.Record{Type: wal.RecCheckpoint, Epoch: epoch})
 	if err := checkpoint.Prune(s.cfg.DataDir, s.cfg.KeepCheckpoints); err != nil {
-		s.logf("serve: prune checkpoints: %v", err)
+		s.logf("prune checkpoints: %v", err)
 	}
 	if err := s.wal.RemoveSegmentsBefore(seg); err != nil {
-		s.logf("serve: prune wal segments: %v", err)
+		s.logf("prune wal segments: %v", err)
 	}
 	return nil
 }
@@ -307,14 +315,14 @@ func (s *Server) writeCheckpoint() error {
 // shutdownDurable seals the current epoch, writes a final checkpoint and
 // closes the WAL — the graceful-shutdown sequence SIGTERM triggers. Engine
 // goroutine only.
-func (s *Server) shutdownDurable() {
+func (s *session) shutdownDurable() {
 	if st := s.runner.Stats(); st.BufferedEpochs > 0 {
 		if err := s.logSeal(st.Watermark, false); err != nil {
-			s.logf("serve: shutdown seal log: %v", err)
+			s.logf("shutdown seal log: %v", err)
 		}
 		events, err := s.runner.SealTo(st.Watermark)
 		if err != nil {
-			s.logf("serve: shutdown seal: %v", err)
+			s.logf("shutdown seal: %v", err)
 		}
 		rows := s.reg.Feed(events)
 		s.events.Add(len(events))
@@ -322,10 +330,10 @@ func (s *Server) shutdownDurable() {
 	}
 	if s.wal != nil {
 		if err := s.writeCheckpoint(); err != nil {
-			s.logf("serve: final checkpoint: %v", err)
+			s.logf("final checkpoint: %v", err)
 		}
 		if err := s.wal.Close(); err != nil {
-			s.logf("serve: close wal: %v", err)
+			s.logf("close wal: %v", err)
 		}
 		s.wal = nil
 	}
@@ -334,7 +342,7 @@ func (s *Server) shutdownDurable() {
 
 // syncWALMetrics mirrors the WAL's counters into the metric set (counters
 // take deltas so they stay monotone). Engine goroutine only.
-func (s *Server) syncWALMetrics() {
+func (s *session) syncWALMetrics() {
 	if s.wal == nil {
 		return
 	}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/wal"
 	"repro/rfid"
+	"repro/rfid/api"
 )
 
 // recoveryTrace generates the shared small warehouse trace and groups its raw
@@ -93,12 +94,12 @@ func startRecoveryServer(t *testing.T, trace *rfid.Trace, workers, shards int, d
 func ingestEpochs(t *testing.T, url string, rByT map[int][]rfid.Reading, lByT map[int][]rfid.LocationReport, from, to int) {
 	t.Helper()
 	for tt := from; tt < to; tt++ {
-		req := ingestRequest{}
+		req := api.IngestRequest{}
 		for _, r := range rByT[tt] {
-			req.Readings = append(req.Readings, readingDTO{Time: r.Time, Tag: string(r.Tag)})
+			req.Readings = append(req.Readings, api.Reading{Time: r.Time, Tag: string(r.Tag)})
 		}
 		for _, l := range lByT[tt] {
-			req.Locations = append(req.Locations, locationDTO{Time: l.Time, X: l.Pos.X, Y: l.Pos.Y, Z: l.Pos.Z, Phi: l.Phi, HasPhi: l.HasPhi})
+			req.Locations = append(req.Locations, api.LocationReport{Time: l.Time, X: l.Pos.X, Y: l.Pos.Y, Z: l.Pos.Z, Phi: l.Phi, HasPhi: l.HasPhi})
 		}
 		if code := postJSON(t, url+"/ingest", req, nil); code != http.StatusAccepted {
 			t.Fatalf("ingest epoch %d: status %d", tt, code)

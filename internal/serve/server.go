@@ -1,37 +1,43 @@
 // Package serve is the continuous-query serving layer: a long-running HTTP
-// service that ingests raw RFID readings in batched epochs, drives the
-// inference pipeline continuously through an rfid.Runner, and evaluates
-// registered continuous queries incrementally as each epoch completes.
+// service that hosts many independent inference sessions, each ingesting raw
+// RFID readings in batched epochs, driving its own pipeline continuously
+// through an rfid.Runner and evaluating registered continuous queries
+// incrementally as each epoch completes.
 //
-// The HTTP/JSON API:
+// Sessions are first-class resources under the versioned v1 API; every wire
+// body is a rfid/api type and errors travel in the structured envelope
+// {"error":{"code","message"}}:
 //
-//	POST   /ingest               enqueue a batch of raw readings/locations
-//	POST   /flush                force-process buffered epochs (synchronous)
-//	GET    /snapshot             reader pose + all tracked tags
-//	GET    /snapshot/{tag}       current belief/location of one tag
-//	GET    /snapshot?epoch=N     time-travel read from the epoch history ring
-//	POST   /queries              register a continuous query (query.Spec;
-//	                             "mode":"history" evaluates over the ring)
-//	GET    /queries              list registered queries
-//	GET    /queries/{id}/results poll results (?after=SEQ&limit=N)
-//	DELETE /queries/{id}         unregister a query
-//	GET    /metrics              Prometheus text (or ?format=json)
-//	GET    /healthz              liveness + durability state
-//	                             (recovering|serving|failed|closed)
+//	POST   /v1/sessions                    create a session (world+params+
+//	                                       engine config, or source:"synthetic")
+//	GET    /v1/sessions                    list sessions
+//	GET    /v1/sessions/{sid}              describe one session
+//	DELETE /v1/sessions/{sid}              close a session and delete its state
+//	POST   /v1/sessions/{sid}/ingest       enqueue a batch of raw records
+//	POST   /v1/sessions/{sid}/flush        force-process buffered epochs
+//	GET    /v1/sessions/{sid}/snapshot     reader pose + all tracked tags
+//	GET    /v1/sessions/{sid}/snapshot/{tag}
+//	GET    /v1/sessions/{sid}/snapshot?epoch=N   time-travel read
+//	POST   /v1/sessions/{sid}/queries      register a continuous query
+//	GET    /v1/sessions/{sid}/queries      list registered queries
+//	GET    /v1/sessions/{sid}/queries/{id}/results?after=SEQ&wait=30s
+//	                                       poll results; with wait the request
+//	                                       long-polls until new rows arrive
+//	DELETE /v1/sessions/{sid}/queries/{id} unregister a query
+//	GET    /v1/healthz, GET /v1/metrics    service health and metrics
 //
-// Concurrency model: all ingest and flush work funnels through one bounded
-// channel drained by a single engine goroutine, so epochs are processed
-// strictly in arrival order and the pipeline's determinism is preserved; the
-// channel bound is the backpressure mechanism (POST /ingest blocks briefly,
-// then fails with 503 when the engine cannot keep up). Snapshot reads go
-// straight to the Runner, whose mutex serializes them against epoch
-// processing, so they always observe a consistent post-epoch state.
+// The legacy unversioned routes (POST /ingest, GET /snapshot, /queries, ...)
+// remain as thin aliases onto the reserved "default" session, whose engine is
+// configured by the process (Config.Runner), so single-tenant deployments and
+// old clients keep working unchanged.
 //
-// Durability: with Config.DataDir set, every ingested batch is appended to a
-// CRC-checked write-ahead log before the engine applies it, the full engine
-// and query-registry state is checkpointed every CheckpointEvery epochs, and
-// startup recovers checkpoint + WAL tail into a byte-identical continuation
-// of the interrupted run (see internal/wal and internal/checkpoint).
+// Each session runs the single-engine-goroutine concurrency model documented
+// on the session type, owns its own Prometheus series (label session="<id>"
+// on the shared /metrics endpoint) and — when Config.DataDir is set — its own
+// WAL/checkpoint subdirectory: the default session directly under DataDir
+// (the pre-session layout), API-created sessions under
+// DataDir/sessions/<id>/ together with a manifest.json recording their
+// creation request, from which they are rebuilt and recovered on boot.
 package serve
 
 import (
@@ -41,25 +47,34 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/metrics"
 	"repro/internal/query"
 	"repro/internal/wal"
 	"repro/rfid"
+	"repro/rfid/api"
 )
 
-// Config configures a Server.
+// Config configures a Server. The queue/durability fields double as the
+// defaults every API-created session inherits (overridable per session
+// through api.EngineConfig).
 type Config struct {
-	// Runner is the continuous pipeline driver; required.
+	// Runner is the default session's continuous pipeline driver; required.
 	Runner *rfid.Runner
-	// QueueSize bounds the ingest queue, in batches (default 64). A full
-	// queue is the backpressure signal.
+	// QueueSize bounds each session's ingest queue, in batches (default 64).
+	// A full queue is the backpressure signal.
 	QueueSize int
-	// IngestWait is how long POST /ingest blocks for queue space before
+	// IngestWait is how long POST .../ingest blocks for queue space before
 	// giving up with 503 (default 2s).
 	IngestWait time.Duration
 	// MaxBufferedResults caps each registered query's undelivered result
@@ -69,13 +84,13 @@ type Config struct {
 	// queue bound only limits memory if each batch is bounded too.
 	MaxBodyBytes int64
 
-	// DataDir, when non-empty, enables the durability subsystem: every
-	// ingested batch is written to a segmented WAL under DataDir before the
-	// engine applies it, the full engine + query-registry state is
-	// checkpointed periodically, and startup recovers from the newest
-	// checkpoint plus the WAL tail. Recovery is byte-exact: the restored
-	// server's snapshots, events and query results are identical to an
-	// uninterrupted run's.
+	// DataDir, when non-empty, enables the durability subsystem for every
+	// session: each ingested batch is written to a segmented WAL before the
+	// engine applies it, full engine + query-registry state is checkpointed
+	// periodically, and startup recovers from the newest checkpoint plus the
+	// WAL tail. The default session persists directly under DataDir;
+	// API-created sessions persist under DataDir/sessions/<id>/ and are
+	// rebuilt from their manifest.json on boot. Recovery is byte-exact.
 	DataDir string
 	// CheckpointEvery is the number of processed epochs between checkpoints
 	// (default 64).
@@ -89,6 +104,13 @@ type Config struct {
 	FsyncInterval time.Duration
 	// WALSegmentBytes is the WAL segment rotation threshold (default 64 MiB).
 	WALSegmentBytes int64
+
+	// MaxSessions caps the number of concurrently live sessions, the default
+	// session included (default 32).
+	MaxSessions int
+	// MaxLongPollWait caps the ?wait= long-poll duration on the results
+	// endpoint (default 60s).
+	MaxLongPollWait time.Duration
 }
 
 func (c *Config) applyDefaults() {
@@ -107,366 +129,456 @@ func (c *Config) applyDefaults() {
 	if c.KeepCheckpoints <= 0 {
 		c.KeepCheckpoints = 3
 	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 32
+	}
+	if c.MaxLongPollWait <= 0 {
+		c.MaxLongPollWait = 60 * time.Second
+	}
 }
 
-// op is one unit of work for the engine goroutine: an ingest batch or a
-// flush request.
-type op struct {
-	readings  []rfid.Reading
-	locations []rfid.LocationReport
-	// ingest marks an ingest batch (flush ops leave it false); with
-	// durability enabled ingest ops are synchronous (done != nil), so a 202
-	// means the batch reached the WAL.
-	ingest bool
-	// flushWindows additionally flushes the registered queries' held-back
-	// final epoch; only meaningful on flush ops.
-	flushWindows bool
-	// shutdown asks the engine goroutine to seal the current epoch, write a
-	// final checkpoint and close the WAL (graceful shutdown).
-	shutdown bool
-	// register carries a query registration (its raw JSON wire form rides
-	// along for the WAL); unregister carries a removal. Both are routed
-	// through the engine goroutine so their order relative to epoch
-	// processing is exactly the order the WAL records — what makes query
-	// state recoverable.
-	register     *query.Spec
-	registerJSON string
-	unregister   string
-	// done, when non-nil, receives the op's outcome.
-	done chan opResult
-}
+// DefaultSessionID is the reserved id of the session the legacy unversioned
+// routes alias onto.
+const DefaultSessionID = "default"
 
-type opResult struct {
-	events  int
-	results int
-	info    query.Info
-	found   bool
-	err     error
-}
-
-// Server wires a Runner, a query registry and a metric set behind the HTTP
-// API. Create it with New, expose Handler on an http.Server, and Close it to
-// stop the engine goroutine.
+// Server hosts the sessions and the HTTP surface. Create it with New, expose
+// Handler on an http.Server, and Close it to stop every session's engine
+// goroutine.
 type Server struct {
-	cfg    Config
-	runner *rfid.Runner
-	reg    *query.Registry
-	mux    *http.ServeMux
-
-	ops    chan op
-	quit   chan struct{}
-	wg     sync.WaitGroup
-	closed atomic.Bool
-
+	cfg   Config
+	mux   *http.ServeMux
 	set   *metrics.Set
 	start time.Time
 
-	// Durability (nil / zero when Config.DataDir is empty). The WAL and the
-	// checkpoint writer run exclusively on the engine goroutine.
-	wal            *wal.Log
-	state          atomic.Int32 // serverState
-	ready          chan struct{}
-	readyErr       error // written before ready closes, read after
-	lastCkptEpoch  atomic.Int64
-	lastCkptNanos  atomic.Int64
-	recoveredEpoch atomic.Int64
-	epochsAtCkpt   int64     // engine-goroutine-local
-	lastWal        wal.Stats // engine-goroutine-local metric mirror
+	mu       sync.Mutex
+	sessions map[string]*session
+	// deleting reserves ids whose durable teardown is still in flight, so a
+	// re-create cannot race the directory removal.
+	deleting map[string]struct{}
+	nextID   int
+	closed   atomic.Bool
 
-	// engine-loop counters (written only by the engine goroutine)
-	engineErrs  *metrics.Counter
-	batches     *metrics.Counter
-	rejected    *metrics.Counter
-	readings    *metrics.Counter
-	locations   *metrics.Counter
-	lateDropped *metrics.Counter
-	epochs      *metrics.Counter
-	events      *metrics.Counter
-	results     *metrics.Counter
-
-	// durability counters/gauges
-	walRecords      *metrics.Counter
-	walBytes        *metrics.Counter
-	walFsyncs       *metrics.Counter
-	checkpoints     *metrics.Counter
-	replayedRecords *metrics.Counter
-	walFsyncMax     *metrics.Gauge
-	walSegment      *metrics.Gauge
-	ckptEpoch       *metrics.Gauge
-	ckptAge         *metrics.Gauge
-
-	// scrape-time gauges
-	queueDepth  *metrics.Gauge
-	tracked     *metrics.Gauge
-	particles   *metrics.Gauge
-	buffered    *metrics.Gauge
-	epochsRate  *metrics.Gauge
-	lastEpochsN int64 // engine-goroutine-local: epochs seen at last delta
+	sessionsLive    *metrics.Gauge
+	sessionsCreated *metrics.Counter
+	sessionsDeleted *metrics.Counter
 }
 
-// logf routes the server's operational log lines (one indirection point so
-// the whole durability path logs consistently).
-func (s *Server) logf(format string, args ...any) { log.Printf(format, args...) }
-
-// New returns a started Server (its engine goroutine is running).
+// New returns a started Server: the default session's engine goroutine is
+// running, and with durability enabled every session persisted under
+// DataDir/sessions has been rebuilt from its manifest (recovery itself runs
+// asynchronously on each session's engine goroutine; WaitReady blocks until
+// it finished).
 func New(cfg Config) (*Server, error) {
 	if cfg.Runner == nil {
 		return nil, fmt.Errorf("serve: Config.Runner is required")
 	}
 	cfg.applyDefaults()
-	s := &Server{
-		cfg:    cfg,
-		runner: cfg.Runner,
-		reg:    query.NewRegistry(cfg.MaxBufferedResults),
-		ops:    make(chan op, cfg.QueueSize),
-		quit:   make(chan struct{}),
-		ready:  make(chan struct{}),
-		set:    metrics.NewSet(),
-		start:  time.Now(),
+	sv := &Server{
+		cfg:      cfg,
+		set:      metrics.NewSet(),
+		start:    time.Now(),
+		sessions: make(map[string]*session),
 	}
-	// History-mode queries evaluate over the runner's time-travel ring (it
-	// reports "no history" when RunnerConfig.HistoryEpochs is zero).
-	s.reg.SetHistorySource(cfg.Runner)
-	s.lastCkptEpoch.Store(-1)
-	s.recoveredEpoch.Store(-1)
-	s.engineErrs = s.set.Counter("rfidserve_engine_errors_total", "epoch-processing errors (failing epochs are skipped)")
-	s.batches = s.set.Counter("rfidserve_batches_total", "ingest batches accepted")
-	s.rejected = s.set.Counter("rfidserve_batches_rejected_total", "ingest batches rejected by backpressure")
-	s.readings = s.set.Counter("rfidserve_readings_total", "raw tag readings accepted")
-	s.locations = s.set.Counter("rfidserve_locations_total", "raw location reports accepted")
-	s.lateDropped = s.set.Counter("rfidserve_late_dropped_total", "records dropped for already-processed epochs")
-	s.epochs = s.set.Counter("rfidserve_epochs_total", "epochs processed by the inference engine")
-	s.events = s.set.Counter("rfidserve_events_total", "clean location events emitted")
-	s.results = s.set.Counter("rfidserve_query_results_total", "continuous-query result rows produced")
-	s.walRecords = s.set.Counter("rfidserve_wal_records_total", "records appended to the write-ahead log")
-	s.walBytes = s.set.Counter("rfidserve_wal_appended_bytes_total", "bytes appended to the write-ahead log (including framing)")
-	s.walFsyncs = s.set.Counter("rfidserve_wal_fsyncs_total", "write-ahead-log fsync calls")
-	s.checkpoints = s.set.Counter("rfidserve_checkpoints_total", "checkpoints durably written")
-	s.replayedRecords = s.set.Counter("rfidserve_recovery_replayed_records_total", "WAL records replayed during recovery")
-	s.walFsyncMax = s.set.Gauge("rfidserve_wal_fsync_max_seconds", "slowest WAL fsync observed")
-	s.walSegment = s.set.Gauge("rfidserve_wal_segment", "sequence number of the WAL segment open for appends")
-	s.ckptEpoch = s.set.Gauge("rfidserve_checkpoint_last_epoch", "last epoch covered by a durable checkpoint (-1 before the first)")
-	s.ckptAge = s.set.Gauge("rfidserve_checkpoint_age_seconds", "seconds since the last durable checkpoint")
-	s.queueDepth = s.set.Gauge("rfidserve_queue_depth", "ingest batches waiting in the bounded queue")
-	s.tracked = s.set.Gauge("rfidserve_tracked_objects", "distinct objects the engine has seen")
-	s.particles = s.set.Gauge("rfidserve_particles", "particles currently alive in the engine")
-	s.buffered = s.set.Gauge("rfidserve_buffered_epochs", "ingested epochs not yet processed")
-	s.epochsRate = s.set.Gauge("rfidserve_epochs_per_second", "average epoch processing rate since start")
+	sv.sessionsLive = sv.set.Gauge("rfidserve_sessions", "live sessions, the default session included")
+	sv.sessionsCreated = sv.set.Counter("rfidserve_sessions_created_total", "sessions created over the server's lifetime (boot-recovered sessions included)")
+	sv.sessionsDeleted = sv.set.Counter("rfidserve_sessions_deleted_total", "sessions deleted")
 
-	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /ingest", s.handleIngest)
-	s.mux.HandleFunc("POST /flush", s.handleFlush)
-	s.mux.HandleFunc("GET /snapshot", s.handleSnapshotAll)
-	s.mux.HandleFunc("GET /snapshot/{tag}", s.handleSnapshot)
-	s.mux.HandleFunc("POST /queries", s.handleRegister)
-	s.mux.HandleFunc("GET /queries", s.handleList)
-	s.mux.HandleFunc("GET /queries/{id}/results", s.handleResults)
-	s.mux.HandleFunc("DELETE /queries/{id}", s.handleUnregister)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	// The default session keeps the pre-session durable layout: its WAL and
+	// checkpoints live directly under DataDir.
+	def, err := newSession(DefaultSessionID, "", cfg, sv.set)
+	if err != nil {
+		return nil, err
+	}
+	sv.sessions[DefaultSessionID] = def
 
-	s.wg.Add(1)
-	go s.loop()
-	return s, nil
+	if err := sv.restoreSessions(); err != nil {
+		// Tear down everything that already started (the default session AND
+		// any session restored before the failure): a caller that retries
+		// New on the same DataDir must not race leaked engine goroutines or
+		// open WAL writers. closeNow leaves the on-disk state untouched.
+		for _, s := range sv.snapshotSessions() {
+			s.closeNow()
+		}
+		return nil, err
+	}
+	sv.sessionsLive.Set(float64(len(sv.sessions)))
+
+	sv.mux = http.NewServeMux()
+	sv.routes()
+	return sv, nil
 }
 
-// Handler returns the HTTP handler serving the API.
-func (s *Server) Handler() http.Handler { return s.mux }
-
-// Registry exposes the query registry (used by the CLI to pre-register
-// queries from flags).
-func (s *Server) Registry() *query.Registry { return s.reg }
-
-// WaitReady blocks until the server finished starting up (for durable
-// servers: until recovery completed) and returns the startup error, if any.
-// Requests arriving earlier simply queue behind recovery; WaitReady exists so
-// callers can surface recovery failures promptly.
-func (s *Server) WaitReady(ctx context.Context) error {
-	select {
-	case <-s.ready:
-		return s.readyErr
-	case <-ctx.Done():
-		return ctx.Err()
+// sessionConfig derives one session's effective Config from the server
+// defaults, the session's durability directory and its engine overrides.
+func (sv *Server) sessionConfig(runner *rfid.Runner, dataDir string, eng *api.EngineConfig) Config {
+	cfg := sv.cfg
+	cfg.Runner = runner
+	cfg.DataDir = dataDir
+	if eng != nil && eng.QueueSize > 0 {
+		cfg.QueueSize = eng.QueueSize
 	}
+	return cfg
 }
 
-// Close shuts the server down. With durability enabled this is the graceful
-// sequence: the engine goroutine seals the current epoch, feeds the resulting
-// events to the registered queries, writes a final checkpoint and closes the
-// WAL; only then does the goroutine stop. Batches still queued behind the
-// shutdown op are dropped; new ingests fail with 503. Close is idempotent.
-func (s *Server) Close() {
-	if !s.closed.CompareAndSwap(false, true) {
-		return
+// sessionsRoot is the directory API-created sessions persist under.
+func (sv *Server) sessionsRoot() string { return filepath.Join(sv.cfg.DataDir, "sessions") }
+
+// sessionDir returns a session's durability directory ("" when the server is
+// not durable).
+func (sv *Server) sessionDir(id string) string {
+	if sv.cfg.DataDir == "" {
+		return ""
 	}
-	done := make(chan opResult, 1)
-	select {
-	case s.ops <- op{shutdown: true, done: done}:
-		select {
-		case <-done:
-		case <-time.After(30 * time.Second):
-			s.logf("serve: graceful shutdown timed out; forcing")
-		}
-	default:
-		// Queue full (or engine wedged): skip the graceful pass.
-		s.logf("serve: op queue full at shutdown; skipping final checkpoint")
-	}
-	close(s.quit)
-	s.wg.Wait()
+	return filepath.Join(sv.sessionsRoot(), id)
 }
 
-// CloseNow stops the engine goroutine WITHOUT the graceful durable shutdown:
-// no final seal, no final checkpoint, the WAL is left exactly as the last
-// append left it. This is the crash-simulation hook the recovery tests use —
-// the on-disk state afterwards is what a kill -9 would leave behind.
-func (s *Server) CloseNow() {
-	if !s.closed.CompareAndSwap(false, true) {
-		return
+// restoreSessions rebuilds every persisted session from its manifest.json.
+// Called once from New, before the HTTP surface exists.
+func (sv *Server) restoreSessions() error {
+	if sv.cfg.DataDir == "" {
+		return nil
 	}
-	close(s.quit)
-	s.wg.Wait()
-	// Release the file descriptor (a plain close flushes nothing the kernel
-	// doesn't already have — kill -9 semantics are preserved).
-	if s.wal != nil {
-		_ = s.wal.Close()
-		s.wal = nil
-	}
-}
-
-// loop is the engine goroutine: it recovers durable state first, then
-// serializes every state mutation (ingest, epoch processing, query feeding)
-// so the pipeline sees exactly one epoch stream, in order.
-func (s *Server) loop() {
-	defer s.wg.Done()
-	if err := s.startup(); err != nil {
-		s.logf("serve: %v", err)
-		// Keep draining ops so clients get errors instead of hangs.
-	}
-	for {
-		select {
-		case <-s.quit:
-			return
-		case o := <-s.ops:
-			res := s.handleOp(o)
-			if o.done != nil {
-				o.done <- res
-			}
-		}
-	}
-}
-
-// handleOp runs one op on the engine goroutine.
-func (s *Server) handleOp(o op) opResult {
-	switch serverState(s.state.Load()) {
-	case stateFailed:
-		return opResult{err: fmt.Errorf("server failed to recover: %v", s.readyErr)}
-	case stateClosed:
-		// An op that slipped into the queue behind the shutdown op must not
-		// be applied: the final checkpoint is already written and the WAL is
-		// closed, so applying (and worse, acking) it would lose the data on
-		// the next restart.
-		if o.done == nil {
-			s.logf("serve: dropping op queued behind shutdown")
-		}
-		return opResult{err: fmt.Errorf("server is shut down")}
-	}
-	if o.shutdown {
-		s.shutdownDurable()
-		s.syncWALMetrics()
-		return opResult{}
-	}
-	if o.register != nil {
-		return s.handleRegisterOp(o)
-	}
-	if o.unregister != "" {
-		return s.handleUnregisterOp(o)
-	}
-	var events []rfid.Event
-	var err error
-	if o.ingest { // ingest batch
-		if werr := s.logBatch(o); werr != nil {
-			// Write-ahead failed: refuse the batch rather than accept data
-			// that would vanish on crash.
-			s.engineErrs.Inc()
-			s.logf("serve: wal append: %v", werr)
-			return opResult{err: werr}
-		}
-		rep := s.runner.Ingest(o.readings, o.locations)
-		s.readings.Add(rep.Readings)
-		s.locations.Add(rep.Locations)
-		s.lateDropped.Add(rep.LateDropped)
-		events, err = s.runner.Advance()
-	} else { // flush
-		// Log the seal whenever it will change state: either epochs will be
-		// sealed, or the queries' held-back windows will be flushed (which
-		// mutates operator state and result sequences, so it must replay).
-		if st := s.runner.Stats(); st.Watermark >= st.NextEpoch || o.flushWindows {
-			if werr := s.logSeal(st.Watermark, o.flushWindows); werr != nil {
-				s.engineErrs.Inc()
-				s.logf("serve: wal seal: %v", werr)
-				return opResult{err: werr}
-			}
-		}
-		events, err = s.runner.Flush()
+	entries, err := os.ReadDir(sv.sessionsRoot())
+	if os.IsNotExist(err) {
+		return nil
 	}
 	if err != nil {
-		// The runner skips failing epochs rather than wedging the stream;
-		// surface the failure on the error counter (and to flush callers).
-		s.engineErrs.Inc()
-		s.logf("serve: epoch processing: %v", err)
+		return fmt.Errorf("serve: scan sessions dir: %w", err)
 	}
-	rows := s.reg.Feed(events)
-	if o.flushWindows {
-		rows += s.reg.FlushAll()
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		id := e.Name()
+		data, err := os.ReadFile(filepath.Join(sv.sessionsRoot(), id, manifestName))
+		if os.IsNotExist(err) {
+			// Not a session directory (or a delete that removed the manifest
+			// but not yet the directory). Skip, but say so: if this was a
+			// session, its WAL data is being left behind deliberately.
+			log.Printf("serve: ignoring %s: no %s", filepath.Join(sv.sessionsRoot(), id), manifestName)
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("serve: read session %q manifest: %w", id, err)
+		}
+		var req api.CreateSessionRequest
+		if err := json.Unmarshal(data, &req); err != nil {
+			return fmt.Errorf("serve: parse session %q manifest: %w", id, err)
+		}
+		req.ID = id // the directory is authoritative
+		if _, err := sv.addSession(req, true); err != nil {
+			return fmt.Errorf("serve: restore session %q: %w", id, err)
+		}
 	}
-	s.events.Add(len(events))
-	s.results.Add(rows)
-	if n := int64(s.runner.Stats().Epochs); n > s.lastEpochsN {
-		s.epochs.Add(int(n - s.lastEpochsN))
-		s.lastEpochsN = n
+	return nil
+}
+
+// manifestName is the per-session file recording the api.CreateSessionRequest
+// a session was built from; boot recovery rebuilds the session's runner from
+// it before replaying its WAL.
+const manifestName = "manifest.json"
+
+// sessionIDPattern validates client-chosen session ids.
+var sessionIDPattern = regexp.MustCompile(`^[a-z0-9][a-z0-9_-]{0,63}$`)
+
+// checkCreateLocked runs the cheap admission checks: session limit,
+// reserved/invalid/duplicate ids, and ids whose durable state is still being
+// torn down by a concurrent delete. Boot restore skips the limit check —
+// lowering -max-sessions below the persisted count must degrade new creates,
+// not make the whole server unbootable. Caller holds sv.mu.
+func (sv *Server) checkCreateLocked(id string, restoring bool) error {
+	// Re-checked under sv.mu: Close() flips the flag before it snapshots the
+	// session map (also under sv.mu), so an insert that would slip past
+	// Close's shutdown sweep is refused here instead of leaking a running
+	// session.
+	if sv.closed.Load() {
+		return &api.Error{Code: api.ErrUnavailable, Message: "server is shutting down", HTTPStatus: http.StatusServiceUnavailable}
 	}
-	s.maybeCheckpoint()
-	s.syncWALMetrics()
-	return opResult{events: len(events), results: rows, err: err}
+	if !restoring && len(sv.sessions) >= sv.cfg.MaxSessions {
+		return &api.Error{Code: api.ErrUnavailable, Message: fmt.Sprintf("session limit (%d) reached", sv.cfg.MaxSessions), HTTPStatus: http.StatusServiceUnavailable}
+	}
+	if id == "" {
+		return nil
+	}
+	if id == DefaultSessionID {
+		return &api.Error{Code: api.ErrConflict, Message: `session id "default" is reserved`, HTTPStatus: http.StatusConflict}
+	}
+	if !sessionIDPattern.MatchString(id) {
+		return &api.Error{Code: api.ErrBadRequest, Message: fmt.Sprintf("invalid session id %q (want lowercase letters, digits, '-' or '_', at most 64 chars)", id), HTTPStatus: http.StatusBadRequest}
+	}
+	if _, exists := sv.sessions[id]; exists {
+		return &api.Error{Code: api.ErrConflict, Message: fmt.Sprintf("session %q already exists", id), HTTPStatus: http.StatusConflict}
+	}
+	if _, busy := sv.deleting[id]; busy {
+		return &api.Error{Code: api.ErrConflict, Message: fmt.Sprintf("session %q is being deleted; retry", id), HTTPStatus: http.StatusConflict}
+	}
+	return nil
 }
 
-// --- wire types ---
-
-// readingDTO is the JSON shape of one raw reading.
-type readingDTO struct {
-	Time int    `json:"time"`
-	Tag  string `json:"tag"`
+// addSession validates a creation request, reserves its id, builds the runner
+// and starts the session. Used by both POST /v1/sessions and boot restore
+// (restore passes the manifest verbatim, so both paths build identical
+// engines — which is what makes recovered fingerprints match).
+func (sv *Server) addSession(req api.CreateSessionRequest, restoring bool) (*session, error) {
+	// Reject the cheap failures (limit, bad/duplicate id) before paying for a
+	// full inference engine; the same checks run again under the lock below,
+	// which stays authoritative.
+	sv.mu.Lock()
+	err := sv.checkCreateLocked(req.ID, restoring)
+	sv.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	runner, err := buildRunner(req)
+	if err != nil {
+		return nil, err
+	}
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	if err := sv.checkCreateLocked(req.ID, restoring); err != nil {
+		return nil, err
+	}
+	id := req.ID
+	if id == "" {
+		sv.nextID++
+		id = fmt.Sprintf("s%d", sv.nextID)
+		req.ID = id
+	} else {
+		// Keep server-assigned ids from ever colliding with a client-chosen
+		// s<N> (including across restarts, where ids come from manifests).
+		if n, err := strconv.Atoi(strings.TrimPrefix(id, "s")); err == nil && n > sv.nextID {
+			sv.nextID = n
+		}
+	}
+	dir := sv.sessionDir(id)
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("create session dir: %w", err)
+		}
+		if err := writeManifest(dir, req); err != nil {
+			return nil, err
+		}
+	}
+	label := fmt.Sprintf(`{session=%q}`, id)
+	sess, err := newSession(id, label, sv.sessionConfig(runner, dir, req.Engine), sv.set)
+	if err != nil {
+		return nil, err
+	}
+	sess.source = req.Source
+	if sess.source == "" {
+		if req.World != nil {
+			sess.source = api.SourceWorld
+		} else {
+			sess.source = api.SourceSynthetic
+		}
+	}
+	sv.sessions[id] = sess
+	sv.sessionsCreated.Inc()
+	sv.sessionsLive.Set(float64(len(sv.sessions)))
+	return sess, nil
 }
 
-// locationDTO is the JSON shape of one raw reader-location report.
-type locationDTO struct {
-	Time   int     `json:"time"`
-	X      float64 `json:"x"`
-	Y      float64 `json:"y"`
-	Z      float64 `json:"z"`
-	Phi    float64 `json:"phi"`
-	HasPhi bool    `json:"has_phi"`
+// writeManifest persists the creation request atomically (temp + fsync +
+// rename + dir fsync, via the shared checkpoint helper), so a crash
+// mid-create never leaves a half-written manifest, and a power loss after
+// the create cannot lose the manifest while keeping fsynced WAL data it is
+// the key to — the manifest is part of the session's durability chain,
+// exactly like the checkpoint files.
+func writeManifest(dir string, req api.CreateSessionRequest) error {
+	data, err := json.MarshalIndent(req, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encode session manifest: %w", err)
+	}
+	if err := checkpoint.WriteFileAtomic(dir, manifestName, data); err != nil {
+		return fmt.Errorf("write session manifest: %w", err)
+	}
+	// The session directory itself (and sessions/) may be freshly created;
+	// sync the parent so the whole path survives power loss.
+	checkpoint.SyncDir(filepath.Dir(dir))
+	return nil
 }
 
-// ingestRequest is the POST /ingest body.
-type ingestRequest struct {
-	Readings  []readingDTO  `json:"readings"`
-	Locations []locationDTO `json:"locations"`
+// removeSession closes a session and deletes its durable state. While the
+// (potentially slow) close + directory removal runs outside the lock, the id
+// stays reserved in sv.deleting, so a concurrent re-create of the same id
+// cannot have its fresh manifest and WAL wiped by this teardown.
+func (sv *Server) removeSession(id string) error {
+	if id == DefaultSessionID {
+		return &api.Error{Code: api.ErrConflict, Message: "the default session cannot be deleted", HTTPStatus: http.StatusConflict}
+	}
+	sv.mu.Lock()
+	sess, ok := sv.sessions[id]
+	if ok {
+		delete(sv.sessions, id)
+		if sv.deleting == nil {
+			sv.deleting = make(map[string]struct{})
+		}
+		sv.deleting[id] = struct{}{}
+		sv.sessionsDeleted.Inc()
+		sv.sessionsLive.Set(float64(len(sv.sessions)))
+	}
+	sv.mu.Unlock()
+	if !ok {
+		return &api.Error{Code: api.ErrNotFound, Message: fmt.Sprintf("unknown session %q", id), HTTPStatus: http.StatusNotFound}
+	}
+	sess.close()
+	var teardownErr error
+	if dir := sv.sessionDir(id); dir != "" {
+		// Remove the manifest FIRST: boot restore treats a manifest-less
+		// directory as not-a-session, so once this remove is durable the
+		// session can never be resurrected even if the bulk removal below
+		// fails halfway (EBUSY, NFS silly-rename, transient IO errors).
+		if err := os.Remove(filepath.Join(dir, manifestName)); err != nil && !os.IsNotExist(err) {
+			// The session is closed and unregistered but its durable state
+			// survives intact — surface the failure instead of acking a
+			// delete that the next boot would undo.
+			teardownErr = &api.Error{Code: api.ErrInternal, Message: fmt.Sprintf("session %q closed but its durable state could not be deleted: %v", id, err), HTTPStatus: http.StatusInternalServerError}
+		} else {
+			checkpoint.SyncDir(dir)
+			if err := os.RemoveAll(dir); err != nil {
+				sess.logf("delete session dir: %v", err)
+			}
+		}
+	}
+	// Retire the session's metric series: stale series must not linger on
+	// /metrics, and a re-created session with the same id must start its
+	// counters from zero rather than inheriting the dead session's values.
+	sv.set.DropSeries(sess.label)
+	sv.mu.Lock()
+	delete(sv.deleting, id)
+	sv.mu.Unlock()
+	return teardownErr
 }
 
-// snapshotResponse is the GET /snapshot/{tag} body.
-type snapshotResponse struct {
-	Tag          string  `json:"tag"`
-	Found        bool    `json:"found"`
-	X            float64 `json:"x"`
-	Y            float64 `json:"y"`
-	Z            float64 `json:"z"`
-	VarX         float64 `json:"var_x"`
-	VarY         float64 `json:"var_y"`
-	VarZ         float64 `json:"var_z"`
-	NumParticles int     `json:"num_particles"`
-	Compressed   bool    `json:"compressed"`
+// session returns a live session by id.
+func (sv *Server) session(id string) (*session, bool) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	s, ok := sv.sessions[id]
+	return s, ok
 }
+
+// defaultSession returns the session the legacy routes alias onto.
+func (sv *Server) defaultSession() *session {
+	s, _ := sv.session(DefaultSessionID)
+	return s
+}
+
+// snapshotSessions returns the live sessions sorted by id (default first).
+func (sv *Server) snapshotSessions() []*session {
+	sv.mu.Lock()
+	out := make([]*session, 0, len(sv.sessions))
+	for _, s := range sv.sessions {
+		out = append(out, s)
+	}
+	sv.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if (out[i].id == DefaultSessionID) != (out[j].id == DefaultSessionID) {
+			return out[i].id == DefaultSessionID
+		}
+		return out[i].id < out[j].id
+	})
+	return out
+}
+
+// Handler returns the HTTP handler serving the API. Error responses produced
+// by the mux itself (unknown paths, method mismatches) are rewritten into the
+// structured JSON envelope, so every error on the surface has one shape.
+func (sv *Server) Handler() http.Handler { return envelopeErrors(sv.mux) }
+
+// Registry exposes the default session's query registry (used by embedders to
+// pre-register queries).
+func (sv *Server) Registry() *query.Registry { return sv.defaultSession().reg }
+
+// WaitReady blocks until every session finished starting up (for durable
+// sessions: until recovery completed) and returns the first startup error, if
+// any. Requests arriving earlier simply queue behind recovery; WaitReady
+// exists so callers can surface recovery failures promptly.
+func (sv *Server) WaitReady(ctx context.Context) error {
+	for _, s := range sv.snapshotSessions() {
+		if err := s.waitReady(ctx.Done()); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		}
+	}
+	return ctx.Err()
+}
+
+// Close shuts every session down gracefully (seal, final checkpoint, WAL
+// close) and stops the server. Close is idempotent.
+func (sv *Server) Close() {
+	if !sv.closed.CompareAndSwap(false, true) {
+		return
+	}
+	for _, s := range sv.snapshotSessions() {
+		s.close()
+	}
+}
+
+// CloseNow stops every session WITHOUT the graceful durable shutdown: no
+// final seal, no final checkpoint, the WALs are left exactly as the last
+// append left them. This is the crash-simulation hook the recovery tests use
+// — the on-disk state afterwards is what a kill -9 would leave behind.
+func (sv *Server) CloseNow() {
+	if !sv.closed.CompareAndSwap(false, true) {
+		return
+	}
+	for _, s := range sv.snapshotSessions() {
+		s.closeNow()
+	}
+}
+
+// routes wires the v1 resource surface and the legacy aliases onto the mux.
+func (sv *Server) routes() {
+	// v1: sessions as resources.
+	sv.mux.HandleFunc("POST /v1/sessions", sv.handleCreateSession)
+	sv.mux.HandleFunc("GET /v1/sessions", sv.handleListSessions)
+	sv.mux.HandleFunc("GET /v1/sessions/{sid}", sv.withSession(sv.handleGetSession))
+	sv.mux.HandleFunc("DELETE /v1/sessions/{sid}", sv.handleDeleteSession)
+	sv.mux.HandleFunc("POST /v1/sessions/{sid}/ingest", sv.withSession(sv.handleIngest))
+	sv.mux.HandleFunc("POST /v1/sessions/{sid}/flush", sv.withSession(sv.handleFlush))
+	sv.mux.HandleFunc("GET /v1/sessions/{sid}/snapshot", sv.withSession(sv.handleSnapshotAll))
+	sv.mux.HandleFunc("GET /v1/sessions/{sid}/snapshot/{tag}", sv.withSession(sv.handleSnapshot))
+	sv.mux.HandleFunc("POST /v1/sessions/{sid}/queries", sv.withSession(sv.handleRegister))
+	sv.mux.HandleFunc("GET /v1/sessions/{sid}/queries", sv.withSession(sv.handleList))
+	sv.mux.HandleFunc("GET /v1/sessions/{sid}/queries/{id}/results", sv.withSession(sv.handleResults))
+	sv.mux.HandleFunc("DELETE /v1/sessions/{sid}/queries/{id}", sv.withSession(sv.handleUnregister))
+	sv.mux.HandleFunc("GET /v1/metrics", sv.handleMetrics)
+	sv.mux.HandleFunc("GET /v1/healthz", sv.handleHealthz)
+
+	// Legacy unversioned aliases: the same handlers, pinned to the default
+	// session, so pre-v1 clients and tooling keep working byte-for-byte.
+	def := func(h func(http.ResponseWriter, *http.Request, *session)) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) { h(w, r, sv.defaultSession()) }
+	}
+	sv.mux.HandleFunc("POST /ingest", def(sv.handleIngest))
+	sv.mux.HandleFunc("POST /flush", def(sv.handleFlush))
+	sv.mux.HandleFunc("GET /snapshot", def(sv.handleSnapshotAll))
+	sv.mux.HandleFunc("GET /snapshot/{tag}", def(sv.handleSnapshot))
+	sv.mux.HandleFunc("POST /queries", def(sv.handleRegister))
+	sv.mux.HandleFunc("GET /queries", def(sv.handleList))
+	sv.mux.HandleFunc("GET /queries/{id}/results", def(sv.handleResults))
+	sv.mux.HandleFunc("DELETE /queries/{id}", def(sv.handleUnregister))
+	sv.mux.HandleFunc("GET /metrics", sv.handleMetrics)
+	sv.mux.HandleFunc("GET /healthz", sv.handleHealthz)
+}
+
+// withSession resolves the {sid} path value into a live session.
+func (sv *Server) withSession(h func(http.ResponseWriter, *http.Request, *session)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sid := r.PathValue("sid")
+		sess, ok := sv.session(sid)
+		if !ok {
+			writeError(w, http.StatusNotFound, api.ErrNotFound, "unknown session %q", sid)
+			return
+		}
+		h(w, r, sess)
+	}
+}
+
+// --- JSON plumbing ---
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -474,79 +586,159 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+// writeError writes the structured error envelope every endpoint (v1 and
+// legacy alike) uses.
+func writeError(w http.ResponseWriter, status int, code string, format string, args ...any) {
+	writeJSON(w, status, api.ErrorEnvelope{Error: &api.Error{Code: code, Message: fmt.Sprintf(format, args...)}})
 }
 
-// --- handlers ---
-
-// handleIngest enqueues a batch on the bounded queue, blocking up to
-// IngestWait for space; 503 signals backpressure and the client should
-// retry.
-func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	if s.closed.Load() {
-		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+// writeAPIError maps an error onto the envelope: *api.Error values carry
+// their own status and code, everything else is a 500.
+func writeAPIError(w http.ResponseWriter, err error) {
+	if apiErr, ok := err.(*api.Error); ok {
+		status := apiErr.HTTPStatus
+		if status == 0 {
+			status = http.StatusInternalServerError
+		}
+		writeError(w, status, apiErr.Code, "%s", apiErr.Message)
 		return
 	}
-	var req ingestRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad ingest body: %v", err)
+	writeError(w, http.StatusInternalServerError, api.ErrInternal, "%v", err)
+}
+
+// --- session resource handlers ---
+
+// handleCreateSession answers POST /v1/sessions.
+func (sv *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	if sv.closed.Load() {
+		writeError(w, http.StatusServiceUnavailable, api.ErrUnavailable, "server is shutting down")
+		return
+	}
+	var req api.CreateSessionRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, sv.cfg.MaxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, api.ErrBadRequest, "bad session body: %v", err)
+		return
+	}
+	sess, err := sv.addSession(req, false)
+	if err != nil {
+		writeAPIError(w, err)
+		return
+	}
+	// A freshly created session starts against an empty (or no) data
+	// directory, so its startup is quick; waiting here means the 201 body
+	// reports a session that is actually serving, and a startup failure
+	// surfaces on the create call instead of on the first ingest.
+	if err := sess.waitReady(r.Context().Done()); err != nil {
+		// Roll the registration back: a create the client was told failed
+		// must not keep occupying its id and a MaxSessions slot (a retry
+		// would otherwise 409 against a session that "was never created").
+		if rerr := sv.removeSession(sess.id); rerr != nil {
+			sess.logf("rollback of failed create: %v", rerr)
+		}
+		writeError(w, http.StatusInternalServerError, api.ErrInternal, "session failed to start: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, sv.sessionToAPI(sess))
+}
+
+// handleListSessions answers GET /v1/sessions.
+func (sv *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
+	list := api.SessionList{Sessions: []api.Session{}}
+	for _, s := range sv.snapshotSessions() {
+		list.Sessions = append(list.Sessions, sv.sessionToAPI(s))
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+// handleGetSession answers GET /v1/sessions/{sid}.
+func (sv *Server) handleGetSession(w http.ResponseWriter, r *http.Request, sess *session) {
+	writeJSON(w, http.StatusOK, sv.sessionToAPI(sess))
+}
+
+// handleDeleteSession answers DELETE /v1/sessions/{sid}: graceful close (for
+// durable sessions: seal + final checkpoint) and then removal of the
+// session's durable directory.
+func (sv *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	if err := sv.removeSession(r.PathValue("sid")); err != nil {
+		writeAPIError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// sessionToAPI converts a session into its resource representation.
+func (sv *Server) sessionToAPI(s *session) api.Session {
+	st := s.runner.Stats()
+	return api.Session{
+		ID:      s.id,
+		State:   serverState(s.state.Load()).String(),
+		Durable: s.durable(),
+		Default: s.id == DefaultSessionID,
+		Source:  s.source,
+		Stats: api.SessionStats{
+			Epochs:         st.Epochs,
+			NextEpoch:      st.NextEpoch,
+			Watermark:      st.Watermark,
+			BufferedEpochs: st.BufferedEpochs,
+			Particles:      st.Particles,
+			TrackedObjects: st.TrackedObjects,
+			LateDropped:    st.LateDropped,
+			Queries:        s.reg.Count(),
+		},
+	}
+}
+
+// --- data-plane handlers (shared by v1 and the legacy aliases) ---
+
+// handleIngest enqueues a batch on the session's bounded queue, blocking up
+// to IngestWait for space; 503 signals backpressure and the client should
+// retry.
+func (sv *Server) handleIngest(w http.ResponseWriter, r *http.Request, sess *session) {
+	if sv.closed.Load() || sess.closed.Load() {
+		writeError(w, http.StatusServiceUnavailable, api.ErrUnavailable, "session is shutting down")
+		return
+	}
+	var req api.IngestRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, sv.cfg.MaxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, api.ErrBadRequest, "bad ingest body: %v", err)
 		return
 	}
 	o := op{
 		ingest:    true,
-		readings:  make([]rfid.Reading, len(req.Readings)),
-		locations: make([]rfid.LocationReport, len(req.Locations)),
-	}
-	for i, rd := range req.Readings {
-		o.readings[i] = rfid.Reading{Time: rd.Time, Tag: rfid.TagID(rd.Tag)}
-	}
-	for i, l := range req.Locations {
-		o.locations[i] = rfid.LocationReport{
-			Time: l.Time,
-			Pos:  rfid.Vec3{X: l.X, Y: l.Y, Z: l.Z},
-			Phi:  l.Phi, HasPhi: l.HasPhi,
-		}
+		readings:  readingsFromAPI(req.Readings),
+		locations: locationsFromAPI(req.Locations),
 	}
 	// With durability enabled the batch is acknowledged only after it reached
 	// the write-ahead log, so a 202 is a durability receipt (under the
 	// "always" fsync policy) rather than a queueing receipt.
-	if s.durable() {
+	if sess.durable() {
 		o.done = make(chan opResult, 1)
 	}
-	timer := time.NewTimer(s.cfg.IngestWait)
-	defer timer.Stop()
-	select {
-	case s.ops <- o:
-	case <-r.Context().Done():
-		s.rejected.Inc()
-		writeError(w, http.StatusServiceUnavailable, "ingest canceled: %v", r.Context().Err())
-		return
-	case <-timer.C:
-		s.rejected.Inc()
-		writeError(w, http.StatusServiceUnavailable, "ingest queue full (backpressure); retry")
+	if err := sess.enqueue(o, r.Context().Done()); err != nil {
+		sess.rejected.Inc()
+		writeError(w, http.StatusServiceUnavailable, api.ErrUnavailable, "ingest: %v", err)
 		return
 	}
 	if o.done != nil {
 		select {
 		case res := <-o.done:
 			if res.err != nil {
-				s.rejected.Inc()
-				writeError(w, http.StatusServiceUnavailable, "ingest not applied: %v", res.err)
+				sess.rejected.Inc()
+				writeError(w, http.StatusServiceUnavailable, api.ErrUnavailable, "ingest not applied: %v", res.err)
 				return
 			}
-		case <-s.quit:
-			writeError(w, http.StatusServiceUnavailable, "server closed during ingest")
+		case <-sess.quit:
+			writeError(w, http.StatusServiceUnavailable, api.ErrUnavailable, "session closed during ingest")
 			return
 		}
 	}
-	s.batches.Inc()
-	writeJSON(w, http.StatusAccepted, map[string]any{
-		"queued":      true,
-		"durable":     s.durable(),
-		"readings":    len(o.readings),
-		"locations":   len(o.locations),
-		"queue_depth": len(s.ops),
+	sess.batches.Inc()
+	writeJSON(w, http.StatusAccepted, api.IngestResponse{
+		Queued:     true,
+		Durable:    sess.durable(),
+		Readings:   len(o.readings),
+		Locations:  len(o.locations),
+		QueueDepth: len(sess.ops),
 	})
 }
 
@@ -555,95 +747,88 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 // flush op queues behind earlier ingest batches, a 200 response means
 // everything ingested before the flush has been fully processed — the
 // deterministic synchronization point tests and batch clients use.
-func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
-	if s.closed.Load() {
-		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+func (sv *Server) handleFlush(w http.ResponseWriter, r *http.Request, sess *session) {
+	if sv.closed.Load() || sess.closed.Load() {
+		writeError(w, http.StatusServiceUnavailable, api.ErrUnavailable, "session is shutting down")
 		return
 	}
 	o := op{flushWindows: r.URL.Query().Get("windows") == "true", done: make(chan opResult, 1)}
-	select {
-	case s.ops <- o:
-	case <-r.Context().Done():
-		writeError(w, http.StatusServiceUnavailable, "flush canceled: %v", r.Context().Err())
+	res, ok := sv.runOp(w, r, sess, o)
+	if !ok {
 		return
 	}
-	select {
-	case res := <-o.done:
-		if res.err != nil {
-			writeError(w, http.StatusInternalServerError, "flush: %v", res.err)
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]any{"events": res.events, "results": res.results})
-	case <-s.quit:
-		writeError(w, http.StatusServiceUnavailable, "server closed during flush")
+	if res.err != nil {
+		writeError(w, http.StatusInternalServerError, api.ErrInternal, "flush: %v", res.err)
+		return
 	}
+	writeJSON(w, http.StatusOK, api.FlushResponse{Events: res.events, Results: res.results})
 }
 
-// handleSnapshot answers GET /snapshot/{tag}.
-func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+// handleSnapshot answers GET .../snapshot/{tag}. An untracked tag is a 404
+// with the standard error envelope, like every other missing resource.
+func (sv *Server) handleSnapshot(w http.ResponseWriter, r *http.Request, sess *session) {
 	tag := r.PathValue("tag")
-	loc, st, ok := s.runner.Snapshot(rfid.TagID(tag))
-	resp := snapshotResponse{Tag: tag, Found: ok}
-	if ok {
-		resp.X, resp.Y, resp.Z = loc.X, loc.Y, loc.Z
-		resp.VarX, resp.VarY, resp.VarZ = st.Variance.X, st.Variance.Y, st.Variance.Z
-		resp.NumParticles = st.NumParticles
-		resp.Compressed = st.Compressed
-	}
-	code := http.StatusOK
+	loc, st, ok := sess.runner.Snapshot(rfid.TagID(tag))
 	if !ok {
-		code = http.StatusNotFound
+		writeError(w, http.StatusNotFound, api.ErrNotFound, "tag %q is not tracked", tag)
+		return
 	}
-	writeJSON(w, code, resp)
+	writeJSON(w, http.StatusOK, api.TagSnapshot{
+		Tag: tag, Found: true,
+		X: loc.X, Y: loc.Y, Z: loc.Z,
+		VarX: st.Variance.X, VarY: st.Variance.Y, VarZ: st.Variance.Z,
+		NumParticles: st.NumParticles,
+		Compressed:   st.Compressed,
+	})
 }
 
-// handleSnapshotAll answers GET /snapshot (the live view: reader pose
-// estimate, progress counters, tracked tags) and GET /snapshot?epoch=N (the
-// time-travel view: every object's MAP location as it was when epoch N was
-// sealed, served from the runner's bounded history ring).
-func (s *Server) handleSnapshotAll(w http.ResponseWriter, r *http.Request) {
+// handleSnapshotAll answers GET .../snapshot (the live view: reader pose
+// estimate, progress counters, tracked tags) and GET .../snapshot?epoch=N
+// (the time-travel view: every object's MAP location as it was when epoch N
+// was sealed, served from the runner's bounded history ring).
+func (sv *Server) handleSnapshotAll(w http.ResponseWriter, r *http.Request, sess *session) {
 	if v := r.URL.Query().Get("epoch"); v != "" {
 		epoch, err := strconv.Atoi(v)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad epoch: %v", err)
+			writeError(w, http.StatusBadRequest, api.ErrBadRequest, "bad epoch: %v", err)
 			return
 		}
-		s.handleSnapshotAt(w, epoch)
+		sv.handleSnapshotAt(w, sess, epoch)
 		return
 	}
-	pose := s.runner.ReaderSnapshot()
-	st := s.runner.Stats()
-	tags := s.runner.Tracked()
+	pose := sess.runner.ReaderSnapshot()
+	st := sess.runner.Stats()
+	tags := sess.runner.Tracked()
 	names := make([]string, len(tags))
 	for i, id := range tags {
 		names[i] = string(id)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"reader":          map[string]float64{"x": pose.Pos.X, "y": pose.Pos.Y, "z": pose.Pos.Z, "phi": pose.Phi},
-		"epochs":          st.Epochs,
-		"next_epoch":      st.NextEpoch,
-		"watermark":       st.Watermark,
-		"buffered_epochs": st.BufferedEpochs,
-		"particles":       st.Particles,
-		"tracked":         names,
+	writeJSON(w, http.StatusOK, api.SnapshotOverview{
+		Reader:         api.Pose{X: pose.Pos.X, Y: pose.Pos.Y, Z: pose.Pos.Z, Phi: pose.Phi},
+		Epochs:         st.Epochs,
+		NextEpoch:      st.NextEpoch,
+		Watermark:      st.Watermark,
+		BufferedEpochs: st.BufferedEpochs,
+		Particles:      st.Particles,
+		Tracked:        names,
 	})
 }
 
 // handleSnapshotAt serves one retained history epoch.
-func (s *Server) handleSnapshotAt(w http.ResponseWriter, epoch int) {
-	events, ok := s.runner.HistoryEvents(epoch)
+func (sv *Server) handleSnapshotAt(w http.ResponseWriter, sess *session, epoch int) {
+	events, ok := sess.runner.HistoryEvents(epoch)
 	if !ok {
-		oldest, newest, have := s.runner.HistoryBounds()
+		oldest, newest, have := sess.runner.HistoryBounds()
 		if have {
-			writeError(w, http.StatusNotFound, "epoch %d outside the retained history [%d, %d]", epoch, oldest, newest)
+			writeError(w, http.StatusNotFound, api.ErrNotFound, "epoch %d outside the retained history [%d, %d]", epoch, oldest, newest)
 		} else {
-			writeError(w, http.StatusNotFound, "no epoch history retained (enable it with -history)")
+			writeError(w, http.StatusNotFound, api.ErrNotFound, "no epoch history retained (enable it with -history / engine.history_epochs)")
 		}
 		return
 	}
-	objects := make([]snapshotResponse, 0, len(events))
+	objects := make([]api.TagSnapshot, 0, len(events))
 	for _, ev := range events {
-		objects = append(objects, snapshotResponse{
+		objects = append(objects, api.TagSnapshot{
 			Tag: string(ev.Tag), Found: true,
 			X: ev.Loc.X, Y: ev.Loc.Y, Z: ev.Loc.Z,
 			VarX: ev.Stats.Variance.X, VarY: ev.Stats.Variance.Y, VarZ: ev.Stats.Variance.Z,
@@ -651,84 +836,137 @@ func (s *Server) handleSnapshotAt(w http.ResponseWriter, epoch int) {
 			Compressed:   ev.Stats.Compressed,
 		})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"epoch": epoch, "objects": objects})
+	writeJSON(w, http.StatusOK, api.HistorySnapshot{Epoch: epoch, Objects: objects})
 }
 
-// handleRegister answers POST /queries with a query.Spec body. The
-// registration runs on the engine goroutine (write-ahead logged, ordered
-// against epoch processing), so a crash after the 201 cannot lose it.
-func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
-	if s.closed.Load() {
-		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+// handleRegister answers POST .../queries with an api.QuerySpec body. The
+// registration runs on the session's engine goroutine (write-ahead logged,
+// ordered against epoch processing), so a crash after the 201 cannot lose it.
+func (sv *Server) handleRegister(w http.ResponseWriter, r *http.Request, sess *session) {
+	if sv.closed.Load() || sess.closed.Load() {
+		writeError(w, http.StatusServiceUnavailable, api.ErrUnavailable, "session is shutting down")
 		return
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, sv.cfg.MaxBodyBytes))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad query spec: %v", err)
+		writeError(w, http.StatusBadRequest, api.ErrBadRequest, "bad query spec: %v", err)
 		return
 	}
+	// api.QuerySpec and query.Spec share the wire shape by construction;
+	// ParseSpec is the single validated entry point for untrusted spec bytes.
 	spec, err := query.ParseSpec(body)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, api.ErrBadRequest, "%v", err)
 		return
 	}
-	res, ok := s.runOp(w, r, op{register: &spec, registerJSON: string(body), done: make(chan opResult, 1)})
+	res, ok := sv.runOp(w, r, sess, op{register: &spec, registerJSON: string(body), done: make(chan opResult, 1)})
 	if !ok {
 		return
 	}
 	if res.err != nil {
-		writeError(w, http.StatusBadRequest, "%v", res.err)
+		writeError(w, http.StatusBadRequest, api.ErrBadRequest, "%v", res.err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, res.info)
+	writeJSON(w, http.StatusCreated, infoToAPI(res.info))
 }
 
-// handleList answers GET /queries.
-func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.reg.List())
+// handleList answers GET .../queries.
+func (sv *Server) handleList(w http.ResponseWriter, r *http.Request, sess *session) {
+	infos := sess.reg.List()
+	out := make(api.QueryList, 0, len(infos))
+	for _, info := range infos {
+		out = append(out, infoToAPI(info))
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
-// handleResults answers GET /queries/{id}/results?after=SEQ&limit=N.
-func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+// handleResults answers GET .../queries/{id}/results?after=SEQ&limit=N and,
+// with ?wait=DURATION, long-polls: the request is held until a result with
+// Seq > after arrives, the wait elapses, or the query finishes/disappears —
+// so clients stream results instead of hot-polling.
+func (sv *Server) handleResults(w http.ResponseWriter, r *http.Request, sess *session) {
+	q := r.URL.Query()
 	after := -1
-	if v := r.URL.Query().Get("after"); v != "" {
+	if v := q.Get("after"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad after: %v", err)
+			writeError(w, http.StatusBadRequest, api.ErrBadRequest, "bad after: %v", err)
 			return
 		}
 		after = n
 	}
 	limit := 0
-	if v := r.URL.Query().Get("limit"); v != "" {
+	if v := q.Get("limit"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad limit: %v", err)
+			writeError(w, http.StatusBadRequest, api.ErrBadRequest, "bad limit: %v", err)
 			return
 		}
 		limit = n
 	}
-	results, info, err := s.reg.Results(r.PathValue("id"), after, limit)
-	if err != nil {
-		writeError(w, http.StatusNotFound, "%v", err)
-		return
+	var wait time.Duration
+	if v := q.Get("wait"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			writeError(w, http.StatusBadRequest, api.ErrBadRequest, "bad wait %q (want a duration like 30s)", v)
+			return
+		}
+		if d > sv.cfg.MaxLongPollWait {
+			d = sv.cfg.MaxLongPollWait
+		}
+		wait = d
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"query": info, "results": results})
+	id := r.PathValue("id")
+	deadline := time.Now().Add(wait)
+	for {
+		// Grab the notify channel BEFORE reading the registry so a result
+		// buffered between the read and the wait still wakes this poller.
+		notify := sess.resultsChan()
+		results, info, err := sess.reg.Results(id, after, limit)
+		if err != nil {
+			writeError(w, http.StatusNotFound, api.ErrNotFound, "%v", err)
+			return
+		}
+		remain := time.Until(deadline)
+		if len(results) > 0 || info.Finished || remain <= 0 {
+			rows, merr := resultsToAPI(results)
+			if merr != nil {
+				writeError(w, http.StatusInternalServerError, api.ErrInternal, "encode results: %v", merr)
+				return
+			}
+			writeJSON(w, http.StatusOK, api.ResultsPage{Query: infoToAPI(info), Results: rows})
+			return
+		}
+		timer := time.NewTimer(remain)
+		select {
+		case <-notify:
+			timer.Stop()
+		case <-timer.C:
+		case <-r.Context().Done():
+			timer.Stop()
+			writeError(w, http.StatusServiceUnavailable, api.ErrUnavailable, "canceled: %v", r.Context().Err())
+			return
+		case <-sess.quit:
+			timer.Stop()
+			// Session shut down mid-poll: answer with what exists.
+			deadline = time.Now()
+		}
+	}
 }
 
-// handleUnregister answers DELETE /queries/{id}, routed through the engine
-// goroutine like registration.
-func (s *Server) handleUnregister(w http.ResponseWriter, r *http.Request) {
-	if s.closed.Load() {
-		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+// handleUnregister answers DELETE .../queries/{id}, routed through the
+// session's engine goroutine like registration.
+func (sv *Server) handleUnregister(w http.ResponseWriter, r *http.Request, sess *session) {
+	if sv.closed.Load() || sess.closed.Load() {
+		writeError(w, http.StatusServiceUnavailable, api.ErrUnavailable, "session is shutting down")
 		return
 	}
-	res, ok := s.runOp(w, r, op{unregister: r.PathValue("id"), done: make(chan opResult, 1)})
+	res, ok := sv.runOp(w, r, sess, op{unregister: r.PathValue("id"), done: make(chan opResult, 1)})
 	if !ok {
 		return
 	}
 	if !res.found {
-		writeError(w, http.StatusNotFound, "unknown query id %q", r.PathValue("id"))
+		writeError(w, http.StatusNotFound, api.ErrNotFound, "unknown query id %q", r.PathValue("id"))
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -736,71 +974,60 @@ func (s *Server) handleUnregister(w http.ResponseWriter, r *http.Request) {
 
 // runOp enqueues a synchronous op and waits for its result; on queue timeout
 // or shutdown it writes the error response itself and returns ok == false.
-func (s *Server) runOp(w http.ResponseWriter, r *http.Request, o op) (opResult, bool) {
-	timer := time.NewTimer(s.cfg.IngestWait)
-	defer timer.Stop()
-	select {
-	case s.ops <- o:
-	case <-r.Context().Done():
-		writeError(w, http.StatusServiceUnavailable, "canceled: %v", r.Context().Err())
-		return opResult{}, false
-	case <-timer.C:
-		writeError(w, http.StatusServiceUnavailable, "op queue full (backpressure); retry")
+func (sv *Server) runOp(w http.ResponseWriter, r *http.Request, sess *session, o op) (opResult, bool) {
+	if err := sess.enqueue(o, r.Context().Done()); err != nil {
+		writeError(w, http.StatusServiceUnavailable, api.ErrUnavailable, "%v", err)
 		return opResult{}, false
 	}
 	select {
 	case res := <-o.done:
 		return res, true
-	case <-s.quit:
-		writeError(w, http.StatusServiceUnavailable, "server closed")
+	case <-sess.quit:
+		writeError(w, http.StatusServiceUnavailable, api.ErrUnavailable, "session closed")
 		return opResult{}, false
 	}
 }
 
 // handleMetrics answers GET /metrics in the Prometheus text format, or as a
-// flat JSON object with ?format=json.
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.scrapeGauges()
+// flat JSON object with ?format=json. Every session's series share the one
+// set; non-default sessions are distinguished by the session label.
+func (sv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	sessions := sv.snapshotSessions()
+	for _, s := range sessions {
+		s.scrapeGauges()
+	}
+	sv.sessionsLive.Set(float64(len(sessions)))
 	if r.URL.Query().Get("format") == "json" {
-		writeJSON(w, http.StatusOK, s.set.Snapshot())
+		writeJSON(w, http.StatusOK, sv.set.Snapshot())
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	_ = s.set.WriteProm(w)
+	_ = sv.set.WriteProm(w)
 }
 
-// scrapeGauges refreshes the gauges derived from live state at scrape time.
-func (s *Server) scrapeGauges() {
-	st := s.runner.Stats()
-	s.queueDepth.Set(float64(len(s.ops)))
-	s.tracked.Set(float64(st.TrackedObjects))
-	s.particles.Set(float64(st.Particles))
-	s.buffered.Set(float64(st.BufferedEpochs))
-	if el := time.Since(s.start).Seconds(); el > 0 {
-		s.epochsRate.Set(float64(st.Epochs) / el)
+// handleHealthz answers GET /healthz and /v1/healthz. The state field is the
+// default session's durability lifecycle: "recovering" while a checkpoint is
+// restored and the WAL replays, "serving" in normal operation, "failed" when
+// recovery could not complete and "closed" after a graceful shutdown.
+func (sv *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	def := sv.defaultSession()
+	state := serverState(def.state.Load())
+	sv.mu.Lock()
+	n := len(sv.sessions)
+	sv.mu.Unlock()
+	body := api.Health{
+		OK:            state == stateServing,
+		State:         state.String(),
+		Durable:       def.durable(),
+		UptimeSeconds: time.Since(sv.start).Seconds(),
+		Sessions:      n,
 	}
-	s.ckptEpoch.Set(float64(s.lastCkptEpoch.Load()))
-	if nanos := s.lastCkptNanos.Load(); nanos > 0 {
-		s.ckptAge.Set(time.Since(time.Unix(0, nanos)).Seconds())
-	}
-}
-
-// handleHealthz answers GET /healthz. The state field is the durability
-// lifecycle: "recovering" while the engine goroutine restores a checkpoint
-// and replays the WAL, "serving" in normal operation, "failed" when recovery
-// could not complete and "closed" after a graceful shutdown.
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	state := serverState(s.state.Load())
-	body := map[string]any{
-		"ok":             state == stateServing,
-		"state":          state.String(),
-		"durable":        s.durable(),
-		"uptime_seconds": time.Since(s.start).Seconds(),
-	}
-	if s.durable() {
-		body["last_checkpoint_epoch"] = s.lastCkptEpoch.Load()
-		if ep := s.recoveredEpoch.Load(); ep >= 0 {
-			body["recovered_from_epoch"] = ep
+	if def.durable() {
+		ckpt := int(def.lastCkptEpoch.Load())
+		body.LastCheckpointEpoch = &ckpt
+		if ep := def.recoveredEpoch.Load(); ep >= 0 {
+			rec := int(ep)
+			body.RecoveredFromEpoch = &rec
 		}
 	}
 	code := http.StatusOK
@@ -808,4 +1035,76 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, body)
+}
+
+// --- envelope middleware ---
+
+// envelopeErrors rewrites error responses the wrapped handler produced as
+// text/plain (the mux's own 404s and 405s, http.Error calls) into the
+// structured JSON envelope, so no path on the surface ever emits a plain-text
+// error body.
+func envelopeErrors(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		next.ServeHTTP(&envelopeWriter{ResponseWriter: w}, r)
+	})
+}
+
+// envelopeWriter intercepts WriteHeader: a >= 400 status that is not already
+// carrying a JSON body is answered with the envelope instead, and the
+// original plain-text body is swallowed.
+type envelopeWriter struct {
+	http.ResponseWriter
+	intercepted bool
+	wroteHeader bool
+}
+
+// WriteHeader implements http.ResponseWriter.
+func (w *envelopeWriter) WriteHeader(code int) {
+	if w.wroteHeader {
+		return
+	}
+	w.wroteHeader = true
+	ct := w.Header().Get("Content-Type")
+	if code >= 400 && !strings.HasPrefix(ct, "application/json") {
+		w.intercepted = true
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Del("Content-Length")
+		w.Header().Del("X-Content-Type-Options")
+		w.ResponseWriter.WriteHeader(code)
+		body, _ := json.Marshal(api.ErrorEnvelope{Error: &api.Error{
+			Code:    errCodeForStatus(code),
+			Message: strings.ToLower(http.StatusText(code)),
+		}})
+		_, _ = w.ResponseWriter.Write(append(body, '\n'))
+		return
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Write implements http.ResponseWriter, swallowing the original body of an
+// intercepted error response.
+func (w *envelopeWriter) Write(b []byte) (int, error) {
+	if !w.wroteHeader {
+		w.WriteHeader(http.StatusOK)
+	}
+	if w.intercepted {
+		return len(b), nil
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// errCodeForStatus maps an HTTP status onto the stable error-code vocabulary.
+func errCodeForStatus(code int) string {
+	switch {
+	case code == http.StatusNotFound:
+		return api.ErrNotFound
+	case code == http.StatusConflict:
+		return api.ErrConflict
+	case code == http.StatusServiceUnavailable:
+		return api.ErrUnavailable
+	case code >= 500:
+		return api.ErrInternal
+	default:
+		return api.ErrBadRequest
+	}
 }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/rfid"
+	"repro/rfid/api"
 )
 
 // newTestServer builds a server over a small simulated warehouse and returns
@@ -88,13 +89,13 @@ func getJSON(t *testing.T, url string, out any) int {
 }
 
 // ingestBody converts raw records into the POST /ingest wire shape.
-func ingestBody(readings []rfid.Reading, locations []rfid.LocationReport) ingestRequest {
-	req := ingestRequest{}
+func ingestBody(readings []rfid.Reading, locations []rfid.LocationReport) api.IngestRequest {
+	req := api.IngestRequest{}
 	for _, r := range readings {
-		req.Readings = append(req.Readings, readingDTO{Time: r.Time, Tag: string(r.Tag)})
+		req.Readings = append(req.Readings, api.Reading{Time: r.Time, Tag: string(r.Tag)})
 	}
 	for _, l := range locations {
-		req.Locations = append(req.Locations, locationDTO{
+		req.Locations = append(req.Locations, api.LocationReport{
 			Time: l.Time, X: l.Pos.X, Y: l.Pos.Y, Z: l.Pos.Z, Phi: l.Phi, HasPhi: l.HasPhi,
 		})
 	}
@@ -183,7 +184,7 @@ func TestServerEndToEnd(t *testing.T) {
 	if overview.Epochs == 0 || len(overview.Tracked) != 6 {
 		t.Fatalf("overview %+v, want 6 tracked tags", overview)
 	}
-	var snap snapshotResponse
+	var snap api.TagSnapshot
 	if code := getJSON(t, ts.URL+"/snapshot/"+overview.Tracked[0], &snap); code != http.StatusOK || !snap.Found {
 		t.Fatalf("snapshot %s: status %d found=%v", overview.Tracked[0], code, snap.Found)
 	}
@@ -355,7 +356,7 @@ func TestServerConcurrentIngestAndSnapshot(t *testing.T) {
 // never blocks forever or panics.
 func TestServerBackpressure(t *testing.T) {
 	srv, ts, readings, _ := newTestServer(t, 1)
-	srv.cfg.IngestWait = 10 * time.Millisecond
+	srv.defaultSession().cfg.IngestWait = 10 * time.Millisecond
 
 	batch := readings
 	if len(batch) > 100 {

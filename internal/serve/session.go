@@ -1,0 +1,420 @@
+package serve
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/query"
+	"repro/internal/wal"
+	"repro/rfid"
+)
+
+// op is one unit of work for a session's engine goroutine: an ingest batch or
+// a flush request.
+type op struct {
+	readings  []rfid.Reading
+	locations []rfid.LocationReport
+	// ingest marks an ingest batch (flush ops leave it false); with
+	// durability enabled ingest ops are synchronous (done != nil), so a 202
+	// means the batch reached the WAL.
+	ingest bool
+	// flushWindows additionally flushes the registered queries' held-back
+	// final epoch; only meaningful on flush ops.
+	flushWindows bool
+	// shutdown asks the engine goroutine to seal the current epoch, write a
+	// final checkpoint and close the WAL (graceful shutdown).
+	shutdown bool
+	// register carries a query registration (its raw JSON wire form rides
+	// along for the WAL); unregister carries a removal. Both are routed
+	// through the engine goroutine so their order relative to epoch
+	// processing is exactly the order the WAL records — what makes query
+	// state recoverable.
+	register     *query.Spec
+	registerJSON string
+	unregister   string
+	// done, when non-nil, receives the op's outcome.
+	done chan opResult
+}
+
+type opResult struct {
+	events  int
+	results int
+	info    query.Info
+	found   bool
+	err     error
+}
+
+// session is one isolated inference world behind the HTTP surface: its own
+// Runner, query registry, bounded op queue drained by a single engine
+// goroutine, per-session metric series and (when the server is durable) its
+// own WAL/checkpoint directory. The v1 API exposes sessions as resources
+// under /v1/sessions/{id}; the legacy unversioned routes alias the "default"
+// session.
+//
+// Concurrency model: all ingest and flush work funnels through one bounded
+// channel drained by a single engine goroutine, so epochs are processed
+// strictly in arrival order and the pipeline's determinism is preserved; the
+// channel bound is the backpressure mechanism (ingest blocks briefly, then
+// fails with 503 when the engine cannot keep up). Snapshot reads go straight
+// to the Runner, whose mutex serializes them against epoch processing, so
+// they always observe a consistent post-epoch state.
+type session struct {
+	id     string
+	label  string // metric-series label suffix ("" for the default session)
+	source string // normalized world source ("" for the flag-built default)
+	cfg    Config // effective config; DataDir is THIS session's directory
+	runner *rfid.Runner
+	reg    *query.Registry
+
+	ops    chan op
+	quit   chan struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	set   *metrics.Set // shared with the server; series are label-suffixed
+	start time.Time
+
+	// resultNotify is closed and replaced whenever new query results were
+	// buffered (or a query was removed); long-poll result readers wait on it.
+	notifyMu     sync.Mutex
+	resultNotify chan struct{}
+
+	// Durability (nil / zero when cfg.DataDir is empty). The WAL and the
+	// checkpoint writer run exclusively on the engine goroutine.
+	wal            *wal.Log
+	state          atomic.Int32 // serverState
+	ready          chan struct{}
+	readyErr       error // written before ready closes, read after
+	lastCkptEpoch  atomic.Int64
+	lastCkptNanos  atomic.Int64
+	recoveredEpoch atomic.Int64
+	epochsAtCkpt   int64     // engine-goroutine-local
+	lastWal        wal.Stats // engine-goroutine-local metric mirror
+
+	// engine-loop counters (written only by the engine goroutine)
+	engineErrs  *metrics.Counter
+	batches     *metrics.Counter
+	rejected    *metrics.Counter
+	readings    *metrics.Counter
+	locations   *metrics.Counter
+	lateDropped *metrics.Counter
+	epochs      *metrics.Counter
+	events      *metrics.Counter
+	results     *metrics.Counter
+
+	// durability counters/gauges
+	walRecords      *metrics.Counter
+	walBytes        *metrics.Counter
+	walFsyncs       *metrics.Counter
+	checkpoints     *metrics.Counter
+	replayedRecords *metrics.Counter
+	walFsyncMax     *metrics.Gauge
+	walSegment      *metrics.Gauge
+	ckptEpoch       *metrics.Gauge
+	ckptAge         *metrics.Gauge
+
+	// scrape-time gauges
+	queueDepth  *metrics.Gauge
+	tracked     *metrics.Gauge
+	particles   *metrics.Gauge
+	buffered    *metrics.Gauge
+	epochsRate  *metrics.Gauge
+	lastEpochsN int64 // engine-goroutine-local: epochs seen at last delta
+}
+
+// logf routes the session's operational log lines (one indirection point so
+// the whole durability path logs consistently, with the session id).
+func (s *session) logf(format string, args ...any) {
+	log.Printf("serve[%s]: %v", s.id, fmt.Sprintf(format, args...))
+}
+
+// series suffixes a metric name with the session's label so every session
+// owns its own Prometheus series while sharing the server's Set. The default
+// session uses bare names, preserving the pre-session metric surface.
+func (s *session) series(name string) string { return name + s.label }
+
+// newSession builds and starts one session. cfg must already carry the
+// session's effective settings (its own DataDir, queue size, ...); set is the
+// server-shared metric set; label is the Prometheus label suffix (empty for
+// the default session).
+func newSession(id, label string, cfg Config, set *metrics.Set) (*session, error) {
+	if cfg.Runner == nil {
+		return nil, fmt.Errorf("serve: session %q has no runner", id)
+	}
+	cfg.applyDefaults()
+	s := &session{
+		id:           id,
+		label:        label,
+		cfg:          cfg,
+		runner:       cfg.Runner,
+		reg:          query.NewRegistry(cfg.MaxBufferedResults),
+		ops:          make(chan op, cfg.QueueSize),
+		quit:         make(chan struct{}),
+		ready:        make(chan struct{}),
+		resultNotify: make(chan struct{}),
+		set:          set,
+		start:        time.Now(),
+	}
+	// History-mode queries evaluate over the runner's time-travel ring (it
+	// reports "no history" when RunnerConfig.HistoryEpochs is zero).
+	s.reg.SetHistorySource(cfg.Runner)
+	s.lastCkptEpoch.Store(-1)
+	s.recoveredEpoch.Store(-1)
+	s.engineErrs = s.counter("rfidserve_engine_errors_total", "epoch-processing errors (failing epochs are skipped)")
+	s.batches = s.counter("rfidserve_batches_total", "ingest batches accepted")
+	s.rejected = s.counter("rfidserve_batches_rejected_total", "ingest batches rejected by backpressure")
+	s.readings = s.counter("rfidserve_readings_total", "raw tag readings accepted")
+	s.locations = s.counter("rfidserve_locations_total", "raw location reports accepted")
+	s.lateDropped = s.counter("rfidserve_late_dropped_total", "records dropped for already-processed epochs")
+	s.epochs = s.counter("rfidserve_epochs_total", "epochs processed by the inference engine")
+	s.events = s.counter("rfidserve_events_total", "clean location events emitted")
+	s.results = s.counter("rfidserve_query_results_total", "continuous-query result rows produced")
+	s.walRecords = s.counter("rfidserve_wal_records_total", "records appended to the write-ahead log")
+	s.walBytes = s.counter("rfidserve_wal_appended_bytes_total", "bytes appended to the write-ahead log (including framing)")
+	s.walFsyncs = s.counter("rfidserve_wal_fsyncs_total", "write-ahead-log fsync calls")
+	s.checkpoints = s.counter("rfidserve_checkpoints_total", "checkpoints durably written")
+	s.replayedRecords = s.counter("rfidserve_recovery_replayed_records_total", "WAL records replayed during recovery")
+	s.walFsyncMax = s.gauge("rfidserve_wal_fsync_max_seconds", "slowest WAL fsync observed")
+	s.walSegment = s.gauge("rfidserve_wal_segment", "sequence number of the WAL segment open for appends")
+	s.ckptEpoch = s.gauge("rfidserve_checkpoint_last_epoch", "last epoch covered by a durable checkpoint (-1 before the first)")
+	s.ckptAge = s.gauge("rfidserve_checkpoint_age_seconds", "seconds since the last durable checkpoint")
+	s.queueDepth = s.gauge("rfidserve_queue_depth", "ingest batches waiting in the bounded queue")
+	s.tracked = s.gauge("rfidserve_tracked_objects", "distinct objects the engine has seen")
+	s.particles = s.gauge("rfidserve_particles", "particles currently alive in the engine")
+	s.buffered = s.gauge("rfidserve_buffered_epochs", "ingested epochs not yet processed")
+	s.epochsRate = s.gauge("rfidserve_epochs_per_second", "average epoch processing rate since start")
+
+	s.wg.Add(1)
+	go s.loop()
+	return s, nil
+}
+
+func (s *session) counter(name, help string) *metrics.Counter {
+	return s.set.Counter(s.series(name), help)
+}
+
+func (s *session) gauge(name, help string) *metrics.Gauge {
+	return s.set.Gauge(s.series(name), help)
+}
+
+// resultsChan returns the channel long-poll readers wait on; it is closed (and
+// replaced) the next time results are buffered or removed. Grab the channel
+// BEFORE checking the registry, so a concurrent notify cannot be missed.
+func (s *session) resultsChan() <-chan struct{} {
+	s.notifyMu.Lock()
+	defer s.notifyMu.Unlock()
+	return s.resultNotify
+}
+
+// notifyResults wakes every long-poll reader waiting for this session.
+func (s *session) notifyResults() {
+	s.notifyMu.Lock()
+	close(s.resultNotify)
+	s.resultNotify = make(chan struct{})
+	s.notifyMu.Unlock()
+}
+
+// waitReady blocks until the session finished starting up (for durable
+// sessions: until recovery completed) and returns the startup error, if any.
+func (s *session) waitReady(done <-chan struct{}) error {
+	select {
+	case <-s.ready:
+		return s.readyErr
+	case <-done:
+		return fmt.Errorf("serve: canceled waiting for session %q", s.id)
+	}
+}
+
+// close shuts the session down. With durability enabled this is the graceful
+// sequence: the engine goroutine seals the current epoch, feeds the resulting
+// events to the registered queries, writes a final checkpoint and closes the
+// WAL; only then does the goroutine stop. Batches still queued behind the
+// shutdown op are dropped; new ingests fail with 503. close is idempotent.
+func (s *session) close() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	done := make(chan opResult, 1)
+	select {
+	case s.ops <- op{shutdown: true, done: done}:
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			s.logf("graceful shutdown timed out; forcing")
+		}
+	default:
+		// Queue full (or engine wedged): skip the graceful pass.
+		s.logf("op queue full at shutdown; skipping final checkpoint")
+	}
+	close(s.quit)
+	s.wg.Wait()
+	// The graceful path closed the WAL in shutdownDurable; the skipped/timed
+	// out paths did not — release it here (the engine goroutine is stopped,
+	// so this is the only writer left).
+	if s.wal != nil {
+		if err := s.wal.Close(); err != nil {
+			s.logf("close wal: %v", err)
+		}
+		s.wal = nil
+	}
+}
+
+// closeNow stops the engine goroutine WITHOUT the graceful durable shutdown:
+// no final seal, no final checkpoint, the WAL is left exactly as the last
+// append left it. This is the crash-simulation hook the recovery tests use —
+// the on-disk state afterwards is what a kill -9 would leave behind.
+func (s *session) closeNow() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(s.quit)
+	s.wg.Wait()
+	// Release the file descriptor (a plain close flushes nothing the kernel
+	// doesn't already have — kill -9 semantics are preserved).
+	if s.wal != nil {
+		_ = s.wal.Close()
+		s.wal = nil
+	}
+}
+
+// loop is the engine goroutine: it recovers durable state first, then
+// serializes every state mutation (ingest, epoch processing, query feeding)
+// so the pipeline sees exactly one epoch stream, in order.
+func (s *session) loop() {
+	defer s.wg.Done()
+	if err := s.startup(); err != nil {
+		s.logf("%v", err)
+		// Keep draining ops so clients get errors instead of hangs.
+	}
+	for {
+		select {
+		case <-s.quit:
+			return
+		case o := <-s.ops:
+			res := s.handleOp(o)
+			if o.done != nil {
+				o.done <- res
+			}
+		}
+	}
+}
+
+// handleOp runs one op on the engine goroutine.
+func (s *session) handleOp(o op) opResult {
+	switch serverState(s.state.Load()) {
+	case stateFailed:
+		return opResult{err: fmt.Errorf("session failed to recover: %v", s.readyErr)}
+	case stateClosed:
+		// An op that slipped into the queue behind the shutdown op must not
+		// be applied: the final checkpoint is already written and the WAL is
+		// closed, so applying (and worse, acking) it would lose the data on
+		// the next restart.
+		if o.done == nil {
+			s.logf("dropping op queued behind shutdown")
+		}
+		return opResult{err: fmt.Errorf("session is shut down")}
+	}
+	if o.shutdown {
+		s.shutdownDurable()
+		s.syncWALMetrics()
+		return opResult{}
+	}
+	if o.register != nil {
+		return s.handleRegisterOp(o)
+	}
+	if o.unregister != "" {
+		return s.handleUnregisterOp(o)
+	}
+	var events []rfid.Event
+	var err error
+	if o.ingest { // ingest batch
+		if werr := s.logBatch(o); werr != nil {
+			// Write-ahead failed: refuse the batch rather than accept data
+			// that would vanish on crash.
+			s.engineErrs.Inc()
+			s.logf("wal append: %v", werr)
+			return opResult{err: werr}
+		}
+		rep := s.runner.Ingest(o.readings, o.locations)
+		s.readings.Add(rep.Readings)
+		s.locations.Add(rep.Locations)
+		s.lateDropped.Add(rep.LateDropped)
+		events, err = s.runner.Advance()
+	} else { // flush
+		// Log the seal whenever it will change state: either epochs will be
+		// sealed, or the queries' held-back windows will be flushed (which
+		// mutates operator state and result sequences, so it must replay).
+		if st := s.runner.Stats(); st.Watermark >= st.NextEpoch || o.flushWindows {
+			if werr := s.logSeal(st.Watermark, o.flushWindows); werr != nil {
+				s.engineErrs.Inc()
+				s.logf("wal seal: %v", werr)
+				return opResult{err: werr}
+			}
+		}
+		events, err = s.runner.Flush()
+	}
+	if err != nil {
+		// The runner skips failing epochs rather than wedging the stream;
+		// surface the failure on the error counter (and to flush callers).
+		s.engineErrs.Inc()
+		s.logf("epoch processing: %v", err)
+	}
+	rows := s.reg.Feed(events)
+	if o.flushWindows {
+		rows += s.reg.FlushAll()
+	}
+	s.events.Add(len(events))
+	s.results.Add(rows)
+	if rows > 0 {
+		s.notifyResults()
+	}
+	if n := int64(s.runner.Stats().Epochs); n > s.lastEpochsN {
+		s.epochs.Add(int(n - s.lastEpochsN))
+		s.lastEpochsN = n
+	}
+	s.maybeCheckpoint()
+	s.syncWALMetrics()
+	return opResult{events: len(events), results: rows, err: err}
+}
+
+// enqueue places an op on the bounded queue, waiting up to the session's
+// IngestWait for space. It returns a non-nil *apiError when the op could not
+// be queued (backpressure, client cancel).
+func (s *session) enqueue(o op, cancel <-chan struct{}) error {
+	timer := time.NewTimer(s.cfg.IngestWait)
+	defer timer.Stop()
+	select {
+	case s.ops <- o:
+		return nil
+	case <-cancel:
+		return errCanceled
+	case <-timer.C:
+		return errBackpressure
+	}
+}
+
+// scrapeGauges refreshes the gauges derived from live state at scrape time.
+func (s *session) scrapeGauges() {
+	st := s.runner.Stats()
+	s.queueDepth.Set(float64(len(s.ops)))
+	s.tracked.Set(float64(st.TrackedObjects))
+	s.particles.Set(float64(st.Particles))
+	s.buffered.Set(float64(st.BufferedEpochs))
+	if el := time.Since(s.start).Seconds(); el > 0 {
+		s.epochsRate.Set(float64(st.Epochs) / el)
+	}
+	s.ckptEpoch.Set(float64(s.lastCkptEpoch.Load()))
+	if nanos := s.lastCkptNanos.Load(); nanos > 0 {
+		s.ckptAge.Set(time.Since(time.Unix(0, nanos)).Seconds())
+	}
+}
+
+// Sentinel queueing errors; the HTTP layer maps them onto 503 responses.
+var (
+	errBackpressure = fmt.Errorf("op queue full (backpressure); retry")
+	errCanceled     = fmt.Errorf("request canceled")
+)

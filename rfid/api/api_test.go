@@ -1,0 +1,56 @@
+package api
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestErrorEnvelopeWire pins the envelope's exact wire shape and the Error
+// type's error-interface rendering.
+func TestErrorEnvelopeWire(t *testing.T) {
+	env := ErrorEnvelope{Error: &Error{Code: ErrNotFound, Message: "no such thing"}}
+	data, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"error":{"code":"not_found","message":"no such thing"}}`
+	if string(data) != want {
+		t.Fatalf("envelope = %s, want %s", data, want)
+	}
+
+	var back ErrorEnvelope
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	back.Error.HTTPStatus = 404
+	msg := back.Error.Error()
+	for _, part := range []string{"no such thing", "not_found", "404"} {
+		if !strings.Contains(msg, part) {
+			t.Fatalf("Error() = %q, missing %q", msg, part)
+		}
+	}
+	// Without a status the rendering omits the http clause.
+	if msg := (&Error{Code: ErrInternal, Message: "boom"}).Error(); strings.Contains(msg, "http") {
+		t.Fatalf("statusless Error() = %q mentions http", msg)
+	}
+}
+
+// TestOmitEmptyDefaults pins that zero-valued optional fields stay off the
+// wire — the property that lets v1 add fields without breaking old readers.
+func TestOmitEmptyDefaults(t *testing.T) {
+	data, err := json.Marshal(CreateSessionRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "{}" {
+		t.Fatalf("zero CreateSessionRequest = %s, want {}", data)
+	}
+	data, err = json.Marshal(QuerySpec{Kind: QueryLocationUpdates})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"kind":"location-updates"}` {
+		t.Fatalf("minimal QuerySpec = %s", data)
+	}
+}

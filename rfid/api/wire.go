@@ -1,0 +1,181 @@
+package api
+
+import "encoding/json"
+
+// Reading is one raw RFID reading on the wire.
+type Reading struct {
+	Time int    `json:"time"`
+	Tag  string `json:"tag"`
+}
+
+// LocationReport is one raw reader-location report on the wire.
+type LocationReport struct {
+	Time   int     `json:"time"`
+	X      float64 `json:"x"`
+	Y      float64 `json:"y"`
+	Z      float64 `json:"z"`
+	Phi    float64 `json:"phi,omitempty"`
+	HasPhi bool    `json:"has_phi,omitempty"`
+}
+
+// IngestRequest is the POST .../ingest body: one batch of raw records.
+type IngestRequest struct {
+	Readings  []Reading        `json:"readings,omitempty"`
+	Locations []LocationReport `json:"locations,omitempty"`
+}
+
+// IngestResponse acknowledges an accepted batch. On a durable session a 202
+// is a durability receipt: the batch reached the write-ahead log (under the
+// "always" fsync policy) before the response was sent.
+type IngestResponse struct {
+	Queued     bool `json:"queued"`
+	Durable    bool `json:"durable"`
+	Readings   int  `json:"readings"`
+	Locations  int  `json:"locations"`
+	QueueDepth int  `json:"queue_depth"`
+}
+
+// FlushResponse reports what a synchronous flush processed. A 200 means every
+// batch ingested before the flush has been fully processed — the
+// deterministic synchronization point batch clients use.
+type FlushResponse struct {
+	Events  int `json:"events"`
+	Results int `json:"results"`
+}
+
+// TagSnapshot is the current belief about one tag: the posterior-mean
+// location and its per-axis variance.
+type TagSnapshot struct {
+	Tag          string  `json:"tag"`
+	Found        bool    `json:"found"`
+	X            float64 `json:"x"`
+	Y            float64 `json:"y"`
+	Z            float64 `json:"z"`
+	VarX         float64 `json:"var_x"`
+	VarY         float64 `json:"var_y"`
+	VarZ         float64 `json:"var_z"`
+	NumParticles int     `json:"num_particles"`
+	Compressed   bool    `json:"compressed"`
+}
+
+// SnapshotOverview is the GET .../snapshot body: reader pose estimate,
+// progress counters and the tracked tag ids.
+type SnapshotOverview struct {
+	Reader         Pose     `json:"reader"`
+	Epochs         int      `json:"epochs"`
+	NextEpoch      int      `json:"next_epoch"`
+	Watermark      int      `json:"watermark"`
+	BufferedEpochs int      `json:"buffered_epochs"`
+	Particles      int      `json:"particles"`
+	Tracked        []string `json:"tracked"`
+}
+
+// HistorySnapshot is the GET .../snapshot?epoch=N body: every object's MAP
+// location as it was when that epoch was sealed.
+type HistorySnapshot struct {
+	Epoch   int           `json:"epoch"`
+	Objects []TagSnapshot `json:"objects"`
+}
+
+// Query kinds registrable through QuerySpec.Kind.
+const (
+	QueryLocationUpdates   = "location-updates"
+	QueryFireCode          = "fire-code"
+	QueryWindowedAggregate = "windowed-aggregate"
+)
+
+// Query evaluation modes for QuerySpec.Mode.
+const (
+	// ModeContinuous (the default, also spelled "") evaluates incrementally
+	// over the live clean event stream.
+	ModeContinuous = "continuous"
+	// ModeHistory evaluates once, at registration, over the retained epoch
+	// history; the query is finished immediately and its rows are polled like
+	// any other query's.
+	ModeHistory = "history"
+)
+
+// QuerySpec declaratively describes a continuous query; the POST .../queries
+// body is exactly this shape. Only the fields of the selected Kind are
+// consulted.
+type QuerySpec struct {
+	Kind string `json:"kind"`
+
+	// Mode selects live-stream ("continuous", the default) or time-travel
+	// ("history") evaluation.
+	Mode string `json:"mode,omitempty"`
+	// FromEpoch and ToEpoch bound a history-mode query's epoch range; ToEpoch
+	// 0 means "through the newest sealed epoch".
+	FromEpoch int `json:"from_epoch,omitempty"`
+	ToEpoch   int `json:"to_epoch,omitempty"`
+
+	// MinChange (location-updates): suppress updates that moved at most this
+	// many feet.
+	MinChange float64 `json:"min_change,omitempty"`
+
+	// WindowEpochs (fire-code, windowed-aggregate): range window length in
+	// epochs (default 5).
+	WindowEpochs int `json:"window_epochs,omitempty"`
+	// ThresholdPounds (fire-code): the Having threshold (default 200).
+	ThresholdPounds float64 `json:"threshold_pounds,omitempty"`
+	// WeightPounds (fire-code, windowed-aggregate): uniform per-object
+	// weight in pounds (default 1).
+	WeightPounds float64 `json:"weight_pounds,omitempty"`
+
+	// Op (windowed-aggregate): count, sum-weight or mean-weight (default
+	// count).
+	Op string `json:"op,omitempty"`
+	// GroupBy (windowed-aggregate): none or area (default none).
+	GroupBy string `json:"group_by,omitempty"`
+}
+
+// QueryInfo describes a registered query.
+type QueryInfo struct {
+	ID   string    `json:"id"`
+	Spec QuerySpec `json:"spec"`
+	// NextSeq is the sequence number the next result will get (equivalently:
+	// the number of results produced so far).
+	NextSeq int `json:"next_seq"`
+	// Buffered is the number of results currently held for polling.
+	Buffered int `json:"buffered"`
+	// Dropped is the number of old results evicted unpolled.
+	Dropped int `json:"dropped"`
+	// Finished reports that the query will produce no further rows.
+	Finished bool `json:"finished,omitempty"`
+}
+
+// QueryList is the GET .../queries body.
+type QueryList []QueryInfo
+
+// QueryResult is one result row. Seq numbers are per query, start at 0 and
+// never repeat, so clients poll with "everything after seq N"; Row is the
+// kind-specific row object (location update, violation or aggregate row).
+type QueryResult struct {
+	Seq int             `json:"seq"`
+	Row json.RawMessage `json:"row"`
+}
+
+// ResultsPage is the GET .../queries/{id}/results body. With ?wait=DURATION
+// the server long-polls: it holds the request until a result with Seq >
+// after arrives, the wait elapses, or the query finishes — so clients stream
+// results without hot-polling.
+type ResultsPage struct {
+	Query   QueryInfo     `json:"query"`
+	Results []QueryResult `json:"results"`
+}
+
+// Health is the GET /healthz and /v1/healthz body.
+type Health struct {
+	OK bool `json:"ok"`
+	// State is the default session's durability lifecycle: recovering |
+	// serving | failed | closed.
+	State         string  `json:"state"`
+	Durable       bool    `json:"durable"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Sessions is the number of live sessions.
+	Sessions int `json:"sessions"`
+	// LastCheckpointEpoch and RecoveredFromEpoch describe the default
+	// session's durable progress (durable servers only).
+	LastCheckpointEpoch *int `json:"last_checkpoint_epoch,omitempty"`
+	RecoveredFromEpoch  *int `json:"recovered_from_epoch,omitempty"`
+}

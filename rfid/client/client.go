@@ -1,0 +1,186 @@
+// Package client is the typed Go SDK for the serving layer's v1 API
+// (rfidserve). It speaks only the stable public wire schema (rfid/api) —
+// create sessions, ingest raw record batches, register continuous queries,
+// iterate results with long-polling, and read snapshots — with structured
+// errors surfaced as *api.Error values.
+//
+// The package deliberately has no dependency on the engine's internal
+// packages, so it can be vendored into external services unchanged.
+//
+// Typical use:
+//
+//	c := client.New("http://localhost:8080")
+//	sess, err := c.CreateSession(ctx, api.CreateSessionRequest{Source: api.SourceSynthetic})
+//	s := c.Session(sess.ID)
+//	_, err = s.Ingest(ctx, api.IngestRequest{Readings: ...})
+//	info, err := s.RegisterQuery(ctx, api.QuerySpec{Kind: api.QueryLocationUpdates})
+//	it := s.Results(info.ID, client.PollOptions{After: client.FromStart, Wait: 30 * time.Second})
+//	for {
+//		rows, err := it.Next(ctx) // long-polls; empty only on wait timeout
+//		...
+//	}
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"repro/rfid/api"
+)
+
+// Client talks to one rfidserve process.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient replaces the underlying *http.Client (timeouts, transport,
+// instrumentation). The default client has no overall timeout, which is what
+// long-polled result reads want; apply per-request deadlines via context.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New returns a client for the server at base (e.g. "http://localhost:8080").
+func New(base string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// CreateSession creates a new session resource and returns its description.
+func (c *Client) CreateSession(ctx context.Context, req api.CreateSessionRequest) (api.Session, error) {
+	var out api.Session
+	err := c.do(ctx, http.MethodPost, "/v1/sessions", req, &out)
+	return out, err
+}
+
+// Sessions lists every live session.
+func (c *Client) Sessions(ctx context.Context) ([]api.Session, error) {
+	var out api.SessionList
+	if err := c.do(ctx, http.MethodGet, "/v1/sessions", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Sessions, nil
+}
+
+// GetSession describes one session.
+func (c *Client) GetSession(ctx context.Context, id string) (api.Session, error) {
+	var out api.Session
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+url.PathEscape(id), nil, &out)
+	return out, err
+}
+
+// DeleteSession closes a session and deletes its durable state.
+func (c *Client) DeleteSession(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/sessions/"+url.PathEscape(id), nil, nil)
+}
+
+// Health reads /v1/healthz. A failed (unrecovered) server answers 503 with a
+// valid Health body; Health decodes that body too and returns it with a nil
+// error, so callers distinguish server states by OK/State rather than by
+// transport errors. The error is non-nil only when the request itself failed
+// or the body was not a Health document.
+func (c *Client) Health(ctx context.Context) (api.Health, error) {
+	var out api.Health
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/healthz", nil)
+	if err != nil {
+		return out, fmt.Errorf("client: healthz: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return out, fmt.Errorf("client: healthz: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return out, fmt.Errorf("client: healthz: %w", err)
+	}
+	if jerr := json.Unmarshal(data, &out); jerr != nil || out.State == "" {
+		return out, decodeErrorBytes(resp.StatusCode, data)
+	}
+	return out, nil
+}
+
+// Session returns a handle scoped to one session id. No network traffic
+// happens until a method is called; the id need not exist yet.
+func (c *Client) Session(id string) *Session {
+	return &Session{c: c, id: id, prefix: "/v1/sessions/" + url.PathEscape(id)}
+}
+
+// Default returns the handle for the reserved "default" session the legacy
+// unversioned routes alias onto.
+func (c *Client) Default() *Session { return c.Session("default") }
+
+// do performs one JSON round-trip. Non-2xx responses are decoded from the
+// structured error envelope into *api.Error (with HTTPStatus filled in); a
+// body that is not an envelope becomes an *api.Error with the raw text.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: encode %s %s: %w", method, path, err)
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		// Drain so the connection is reusable.
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// decodeError turns a non-2xx response into an *api.Error.
+func decodeError(resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	return decodeErrorBytes(resp.StatusCode, data)
+}
+
+// decodeErrorBytes builds the *api.Error for an already-read body.
+func decodeErrorBytes(status int, data []byte) error {
+	var env api.ErrorEnvelope
+	if err := json.Unmarshal(data, &env); err == nil && env.Error != nil && env.Error.Code != "" {
+		env.Error.HTTPStatus = status
+		return env.Error
+	}
+	msg := strings.TrimSpace(string(data))
+	if msg == "" {
+		msg = http.StatusText(status)
+	}
+	return &api.Error{
+		Code:       fmt.Sprintf("http_%d", status),
+		Message:    msg,
+		HTTPStatus: status,
+	}
+}
