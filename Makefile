@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke baseline baseline-serve doc-check serve-smoke cover alloc-gate fuzz-smoke recover-smoke api-smoke
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke baseline baseline-serve doc-check serve-smoke cover alloc-gate fuzz-smoke recover-smoke api-smoke stream-smoke
 
 all: build vet fmt-check doc-check test
 
@@ -31,12 +31,15 @@ test:
 # assertions themselves are skipped (race instrumentation allocates) but the
 # arena-backed hot path is still exercised for data races.
 race:
-	$(GO) test -race ./internal/core ./internal/factored ./internal/serve ./rfid ./rfid/client ./internal/wal ./internal/checkpoint
+	$(GO) test -race ./internal/core ./internal/factored ./internal/serve ./rfid ./rfid/client ./rfid/wire ./internal/wal ./internal/checkpoint
 
 # Allocation gate: the per-object hot path must perform zero steady-state
-# heap allocations (structure-of-arrays particle storage + arena scratch).
+# heap allocations (structure-of-arrays particle storage + arena scratch),
+# and so must the server's streaming-ingest decode path (frame -> SoA batch
+# with reused scratch and interned tags).
 alloc-gate:
 	$(GO) test -run 'TestStepObjectsZeroAlloc|TestEpochPrologueAllocBound' -v ./internal/factored
+	$(GO) test -run 'TestStreamDecodeZeroAlloc' -v ./internal/serve
 
 # Coverage ratchet: fails when total statement coverage drops below the
 # recorded threshold. Raise the threshold when coverage improves; never lower
@@ -62,6 +65,8 @@ fuzz-smoke:
 	$(GO) test -fuzz='^FuzzRecordDecode$$' -fuzztime=10s -run '^$$' ./internal/wal
 	$(GO) test -fuzz='^FuzzCheckpointDecode$$' -fuzztime=15s -run '^$$' ./internal/checkpoint
 	$(GO) test -fuzz='^FuzzDecoderPrimitives$$' -fuzztime=10s -run '^$$' ./internal/checkpoint
+	$(GO) test -fuzz='^FuzzWireFrame$$' -fuzztime=15s -run '^$$' ./rfid/wire
+	$(GO) test -fuzz='^FuzzWireBatch$$' -fuzztime=10s -run '^$$' ./rfid/wire
 
 # Godoc gate: every package (and command) must carry a package doc comment —
 # a comment block immediately above its package clause in at least one
@@ -99,6 +104,14 @@ recover-smoke:
 api-smoke:
 	$(GO) test -race -run 'TestAPISmoke$$|TestMultiSessionCrashRecovery' -v ./internal/serve
 
+# Streaming data-plane smoke: a real subprocess serves the v1 API, the parent
+# streams a trace through the SDK's StreamIngester over the persistent binary
+# connection, SIGKILLs the child mid-stream, restarts it on the same data
+# directory and verifies the ingester's reconnect-and-resume delivers every
+# batch exactly once — final state byte-identical to an uninterrupted run.
+stream-smoke:
+	$(GO) test -race -run 'TestStreamSmoke$$|TestStreamReconnectResume' -v ./internal/serve
+
 # Full benchmark run (slow; minutes).
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
@@ -112,7 +125,9 @@ bench-smoke:
 baseline:
 	$(GO) run ./cmd/rfidbench -par -workers 4 -json BENCH_baseline.json
 
-# Refresh the committed serving-path baseline (HTTP ingest -> long-polled
-# result latency/throughput at 1 vs 4 sessions).
+# Refresh the committed serving-path baseline: both data planes (JSON-over-
+# HTTP and the binary stream) at 1 vs 4 sessions, over the control-heavy
+# workload (16 objs/batch, 200 particles) and the read-dense one (128
+# objs/batch, 25 particles) that exposes the wire path.
 baseline-serve:
-	$(GO) run ./cmd/rfidbench -serve -sessions 1,4 -json BENCH_serve.json
+	$(GO) run ./cmd/rfidbench -serve -stream -sessions 1,4 -epochs 120 -batch 16,128 -particles 200,25 -json BENCH_serve.json

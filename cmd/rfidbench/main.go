@@ -25,6 +25,47 @@ import (
 	"repro/internal/wal"
 )
 
+// intList parses a comma-separated list of positive integers.
+func intList(flagName, s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad %s %q", flagName, s)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// zipWorkloads pairs the -batch and -particles lists element-wise; a
+// single-element list is broadcast across the other.
+func zipWorkloads(batches, particles []int) ([]serveWorkload, error) {
+	n := len(batches)
+	if len(particles) > n {
+		n = len(particles)
+	}
+	pick := func(list []int, i int) (int, bool) {
+		if len(list) == 1 {
+			return list[0], true
+		}
+		if i < len(list) {
+			return list[i], true
+		}
+		return 0, false
+	}
+	out := make([]serveWorkload, n)
+	for i := range out {
+		b, okB := pick(batches, i)
+		p, okP := pick(particles, i)
+		if !okB || !okP {
+			return nil, fmt.Errorf("-batch has %d entries but -particles has %d; lists must match (or be length 1)", len(batches), len(particles))
+		}
+		out[i] = serveWorkload{objectsPerBatch: b, particles: p}
+	}
+	return out, nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("rfidbench: ")
@@ -41,10 +82,11 @@ func main() {
 		jsonOut = flag.String("json", "", "write -par results as JSON to this file (e.g. BENCH_baseline.json)")
 
 		serveBench = flag.Bool("serve", false, "run the serving-path benchmark (HTTP ingest -> long-polled result latency/throughput per session count)")
+		stream     = flag.Bool("stream", false, "also run -serve over the persistent binary stream (client.StreamIngester, send->ack latency)")
 		sessions   = flag.String("sessions", "1,4", "comma-separated session counts for -serve")
 		epochs     = flag.Int("epochs", 40, "epochs ingested per session for -serve")
-		batchObjs  = flag.Int("batch", 16, "objects (readings) per ingest batch for -serve")
-		particles  = flag.Int("particles", 200, "particles per object for -serve")
+		batchObjs  = flag.String("batch", "16", "objects (readings) per ingest batch for -serve; a comma list is zipped with -particles into workloads")
+		particles  = flag.String("particles", "200", "particles per object for -serve; a comma list is zipped with -batch into workloads")
 
 		durable   = flag.Bool("durable", false, "run the durability-overhead benchmark (WAL + checkpoints vs in-memory)")
 		fsyncMode = flag.String("fsync", "never", "WAL fsync policy for -durable: always, interval or never")
@@ -55,15 +97,23 @@ func main() {
 	opts := experiments.Options{Scale: *scale, Seed: *seed}
 
 	if *serveBench {
-		var counts []int
-		for _, part := range strings.Split(*sessions, ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(part))
-			if err != nil || n <= 0 {
-				log.Fatalf("bad -sessions %q", *sessions)
-			}
-			counts = append(counts, n)
+		counts, err := intList("-sessions", *sessions)
+		if err != nil {
+			log.Fatal(err)
 		}
-		rep, err := runServeBench(counts, *epochs, *batchObjs, *particles, *seed)
+		batches, err := intList("-batch", *batchObjs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		parts, err := intList("-particles", *particles)
+		if err != nil {
+			log.Fatal(err)
+		}
+		workloads, err := zipWorkloads(batches, parts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := runServeBench(counts, *epochs, workloads, *stream, *seed)
 		if err != nil {
 			log.Fatalf("serving benchmark: %v", err)
 		}

@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestIntList(t *testing.T) {
+	got, err := intList("-batch", " 16, 128 ")
+	if err != nil || len(got) != 2 || got[0] != 16 || got[1] != 128 {
+		t.Fatalf("intList = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "frog", "0", "-3", "1,,2"} {
+		if _, err := intList("-batch", bad); err == nil {
+			t.Fatalf("intList accepted %q", bad)
+		}
+	}
+}
+
+func TestZipWorkloads(t *testing.T) {
+	got, err := zipWorkloads([]int{16, 128}, []int{200, 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []serveWorkload{{16, 200}, {128, 25}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("pairwise zip = %v", got)
+	}
+
+	got, err = zipWorkloads([]int{16, 128}, []int{50})
+	if err != nil || len(got) != 2 || got[0].particles != 50 || got[1].particles != 50 {
+		t.Fatalf("broadcast zip = %v, %v", got, err)
+	}
+
+	if _, err := zipWorkloads([]int{1, 2, 3}, []int{4, 5}); err == nil {
+		t.Fatal("mismatched list lengths accepted")
+	}
+}

@@ -16,23 +16,42 @@ import (
 	"repro/rfid/client"
 )
 
-// The serving-path benchmark: drive the full HTTP surface (v1 sessions, JSON
-// wire schema, long-polled result delivery) the way a fleet of per-site
-// readers would, and measure ingest->result latency and throughput as the
-// session count grows. This is the serving counterpart of the engine-level
-// -par benchmark: it includes JSON codec cost, the per-session op queues and
-// the long-poll wakeup path.
+// The serving-path benchmark: drive the v1 surface the way a fleet of
+// per-site readers would, and measure latency and throughput as the session
+// count grows. Two data planes are covered:
+//
+//   - mode "http": one JSON POST per batch plus a long-polled result read.
+//     Latency is ingest->result — POST until the epoch's first
+//     continuous-query row is observable.
+//   - mode "stream": the persistent binary stream (rfid/wire frames through
+//     client.StreamIngester), self-clocked to the credit window. Latency is
+//     send->ack — the batch is sealed until its cumulative ack arrives,
+//     meaning the engine has applied it.
+//
+// Each -batch/-particles pair is one workload; the classic control-heavy
+// shape (few objects, many particles) is engine-bound, while a read-dense
+// shape (many objects, few particles) exposes the wire path itself.
 
-// serveBenchResult is one session-count configuration's outcome.
+// serveWorkload is one -batch/-particles combination.
+type serveWorkload struct {
+	objectsPerBatch int
+	particles       int
+}
+
+// serveBenchResult is one (mode, workload, session-count) configuration's
+// outcome.
 type serveBenchResult struct {
+	Mode            string  `json:"mode"`
 	Sessions        int     `json:"sessions"`
+	ObjectsPerBatch int     `json:"objects_per_batch"`
+	ObjectParticles int     `json:"object_particles"`
 	EpochsPerSess   int     `json:"epochs_per_session"`
 	ReadingsPerSess int     `json:"readings_per_session"`
 	ElapsedMS       float64 `json:"elapsed_ms"`
 	BatchesPerSec   float64 `json:"batches_per_sec"`
 	ReadingsPerSec  float64 `json:"readings_per_sec"`
-	// Ingest->result latency: POST ingest until the epoch's first
-	// continuous-query row is observable through a long-polled results read.
+	// Latency per batch: ingest->result for mode http, send->ack for mode
+	// stream (see the package comment).
 	LatencyMeanMS float64 `json:"latency_mean_ms"`
 	LatencyP50MS  float64 `json:"latency_p50_ms"`
 	LatencyP95MS  float64 `json:"latency_p95_ms"`
@@ -41,34 +60,35 @@ type serveBenchResult struct {
 
 // serveBenchReport is the BENCH_serve.json schema.
 type serveBenchReport struct {
-	Epochs          int                `json:"epochs"`
-	ObjectsPerBatch int                `json:"objects_per_batch"`
-	ObjectParticles int                `json:"object_particles"`
-	Seed            int64              `json:"seed"`
-	Results         []serveBenchResult `json:"results"`
+	Epochs  int                `json:"epochs"`
+	Seed    int64              `json:"seed"`
+	Results []serveBenchResult `json:"results"`
 }
 
-// runServeBench runs the benchmark for each session count.
-func runServeBench(sessionCounts []int, epochs, objectsPerBatch, particles int, seed int64) (serveBenchReport, error) {
-	rep := serveBenchReport{
-		Epochs:          epochs,
-		ObjectsPerBatch: objectsPerBatch,
-		ObjectParticles: particles,
-		Seed:            seed,
+// runServeBench runs every (workload, session count, mode) combination.
+func runServeBench(sessionCounts []int, epochs int, workloads []serveWorkload, stream bool, seed int64) (serveBenchReport, error) {
+	rep := serveBenchReport{Epochs: epochs, Seed: seed}
+	modes := []string{"http"}
+	if stream {
+		modes = append(modes, "stream")
 	}
-	for _, n := range sessionCounts {
-		res, err := runServeBenchOne(n, epochs, objectsPerBatch, particles, seed)
-		if err != nil {
-			return rep, fmt.Errorf("%d sessions: %w", n, err)
+	for _, wl := range workloads {
+		for _, mode := range modes {
+			for _, n := range sessionCounts {
+				res, err := runServeBenchOne(mode, n, epochs, wl, seed)
+				if err != nil {
+					return rep, fmt.Errorf("%s, %d sessions, %d objs/batch: %w", mode, n, wl.objectsPerBatch, err)
+				}
+				rep.Results = append(rep.Results, res)
+			}
 		}
-		rep.Results = append(rep.Results, res)
 	}
 	return rep, nil
 }
 
 // runServeBenchOne starts one in-process server, creates n sessions and
 // drives them concurrently over real loopback HTTP.
-func runServeBenchOne(n, epochs, objectsPerBatch, particles int, seed int64) (serveBenchResult, error) {
+func runServeBenchOne(mode string, n, epochs int, wl serveWorkload, seed int64) (serveBenchResult, error) {
 	world := rfid.NewWorld()
 	world.AddShelf(rfid.Shelf{ID: "floor", Region: rfid.NewBBox(rfid.Vec3{}, rfid.Vec3{X: 40, Y: 40, Z: 8})})
 	cfg := rfid.DefaultConfig(rfid.DefaultParams(), world)
@@ -88,25 +108,16 @@ func runServeBenchOne(n, epochs, objectsPerBatch, particles int, seed int64) (se
 
 	ctx := context.Background()
 	c := client.New(ts.URL)
-	type driver struct {
-		sess    *client.Session
-		queryID string
-	}
-	drivers := make([]driver, n)
-	for i := range drivers {
+	sessions := make([]*client.Session, n)
+	for i := range sessions {
 		created, err := c.CreateSession(ctx, api.CreateSessionRequest{
 			Source: api.SourceSynthetic,
-			Engine: &api.EngineConfig{ObjectParticles: particles, Seed: seed + int64(i)},
+			Engine: &api.EngineConfig{ObjectParticles: wl.particles, Seed: seed + int64(i)},
 		})
 		if err != nil {
 			return serveBenchResult{}, err
 		}
-		sess := c.Session(created.ID)
-		info, err := sess.RegisterQuery(ctx, api.QuerySpec{Kind: api.QueryLocationUpdates, MinChange: 0.0})
-		if err != nil {
-			return serveBenchResult{}, err
-		}
-		drivers[i] = driver{sess: sess, queryID: info.ID}
+		sessions[i] = c.Session(created.ID)
 	}
 
 	var (
@@ -114,59 +125,35 @@ func runServeBenchOne(n, epochs, objectsPerBatch, particles int, seed int64) (se
 		latencies []float64
 		firstErr  error
 	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	record := func(ms float64) {
+		mu.Lock()
+		latencies = append(latencies, ms)
+		mu.Unlock()
+	}
+
 	start := time.Now()
 	var wg sync.WaitGroup
-	for i, d := range drivers {
+	for i, sess := range sessions {
 		wg.Add(1)
-		go func(i int, d driver) {
+		go func(i int, sess *client.Session) {
 			defer wg.Done()
-			after := -1
-			for ep := 0; ep < epochs; ep++ {
-				batch := api.IngestRequest{
-					Locations: []api.LocationReport{{Time: ep, X: 1 + 0.05*float64(ep), Y: 2, Z: 3}},
-				}
-				for o := 0; o < objectsPerBatch; o++ {
-					batch.Readings = append(batch.Readings, api.Reading{
-						Time: ep, Tag: fmt.Sprintf("obj-%d", o),
-					})
-				}
-				t0 := time.Now()
-				if _, err := d.sess.Ingest(ctx, batch); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("session %d ingest epoch %d: %w", i, ep, err)
-					}
-					mu.Unlock()
-					return
-				}
-				// Long-poll until this epoch's rows land (hold=0: every
-				// ingest seals its epoch). An empty page is a wait timeout,
-				// not a latency observation — retry rather than record it, or
-				// the percentiles would mix poll-timeout artifacts with real
-				// ingest->result latency (and misattribute the late rows to
-				// the next epoch's sample).
-				for {
-					page, err := d.sess.PollResults(ctx, d.queryID, client.PollOptions{After: after, Wait: 10 * time.Second})
-					if err != nil {
-						mu.Lock()
-						if firstErr == nil {
-							firstErr = fmt.Errorf("session %d poll epoch %d: %w", i, ep, err)
-						}
-						mu.Unlock()
-						return
-					}
-					if len(page.Results) == 0 {
-						continue
-					}
-					lat := time.Since(t0).Seconds() * 1e3
-					after = page.Results[len(page.Results)-1].Seq
-					mu.Lock()
-					latencies = append(latencies, lat)
-					mu.Unlock()
-					break
-				}
+			var err error
+			if mode == "stream" {
+				err = driveStreamSession(sess, epochs, wl, record)
+			} else {
+				err = driveHTTPSession(ctx, sess, epochs, wl, record)
 			}
-		}(i, d)
+			if err != nil {
+				fail(fmt.Errorf("session %d: %w", i, err))
+			}
+		}(i, sess)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -190,11 +177,14 @@ func runServeBenchOne(n, epochs, objectsPerBatch, particles int, seed int64) (se
 		return latencies[idx]
 	}
 	totalBatches := float64(n * epochs)
-	totalReadings := float64(n * epochs * objectsPerBatch)
+	totalReadings := float64(n * epochs * wl.objectsPerBatch)
 	return serveBenchResult{
+		Mode:            mode,
 		Sessions:        n,
+		ObjectsPerBatch: wl.objectsPerBatch,
+		ObjectParticles: wl.particles,
 		EpochsPerSess:   epochs,
-		ReadingsPerSess: epochs * objectsPerBatch,
+		ReadingsPerSess: epochs * wl.objectsPerBatch,
 		ElapsedMS:       elapsed.Seconds() * 1e3,
 		BatchesPerSec:   totalBatches / elapsed.Seconds(),
 		ReadingsPerSec:  totalReadings / elapsed.Seconds(),
@@ -205,15 +195,127 @@ func runServeBenchOne(n, epochs, objectsPerBatch, particles int, seed int64) (se
 	}, nil
 }
 
+// driveHTTPSession is the classic data plane: one JSON POST per epoch batch,
+// then a long-poll until that epoch's continuous-query rows land.
+func driveHTTPSession(ctx context.Context, sess *client.Session, epochs int, wl serveWorkload, record func(float64)) error {
+	// MinChange -1 disables update suppression entirely: MinChange 0 still
+	// swallows epochs whose estimates froze exactly in place (converged
+	// particles snap to a fixed point), and the latency loop below needs a row
+	// per epoch to measure against.
+	info, err := sess.RegisterQuery(ctx, api.QuerySpec{Kind: api.QueryLocationUpdates, MinChange: -1})
+	if err != nil {
+		return err
+	}
+	after := -1
+	for ep := 0; ep < epochs; ep++ {
+		batch := api.IngestRequest{
+			Locations: []api.LocationReport{{Time: ep, X: 1 + 0.05*float64(ep), Y: 2, Z: 3}},
+		}
+		for o := 0; o < wl.objectsPerBatch; o++ {
+			batch.Readings = append(batch.Readings, api.Reading{
+				Time: ep, Tag: fmt.Sprintf("obj-%d", o),
+			})
+		}
+		t0 := time.Now()
+		if _, err := sess.Ingest(ctx, batch); err != nil {
+			return fmt.Errorf("ingest epoch %d: %w", ep, err)
+		}
+		// Long-poll until this epoch's rows land (hold=0: every ingest seals
+		// its epoch). An empty page is a wait timeout, not a latency
+		// observation — retry rather than record it, or the percentiles would
+		// mix poll-timeout artifacts with real ingest->result latency (and
+		// misattribute the late rows to the next epoch's sample). The retry
+		// count is bounded so a starved query fails the run loudly instead of
+		// hanging it.
+		for attempt := 0; ; attempt++ {
+			if attempt == 3 {
+				return fmt.Errorf("epoch %d produced no query rows after %d long polls", ep, attempt)
+			}
+			page, err := sess.PollResults(ctx, info.ID, client.PollOptions{After: after, Wait: 10 * time.Second})
+			if err != nil {
+				return fmt.Errorf("poll epoch %d: %w", ep, err)
+			}
+			if len(page.Results) == 0 {
+				continue
+			}
+			record(time.Since(t0).Seconds() * 1e3)
+			after = page.Results[len(page.Results)-1].Seq
+			break
+		}
+	}
+	return nil
+}
+
+// streamBenchWindow bounds how many sealed batches a stream driver keeps in
+// flight: deep enough to keep the pipeline full, shallow enough that the
+// recorded send->ack latency reflects the wire and engine rather than
+// self-inflicted queueing.
+const streamBenchWindow = 2
+
+// driveStreamSession is the binary data plane: one StreamIngester per
+// session, one sealed frame per epoch, self-clocked so at most
+// streamBenchWindow batches are outstanding. Sequence numbers on a fresh
+// session start at 1 and map 1:1 onto epoch order, which is what lets the
+// cumulative acks be matched back to seal times.
+func driveStreamSession(sess *client.Session, epochs int, wl serveWorkload, record func(float64)) error {
+	var (
+		mu    sync.Mutex
+		seal  = make([]time.Time, epochs+1) // indexed by seq
+		acked uint64
+	)
+	slots := make(chan struct{}, streamBenchWindow)
+	ing := sess.Stream(client.StreamOptions{
+		// Each epoch's location + readings exactly fill one batch.
+		BatchSize:     wl.objectsPerBatch + 1,
+		FlushInterval: time.Hour,
+		OnAck: func(a api.StreamAck) {
+			now := time.Now()
+			mu.Lock()
+			for s := acked + 1; s <= a.UpTo; s++ {
+				if s < uint64(len(seal)) && !seal[s].IsZero() {
+					record(now.Sub(seal[s]).Seconds() * 1e3)
+				}
+				select {
+				case <-slots:
+				default:
+				}
+			}
+			if a.UpTo > acked {
+				acked = a.UpTo
+			}
+			mu.Unlock()
+		},
+	})
+	for ep := 0; ep < epochs; ep++ {
+		slots <- struct{}{}
+		mu.Lock()
+		seal[ep+1] = time.Now()
+		mu.Unlock()
+		if err := ing.AddLocation(api.LocationReport{Time: ep, X: 1 + 0.05*float64(ep), Y: 2, Z: 3}); err != nil {
+			return fmt.Errorf("stream epoch %d: %w", ep, err)
+		}
+		for o := 0; o < wl.objectsPerBatch; o++ {
+			if err := ing.AddReading(ep, fmt.Sprintf("obj-%d", o)); err != nil {
+				return fmt.Errorf("stream epoch %d: %w", ep, err)
+			}
+		}
+	}
+	closeCtx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := ing.Close(closeCtx); err != nil {
+		return fmt.Errorf("stream close: %w", err)
+	}
+	return nil
+}
+
 // printServeReport renders the benchmark for the terminal.
 func printServeReport(rep serveBenchReport) {
-	fmt.Printf("serving-path benchmark: %d epochs/session, %d objects/batch, %d particles/object\n",
-		rep.Epochs, rep.ObjectsPerBatch, rep.ObjectParticles)
-	fmt.Printf("%-10s %12s %14s %12s %10s %10s %10s\n",
-		"sessions", "elapsed", "readings/s", "batches/s", "lat p50", "lat p95", "lat max")
+	fmt.Printf("serving-path benchmark: %d epochs/session\n", rep.Epochs)
+	fmt.Printf("%-8s %-10s %6s %10s %12s %14s %12s %10s %10s %10s\n",
+		"mode", "sessions", "objs", "particles", "elapsed", "readings/s", "batches/s", "lat p50", "lat p95", "lat max")
 	for _, r := range rep.Results {
-		fmt.Printf("%-10d %10.1fms %14.0f %12.1f %8.2fms %8.2fms %8.2fms\n",
-			r.Sessions, r.ElapsedMS, r.ReadingsPerSec, r.BatchesPerSec,
+		fmt.Printf("%-8s %-10d %6d %10d %10.1fms %14.0f %12.1f %8.2fms %8.2fms %8.2fms\n",
+			r.Mode, r.Sessions, r.ObjectsPerBatch, r.ObjectParticles, r.ElapsedMS, r.ReadingsPerSec, r.BatchesPerSec,
 			r.LatencyP50MS, r.LatencyP95MS, r.LatencyMaxMS)
 	}
 }

@@ -23,6 +23,14 @@
 // the reserved "default" session, which the legacy unversioned routes
 // (POST /ingest, GET /snapshot, ...) alias onto.
 //
+// High-volume producers use the streaming data plane instead of per-batch
+// HTTP: POST /v1/sessions/{sid}/stream upgrades the connection to a
+// persistent binary ingest stream (CRC-framed rfid/wire batches, windowed
+// cumulative acks that double as durability receipts, reconnect-and-resume
+// from the durable sequence watermark). The rfid/client SDK wraps it as
+// StreamIngester; see the "Streaming ingest" section of API.md for the
+// protocol.
+//
 // Interact with curl:
 //
 //	curl -X POST localhost:8080/v1/sessions -d '{"source":"synthetic","engine":{"seed":7}}'

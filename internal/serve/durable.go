@@ -56,6 +56,10 @@ func (s serverState) String() string {
 // durable reports whether the server was configured with a data directory.
 func (s *session) durable() bool { return s.cfg.DataDir != "" }
 
+// serveStreamSection marks the serve-level checkpoint section holding the
+// stream resume point, appended after the runner and registry state.
+const serveStreamSection = "serve.stream"
+
 // startup runs on the engine goroutine before the op loop: recover durable
 // state if configured, then open the WAL for appends and flip to serving.
 // The returned error has already been recorded for WaitReady.
@@ -108,6 +112,17 @@ func (s *session) recoverLocked() error {
 		if err := s.reg.RestoreState(dec); err != nil {
 			return fmt.Errorf("restore query registry from %s: %w", path, err)
 		}
+		// The serve-level section (stream resume point) was appended to the
+		// payload after the registry state; checkpoints written before it
+		// existed simply end here, which is a valid empty resume point.
+		if dec.Remaining() > 0 {
+			dec.Section(serveStreamSection)
+			seq := dec.Uvarint()
+			if err := dec.Err(); err != nil {
+				return fmt.Errorf("restore stream state from %s: %w", path, err)
+			}
+			s.lastStreamSeq.Store(seq)
+		}
 		fromSeg = snap.WALSegment
 		s.lastCkptEpoch.Store(int64(snap.Epoch))
 		s.lastCkptNanos.Store(time.Now().UnixNano())
@@ -147,6 +162,9 @@ func (s *session) recoverLocked() error {
 	st, err := wal.Replay(s.cfg.DataDir, fromSeg, func(rec wal.Record) error {
 		switch rec.Type {
 		case wal.RecBatch:
+			if rec.StreamSeq > s.lastStreamSeq.Load() {
+				s.lastStreamSeq.Store(rec.StreamSeq)
+			}
 			s.runner.Ingest(rec.Readings, rec.Locations)
 			events, err := s.runner.Advance()
 			s.reg.Feed(events)
@@ -199,7 +217,13 @@ func (s *session) logBatch(o op) error {
 	if s.wal == nil {
 		return nil
 	}
-	return s.wal.Append(wal.Record{Type: wal.RecBatch, Readings: o.readings, Locations: o.locations})
+	rec := wal.Record{Type: wal.RecBatch, Readings: o.readings, Locations: o.locations}
+	if o.sb != nil {
+		// Stream batches carry their client-assigned sequence number into the
+		// log (HTTP batches log 0), so recovery rebuilds the resume point.
+		rec.StreamSeq = o.sb.seq
+	}
+	return s.wal.Append(rec)
 }
 
 // logSeal appends an explicit-seal record with the horizon a flush is about
@@ -282,6 +306,8 @@ func (s *session) writeCheckpoint() error {
 	enc := checkpoint.NewEncoder()
 	s.runner.SaveState(enc)
 	s.reg.SaveState(enc)
+	enc.Section(serveStreamSection)
+	enc.Uvarint(s.lastStreamSeq.Load())
 	epoch := s.runner.Stats().NextEpoch - 1
 	if epoch < 0 {
 		epoch = 0

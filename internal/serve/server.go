@@ -14,6 +14,9 @@
 //	GET    /v1/sessions/{sid}              describe one session
 //	DELETE /v1/sessions/{sid}              close a session and delete its state
 //	POST   /v1/sessions/{sid}/ingest       enqueue a batch of raw records
+//	POST   /v1/sessions/{sid}/stream       upgrade to the binary streaming
+//	                                       ingest protocol (persistent frames,
+//	                                       windowed acks; see stream.go)
 //	POST   /v1/sessions/{sid}/flush        force-process buffered epochs
 //	GET    /v1/sessions/{sid}/snapshot     reader pose + all tracked tags
 //	GET    /v1/sessions/{sid}/snapshot/{tag}
@@ -41,11 +44,13 @@
 package serve
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -295,7 +300,7 @@ func (sv *Server) checkCreateLocked(id string, restoring bool) error {
 		return &api.Error{Code: api.ErrUnavailable, Message: "server is shutting down", HTTPStatus: http.StatusServiceUnavailable}
 	}
 	if !restoring && len(sv.sessions) >= sv.cfg.MaxSessions {
-		return &api.Error{Code: api.ErrUnavailable, Message: fmt.Sprintf("session limit (%d) reached", sv.cfg.MaxSessions), HTTPStatus: http.StatusServiceUnavailable}
+		return &api.Error{Code: api.ErrUnavailable, Message: fmt.Sprintf("session limit (%d) reached", sv.cfg.MaxSessions), HTTPStatus: http.StatusServiceUnavailable, RetryAfterMS: 1000}
 	}
 	if id == "" {
 		return nil
@@ -472,13 +477,18 @@ func (sv *Server) snapshotSessions() []*session {
 		out = append(out, s)
 	}
 	sv.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool {
-		if (out[i].id == DefaultSessionID) != (out[j].id == DefaultSessionID) {
-			return out[i].id == DefaultSessionID
-		}
-		return out[i].id < out[j].id
-	})
+	sort.Slice(out, func(i, j int) bool { return sessionIDLess(out[i].id, out[j].id) })
 	return out
+}
+
+// sessionIDLess is the stable order session listings use (and the order
+// pagination tokens are compared in): the default session first, then ids
+// ascending.
+func sessionIDLess(a, b string) bool {
+	if (a == DefaultSessionID) != (b == DefaultSessionID) {
+		return a == DefaultSessionID
+	}
+	return a < b
 }
 
 // Handler returns the HTTP handler serving the API. Error responses produced
@@ -538,6 +548,7 @@ func (sv *Server) routes() {
 	sv.mux.HandleFunc("GET /v1/sessions/{sid}", sv.withSession(sv.handleGetSession))
 	sv.mux.HandleFunc("DELETE /v1/sessions/{sid}", sv.handleDeleteSession)
 	sv.mux.HandleFunc("POST /v1/sessions/{sid}/ingest", sv.withSession(sv.handleIngest))
+	sv.mux.HandleFunc("POST /v1/sessions/{sid}/stream", sv.withSession(sv.handleStream))
 	sv.mux.HandleFunc("POST /v1/sessions/{sid}/flush", sv.withSession(sv.handleFlush))
 	sv.mux.HandleFunc("GET /v1/sessions/{sid}/snapshot", sv.withSession(sv.handleSnapshotAll))
 	sv.mux.HandleFunc("GET /v1/sessions/{sid}/snapshot/{tag}", sv.withSession(sv.handleSnapshot))
@@ -593,14 +604,19 @@ func writeError(w http.ResponseWriter, status int, code string, format string, a
 }
 
 // writeAPIError maps an error onto the envelope: *api.Error values carry
-// their own status and code, everything else is a 500.
+// their own status, code and retry hint (a non-zero RetryAfterMS is mirrored
+// into the HTTP Retry-After header, rounded up to whole seconds), everything
+// else is a 500.
 func writeAPIError(w http.ResponseWriter, err error) {
 	if apiErr, ok := err.(*api.Error); ok {
 		status := apiErr.HTTPStatus
 		if status == 0 {
 			status = http.StatusInternalServerError
 		}
-		writeError(w, status, apiErr.Code, "%s", apiErr.Message)
+		if apiErr.RetryAfterMS > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa((apiErr.RetryAfterMS+999)/1000))
+		}
+		writeJSON(w, status, api.ErrorEnvelope{Error: apiErr})
 		return
 	}
 	writeError(w, http.StatusInternalServerError, api.ErrInternal, "%v", err)
@@ -638,13 +654,57 @@ func (sv *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, api.ErrInternal, "session failed to start: %v", err)
 		return
 	}
+	w.Header().Set("Location", "/v1/sessions/"+sess.id)
 	writeJSON(w, http.StatusCreated, sv.sessionToAPI(sess))
 }
 
-// handleListSessions answers GET /v1/sessions.
+// maxPageLimit caps ?limit= on the paginated list endpoints (and is the
+// page size when only ?page_token= is given).
+const maxPageLimit = 1000
+
+// pageParams parses the ?limit=/?page_token= pagination controls shared by
+// the list endpoints. paged reports whether either parameter was present at
+// all — the queries endpoint keeps its legacy bare-array response shape for
+// unpaginated requests.
+func pageParams(r *http.Request) (limit int, token string, paged bool, err error) {
+	q := r.URL.Query()
+	_, hasLimit := q["limit"]
+	_, hasToken := q["page_token"]
+	paged = hasLimit || hasToken
+	token = q.Get("page_token")
+	limit = maxPageLimit
+	if v := q.Get("limit"); v != "" {
+		n, perr := strconv.Atoi(v)
+		if perr != nil || n <= 0 {
+			return 0, "", false, &api.Error{Code: api.ErrBadRequest, Message: fmt.Sprintf("bad limit %q (want a positive integer)", v), HTTPStatus: http.StatusBadRequest}
+		}
+		if n < limit {
+			limit = n
+		}
+	}
+	return limit, token, paged, nil
+}
+
+// handleListSessions answers GET /v1/sessions, optionally paginated with
+// ?limit= and ?page_token=. The order is stable (default session first, then
+// ids ascending) and the token is the last id of the previous page, so a
+// session created or deleted between pages never makes the walk skip or
+// repeat an unrelated id.
 func (sv *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
+	limit, token, _, err := pageParams(r)
+	if err != nil {
+		writeAPIError(w, err)
+		return
+	}
 	list := api.SessionList{Sessions: []api.Session{}}
 	for _, s := range sv.snapshotSessions() {
+		if token != "" && !sessionIDLess(token, s.id) {
+			continue
+		}
+		if len(list.Sessions) == limit {
+			list.NextPageToken = list.Sessions[len(list.Sessions)-1].ID
+			break
+		}
 		list.Sessions = append(list.Sessions, sv.sessionToAPI(s))
 	}
 	writeJSON(w, http.StatusOK, list)
@@ -716,7 +776,9 @@ func (sv *Server) handleIngest(w http.ResponseWriter, r *http.Request, sess *ses
 	}
 	if err := sess.enqueue(o, r.Context().Done()); err != nil {
 		sess.rejected.Inc()
-		writeError(w, http.StatusServiceUnavailable, api.ErrUnavailable, "ingest: %v", err)
+		// The queue stayed full for the whole IngestWait: tell the client how
+		// long to back off before retrying (mirrored into Retry-After).
+		writeUnavailable(w, retryAfterMS(sv.cfg.IngestWait), "ingest: %v", err)
 		return
 	}
 	if o.done != nil {
@@ -728,7 +790,7 @@ func (sv *Server) handleIngest(w http.ResponseWriter, r *http.Request, sess *ses
 				return
 			}
 		case <-sess.quit:
-			writeError(w, http.StatusServiceUnavailable, api.ErrUnavailable, "session closed during ingest")
+			writeUnavailable(w, 1000, "session closed during ingest")
 			return
 		}
 	}
@@ -867,17 +929,41 @@ func (sv *Server) handleRegister(w http.ResponseWriter, r *http.Request, sess *s
 		writeError(w, http.StatusBadRequest, api.ErrBadRequest, "%v", res.err)
 		return
 	}
+	w.Header().Set("Location", fmt.Sprintf("/v1/sessions/%s/queries/%s", sess.id, res.info.ID))
 	writeJSON(w, http.StatusCreated, infoToAPI(res.info))
 }
 
-// handleList answers GET .../queries.
+// handleList answers GET .../queries. Without pagination parameters the
+// response stays the legacy bare array; with ?limit= or ?page_token= it is an
+// api.QueryPage over the registry's stable id order, tokenized by the last id
+// of the previous page.
 func (sv *Server) handleList(w http.ResponseWriter, r *http.Request, sess *session) {
-	infos := sess.reg.List()
-	out := make(api.QueryList, 0, len(infos))
-	for _, info := range infos {
-		out = append(out, infoToAPI(info))
+	limit, token, paged, err := pageParams(r)
+	if err != nil {
+		writeAPIError(w, err)
+		return
 	}
-	writeJSON(w, http.StatusOK, out)
+	infos := sess.reg.List()
+	if !paged {
+		out := make(api.QueryList, 0, len(infos))
+		for _, info := range infos {
+			out = append(out, infoToAPI(info))
+		}
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	page := api.QueryPage{Queries: []api.QueryInfo{}}
+	for _, info := range infos {
+		if token != "" && info.ID <= token {
+			continue
+		}
+		if len(page.Queries) == limit {
+			page.NextPageToken = page.Queries[len(page.Queries)-1].ID
+			break
+		}
+		page.Queries = append(page.Queries, infoToAPI(info))
+	}
+	writeJSON(w, http.StatusOK, page)
 }
 
 // handleResults answers GET .../queries/{id}/results?after=SEQ&limit=N and,
@@ -1091,6 +1177,16 @@ func (w *envelopeWriter) Write(b []byte) (int, error) {
 		return len(b), nil
 	}
 	return w.ResponseWriter.Write(b)
+}
+
+// Hijack implements http.Hijacker by delegating to the wrapped writer, so the
+// stream endpoint's connection upgrade works through the envelope middleware.
+func (w *envelopeWriter) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	hj, ok := w.ResponseWriter.(http.Hijacker)
+	if !ok {
+		return nil, nil, fmt.Errorf("underlying ResponseWriter does not support hijacking")
+	}
+	return hj.Hijack()
 }
 
 // errCodeForStatus maps an HTTP status onto the stable error-code vocabulary.

@@ -11,6 +11,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/wal"
 	"repro/rfid"
+	"repro/rfid/api"
 )
 
 // op is one unit of work for a session's engine goroutine: an ingest batch or
@@ -36,6 +37,14 @@ type op struct {
 	register     *query.Spec
 	registerJSON string
 	unregister   string
+	// sb, when non-nil, marks an ingest batch that arrived over a stream
+	// connection: readings/locations alias the batch's scratch slices, and
+	// after applying, the engine goroutine recycles the batch and raises the
+	// connection's ack mark instead of answering a done channel.
+	sb *streamBatch
+	// fence asks for an immediate empty completion: a handler that awaits a
+	// fence op knows every op enqueued before it has been applied.
+	fence bool
 	// done, when non-nil, receives the op's outcome.
 	done chan opResult
 }
@@ -83,6 +92,15 @@ type session struct {
 	notifyMu     sync.Mutex
 	resultNotify chan struct{}
 
+	// stream is the session's single active stream connection (nil when
+	// none); a new stream claims the slot and takes the old one down.
+	stream atomic.Pointer[streamConn]
+	// lastStreamSeq is the highest stream batch sequence durably applied;
+	// written by the engine goroutine (and recovery), read by stream
+	// handshakes after a fence. It is persisted through RecBatch WAL records
+	// and the checkpoint's serve.stream section.
+	lastStreamSeq atomic.Uint64
+
 	// Durability (nil / zero when cfg.DataDir is empty). The WAL and the
 	// checkpoint writer run exclusively on the engine goroutine.
 	wal            *wal.Log
@@ -98,6 +116,7 @@ type session struct {
 	// engine-loop counters (written only by the engine goroutine)
 	engineErrs  *metrics.Counter
 	batches     *metrics.Counter
+	streamConns *metrics.Counter
 	rejected    *metrics.Counter
 	readings    *metrics.Counter
 	locations   *metrics.Counter
@@ -166,6 +185,7 @@ func newSession(id, label string, cfg Config, set *metrics.Set) (*session, error
 	s.recoveredEpoch.Store(-1)
 	s.engineErrs = s.counter("rfidserve_engine_errors_total", "epoch-processing errors (failing epochs are skipped)")
 	s.batches = s.counter("rfidserve_batches_total", "ingest batches accepted")
+	s.streamConns = s.counter("rfidserve_stream_connections_total", "streaming ingest connections established")
 	s.rejected = s.counter("rfidserve_batches_rejected_total", "ingest batches rejected by backpressure")
 	s.readings = s.counter("rfidserve_readings_total", "raw tag readings accepted")
 	s.locations = s.counter("rfidserve_locations_total", "raw location reports accepted")
@@ -238,6 +258,11 @@ func (s *session) close() {
 	if !s.closed.CompareAndSwap(false, true) {
 		return
 	}
+	// Disconnect any active stream first, so its reader cannot keep feeding
+	// batches behind the shutdown op (clients reconnect and are refused).
+	if sc := s.stream.Load(); sc != nil {
+		sc.kill()
+	}
 	done := make(chan opResult, 1)
 	select {
 	case s.ops <- op{shutdown: true, done: done}:
@@ -270,6 +295,9 @@ func (s *session) close() {
 func (s *session) closeNow() {
 	if !s.closed.CompareAndSwap(false, true) {
 		return
+	}
+	if sc := s.stream.Load(); sc != nil {
+		sc.kill()
 	}
 	close(s.quit)
 	s.wg.Wait()
@@ -323,6 +351,10 @@ func (s *session) handleOp(o op) opResult {
 		s.syncWALMetrics()
 		return opResult{}
 	}
+	if o.fence {
+		// Nothing to do: completing the op proves every earlier op applied.
+		return opResult{}
+	}
 	if o.register != nil {
 		return s.handleRegisterOp(o)
 	}
@@ -337,6 +369,12 @@ func (s *session) handleOp(o op) opResult {
 			// that would vanish on crash.
 			s.engineErrs.Inc()
 			s.logf("wal append: %v", werr)
+			if o.sb != nil {
+				// A stream batch has no done channel; the refusal terminates
+				// the stream instead (the batch stays unacknowledged, so the
+				// client resends it on reconnect).
+				o.sb.conn.fatal(api.ErrInternal, fmt.Sprintf("wal append: %v", werr), 0)
+			}
 			return opResult{err: werr}
 		}
 		rep := s.runner.Ingest(o.readings, o.locations)
@@ -344,6 +382,14 @@ func (s *session) handleOp(o op) opResult {
 		s.locations.Add(rep.Locations)
 		s.lateDropped.Add(rep.LateDropped)
 		events, err = s.runner.Advance()
+		if o.sb != nil {
+			// The batch is durable (WAL) and applied; record the resume point
+			// and count it. Epoch-processing errors are NOT refusals — the
+			// runner skips failing epochs on the HTTP path too — so the batch
+			// is still acknowledged below.
+			s.lastStreamSeq.Store(o.sb.seq)
+			s.batches.Inc()
+		}
 	} else { // flush
 		// Log the seal whenever it will change state: either epochs will be
 		// sealed, or the queries' held-back windows will be flushed (which
@@ -378,6 +424,12 @@ func (s *session) handleOp(o op) opResult {
 	}
 	s.maybeCheckpoint()
 	s.syncWALMetrics()
+	if o.sb != nil {
+		// Recycle the batch and advance the ack mark — strictly after the
+		// WAL append and application above, so the ack the writer sends is a
+		// durability receipt.
+		o.sb.conn.applied(o.sb)
+	}
 	return opResult{events: len(events), results: rows, err: err}
 }
 

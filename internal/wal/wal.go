@@ -6,17 +6,19 @@
 // checkpointed random streams — reproduces the engine state byte-exactly.
 //
 // On disk a log is a directory of segment files wal-NNNNNNNNNNNNNNNN.seg,
-// each starting with an 8-byte magic and containing length-prefixed,
-// CRC32C-protected frames. Only the highest-numbered segment is ever open for
-// writing, so a crash can tear at most the tail of the newest segment; replay
-// treats a torn tail as a clean end of log and reports it, while corruption
-// anywhere else is surfaced as an error. The fsync policy is configurable:
-// every append (strongest), periodic (bounded loss window) or never (leave
-// flushing to the OS).
+// each starting with an 8-byte magic and containing frames in the shared
+// rfid/wire format (u32le length, u32le CRC32C, payload) — the same framing
+// and batch-body layout the streaming ingest connection speaks, so a batch is
+// encoded identically whether it arrived over HTTP, over a stream, or is
+// being logged. Only the highest-numbered segment is ever open for writing,
+// so a crash can tear at most the tail of the newest segment; replay treats a
+// torn tail as a clean end of log and reports it, while corruption anywhere
+// else is surfaced as an error. The fsync policy is configurable: every
+// append (strongest), periodic (bounded loss window) or never (leave flushing
+// to the OS).
 package wal
 
 import (
-	"encoding/binary"
 	"fmt"
 	"hash/crc32"
 	"os"
@@ -25,13 +27,15 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/checkpoint"
+	"repro/internal/geom"
 	"repro/internal/stream"
+	"repro/rfid/wire"
 )
 
 // segMagic opens every segment file; the trailing digits version the frame
-// format.
-const segMagic = "RFWAL001"
+// format. 002: the record codec moved to the shared rfid/wire layout and
+// RecBatch gained a stream sequence number.
+const segMagic = "RFWAL002"
 
 // RecordType discriminates the WAL record kinds.
 type RecordType uint8
@@ -65,6 +69,11 @@ type Record struct {
 	// Readings and Locations carry a RecBatch payload.
 	Readings  []stream.Reading
 	Locations []stream.LocationReport
+	// StreamSeq is the client-assigned batch sequence number of a RecBatch
+	// that arrived over a streaming ingest connection; 0 for HTTP batches
+	// (stream sequences start at 1). Recovery restores the session's
+	// resume point from the highest replayed value.
+	StreamSeq uint64
 
 	// UpTo is the RecSeal horizon: epochs <= UpTo were force-sealed.
 	UpTo int
@@ -83,24 +92,44 @@ type Record struct {
 	QueryID string
 }
 
-// encode serializes a record payload (without framing).
-func (r Record) encode() []byte {
-	e := checkpoint.NewEncoder()
+// batchSource adapts a RecBatch record to the shared wire.BatchSource, so
+// the batch body bytes are produced by the one canonical codec.
+type batchSource struct{ r *Record }
+
+func (s batchSource) NumReadings() int { return len(s.r.Readings) }
+
+func (s batchSource) ReadingAt(i int) (int, string) {
+	rd := s.r.Readings[i]
+	return rd.Time, string(rd.Tag)
+}
+
+func (s batchSource) NumLocations() int { return len(s.r.Locations) }
+
+func (s batchSource) LocationAt(i int) (int, float64, float64, float64, float64, bool) {
+	l := s.r.Locations[i]
+	return l.Time, l.Pos.X, l.Pos.Y, l.Pos.Z, l.Phi, l.HasPhi
+}
+
+// batchSink collects a decoded batch body back into a record.
+type batchSink struct{ r *Record }
+
+func (s batchSink) Reading(t int, tag []byte) {
+	s.r.Readings = append(s.r.Readings, stream.Reading{Time: t, Tag: stream.TagID(tag)})
+}
+
+func (s batchSink) Location(t int, x, y, z, phi float64, hasPhi bool) {
+	s.r.Locations = append(s.r.Locations, stream.LocationReport{
+		Time: t, Pos: geom.Vec3{X: x, Y: y, Z: z}, Phi: phi, HasPhi: hasPhi,
+	})
+}
+
+// encodeTo serializes a record payload (without framing) onto e.
+func (r Record) encodeTo(e *wire.Encoder) {
 	e.Uvarint(uint64(r.Type))
 	switch r.Type {
 	case RecBatch:
-		e.Uvarint(uint64(len(r.Readings)))
-		for _, rd := range r.Readings {
-			e.Int(rd.Time)
-			e.String(string(rd.Tag))
-		}
-		e.Uvarint(uint64(len(r.Locations)))
-		for _, l := range r.Locations {
-			e.Int(l.Time)
-			e.Vec3(l.Pos)
-			e.Float64(l.Phi)
-			e.Bool(l.HasPhi)
-		}
+		e.Uvarint(r.StreamSeq)
+		wire.AppendBatch(e, batchSource{&r})
 	case RecSeal:
 		e.Int(r.UpTo)
 		e.Bool(r.FlushWindows)
@@ -111,33 +140,29 @@ func (r Record) encode() []byte {
 	case RecUnregister:
 		e.String(r.QueryID)
 	}
+}
+
+// encode serializes a record payload into a fresh buffer (test and tooling
+// convenience; Append reuses a long-lived encoder instead).
+func (r Record) encode() []byte {
+	var e wire.Encoder
+	r.encodeTo(&e)
 	return e.Bytes()
 }
 
 // decodeRecord parses a record payload. It never panics on arbitrary bytes
 // (pinned by FuzzWALDecode).
 func decodeRecord(payload []byte) (Record, error) {
-	d := checkpoint.NewDecoder(payload)
+	var d wire.Decoder
+	d.Reset(payload)
 	var r Record
 	r.Type = RecordType(d.Uvarint())
 	switch r.Type {
 	case RecBatch:
-		nr := d.SliceLen(2)
-		if d.Err() == nil && nr > 0 {
-			r.Readings = make([]stream.Reading, nr)
-			for i := range r.Readings {
-				r.Readings[i].Time = d.Int()
-				r.Readings[i].Tag = stream.TagID(d.String())
-			}
-		}
-		nl := d.SliceLen(2)
-		if d.Err() == nil && nl > 0 {
-			r.Locations = make([]stream.LocationReport, nl)
-			for i := range r.Locations {
-				r.Locations[i].Time = d.Int()
-				r.Locations[i].Pos = d.Vec3()
-				r.Locations[i].Phi = d.Float64()
-				r.Locations[i].HasPhi = d.Bool()
+		r.StreamSeq = d.Uvarint()
+		if d.Err() == nil {
+			if err := wire.DecodeBatch(&d, batchSink{&r}); err != nil {
+				return Record{}, fmt.Errorf("wal: bad record: %w", err)
 			}
 		}
 	case RecSeal:
@@ -251,6 +276,10 @@ type Log struct {
 	dirty bool
 	last  time.Time // last sync
 	stats Stats
+	// enc and frame are reused across appends (payload build, then framing),
+	// so steady-state appends allocate nothing and issue a single write.
+	enc   wire.Encoder
+	frame []byte
 }
 
 // segName returns the canonical file name for a segment sequence number.
@@ -357,6 +386,8 @@ func (l *Log) Segment() uint64 { return l.seq }
 // Stats returns the cumulative counters.
 func (l *Log) Stats() Stats { return l.stats }
 
+// crcTable retains the frame checksum polynomial for test helpers; the
+// framing itself lives in rfid/wire.
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // Append frames and writes one record, rotating the segment first when the
@@ -367,21 +398,17 @@ func (l *Log) Append(rec Record) error {
 	if l.f == nil {
 		return fmt.Errorf("wal: log is closed")
 	}
-	payload := rec.encode()
-	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
-	frame := int64(len(hdr) + len(payload))
+	l.enc.Reset()
+	rec.encodeTo(&l.enc)
+	l.frame = wire.AppendFrame(l.frame[:0], l.enc.Bytes())
+	frame := int64(len(l.frame))
 	if l.size+frame > l.opts.SegmentBytes && l.size > int64(len(segMagic)) {
 		if err := l.openSegment(l.seq + 1); err != nil {
 			return err
 		}
 	}
-	if _, err := l.f.Write(hdr[:]); err != nil {
-		return fmt.Errorf("wal: append header: %w", err)
-	}
-	if _, err := l.f.Write(payload); err != nil {
-		return fmt.Errorf("wal: append payload: %w", err)
+	if _, err := l.f.Write(l.frame); err != nil {
+		return fmt.Errorf("wal: append frame: %w", err)
 	}
 	l.size += frame
 	l.dirty = true
@@ -539,28 +566,18 @@ func replaySegment(data []byte, tail bool, fn func(Record) error) (records int, 
 		}
 		return 0, false, fmt.Errorf("bad segment magic")
 	}
-	off := len(segMagic)
-	for off < len(data) {
-		if off+8 > len(data) {
+	rest := data[len(segMagic):]
+	for len(rest) > 0 {
+		off := len(data) - len(rest)
+		payload, next, err := wire.NextFrame(rest)
+		if err != nil {
+			// Both framing failures (a cut-short frame and a CRC mismatch)
+			// are the expected signatures of a crash mid-append in the tail
+			// segment; anywhere else they are corruption.
 			if tail {
 				return records, true, nil
 			}
-			return records, false, fmt.Errorf("truncated frame header at offset %d", off)
-		}
-		length := int(binary.LittleEndian.Uint32(data[off : off+4]))
-		want := binary.LittleEndian.Uint32(data[off+4 : off+8])
-		if off+8+length > len(data) || length < 0 {
-			if tail {
-				return records, true, nil
-			}
-			return records, false, fmt.Errorf("truncated frame payload at offset %d", off)
-		}
-		payload := data[off+8 : off+8+length]
-		if crc32.Checksum(payload, crcTable) != want {
-			if tail {
-				return records, true, nil
-			}
-			return records, false, fmt.Errorf("frame crc mismatch at offset %d", off)
+			return records, false, fmt.Errorf("bad frame at offset %d: %w", off, err)
 		}
 		rec, err := decodeRecord(payload)
 		if err != nil {
@@ -572,7 +589,7 @@ func replaySegment(data []byte, tail bool, fn func(Record) error) (records int, 
 			return records, false, err
 		}
 		records++
-		off += 8 + length
+		rest = next
 	}
 	return records, false, nil
 }

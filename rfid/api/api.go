@@ -28,6 +28,11 @@ type Error struct {
 	Code string `json:"code"`
 	// Message is a human-readable description of this specific failure.
 	Message string `json:"message"`
+	// RetryAfterMS, when non-zero, is the server's advice on how long to wait
+	// before retrying. It accompanies "unavailable" errors (full op queue,
+	// stream backpressure refusal, session-limit); the same value travels in
+	// the HTTP Retry-After header, rounded up to whole seconds.
+	RetryAfterMS int `json:"retry_after_ms,omitempty"`
 	// HTTPStatus is the HTTP status the error travelled with. It is not part
 	// of the wire body (the status line already carries it); the client SDK
 	// fills it in on decode.
@@ -229,7 +234,13 @@ type Session struct {
 	Stats SessionStats `json:"stats"`
 }
 
-// SessionList is the GET /v1/sessions body.
+// SessionList is the GET /v1/sessions body. The listing is ordered stably
+// (the default session first, then by id ascending) and paginates with
+// ?limit=N&page_token=T: NextPageToken is non-empty when more sessions
+// follow, and passes back verbatim as the next request's page_token.
 type SessionList struct {
 	Sessions []Session `json:"sessions"`
+	// NextPageToken resumes the listing after the last returned session.
+	// Empty means the listing is complete.
+	NextPageToken string `json:"next_page_token,omitempty"`
 }

@@ -1,0 +1,54 @@
+package api
+
+// Streaming ingest control messages. Unlike the rest of this package these do
+// NOT travel as JSON: POST /v1/sessions/{sid}/stream upgrades the connection
+// to the binary framed protocol (see rfid/wire), and these structs are the
+// typed form of its control frames. They live here because they are part of
+// the stable v1 surface — the same versioning rules apply (fields are only
+// ever added).
+
+// StreamHello is the first frame of a stream, sent by the server immediately
+// after the 101 upgrade. It tells the client where to resume and how hard it
+// may push.
+type StreamHello struct {
+	// Version is the stream protocol version (currently 1).
+	Version int
+	// ResumeAfter is the highest batch sequence number the session has
+	// durably applied. The client must send its next batch with sequence
+	// ResumeAfter+1 and may discard buffered batches at or below it.
+	ResumeAfter uint64
+	// Window is the server's flow-control window: the client keeps at most
+	// this many batches in flight (sent but not yet acknowledged).
+	Window int
+	// MaxFrameBytes caps a single frame payload the server will accept.
+	MaxFrameBytes int
+}
+
+// StreamAck acknowledges batches cumulatively. On a durable session an ack is
+// a durability receipt with the same semantics as HTTP 202: every batch with
+// sequence <= UpTo reached the write-ahead log (under the "always" fsync
+// policy) before the ack was sent.
+type StreamAck struct {
+	// UpTo is the highest contiguously applied batch sequence number.
+	UpTo uint64
+	// Durable reports whether the session persists a WAL (acks on a
+	// non-durable session only confirm in-memory application).
+	Durable bool
+	// Watermark is the session's low-watermark epoch after applying the
+	// acknowledged batches.
+	Watermark int
+	// Window restates the flow-control window (credit): the client may have
+	// up to Window batches beyond UpTo in flight.
+	Window int
+}
+
+// StreamError is the terminal frame of a failed stream: the server reports a
+// structured error and closes the connection. Codes reuse the ErrCode
+// vocabulary of the JSON envelope.
+type StreamError struct {
+	Code    string
+	Message string
+	// RetryAfterMS, when non-zero, advises how long to wait before
+	// reconnecting (mirrors Error.RetryAfterMS).
+	RetryAfterMS int
+}

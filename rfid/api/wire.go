@@ -144,8 +144,22 @@ type QueryInfo struct {
 	Finished bool `json:"finished,omitempty"`
 }
 
-// QueryList is the GET .../queries body.
+// QueryList is the GET .../queries body when no pagination parameters are
+// given: a bare array, the original v1 shape.
 type QueryList []QueryInfo
+
+// QueryPage is the GET .../queries body when ?limit= or ?page_token= is
+// present. Queries are ordered by id ascending; NextPageToken is non-empty
+// when more queries follow and passes back verbatim as the next request's
+// page_token. (The unpaginated response keeps the bare-array QueryList shape
+// — v1 fields are only ever added, never reshaped — so the object form is
+// opt-in via the query parameters.)
+type QueryPage struct {
+	Queries []QueryInfo `json:"queries"`
+	// NextPageToken resumes the listing after the last returned query. Empty
+	// means the listing is complete.
+	NextPageToken string `json:"next_page_token,omitempty"`
+}
 
 // QueryResult is one result row. Seq numbers are per query, start at 0 and
 // never repeat, so clients poll with "everything after seq N"; Row is the

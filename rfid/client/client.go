@@ -29,6 +29,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 
 	"repro/rfid/api"
@@ -66,6 +67,41 @@ func (c *Client) CreateSession(ctx context.Context, req api.CreateSessionRequest
 	return out, err
 }
 
+// OpenSession creates a session and returns a ready-to-use handle for it.
+// Unlike CreateSession, the handle is bound to the resource path the server
+// returned in the 201 response's Location header rather than one the client
+// constructed, so it tracks the canonical resource location.
+func (c *Client) OpenSession(ctx context.Context, req api.CreateSessionRequest) (*Session, api.Session, error) {
+	data, err := json.Marshal(req)
+	if err != nil {
+		return nil, api.Session{}, fmt.Errorf("client: encode session request: %w", err)
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/sessions", bytes.NewReader(data))
+	if err != nil {
+		return nil, api.Session{}, fmt.Errorf("client: create session: %w", err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(httpReq)
+	if err != nil {
+		return nil, api.Session{}, fmt.Errorf("client: create session: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return nil, api.Session{}, decodeError(resp)
+	}
+	var out api.Session
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, api.Session{}, fmt.Errorf("client: decode session: %w", err)
+	}
+	prefix := "/v1/sessions/" + url.PathEscape(out.ID)
+	if loc := resp.Header.Get("Location"); loc != "" {
+		if u, perr := url.Parse(loc); perr == nil && u.Path != "" {
+			prefix = u.Path
+		}
+	}
+	return &Session{c: c, id: out.ID, prefix: prefix}, out, nil
+}
+
 // Sessions lists every live session.
 func (c *Client) Sessions(ctx context.Context) ([]api.Session, error) {
 	var out api.SessionList
@@ -73,6 +109,20 @@ func (c *Client) Sessions(ctx context.Context) ([]api.Session, error) {
 		return nil, err
 	}
 	return out.Sessions, nil
+}
+
+// SessionsPage lists sessions one page at a time: pass limit (0 = server
+// maximum) and the next_page_token of the previous page ("" for the first).
+// An empty NextPageToken in the result means the listing is complete.
+func (c *Client) SessionsPage(ctx context.Context, limit int, pageToken string) (api.SessionList, error) {
+	q := url.Values{}
+	q.Set("page_token", pageToken)
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	var out api.SessionList
+	err := c.do(ctx, http.MethodGet, "/v1/sessions?"+q.Encode(), nil, &out)
+	return out, err
 }
 
 // GetSession describes one session.

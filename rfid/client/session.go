@@ -94,6 +94,21 @@ func (s *Session) Queries(ctx context.Context) ([]api.QueryInfo, error) {
 	return out, nil
 }
 
+// QueriesPage lists the session's queries one page at a time: pass limit
+// (0 = server maximum) and the next_page_token of the previous page ("" for
+// the first). An empty NextPageToken in the result means the listing is
+// complete.
+func (s *Session) QueriesPage(ctx context.Context, limit int, pageToken string) (api.QueryPage, error) {
+	q := url.Values{}
+	q.Set("page_token", pageToken)
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	var out api.QueryPage
+	err := s.c.do(ctx, http.MethodGet, s.prefix+"/queries?"+q.Encode(), nil, &out)
+	return out, err
+}
+
 // DeleteQuery unregisters a query.
 func (s *Session) DeleteQuery(ctx context.Context, id string) error {
 	return s.c.do(ctx, http.MethodDelete, s.prefix+"/queries/"+url.PathEscape(id), nil, nil)
@@ -120,7 +135,10 @@ type PollOptions struct {
 	Wait time.Duration
 }
 
-// PollResults reads one page of results with Seq > opts.After.
+// PollResults reads one page of results with Seq > opts.After. A 503 refusal
+// carrying a retry_after_ms hint (transient backpressure) is retried in place
+// after the hinted delay — twice at most, and never past ctx's deadline —
+// before the error surfaces.
 func (s *Session) PollResults(ctx context.Context, queryID string, opts PollOptions) (api.ResultsPage, error) {
 	q := url.Values{}
 	q.Set("after", strconv.Itoa(opts.After))
@@ -130,9 +148,22 @@ func (s *Session) PollResults(ctx context.Context, queryID string, opts PollOpti
 	if opts.Wait > 0 {
 		q.Set("wait", opts.Wait.String())
 	}
+	path := s.prefix + "/queries/" + url.PathEscape(queryID) + "/results?" + q.Encode()
 	var out api.ResultsPage
-	err := s.c.do(ctx, http.MethodGet, s.prefix+"/queries/"+url.PathEscape(queryID)+"/results?"+q.Encode(), nil, &out)
-	return out, err
+	for attempt := 0; ; attempt++ {
+		err := s.c.do(ctx, http.MethodGet, path, nil, &out)
+		apiErr, ok := err.(*api.Error)
+		if !ok || apiErr.Code != api.ErrUnavailable || apiErr.RetryAfterMS <= 0 || attempt >= 2 {
+			return out, err
+		}
+		timer := time.NewTimer(time.Duration(apiErr.RetryAfterMS) * time.Millisecond)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return out, err
+		case <-timer.C:
+		}
+	}
 }
 
 // Results returns an iterator over a query's result stream, starting after
