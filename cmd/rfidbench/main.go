@@ -88,6 +88,10 @@ func main() {
 		batchObjs  = flag.String("batch", "16", "objects (readings) per ingest batch for -serve; a comma list is zipped with -particles into workloads")
 		particles  = flag.String("particles", "200", "particles per object for -serve; a comma list is zipped with -batch into workloads")
 
+		densitySessions = flag.String("density-sessions", "", "comma-separated session counts for -serve density rows (session density under a resident cap; requires -max-resident)")
+		maxResident     = flag.Int("max-resident", 0, "resident-session cap (LRU evict/hydrate) for the -serve density rows")
+		densityEpochs   = flag.Int("density-epochs", 6, "epochs ingested per session for the density rows")
+
 		durable   = flag.Bool("durable", false, "run the durability-overhead benchmark (WAL + checkpoints vs in-memory)")
 		fsyncMode = flag.String("fsync", "never", "WAL fsync policy for -durable: always, interval or never")
 		ckptEvery = flag.Int("checkpoint-every", 32, "epochs between checkpoints for -durable")
@@ -116,6 +120,20 @@ func main() {
 		rep, err := runServeBench(counts, *epochs, workloads, *stream, *seed)
 		if err != nil {
 			log.Fatalf("serving benchmark: %v", err)
+		}
+		if *densitySessions != "" {
+			if *maxResident <= 0 {
+				log.Fatal("-density-sessions requires -max-resident > 0")
+			}
+			dCounts, err := intList("-density-sessions", *densitySessions)
+			if err != nil {
+				log.Fatal(err)
+			}
+			dRows, err := runDensityBench(dCounts, *densityEpochs, *maxResident, *seed)
+			if err != nil {
+				log.Fatalf("density benchmark: %v", err)
+			}
+			rep.Results = append(rep.Results, dRows...)
 		}
 		printServeReport(rep)
 		if *jsonOut != "" {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"sort"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/wal"
 	"repro/rfid"
 	"repro/rfid/api"
 	"repro/rfid/client"
@@ -51,11 +53,16 @@ type serveBenchResult struct {
 	BatchesPerSec   float64 `json:"batches_per_sec"`
 	ReadingsPerSec  float64 `json:"readings_per_sec"`
 	// Latency per batch: ingest->result for mode http, send->ack for mode
-	// stream (see the package comment).
+	// stream, ingest round-trip (durable apply, including any first-touch
+	// hydration) for mode density.
 	LatencyMeanMS float64 `json:"latency_mean_ms"`
 	LatencyP50MS  float64 `json:"latency_p50_ms"`
 	LatencyP95MS  float64 `json:"latency_p95_ms"`
 	LatencyMaxMS  float64 `json:"latency_max_ms"`
+	// Density rows only: the resident-session cap the run was driven under,
+	// and the rate at which evicted sessions were restored on first touch.
+	MaxResident      int     `json:"max_resident,omitempty"`
+	HydrationsPerSec float64 `json:"hydrations_per_sec,omitempty"`
 }
 
 // serveBenchReport is the BENCH_serve.json schema.
@@ -308,15 +315,191 @@ func driveStreamSession(sess *client.Session, epochs int, wl serveWorkload, reco
 	return nil
 }
 
+// The density benchmark: how the serving layer scales with the NUMBER of
+// sessions rather than the work per session. Sessions are durable and far
+// outnumber the resident cap, so the shared scheduler and the LRU
+// evict/hydrate machinery carry the load; the per-session workload is fixed
+// and deliberately light (the axis under test is session count). Ingest
+// round-trips are synchronous on durable sessions, so the recorded latency
+// includes WAL append and — on a session's first touch after eviction — the
+// full hydration (engine rebuild + checkpoint recovery).
+const (
+	densityObjsPerBatch = 8
+	densityParticles    = 25
+	densityLanes        = 32 // concurrent drivers; sessions partitioned by index
+)
+
+// runDensityBench runs one density row per session count.
+func runDensityBench(sessionCounts []int, epochs, maxResident int, seed int64) ([]serveBenchResult, error) {
+	var out []serveBenchResult
+	for _, n := range sessionCounts {
+		res, err := runDensityBenchOne(n, epochs, maxResident, seed)
+		if err != nil {
+			return nil, fmt.Errorf("density, %d sessions: %w", n, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// runDensityBenchOne boots a durable in-process server capped at maxResident
+// resident sessions, creates n durable sessions and drives them all
+// concurrently, epoch by epoch.
+func runDensityBenchOne(n, epochs, maxResident int, seed int64) (serveBenchResult, error) {
+	world := rfid.NewWorld()
+	world.AddShelf(rfid.Shelf{ID: "floor", Region: rfid.NewBBox(rfid.Vec3{}, rfid.Vec3{X: 40, Y: 40, Z: 8})})
+	cfg := rfid.DefaultConfig(rfid.DefaultParams(), world)
+	cfg.ReportPolicy = rfid.ReportEveryEpoch
+	cfg.Seed = seed
+	runner, err := rfid.NewRunner(cfg, rfid.RunnerConfig{Sharded: true})
+	if err != nil {
+		return serveBenchResult{}, err
+	}
+	dataDir, err := os.MkdirTemp("", "rfidbench-density-")
+	if err != nil {
+		return serveBenchResult{}, err
+	}
+	defer os.RemoveAll(dataDir)
+	srv, err := serve.New(serve.Config{
+		Runner:          runner,
+		DataDir:         dataDir,
+		CheckpointEvery: 16,
+		Fsync:           wal.SyncNever, // measuring density scaling, not fsync
+		MaxSessions:     n + 1,
+		MaxResident:     maxResident,
+	})
+	if err != nil {
+		return serveBenchResult{}, err
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ctx := context.Background()
+	c := client.New(ts.URL)
+	sessions := make([]*client.Session, n)
+	for i := range sessions {
+		created, err := c.CreateSession(ctx, api.CreateSessionRequest{
+			Source: api.SourceSynthetic,
+			Engine: &api.EngineConfig{
+				ObjectParticles: densityParticles, Seed: seed + int64(i), Workers: 1,
+			},
+		})
+		if err != nil {
+			return serveBenchResult{}, err
+		}
+		sessions[i] = c.Session(created.ID)
+	}
+	hydrationsBefore, err := metricValue(ts.URL, "rfidserve_hydrations_total")
+	if err != nil {
+		return serveBenchResult{}, err
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		firstErr  error
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for lane := 0; lane < densityLanes; lane++ {
+		wg.Add(1)
+		go func(lane int) {
+			defer wg.Done()
+			for ep := 0; ep < epochs; ep++ {
+				for i := lane; i < n; i += densityLanes {
+					batch := api.IngestRequest{
+						Locations: []api.LocationReport{{Time: ep, X: 1 + 0.05*float64(ep), Y: 2, Z: 3}},
+					}
+					for o := 0; o < densityObjsPerBatch; o++ {
+						batch.Readings = append(batch.Readings, api.Reading{Time: ep, Tag: fmt.Sprintf("obj-%d", o)})
+					}
+					t0 := time.Now()
+					_, err := sessions[i].Ingest(ctx, batch)
+					ms := time.Since(t0).Seconds() * 1e3
+					mu.Lock()
+					if err != nil && firstErr == nil {
+						firstErr = fmt.Errorf("session %d epoch %d: %w", i, ep, err)
+					}
+					latencies = append(latencies, ms)
+					mu.Unlock()
+					if err != nil {
+						return
+					}
+				}
+			}
+		}(lane)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return serveBenchResult{}, firstErr
+	}
+	hydrationsAfter, err := metricValue(ts.URL, "rfidserve_hydrations_total")
+	if err != nil {
+		return serveBenchResult{}, err
+	}
+
+	sort.Float64s(latencies)
+	mean := 0.0
+	for _, l := range latencies {
+		mean += l
+	}
+	if len(latencies) > 0 {
+		mean /= float64(len(latencies))
+	}
+	pct := func(p float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		return latencies[int(p*float64(len(latencies)-1))]
+	}
+	return serveBenchResult{
+		Mode:             "density",
+		Sessions:         n,
+		ObjectsPerBatch:  densityObjsPerBatch,
+		ObjectParticles:  densityParticles,
+		EpochsPerSess:    epochs,
+		ReadingsPerSess:  epochs * densityObjsPerBatch,
+		ElapsedMS:        elapsed.Seconds() * 1e3,
+		BatchesPerSec:    float64(n*epochs) / elapsed.Seconds(),
+		ReadingsPerSec:   float64(n*epochs*densityObjsPerBatch) / elapsed.Seconds(),
+		LatencyMeanMS:    mean,
+		LatencyP50MS:     pct(0.50),
+		LatencyP95MS:     pct(0.95),
+		LatencyMaxMS:     pct(1.0),
+		MaxResident:      maxResident,
+		HydrationsPerSec: (hydrationsAfter - hydrationsBefore) / elapsed.Seconds(),
+	}, nil
+}
+
+// metricValue reads one metric from the server's JSON metrics endpoint.
+func metricValue(base, name string) (float64, error) {
+	resp, err := http.Get(base + "/metrics?format=json")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var m map[string]float64
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return 0, fmt.Errorf("decode metrics: %w", err)
+	}
+	return m[name], nil
+}
+
 // printServeReport renders the benchmark for the terminal.
 func printServeReport(rep serveBenchReport) {
 	fmt.Printf("serving-path benchmark: %d epochs/session\n", rep.Epochs)
 	fmt.Printf("%-8s %-10s %6s %10s %12s %14s %12s %10s %10s %10s\n",
 		"mode", "sessions", "objs", "particles", "elapsed", "readings/s", "batches/s", "lat p50", "lat p95", "lat max")
 	for _, r := range rep.Results {
-		fmt.Printf("%-8s %-10d %6d %10d %10.1fms %14.0f %12.1f %8.2fms %8.2fms %8.2fms\n",
+		fmt.Printf("%-8s %-10d %6d %10d %10.1fms %14.0f %12.1f %8.2fms %8.2fms %8.2fms",
 			r.Mode, r.Sessions, r.ObjectsPerBatch, r.ObjectParticles, r.ElapsedMS, r.ReadingsPerSec, r.BatchesPerSec,
 			r.LatencyP50MS, r.LatencyP95MS, r.LatencyMaxMS)
+		if r.Mode == "density" {
+			fmt.Printf("  cap=%d hydrations/s=%.1f", r.MaxResident, r.HydrationsPerSec)
+		}
+		fmt.Println()
 	}
 }
 

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestServeBenchSmoke drives both data planes end to end at a tiny scale:
+// every (mode, session count) row must complete, measure real latency
+// samples, render, and round-trip through the JSON snapshot format.
+func TestServeBenchSmoke(t *testing.T) {
+	wl := []serveWorkload{{objectsPerBatch: 4, particles: 12}}
+	rep, err := runServeBench([]int{1, 2}, 3, wl, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(rep.Results), 4; got != want { // {http,stream} x {1,2}
+		t.Fatalf("got %d result rows, want %d", got, want)
+	}
+	for _, r := range rep.Results {
+		if r.Mode != "http" && r.Mode != "stream" {
+			t.Errorf("unexpected mode %q", r.Mode)
+		}
+		if r.ReadingsPerSess != 3*4 {
+			t.Errorf("%s/%d: readings per session = %d, want 12", r.Mode, r.Sessions, r.ReadingsPerSess)
+		}
+		if r.ReadingsPerSec <= 0 || r.ElapsedMS <= 0 {
+			t.Errorf("%s/%d: empty throughput row: %+v", r.Mode, r.Sessions, r)
+		}
+		if r.LatencyMaxMS < r.LatencyP95MS || r.LatencyP95MS < r.LatencyP50MS || r.LatencyP50MS <= 0 {
+			t.Errorf("%s/%d: non-monotone latency percentiles: %+v", r.Mode, r.Sessions, r)
+		}
+	}
+	printServeReport(rep)
+
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := writeServeReportJSON(rep, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back serveBenchReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("snapshot does not round-trip: %v", err)
+	}
+	if len(back.Results) != len(rep.Results) || back.Epochs != rep.Epochs {
+		t.Fatalf("snapshot round-trip lost rows: %+v", back)
+	}
+	// Non-density rows must omit the density-only fields entirely.
+	if back.Results[0].MaxResident != 0 || back.Results[0].HydrationsPerSec != 0 {
+		t.Fatalf("http row carries density fields: %+v", back.Results[0])
+	}
+}
+
+// TestDensityBenchSmoke runs the density row at a tiny scale with the
+// resident cap far below the session count: the run must hydrate (every
+// touch beyond the cap is a miss) and report the cap on its row.
+func TestDensityBenchSmoke(t *testing.T) {
+	rows, err := runDensityBench([]int{12}, 2, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rows))
+	}
+	r := rows[0]
+	if r.Mode != "density" || r.Sessions != 12 || r.MaxResident != 4 {
+		t.Fatalf("bad density row: %+v", r)
+	}
+	if r.HydrationsPerSec <= 0 {
+		t.Fatalf("12 sessions under a cap of 4 never hydrated: %+v", r)
+	}
+	if r.LatencyMaxMS < r.LatencyP50MS || r.LatencyP50MS <= 0 {
+		t.Fatalf("bad latency percentiles: %+v", r)
+	}
+	printServeReport(serveBenchReport{Epochs: 2, Seed: 1, Results: rows})
+}

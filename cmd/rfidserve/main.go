@@ -84,8 +84,10 @@ func main() {
 		floorY      = flag.Float64("floor-y", 40, "default open-floor extent in y (ft)")
 		floorZ      = flag.Float64("floor-z", 8, "default open-floor extent in z (ft)")
 
-		maxSessions = flag.Int("max-sessions", 32, "maximum concurrently live sessions (the default session included)")
-		maxWait     = flag.Duration("max-poll-wait", 60*time.Second, "cap on the results endpoint's ?wait= long-poll duration")
+		maxSessions  = flag.Int("max-sessions", 32, "maximum concurrently live sessions (the default session included)")
+		maxWait      = flag.Duration("max-poll-wait", 60*time.Second, "cap on the results endpoint's ?wait= long-poll duration")
+		maxResident  = flag.Int("max-resident", 0, "maximum durable sessions kept resident in memory; idle sessions past the LRU threshold are evicted to their checkpoint and restored on first touch (0 = unlimited, requires -data-dir)")
+		schedWorkers = flag.Int("sched-workers", 0, "worker pool size shared by every session's op queue (0 = GOMAXPROCS)")
 
 		dataDir    = flag.String("data-dir", "", "durability directory (WAL segments + checkpoints); empty disables durability")
 		ckptEvery  = flag.Int("checkpoint-every", 64, "epochs between checkpoints (with -data-dir)")
@@ -99,6 +101,11 @@ func main() {
 	syncPolicy, err := wal.ParseSyncPolicy(*fsyncMode)
 	if err != nil {
 		log.Fatalf("%v", err)
+	}
+	if *maxResident > 0 && *dataDir == "" {
+		// Eviction spills to the checkpoint + manifest; without durability
+		// there is nothing to spill to, so the cap would silently do nothing.
+		log.Fatalf("-max-resident requires -data-dir (evicted sessions restore from their on-disk checkpoint)")
 	}
 
 	world := rfid.NewWorld()
@@ -158,6 +165,8 @@ func main() {
 		FsyncInterval:   *fsyncEvery,
 		MaxSessions:     *maxSessions,
 		MaxLongPollWait: *maxWait,
+		MaxResident:     *maxResident,
+		SchedWorkers:    *schedWorkers,
 	})
 	if err != nil {
 		log.Fatalf("server: %v", err)

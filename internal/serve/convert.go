@@ -94,6 +94,7 @@ const (
 	maxObjectParticles = 200_000
 	maxReaderParticles = 20_000
 	maxWorkers         = 256
+	maxShardCount      = 4096
 	maxHistoryEpochs   = 1 << 20
 	maxHoldEpochs      = 1 << 20
 	maxQueueSize       = 1 << 16
@@ -220,6 +221,8 @@ func buildRunner(req api.CreateSessionRequest) (*rfid.Runner, error) {
 			return nil, badRequest("reader_particles %d out of range [0, %d]", eng.ReaderParticles, maxReaderParticles)
 		case eng.Workers < 0 || eng.Workers > maxWorkers:
 			return nil, badRequest("workers %d out of range [0, %d]", eng.Workers, maxWorkers)
+		case eng.ShardCount < 0 || eng.ShardCount > maxShardCount:
+			return nil, badRequest("shard_count %d out of range [0, %d]", eng.ShardCount, maxShardCount)
 		case eng.HistoryEpochs < 0 || eng.HistoryEpochs > maxHistoryEpochs:
 			return nil, badRequest("history_epochs %d out of range [0, %d]", eng.HistoryEpochs, maxHistoryEpochs)
 		case eng.HoldEpochs < 0 || eng.HoldEpochs > maxHoldEpochs:
@@ -234,6 +237,7 @@ func buildRunner(req api.CreateSessionRequest) (*rfid.Runner, error) {
 			cfg.NumReaderParticles = eng.ReaderParticles
 		}
 		cfg.Workers = eng.Workers
+		cfg.ShardCount = eng.ShardCount
 		cfg.Seed = eng.Seed
 		rc.HoldEpochs = eng.HoldEpochs
 		rc.HistoryEpochs = eng.HistoryEpochs

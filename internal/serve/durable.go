@@ -17,16 +17,17 @@ import (
 // recovered server's snapshots, events and query results are byte-identical
 // to an uninterrupted run's.
 //
-// Everything here runs on the single engine goroutine (recovery is its first
-// act, appends and checkpoints happen between ops), so the WAL and
-// checkpoint files have exactly one writer and no locking.
+// Everything here runs under the session pin (recovery is the first act of a
+// session's first dispatch, appends and checkpoints happen between ops), so
+// the WAL and checkpoint files have exactly one writer and no locking.
 
 // serverState is the lifecycle reported by /healthz.
 type serverState int32
 
 const (
-	// stateRecovering: the engine goroutine is restoring a checkpoint and
-	// replaying the WAL; ingest and flush requests queue behind recovery.
+	// stateRecovering: the pinned worker is restoring a checkpoint and
+	// replaying the WAL (startup or hydration); ingest and flush requests
+	// queue behind recovery.
 	stateRecovering serverState = iota
 	// stateServing: normal operation.
 	stateServing
@@ -35,6 +36,9 @@ const (
 	stateFailed
 	// stateClosed: graceful shutdown completed.
 	stateClosed
+	// stateEvicted: the session's engine has been spilled to its checkpoint
+	// and released from memory; the first touch hydrates it back to serving.
+	stateEvicted
 )
 
 // String implements fmt.Stringer.
@@ -48,6 +52,8 @@ func (s serverState) String() string {
 		return "failed"
 	case stateClosed:
 		return "closed"
+	case stateEvicted:
+		return "evicted"
 	default:
 		return fmt.Sprintf("state(%d)", int32(s))
 	}
@@ -60,9 +66,9 @@ func (s *session) durable() bool { return s.cfg.DataDir != "" }
 // stream resume point, appended after the runner and registry state.
 const serveStreamSection = "serve.stream"
 
-// startup runs on the engine goroutine before the op loop: recover durable
-// state if configured, then open the WAL for appends and flip to serving.
-// The returned error has already been recorded for WaitReady.
+// startup runs once, under the session pin, on the session's first dispatch:
+// recover durable state if configured, then open the WAL for appends and flip
+// to serving. The returned error has already been recorded for WaitReady.
 func (s *session) startup() error {
 	defer close(s.ready)
 	if !s.durable() {
@@ -71,7 +77,7 @@ func (s *session) startup() error {
 	}
 	if err := s.recoverLocked(); err != nil {
 		s.readyErr = fmt.Errorf("serve: session %q recovery failed: %w", s.id, err)
-		s.state.Store(int32(stateFailed))
+		s.fail(s.readyErr)
 		return s.readyErr
 	}
 	lg, err := wal.Open(s.cfg.DataDir, wal.Options{
@@ -81,7 +87,7 @@ func (s *session) startup() error {
 	})
 	if err != nil {
 		s.readyErr = fmt.Errorf("serve: session %q open wal: %w", s.id, err)
-		s.state.Store(int32(stateFailed))
+		s.fail(s.readyErr)
 		return s.readyErr
 	}
 	s.wal = lg
@@ -90,8 +96,9 @@ func (s *session) startup() error {
 }
 
 // recoverLocked restores the newest valid checkpoint (if any) and replays the
-// WAL tail. Runs on the engine goroutine during startup.
+// WAL tail. Runs under the session pin, during startup or hydration.
 func (s *session) recoverLocked() error {
+	r, reg := s.eng.Load(), s.reg.Load()
 	if err := os.MkdirAll(s.cfg.DataDir, 0o755); err != nil {
 		return fmt.Errorf("create data dir: %w", err)
 	}
@@ -101,15 +108,15 @@ func (s *session) recoverLocked() error {
 		return fmt.Errorf("scan checkpoints: %w", err)
 	}
 	if ok {
-		if snap.Fingerprint != s.runner.Fingerprint() {
+		if snap.Fingerprint != r.Fingerprint() {
 			return fmt.Errorf("checkpoint %s was produced under a different engine configuration (fingerprint %#x, running %#x)",
-				path, snap.Fingerprint, s.runner.Fingerprint())
+				path, snap.Fingerprint, r.Fingerprint())
 		}
 		dec := checkpoint.NewDecoder(snap.Payload)
-		if err := s.runner.RestoreState(dec); err != nil {
+		if err := r.RestoreState(dec); err != nil {
 			return fmt.Errorf("restore runner from %s: %w", path, err)
 		}
-		if err := s.reg.RestoreState(dec); err != nil {
+		if err := reg.RestoreState(dec); err != nil {
 			return fmt.Errorf("restore query registry from %s: %w", path, err)
 		}
 		// The serve-level section (stream resume point) was appended to the
@@ -165,19 +172,19 @@ func (s *session) recoverLocked() error {
 			if rec.StreamSeq > s.lastStreamSeq.Load() {
 				s.lastStreamSeq.Store(rec.StreamSeq)
 			}
-			s.runner.Ingest(rec.Readings, rec.Locations)
-			events, err := s.runner.Advance()
-			s.reg.Feed(events)
+			r.Ingest(rec.Readings, rec.Locations)
+			events, err := r.Advance()
+			reg.Feed(events)
 			if err != nil {
 				s.engineErrs.Inc()
 				s.logf("replay epoch processing: %v", err)
 			}
 			return nil
 		case wal.RecSeal:
-			events, err := s.runner.SealTo(rec.UpTo)
-			s.reg.Feed(events)
+			events, err := r.SealTo(rec.UpTo)
+			reg.Feed(events)
 			if rec.FlushWindows {
-				s.reg.FlushAll()
+				reg.FlushAll()
 			}
 			if err != nil {
 				s.engineErrs.Inc()
@@ -192,12 +199,12 @@ func (s *session) recoverLocked() error {
 			// A registration that failed live (e.g. a history range that had
 			// already been evicted) fails identically here; either way the
 			// registry ends in the same state, so the error is not fatal.
-			if _, err := s.reg.Register(spec); err != nil {
+			if _, err := reg.Register(spec); err != nil {
 				s.logf("replay registration: %v", err)
 			}
 			return nil
 		case wal.RecUnregister:
-			s.reg.Unregister(rec.QueryID)
+			reg.Unregister(rec.QueryID)
 			return nil
 		}
 		return nil // RecCheckpoint and future types: informational
@@ -206,13 +213,19 @@ func (s *session) recoverLocked() error {
 	if err != nil {
 		return fmt.Errorf("replay wal: %w", err)
 	}
-	s.lastEpochsN = int64(s.runner.Stats().Epochs)
-	s.epochs.Add(int(s.lastEpochsN))
+	s.lastEpochsN = int64(r.Stats().Epochs)
+	// Seed the epochs counter with what recovery (re)built, but never
+	// double-count: hydration recovers epochs the counter already saw before
+	// the eviction (boot recovery starts from a zero counter, so this is the
+	// full amount there).
+	if d := s.lastEpochsN - s.epochs.Value(); d > 0 {
+		s.epochs.Add(int(d))
+	}
 	return nil
 }
 
 // logBatch appends an ingest batch to the WAL before the engine applies it
-// (the write-ahead ordering). Engine goroutine only.
+// (the write-ahead ordering). Pinned worker only.
 func (s *session) logBatch(o op) error {
 	if s.wal == nil {
 		return nil
@@ -238,7 +251,7 @@ func (s *session) logSeal(upTo int, flushWindows bool) error {
 	return s.wal.Append(wal.Record{Type: wal.RecSeal, UpTo: upTo, FlushWindows: flushWindows})
 }
 
-// handleRegisterOp applies a query registration on the engine goroutine:
+// handleRegisterOp applies a query registration under the session pin:
 // write-ahead first (so the registration survives a crash with its id and
 // sequence numbers), then register. History-mode registrations are also
 // logged — replay re-evaluates them against the identically rebuilt history
@@ -251,7 +264,7 @@ func (s *session) handleRegisterOp(o op) opResult {
 			return opResult{err: err}
 		}
 	}
-	info, err := s.reg.Register(*o.register)
+	info, err := s.reg.Load().Register(*o.register)
 	if err == nil && info.Buffered > 0 {
 		// History-mode queries buffer their full result set at registration.
 		s.notifyResults()
@@ -260,7 +273,7 @@ func (s *session) handleRegisterOp(o op) opResult {
 	return opResult{info: info, err: err}
 }
 
-// handleUnregisterOp applies a query removal on the engine goroutine,
+// handleUnregisterOp applies a query removal under the session pin,
 // write-ahead first.
 func (s *session) handleUnregisterOp(o op) opResult {
 	if s.wal != nil {
@@ -270,7 +283,7 @@ func (s *session) handleUnregisterOp(o op) opResult {
 			return opResult{err: err}
 		}
 	}
-	found := s.reg.Unregister(o.unregister)
+	found := s.reg.Load().Unregister(o.unregister)
 	if found {
 		// Wake long-poll readers so they observe the deletion promptly.
 		s.notifyResults()
@@ -280,12 +293,12 @@ func (s *session) handleUnregisterOp(o op) opResult {
 }
 
 // maybeCheckpoint writes a checkpoint when enough epochs have been processed
-// since the last one. Engine goroutine only.
+// since the last one. Pinned worker only.
 func (s *session) maybeCheckpoint() {
 	if s.wal == nil {
 		return
 	}
-	epochs := int64(s.runner.Stats().Epochs)
+	epochs := int64(s.eng.Load().Stats().Epochs)
 	if epochs-s.epochsAtCkpt < int64(s.cfg.CheckpointEvery) {
 		return
 	}
@@ -297,24 +310,25 @@ func (s *session) maybeCheckpoint() {
 
 // writeCheckpoint rotates the WAL, snapshots the runner + registry and
 // persists the checkpoint atomically; on success older checkpoints and fully
-// covered WAL segments are garbage-collected. Engine goroutine only.
+// covered WAL segments are garbage-collected. Pinned worker only.
 func (s *session) writeCheckpoint() error {
+	r, reg := s.eng.Load(), s.reg.Load()
 	seg, err := s.wal.Rotate()
 	if err != nil {
 		return err
 	}
 	enc := checkpoint.NewEncoder()
-	s.runner.SaveState(enc)
-	s.reg.SaveState(enc)
+	r.SaveState(enc)
+	reg.SaveState(enc)
 	enc.Section(serveStreamSection)
 	enc.Uvarint(s.lastStreamSeq.Load())
-	epoch := s.runner.Stats().NextEpoch - 1
+	epoch := r.Stats().NextEpoch - 1
 	if epoch < 0 {
 		epoch = 0
 	}
 	snap := checkpoint.Snapshot{
 		Version:     checkpoint.Version,
-		Fingerprint: s.runner.Fingerprint(),
+		Fingerprint: r.Fingerprint(),
 		Epoch:       epoch,
 		WALSegment:  seg,
 		Payload:     enc.Bytes(),
@@ -322,7 +336,7 @@ func (s *session) writeCheckpoint() error {
 	if _, err := checkpoint.Write(s.cfg.DataDir, snap); err != nil {
 		return err
 	}
-	s.epochsAtCkpt = int64(s.runner.Stats().Epochs)
+	s.epochsAtCkpt = int64(r.Stats().Epochs)
 	s.lastCkptEpoch.Store(int64(epoch))
 	s.lastCkptNanos.Store(time.Now().UnixNano())
 	s.checkpoints.Inc()
@@ -339,18 +353,25 @@ func (s *session) writeCheckpoint() error {
 }
 
 // shutdownDurable seals the current epoch, writes a final checkpoint and
-// closes the WAL — the graceful-shutdown sequence SIGTERM triggers. Engine
-// goroutine only.
+// closes the WAL — the graceful-shutdown sequence SIGTERM triggers. Pinned
+// worker only. On an evicted session there is nothing to do: its durable
+// state already equals the checkpoint written at eviction and its WAL is
+// closed (sealing would require hydrating a session that is being torn down).
 func (s *session) shutdownDurable() {
-	if st := s.runner.Stats(); st.BufferedEpochs > 0 {
+	r := s.eng.Load()
+	if r == nil {
+		s.state.Store(int32(stateClosed))
+		return
+	}
+	if st := r.Stats(); st.BufferedEpochs > 0 {
 		if err := s.logSeal(st.Watermark, false); err != nil {
 			s.logf("shutdown seal log: %v", err)
 		}
-		events, err := s.runner.SealTo(st.Watermark)
+		events, err := r.SealTo(st.Watermark)
 		if err != nil {
 			s.logf("shutdown seal: %v", err)
 		}
-		rows := s.reg.Feed(events)
+		rows := s.reg.Load().Feed(events)
 		s.events.Add(len(events))
 		s.results.Add(rows)
 	}
@@ -367,7 +388,7 @@ func (s *session) shutdownDurable() {
 }
 
 // syncWALMetrics mirrors the WAL's counters into the metric set (counters
-// take deltas so they stay monotone). Engine goroutine only.
+// take deltas so they stay monotone). Pinned worker only.
 func (s *session) syncWALMetrics() {
 	if s.wal == nil {
 		return

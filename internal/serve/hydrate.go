@@ -1,0 +1,321 @@
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/query"
+	"repro/internal/wal"
+	"repro/rfid"
+)
+
+// Lazy hydration: with Config.MaxResident set, idle durable sessions past the
+// LRU threshold are evicted — a checkpoint is written (no seal: eviction must
+// not change what the session would have computed), the WAL is closed, and
+// the engine + registry are released. The manifest that created the session
+// stays on the struct, so the first touch (ingest, stream attach, snapshot or
+// query poll) rebuilds an identical engine and recovers it through the exact
+// boot path. Because checkpoint + WAL replay is byte-exact (the recovery
+// property PR 4 established), an evict→hydrate→continue run is
+// indistinguishable from a never-evicted one.
+//
+// Eviction state machine (state field, all transitions on the pinned worker):
+//
+//	serving --evict op, idle--> evicted --first touch--> recovering --> serving
+//	evicted --hydration fails--> failed
+//	evicted --DELETE--> closed        (fast path: no hydration)
+
+// residency tracks the resident set of hydratable sessions in LRU order and
+// owns the server-level eviction/hydration metrics.
+type residency struct {
+	mu    sync.Mutex
+	max   int        // resident cap (0 = unlimited: track, never evict)
+	order *list.List // front = most recently used resident session
+	elems map[*session]*list.Element
+
+	evictedCount int
+
+	resident    *metrics.Gauge
+	evictedG    *metrics.Gauge
+	evictions   *metrics.Counter
+	hydrations  *metrics.Counter
+	hydrateMS   *metrics.Counter
+	hydrateLast *metrics.Gauge
+	hydrateMax  *metrics.Gauge
+}
+
+func newResidency(max int, set *metrics.Set) *residency {
+	return &residency{
+		max:         max,
+		order:       list.New(),
+		elems:       make(map[*session]*list.Element),
+		resident:    set.Gauge("rfidserve_resident_sessions", "hydratable sessions with their engine resident in memory"),
+		evictedG:    set.Gauge("rfidserve_evicted_sessions", "sessions evicted to their on-disk checkpoint, awaiting first touch"),
+		evictions:   set.Counter("rfidserve_evictions_total", "sessions evicted to disk by the resident-set LRU"),
+		hydrations:  set.Counter("rfidserve_hydrations_total", "evicted sessions restored on first touch"),
+		hydrateMS:   set.Counter("rfidserve_hydration_ms_total", "cumulative milliseconds spent hydrating evicted sessions"),
+		hydrateLast: set.Gauge("rfidserve_hydration_last_seconds", "duration of the most recent hydration"),
+		hydrateMax:  set.Gauge("rfidserve_hydration_max_seconds", "slowest hydration observed"),
+	}
+}
+
+// hydratable reports whether the session can be evicted and restored: it
+// needs a manifest to rebuild its engine from and a durable directory to
+// checkpoint into. The default session (flag-built, no manifest) and
+// non-durable sessions are never evicted.
+func (s *session) hydratable() bool { return s.manifest != nil && s.durable() }
+
+func (rs *residency) gaugesLocked() {
+	rs.resident.Set(float64(rs.order.Len()))
+	rs.evictedG.Set(float64(rs.evictedCount))
+}
+
+// residentCount returns the number of resident hydratable sessions (used by
+// boot restore to decide when to stop hydrating eagerly).
+func (rs *residency) residentCount() int {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.order.Len()
+}
+
+// touch marks a session most-recently-used and, when the resident set is over
+// its cap, requests eviction of the least-recently-used evictable sessions.
+// Called from the pinned worker after a dispatch and from direct read paths
+// (snapshot, results), so read-hot sessions stay resident.
+func (rs *residency) touch(s *session) {
+	if !s.hydratable() {
+		return
+	}
+	rs.mu.Lock()
+	if s.eng.Load() == nil {
+		// Lost a race with eviction: the toucher read the engine pointer
+		// before handleEvictOp nilled it, but noteEvicted already ran (it
+		// holds this lock, and the pointer drops first). Re-adding the entry
+		// would leave a permanently unevictable ghost in the resident list.
+		if el, ok := rs.elems[s]; ok {
+			rs.order.Remove(el)
+			delete(rs.elems, s)
+			rs.gaugesLocked()
+		}
+		rs.mu.Unlock()
+		return
+	}
+	if el, ok := rs.elems[s]; ok {
+		rs.order.MoveToFront(el)
+	} else {
+		rs.elems[s] = rs.order.PushFront(s)
+	}
+	var victims []*session
+	if rs.max > 0 {
+		over := rs.order.Len() - rs.max
+		for el := rs.order.Back(); el != nil && len(victims) < over; el = el.Prev() {
+			v := el.Value.(*session)
+			if v == s || v.closed.Load() || v.stream.Load() != nil {
+				continue // hot, closing, or kept resident by a live stream
+			}
+			if !v.evictPending.CompareAndSwap(false, true) {
+				continue // an eviction request is already in flight
+			}
+			victims = append(victims, v)
+		}
+	}
+	rs.gaugesLocked()
+	rs.mu.Unlock()
+	for _, v := range victims {
+		v.requestEvict()
+	}
+}
+
+// noteEvicted records a completed eviction (pinned worker only).
+func (rs *residency) noteEvicted(s *session) {
+	rs.mu.Lock()
+	if el, ok := rs.elems[s]; ok {
+		rs.order.Remove(el)
+		delete(rs.elems, s)
+	}
+	rs.evictedCount++
+	rs.evictions.Inc()
+	rs.gaugesLocked()
+	rs.mu.Unlock()
+}
+
+// noteHydrated records a completed hydration (pinned worker only).
+func (rs *residency) noteHydrated(s *session, d time.Duration) {
+	rs.mu.Lock()
+	if rs.evictedCount > 0 {
+		rs.evictedCount--
+	}
+	if _, ok := rs.elems[s]; !ok {
+		rs.elems[s] = rs.order.PushFront(s)
+	}
+	rs.hydrations.Inc()
+	rs.hydrateMS.Add(int(d.Milliseconds()))
+	rs.hydrateLast.Set(d.Seconds())
+	rs.hydrateMax.SetMax(d.Seconds())
+	rs.gaugesLocked()
+	rs.mu.Unlock()
+}
+
+// addEvicted accounts for a session that boots in the evicted state (lazy
+// restore past the resident cap).
+func (rs *residency) addEvicted() {
+	rs.mu.Lock()
+	rs.evictedCount++
+	rs.gaugesLocked()
+	rs.mu.Unlock()
+}
+
+// drop forgets a closed/deleted session entirely.
+func (rs *residency) drop(s *session, wasEvicted bool) {
+	rs.mu.Lock()
+	if el, ok := rs.elems[s]; ok {
+		rs.order.Remove(el)
+		delete(rs.elems, s)
+	} else if wasEvicted && s.hydratable() && rs.evictedCount > 0 {
+		rs.evictedCount--
+	}
+	rs.gaugesLocked()
+	rs.mu.Unlock()
+}
+
+// requestEvict enqueues a best-effort eviction op. A full queue means the
+// session is plainly busy — clear the reservation and let a later touch
+// retry.
+func (s *session) requestEvict() {
+	select {
+	case s.ops <- op{evict: true}:
+		s.sched.wake(s)
+	default:
+		s.evictPending.Store(false)
+	}
+}
+
+// handleEvictOp evicts the session to disk (pinned worker only): write a
+// checkpoint (NOT a seal — the graceful shutdown seals because the run is
+// over; eviction must leave the buffered epochs exactly as a live session
+// would hold them, or the hydrated continuation would diverge from a
+// never-evicted run), close the WAL, release the engine and registry.
+func (s *session) handleEvictOp() opResult {
+	defer s.evictPending.Store(false)
+	if !s.hydratable() || s.closed.Load() || s.eng.Load() == nil ||
+		serverState(s.state.Load()) != stateServing {
+		return opResult{}
+	}
+	if len(s.ops) > 0 || s.stream.Load() != nil {
+		// Work (or a live stream) arrived behind the evict request: the
+		// session is not idle after all; evicting would just thrash.
+		return opResult{}
+	}
+	if err := s.writeCheckpoint(); err != nil {
+		s.engineErrs.Inc()
+		s.logf("evict checkpoint: %v", err)
+		return opResult{err: err}
+	}
+	s.syncWALMetrics()
+	if err := s.wal.Close(); err != nil {
+		s.logf("evict close wal: %v", err)
+	}
+	s.wal = nil
+	// A fresh wal.Log counts appends from zero; reset the delta mirror so the
+	// post-hydration counters stay monotone.
+	s.lastWal = wal.Stats{}
+	st := s.eng.Load().Stats()
+	s.lastStats.Store(&cachedStats{st: st, queries: s.reg.Load().Count()})
+	// State flips before the pointers drop so a concurrent reader that loads
+	// a non-nil engine is always reading consistent pre-evict state.
+	s.state.Store(int32(stateEvicted))
+	s.eng.Store(nil)
+	s.reg.Store(nil)
+	s.res.noteEvicted(s)
+	return opResult{}
+}
+
+// hydrate restores an evicted session (pinned worker only): rebuild the
+// engine from the manifest (identical fingerprint by construction — the same
+// buildRunner boot restore uses), then run the exact startup recovery path
+// against the checkpoint written at eviction plus any WAL tail.
+func (s *session) hydrate() error {
+	start := time.Now()
+	s.state.Store(int32(stateRecovering))
+	runner, err := buildRunner(*s.manifest)
+	if err == nil {
+		reg := query.NewRegistry(s.cfg.MaxBufferedResults)
+		reg.SetHistorySource(runner)
+		s.eng.Store(runner)
+		s.reg.Store(reg)
+		err = s.recoverLocked()
+	}
+	var lg *wal.Log
+	if err == nil {
+		lg, err = wal.Open(s.cfg.DataDir, wal.Options{
+			SegmentBytes: s.cfg.WALSegmentBytes,
+			Sync:         s.cfg.Fsync,
+			SyncEvery:    s.cfg.FsyncInterval,
+		})
+	}
+	if err != nil {
+		err = fmt.Errorf("serve: session %q hydration failed: %w", s.id, err)
+		s.fail(err)
+		return err
+	}
+	s.wal = lg
+	s.lastWal = wal.Stats{}
+	s.state.Store(int32(stateServing))
+	s.res.noteHydrated(s, time.Since(start))
+	return nil
+}
+
+// residentEngine returns the session's engine for a direct read, hydrating
+// first when the session is evicted (a fence op through the queue, so the
+// pinned worker performs the restore). The retry loop covers the window where
+// an already-queued evict op lands right after the fence.
+func (s *session) residentEngine(cancel <-chan struct{}) (*rfid.Runner, error) {
+	for tries := 0; tries < 4; tries++ {
+		if r := s.eng.Load(); r != nil {
+			if s.res != nil {
+				s.res.touch(s)
+			}
+			return r, nil
+		}
+		if err := s.fenceWait(cancel); err != nil {
+			return nil, err
+		}
+	}
+	return nil, errBackpressure
+}
+
+// residentRegistry is residentEngine for the query registry.
+func (s *session) residentRegistry(cancel <-chan struct{}) (*query.Registry, error) {
+	for tries := 0; tries < 4; tries++ {
+		if reg := s.reg.Load(); reg != nil {
+			if s.res != nil {
+				s.res.touch(s)
+			}
+			return reg, nil
+		}
+		if err := s.fenceWait(cancel); err != nil {
+			return nil, err
+		}
+	}
+	return nil, errBackpressure
+}
+
+// fenceWait enqueues a fence op and waits for it to complete; by then every
+// earlier op has applied and an evicted session has been hydrated.
+func (s *session) fenceWait(cancel <-chan struct{}) error {
+	done := make(chan opResult, 1)
+	if err := s.enqueue(op{fence: true, done: done}, cancel); err != nil {
+		return err
+	}
+	select {
+	case res := <-done:
+		return res.err
+	case <-s.quit:
+		return fmt.Errorf("session closed")
+	case <-cancel:
+		return errCanceled
+	}
+}

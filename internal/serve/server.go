@@ -34,13 +34,19 @@
 // configured by the process (Config.Runner), so single-tenant deployments and
 // old clients keep working unchanged.
 //
-// Each session runs the single-engine-goroutine concurrency model documented
-// on the session type, owns its own Prometheus series (label session="<id>"
-// on the shared /metrics endpoint) and — when Config.DataDir is set — its own
-// WAL/checkpoint subdirectory: the default session directly under DataDir
-// (the pre-session layout), API-created sessions under
-// DataDir/sessions/<id>/ together with a manifest.json recording their
-// creation request, from which they are rebuilt and recovered on boot.
+// Sessions are work-items on a shared run-queue scheduler (see sched.go): a
+// fixed worker pool drains each session's bounded op queue with the session
+// pinned to at most one worker at a time, which preserves the per-session
+// ordering and determinism the old goroutine-per-session design had. With
+// Config.MaxResident set, idle durable sessions past the LRU threshold are
+// evicted to their checkpoint + manifest on disk and transparently restored
+// on first touch (see hydrate.go). Each session owns its own Prometheus
+// series (label session="<id>" on the shared /metrics endpoint) and — when
+// Config.DataDir is set — its own WAL/checkpoint subdirectory: the default
+// session directly under DataDir (the pre-session layout), API-created
+// sessions under DataDir/sessions/<id>/ together with a manifest.json
+// recording their creation request, from which they are rebuilt and
+// recovered on boot.
 package serve
 
 import (
@@ -116,6 +122,18 @@ type Config struct {
 	// MaxLongPollWait caps the ?wait= long-poll duration on the results
 	// endpoint (default 60s).
 	MaxLongPollWait time.Duration
+
+	// SchedWorkers sizes the shared worker pool that drains every session's op
+	// queue (default GOMAXPROCS). The pool size affects only throughput, never
+	// results: each session is pinned to at most one worker at a time.
+	SchedWorkers int
+	// MaxResident, when > 0, bounds how many durable API-created sessions keep
+	// their engine resident in memory: idle sessions past the LRU threshold
+	// are evicted to their checkpoint + manifest on disk and transparently
+	// restored on first touch (ingest, stream attach, snapshot, query poll).
+	// The default session and non-durable sessions are never evicted. 0 keeps
+	// everything resident.
+	MaxResident int
 }
 
 func (c *Config) applyDefaults() {
@@ -153,6 +171,8 @@ type Server struct {
 	cfg   Config
 	mux   *http.ServeMux
 	set   *metrics.Set
+	sched *scheduler
+	res   *residency
 	start time.Time
 
 	mu       sync.Mutex
@@ -168,11 +188,12 @@ type Server struct {
 	sessionsDeleted *metrics.Counter
 }
 
-// New returns a started Server: the default session's engine goroutine is
-// running, and with durability enabled every session persisted under
-// DataDir/sessions has been rebuilt from its manifest (recovery itself runs
-// asynchronously on each session's engine goroutine; WaitReady blocks until
-// it finished).
+// New returns a started Server: the shared worker pool is running, the
+// default session's startup is scheduled on it, and with durability enabled
+// every session persisted under DataDir/sessions has been rebuilt from its
+// manifest — eagerly up to MaxResident, lazily (evicted, restored on first
+// touch) past it. Recovery itself runs asynchronously on the pool; WaitReady
+// blocks until it finished.
 func New(cfg Config) (*Server, error) {
 	if cfg.Runner == nil {
 		return nil, fmt.Errorf("serve: Config.Runner is required")
@@ -187,11 +208,14 @@ func New(cfg Config) (*Server, error) {
 	sv.sessionsLive = sv.set.Gauge("rfidserve_sessions", "live sessions, the default session included")
 	sv.sessionsCreated = sv.set.Counter("rfidserve_sessions_created_total", "sessions created over the server's lifetime (boot-recovered sessions included)")
 	sv.sessionsDeleted = sv.set.Counter("rfidserve_sessions_deleted_total", "sessions deleted")
+	sv.sched = newScheduler(cfg.SchedWorkers)
+	sv.res = newResidency(cfg.MaxResident, sv.set)
 
 	// The default session keeps the pre-session durable layout: its WAL and
 	// checkpoints live directly under DataDir.
-	def, err := newSession(DefaultSessionID, "", cfg, sv.set)
+	def, err := newSession(DefaultSessionID, "", cfg, sv.deps(), nil)
 	if err != nil {
+		sv.sched.stop()
 		return nil, err
 	}
 	sv.sessions[DefaultSessionID] = def
@@ -199,11 +223,12 @@ func New(cfg Config) (*Server, error) {
 	if err := sv.restoreSessions(); err != nil {
 		// Tear down everything that already started (the default session AND
 		// any session restored before the failure): a caller that retries
-		// New on the same DataDir must not race leaked engine goroutines or
-		// open WAL writers. closeNow leaves the on-disk state untouched.
+		// New on the same DataDir must not race leaked workers or open WAL
+		// writers. closeNow leaves the on-disk state untouched.
 		for _, s := range sv.snapshotSessions() {
 			s.closeNow()
 		}
+		sv.sched.stop()
 		return nil, err
 	}
 	sv.sessionsLive.Set(float64(len(sv.sessions)))
@@ -211,6 +236,11 @@ func New(cfg Config) (*Server, error) {
 	sv.mux = http.NewServeMux()
 	sv.routes()
 	return sv, nil
+}
+
+// deps bundles the server-shared machinery sessions hook into.
+func (sv *Server) deps() sessionDeps {
+	return sessionDeps{set: sv.set, sched: sv.sched, res: sv.res}
 }
 
 // sessionConfig derives one session's effective Config from the server
@@ -323,7 +353,10 @@ func (sv *Server) checkCreateLocked(id string, restoring bool) error {
 // addSession validates a creation request, reserves its id, builds the runner
 // and starts the session. Used by both POST /v1/sessions and boot restore
 // (restore passes the manifest verbatim, so both paths build identical
-// engines — which is what makes recovered fingerprints match).
+// engines — which is what makes recovered fingerprints match). Once boot
+// restore has filled the resident set to MaxResident, further persisted
+// sessions boot evicted: no engine is built and no WAL replays until their
+// first touch, which is what keeps a dense restart cheap.
 func (sv *Server) addSession(req api.CreateSessionRequest, restoring bool) (*session, error) {
 	// Reject the cheap failures (limit, bad/duplicate id) before paying for a
 	// full inference engine; the same checks run again under the lock below,
@@ -334,9 +367,14 @@ func (sv *Server) addSession(req api.CreateSessionRequest, restoring bool) (*ses
 	if err != nil {
 		return nil, err
 	}
-	runner, err := buildRunner(req)
-	if err != nil {
-		return nil, err
+	lazy := restoring && sv.cfg.DataDir != "" && sv.cfg.MaxResident > 0 &&
+		sv.res.residentCount() >= sv.cfg.MaxResident
+	var runner *rfid.Runner
+	if !lazy {
+		runner, err = buildRunner(req)
+		if err != nil {
+			return nil, err
+		}
 	}
 	sv.mu.Lock()
 	defer sv.mu.Unlock()
@@ -365,7 +403,13 @@ func (sv *Server) addSession(req api.CreateSessionRequest, restoring bool) (*ses
 		}
 	}
 	label := fmt.Sprintf(`{session=%q}`, id)
-	sess, err := newSession(id, label, sv.sessionConfig(runner, dir, req.Engine), sv.set)
+	manifest := req // copied after ID assignment: hydration must rebuild this exact session
+	var sess *session
+	if lazy {
+		sess, err = newEvictedSession(id, label, sv.sessionConfig(nil, dir, req.Engine), sv.deps(), &manifest)
+	} else {
+		sess, err = newSession(id, label, sv.sessionConfig(runner, dir, req.Engine), sv.deps(), &manifest)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -380,6 +424,9 @@ func (sv *Server) addSession(req api.CreateSessionRequest, restoring bool) (*ses
 	sv.sessions[id] = sess
 	sv.sessionsCreated.Inc()
 	sv.sessionsLive.Set(float64(len(sv.sessions)))
+	if !lazy && sess.hydratable() {
+		sv.res.touch(sess)
+	}
 	return sess, nil
 }
 
@@ -497,8 +544,9 @@ func sessionIDLess(a, b string) bool {
 func (sv *Server) Handler() http.Handler { return envelopeErrors(sv.mux) }
 
 // Registry exposes the default session's query registry (used by embedders to
-// pre-register queries).
-func (sv *Server) Registry() *query.Registry { return sv.defaultSession().reg }
+// pre-register queries). The default session is never evicted, so this is
+// always non-nil.
+func (sv *Server) Registry() *query.Registry { return sv.defaultSession().registry() }
 
 // WaitReady blocks until every session finished starting up (for durable
 // sessions: until recovery completed) and returns the first startup error, if
@@ -525,6 +573,7 @@ func (sv *Server) Close() {
 	for _, s := range sv.snapshotSessions() {
 		s.close()
 	}
+	sv.sched.stop()
 }
 
 // CloseNow stops every session WITHOUT the graceful durable shutdown: no
@@ -538,6 +587,7 @@ func (sv *Server) CloseNow() {
 	for _, s := range sv.snapshotSessions() {
 		s.closeNow()
 	}
+	sv.sched.stop()
 }
 
 // routes wires the v1 resource surface and the legacy aliases onto the mux.
@@ -726,9 +776,11 @@ func (sv *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// sessionToAPI converts a session into its resource representation.
+// sessionToAPI converts a session into its resource representation. Listing
+// an evicted session does NOT hydrate it: the stats are the view cached when
+// it was evicted.
 func (sv *Server) sessionToAPI(s *session) api.Session {
-	st := s.runner.Stats()
+	st := s.runnerStats()
 	return api.Session{
 		ID:      s.id,
 		State:   serverState(s.state.Load()).String(),
@@ -743,7 +795,7 @@ func (sv *Server) sessionToAPI(s *session) api.Session {
 			Particles:      st.Particles,
 			TrackedObjects: st.TrackedObjects,
 			LateDropped:    st.LateDropped,
-			Queries:        s.reg.Count(),
+			Queries:        s.queryCount(),
 		},
 	}
 }
@@ -827,10 +879,17 @@ func (sv *Server) handleFlush(w http.ResponseWriter, r *http.Request, sess *sess
 }
 
 // handleSnapshot answers GET .../snapshot/{tag}. An untracked tag is a 404
-// with the standard error envelope, like every other missing resource.
+// with the standard error envelope, like every other missing resource. On an
+// evicted session the read hydrates it first (first-touch latency includes
+// the engine rebuild + recovery).
 func (sv *Server) handleSnapshot(w http.ResponseWriter, r *http.Request, sess *session) {
 	tag := r.PathValue("tag")
-	loc, st, ok := sess.runner.Snapshot(rfid.TagID(tag))
+	runner, err := sess.residentEngine(r.Context().Done())
+	if err != nil {
+		writeUnavailable(w, 1000, "snapshot: %v", err)
+		return
+	}
+	loc, st, ok := runner.Snapshot(rfid.TagID(tag))
 	if !ok {
 		writeError(w, http.StatusNotFound, api.ErrNotFound, "tag %q is not tracked", tag)
 		return
@@ -849,18 +908,23 @@ func (sv *Server) handleSnapshot(w http.ResponseWriter, r *http.Request, sess *s
 // (the time-travel view: every object's MAP location as it was when epoch N
 // was sealed, served from the runner's bounded history ring).
 func (sv *Server) handleSnapshotAll(w http.ResponseWriter, r *http.Request, sess *session) {
+	runner, err := sess.residentEngine(r.Context().Done())
+	if err != nil {
+		writeUnavailable(w, 1000, "snapshot: %v", err)
+		return
+	}
 	if v := r.URL.Query().Get("epoch"); v != "" {
 		epoch, err := strconv.Atoi(v)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, api.ErrBadRequest, "bad epoch: %v", err)
 			return
 		}
-		sv.handleSnapshotAt(w, sess, epoch)
+		sv.handleSnapshotAt(w, runner, epoch)
 		return
 	}
-	pose := sess.runner.ReaderSnapshot()
-	st := sess.runner.Stats()
-	tags := sess.runner.Tracked()
+	pose := runner.ReaderSnapshot()
+	st := runner.Stats()
+	tags := runner.Tracked()
 	names := make([]string, len(tags))
 	for i, id := range tags {
 		names[i] = string(id)
@@ -877,10 +941,10 @@ func (sv *Server) handleSnapshotAll(w http.ResponseWriter, r *http.Request, sess
 }
 
 // handleSnapshotAt serves one retained history epoch.
-func (sv *Server) handleSnapshotAt(w http.ResponseWriter, sess *session, epoch int) {
-	events, ok := sess.runner.HistoryEvents(epoch)
+func (sv *Server) handleSnapshotAt(w http.ResponseWriter, runner *rfid.Runner, epoch int) {
+	events, ok := runner.HistoryEvents(epoch)
 	if !ok {
-		oldest, newest, have := sess.runner.HistoryBounds()
+		oldest, newest, have := runner.HistoryBounds()
 		if have {
 			writeError(w, http.StatusNotFound, api.ErrNotFound, "epoch %d outside the retained history [%d, %d]", epoch, oldest, newest)
 		} else {
@@ -902,8 +966,8 @@ func (sv *Server) handleSnapshotAt(w http.ResponseWriter, sess *session, epoch i
 }
 
 // handleRegister answers POST .../queries with an api.QuerySpec body. The
-// registration runs on the session's engine goroutine (write-ahead logged,
-// ordered against epoch processing), so a crash after the 201 cannot lose it.
+// registration runs under the session pin (write-ahead logged, ordered
+// against epoch processing), so a crash after the 201 cannot lose it.
 func (sv *Server) handleRegister(w http.ResponseWriter, r *http.Request, sess *session) {
 	if sv.closed.Load() || sess.closed.Load() {
 		writeError(w, http.StatusServiceUnavailable, api.ErrUnavailable, "session is shutting down")
@@ -943,7 +1007,12 @@ func (sv *Server) handleList(w http.ResponseWriter, r *http.Request, sess *sessi
 		writeAPIError(w, err)
 		return
 	}
-	infos := sess.reg.List()
+	reg, err := sess.residentRegistry(r.Context().Done())
+	if err != nil {
+		writeUnavailable(w, 1000, "queries: %v", err)
+		return
+	}
+	infos := reg.List()
 	if !paged {
 		out := make(api.QueryList, 0, len(infos))
 		for _, info := range infos {
@@ -1006,9 +1075,17 @@ func (sv *Server) handleResults(w http.ResponseWriter, r *http.Request, sess *se
 	deadline := time.Now().Add(wait)
 	for {
 		// Grab the notify channel BEFORE reading the registry so a result
-		// buffered between the read and the wait still wakes this poller.
+		// buffered between the read and the wait still wakes this poller. The
+		// registry is re-resolved every turn of the loop: the session may be
+		// evicted while the poll sleeps, and the next read must hydrate it
+		// rather than touch a released registry.
 		notify := sess.resultsChan()
-		results, info, err := sess.reg.Results(id, after, limit)
+		reg, rerr := sess.residentRegistry(r.Context().Done())
+		if rerr != nil {
+			writeUnavailable(w, 1000, "results: %v", rerr)
+			return
+		}
+		results, info, err := reg.Results(id, after, limit)
 		if err != nil {
 			writeError(w, http.StatusNotFound, api.ErrNotFound, "%v", err)
 			return
@@ -1041,7 +1118,7 @@ func (sv *Server) handleResults(w http.ResponseWriter, r *http.Request, sess *se
 }
 
 // handleUnregister answers DELETE .../queries/{id}, routed through the
-// session's engine goroutine like registration.
+// session's op queue like registration.
 func (sv *Server) handleUnregister(w http.ResponseWriter, r *http.Request, sess *session) {
 	if sv.closed.Load() || sess.closed.Load() {
 		writeError(w, http.StatusServiceUnavailable, api.ErrUnavailable, "session is shutting down")

@@ -14,8 +14,9 @@ import (
 	"repro/rfid/api"
 )
 
-// op is one unit of work for a session's engine goroutine: an ingest batch or
-// a flush request.
+// op is one unit of work on a session's pending-work list: an ingest batch, a
+// flush request, a query (un)registration, a fence, an eviction request or
+// the graceful shutdown.
 type op struct {
 	readings  []rfid.Reading
 	locations []rfid.LocationReport
@@ -26,24 +27,27 @@ type op struct {
 	// flushWindows additionally flushes the registered queries' held-back
 	// final epoch; only meaningful on flush ops.
 	flushWindows bool
-	// shutdown asks the engine goroutine to seal the current epoch, write a
+	// shutdown asks the pinned worker to seal the current epoch, write a
 	// final checkpoint and close the WAL (graceful shutdown).
 	shutdown bool
+	// evict asks the pinned worker to spill the session to its checkpoint and
+	// release the engine (skipped if newer work is already queued behind it).
+	evict bool
 	// register carries a query registration (its raw JSON wire form rides
 	// along for the WAL); unregister carries a removal. Both are routed
-	// through the engine goroutine so their order relative to epoch
-	// processing is exactly the order the WAL records — what makes query
-	// state recoverable.
+	// through the op queue so their order relative to epoch processing is
+	// exactly the order the WAL records — what makes query state recoverable.
 	register     *query.Spec
 	registerJSON string
 	unregister   string
 	// sb, when non-nil, marks an ingest batch that arrived over a stream
 	// connection: readings/locations alias the batch's scratch slices, and
-	// after applying, the engine goroutine recycles the batch and raises the
+	// after applying, the pinned worker recycles the batch and raises the
 	// connection's ack mark instead of answering a done channel.
 	sb *streamBatch
 	// fence asks for an immediate empty completion: a handler that awaits a
-	// fence op knows every op enqueued before it has been applied.
+	// fence op knows every op enqueued before it has been applied (and that
+	// an evicted session has been hydrated).
 	fence bool
 	// done, when non-nil, receives the op's outcome.
 	done chan opResult
@@ -57,32 +61,76 @@ type opResult struct {
 	err     error
 }
 
+// cachedStats is the last engine view captured at eviction, so listings and
+// metric scrapes answer without hydrating.
+type cachedStats struct {
+	st      rfid.RunnerStats
+	queries int
+}
+
+// sessionDeps is the server-shared machinery every session hooks into.
+type sessionDeps struct {
+	set   *metrics.Set
+	sched *scheduler
+	res   *residency
+}
+
 // session is one isolated inference world behind the HTTP surface: its own
-// Runner, query registry, bounded op queue drained by a single engine
-// goroutine, per-session metric series and (when the server is durable) its
+// Runner, query registry, bounded op queue drained by the shared scheduler's
+// worker pool, per-session metric series and (when the server is durable) its
 // own WAL/checkpoint directory. The v1 API exposes sessions as resources
 // under /v1/sessions/{id}; the legacy unversioned routes alias the "default"
 // session.
 //
 // Concurrency model: all ingest and flush work funnels through one bounded
-// channel drained by a single engine goroutine, so epochs are processed
-// strictly in arrival order and the pipeline's determinism is preserved; the
-// channel bound is the backpressure mechanism (ingest blocks briefly, then
-// fails with 503 when the engine cannot keep up). Snapshot reads go straight
-// to the Runner, whose mutex serializes them against epoch processing, so
-// they always observe a consistent post-epoch state.
+// channel drained under the session pin (see sched.go), so epochs are
+// processed strictly in arrival order by at most one worker at a time and the
+// pipeline's determinism is preserved; the channel bound is the backpressure
+// mechanism (ingest blocks briefly, then fails with 503 when the engine
+// cannot keep up). Snapshot reads go straight to the Runner, whose mutex
+// serializes them against epoch processing, so they always observe a
+// consistent post-epoch state; on an evicted session they hydrate first via a
+// fence through the queue.
 type session struct {
 	id     string
 	label  string // metric-series label suffix ("" for the default session)
 	source string // normalized world source ("" for the flag-built default)
 	cfg    Config // effective config; DataDir is THIS session's directory
-	runner *rfid.Runner
-	reg    *query.Registry
+
+	// manifest is the api.CreateSessionRequest the session was built from
+	// (nil for the flag-built default session). Hydration rebuilds the engine
+	// from it, which is what makes the checkpoint fingerprint match.
+	manifest *api.CreateSessionRequest
+
+	// eng and reg are the resident engine and query registry; both are nil
+	// while the session is evicted. Swapped only under the session pin; read
+	// lock-free by snapshot/results handlers (a reader racing an eviction
+	// sees either nil or the consistent pre-evict state, never a torn one).
+	eng atomic.Pointer[rfid.Runner]
+	reg atomic.Pointer[query.Registry]
 
 	ops    chan op
 	quit   chan struct{}
-	wg     sync.WaitGroup
 	closed atomic.Bool
+	// halted flips once the session must never be scheduled again; dispatch
+	// and wake() check it, so after waitUnpinned no worker touches the
+	// session.
+	halted atomic.Bool
+
+	// Scheduler plumbing (see sched.go): the pin is the mutual exclusion that
+	// replaced the dedicated engine goroutine.
+	sched      *scheduler
+	res        *residency
+	schedState atomic.Int32
+	pinMu      sync.Mutex
+	started    atomic.Bool // startup (recovery) has run
+
+	// evictPending reserves the session for one in-flight eviction request.
+	evictPending atomic.Bool
+	// lastStats caches the engine view at eviction time for listings and
+	// scrapes; nil until the first eviction (a lazily-restored session
+	// reports zeros until its first touch).
+	lastStats atomic.Pointer[cachedStats]
 
 	set   *metrics.Set // shared with the server; series are label-suffixed
 	start time.Time
@@ -93,27 +141,29 @@ type session struct {
 	resultNotify chan struct{}
 
 	// stream is the session's single active stream connection (nil when
-	// none); a new stream claims the slot and takes the old one down.
+	// none); a new stream claims the slot and takes the old one down. A live
+	// stream also pins the session resident.
 	stream atomic.Pointer[streamConn]
 	// lastStreamSeq is the highest stream batch sequence durably applied;
-	// written by the engine goroutine (and recovery), read by stream
-	// handshakes after a fence. It is persisted through RecBatch WAL records
-	// and the checkpoint's serve.stream section.
+	// written under the pin (and by recovery), read by stream handshakes
+	// after a fence. It is persisted through RecBatch WAL records and the
+	// checkpoint's serve.stream section, so stream resume survives eviction.
 	lastStreamSeq atomic.Uint64
 
 	// Durability (nil / zero when cfg.DataDir is empty). The WAL and the
-	// checkpoint writer run exclusively on the engine goroutine.
+	// checkpoint writer run exclusively under the session pin.
 	wal            *wal.Log
 	state          atomic.Int32 // serverState
 	ready          chan struct{}
-	readyErr       error // written before ready closes, read after
+	readyErr       error                 // written before ready closes, read after
+	failErr        atomic.Pointer[error] // why the session is stateFailed
 	lastCkptEpoch  atomic.Int64
 	lastCkptNanos  atomic.Int64
 	recoveredEpoch atomic.Int64
-	epochsAtCkpt   int64     // engine-goroutine-local
-	lastWal        wal.Stats // engine-goroutine-local metric mirror
+	epochsAtCkpt   int64     // pinned-worker-local
+	lastWal        wal.Stats // pinned-worker-local metric mirror
 
-	// engine-loop counters (written only by the engine goroutine)
+	// op-processing counters (written only under the pin)
 	engineErrs  *metrics.Counter
 	batches     *metrics.Counter
 	streamConns *metrics.Counter
@@ -142,7 +192,7 @@ type session struct {
 	particles   *metrics.Gauge
 	buffered    *metrics.Gauge
 	epochsRate  *metrics.Gauge
-	lastEpochsN int64 // engine-goroutine-local: epochs seen at last delta
+	lastEpochsN int64 // pinned-worker-local: epochs seen at last delta
 }
 
 // logf routes the session's operational log lines (one indirection point so
@@ -156,31 +206,104 @@ func (s *session) logf(format string, args ...any) {
 // session uses bare names, preserving the pre-session metric surface.
 func (s *session) series(name string) string { return name + s.label }
 
-// newSession builds and starts one session. cfg must already carry the
-// session's effective settings (its own DataDir, queue size, ...); set is the
-// server-shared metric set; label is the Prometheus label suffix (empty for
-// the default session).
-func newSession(id, label string, cfg Config, set *metrics.Set) (*session, error) {
+// engine returns the resident runner (nil while evicted).
+func (s *session) engine() *rfid.Runner { return s.eng.Load() }
+
+// registry returns the resident query registry (nil while evicted).
+func (s *session) registry() *query.Registry { return s.reg.Load() }
+
+// runnerStats returns live engine stats when resident, the eviction-time
+// cache otherwise (zeros for a lazily-restored session before first touch).
+func (s *session) runnerStats() rfid.RunnerStats {
+	if r := s.eng.Load(); r != nil {
+		return r.Stats()
+	}
+	if c := s.lastStats.Load(); c != nil {
+		return c.st
+	}
+	return rfid.RunnerStats{}
+}
+
+// queryCount mirrors runnerStats for the registered-query count.
+func (s *session) queryCount() int {
+	if reg := s.reg.Load(); reg != nil {
+		return reg.Count()
+	}
+	if c := s.lastStats.Load(); c != nil {
+		return c.queries
+	}
+	return 0
+}
+
+// fail marks the session permanently failed.
+func (s *session) fail(err error) {
+	s.failErr.Store(&err)
+	s.state.Store(int32(stateFailed))
+}
+
+// failure returns the error that put the session into stateFailed.
+func (s *session) failure() error {
+	if p := s.failErr.Load(); p != nil {
+		return *p
+	}
+	return s.readyErr
+}
+
+// newSession builds a session with a resident engine and schedules its
+// startup on the shared worker pool. cfg must already carry the session's
+// effective settings (its own DataDir, queue size, ...); label is the
+// Prometheus label suffix (empty for the default session); manifest is the
+// creation request API sessions hydrate from (nil for the default session).
+func newSession(id, label string, cfg Config, deps sessionDeps, manifest *api.CreateSessionRequest) (*session, error) {
 	if cfg.Runner == nil {
 		return nil, fmt.Errorf("serve: session %q has no runner", id)
 	}
+	s := buildSession(id, label, cfg, deps, manifest)
+	s.eng.Store(cfg.Runner)
+	reg := query.NewRegistry(cfg.MaxBufferedResults)
+	// History-mode queries evaluate over the runner's time-travel ring (it
+	// reports "no history" when RunnerConfig.HistoryEpochs is zero).
+	reg.SetHistorySource(cfg.Runner)
+	s.reg.Store(reg)
+	// Schedule startup (recovery for durable sessions) on the worker pool.
+	s.sched.wake(s)
+	return s, nil
+}
+
+// newEvictedSession builds a session that boots directly in the evicted
+// state: no engine, no registry, no WAL replay — just the manifest and the
+// metric series. The first touch hydrates it. Used by boot restore once the
+// resident set is full, which is what keeps a 10k-session restart from
+// rebuilding 10k particle filters up front.
+func newEvictedSession(id, label string, cfg Config, deps sessionDeps, manifest *api.CreateSessionRequest) (*session, error) {
+	if manifest == nil || cfg.DataDir == "" {
+		return nil, fmt.Errorf("serve: session %q cannot boot evicted without a manifest and data dir", id)
+	}
+	s := buildSession(id, label, cfg, deps, manifest)
+	s.started.Store(true)
+	s.state.Store(int32(stateEvicted))
+	close(s.ready)
+	deps.res.addEvicted()
+	return s, nil
+}
+
+// buildSession is the shared construction: struct, channels, metric series.
+func buildSession(id, label string, cfg Config, deps sessionDeps, manifest *api.CreateSessionRequest) *session {
 	cfg.applyDefaults()
 	s := &session{
 		id:           id,
 		label:        label,
 		cfg:          cfg,
-		runner:       cfg.Runner,
-		reg:          query.NewRegistry(cfg.MaxBufferedResults),
+		manifest:     manifest,
 		ops:          make(chan op, cfg.QueueSize),
 		quit:         make(chan struct{}),
 		ready:        make(chan struct{}),
 		resultNotify: make(chan struct{}),
-		set:          set,
+		set:          deps.set,
+		sched:        deps.sched,
+		res:          deps.res,
 		start:        time.Now(),
 	}
-	// History-mode queries evaluate over the runner's time-travel ring (it
-	// reports "no history" when RunnerConfig.HistoryEpochs is zero).
-	s.reg.SetHistorySource(cfg.Runner)
 	s.lastCkptEpoch.Store(-1)
 	s.recoveredEpoch.Store(-1)
 	s.engineErrs = s.counter("rfidserve_engine_errors_total", "epoch-processing errors (failing epochs are skipped)")
@@ -207,10 +330,7 @@ func newSession(id, label string, cfg Config, set *metrics.Set) (*session, error
 	s.particles = s.gauge("rfidserve_particles", "particles currently alive in the engine")
 	s.buffered = s.gauge("rfidserve_buffered_epochs", "ingested epochs not yet processed")
 	s.epochsRate = s.gauge("rfidserve_epochs_per_second", "average epoch processing rate since start")
-
-	s.wg.Add(1)
-	go s.loop()
-	return s, nil
+	return s
 }
 
 func (s *session) counter(name, help string) *metrics.Counter {
@@ -249,11 +369,24 @@ func (s *session) waitReady(done <-chan struct{}) error {
 	}
 }
 
+// waitUnpinned returns once no worker holds the session pin. Combined with
+// halted (checked first thing under the pin), it guarantees no worker will
+// ever touch the session's engine or WAL again.
+func (s *session) waitUnpinned() {
+	s.pinMu.Lock()
+	//lint:ignore SA2001 acquire-release is the whole point: the critical
+	// section is the in-flight dispatch we are waiting out.
+	s.pinMu.Unlock()
+}
+
 // close shuts the session down. With durability enabled this is the graceful
-// sequence: the engine goroutine seals the current epoch, feeds the resulting
+// sequence: the pinned worker seals the current epoch, feeds the resulting
 // events to the registered queries, writes a final checkpoint and closes the
-// WAL; only then does the goroutine stop. Batches still queued behind the
-// shutdown op are dropped; new ingests fail with 503. close is idempotent.
+// WAL. An EVICTED session skips all of that without hydrating: its durable
+// state already equals its checkpoint and its WAL is closed, so there is
+// nothing to seal — the fast path DELETE /v1/sessions/{sid} relies on.
+// Batches still queued behind the shutdown are dropped; new ingests fail with
+// 503. close is idempotent.
 func (s *session) close() {
 	if !s.closed.CompareAndSwap(false, true) {
 		return
@@ -263,35 +396,59 @@ func (s *session) close() {
 	if sc := s.stream.Load(); sc != nil {
 		sc.kill()
 	}
+	// Evicted fast path. Under the pin so it cannot race a dispatch that is
+	// mid-hydration; queued ops (they would have hydrated) are dropped, which
+	// is the same contract the graceful path applies to ops queued behind the
+	// shutdown op.
+	s.pinMu.Lock()
+	if s.started.Load() && serverState(s.state.Load()) == stateEvicted {
+		s.halted.Store(true)
+		s.state.Store(int32(stateClosed))
+		s.pinMu.Unlock()
+		close(s.quit)
+		if s.res != nil {
+			s.res.drop(s, true)
+		}
+		return
+	}
+	s.pinMu.Unlock()
+
 	done := make(chan opResult, 1)
 	select {
 	case s.ops <- op{shutdown: true, done: done}:
+		s.sched.wake(s)
 		select {
 		case <-done:
 		case <-time.After(30 * time.Second):
 			s.logf("graceful shutdown timed out; forcing")
 		}
 	default:
-		// Queue full (or engine wedged): skip the graceful pass.
+		// Queue full (or the pool wedged): skip the graceful pass.
 		s.logf("op queue full at shutdown; skipping final checkpoint")
 	}
+	s.halted.Store(true)
 	close(s.quit)
-	s.wg.Wait()
+	s.waitUnpinned()
 	// The graceful path closed the WAL in shutdownDurable; the skipped/timed
-	// out paths did not — release it here (the engine goroutine is stopped,
-	// so this is the only writer left).
+	// out paths did not — release it here (the session is halted and
+	// unpinned, so this is the only writer left).
 	if s.wal != nil {
 		if err := s.wal.Close(); err != nil {
 			s.logf("close wal: %v", err)
 		}
 		s.wal = nil
 	}
+	if s.res != nil {
+		s.res.drop(s, false)
+	}
 }
 
-// closeNow stops the engine goroutine WITHOUT the graceful durable shutdown:
-// no final seal, no final checkpoint, the WAL is left exactly as the last
-// append left it. This is the crash-simulation hook the recovery tests use —
-// the on-disk state afterwards is what a kill -9 would leave behind.
+// closeNow stops the session WITHOUT the graceful durable shutdown: no final
+// seal, no final checkpoint, the WAL is left exactly as the last append left
+// it. This is the crash-simulation hook the recovery tests use — the on-disk
+// state afterwards is what a kill -9 would leave behind (an in-flight
+// dispatch finishes its current op, exactly as the engine-goroutine design
+// finished the op it was processing when quit closed).
 func (s *session) closeNow() {
 	if !s.closed.CompareAndSwap(false, true) {
 		return
@@ -299,43 +456,25 @@ func (s *session) closeNow() {
 	if sc := s.stream.Load(); sc != nil {
 		sc.kill()
 	}
+	s.halted.Store(true)
 	close(s.quit)
-	s.wg.Wait()
+	s.waitUnpinned()
 	// Release the file descriptor (a plain close flushes nothing the kernel
 	// doesn't already have — kill -9 semantics are preserved).
 	if s.wal != nil {
 		_ = s.wal.Close()
 		s.wal = nil
 	}
-}
-
-// loop is the engine goroutine: it recovers durable state first, then
-// serializes every state mutation (ingest, epoch processing, query feeding)
-// so the pipeline sees exactly one epoch stream, in order.
-func (s *session) loop() {
-	defer s.wg.Done()
-	if err := s.startup(); err != nil {
-		s.logf("%v", err)
-		// Keep draining ops so clients get errors instead of hangs.
-	}
-	for {
-		select {
-		case <-s.quit:
-			return
-		case o := <-s.ops:
-			res := s.handleOp(o)
-			if o.done != nil {
-				o.done <- res
-			}
-		}
+	if s.res != nil {
+		s.res.drop(s, serverState(s.state.Load()) == stateEvicted)
 	}
 }
 
-// handleOp runs one op on the engine goroutine.
+// handleOp runs one op under the session pin.
 func (s *session) handleOp(o op) opResult {
 	switch serverState(s.state.Load()) {
 	case stateFailed:
-		return opResult{err: fmt.Errorf("session failed to recover: %v", s.readyErr)}
+		return opResult{err: fmt.Errorf("session failed to recover: %v", s.failure())}
 	case stateClosed:
 		// An op that slipped into the queue behind the shutdown op must not
 		// be applied: the final checkpoint is already written and the WAL is
@@ -352,8 +491,15 @@ func (s *session) handleOp(o op) opResult {
 		return opResult{}
 	}
 	if o.fence {
-		// Nothing to do: completing the op proves every earlier op applied.
+		// Nothing to do: completing the op proves every earlier op applied
+		// (and dispatch hydrated the session first if it was evicted).
 		return opResult{}
+	}
+	r, reg := s.eng.Load(), s.reg.Load()
+	if r == nil || reg == nil {
+		// Unreachable in practice (dispatch hydrates before every mutating
+		// op); kept so a future caller cannot nil-deref the engine.
+		return opResult{err: fmt.Errorf("session %q is not resident", s.id)}
 	}
 	if o.register != nil {
 		return s.handleRegisterOp(o)
@@ -377,11 +523,11 @@ func (s *session) handleOp(o op) opResult {
 			}
 			return opResult{err: werr}
 		}
-		rep := s.runner.Ingest(o.readings, o.locations)
+		rep := r.Ingest(o.readings, o.locations)
 		s.readings.Add(rep.Readings)
 		s.locations.Add(rep.Locations)
 		s.lateDropped.Add(rep.LateDropped)
-		events, err = s.runner.Advance()
+		events, err = r.Advance()
 		if o.sb != nil {
 			// The batch is durable (WAL) and applied; record the resume point
 			// and count it. Epoch-processing errors are NOT refusals — the
@@ -394,14 +540,14 @@ func (s *session) handleOp(o op) opResult {
 		// Log the seal whenever it will change state: either epochs will be
 		// sealed, or the queries' held-back windows will be flushed (which
 		// mutates operator state and result sequences, so it must replay).
-		if st := s.runner.Stats(); st.Watermark >= st.NextEpoch || o.flushWindows {
+		if st := r.Stats(); st.Watermark >= st.NextEpoch || o.flushWindows {
 			if werr := s.logSeal(st.Watermark, o.flushWindows); werr != nil {
 				s.engineErrs.Inc()
 				s.logf("wal seal: %v", werr)
 				return opResult{err: werr}
 			}
 		}
-		events, err = s.runner.Flush()
+		events, err = r.Flush()
 	}
 	if err != nil {
 		// The runner skips failing epochs rather than wedging the stream;
@@ -409,16 +555,16 @@ func (s *session) handleOp(o op) opResult {
 		s.engineErrs.Inc()
 		s.logf("epoch processing: %v", err)
 	}
-	rows := s.reg.Feed(events)
+	rows := reg.Feed(events)
 	if o.flushWindows {
-		rows += s.reg.FlushAll()
+		rows += reg.FlushAll()
 	}
 	s.events.Add(len(events))
 	s.results.Add(rows)
 	if rows > 0 {
 		s.notifyResults()
 	}
-	if n := int64(s.runner.Stats().Epochs); n > s.lastEpochsN {
+	if n := int64(r.Stats().Epochs); n > s.lastEpochsN {
 		s.epochs.Add(int(n - s.lastEpochsN))
 		s.lastEpochsN = n
 	}
@@ -434,13 +580,14 @@ func (s *session) handleOp(o op) opResult {
 }
 
 // enqueue places an op on the bounded queue, waiting up to the session's
-// IngestWait for space. It returns a non-nil *apiError when the op could not
-// be queued (backpressure, client cancel).
+// IngestWait for space, and wakes the scheduler. It returns a non-nil error
+// when the op could not be queued (backpressure, client cancel).
 func (s *session) enqueue(o op, cancel <-chan struct{}) error {
 	timer := time.NewTimer(s.cfg.IngestWait)
 	defer timer.Stop()
 	select {
 	case s.ops <- o:
+		s.sched.wake(s)
 		return nil
 	case <-cancel:
 		return errCanceled
@@ -451,7 +598,7 @@ func (s *session) enqueue(o op, cancel <-chan struct{}) error {
 
 // scrapeGauges refreshes the gauges derived from live state at scrape time.
 func (s *session) scrapeGauges() {
-	st := s.runner.Stats()
+	st := s.runnerStats()
 	s.queueDepth.Set(float64(len(s.ops)))
 	s.tracked.Set(float64(st.TrackedObjects))
 	s.particles.Set(float64(st.Particles))

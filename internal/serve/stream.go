@@ -263,7 +263,7 @@ func (sc *streamConn) writeLoop(conn net.Conn) {
 			wire.AppendAck(&enc, api.StreamAck{
 				UpTo:      high,
 				Durable:   durable,
-				Watermark: sc.sess.runner.Stats().Watermark,
+				Watermark: sc.sess.runnerStats().Watermark,
 				Window:    sc.window,
 			})
 			if !writeFrame() {
@@ -449,6 +449,7 @@ func (sv *Server) streamReadLoop(sess *session, sc *streamConn, r *bufio.Reader,
 			// batches in flight.
 			select {
 			case sess.ops <- op{ingest: true, sb: sb, readings: sb.readings, locations: sb.locations}:
+				sess.sched.wake(sess)
 			case <-sess.quit:
 				return
 			}

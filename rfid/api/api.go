@@ -155,6 +155,10 @@ type EngineConfig struct {
 	// Workers is the sharded engine's worker-goroutine count (0 = one per
 	// CPU). The output is byte-identical for any worker count.
 	Workers int `json:"workers,omitempty"`
+	// ShardCount is the number of object shards the engine partitions its
+	// particles into (0 = engine default). Like Workers, it changes only how
+	// the work is parallelized, never the output.
+	ShardCount int `json:"shard_count,omitempty"`
 	// Seed seeds all random choices of the session's engine.
 	Seed int64 `json:"seed,omitempty"`
 	// HoldEpochs is the lateness slack before an epoch is sealed.
@@ -222,7 +226,10 @@ type SessionStats struct {
 // Session describes one session resource.
 type Session struct {
 	ID string `json:"id"`
-	// State is the session lifecycle: recovering | serving | failed | closed.
+	// State is the session lifecycle: recovering | serving | evicted |
+	// failed | closed. "evicted" means the session's engine has been spilled
+	// to its on-disk checkpoint by the resident-set LRU; the first touch
+	// restores it transparently.
 	State string `json:"state"`
 	// Durable reports whether the session persists a WAL and checkpoints.
 	Durable bool `json:"durable"`
