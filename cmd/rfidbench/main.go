@@ -17,6 +17,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -95,8 +98,41 @@ func main() {
 		durable   = flag.Bool("durable", false, "run the durability-overhead benchmark (WAL + checkpoints vs in-memory)")
 		fsyncMode = flag.String("fsync", "never", "WAL fsync policy for -durable: always, interval or never")
 		ckptEvery = flag.Int("checkpoint-every", 32, "epochs between checkpoints for -durable")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatalf("create -cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("start CPU profile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				log.Printf("close -cpuprofile: %v", err)
+			}
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Printf("create -memprofile: %v", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("write -memprofile: %v", err)
+			}
+		}()
+	}
 
 	opts := experiments.Options{Scale: *scale, Seed: *seed}
 

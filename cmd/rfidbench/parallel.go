@@ -20,6 +20,12 @@ import (
 // and bytes, from runtime.MemStats deltas around each run), so performance
 // PRs inherit an allocation trajectory, not just timings.
 type parResult struct {
+	// Cores is the machine's logical CPU count (runtime.NumCPU) and
+	// GOMAXPROCS the scheduler's parallelism at run time. Both are recorded
+	// because a speedup figure is meaningless without them: with
+	// min(cores, GOMAXPROCS) == 1 the sharded engine cannot beat parity no
+	// matter how well it scales (see printParResult's warning).
+	Cores      int     `json:"cores"`
 	GOMAXPROCS int     `json:"gomaxprocs"`
 	Workers    int     `json:"workers"`
 	Shards     int     `json:"shards"`
@@ -37,6 +43,14 @@ type parResult struct {
 	SerialBytesPerReading   float64 `json:"serial_bytes_per_reading"`
 	ShardedAllocsPerReading float64 `json:"sharded_allocs_per_reading"`
 	ShardedBytesPerReading  float64 `json:"sharded_bytes_per_reading"`
+
+	// Fast-math row: the sharded engine re-run with Config.FastMath. Its
+	// events are compared against the exact serial run under
+	// core.FastMathTolerance (schedule exact, locations within bound).
+	FastMathMs        float64 `json:"fastmath_ms"`
+	FastMathRPS       float64 `json:"fastmath_readings_per_sec"`
+	FastMathSpeedup   float64 `json:"fastmath_speedup"`
+	FastMathWithinTol bool    `json:"fastmath_within_tolerance"`
 }
 
 // measureRun times fn and returns its wall-clock duration plus the heap
@@ -118,6 +132,24 @@ func runParallelBench(objects, workers int, seed int64) (parResult, error) {
 		}
 	}
 
+	// Fast-math sharded run: approximate kernels, same parallel engine.
+	fastCfg := engCfg
+	fastCfg.FastMath = true
+	fastSharded, err := core.NewSharded(fastCfg)
+	if err != nil {
+		return parResult{}, err
+	}
+	var fastEvents []stream.Event
+	fastTime, _, _, err := measureRun(func() error {
+		ev, err := fastSharded.Run(trace.Epochs)
+		fastEvents = ev
+		return err
+	})
+	if err != nil {
+		return parResult{}, err
+	}
+	fastOK := core.CompareTolerance(fastEvents, serialEvents, core.FastMathTolerance()) == nil
+
 	readings := trace.NumReadings()
 	perReading := func(n uint64) float64 {
 		if readings == 0 {
@@ -126,6 +158,7 @@ func runParallelBench(objects, workers int, seed int64) (parResult, error) {
 		return float64(n) / float64(readings)
 	}
 	res := parResult{
+		Cores:      runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Workers:    sharded.Workers(),
 		Shards:     sharded.ShardCount(),
@@ -143,13 +176,18 @@ func runParallelBench(objects, workers int, seed int64) (parResult, error) {
 		SerialBytesPerReading:   perReading(serialBytes),
 		ShardedAllocsPerReading: perReading(shardedAllocs),
 		ShardedBytesPerReading:  perReading(shardedBytes),
+
+		FastMathMs:        float64(fastTime.Microseconds()) / 1e3,
+		FastMathRPS:       float64(readings) / fastTime.Seconds(),
+		FastMathSpeedup:   float64(serialTime) / float64(fastTime),
+		FastMathWithinTol: fastOK,
 	}
 	return res, nil
 }
 
 // printParResult renders the comparison as a small table.
 func printParResult(r parResult) {
-	fmt.Printf("parallel-vs-serial scalability benchmark (GOMAXPROCS=%d)\n", r.GOMAXPROCS)
+	fmt.Printf("parallel-vs-serial scalability benchmark (cores=%d, GOMAXPROCS=%d)\n", r.Cores, r.GOMAXPROCS)
 	fmt.Printf("  workload: %d objects, %d epochs, %d readings\n", r.Objects, r.Epochs, r.Readings)
 	fmt.Printf("  %-28s %12s %16s %12s %12s\n", "engine", "time (ms)", "readings/sec", "allocs/read", "B/read")
 	fmt.Printf("  %-28s %12.1f %16.0f %12.2f %12.1f\n",
@@ -157,7 +195,15 @@ func printParResult(r parResult) {
 	fmt.Printf("  %-28s %12.1f %16.0f %12.2f %12.1f\n",
 		fmt.Sprintf("ShardedEngine (w=%d, s=%d)", r.Workers, r.Shards), r.ShardedMs, r.ShardedRPS,
 		r.ShardedAllocsPerReading, r.ShardedBytesPerReading)
+	fmt.Printf("  %-28s %12.1f %16.0f\n",
+		"ShardedEngine fast-math", r.FastMathMs, r.FastMathRPS)
 	fmt.Printf("  speedup: %.2fx, events identical: %v\n", r.Speedup, r.EventsOK)
+	fmt.Printf("  fast-math speedup: %.2fx, within tolerance: %v\n", r.FastMathSpeedup, r.FastMathWithinTol)
+	if min(r.Cores, r.GOMAXPROCS) == 1 {
+		fmt.Println("  WARNING: effective parallelism is 1 (single CPU or GOMAXPROCS=1);")
+		fmt.Println("  the sharded engine cannot exceed ~1.0x here — parity is the ceiling.")
+		fmt.Println("  Re-run on a multicore machine for a meaningful speedup figure.")
+	}
 }
 
 // writeParResultJSON writes the result snapshot to path.

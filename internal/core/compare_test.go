@@ -1,0 +1,79 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/stream"
+)
+
+func toleranceEvents() []stream.Event {
+	return []stream.Event{
+		{Time: 3, Tag: "a", Loc: geom.Vec3{X: 1, Y: 2, Z: 0.5},
+			Stats: stream.EventStats{Variance: geom.Vec3{X: 0.01, Y: 0.01, Z: 0.001}, NumParticles: 150}},
+		{Time: 5, Tag: "b", Loc: geom.Vec3{X: -4, Y: 0, Z: 2},
+			Stats: stream.EventStats{Variance: geom.Vec3{X: 0.02, Y: 0.03, Z: 0.002}, NumParticles: 150}},
+	}
+}
+
+func TestCompareToleranceExactMatch(t *testing.T) {
+	evs := toleranceEvents()
+	if err := CompareTolerance(evs, toleranceEvents(), Tolerance{}); err != nil {
+		t.Fatalf("identical streams must compare equal even at zero tolerance: %v", err)
+	}
+}
+
+func TestCompareToleranceWithinBound(t *testing.T) {
+	got := toleranceEvents()
+	got[0].Loc.X += 5e-7
+	got[1].Loc.Y -= 5e-7
+	got[1].Stats.Variance.Z += 1 // ignored without CompareStats
+	if err := CompareTolerance(got, toleranceEvents(), FastMathTolerance()); err != nil {
+		t.Fatalf("sub-tolerance drift must pass: %v", err)
+	}
+}
+
+func TestCompareToleranceBeyondBound(t *testing.T) {
+	got := toleranceEvents()
+	got[1].Loc.Z += 1e-3
+	err := CompareTolerance(got, toleranceEvents(), FastMathTolerance())
+	if err == nil || !strings.Contains(err.Error(), "location diverges") {
+		t.Fatalf("super-tolerance drift must fail with a location error, got %v", err)
+	}
+}
+
+func TestCompareToleranceScheduleIsExact(t *testing.T) {
+	got := toleranceEvents()
+	got[0].Time++
+	if err := CompareTolerance(got, toleranceEvents(), Tolerance{Abs: 1e9, Rel: 1e9}); err == nil {
+		t.Fatal("schedule mismatch must fail regardless of numeric tolerance")
+	}
+	short := toleranceEvents()[:1]
+	if err := CompareTolerance(short, toleranceEvents(), Tolerance{Abs: 1e9}); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+	retag := toleranceEvents()
+	retag[1].Tag = "c"
+	if err := CompareTolerance(retag, toleranceEvents(), Tolerance{Abs: 1e9}); err == nil {
+		t.Fatal("tag mismatch must fail")
+	}
+}
+
+func TestCompareToleranceStats(t *testing.T) {
+	tol := FastMathTolerance()
+	tol.CompareStats = true
+	got := toleranceEvents()
+	got[0].Stats.NumParticles = 10
+	if err := CompareTolerance(got, toleranceEvents(), tol); err == nil {
+		t.Fatal("particle-count mismatch must fail under CompareStats")
+	}
+	got = toleranceEvents()
+	got[1].Stats.Variance.X *= 2
+	if err := CompareTolerance(got, toleranceEvents(), tol); err == nil {
+		t.Fatal("variance drift must fail under CompareStats")
+	}
+	if err := CompareTolerance(toleranceEvents(), toleranceEvents(), tol); err != nil {
+		t.Fatalf("identical stats must pass: %v", err)
+	}
+}

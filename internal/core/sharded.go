@@ -52,6 +52,22 @@ type ShardedEngine struct {
 	hasBuf   []bool
 	posBuf   [][]int
 	assocBuf []stream.TagID
+
+	// Fan-out plumbing. The work channel is created once (buffered to hold a
+	// full epoch's shard indices plus one termination sentinel per worker) and
+	// the per-epoch fan-out state lives in fields, so dispatching an epoch
+	// allocates nothing: no fresh channel, no closures capturing epoch
+	// variables. Workers are spawned per epoch and exit on the -1 sentinel, so
+	// the engine needs no Close lifecycle and never leaks goroutines.
+	work chan int
+	wg   sync.WaitGroup
+
+	// Per-epoch fan-out state, written by the prologue before workers start
+	// and read-only (or disjointly indexed) during the fan-out.
+	curEp     *stream.Epoch
+	curActive []stream.TagID
+	curBox    geom.BBox
+	curAssoc  bool
 }
 
 // NewSharded returns a configured ShardedEngine. Sharding parallelizes the
@@ -79,7 +95,14 @@ func NewSharded(cfg Config) (*ShardedEngine, error) {
 	}
 	// One watchlist shard per object shard, so workers mark without locks.
 	eng.watch = belief.NewWatchlist(shards)
-	se := &ShardedEngine{Engine: eng, workers: workers, shardCount: shards}
+	se := &ShardedEngine{
+		Engine:     eng,
+		workers:    workers,
+		shardCount: shards,
+		// Sized so a full epoch (every shard index plus one sentinel per
+		// worker) enqueues without blocking — the dispatcher never parks.
+		work: make(chan int, shards+workers),
+	}
 	se.arenas = make([]*factored.Arena, workers)
 	for w := range se.arenas {
 		se.arenas[w] = factored.NewArena()
@@ -124,60 +147,41 @@ func (se *ShardedEngine) stepSharded(ep *stream.Epoch, observed []stream.TagID) 
 		active = observed
 	}
 	se.stepsBuf = stream.PartitionTagsInto(se.stepsBuf, stepIDs, se.shardCount)
-	shardSteps := se.stepsBuf
 
 	// Sensing-region membership is tested per shard during the fan-out so
 	// the O(active x particles) scans are amortized across workers; results
 	// land in a position-indexed slice and are merged in active order at the
 	// barrier, keeping index contents identical to a serial run.
 	assocNeeded := useIndex && !box.IsEmpty()
-	var has []bool
-	var posByShard [][]int
 	if assocNeeded {
 		se.hasBuf = scratch.Grow(se.hasBuf, len(active))
-		has = se.hasBuf
-		for i := range has {
-			has[i] = false
+		for i := range se.hasBuf {
+			se.hasBuf[i] = false
 		}
 		se.posBuf = scratch.Grow(se.posBuf, se.shardCount)
-		posByShard = se.posBuf
-		for s := range posByShard {
-			posByShard[s] = posByShard[s][:0]
+		for s := range se.posBuf {
+			se.posBuf[s] = se.posBuf[s][:0]
 		}
 		for i, id := range active {
 			s := id.Shard(se.shardCount)
-			posByShard[s] = append(posByShard[s], i)
+			se.posBuf[s] = append(se.posBuf[s], i)
 		}
 	}
 
 	// Watch marking is shard-local: each worker touches only its own
 	// watchlist shard, merged at the barrier by runCompression.
-	var watchByShard [][]stream.TagID
 	if e.beliefMgr != nil {
 		se.watchBuf = stream.PartitionTagsInto(se.watchBuf, active, se.shardCount)
-		watchByShard = se.watchBuf
 	}
 
-	// Fan-out: per-shard object steps. Workers mutate only beliefs of their
-	// own shard and their private arena, and read shared filter state that
-	// no one writes during this phase.
-	se.forEachShard(func(worker, s int) {
-		if len(shardSteps) > s {
-			e.fact.StepObjectsWith(se.arenas[worker], ep, shardSteps[s])
-		}
-		if assocNeeded {
-			for _, i := range posByShard[s] {
-				if b := e.fact.Belief(active[i]); b != nil && b.HasParticleIn(box) {
-					has[i] = true
-				}
-			}
-		}
-		if watchByShard != nil && len(watchByShard) > s {
-			for _, id := range watchByShard[s] {
-				e.watch.Mark(id)
-			}
-		}
-	})
+	// Fan-out: per-shard object steps (shardTask). Workers mutate only
+	// beliefs of their own shard and their private arena, and read shared
+	// filter state that no one writes during this phase. The epoch's fan-out
+	// inputs are published as fields (not closure captures) so dispatching an
+	// epoch performs no heap allocations.
+	se.curEp, se.curActive, se.curBox, se.curAssoc = ep, active, box, assocNeeded
+	se.forEachShard()
+	se.curEp, se.curActive = nil, nil
 
 	// Barrier: reader resampling and all shared-state maintenance.
 	e.fact.EndEpoch()
@@ -190,7 +194,7 @@ func (se *ShardedEngine) stepSharded(ep *stream.Epoch, observed []stream.TagID) 
 	if assocNeeded {
 		assoc := se.assocBuf[:0]
 		for i, id := range active {
-			if has[i] {
+			if se.hasBuf[i] {
 				assoc = append(assoc, id)
 			}
 		}
@@ -209,10 +213,15 @@ func (se *ShardedEngine) stepSharded(ep *stream.Epoch, observed []stream.TagID) 
 	}
 }
 
-// forEachShard runs fn(worker, shard) for every shard on up to se.workers
-// goroutines; the worker index selects the goroutine-private arena. With a
-// single worker it runs inline, adding no synchronization overhead.
-func (se *ShardedEngine) forEachShard(fn func(worker, shard int)) {
+// forEachShard runs shardTask(worker, shard) for every shard on up to
+// se.workers goroutines; the worker index selects the goroutine-private
+// arena. With a single worker it runs inline, adding no synchronization
+// overhead. The persistent buffered work channel holds the whole epoch
+// (shard indices plus one -1 sentinel per worker), so the dispatcher
+// enqueues everything up front without blocking and each worker drains
+// shards until it takes a sentinel and exits — per epoch this allocates
+// nothing beyond the goroutine starts themselves.
+func (se *ShardedEngine) forEachShard() {
 	n := se.shardCount
 	w := se.workers
 	if w > n {
@@ -220,24 +229,55 @@ func (se *ShardedEngine) forEachShard(fn func(worker, shard int)) {
 	}
 	if w <= 1 {
 		for s := 0; s < n; s++ {
-			fn(0, s)
+			se.shardTask(0, s)
 		}
 		return
 	}
-	work := make(chan int)
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for i := 0; i < w; i++ {
-		go func(worker int) {
-			defer wg.Done()
-			for s := range work {
-				fn(worker, s)
-			}
-		}(i)
-	}
 	for s := 0; s < n; s++ {
-		work <- s
+		se.work <- s
 	}
-	close(work)
-	wg.Wait()
+	for i := 0; i < w; i++ {
+		se.work <- -1
+	}
+	se.wg.Add(w)
+	for i := 0; i < w; i++ {
+		go se.shardWorker(i)
+	}
+	se.wg.Wait()
+}
+
+// shardWorker drains shard indices from the work channel until it consumes a
+// termination sentinel. Exactly w sentinels are enqueued per epoch and each
+// worker exits on the first one it takes, so every goroutine terminates by
+// the time wg.Wait returns and none survives the epoch.
+func (se *ShardedEngine) shardWorker(worker int) {
+	defer se.wg.Done()
+	for {
+		s := <-se.work
+		if s < 0 {
+			return
+		}
+		se.shardTask(worker, s)
+	}
+}
+
+// shardTask is the per-shard body of the epoch fan-out, reading the epoch's
+// inputs from the fields published by stepSharded.
+func (se *ShardedEngine) shardTask(worker, s int) {
+	e := se.Engine
+	if len(se.stepsBuf) > s {
+		e.fact.StepObjectsWith(se.arenas[worker], se.curEp, se.stepsBuf[s])
+	}
+	if se.curAssoc {
+		for _, i := range se.posBuf[s] {
+			if b := e.fact.Belief(se.curActive[i]); b != nil && b.HasParticleIn(se.curBox) {
+				se.hasBuf[i] = true
+			}
+		}
+	}
+	if e.beliefMgr != nil && len(se.watchBuf) > s {
+		for _, id := range se.watchBuf[s] {
+			e.watch.Mark(id)
+		}
+	}
 }

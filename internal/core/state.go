@@ -40,6 +40,11 @@ func (c Config) Fingerprint() uint64 {
 	put("motion=%t cone=%g/%g|", cfg.DisableMotionModel, cfg.InitConeHalfAngle, cfg.InitConeRange)
 	put("report=%d/%d/%d|", cfg.ReportPolicy, cfg.ReportDelay, cfg.ScopeGapEpochs)
 	put("seed=%d|", cfg.Seed)
+	// Appended only when set so that every pre-existing (FastMath=false)
+	// fingerprint — and thus every existing checkpoint — stays valid.
+	if cfg.FastMath {
+		put("fastmath=true|")
+	}
 	if w := cfg.World; w != nil {
 		put("shelves=%d|", len(w.Shelves))
 		for _, s := range w.Shelves {

@@ -48,6 +48,13 @@ type Config struct {
 	// paper's system) or taken verbatim from the reported location (false,
 	// the "motion model Off" baseline of Fig. 5(g)).
 	UseMotionModel bool
+	// FastMath replaces the exact exp/log kernels of the weighting and
+	// normalization hot loops with bounded-error approximations (relative
+	// error < 2e-8 per call; see package stats). Output is still fully
+	// deterministic for a given seed — and still independent of sharding —
+	// but no longer byte-identical to the default build; equivalence is
+	// checked with tolerance comparisons instead (core.CompareTolerance).
+	FastMath bool
 	// Seed seeds the filter's random source.
 	Seed int64
 }
@@ -125,6 +132,27 @@ type Filter struct {
 	// StepObjects calls all see the same value.
 	stepReaderPos geom.Vec3
 
+	// estPose is the posterior mean reader pose, refreshed at the end of the
+	// epoch prologue. The concurrent per-object fan-out reads it (the
+	// fallback pose for out-of-range reader indices) instead of calling
+	// ReaderEstimate, whose scratch buffers are not safe to share across
+	// goroutines.
+	estPose geom.Pose
+
+	// Sensor-model fast path: when the observation profile is the parametric
+	// Model (the default), the weighting loops run through the batch kernels
+	// of package sensor with per-epoch hoisted invariants — the reader
+	// frames (heading cos/sin per reader particle) and the shelf-tag
+	// locations/observation flags. sensingHoist carries the precomputed
+	// covariance terms of the reader location-sensing likelihood.
+	model        sensor.Model
+	hasModel     bool
+	sensingHoist model.HoistedLocationSensing
+	frames       []sensor.Frame
+	readerLw     []float64
+	shelfLocsBuf []geom.Vec3
+	shelfObsBuf  []bool
+
 	// arena is the scratch memory used by the serial entry points (Step,
 	// StepObjects without an explicit arena). Concurrent callers use
 	// StepObjectsWith with their own per-worker arenas instead.
@@ -140,6 +168,8 @@ type Filter struct {
 	shelfBuf   []stream.TagID
 	logBuf     []float64
 	wBuf       []float64
+	estLocs    []geom.Vec3
+	estW       []float64
 
 	// Reader-resampling scratch (EndEpoch barrier only): weight/score
 	// columns, the resampling index buffer, the reader double buffer and the
@@ -158,13 +188,18 @@ type Filter struct {
 // unless explicitly disabled via the config.
 func New(cfg Config) *Filter {
 	cfg.applyDefaults()
-	return &Filter{
-		cfg:        cfg,
-		src:        rng.New(cfg.Seed),
-		objects:    make(map[stream.TagID]*ObjectBelief),
-		arena:      NewArena(),
-		processSet: make(map[stream.TagID]bool),
+	f := &Filter{
+		cfg:          cfg,
+		src:          rng.New(cfg.Seed),
+		objects:      make(map[stream.TagID]*ObjectBelief),
+		arena:        NewArena(),
+		processSet:   make(map[stream.TagID]bool),
+		sensingHoist: cfg.Params.Sensing.Hoist(),
 	}
+	if mp, ok := cfg.Sensor.(sensor.ModelProfile); ok {
+		f.model, f.hasModel = mp.Model, true
+	}
+	return f
 }
 
 // Config returns the effective configuration (with defaults applied).
@@ -217,12 +252,12 @@ func (f *Filter) ensureStarted(ep *stream.Epoch) {
 }
 
 // currentReaderPos returns the best available reader position for bookkeeping
-// (reported when present, otherwise the current estimate).
+// (reported when present, otherwise the estimate cached by the prologue).
 func (f *Filter) currentReaderPos(ep *stream.Epoch) geom.Vec3 {
 	if ep.HasPose {
 		return ep.ReportedPose.Pos
 	}
-	return f.ReaderEstimate().Pos
+	return f.estPose.Pos
 }
 
 // Step advances the filter by one epoch. The active slice lists the object
@@ -254,6 +289,9 @@ func (f *Filter) BeginEpoch(ep *stream.Epoch, active []stream.TagID) []stream.Ta
 	f.epoch = ep.Time
 
 	f.stepReaders(ep)
+	// Cache the posterior pose for the epoch: the concurrent fan-out reads
+	// it (readerPoseFor's fallback) without touching the estimate scratch.
+	f.estPose = f.ReaderEstimate()
 	f.stepReaderPos = f.currentReaderPos(ep)
 
 	// Determine the set of objects to process (reusable scratch map).
@@ -338,7 +376,12 @@ func (f *Filter) EndEpoch() {
 
 // stepReaders propagates the reader particles and applies the reader-side
 // evidence: the reported location and the observations of shelf tags with
-// known positions.
+// known positions. The loop is split into a propagation pass (which consumes
+// the filter-level random stream in the same per-reader order as before) and
+// a weighting pass over per-epoch hoisted invariants: the reader frames
+// (heading cos/sin), the shelf-tag locations and observation flags, and the
+// precomputed covariance terms of the sensing likelihood. On the default
+// path every expression matches the pre-split code bit for bit.
 func (f *Filter) stepReaders(ep *stream.Epoch) {
 	if !f.cfg.UseMotionModel {
 		// Baseline: trust the reported location outright.
@@ -351,10 +394,20 @@ func (f *Filter) stepReaders(ep *stream.Epoch) {
 			f.readers[j].logW = 0
 			f.readerNorm[j] = 1 / float64(len(f.readers))
 		}
+		f.updateFrames()
 		return
 	}
 
 	shelfIDs := f.relevantShelfTags(ep)
+	// Hoist the per-tag map lookups out of the per-reader loop: one location
+	// fetch and one observation test per shelf tag per epoch.
+	f.shelfLocsBuf = scratch.Grow(f.shelfLocsBuf, len(shelfIDs))
+	f.shelfObsBuf = scratch.Grow(f.shelfObsBuf, len(shelfIDs))
+	for k, sid := range shelfIDs {
+		f.shelfLocsBuf[k] = f.cfg.World.ShelfTags[sid]
+		f.shelfObsBuf[k] = ep.Contains(sid)
+	}
+
 	motion := f.effectiveMotion(ep)
 	for j := range f.readers {
 		r := &f.readers[j]
@@ -366,17 +419,57 @@ func (f *Filter) stepReaders(ep *stream.Epoch) {
 			// particles track it directly with a little jitter.
 			r.Pose.Phi = ep.ReportedPose.Phi + f.src.Normal(0, motion.PhiNoise)
 		}
-		lw := 0.0
+	}
+	f.updateFrames()
+
+	if f.hasModel {
+		// Column-wise weighting through the batch kernels: the sensing term
+		// first, then each shelf tag in order — the same per-accumulator
+		// addition order as the scalar path.
+		f.readerLw = scratch.Grow(f.readerLw, len(f.readers))
+		lw := f.readerLw
+		for j := range lw {
+			lw[j] = 0
+		}
 		if ep.HasPose {
-			lw += f.cfg.Params.Sensing.LogProb(r.Pose, ep.ReportedPose.Pos)
+			for j := range f.readers {
+				lw[j] += f.sensingHoist.LogProb(f.readers[j].Pose, ep.ReportedPose.Pos)
+			}
 		}
-		for _, sid := range shelfIDs {
-			loc := f.cfg.World.ShelfTags[sid]
-			lw += logObs(f.cfg.Sensor, ep.Contains(sid), r.Pose, loc)
+		for k := range shelfIDs {
+			f.model.AccumLogObsFixed(lw, f.shelfObsBuf[k], f.frames, f.shelfLocsBuf[k], f.cfg.FastMath)
 		}
-		r.logW += lw
+		for j := range f.readers {
+			f.readers[j].logW += lw[j]
+		}
+	} else {
+		for j := range f.readers {
+			r := &f.readers[j]
+			lw := 0.0
+			if ep.HasPose {
+				lw += f.sensingHoist.LogProb(r.Pose, ep.ReportedPose.Pos)
+			}
+			for k := range shelfIDs {
+				lw += logObs(f.cfg.Sensor, f.shelfObsBuf[k], r.Pose, f.shelfLocsBuf[k])
+			}
+			r.logW += lw
+		}
 	}
 	f.normalizeReaders()
+}
+
+// updateFrames refreshes the per-reader frames (hoisted heading cos/sin) to
+// the readers' current poses; the weighting kernels and the per-object
+// fan-out read them for the rest of the epoch. Frames are only maintained on
+// the parametric-model fast path.
+func (f *Filter) updateFrames() {
+	if !f.hasModel {
+		return
+	}
+	f.frames = scratch.Grow(f.frames, len(f.readers))
+	for j := range f.readers {
+		f.frames[j] = sensor.FrameFor(f.readers[j].Pose)
+	}
 }
 
 // effectiveMotion returns the motion model for the current epoch. The
@@ -429,20 +522,29 @@ func (f *Filter) normalizeReaders() {
 	for j, r := range f.readers {
 		logs[j] = r.logW
 	}
-	stats.NormalizeLogWeights(logs)
+	if f.cfg.FastMath {
+		stats.NormalizeLogWeightsFast(logs)
+	} else {
+		stats.NormalizeLogWeights(logs)
+	}
 	for j := range f.readers {
 		f.readers[j].normW = logs[j]
 		f.readerNorm[j] = logs[j]
 	}
 }
 
-// ReaderEstimate returns the posterior mean reader pose.
+// ReaderEstimate returns the posterior mean reader pose. It gathers into
+// filter-owned scratch buffers, so — like Estimate — it must not be called
+// concurrently with itself or with the epoch phases; the engine only calls
+// it from the sequential prologue and report/serving paths, and the
+// concurrent fan-out reads the per-epoch cached estPose instead.
 func (f *Filter) ReaderEstimate() geom.Pose {
 	if !f.started || len(f.readers) == 0 {
 		return geom.Pose{}
 	}
-	locs := make([]geom.Vec3, len(f.readers))
-	w := make([]float64, len(f.readers))
+	f.estLocs = scratch.Grow(f.estLocs, len(f.readers))
+	f.estW = scratch.Grow(f.estW, len(f.readers))
+	locs, w := f.estLocs, f.estW
 	sinSum, cosSum := 0.0, 0.0
 	for j, r := range f.readers {
 		locs[j] = r.Pose.Pos

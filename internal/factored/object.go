@@ -63,13 +63,23 @@ func (f *Filter) stepObject(ep *stream.Epoch, id stream.TagID, readerPos geom.Ve
 
 	// Factored weighting: each object particle is weighted against its
 	// associated reader particle only (Eq. 5). Reads the location and reader
-	// columns, accumulates into the log-weight column.
-	for i := range b.locs {
-		pose := f.readerPoseFor(int(b.reader[i]))
-		b.logW[i] += logObs(f.cfg.Sensor, observed, pose, b.locs[i])
+	// columns, accumulates into the log-weight column. The parametric-model
+	// batch kernel runs over the SoA columns with the per-epoch reader
+	// frames; it bails out (and the scalar loop takes over) if any particle
+	// references a reader index outside the frame table — the transient
+	// state readerPoseFor's fallback exists for.
+	kernelDone := false
+	if f.hasModel && len(f.frames) == len(f.readers) {
+		kernelDone = f.model.AccumLogObs(b.logW[:len(b.locs)], observed, f.frames, b.reader, b.locs, f.cfg.FastMath)
+	}
+	if !kernelDone {
+		for i := range b.locs {
+			pose := f.readerPoseFor(int(b.reader[i]))
+			b.logW[i] += logObs(f.cfg.Sensor, observed, pose, b.locs[i])
+		}
 	}
 
-	ess := b.normalizeParticles()
+	ess := b.normalizeParticles(f.cfg.FastMath)
 	if ess < f.cfg.ResampleThreshold*float64(b.NumParticles()) {
 		f.resampleObject(b, a)
 	}
@@ -89,12 +99,15 @@ func (f *Filter) scopeGapEpochs() int { return 30 }
 
 // readerPoseFor returns the pose of the reader particle with the given index,
 // falling back to the estimate for out-of-range indices (which can appear
-// transiently after reader resampling).
+// transiently after reader resampling). The fallback reads the pose cached by
+// BeginEpoch rather than calling ReaderEstimate: this runs inside the
+// concurrent per-object fan-out, where the estimate's scratch buffers must
+// not be shared.
 func (f *Filter) readerPoseFor(idx int) geom.Pose {
 	if idx >= 0 && idx < len(f.readers) {
 		return f.readers[idx].Pose
 	}
-	return f.ReaderEstimate()
+	return f.estPose
 }
 
 // createBelief registers a belief for an object seen for the first time. A

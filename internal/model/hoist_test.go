@@ -1,0 +1,37 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestHoistedLocationSensingBitIdentical pins that hoisting the covariance
+// terms out of the sensing likelihood changes no output bits — the property
+// that lets the filters use the hoisted form on the byte-identical default
+// path.
+func TestHoistedLocationSensingBitIdentical(t *testing.T) {
+	models := []LocationSensingModel{
+		{Bias: geom.Vec3{X: 0.1, Y: -0.05}, Noise: geom.Vec3{X: 0.3, Y: 0.3, Z: 0.1}},
+		{Noise: geom.Vec3{X: 1, Y: 2, Z: 3}},
+		{Bias: geom.Vec3{Z: 0.5}, Noise: geom.Vec3{}}, // degenerate sigma hits the floor
+	}
+	poses := []geom.Pose{
+		{},
+		{Pos: geom.Vec3{X: 3.7, Y: -1.2, Z: 0.9}, Phi: 1.1},
+		{Pos: geom.Vec3{X: -10, Y: 4, Z: 2}, Phi: -2.7},
+	}
+	reports := []geom.Vec3{{}, {X: 3.5, Y: -1, Z: 1}, {X: 100, Y: -50, Z: 3}}
+	for _, m := range models {
+		h := m.Hoist()
+		for _, p := range poses {
+			for _, r := range reports {
+				want := m.LogProb(p, r)
+				got := h.LogProb(p, r)
+				if got != want {
+					t.Fatalf("Hoist().LogProb(%v, %v) = %v, want bit-identical %v", p, r, got, want)
+				}
+			}
+		}
+	}
+}

@@ -83,6 +83,26 @@ func (m LocationSensingModel) LogProb(truePose geom.Pose, reported geom.Vec3) fl
 	return g.LogPDF(reported)
 }
 
+// HoistedLocationSensing is LocationSensingModel with the covariance-
+// dependent terms of the log density (sigma floors and log-sigma) hoisted.
+// The filters evaluate this likelihood once per reader particle per epoch
+// against one fixed Sigma_s; hoisting moves the three math.Log calls out of
+// that loop. LogProb is bit-identical to LocationSensingModel.LogProb.
+type HoistedLocationSensing struct {
+	bias geom.Vec3
+	g    stats.HoistedDiagGaussian3
+}
+
+// Hoist precomputes the covariance terms of the sensing likelihood.
+func (m LocationSensingModel) Hoist() HoistedLocationSensing {
+	return HoistedLocationSensing{bias: m.Bias, g: stats.HoistDiagGaussian3(m.Noise)}
+}
+
+// LogProb returns log p(reported | true pose).
+func (h HoistedLocationSensing) LogProb(truePose geom.Pose, reported geom.Vec3) float64 {
+	return h.g.LogPDFAt(truePose.Pos.Add(h.bias), reported)
+}
+
 // ObjectModel is the object location model of Section III-A: objects are
 // stationary but change location with probability MoveProb per epoch, in
 // which case the new location is uniform across all shelves. The model is

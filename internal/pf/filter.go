@@ -37,6 +37,11 @@ type Config struct {
 	// ResampleThreshold is the effective-sample-size fraction below which
 	// resampling is triggered (default 0.5).
 	ResampleThreshold float64
+	// FastMath replaces the exact exp/log kernels of the weighting and
+	// normalization loops with bounded-error approximations (see package
+	// stats); output is deterministic but no longer byte-identical to the
+	// default build.
+	FastMath bool
 	// Seed seeds the filter's random source.
 	Seed int64
 }
@@ -102,16 +107,33 @@ type Filter struct {
 	readersTmp []geom.Pose
 	vecBuf     []geom.Vec3
 	shelfBuf   []stream.TagID
+
+	// Sensor-model fast path (see the factored filter): the parametric
+	// model unwrapped from the profile, the hoisted sensing-likelihood
+	// covariance terms and the per-epoch hoisted observation flags and
+	// shelf locations (one map lookup per tag per epoch instead of one per
+	// particle-tag pair).
+	model        sensor.Model
+	hasModel     bool
+	sensingHoist model.HoistedLocationSensing
+	objObsBuf    []bool
+	shelfObsBuf  []bool
+	shelfLocsBuf []geom.Vec3
 }
 
 // New returns a basic particle filter.
 func New(cfg Config) *Filter {
 	cfg.applyDefaults()
-	return &Filter{
-		cfg:      cfg,
-		src:      rng.New(cfg.Seed),
-		objIndex: make(map[stream.TagID]int),
+	f := &Filter{
+		cfg:          cfg,
+		src:          rng.New(cfg.Seed),
+		objIndex:     make(map[stream.TagID]int),
+		sensingHoist: cfg.Params.Sensing.Hoist(),
 	}
+	if mp, ok := cfg.Sensor.(sensor.ModelProfile); ok {
+		f.model, f.hasModel = mp.Model, true
+	}
+	return f
 }
 
 // NumParticles returns the configured particle count.
@@ -195,8 +217,26 @@ func (f *Filter) Step(ep *stream.Epoch) {
 	shelfIDs := f.relevantShelfTags(ep)
 	motion := f.effectiveMotion(ep)
 
+	// Hoist the per-epoch invariants out of the particle loop: the epoch's
+	// observation flag per tracked object and per shelf tag (each a map
+	// lookup previously repeated for every particle) and the shelf-tag
+	// locations. Pure hoisting — the weighting below is unchanged bit for
+	// bit.
+	f.objObsBuf = scratch.Grow(f.objObsBuf, len(f.objectIDs))
+	for k, id := range f.objectIDs {
+		f.objObsBuf[k] = ep.Contains(id)
+	}
+	f.shelfObsBuf = scratch.Grow(f.shelfObsBuf, len(shelfIDs))
+	f.shelfLocsBuf = scratch.Grow(f.shelfLocsBuf, len(shelfIDs))
+	for k, sid := range shelfIDs {
+		f.shelfObsBuf[k] = ep.Contains(sid)
+		f.shelfLocsBuf[k] = f.cfg.World.ShelfTags[sid]
+	}
+
 	// Sampling and weighting: one pass per particle over its contiguous
-	// object-location row.
+	// object-location row. On the parametric-model path the particle's
+	// heading cos/sin are computed once per particle (sensor.Frame) instead
+	// of once per tag, and the logistic terms go through the kernels.
 	for j := range f.readers {
 		f.readers[j] = motion.Sample(f.readers[j], f.src)
 		if ep.HasPose {
@@ -210,21 +250,43 @@ func (f *Filter) Step(ep *stream.Epoch) {
 
 		lw := 0.0
 		if ep.HasPose {
-			lw += f.cfg.Params.Sensing.LogProb(f.readers[j], ep.ReportedPose.Pos)
+			lw += f.sensingHoist.LogProb(f.readers[j], ep.ReportedPose.Pos)
 		}
-		for _, sid := range shelfIDs {
-			loc := f.cfg.World.ShelfTags[sid]
-			lw += logObs(f.cfg.Sensor, ep.Contains(sid), f.readers[j], loc)
-		}
-		for k, id := range f.objectIDs {
-			lw += logObs(f.cfg.Sensor, ep.Contains(id), f.readers[j], row[k])
+		if f.hasModel {
+			fr := sensor.FrameFor(f.readers[j])
+			if f.cfg.FastMath {
+				for k := range shelfIDs {
+					lw += f.model.LogObsFrameFast(fr, f.shelfLocsBuf[k], f.shelfObsBuf[k])
+				}
+				for k := range row {
+					lw += f.model.LogObsFrameFast(fr, row[k], f.objObsBuf[k])
+				}
+			} else {
+				for k := range shelfIDs {
+					lw += f.model.LogObsFrame(fr, f.shelfLocsBuf[k], f.shelfObsBuf[k])
+				}
+				for k := range row {
+					lw += f.model.LogObsFrame(fr, row[k], f.objObsBuf[k])
+				}
+			}
+		} else {
+			for k := range shelfIDs {
+				lw += logObs(f.cfg.Sensor, f.shelfObsBuf[k], f.readers[j], f.shelfLocsBuf[k])
+			}
+			for k := range row {
+				lw += logObs(f.cfg.Sensor, f.objObsBuf[k], f.readers[j], row[k])
+			}
 		}
 		f.logW[j] += lw
 	}
 
 	// Normalize and resample when the effective sample size collapses.
 	copy(f.normW, f.logW)
-	stats.NormalizeLogWeights(f.normW)
+	if f.cfg.FastMath {
+		stats.NormalizeLogWeightsFast(f.normW)
+	} else {
+		stats.NormalizeLogWeights(f.normW)
+	}
 	ess := stats.EffectiveSampleSize(f.normW)
 	if ess < f.cfg.ResampleThreshold*float64(len(f.readers)) {
 		f.resample()

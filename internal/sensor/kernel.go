@@ -1,0 +1,178 @@
+package sensor
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/stats"
+)
+
+// Batch observation-likelihood kernels for the particle-weighting hot loops.
+//
+// The per-epoch CPU profile is dominated by logObs: per particle it computes
+// a distance/angle (sqrt + acos + cos/sin of the reader heading), the
+// logistic read probability (exp) and a log. The kernels below restructure
+// that work over the filters' structure-of-arrays columns:
+//
+//   - the reader heading's cos/sin are hoisted into a Frame, computed once
+//     per reader particle per epoch instead of once per (particle, tag) pair;
+//   - tags beyond MaxRange short-circuit before touching exp/log (for an
+//     unobserved tag the exact contribution is log(1) == 0);
+//   - the loops are 4-wide unrolled over the columns;
+//   - an opt-in fast mode replaces exp/log with the bounded-error kernels of
+//     package stats (relative error < 2e-8, see FastExp/FastLogSigmoid).
+//
+// In the default (exact) mode every arithmetic expression repeats the
+// scalar path — DistanceAngleTo, ReadProb, LogObservationProb — operation
+// for operation, so results are bit-identical and the golden/property suites
+// hold unchanged. Fast mode changes output bits and is covered by the
+// tolerance-equality suite instead (core.CompareTolerance).
+
+// logObsFloor mirrors the probability floor of LogObservationProb.
+const logObsFloor = 1e-9
+
+// logOfFloor is math.Log(logObsFloor), hoisted; bit-identical to computing it
+// in place because math.Log is a pure function.
+var logOfFloor = math.Log(logObsFloor)
+
+// Frame is a reader pose with the heading's cosine and sine precomputed, the
+// per-epoch invariant of the distance/angle computation.
+type Frame struct {
+	Pos            geom.Vec3
+	CosPhi, SinPhi float64
+}
+
+// FrameFor precomputes the heading terms of a pose.
+func FrameFor(p geom.Pose) Frame {
+	return Frame{Pos: p.Pos, CosPhi: math.Cos(p.Phi), SinPhi: math.Sin(p.Phi)}
+}
+
+// distanceAngle repeats geom.Pose.DistanceAngleTo with the hoisted heading
+// terms: same expressions, same order, bit-identical results.
+func distanceAngle(fr Frame, loc geom.Vec3) (d, theta float64) {
+	dx := loc.X - fr.Pos.X
+	dy := loc.Y - fr.Pos.Y
+	dz := loc.Z - fr.Pos.Z
+	d = math.Sqrt(dx*dx + dy*dy + dz*dz)
+	if d == 0 {
+		return 0, 0
+	}
+	cos := (dx*fr.CosPhi + dy*fr.SinPhi) / d
+	if cos > 1 {
+		cos = 1
+	} else if cos < -1 {
+		cos = -1
+	}
+	return d, math.Acos(cos)
+}
+
+// LogObsFrame returns log p(observed | reader frame, tag location) for a
+// binary observation, bit-identical to LogObservationProb at the frame's
+// pose. Out-of-range tags skip the logistic evaluation entirely: the exact
+// result there is log(1e-9) when observed and log(1) == 0 when not.
+func (m Model) LogObsFrame(fr Frame, loc geom.Vec3, observed bool) float64 {
+	d, theta := distanceAngle(fr, loc)
+	if m.MaxRange > 0 && d > m.MaxRange {
+		if observed {
+			return logOfFloor
+		}
+		return 0
+	}
+	pr := sigmoid(m.linear(d, theta))
+	if observed {
+		if pr < logObsFloor {
+			pr = logObsFloor
+		}
+		return math.Log(pr)
+	}
+	q := 1 - pr
+	if q < logObsFloor {
+		q = logObsFloor
+	}
+	return math.Log(q)
+}
+
+// LogObsFrameFast is LogObsFrame with the logistic term computed by the
+// approximate kernels: log σ(z) (observed) and log σ(-z) (missed), floored
+// at log(1e-9) like the exact path. Absolute error stays below ~1e-7 on the
+// log scale; see ARCHITECTURE.md for the derivation.
+func (m Model) LogObsFrameFast(fr Frame, loc geom.Vec3, observed bool) float64 {
+	d, theta := distanceAngle(fr, loc)
+	if m.MaxRange > 0 && d > m.MaxRange {
+		if observed {
+			return logOfFloor
+		}
+		return 0
+	}
+	z := m.linear(d, theta)
+	if !observed {
+		z = -z
+	}
+	v := stats.FastLogSigmoid(z)
+	if v < logOfFloor {
+		// Mirrors the exact path's probability floor. For the missed case the
+		// exact path floors q = 1 - σ(z) rather than σ(-z); the two agree to
+		// ~1e-16, far inside fast mode's tolerance.
+		v = logOfFloor
+	}
+	return v
+}
+
+// logObsAt dispatches one element between the exact and fast scalar paths.
+func (m Model) logObsAt(fr Frame, loc geom.Vec3, observed, fast bool) float64 {
+	if fast {
+		return m.LogObsFrameFast(fr, loc, observed)
+	}
+	return m.LogObsFrame(fr, loc, observed)
+}
+
+// AccumLogObs adds each particle's observation log-likelihood to its entry in
+// the logW column: logW[i] += logObs(frames[reader[i]], locs[i]). It is the
+// factored filter's per-object weighting step (Eq. 5: each object particle is
+// weighted against its associated reader particle only) over the belief's
+// structure-of-arrays columns. It returns false — leaving logW untouched —
+// when any reader index is out of range (possible transiently after reader
+// resampling); the caller then falls back to the scalar path.
+func (m Model) AccumLogObs(logW []float64, observed bool, frames []Frame, reader []int32, locs []geom.Vec3, fast bool) bool {
+	n := len(locs)
+	if len(logW) < n || len(reader) < n {
+		return false
+	}
+	nf := int32(len(frames))
+	for _, r := range reader[:n] {
+		if r < 0 || r >= nf {
+			return false
+		}
+	}
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		logW[i] += m.logObsAt(frames[reader[i]], locs[i], observed, fast)
+		logW[i+1] += m.logObsAt(frames[reader[i+1]], locs[i+1], observed, fast)
+		logW[i+2] += m.logObsAt(frames[reader[i+2]], locs[i+2], observed, fast)
+		logW[i+3] += m.logObsAt(frames[reader[i+3]], locs[i+3], observed, fast)
+	}
+	for ; i < n; i++ {
+		logW[i] += m.logObsAt(frames[reader[i]], locs[i], observed, fast)
+	}
+	return true
+}
+
+// AccumLogObsFixed adds the log-likelihood of one fixed tag location to every
+// frame's accumulator: logW[j] += logObs(frames[j], loc). It is the
+// reader-particle weighting step against a shelf tag with a known location.
+func (m Model) AccumLogObsFixed(logW []float64, observed bool, frames []Frame, loc geom.Vec3, fast bool) {
+	n := len(frames)
+	if len(logW) < n {
+		n = len(logW)
+	}
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		logW[i] += m.logObsAt(frames[i], loc, observed, fast)
+		logW[i+1] += m.logObsAt(frames[i+1], loc, observed, fast)
+		logW[i+2] += m.logObsAt(frames[i+2], loc, observed, fast)
+		logW[i+3] += m.logObsAt(frames[i+3], loc, observed, fast)
+	}
+	for ; i < n; i++ {
+		logW[i] += m.logObsAt(frames[i], loc, observed, fast)
+	}
+}

@@ -1,0 +1,232 @@
+package stats
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Fast approximate transcendentals for the inference hot loops.
+//
+// The particle-weighting profile is dominated by exp and log (the logistic
+// sensor model evaluates sigmoid + log per particle per tag, and weight
+// normalization exponentiates every particle's log weight). These routines
+// trade the last few bits of precision for speed: every approximation below
+// has relative error under 2e-8 over its entire domain, far below the noise
+// floor of a particle filter but enough to change output bits. They are
+// therefore only used when a filter is configured with FastMath; the default
+// build keeps math.Exp/math.Log and stays byte-identical across runs,
+// architectures and parallelism settings (see ARCHITECTURE.md, "Numerics &
+// equivalence modes").
+//
+// Special cases mirror the math package: NaN propagates, FastExp(+Inf)=+Inf,
+// FastExp(-Inf)=0, FastLog(0)=-Inf, FastLog(x<0)=NaN.
+
+const (
+	// ln2 split into a high part exact in double precision and a low-order
+	// correction, so k*ln2 can be subtracted without cancellation error.
+	ln2Hi = 6.93147180369123816490e-01
+	ln2Lo = 1.90821492927058770002e-10
+	log2E = 1.44269504088896338700e+00
+
+	// Beyond these, exp overflows to +Inf / underflows to 0 in float64.
+	expOverflow  = 709.782712893384
+	expUnderflow = -745.1332191019412
+
+	smallestNormal = 2.2250738585072014e-308
+)
+
+// FastExp returns e**x with relative error below 2e-8.
+//
+// Range reduction writes x = k*ln2 + r with r in [-ln2/2, ln2/2]; e**r is a
+// degree-7 Taylor polynomial (remainder r^8/8! < 5.2e-9 relative at the
+// interval edge) and the 2**k scaling is a direct exponent-field addition
+// whenever the result stays normal.
+func FastExp(x float64) float64 {
+	if x != x { // NaN
+		return x
+	}
+	if x > expOverflow {
+		return math.Inf(1)
+	}
+	if x < expUnderflow {
+		return 0
+	}
+	fk := math.Floor(x*log2E + 0.5)
+	r := (x - fk*ln2Hi) - fk*ln2Lo
+	p := 1 + r*(1+r*(0.5+r*(1.0/6+r*(1.0/24+r*(1.0/120+r*(1.0/720+r*(1.0/5040)))))))
+	k := int(fk)
+	// p is within [0.7, 1.5], so its biased exponent is 1022 or 1023; adding
+	// k keeps the result normal for the whole steady-state weight range. The
+	// guarded fallback covers results near the subnormal boundary.
+	bits := math.Float64bits(p)
+	e := int((bits>>52)&0x7ff) + k
+	if e >= 1 && e <= 2046 {
+		return math.Float64frombits(bits&^(0x7ff<<52) | uint64(e)<<52)
+	}
+	return math.Ldexp(p, k)
+}
+
+// FastLog returns the natural logarithm of x with relative error below 2e-8.
+//
+// x is decomposed as 2**k * m with m in [sqrt(2)/2, sqrt(2)); log(m) uses the
+// atanh series in s = (m-1)/(m+1), whose |s| <= 0.1716 makes five series
+// terms sufficient.
+func FastLog(x float64) float64 {
+	if x != x || x < 0 { // NaN or negative
+		return math.NaN()
+	}
+	if x == 0 {
+		return math.Inf(-1)
+	}
+	if math.IsInf(x, 1) {
+		return x
+	}
+	k := 0
+	if x < smallestNormal {
+		x *= 1 << 52
+		k = -52
+	}
+	bits := math.Float64bits(x)
+	k += int((bits>>52)&0x7ff) - 1023
+	m := math.Float64frombits(bits&^(0x7ff<<52) | 1023<<52) // m in [1, 2)
+	if m > math.Sqrt2 {
+		m *= 0.5
+		k++
+	}
+	s := (m - 1) / (m + 1)
+	s2 := s * s
+	t := s2 * (1.0/3 + s2*(1.0/5+s2*(1.0/7+s2*(1.0/9+s2*(1.0/11)))))
+	return float64(k)*ln2Hi + (float64(k)*ln2Lo + (2*s + 2*s*t))
+}
+
+// FastLog1p returns log(1+x) with relative error below 2e-8, switching to a
+// short alternating series for small |x| where 1+x would lose precision.
+func FastLog1p(x float64) float64 {
+	if x != x || x < -1 {
+		return math.NaN()
+	}
+	if x == -1 {
+		return math.Inf(-1)
+	}
+	a := x
+	if a < 0 {
+		a = -a
+	}
+	if a < 0x1p-10 {
+		return x * (1 - x*(0.5-x*(1.0/3-x*0.25)))
+	}
+	return FastLog(1 + x)
+}
+
+// FastLogSigmoid returns log(1/(1+e**-x)), the approximate counterpart of
+// LogSigmoid. The sensor model's dominant weighting case lands in the tails
+// (a particle far from the reader has |x| large), where log1p(e**-|x|)
+// collapses to a three-term series costing one FastExp — the "fast path for
+// the dominant logObs case".
+func FastLogSigmoid(x float64) float64 {
+	if x >= 0 {
+		u := FastExp(-x)
+		if u < 0x1p-10 {
+			return -(u * (1 - u*(0.5-u*(1.0/3))))
+		}
+		return -FastLog1p(u)
+	}
+	u := FastExp(x)
+	if u < 0x1p-10 {
+		return x - u*(1-u*(0.5-u*(1.0/3)))
+	}
+	return x - FastLog1p(u)
+}
+
+// FastLogSumExp is LogSumExp computed with the approximate kernels and
+// 4-wide unrolled accumulation (four independent partial sums, so the
+// additions pipeline instead of serializing on one accumulator). The
+// summation order differs from LogSumExp; results agree within the kernels'
+// relative error plus reassociation effects, both far below 1e-7 relative.
+func FastLogSumExp(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.Inf(-1)
+	}
+	maxv := xs[0]
+	for _, x := range xs[1:] {
+		if x > maxv {
+			maxv = x
+		}
+	}
+	if math.IsInf(maxv, -1) {
+		return maxv
+	}
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(xs); i += 4 {
+		s0 += FastExp(xs[i] - maxv)
+		s1 += FastExp(xs[i+1] - maxv)
+		s2 += FastExp(xs[i+2] - maxv)
+		s3 += FastExp(xs[i+3] - maxv)
+	}
+	for ; i < len(xs); i++ {
+		s0 += FastExp(xs[i] - maxv)
+	}
+	return maxv + FastLog((s0+s1)+(s2+s3))
+}
+
+// NormalizeLogWeightsFast is NormalizeLogWeights built on the approximate
+// kernels: same contract (log weights in, normalized linear weights out, with
+// the uniform fallback when all weights are -Inf), accurate to the kernels'
+// relative error.
+func NormalizeLogWeightsFast(logw []float64) {
+	if len(logw) == 0 {
+		return
+	}
+	lse := FastLogSumExp(logw)
+	if math.IsInf(lse, -1) {
+		u := 1 / float64(len(logw))
+		for i := range logw {
+			logw[i] = u
+		}
+		return
+	}
+	for i := range logw {
+		logw[i] = FastExp(logw[i] - lse)
+	}
+}
+
+// HoistedDiagGaussian3 is DiagGaussian3 with the per-axis sigma floors and
+// log-sigma terms precomputed, for hot loops that evaluate many densities
+// under one fixed covariance (the reader location-sensing likelihood
+// evaluates every reader particle against the same Sigma_s each epoch).
+// LogPDFAt(mu, x) is bit-identical to
+// DiagGaussian3{Mu: mu, Sigma: sigma}.LogPDF(x): hoisting only moves the
+// pure math.Log(sigma) subexpressions out of the loop.
+type HoistedDiagGaussian3 struct {
+	sigma    [3]float64 // floored per-axis standard deviations
+	logSigma [3]float64 // log of the floored standard deviations
+}
+
+// HoistDiagGaussian3 precomputes the sigma-dependent terms of a diagonal
+// Gaussian log density.
+func HoistDiagGaussian3(sigma geom.Vec3) HoistedDiagGaussian3 {
+	var h HoistedDiagGaussian3
+	for i, s := range [3]float64{sigma.X, sigma.Y, sigma.Z} {
+		if s < 1e-9 {
+			s = 1e-9
+		}
+		h.sigma[i] = s
+		h.logSigma[i] = math.Log(s)
+	}
+	return h
+}
+
+// LogPDFAt returns the log density of x under N(mu, diag(sigma^2)). The
+// per-axis expression repeats Gaussian1D.LogPDF operation for operation, so
+// the result is bit-identical to the unhoisted form.
+func (h HoistedDiagGaussian3) LogPDFAt(mu, x geom.Vec3) float64 {
+	zx := (x.X - mu.X) / h.sigma[0]
+	zy := (x.Y - mu.Y) / h.sigma[1]
+	zz := (x.Z - mu.Z) / h.sigma[2]
+	lx := -0.5*zx*zx - h.logSigma[0] - 0.5*log2Pi
+	ly := -0.5*zy*zy - h.logSigma[1] - 0.5*log2Pi
+	lz := -0.5*zz*zz - h.logSigma[2] - 0.5*log2Pi
+	return lx + ly + lz
+}

@@ -1,0 +1,298 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// relErr returns |got-want| / max(|want|, tiny), treating equal values
+// (including both infinities of the same sign) as zero error.
+func relErr(got, want float64) float64 {
+	if got == want {
+		return 0
+	}
+	den := math.Abs(want)
+	if den < 1e-300 {
+		den = 1e-300
+	}
+	return math.Abs(got-want) / den
+}
+
+// The documented bound for every fast kernel. The polynomial analyses give
+// ~5e-9; the test asserts the shipped bound with margin.
+const fastRelBound = 2e-8
+
+func TestFastExpAccuracy(t *testing.T) {
+	// Dense sweep over the range particle weighting actually exercises, plus
+	// the extremes up to the overflow/underflow boundaries.
+	for x := -700.0; x <= 700.0; x += 0.137 {
+		got, want := FastExp(x), math.Exp(x)
+		if e := relErr(got, want); e > fastRelBound {
+			t.Fatalf("FastExp(%g) = %g, want %g (rel err %.3g)", x, got, want, e)
+		}
+	}
+	for _, x := range []float64{-745.0, -709.0, -1e-12, 0, 1e-12, 0.5, 709.7} {
+		got, want := FastExp(x), math.Exp(x)
+		if e := relErr(got, want); e > fastRelBound {
+			t.Fatalf("FastExp(%g) = %g, want %g (rel err %.3g)", x, got, want, e)
+		}
+	}
+}
+
+func TestFastExpEdgeCases(t *testing.T) {
+	if !math.IsNaN(FastExp(math.NaN())) {
+		t.Error("FastExp(NaN) must be NaN")
+	}
+	if got := FastExp(math.Inf(1)); !math.IsInf(got, 1) {
+		t.Errorf("FastExp(+Inf) = %g, want +Inf", got)
+	}
+	if got := FastExp(math.Inf(-1)); got != 0 {
+		t.Errorf("FastExp(-Inf) = %g, want 0", got)
+	}
+	if got := FastExp(1000); !math.IsInf(got, 1) {
+		t.Errorf("FastExp(1000) = %g, want +Inf (overflow)", got)
+	}
+	if got := FastExp(-1000); got != 0 {
+		t.Errorf("FastExp(-1000) = %g, want 0 (underflow)", got)
+	}
+	if got := FastExp(0); got != 1 {
+		t.Errorf("FastExp(0) = %g, want exactly 1", got)
+	}
+}
+
+func TestFastLogAccuracy(t *testing.T) {
+	for _, x := range []float64{1e-300, 1e-12, 1e-9, 0.1, 0.5, 0.9999, 1.0, 1.0001, 2, math.E, 10, 1e6, 1e300} {
+		got, want := FastLog(x), math.Log(x)
+		if e := relErr(got, want); e > fastRelBound {
+			t.Fatalf("FastLog(%g) = %g, want %g (rel err %.3g)", x, got, want, e)
+		}
+	}
+	// Sweep the mantissa range where the series does the work.
+	for x := 0.25; x <= 4.0; x += 0.003 {
+		got, want := FastLog(x), math.Log(x)
+		// Near x == 1 the log itself vanishes; bound the absolute error by
+		// the same epsilon there instead of the relative one.
+		if math.Abs(want) < 1e-3 {
+			if math.Abs(got-want) > fastRelBound {
+				t.Fatalf("FastLog(%g) = %g, want %g (abs err %.3g)", x, got, want, math.Abs(got-want))
+			}
+			continue
+		}
+		if e := relErr(got, want); e > fastRelBound {
+			t.Fatalf("FastLog(%g) = %g, want %g (rel err %.3g)", x, got, want, e)
+		}
+	}
+}
+
+func TestFastLogEdgeCases(t *testing.T) {
+	if !math.IsNaN(FastLog(math.NaN())) {
+		t.Error("FastLog(NaN) must be NaN")
+	}
+	if !math.IsNaN(FastLog(-1)) {
+		t.Error("FastLog(-1) must be NaN")
+	}
+	if got := FastLog(0); !math.IsInf(got, -1) {
+		t.Errorf("FastLog(0) = %g, want -Inf", got)
+	}
+	if got := FastLog(math.Inf(1)); !math.IsInf(got, 1) {
+		t.Errorf("FastLog(+Inf) = %g, want +Inf", got)
+	}
+	// Subnormal input exercises the pre-scaling path. The reference is the
+	// analytic value -1074*ln(2) for 2**-1074, not math.Log: Go's amd64
+	// assembly Log is itself wrong for subnormals (it returns ~-709).
+	sub := 5e-324 // 2**-1074, the smallest subnormal
+	want := -1074 * math.Ln2
+	if e := relErr(FastLog(sub), want); e > fastRelBound {
+		t.Errorf("FastLog(subnormal) = %g, want %g (rel err %.3g)", FastLog(sub), want, e)
+	}
+	if got := FastLog(1); got != 0 {
+		t.Errorf("FastLog(1) = %g, want exactly 0", got)
+	}
+}
+
+func TestFastLog1p(t *testing.T) {
+	for _, x := range []float64{-0.999999, -0.5, -1e-5, -1e-12, 0, 1e-12, 1e-5, 0.5, 10, 1e9} {
+		got, want := FastLog1p(x), math.Log1p(x)
+		if math.Abs(want) < 1e-300 {
+			if got != want {
+				t.Fatalf("FastLog1p(%g) = %g, want %g", x, got, want)
+			}
+			continue
+		}
+		if e := relErr(got, want); e > fastRelBound {
+			t.Fatalf("FastLog1p(%g) = %g, want %g (rel err %.3g)", x, got, want, e)
+		}
+	}
+	if !math.IsNaN(FastLog1p(math.NaN())) || !math.IsNaN(FastLog1p(-2)) {
+		t.Error("FastLog1p must be NaN for NaN and x < -1")
+	}
+	if got := FastLog1p(-1); !math.IsInf(got, -1) {
+		t.Errorf("FastLog1p(-1) = %g, want -Inf", got)
+	}
+	if got := FastLog1p(math.Inf(1)); !math.IsInf(got, 1) {
+		t.Errorf("FastLog1p(+Inf) = %g, want +Inf", got)
+	}
+}
+
+func TestFastLogSigmoid(t *testing.T) {
+	for x := -50.0; x <= 50.0; x += 0.0917 {
+		got, want := FastLogSigmoid(x), LogSigmoid(x)
+		if e := relErr(got, want); e > 1e-7 {
+			t.Fatalf("FastLogSigmoid(%g) = %g, want %g (rel err %.3g)", x, got, want, e)
+		}
+	}
+	// Deep tails: stays finite and tracks the exact value (logσ(x) → x for
+	// x → -inf, → 0 for x → +inf).
+	for _, x := range []float64{-1000, -100, 100, 1000} {
+		got, want := FastLogSigmoid(x), LogSigmoid(x)
+		if e := relErr(got, want); math.Abs(got-want) > 1e-12 && e > 1e-7 {
+			t.Errorf("FastLogSigmoid(%g) = %g, want %g", x, got, want)
+		}
+	}
+	if !math.IsNaN(FastLogSigmoid(math.NaN())) {
+		t.Error("FastLogSigmoid(NaN) must be NaN")
+	}
+}
+
+func TestFastLogSumExp(t *testing.T) {
+	cases := [][]float64{
+		{},
+		{0},
+		{-1, -2, -3},
+		{1000, 1000.5, 999},
+		{-1000, -1000.5, -999},
+		{0, math.Inf(-1), -3, -7, 2, 0.1, -0.1},
+		{math.Inf(-1), math.Inf(-1)},
+		{-745, -746, -800, 3, 4, 5, 6, 7, 8, 9},
+	}
+	for _, xs := range cases {
+		got, want := FastLogSumExp(xs), LogSumExp(xs)
+		if math.IsInf(want, -1) {
+			if !math.IsInf(got, -1) {
+				t.Fatalf("FastLogSumExp(%v) = %g, want -Inf", xs, got)
+			}
+			continue
+		}
+		if e := relErr(got, want); e > 1e-7 {
+			t.Fatalf("FastLogSumExp(%v) = %g, want %g (rel err %.3g)", xs, got, want, e)
+		}
+	}
+	if !math.IsNaN(FastLogSumExp([]float64{1, math.NaN()})) {
+		t.Error("FastLogSumExp with a NaN input must be NaN")
+	}
+}
+
+func TestNormalizeLogWeightsFast(t *testing.T) {
+	logw := []float64{-3, -1, -2, -5, -1.5, -0.2, -9, -4}
+	ref := append([]float64(nil), logw...)
+	NormalizeLogWeights(ref)
+	NormalizeLogWeightsFast(logw)
+	sum := 0.0
+	for i := range logw {
+		sum += logw[i]
+		if e := relErr(logw[i], ref[i]); e > 1e-7 {
+			t.Fatalf("weight %d: fast %g vs exact %g (rel err %.3g)", i, logw[i], ref[i], e)
+		}
+	}
+	if math.Abs(sum-1) > 1e-7 {
+		t.Errorf("fast-normalized weights sum to %g, want 1", sum)
+	}
+
+	// All -Inf falls back to uniform, like the exact version.
+	inf := []float64{math.Inf(-1), math.Inf(-1), math.Inf(-1), math.Inf(-1)}
+	NormalizeLogWeightsFast(inf)
+	for i, w := range inf {
+		if w != 0.25 {
+			t.Fatalf("uniform fallback weight %d = %g, want 0.25", i, w)
+		}
+	}
+	NormalizeLogWeightsFast(nil) // must not panic
+}
+
+func TestHoistDiagGaussian3BitIdentical(t *testing.T) {
+	sigmas := []geom.Vec3{
+		{X: 0.3, Y: 0.25, Z: 0.1},
+		{X: 1, Y: 2, Z: 3},
+		{X: 0, Y: -1, Z: 1e-12}, // degenerate axes hit the 1e-9 floor
+	}
+	mus := []geom.Vec3{{}, {X: 1.5, Y: -2.25, Z: 0.75}, {X: -10, Y: 3, Z: 0.01}}
+	xs := []geom.Vec3{{}, {X: 1.37, Y: -2.5, Z: 1}, {X: 9.7, Y: -4.2, Z: -0.3}}
+	for _, s := range sigmas {
+		h := HoistDiagGaussian3(s)
+		for _, mu := range mus {
+			for _, x := range xs {
+				want := DiagGaussian3{Mu: mu, Sigma: s}.LogPDF(x)
+				got := h.LogPDFAt(mu, x)
+				if got != want {
+					t.Fatalf("LogPDFAt(sigma=%v, mu=%v, x=%v) = %v, want bit-identical %v", s, mu, x, got, want)
+				}
+			}
+		}
+	}
+}
+
+var sinkF float64
+
+func BenchmarkFastExp(b *testing.B) {
+	b.ReportAllocs()
+	s := 0.0
+	for i := 0; i < b.N; i++ {
+		s += FastExp(-float64(i%40) * 0.25)
+	}
+	sinkF = s
+}
+
+func BenchmarkMathExp(b *testing.B) {
+	b.ReportAllocs()
+	s := 0.0
+	for i := 0; i < b.N; i++ {
+		s += math.Exp(-float64(i%40) * 0.25)
+	}
+	sinkF = s
+}
+
+func BenchmarkFastLog(b *testing.B) {
+	b.ReportAllocs()
+	s := 0.0
+	for i := 0; i < b.N; i++ {
+		s += FastLog(1 + float64(i%100)*0.37)
+	}
+	sinkF = s
+}
+
+func BenchmarkFastLogSigmoid(b *testing.B) {
+	b.ReportAllocs()
+	s := 0.0
+	for i := 0; i < b.N; i++ {
+		s += FastLogSigmoid(float64(i%17) - 8)
+	}
+	sinkF = s
+}
+
+func BenchmarkFastLogSumExp(b *testing.B) {
+	xs := make([]float64, 256)
+	for i := range xs {
+		xs[i] = -float64(i) * 0.05
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	s := 0.0
+	for i := 0; i < b.N; i++ {
+		s += FastLogSumExp(xs)
+	}
+	sinkF = s
+}
+
+func BenchmarkNormalizeLogWeightsFast(b *testing.B) {
+	xs := make([]float64, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range xs {
+			xs[j] = -float64(j) * 0.05
+		}
+		NormalizeLogWeightsFast(xs)
+	}
+}
