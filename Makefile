@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke baseline baseline-serve doc-check serve-smoke cover alloc-gate fuzz-smoke recover-smoke api-smoke stream-smoke density-smoke profile
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke baseline baseline-serve doc-check serve-smoke cover alloc-gate fuzz-smoke recover-smoke api-smoke stream-smoke density-smoke metrics-lint profile
 
 all: build vet fmt-check doc-check test
 
@@ -31,16 +31,39 @@ test:
 # assertions themselves are skipped (race instrumentation allocates) but the
 # arena-backed hot path is still exercised for data races.
 race:
-	$(GO) test -race ./internal/core ./internal/factored ./internal/stats ./internal/serve ./rfid ./rfid/client ./rfid/wire ./internal/wal ./internal/checkpoint
+	$(GO) test -race ./internal/core ./internal/factored ./internal/stats ./internal/serve ./rfid ./rfid/client ./rfid/wire ./internal/wal ./internal/checkpoint ./internal/metrics ./internal/trace
 
 # Allocation gate: the per-object hot path must perform zero steady-state
 # heap allocations (structure-of-arrays particle storage + arena scratch),
 # and so must the server's streaming-ingest decode path (frame -> SoA batch
-# with reused scratch and interned tags).
+# with reused scratch and interned tags), the epoch-stage trace recorder
+# (timestamps on every epoch of every session) and the latency-histogram
+# record path (on every request).
 alloc-gate:
 	$(GO) test -run 'TestStepObjectsZeroAlloc|TestEpochPrologueAllocBound' -v ./internal/factored
 	$(GO) test -run 'TestShardedEpochAllocsNoWorseThanSerial' -v ./internal/core
 	$(GO) test -run 'TestStreamDecodeZeroAlloc' -v ./internal/serve
+	$(GO) test -run 'TestTraceRecorderZeroAlloc' -v ./internal/trace
+	$(GO) test -run 'TestHistogramObserveZeroAlloc' -v ./internal/metrics
+
+# Metric-name lint: every literal metric registration must follow the
+# Prometheus conventions the dashboards rely on — snake_case names, counters
+# suffixed _total, duration histograms _seconds (size histograms _bytes),
+# cumulative duration counters _seconds_total, and never _ms (all exported
+# durations are seconds).
+metrics-lint:
+	@grep -rhoE '\.(Counter|FloatCounter|Gauge|Histogram|counter|gauge|histogram)\("[^"]+"' \
+		--include='*.go' --exclude='*_test.go' cmd internal rfid \
+	| sort -u | awk -F'"' '{ \
+		kind = tolower($$1); gsub(/[.(]/, "", kind); \
+		base = $$2; sub(/\{.*/, "", base); \
+		if (base !~ /^[a-z][a-z0-9_]*$$/) { print "metrics-lint: " $$2 " is not snake_case"; bad = 1 } \
+		if (base ~ /_ms(_|$$)/) { print "metrics-lint: " $$2 " uses _ms (exported durations are seconds)"; bad = 1 } \
+		if (kind == "floatcounter" && base !~ /_seconds_total$$/) { print "metrics-lint: FloatCounter " $$2 " must end in _seconds_total"; bad = 1 } \
+		if (kind == "counter" && base !~ /_total$$/) { print "metrics-lint: Counter " $$2 " must end in _total"; bad = 1 } \
+		if (kind == "histogram" && base !~ /(_seconds|_bytes)$$/) { print "metrics-lint: Histogram " $$2 " must end in _seconds or _bytes"; bad = 1 } \
+	} END { exit bad }' \
+	&& echo "metrics-lint: all metric names conform"
 
 # Coverage ratchet: fails when total statement coverage drops below the
 # recorded threshold. Raise the threshold when coverage improves; never lower

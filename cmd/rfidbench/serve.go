@@ -7,10 +7,11 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
-	"sort"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/serve"
 	"repro/internal/wal"
 	"repro/rfid"
@@ -55,10 +56,16 @@ type serveBenchResult struct {
 	// Latency per batch: ingest->result for mode http, send->ack for mode
 	// stream, ingest round-trip (durable apply, including any first-touch
 	// hydration) for mode density.
+	// Quantiles are interpolated from the same fixed-bucket histogram the
+	// server's /metrics families use, so bench numbers and scrape numbers are
+	// directly comparable.
 	LatencyMeanMS float64 `json:"latency_mean_ms"`
 	LatencyP50MS  float64 `json:"latency_p50_ms"`
 	LatencyP95MS  float64 `json:"latency_p95_ms"`
-	LatencyMaxMS  float64 `json:"latency_max_ms"`
+	LatencyP99MS  float64 `json:"latency_p99_ms"`
+	// EpochStageSeconds is the server's cumulative per-stage epoch breakdown
+	// over the run (summed across sessions), keyed by stage name.
+	EpochStageSeconds map[string]float64 `json:"epoch_stage_seconds,omitempty"`
 	// Density rows only: the resident-session cap the run was driven under,
 	// and the rate at which evicted sessions were restored on first touch.
 	MaxResident      int     `json:"max_resident,omitempty"`
@@ -105,7 +112,7 @@ func runServeBenchOne(mode string, n, epochs int, wl serveWorkload, seed int64) 
 	if err != nil {
 		return serveBenchResult{}, err
 	}
-	srv, err := serve.New(serve.Config{Runner: runner, MaxSessions: n + 1})
+	srv, err := serve.New(serve.Config{Runner: runner, MaxSessions: n + 1, TraceEpochs: 64})
 	if err != nil {
 		return serveBenchResult{}, err
 	}
@@ -128,9 +135,9 @@ func runServeBenchOne(mode string, n, epochs int, wl serveWorkload, seed int64) 
 	}
 
 	var (
-		mu        sync.Mutex
-		latencies []float64
-		firstErr  error
+		mu       sync.Mutex
+		hist     metrics.Histogram
+		firstErr error
 	)
 	fail := func(err error) {
 		mu.Lock()
@@ -139,11 +146,8 @@ func runServeBenchOne(mode string, n, epochs int, wl serveWorkload, seed int64) 
 		}
 		mu.Unlock()
 	}
-	record := func(ms float64) {
-		mu.Lock()
-		latencies = append(latencies, ms)
-		mu.Unlock()
-	}
+	// Observe is lock-free, so concurrent drivers record without contending.
+	record := func(ms float64) { hist.Observe(ms / 1e3) }
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -168,37 +172,28 @@ func runServeBenchOne(mode string, n, epochs int, wl serveWorkload, seed int64) 
 		return serveBenchResult{}, firstErr
 	}
 
-	sort.Float64s(latencies)
-	mean := 0.0
-	for _, l := range latencies {
-		mean += l
+	stages, err := stageSeconds(ts.URL)
+	if err != nil {
+		return serveBenchResult{}, err
 	}
-	if len(latencies) > 0 {
-		mean /= float64(len(latencies))
-	}
-	pct := func(p float64) float64 {
-		if len(latencies) == 0 {
-			return 0
-		}
-		idx := int(p * float64(len(latencies)-1))
-		return latencies[idx]
-	}
+	snap := hist.Snapshot()
 	totalBatches := float64(n * epochs)
 	totalReadings := float64(n * epochs * wl.objectsPerBatch)
 	return serveBenchResult{
-		Mode:            mode,
-		Sessions:        n,
-		ObjectsPerBatch: wl.objectsPerBatch,
-		ObjectParticles: wl.particles,
-		EpochsPerSess:   epochs,
-		ReadingsPerSess: epochs * wl.objectsPerBatch,
-		ElapsedMS:       elapsed.Seconds() * 1e3,
-		BatchesPerSec:   totalBatches / elapsed.Seconds(),
-		ReadingsPerSec:  totalReadings / elapsed.Seconds(),
-		LatencyMeanMS:   mean,
-		LatencyP50MS:    pct(0.50),
-		LatencyP95MS:    pct(0.95),
-		LatencyMaxMS:    pct(1.0),
+		Mode:              mode,
+		Sessions:          n,
+		ObjectsPerBatch:   wl.objectsPerBatch,
+		ObjectParticles:   wl.particles,
+		EpochsPerSess:     epochs,
+		ReadingsPerSess:   epochs * wl.objectsPerBatch,
+		ElapsedMS:         elapsed.Seconds() * 1e3,
+		BatchesPerSec:     totalBatches / elapsed.Seconds(),
+		ReadingsPerSec:    totalReadings / elapsed.Seconds(),
+		LatencyMeanMS:     snap.Mean() * 1e3,
+		LatencyP50MS:      snap.Quantile(0.50) * 1e3,
+		LatencyP95MS:      snap.Quantile(0.95) * 1e3,
+		LatencyP99MS:      snap.Quantile(0.99) * 1e3,
+		EpochStageSeconds: stages,
 	}, nil
 }
 
@@ -367,6 +362,7 @@ func runDensityBenchOne(n, epochs, maxResident int, seed int64) (serveBenchResul
 		Fsync:           wal.SyncNever, // measuring density scaling, not fsync
 		MaxSessions:     n + 1,
 		MaxResident:     maxResident,
+		TraceEpochs:     64,
 	})
 	if err != nil {
 		return serveBenchResult{}, err
@@ -396,9 +392,9 @@ func runDensityBenchOne(n, epochs, maxResident int, seed int64) (serveBenchResul
 	}
 
 	var (
-		mu        sync.Mutex
-		latencies []float64
-		firstErr  error
+		mu       sync.Mutex
+		hist     metrics.Histogram
+		firstErr error
 	)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -416,14 +412,13 @@ func runDensityBenchOne(n, epochs, maxResident int, seed int64) (serveBenchResul
 					}
 					t0 := time.Now()
 					_, err := sessions[i].Ingest(ctx, batch)
-					ms := time.Since(t0).Seconds() * 1e3
-					mu.Lock()
-					if err != nil && firstErr == nil {
-						firstErr = fmt.Errorf("session %d epoch %d: %w", i, ep, err)
-					}
-					latencies = append(latencies, ms)
-					mu.Unlock()
+					hist.ObserveDuration(time.Since(t0))
 					if err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = fmt.Errorf("session %d epoch %d: %w", i, ep, err)
+						}
+						mu.Unlock()
 						return
 					}
 				}
@@ -439,38 +434,61 @@ func runDensityBenchOne(n, epochs, maxResident int, seed int64) (serveBenchResul
 	if err != nil {
 		return serveBenchResult{}, err
 	}
+	stages, err := stageSeconds(ts.URL)
+	if err != nil {
+		return serveBenchResult{}, err
+	}
 
-	sort.Float64s(latencies)
-	mean := 0.0
-	for _, l := range latencies {
-		mean += l
-	}
-	if len(latencies) > 0 {
-		mean /= float64(len(latencies))
-	}
-	pct := func(p float64) float64 {
-		if len(latencies) == 0 {
-			return 0
-		}
-		return latencies[int(p*float64(len(latencies)-1))]
-	}
+	snap := hist.Snapshot()
 	return serveBenchResult{
-		Mode:             "density",
-		Sessions:         n,
-		ObjectsPerBatch:  densityObjsPerBatch,
-		ObjectParticles:  densityParticles,
-		EpochsPerSess:    epochs,
-		ReadingsPerSess:  epochs * densityObjsPerBatch,
-		ElapsedMS:        elapsed.Seconds() * 1e3,
-		BatchesPerSec:    float64(n*epochs) / elapsed.Seconds(),
-		ReadingsPerSec:   float64(n*epochs*densityObjsPerBatch) / elapsed.Seconds(),
-		LatencyMeanMS:    mean,
-		LatencyP50MS:     pct(0.50),
-		LatencyP95MS:     pct(0.95),
-		LatencyMaxMS:     pct(1.0),
-		MaxResident:      maxResident,
-		HydrationsPerSec: (hydrationsAfter - hydrationsBefore) / elapsed.Seconds(),
+		Mode:              "density",
+		Sessions:          n,
+		ObjectsPerBatch:   densityObjsPerBatch,
+		ObjectParticles:   densityParticles,
+		EpochsPerSess:     epochs,
+		ReadingsPerSess:   epochs * densityObjsPerBatch,
+		ElapsedMS:         elapsed.Seconds() * 1e3,
+		BatchesPerSec:     float64(n*epochs) / elapsed.Seconds(),
+		ReadingsPerSec:    float64(n*epochs*densityObjsPerBatch) / elapsed.Seconds(),
+		LatencyMeanMS:     snap.Mean() * 1e3,
+		LatencyP50MS:      snap.Quantile(0.50) * 1e3,
+		LatencyP95MS:      snap.Quantile(0.95) * 1e3,
+		LatencyP99MS:      snap.Quantile(0.99) * 1e3,
+		EpochStageSeconds: stages,
+		MaxResident:       maxResident,
+		HydrationsPerSec:  (hydrationsAfter - hydrationsBefore) / elapsed.Seconds(),
 	}, nil
+}
+
+// stageSeconds reads the server's cumulative per-stage epoch breakdown from
+// the JSON metrics endpoint, summed across sessions and keyed by stage name.
+func stageSeconds(base string) (map[string]float64, error) {
+	resp, err := http.Get(base + "/metrics?format=json")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var m map[string]float64
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil, fmt.Errorf("decode metrics: %w", err)
+	}
+	const prefix = `rfidserve_epoch_stage_seconds_total{stage="`
+	out := make(map[string]float64)
+	for series, v := range m {
+		rest, ok := strings.CutPrefix(series, prefix)
+		if !ok {
+			continue
+		}
+		stage, _, ok := strings.Cut(rest, `"`)
+		if !ok || v == 0 {
+			continue
+		}
+		out[stage] += v
+	}
+	if len(out) == 0 {
+		return nil, nil
+	}
+	return out, nil
 }
 
 // metricValue reads one metric from the server's JSON metrics endpoint.
@@ -491,11 +509,11 @@ func metricValue(base, name string) (float64, error) {
 func printServeReport(rep serveBenchReport) {
 	fmt.Printf("serving-path benchmark: %d epochs/session\n", rep.Epochs)
 	fmt.Printf("%-8s %-10s %6s %10s %12s %14s %12s %10s %10s %10s\n",
-		"mode", "sessions", "objs", "particles", "elapsed", "readings/s", "batches/s", "lat p50", "lat p95", "lat max")
+		"mode", "sessions", "objs", "particles", "elapsed", "readings/s", "batches/s", "lat p50", "lat p95", "lat p99")
 	for _, r := range rep.Results {
 		fmt.Printf("%-8s %-10d %6d %10d %10.1fms %14.0f %12.1f %8.2fms %8.2fms %8.2fms",
 			r.Mode, r.Sessions, r.ObjectsPerBatch, r.ObjectParticles, r.ElapsedMS, r.ReadingsPerSec, r.BatchesPerSec,
-			r.LatencyP50MS, r.LatencyP95MS, r.LatencyMaxMS)
+			r.LatencyP50MS, r.LatencyP95MS, r.LatencyP99MS)
 		if r.Mode == "density" {
 			fmt.Printf("  cap=%d hydrations/s=%.1f", r.MaxResident, r.HydrationsPerSec)
 		}

@@ -29,8 +29,11 @@ func TestServeBenchSmoke(t *testing.T) {
 		if r.ReadingsPerSec <= 0 || r.ElapsedMS <= 0 {
 			t.Errorf("%s/%d: empty throughput row: %+v", r.Mode, r.Sessions, r)
 		}
-		if r.LatencyMaxMS < r.LatencyP95MS || r.LatencyP95MS < r.LatencyP50MS || r.LatencyP50MS <= 0 {
+		if r.LatencyP99MS < r.LatencyP95MS || r.LatencyP95MS < r.LatencyP50MS || r.LatencyP50MS <= 0 {
 			t.Errorf("%s/%d: non-monotone latency percentiles: %+v", r.Mode, r.Sessions, r)
+		}
+		if len(r.EpochStageSeconds) == 0 || r.EpochStageSeconds["step"] <= 0 {
+			t.Errorf("%s/%d: missing per-stage epoch breakdown: %+v", r.Mode, r.Sessions, r.EpochStageSeconds)
 		}
 	}
 	printServeReport(rep)
@@ -74,7 +77,7 @@ func TestDensityBenchSmoke(t *testing.T) {
 	if r.HydrationsPerSec <= 0 {
 		t.Fatalf("12 sessions under a cap of 4 never hydrated: %+v", r)
 	}
-	if r.LatencyMaxMS < r.LatencyP50MS || r.LatencyP50MS <= 0 {
+	if r.LatencyP99MS < r.LatencyP50MS || r.LatencyP50MS <= 0 {
 		t.Fatalf("bad latency percentiles: %+v", r)
 	}
 	printServeReport(serveBenchReport{Epochs: 2, Seed: 1, Results: rows})

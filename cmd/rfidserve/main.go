@@ -31,6 +31,15 @@
 // StreamIngester; see the "Streaming ingest" section of API.md for the
 // protocol.
 //
+// Observability: every sealed epoch's per-stage timings (decode, prologue,
+// step, estimate, query-eval, WAL append, seal) are retained in a bounded
+// per-session ring served by GET /v1/sessions/{sid}/trace (-trace-epochs
+// sizes it; 0 disables tracing). /metrics exposes latency histograms for
+// ingest acks, long-poll delivery, WAL fsyncs, checkpoint writes, hydrations
+// and epoch wall time, plus the cumulative per-stage breakdown. Logs are
+// structured (-log-format text|json, -log-level), and -debug-addr serves
+// net/http/pprof on a separate, private listener.
+//
 // Interact with curl:
 //
 //	curl -X POST localhost:8080/v1/sessions -d '{"source":"synthetic","engine":{"seed":7}}'
@@ -41,6 +50,8 @@
 //	curl localhost:8080/v1/sessions/s1/snapshot/obj-001
 //	curl 'localhost:8080/v1/sessions/s1/snapshot?epoch=42'  # time-travel (needs history_epochs)
 //	curl 'localhost:8080/v1/sessions/s1/queries/q1/results?after=-1&wait=30s'  # long-poll
+//	curl 'localhost:8080/v1/sessions/s1/trace?epochs=16'    # per-stage epoch timings
+//	curl localhost:8080/v1/sessions/s1/stats                # live debug stats
 //	curl localhost:8080/metrics
 //	curl localhost:8080/healthz                      # state: recovering|serving|...
 //
@@ -52,8 +63,11 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registers the /debug/pprof handlers on the -debug-addr mux
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
@@ -64,10 +78,35 @@ import (
 	"repro/rfid"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("rfidserve: ")
+// buildLogger constructs the process logger from the -log-level and
+// -log-format flags and installs it as the slog default.
+func buildLogger(level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	switch format {
+	case "text":
+		h = slog.NewTextHandler(os.Stderr, opts)
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
+	logger := slog.New(h).With("component", "rfidserve")
+	slog.SetDefault(logger)
+	return logger, nil
+}
 
+// fatal logs the error and exits (structured replacement for log.Fatalf).
+func fatal(logger *slog.Logger, msg string, args ...any) {
+	logger.Error(msg, args...)
+	os.Exit(1)
+}
+
+func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "HTTP listen address")
 		traceDir    = flag.String("trace", "", "optional trace directory supplying the world (shelves, shelf tags)")
@@ -95,17 +134,30 @@ func main() {
 		fsyncMode  = flag.String("fsync", "always", "WAL fsync policy: always (durable acks), interval, or never")
 		fsyncEvery = flag.Duration("fsync-interval", 100*time.Millisecond, "fsync period for -fsync=interval")
 		history    = flag.Int("history", 0, "epochs of MAP-snapshot history to retain for time-travel reads (0 disables)")
+
+		traceEpochs = flag.Int("trace-epochs", 64, "sealed epochs of per-stage timing retained per session for GET .../trace (0 disables tracing)")
+		slowEpoch   = flag.Duration("slow-epoch", 0, "log a warning when a sealed epoch's wall time exceeds this (0 disables; needs -trace-epochs > 0)")
+		slowHydrate = flag.Duration("slow-hydration", 2*time.Second, "log a warning when restoring an evicted session takes longer than this (0 disables)")
+		logLevel    = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		logFormat   = flag.String("log-format", "text", "log output format: text or json")
+		debugAddr   = flag.String("debug-addr", "", "listen address for the private net/http/pprof debug server (empty disables; never expose publicly)")
 	)
 	flag.Parse()
 
+	logger, err := buildLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rfidserve: %v\n", err)
+		os.Exit(1)
+	}
+
 	syncPolicy, err := wal.ParseSyncPolicy(*fsyncMode)
 	if err != nil {
-		log.Fatalf("%v", err)
+		fatal(logger, "bad -fsync", "err", err)
 	}
 	if *maxResident > 0 && *dataDir == "" {
 		// Eviction spills to the checkpoint + manifest; without durability
 		// there is nothing to spill to, so the cap would silently do nothing.
-		log.Fatalf("-max-resident requires -data-dir (evicted sessions restore from their on-disk checkpoint)")
+		fatal(logger, "-max-resident requires -data-dir (evicted sessions restore from their on-disk checkpoint)")
 	}
 
 	world := rfid.NewWorld()
@@ -120,7 +172,7 @@ func main() {
 	if *traceDir != "" {
 		dir, err := traceio.Read(*traceDir, *shelfDepth)
 		if err != nil {
-			log.Fatalf("load trace: %v", err)
+			fatal(logger, "loading trace failed", "dir", *traceDir, "err", err)
 		}
 		world = dir.World
 		if *calibrate && len(world.ShelfTags) > 0 {
@@ -129,10 +181,10 @@ func main() {
 			calCfg.Seed = *seed
 			res, err := rfid.Calibrate(epochs, world, params, calCfg)
 			if err != nil {
-				log.Printf("calibration failed (%v); continuing with default parameters", err)
+				logger.Warn("calibration failed; continuing with default parameters", "err", err)
 			} else {
 				params = res.Params
-				log.Printf("calibrated sensor model: %v", params.Sensor)
+				logger.Info("calibrated sensor model", "sensor", fmt.Sprintf("%v", params.Sensor))
 			}
 		}
 	}
@@ -150,9 +202,10 @@ func main() {
 		HoldEpochs:    *hold,
 		Sharded:       true,
 		HistoryEpochs: *history,
+		TraceEpochs:   *traceEpochs,
 	})
 	if err != nil {
-		log.Fatalf("runner: %v", err)
+		fatal(logger, "building runner failed", "err", err)
 	}
 	srv, err := serve.New(serve.Config{
 		Runner:          runner,
@@ -167,21 +220,37 @@ func main() {
 		MaxLongPollWait: *maxWait,
 		MaxResident:     *maxResident,
 		SchedWorkers:    *schedWorkers,
+		TraceEpochs:     *traceEpochs,
+		SlowEpoch:       *slowEpoch,
+		SlowHydration:   *slowHydrate,
+		Logger:          logger,
 	})
 	if err != nil {
-		log.Fatalf("server: %v", err)
+		fatal(logger, "building server failed", "err", err)
 	}
 	// Surface recovery progress/failure without delaying the listener:
 	// /healthz answers "recovering" while the WAL tail replays.
 	go func() {
 		if err := srv.WaitReady(context.Background()); err != nil {
-			log.Fatalf("%v", err)
+			fatal(logger, "recovery failed", "err", err)
 		}
 		if *dataDir != "" {
-			log.Printf("durable state ready (data-dir %s, fsync %s, checkpoint every %d epochs)",
-				*dataDir, syncPolicy, *ckptEvery)
+			logger.Info("durable state ready",
+				"data_dir", *dataDir, "fsync", syncPolicy.String(), "checkpoint_every", *ckptEvery)
 		}
 	}()
+
+	// The pprof debug server binds its own listener and the DefaultServeMux
+	// (where the net/http/pprof import registered itself) — never the public
+	// API mux, so profiling endpoints cannot leak through the service port.
+	if *debugAddr != "" {
+		go func() {
+			logger.Info("debug server listening (pprof)", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug server failed", "err", err)
+			}
+		}()
+	}
 
 	// Slow-loris hardening: a client that dribbles its headers or body can
 	// otherwise pin a connection (and, behind a small pool, the listener)
@@ -202,19 +271,21 @@ func main() {
 	go func() {
 		defer close(shutdownDone)
 		<-ctx.Done()
-		log.Printf("shutting down (sealing current epoch, writing final checkpoint)")
+		logger.Info("shutting down (sealing current epoch, writing final checkpoint)")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = httpSrv.Shutdown(shutdownCtx)
 		// Close runs the graceful durable sequence: seal the buffered
 		// epochs, feed the queries, write a final checkpoint, close the WAL.
 		srv.Close()
-		log.Printf("shutdown complete")
+		logger.Info("shutdown complete")
 	}()
 
-	log.Printf("serving on %s (queue=%d, workers=%d, particles=%d)", *addr, *queue, *workers, *particles)
+	logger.Info("serving",
+		"addr", *addr, "queue", *queue, "workers", *workers,
+		"particles", *particles, "trace_epochs", *traceEpochs)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatalf("serve: %v", err)
+		fatal(logger, "listener failed", "err", err)
 	}
 	// ListenAndServe returns as soon as Shutdown is initiated; wait for the
 	// durable close to finish before letting the process exit, or the final

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/belief"
 	"repro/internal/factored"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/sensor"
 	"repro/internal/spatial"
 	"repro/internal/stream"
+	"repro/internal/trace"
 )
 
 // Engine translates noisy, raw mobile RFID streams into a clean event stream
@@ -55,6 +57,12 @@ type Engine struct {
 
 	stats     Stats
 	lastEpoch int
+
+	// rec, when non-nil, receives per-stage timings of every epoch (prologue,
+	// step, estimate). Timing is observational only: it never changes control
+	// flow, RNG consumption or output, so traced runs stay byte-identical to
+	// untraced ones.
+	rec *trace.Recorder
 }
 
 // New returns a configured Engine.
@@ -111,6 +119,11 @@ func New(cfg Config) (*Engine, error) {
 // Config returns the engine's effective configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
+// SetTraceRecorder installs (or, with nil, removes) the per-epoch stage
+// recorder. The sharded engine inherits this through embedding, so one call
+// covers both step paths.
+func (e *Engine) SetTraceRecorder(r *trace.Recorder) { e.rec = r }
+
 // Stats returns the cumulative work counters.
 func (e *Engine) Stats() Stats {
 	s := e.stats
@@ -128,15 +141,36 @@ func (e *Engine) ProcessEpoch(ep *stream.Epoch) ([]stream.Event, error) {
 	e.stats.Readings += len(ep.Observed)
 	e.lastEpoch = ep.Time
 
+	rec := e.rec
+	var t time.Time
+	if rec != nil {
+		t = time.Now()
+	}
 	observed := e.observedObjects(ep)
+	if rec != nil {
+		rec.Add(trace.StagePrologue, time.Since(t))
+	}
 	if e.cfg.Factored {
+		// stepFact (serial or sharded) splits its own prologue/step timing.
 		e.stepFact(ep, observed)
 	} else {
+		if rec != nil {
+			t = time.Now()
+		}
 		e.basic.Step(ep)
 		e.stats.ObjectsProcessed += len(e.basic.TrackedObjects())
+		if rec != nil {
+			rec.Add(trace.StageStep, time.Since(t))
+		}
 	}
 
+	if rec != nil {
+		t = time.Now()
+	}
 	events := e.report(ep, observed)
+	if rec != nil {
+		rec.Add(trace.StageEstimate, time.Since(t))
+	}
 	e.stats.EventsEmitted += len(events)
 	return events, nil
 }
@@ -202,15 +236,28 @@ func (e *Engine) selectActive(ep *stream.Epoch, observed []stream.TagID) ([]stre
 // selection through the spatial index, the factored filter update, index
 // maintenance and belief compression.
 func (e *Engine) stepFactored(ep *stream.Epoch, observed []stream.TagID) {
+	rec := e.rec
+	var t time.Time
+	if rec != nil {
+		t = time.Now()
+	}
 	e.countPendingDecompressions(observed)
 
 	var active []stream.TagID
 	var box geom.BBox
 	if e.index != nil {
 		active, box = e.selectActive(ep, observed)
+		if rec != nil {
+			rec.Add(trace.StagePrologue, time.Since(t))
+			t = time.Now()
+		}
 		e.fact.Step(ep, active)
 		e.stats.ObjectsProcessed += len(active)
 	} else {
+		if rec != nil {
+			rec.Add(trace.StagePrologue, time.Since(t))
+			t = time.Now()
+		}
 		e.fact.Step(ep, nil)
 		e.stats.ObjectsProcessed += e.fact.NumTracked()
 		active = observed
@@ -236,6 +283,9 @@ func (e *Engine) stepFactored(ep *stream.Epoch, observed []stream.TagID) {
 			e.watch.Mark(id)
 		}
 		e.runCompression(ep.Time)
+	}
+	if rec != nil {
+		rec.Add(trace.StageStep, time.Since(t))
 	}
 }
 

@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/belief"
 	"repro/internal/factored"
 	"repro/internal/geom"
 	"repro/internal/scratch"
 	"repro/internal/stream"
+	"repro/internal/trace"
 )
 
 // ShardedEngine is the parallel variant of Engine: it partitions objects
@@ -126,6 +128,11 @@ func (se *ShardedEngine) ShardCount() int { return se.shardCount }
 func (se *ShardedEngine) stepSharded(ep *stream.Epoch, observed []stream.TagID) {
 	e := se.Engine
 
+	rec := e.rec
+	var t time.Time
+	if rec != nil {
+		t = time.Now()
+	}
 	e.countPendingDecompressions(observed)
 
 	// Case-1/Case-2 selection through the spatial index (sequential: it
@@ -173,6 +180,12 @@ func (se *ShardedEngine) stepSharded(ep *stream.Epoch, observed []stream.TagID) 
 	if e.beliefMgr != nil {
 		se.watchBuf = stream.PartitionTagsInto(se.watchBuf, active, se.shardCount)
 	}
+	if rec != nil {
+		// Prologue ends where the parallel fan-out begins; everything from
+		// here (fan-out, barrier, index maintenance, compression) is the step.
+		rec.Add(trace.StagePrologue, time.Since(t))
+		t = time.Now()
+	}
 
 	// Fan-out: per-shard object steps (shardTask). Workers mutate only
 	// beliefs of their own shard and their private arena, and read shared
@@ -210,6 +223,9 @@ func (se *ShardedEngine) stepSharded(ep *stream.Epoch, observed []stream.TagID) 
 
 	if e.beliefMgr != nil {
 		e.runCompression(ep.Time)
+	}
+	if rec != nil {
+		rec.Add(trace.StageStep, time.Since(t))
 	}
 }
 

@@ -65,7 +65,9 @@ func (g *Gauge) SetMax(v float64) {
 type Set struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
+	floats   map[string]*FloatCounter
 	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
 	help     map[string]string
 }
 
@@ -73,7 +75,9 @@ type Set struct {
 func NewSet() *Set {
 	return &Set{
 		counters: make(map[string]*Counter),
+		floats:   make(map[string]*FloatCounter),
 		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
 		help:     make(map[string]string),
 	}
 }
@@ -106,31 +110,79 @@ func (s *Set) Gauge(name, help string) *Gauge {
 	return g
 }
 
+// FloatCounter returns the float counter registered under name, creating it
+// (with the given help text) on first use.
+func (s *Set) FloatCounter(name, help string) *FloatCounter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.floats[name]
+	if !ok {
+		c = &FloatCounter{}
+		s.floats[name] = c
+		s.help[name] = help
+	}
+	return c
+}
+
+// Histogram returns the histogram registered under name, creating it (with
+// the given help text) on first use. The name may carry a label set exactly
+// like Counter/Gauge names; the exposition merges those labels with the
+// per-bucket `le` label.
+func (s *Set) Histogram(name, help string) *Histogram {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.hists[name]
+	if !ok {
+		h = &Histogram{}
+		s.hists[name] = h
+		s.help[name] = help
+	}
+	return h
+}
+
 // Snapshot returns the current value of every registered metric keyed by
-// name.
+// name. Histograms contribute two entries per series: `name_sum` and
+// `name_count` (with any label set preserved, e.g.
+// `h_sum{session="s1"}`).
 func (s *Set) Snapshot() map[string]float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make(map[string]float64, len(s.counters)+len(s.gauges))
+	out := make(map[string]float64, len(s.counters)+len(s.floats)+len(s.gauges)+2*len(s.hists))
 	for name, c := range s.counters {
 		out[name] = float64(c.Value())
 	}
+	for name, c := range s.floats {
+		out[name] = c.Value()
+	}
 	for name, g := range s.gauges {
 		out[name] = g.Value()
+	}
+	for name, h := range s.hists {
+		snap := h.Snapshot()
+		out[suffixSeries(name, "_sum")] = snap.Sum
+		out[suffixSeries(name, "_count")] = float64(snap.Count)
 	}
 	return out
 }
 
 // WriteProm writes the set in the Prometheus text exposition format, metrics
-// sorted by name.
+// sorted by name. Histogram series expand into the standard
+// `_bucket{le="..."}` (cumulative), `_sum` and `_count` rows; a series label
+// set merges with the `le` label inside one brace set.
 func (s *Set) WriteProm(w io.Writer) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	names := make([]string, 0, len(s.counters)+len(s.gauges))
+	names := make([]string, 0, len(s.counters)+len(s.floats)+len(s.gauges)+len(s.hists))
 	for name := range s.counters {
 		names = append(names, name)
 	}
+	for name := range s.floats {
+		names = append(names, name)
+	}
 	for name := range s.gauges {
+		names = append(names, name)
+	}
+	for name := range s.hists {
 		names = append(names, name)
 	}
 	sort.Strings(names)
@@ -150,6 +202,10 @@ func (s *Set) WriteProm(w io.Writer) error {
 			kind := "gauge"
 			if _, ok := s.counters[name]; ok {
 				kind = "counter"
+			} else if _, ok := s.floats[name]; ok {
+				kind = "counter"
+			} else if _, ok := s.hists[name]; ok {
+				kind = "histogram"
 			}
 			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, kind); err != nil {
 				return err
@@ -161,11 +217,70 @@ func (s *Set) WriteProm(w io.Writer) error {
 			}
 			continue
 		}
+		if c, ok := s.floats[name]; ok {
+			if _, err := fmt.Fprintf(w, "%s %g\n", name, c.Value()); err != nil {
+				return err
+			}
+			continue
+		}
+		if h, ok := s.hists[name]; ok {
+			if err := writePromHistogram(w, name, h.Snapshot()); err != nil {
+				return err
+			}
+			continue
+		}
 		if _, err := fmt.Fprintf(w, "%s %g\n", name, s.gauges[name].Value()); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// writePromHistogram writes one histogram series' bucket/sum/count rows.
+// Bucket counts are cumulative per the exposition format; the +Inf bucket
+// always equals _count.
+func writePromHistogram(w io.Writer, series string, snap HistogramSnapshot) error {
+	base, labels := splitSeries(series)
+	cum := uint64(0)
+	for i := range histBounds {
+		cum += snap.Counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", base, labels, histLabels[i], cum); err != nil {
+			return err
+		}
+	}
+	cum += snap.Counts[HistBuckets]
+	if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", base, labels, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s %g\n", suffixSeries(series, "_sum"), snap.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", suffixSeries(series, "_count"), snap.Count)
+	return err
+}
+
+// splitSeries splits a series name into its base name and a label prefix
+// ready to merge with more labels: `h{session="s1"}` -> (`h`,
+// `session="s1",`); a bare name yields an empty prefix.
+func splitSeries(series string) (base, labelPrefix string) {
+	i := strings.IndexByte(series, '{')
+	if i < 0 {
+		return series, ""
+	}
+	inner := strings.TrimSuffix(series[i+1:], "}")
+	if inner == "" {
+		return series[:i], ""
+	}
+	return series[:i], inner + ","
+}
+
+// suffixSeries inserts a suffix before a series' label set:
+// `h{session="s1"}` + `_sum` -> `h_sum{session="s1"}`.
+func suffixSeries(series, suffix string) string {
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		return series[:i] + suffix + series[i:]
+	}
+	return series + suffix
 }
 
 // BaseName strips a series name's label set: `name{session="s1"}` -> `name`.
@@ -193,9 +308,21 @@ func (s *Set) DropSeries(suffix string) {
 			delete(s.help, name)
 		}
 	}
+	for name := range s.floats {
+		if strings.HasSuffix(name, suffix) {
+			delete(s.floats, name)
+			delete(s.help, name)
+		}
+	}
 	for name := range s.gauges {
 		if strings.HasSuffix(name, suffix) {
 			delete(s.gauges, name)
+			delete(s.help, name)
+		}
+	}
+	for name := range s.hists {
+		if strings.HasSuffix(name, suffix) {
+			delete(s.hists, name)
 			delete(s.help, name)
 		}
 	}

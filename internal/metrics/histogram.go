@@ -1,0 +1,201 @@
+package metrics
+
+import (
+	"math"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// HistBuckets is the number of finite histogram buckets. Every Histogram
+// shares one fixed log-spaced bucket layout: upper bounds double from 1µs,
+// covering sub-millisecond fsyncs through multi-second hydrations in 26
+// buckets (1µs .. ~33.6s), plus the implicit +Inf overflow bucket. A fixed
+// layout keeps Observe allocation-free and makes every exposed family
+// directly comparable.
+const HistBuckets = 26
+
+// histBounds holds the finite bucket upper bounds in seconds.
+var histBounds = func() [HistBuckets]float64 {
+	var b [HistBuckets]float64
+	v := 1e-6
+	for i := range b {
+		b[i] = v
+		v *= 2
+	}
+	return b
+}()
+
+// histLabels holds the pre-formatted `le` label values for the finite
+// buckets, so the exposition path never formats floats per scrape per bucket.
+var histLabels = func() [HistBuckets]string {
+	var l [HistBuckets]string
+	for i, b := range histBounds {
+		l[i] = strconv.FormatFloat(b, 'g', -1, 64)
+	}
+	return l
+}()
+
+// BucketBounds returns the shared bucket upper bounds in seconds (a copy).
+func BucketBounds() []float64 {
+	out := make([]float64, HistBuckets)
+	copy(out, histBounds[:])
+	return out
+}
+
+// Histogram is a fixed-bucket latency histogram, safe for concurrent use and
+// allocation-free on the record path: per-bucket atomic counts plus a
+// CAS-maintained float sum. Values are seconds.
+type Histogram struct {
+	counts [HistBuckets + 1]atomic.Uint64 // last entry is the +Inf bucket
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-add
+}
+
+// Observe records one value (seconds). Negative values are clamped to zero
+// (they can only arise from clock anomalies) so the sum stays monotone.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	if v < 0 || math.IsNaN(v) {
+		v = 0
+	}
+	i := 0
+	for i < HistBuckets && v > histBounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveNanos records one value given as a nanosecond duration.
+func (h *Histogram) ObserveNanos(ns int64) { h.Observe(float64(ns) / 1e9) }
+
+// ObserveDuration records one value given as a time.Duration. Its method
+// value satisfies observer hooks like wal.Options.SyncObserver.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// HistogramSnapshot is a point-in-time copy of a Histogram. Counts holds the
+// per-bucket (non-cumulative) counts, the final entry being the +Inf bucket.
+type HistogramSnapshot struct {
+	Counts [HistBuckets + 1]uint64
+	Count  uint64
+	Sum    float64
+}
+
+// Snapshot returns a point-in-time copy of the histogram. Buckets and the
+// total are read without a global lock, so a snapshot taken during concurrent
+// recording may be off by the in-flight observations; each field is
+// individually consistent.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = math.Float64frombits(h.sum.Load())
+	return s
+}
+
+// Quantile estimates the p-quantile (0 <= p <= 1) by linear interpolation
+// within the containing bucket. Observations in the +Inf bucket report the
+// largest finite bound. Returns 0 for an empty histogram.
+func (s HistogramSnapshot) Quantile(p float64) float64 {
+	total := uint64(0)
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(total)
+	cum := 0.0
+	lower := 0.0
+	for i, c := range s.Counts {
+		if c == 0 {
+			if i < HistBuckets {
+				lower = histBounds[i]
+			}
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next {
+			if i >= HistBuckets {
+				return histBounds[HistBuckets-1]
+			}
+			upper := histBounds[i]
+			frac := (rank - cum) / float64(c)
+			return lower + (upper-lower)*frac
+		}
+		cum = next
+		if i < HistBuckets {
+			lower = histBounds[i]
+		}
+	}
+	return histBounds[HistBuckets-1]
+}
+
+// Mean returns the arithmetic mean of the recorded values (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// FloatCounter is a monotonically increasing float-valued counter, safe for
+// concurrent use. It backs cumulative duration metrics (`*_seconds_total`)
+// where the integer Counter cannot carry fractional seconds.
+type FloatCounter struct {
+	bits atomic.Uint64
+}
+
+// Add adds v (negative deltas are ignored to keep the counter monotone).
+func (c *FloatCounter) Add(v float64) {
+	if v <= 0 || math.IsNaN(v) {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// RaiseTo raises the counter to v if v exceeds the current value. Sources
+// that already maintain a cumulative total (e.g. the trace recorder's
+// per-stage nanos) mirror it with RaiseTo at scrape time: concurrent scrapes
+// race harmlessly because the mirrored total is itself monotone.
+func (c *FloatCounter) RaiseTo(v float64) {
+	for {
+		old := c.bits.Load()
+		if v <= math.Float64frombits(old) {
+			return
+		}
+		if c.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (c *FloatCounter) Value() float64 { return math.Float64frombits(c.bits.Load()) }

@@ -1,0 +1,263 @@
+package metrics
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	bounds := BucketBounds()
+	if len(bounds) != HistBuckets {
+		t.Fatalf("BucketBounds returned %d bounds, want %d", len(bounds), HistBuckets)
+	}
+	if bounds[0] != 1e-6 {
+		t.Errorf("first bound = %g, want 1e-6", bounds[0])
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			t.Fatalf("bounds not increasing at %d: %g <= %g", i, bounds[i], bounds[i-1])
+		}
+	}
+
+	var h Histogram
+	// A value exactly on a bound lands in that bound's bucket (le is
+	// inclusive); just above it lands in the next.
+	h.Observe(bounds[0])
+	h.Observe(bounds[0] * 1.0001)
+	h.Observe(0)                         // below the first bound
+	h.Observe(-1)                        // clamped to 0
+	h.Observe(bounds[len(bounds)-1] * 2) // beyond the last finite bound
+	snap := h.Snapshot()
+	if snap.Counts[0] != 3 {
+		t.Errorf("bucket 0 = %d, want 3 (on-bound, zero and clamped negative)", snap.Counts[0])
+	}
+	if snap.Counts[1] != 1 {
+		t.Errorf("bucket 1 = %d, want 1 (just above bound 0)", snap.Counts[1])
+	}
+	if snap.Counts[HistBuckets] != 1 {
+		t.Errorf("+Inf bucket = %d, want 1", snap.Counts[HistBuckets])
+	}
+	if snap.Count != 5 {
+		t.Errorf("count = %d, want 5", snap.Count)
+	}
+	wantSum := bounds[0] + bounds[0]*1.0001 + bounds[len(bounds)-1]*2
+	if math.Abs(snap.Sum-wantSum) > 1e-12 {
+		t.Errorf("sum = %g, want %g", snap.Sum, wantSum)
+	}
+}
+
+func TestHistogramConcurrentRecording(t *testing.T) {
+	var h Histogram
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(float64(i%100) * 1e-5)
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := h.Snapshot()
+	if snap.Count != workers*perWorker {
+		t.Fatalf("count = %d, want %d", snap.Count, workers*perWorker)
+	}
+	bucketTotal := uint64(0)
+	for _, c := range snap.Counts {
+		bucketTotal += c
+	}
+	if bucketTotal != snap.Count {
+		t.Fatalf("bucket total %d != count %d", bucketTotal, snap.Count)
+	}
+	wantSum := 0.0
+	for i := 0; i < perWorker; i++ {
+		wantSum += float64(i%100) * 1e-5
+	}
+	wantSum *= workers
+	if math.Abs(snap.Sum-wantSum) > 1e-6 {
+		t.Fatalf("sum = %g, want %g", snap.Sum, wantSum)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Observe(1e-3) // all in the bucket with bound 1.024e-3
+	}
+	snap := h.Snapshot()
+	p50 := snap.Quantile(0.5)
+	if p50 < 512e-6 || p50 > 1024e-6 {
+		t.Errorf("p50 = %g, want within the (512µs, 1024µs] bucket", p50)
+	}
+	if got := snap.Quantile(0); got < 0 {
+		t.Errorf("p0 = %g, want >= 0", got)
+	}
+	if empty := (HistogramSnapshot{}); empty.Quantile(0.99) != 0 {
+		t.Errorf("empty quantile = %g, want 0", empty.Quantile(0.99))
+	}
+	// Observations beyond the last finite bound report the largest bound.
+	var h2 Histogram
+	h2.Observe(1e9)
+	if got := h2.Snapshot().Quantile(0.99); got != histBounds[HistBuckets-1] {
+		t.Errorf("overflow quantile = %g, want %g", got, histBounds[HistBuckets-1])
+	}
+}
+
+// TestHistogramPromGolden pins the Prometheus text exposition of a labelled
+// and an unlabelled histogram series: cumulative buckets, label merging with
+// `le`, the +Inf bucket equal to _count, and _sum/_count rows.
+func TestHistogramPromGolden(t *testing.T) {
+	s := NewSet()
+	h := s.Histogram(`req_seconds{session="s1"}`, "request latency")
+	h.Observe(0.5e-6) // first bucket
+	h.Observe(1.5e-6) // second bucket
+	h.Observe(1e9)    // +Inf
+
+	var b strings.Builder
+	if err := s.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	wantLines := []string{
+		"# HELP req_seconds request latency",
+		"# TYPE req_seconds histogram",
+		`req_seconds_bucket{session="s1",le="1e-06"} 1`,
+		`req_seconds_bucket{session="s1",le="2e-06"} 2`,
+		`req_seconds_bucket{session="s1",le="4e-06"} 2`,
+		`req_seconds_bucket{session="s1",le="+Inf"} 3`,
+		`req_seconds_sum{session="s1"} 1.000000000000002e+09`,
+		`req_seconds_count{session="s1"} 3`,
+	}
+	for _, want := range wantLines {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing line %q\ngot:\n%s", want, out)
+		}
+	}
+
+	// Unlabelled series keep bare _sum/_count names and carry only `le`.
+	s2 := NewSet()
+	s2.Histogram("plain_seconds", "plain").Observe(3e-6)
+	b.Reset()
+	if err := s2.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out = b.String()
+	for _, want := range []string{
+		`plain_seconds_bucket{le="4e-06"} 1`,
+		`plain_seconds_bucket{le="+Inf"} 1`,
+		"plain_seconds_sum 3e-06",
+		"plain_seconds_count 1",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing line %q\ngot:\n%s", want, out)
+		}
+	}
+}
+
+// TestHistogramBucketsCumulative walks every bucket row of an exposition and
+// asserts monotonically non-decreasing counts ending at _count.
+func TestHistogramBucketsCumulative(t *testing.T) {
+	s := NewSet()
+	h := s.Histogram("lat_seconds", "latency")
+	for i := 0; i < 500; i++ {
+		h.Observe(float64(i) * 1e-5)
+	}
+	var b strings.Builder
+	if err := s.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	prev := int64(-1)
+	rows := 0
+	for _, line := range strings.Split(b.String(), "\n") {
+		if !strings.HasPrefix(line, "lat_seconds_bucket{") {
+			continue
+		}
+		rows++
+		v, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if v < prev {
+			t.Fatalf("bucket counts not cumulative at %q (prev %d)", line, prev)
+		}
+		prev = v
+	}
+	if rows != HistBuckets+1 {
+		t.Fatalf("exposition has %d bucket rows, want %d", rows, HistBuckets+1)
+	}
+	if prev != 500 {
+		t.Fatalf("+Inf bucket = %d, want 500", prev)
+	}
+}
+
+func TestFloatCounter(t *testing.T) {
+	var c FloatCounter
+	c.Add(1.5)
+	c.Add(-2) // ignored: monotone
+	c.Add(0.5)
+	if got := c.Value(); got != 2 {
+		t.Errorf("value = %g, want 2", got)
+	}
+	c.RaiseTo(1) // below current: no-op
+	if got := c.Value(); got != 2 {
+		t.Errorf("value after RaiseTo(1) = %g, want 2", got)
+	}
+	c.RaiseTo(7.25)
+	if got := c.Value(); got != 7.25 {
+		t.Errorf("value after RaiseTo(7.25) = %g, want 7.25", got)
+	}
+}
+
+func TestSetHistogramSnapshotAndDrop(t *testing.T) {
+	s := NewSet()
+	h := s.Histogram(`h_seconds{session="s9"}`, "help")
+	h.Observe(0.25)
+	s.FloatCounter(`f_seconds_total{session="s9"}`, "help").Add(1.25)
+	snap := s.Snapshot()
+	if got := snap[`h_seconds_sum{session="s9"}`]; got != 0.25 {
+		t.Errorf("snapshot sum = %g, want 0.25", got)
+	}
+	if got := snap[`h_seconds_count{session="s9"}`]; got != 1 {
+		t.Errorf("snapshot count = %g, want 1", got)
+	}
+	if got := snap[`f_seconds_total{session="s9"}`]; got != 1.25 {
+		t.Errorf("snapshot float counter = %g, want 1.25", got)
+	}
+
+	s.DropSeries(`session="s9"}`)
+	var b strings.Builder
+	if err := s.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Errorf("exposition after DropSeries not empty:\n%s", b.String())
+	}
+}
+
+// TestHistogramObserveZeroAlloc pins the record path as allocation-free;
+// the serving layer calls Observe on every ingest and epoch.
+func TestHistogramObserveZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation assertion skipped under -race (instrumentation allocates)")
+	}
+	var h Histogram
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(3.5e-4)
+	})
+	if allocs != 0 {
+		t.Fatalf("Histogram.Observe allocates %v per call, want 0", allocs)
+	}
+	var c FloatCounter
+	allocs = testing.AllocsPerRun(1000, func() {
+		c.Add(0.001)
+	})
+	if allocs != 0 {
+		t.Fatalf("FloatCounter.Add allocates %v per call, want 0", allocs)
+	}
+}

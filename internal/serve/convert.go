@@ -202,8 +202,10 @@ func paramsFromRequest(p *api.Params) rfid.Params {
 // buildRunner turns a session-creation request into a started inference
 // runner. Both live creation and boot restore call it with the same manifest
 // bytes, so a recovered session's engine (and its checkpoint fingerprint) is
-// identical to the one that wrote the state.
-func buildRunner(req api.CreateSessionRequest) (*rfid.Runner, error) {
+// identical to the one that wrote the state. traceEpochs sizes the runner's
+// epoch-stage trace ring (0 disables tracing); it is server configuration,
+// not part of the manifest, so it never affects the fingerprint.
+func buildRunner(req api.CreateSessionRequest, traceEpochs int) (*rfid.Runner, error) {
 	world, err := worldFromRequest(req)
 	if err != nil {
 		return nil, err
@@ -212,7 +214,7 @@ func buildRunner(req api.CreateSessionRequest) (*rfid.Runner, error) {
 	// Continuous queries want a continuous clean stream, not delayed batch
 	// reports.
 	cfg.ReportPolicy = rfid.ReportEveryEpoch
-	rc := rfid.RunnerConfig{Sharded: true}
+	rc := rfid.RunnerConfig{Sharded: true, TraceEpochs: traceEpochs}
 	if eng := req.Engine; eng != nil {
 		switch {
 		case eng.ObjectParticles < 0 || eng.ObjectParticles > maxObjectParticles:

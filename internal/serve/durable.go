@@ -84,6 +84,7 @@ func (s *session) startup() error {
 		SegmentBytes: s.cfg.WALSegmentBytes,
 		Sync:         s.cfg.Fsync,
 		SyncEvery:    s.cfg.FsyncInterval,
+		SyncObserver: s.walFsyncHist.ObserveDuration,
 	})
 	if err != nil {
 		s.readyErr = fmt.Errorf("serve: session %q open wal: %w", s.id, err)
@@ -177,7 +178,7 @@ func (s *session) recoverLocked() error {
 			reg.Feed(events)
 			if err != nil {
 				s.engineErrs.Inc()
-				s.logf("replay epoch processing: %v", err)
+				s.log.Warn("replay epoch processing failed; epoch skipped", "err", err)
 			}
 			return nil
 		case wal.RecSeal:
@@ -188,7 +189,7 @@ func (s *session) recoverLocked() error {
 			}
 			if err != nil {
 				s.engineErrs.Inc()
-				s.logf("replay epoch processing: %v", err)
+				s.log.Warn("replay epoch processing failed; epoch skipped", "err", err)
 			}
 			return nil
 		case wal.RecRegister:
@@ -200,7 +201,7 @@ func (s *session) recoverLocked() error {
 			// already been evicted) fails identically here; either way the
 			// registry ends in the same state, so the error is not fatal.
 			if _, err := reg.Register(spec); err != nil {
-				s.logf("replay registration: %v", err)
+				s.log.Warn("replay registration refused (matching the live refusal)", "err", err)
 			}
 			return nil
 		case wal.RecUnregister:
@@ -260,7 +261,7 @@ func (s *session) handleRegisterOp(o op) opResult {
 	if s.wal != nil {
 		if err := s.wal.Append(wal.Record{Type: wal.RecRegister, SpecJSON: o.registerJSON}); err != nil {
 			s.engineErrs.Inc()
-			s.logf("wal register: %v", err)
+			s.log.Error("wal register append failed", "err", err)
 			return opResult{err: err}
 		}
 	}
@@ -279,7 +280,7 @@ func (s *session) handleUnregisterOp(o op) opResult {
 	if s.wal != nil {
 		if err := s.wal.Append(wal.Record{Type: wal.RecUnregister, QueryID: o.unregister}); err != nil {
 			s.engineErrs.Inc()
-			s.logf("wal unregister: %v", err)
+			s.log.Error("wal unregister append failed", "err", err)
 			return opResult{err: err}
 		}
 	}
@@ -304,7 +305,7 @@ func (s *session) maybeCheckpoint() {
 	}
 	if err := s.writeCheckpoint(); err != nil {
 		s.engineErrs.Inc()
-		s.logf("checkpoint: %v", err)
+		s.log.Error("checkpoint write failed", "err", err)
 	}
 }
 
@@ -312,6 +313,7 @@ func (s *session) maybeCheckpoint() {
 // persists the checkpoint atomically; on success older checkpoints and fully
 // covered WAL segments are garbage-collected. Pinned worker only.
 func (s *session) writeCheckpoint() error {
+	t0 := time.Now()
 	r, reg := s.eng.Load(), s.reg.Load()
 	seg, err := s.wal.Rotate()
 	if err != nil {
@@ -336,6 +338,7 @@ func (s *session) writeCheckpoint() error {
 	if _, err := checkpoint.Write(s.cfg.DataDir, snap); err != nil {
 		return err
 	}
+	s.ckptHist.ObserveDuration(time.Since(t0))
 	s.epochsAtCkpt = int64(r.Stats().Epochs)
 	s.lastCkptEpoch.Store(int64(epoch))
 	s.lastCkptNanos.Store(time.Now().UnixNano())
@@ -344,10 +347,10 @@ func (s *session) writeCheckpoint() error {
 	// checkpoint supersedes.
 	_ = s.wal.Append(wal.Record{Type: wal.RecCheckpoint, Epoch: epoch})
 	if err := checkpoint.Prune(s.cfg.DataDir, s.cfg.KeepCheckpoints); err != nil {
-		s.logf("prune checkpoints: %v", err)
+		s.log.Warn("pruning old checkpoints failed", "err", err)
 	}
 	if err := s.wal.RemoveSegmentsBefore(seg); err != nil {
-		s.logf("prune wal segments: %v", err)
+		s.log.Warn("pruning covered wal segments failed", "err", err)
 	}
 	return nil
 }
@@ -365,11 +368,11 @@ func (s *session) shutdownDurable() {
 	}
 	if st := r.Stats(); st.BufferedEpochs > 0 {
 		if err := s.logSeal(st.Watermark, false); err != nil {
-			s.logf("shutdown seal log: %v", err)
+			s.log.Error("logging the shutdown seal failed", "err", err)
 		}
 		events, err := r.SealTo(st.Watermark)
 		if err != nil {
-			s.logf("shutdown seal: %v", err)
+			s.log.Warn("sealing at shutdown failed", "err", err)
 		}
 		rows := s.reg.Load().Feed(events)
 		s.events.Add(len(events))
@@ -377,10 +380,10 @@ func (s *session) shutdownDurable() {
 	}
 	if s.wal != nil {
 		if err := s.writeCheckpoint(); err != nil {
-			s.logf("final checkpoint: %v", err)
+			s.log.Error("final checkpoint failed", "err", err)
 		}
 		if err := s.wal.Close(); err != nil {
-			s.logf("close wal: %v", err)
+			s.log.Error("closing wal failed", "err", err)
 		}
 		s.wal = nil
 	}

@@ -42,7 +42,8 @@ type residency struct {
 	evictedG    *metrics.Gauge
 	evictions   *metrics.Counter
 	hydrations  *metrics.Counter
-	hydrateMS   *metrics.Counter
+	hydrateSecs *metrics.FloatCounter
+	hydrateHist *metrics.Histogram
 	hydrateLast *metrics.Gauge
 	hydrateMax  *metrics.Gauge
 }
@@ -56,7 +57,8 @@ func newResidency(max int, set *metrics.Set) *residency {
 		evictedG:    set.Gauge("rfidserve_evicted_sessions", "sessions evicted to their on-disk checkpoint, awaiting first touch"),
 		evictions:   set.Counter("rfidserve_evictions_total", "sessions evicted to disk by the resident-set LRU"),
 		hydrations:  set.Counter("rfidserve_hydrations_total", "evicted sessions restored on first touch"),
-		hydrateMS:   set.Counter("rfidserve_hydration_ms_total", "cumulative milliseconds spent hydrating evicted sessions"),
+		hydrateSecs: set.FloatCounter("rfidserve_hydration_seconds_total", "cumulative seconds spent hydrating evicted sessions"),
+		hydrateHist: set.Histogram("rfidserve_hydration_seconds", "hydration latency (manifest rebuild + checkpoint restore + WAL replay)"),
 		hydrateLast: set.Gauge("rfidserve_hydration_last_seconds", "duration of the most recent hydration"),
 		hydrateMax:  set.Gauge("rfidserve_hydration_max_seconds", "slowest hydration observed"),
 	}
@@ -152,7 +154,8 @@ func (rs *residency) noteHydrated(s *session, d time.Duration) {
 		rs.elems[s] = rs.order.PushFront(s)
 	}
 	rs.hydrations.Inc()
-	rs.hydrateMS.Add(int(d.Milliseconds()))
+	rs.hydrateSecs.Add(d.Seconds())
+	rs.hydrateHist.ObserveDuration(d)
 	rs.hydrateLast.Set(d.Seconds())
 	rs.hydrateMax.SetMax(d.Seconds())
 	rs.gaugesLocked()
@@ -211,12 +214,12 @@ func (s *session) handleEvictOp() opResult {
 	}
 	if err := s.writeCheckpoint(); err != nil {
 		s.engineErrs.Inc()
-		s.logf("evict checkpoint: %v", err)
+		s.log.Error("eviction checkpoint failed; session stays resident", "err", err)
 		return opResult{err: err}
 	}
 	s.syncWALMetrics()
 	if err := s.wal.Close(); err != nil {
-		s.logf("evict close wal: %v", err)
+		s.log.Error("closing wal at eviction failed", "err", err)
 	}
 	s.wal = nil
 	// A fresh wal.Log counts appends from zero; reset the delta mirror so the
@@ -240,8 +243,9 @@ func (s *session) handleEvictOp() opResult {
 func (s *session) hydrate() error {
 	start := time.Now()
 	s.state.Store(int32(stateRecovering))
-	runner, err := buildRunner(*s.manifest)
+	runner, err := buildRunner(*s.manifest, s.cfg.TraceEpochs)
 	if err == nil {
+		s.observeRunner(runner)
 		reg := query.NewRegistry(s.cfg.MaxBufferedResults)
 		reg.SetHistorySource(runner)
 		s.eng.Store(runner)
@@ -254,6 +258,7 @@ func (s *session) hydrate() error {
 			SegmentBytes: s.cfg.WALSegmentBytes,
 			Sync:         s.cfg.Fsync,
 			SyncEvery:    s.cfg.FsyncInterval,
+			SyncObserver: s.walFsyncHist.ObserveDuration,
 		})
 	}
 	if err != nil {
@@ -264,7 +269,12 @@ func (s *session) hydrate() error {
 	s.wal = lg
 	s.lastWal = wal.Stats{}
 	s.state.Store(int32(stateServing))
-	s.res.noteHydrated(s, time.Since(start))
+	d := time.Since(start)
+	s.res.noteHydrated(s, d)
+	if slow := s.cfg.SlowHydration; slow > 0 && d >= slow {
+		s.log.Warn("slow hydration", "took", d,
+			"replayed_records", s.replayedRecords.Value())
+	}
 	return nil
 }
 

@@ -151,7 +151,7 @@ func (s *session) dispatch() {
 	}
 	if !s.started.Load() {
 		if err := s.startup(); err != nil {
-			s.logf("%v", err)
+			s.log.Error("startup failed", "err", err)
 			// Keep draining ops so clients get errors instead of hangs.
 		}
 		s.started.Store(true)
@@ -188,7 +188,7 @@ func (s *session) dispatch() {
 			// is the bug the DELETE fast path exists to avoid.
 			if !o.shutdown && serverState(s.state.Load()) == stateEvicted {
 				if err := s.hydrate(); err != nil {
-					s.logf("%v", err)
+					s.log.Error("hydration failed", "err", err)
 				}
 			}
 			res := s.handleOp(o)

@@ -55,7 +55,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -127,6 +127,24 @@ type Config struct {
 	// queue (default GOMAXPROCS). The pool size affects only throughput, never
 	// results: each session is pinned to at most one worker at a time.
 	SchedWorkers int
+
+	// TraceEpochs, when > 0, enables epoch-stage tracing on every session:
+	// each sealed epoch's per-stage timings (decode, prologue, step, estimate,
+	// query-eval, WAL append, seal) are retained in a bounded per-session ring
+	// served by GET /v1/sessions/{sid}/trace, and the cumulative per-stage
+	// breakdown is exposed on /metrics. Zero disables tracing entirely — the
+	// kill switch; tracing never changes results.
+	TraceEpochs int
+	// SlowEpoch, when > 0, logs a warning whenever a sealed epoch's wall time
+	// exceeds it (requires TraceEpochs > 0).
+	SlowEpoch time.Duration
+	// SlowHydration, when > 0, logs a warning whenever restoring an evicted
+	// session takes longer than it.
+	SlowHydration time.Duration
+	// Logger receives the server's structured operational log records; nil
+	// uses slog.Default(). Every session-scoped record carries a "session"
+	// attribute.
+	Logger *slog.Logger
 	// MaxResident, when > 0, bounds how many durable API-created sessions keep
 	// their engine resident in memory: idle sessions past the LRU threshold
 	// are evicted to their checkpoint + manifest on disk and transparently
@@ -157,6 +175,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.MaxLongPollWait <= 0 {
 		c.MaxLongPollWait = 60 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
 	}
 }
 
@@ -290,7 +311,8 @@ func (sv *Server) restoreSessions() error {
 			// Not a session directory (or a delete that removed the manifest
 			// but not yet the directory). Skip, but say so: if this was a
 			// session, its WAL data is being left behind deliberately.
-			log.Printf("serve: ignoring %s: no %s", filepath.Join(sv.sessionsRoot(), id), manifestName)
+			sv.cfg.Logger.Warn("ignoring directory without a session manifest",
+				"dir", filepath.Join(sv.sessionsRoot(), id), "missing", manifestName)
 			continue
 		}
 		if err != nil {
@@ -371,7 +393,7 @@ func (sv *Server) addSession(req api.CreateSessionRequest, restoring bool) (*ses
 		sv.res.residentCount() >= sv.cfg.MaxResident
 	var runner *rfid.Runner
 	if !lazy {
-		runner, err = buildRunner(req)
+		runner, err = buildRunner(req, sv.cfg.TraceEpochs)
 		if err != nil {
 			return nil, err
 		}
@@ -488,14 +510,16 @@ func (sv *Server) removeSession(id string) error {
 		} else {
 			checkpoint.SyncDir(dir)
 			if err := os.RemoveAll(dir); err != nil {
-				sess.logf("delete session dir: %v", err)
+				sess.log.Error("deleting session directory failed", "err", err)
 			}
 		}
 	}
 	// Retire the session's metric series: stale series must not linger on
 	// /metrics, and a re-created session with the same id must start its
 	// counters from zero rather than inheriting the dead session's values.
-	sv.set.DropSeries(sess.label)
+	// The leading brace is stripped so the suffix also matches series that
+	// carry an extra label before the session label (the per-stage counters).
+	sv.set.DropSeries(strings.TrimPrefix(sess.label, "{"))
 	sv.mu.Lock()
 	delete(sv.deleting, id)
 	sv.mu.Unlock()
@@ -606,6 +630,8 @@ func (sv *Server) routes() {
 	sv.mux.HandleFunc("GET /v1/sessions/{sid}/queries", sv.withSession(sv.handleList))
 	sv.mux.HandleFunc("GET /v1/sessions/{sid}/queries/{id}/results", sv.withSession(sv.handleResults))
 	sv.mux.HandleFunc("DELETE /v1/sessions/{sid}/queries/{id}", sv.withSession(sv.handleUnregister))
+	sv.mux.HandleFunc("GET /v1/sessions/{sid}/trace", sv.withSession(sv.handleTrace))
+	sv.mux.HandleFunc("GET /v1/sessions/{sid}/stats", sv.withSession(sv.handleSessionStats))
 	sv.mux.HandleFunc("GET /v1/metrics", sv.handleMetrics)
 	sv.mux.HandleFunc("GET /v1/healthz", sv.handleHealthz)
 
@@ -699,7 +725,7 @@ func (sv *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		// must not keep occupying its id and a MaxSessions slot (a retry
 		// would otherwise 409 against a session that "was never created").
 		if rerr := sv.removeSession(sess.id); rerr != nil {
-			sess.logf("rollback of failed create: %v", rerr)
+			sess.log.Error("rollback of failed create left the session registered", "err", rerr)
 		}
 		writeError(w, http.StatusInternalServerError, api.ErrInternal, "session failed to start: %v", err)
 		return
@@ -806,6 +832,7 @@ func (sv *Server) sessionToAPI(s *session) api.Session {
 // to IngestWait for space; 503 signals backpressure and the client should
 // retry.
 func (sv *Server) handleIngest(w http.ResponseWriter, r *http.Request, sess *session) {
+	t0 := time.Now()
 	if sv.closed.Load() || sess.closed.Load() {
 		writeError(w, http.StatusServiceUnavailable, api.ErrUnavailable, "session is shutting down")
 		return
@@ -847,6 +874,9 @@ func (sv *Server) handleIngest(w http.ResponseWriter, r *http.Request, sess *ses
 		}
 	}
 	sess.batches.Inc()
+	// Arrival-to-ack latency; under durability the ack waited for the WAL, so
+	// this histogram is the end-to-end durability cost the client observes.
+	sess.ingestHist.ObserveDuration(time.Since(t0))
 	writeJSON(w, http.StatusAccepted, api.IngestResponse{
 		Queued:     true,
 		Durable:    sess.durable(),
@@ -1072,7 +1102,8 @@ func (sv *Server) handleResults(w http.ResponseWriter, r *http.Request, sess *se
 		wait = d
 	}
 	id := r.PathValue("id")
-	deadline := time.Now().Add(wait)
+	t0 := time.Now()
+	deadline := t0.Add(wait)
 	for {
 		// Grab the notify channel BEFORE reading the registry so a result
 		// buffered between the read and the wait still wakes this poller. The
@@ -1097,6 +1128,9 @@ func (sv *Server) handleResults(w http.ResponseWriter, r *http.Request, sess *se
 				writeError(w, http.StatusInternalServerError, api.ErrInternal, "encode results: %v", merr)
 				return
 			}
+			// Delivery latency including any long-poll wait: the time a
+			// result reader actually spent blocked on this endpoint.
+			sess.longpollHist.ObserveDuration(time.Since(t0))
 			writeJSON(w, http.StatusOK, api.ResultsPage{Query: infoToAPI(info), Results: rows})
 			return
 		}

@@ -2,13 +2,14 @@ package serve
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/query"
+	"repro/internal/trace"
 	"repro/internal/wal"
 	"repro/rfid"
 	"repro/rfid/api"
@@ -133,6 +134,7 @@ type session struct {
 	lastStats atomic.Pointer[cachedStats]
 
 	set   *metrics.Set // shared with the server; series are label-suffixed
+	log   *slog.Logger // structured logger, pre-tagged with the session id
 	start time.Time
 
 	// resultNotify is closed and replaced whenever new query results were
@@ -193,12 +195,19 @@ type session struct {
 	buffered    *metrics.Gauge
 	epochsRate  *metrics.Gauge
 	lastEpochsN int64 // pinned-worker-local: epochs seen at last delta
-}
 
-// logf routes the session's operational log lines (one indirection point so
-// the whole durability path logs consistently, with the session id).
-func (s *session) logf(format string, args ...any) {
-	log.Printf("serve[%s]: %v", s.id, fmt.Sprintf(format, args...))
+	// latency histograms (lock-free; observed from handlers and the pinned
+	// worker without coordination)
+	ingestHist   *metrics.Histogram
+	longpollHist *metrics.Histogram
+	walFsyncHist *metrics.Histogram
+	ckptHist     *metrics.Histogram
+	epochHist    *metrics.Histogram
+
+	// stageCum mirrors the trace recorder's cumulative per-stage totals into
+	// Prometheus counters at scrape time (RaiseTo keeps them monotone across
+	// evict/hydrate cycles, where the recorder restarts from zero).
+	stageCum [trace.NumStages]*metrics.FloatCounter
 }
 
 // series suffixes a metric name with the session's label so every session
@@ -259,6 +268,7 @@ func newSession(id, label string, cfg Config, deps sessionDeps, manifest *api.Cr
 		return nil, fmt.Errorf("serve: session %q has no runner", id)
 	}
 	s := buildSession(id, label, cfg, deps, manifest)
+	s.observeRunner(cfg.Runner)
 	s.eng.Store(cfg.Runner)
 	reg := query.NewRegistry(cfg.MaxBufferedResults)
 	// History-mode queries evaluate over the runner's time-travel ring (it
@@ -304,6 +314,7 @@ func buildSession(id, label string, cfg Config, deps sessionDeps, manifest *api.
 		res:          deps.res,
 		start:        time.Now(),
 	}
+	s.log = cfg.Logger.With("session", id)
 	s.lastCkptEpoch.Store(-1)
 	s.recoveredEpoch.Store(-1)
 	s.engineErrs = s.counter("rfidserve_engine_errors_total", "epoch-processing errors (failing epochs are skipped)")
@@ -330,6 +341,15 @@ func buildSession(id, label string, cfg Config, deps sessionDeps, manifest *api.
 	s.particles = s.gauge("rfidserve_particles", "particles currently alive in the engine")
 	s.buffered = s.gauge("rfidserve_buffered_epochs", "ingested epochs not yet processed")
 	s.epochsRate = s.gauge("rfidserve_epochs_per_second", "average epoch processing rate since start")
+	s.ingestHist = s.histogram("rfidserve_ingest_seconds", "ingest request latency from arrival to 202 ack")
+	s.longpollHist = s.histogram("rfidserve_longpoll_seconds", "long-poll results delivery latency (wait included)")
+	s.walFsyncHist = s.histogram("rfidserve_wal_fsync_seconds", "write-ahead-log fsync latency")
+	s.ckptHist = s.histogram("rfidserve_checkpoint_write_seconds", "durable checkpoint write latency")
+	s.epochHist = s.histogram("rfidserve_epoch_seconds", "wall time per sealed epoch (tracing must be enabled)")
+	for st := trace.Stage(0); st < trace.NumStages; st++ {
+		s.stageCum[st] = s.set.FloatCounter(s.stageSeries(st.String()),
+			"cumulative seconds spent per epoch-processing stage")
+	}
 	return s
 }
 
@@ -339,6 +359,44 @@ func (s *session) counter(name, help string) *metrics.Counter {
 
 func (s *session) gauge(name, help string) *metrics.Gauge {
 	return s.set.Gauge(s.series(name), help)
+}
+
+func (s *session) histogram(name, help string) *metrics.Histogram {
+	return s.set.Histogram(s.series(name), help)
+}
+
+// stageSeries builds the per-stage counter series. The stage label comes
+// FIRST so every series of a session keeps the `session="id"}` suffix that
+// removeSession drops by.
+func (s *session) stageSeries(stage string) string {
+	if s.label == "" {
+		return fmt.Sprintf(`rfidserve_epoch_stage_seconds_total{stage=%q}`, stage)
+	}
+	return fmt.Sprintf(`rfidserve_epoch_stage_seconds_total{stage=%q,%s`, stage, s.label[1:])
+}
+
+// observeRunner wires a freshly resident runner's trace recorder into the
+// session's metric surface: every committed epoch lands in the epoch-latency
+// histogram and epochs slower than cfg.SlowEpoch are logged. Called wherever
+// a runner becomes resident (creation, recovery, hydration). The hook runs
+// under the runner's mutex on the pinned worker, so it must stay cheap and
+// must not call back into the runner.
+func (s *session) observeRunner(r *rfid.Runner) {
+	rec := r.TraceRecorder()
+	if rec == nil {
+		return
+	}
+	slow := s.cfg.SlowEpoch
+	rec.SetOnCommit(func(et trace.EpochTrace) {
+		s.epochHist.ObserveNanos(int64(et.Wall))
+		if slow > 0 && et.Wall >= slow {
+			s.log.Warn("slow epoch",
+				"epoch", et.Epoch,
+				"wall", et.Wall,
+				"step", et.Stages[trace.StageStep],
+				"estimate", et.Stages[trace.StageEstimate])
+		}
+	})
 }
 
 // resultsChan returns the channel long-poll readers wait on; it is closed (and
@@ -420,11 +478,11 @@ func (s *session) close() {
 		select {
 		case <-done:
 		case <-time.After(30 * time.Second):
-			s.logf("graceful shutdown timed out; forcing")
+			s.log.Warn("graceful shutdown timed out; forcing")
 		}
 	default:
 		// Queue full (or the pool wedged): skip the graceful pass.
-		s.logf("op queue full at shutdown; skipping final checkpoint")
+		s.log.Warn("op queue full at shutdown; skipping final checkpoint")
 	}
 	s.halted.Store(true)
 	close(s.quit)
@@ -434,7 +492,7 @@ func (s *session) close() {
 	// unpinned, so this is the only writer left).
 	if s.wal != nil {
 		if err := s.wal.Close(); err != nil {
-			s.logf("close wal: %v", err)
+			s.log.Error("closing wal failed", "err", err)
 		}
 		s.wal = nil
 	}
@@ -481,7 +539,7 @@ func (s *session) handleOp(o op) opResult {
 		// closed, so applying (and worse, acking) it would lose the data on
 		// the next restart.
 		if o.done == nil {
-			s.logf("dropping op queued behind shutdown")
+			s.log.Warn("dropping op queued behind shutdown")
 		}
 		return opResult{err: fmt.Errorf("session is shut down")}
 	}
@@ -509,12 +567,17 @@ func (s *session) handleOp(o op) opResult {
 	}
 	var events []rfid.Event
 	var err error
+	rec := r.TraceRecorder()
 	if o.ingest { // ingest batch
+		var tWAL time.Time
+		if rec != nil && s.wal != nil {
+			tWAL = time.Now()
+		}
 		if werr := s.logBatch(o); werr != nil {
 			// Write-ahead failed: refuse the batch rather than accept data
 			// that would vanish on crash.
 			s.engineErrs.Inc()
-			s.logf("wal append: %v", werr)
+			s.log.Error("wal append failed", "err", werr)
 			if o.sb != nil {
 				// A stream batch has no done channel; the refusal terminates
 				// the stream instead (the batch stays unacknowledged, so the
@@ -522,6 +585,9 @@ func (s *session) handleOp(o op) opResult {
 				o.sb.conn.fatal(api.ErrInternal, fmt.Sprintf("wal append: %v", werr), 0)
 			}
 			return opResult{err: werr}
+		}
+		if !tWAL.IsZero() {
+			rec.Add(trace.StageWALAppend, time.Since(tWAL))
 		}
 		rep := r.Ingest(o.readings, o.locations)
 		s.readings.Add(rep.Readings)
@@ -541,10 +607,17 @@ func (s *session) handleOp(o op) opResult {
 		// sealed, or the queries' held-back windows will be flushed (which
 		// mutates operator state and result sequences, so it must replay).
 		if st := r.Stats(); st.Watermark >= st.NextEpoch || o.flushWindows {
+			var tWAL time.Time
+			if rec != nil && s.wal != nil {
+				tWAL = time.Now()
+			}
 			if werr := s.logSeal(st.Watermark, o.flushWindows); werr != nil {
 				s.engineErrs.Inc()
-				s.logf("wal seal: %v", werr)
+				s.log.Error("wal seal failed", "err", werr)
 				return opResult{err: werr}
+			}
+			if !tWAL.IsZero() {
+				rec.Add(trace.StageWALAppend, time.Since(tWAL))
 			}
 		}
 		events, err = r.Flush()
@@ -553,11 +626,20 @@ func (s *session) handleOp(o op) opResult {
 		// The runner skips failing epochs rather than wedging the stream;
 		// surface the failure on the error counter (and to flush callers).
 		s.engineErrs.Inc()
-		s.logf("epoch processing: %v", err)
+		s.log.Warn("epoch processing failed; epoch skipped", "err", err)
+	}
+	var tEval time.Time
+	if rec != nil {
+		tEval = time.Now()
 	}
 	rows := reg.Feed(events)
 	if o.flushWindows {
 		rows += reg.FlushAll()
+	}
+	if rec != nil {
+		// Query evaluation runs on the events of epochs that already sealed,
+		// so the time lands on the most recently committed trace.
+		rec.AddToLast(trace.StageQueryEval, time.Since(tEval))
 	}
 	s.events.Add(len(events))
 	s.results.Add(rows)
@@ -609,6 +691,14 @@ func (s *session) scrapeGauges() {
 	s.ckptEpoch.Set(float64(s.lastCkptEpoch.Load()))
 	if nanos := s.lastCkptNanos.Load(); nanos > 0 {
 		s.ckptAge.Set(time.Since(time.Unix(0, nanos)).Seconds())
+	}
+	if r := s.eng.Load(); r != nil {
+		if rec := r.TraceRecorder(); rec != nil {
+			cum := rec.CumulativeStages()
+			for st, fc := range s.stageCum {
+				fc.RaiseTo(cum[st].Seconds())
+			}
+		}
 	}
 }
 

@@ -399,7 +399,7 @@ func (sv *Server) streamReadLoop(sess *session, sc *streamConn, r *bufio.Reader,
 				if errors.Is(err, wire.ErrFrameCRC) {
 					sc.fatal(api.ErrBadRequest, "frame checksum mismatch", 0)
 				}
-				sess.logf("stream read: %v", err)
+				sess.log.Warn("stream read error", "err", err)
 			}
 			return
 		}

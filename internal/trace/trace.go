@@ -1,0 +1,255 @@
+// Package trace records per-epoch stage timings for the inference pipeline.
+//
+// A Recorder is threaded through the runner and engine: the hot path calls
+// Add as each stage of an epoch completes and Commit when the epoch seals,
+// which moves the accumulated stage durations into a preallocated bounded
+// ring (oldest epochs evicted) and into cumulative per-stage totals. The
+// record path performs zero heap allocations; snapshots (the read path
+// behind GET /trace) allocate freely.
+//
+// A nil *Recorder is a valid recorder that records nothing — the kill
+// switch (-trace-epochs 0) simply never constructs one, so call sites need
+// no branches.
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stage identifies one stage of the epoch pipeline.
+type Stage uint8
+
+// The stages of a sealed epoch, in pipeline order: decode (draining and
+// synchronizing buffered raw records into epoch views), prologue (observed-
+// object extraction and Case-1/Case-2 active-set selection), step (the
+// particle-filter update, spatial-index maintenance and belief compression),
+// estimate (event reporting and posterior estimates), query-eval (feeding
+// the clean events through the continuous-query registry), wal-append
+// (durability logging of the batches that fed the epoch) and seal (history
+// snapshot and watermark bookkeeping).
+const (
+	StageDecode Stage = iota
+	StagePrologue
+	StageStep
+	StageEstimate
+	StageQueryEval
+	StageWALAppend
+	StageSeal
+	NumStages
+)
+
+// stageNames uses Prometheus-friendly snake_case; String and the JSON
+// surfaces share it.
+var stageNames = [NumStages]string{
+	"decode", "prologue", "step", "estimate", "query_eval", "wal_append", "seal",
+}
+
+// String returns the stage's snake_case name.
+func (s Stage) String() string {
+	if s < NumStages {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// StageNames returns the snake_case names of all stages in pipeline order.
+func StageNames() []string {
+	out := make([]string, NumStages)
+	copy(out, stageNames[:])
+	return out
+}
+
+// EpochTrace is the recorded timing of one sealed epoch.
+type EpochTrace struct {
+	// Epoch is the epoch time that was sealed.
+	Epoch int
+	// Wall is the wall-clock time of the whole epoch (ProcessEpoch plus
+	// seal), which can exceed the sum of the recorded stages.
+	Wall time.Duration
+	// Stages holds the per-stage durations, indexed by Stage.
+	Stages [NumStages]time.Duration
+}
+
+// Recorder accumulates stage timings and retains the last N sealed epochs in
+// a bounded ring. All methods are safe for concurrent use and safe on a nil
+// receiver (no-ops), which is how tracing is disabled.
+type Recorder struct {
+	mu      sync.Mutex
+	pending [NumStages]time.Duration // accumulated since the last Commit
+	ring    []EpochTrace             // preallocated circular buffer
+	start   int                      // index of the oldest entry
+	n       int                      // live entries
+	last    int                      // index of the newest entry (valid when n > 0)
+
+	epochs   atomic.Int64                     // total epochs committed
+	cumWall  atomic.Int64                     // cumulative wall nanos
+	cum      [NumStages]atomic.Int64          // cumulative stage nanos
+	onCommit atomic.Pointer[func(EpochTrace)] // scrape-side hook
+}
+
+// New returns a Recorder retaining the last capacity sealed epochs; a
+// capacity <= 0 returns nil (tracing disabled).
+func New(capacity int) *Recorder {
+	if capacity <= 0 {
+		return nil
+	}
+	return &Recorder{ring: make([]EpochTrace, capacity)}
+}
+
+// Enabled reports whether the recorder records anything.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Capacity returns the ring capacity (0 when disabled).
+func (r *Recorder) Capacity() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.ring)
+}
+
+// Add accrues d against the given stage of the epoch currently being
+// processed; the accrual lands in the next Commit. Stage durations for work
+// that happens between epochs (decode of a multi-epoch drain, WAL appends of
+// the batches feeding the next seal) accrue the same way and are attributed
+// to the next sealed epoch.
+func (r *Recorder) Add(s Stage, d time.Duration) {
+	if r == nil || s >= NumStages || d <= 0 {
+		return
+	}
+	r.mu.Lock()
+	r.pending[s] += d
+	r.mu.Unlock()
+}
+
+// AddToLast accrues d against a stage of the most recently committed epoch —
+// for stages that run after the epoch sealed (query evaluation happens on
+// the emitted events). With no committed epoch yet it accrues as Add does.
+func (r *Recorder) AddToLast(s Stage, d time.Duration) {
+	if r == nil || s >= NumStages || d <= 0 {
+		return
+	}
+	r.mu.Lock()
+	committed := r.n > 0
+	if committed {
+		r.ring[r.last].Stages[s] += d
+		r.ring[r.last].Wall += d
+	} else {
+		r.pending[s] += d
+	}
+	r.mu.Unlock()
+	if committed {
+		// Pending accruals reach the cumulative totals at Commit; a
+		// post-seal accrual reaches them here.
+		r.cum[s].Add(int64(d))
+		r.cumWall.Add(int64(d))
+	}
+}
+
+// Commit seals the pending stage accruals into one EpochTrace for the given
+// epoch, appends it to the ring (evicting the oldest entry when full) and
+// updates the cumulative totals. The commit hook, when set, is invoked with
+// the sealed trace after the ring update.
+func (r *Recorder) Commit(epoch int, wall time.Duration) {
+	if r == nil {
+		return
+	}
+	if wall < 0 {
+		wall = 0
+	}
+	r.mu.Lock()
+	var et EpochTrace
+	et.Epoch = epoch
+	et.Wall = wall
+	for i := range r.pending {
+		et.Stages[i] = r.pending[i]
+		r.pending[i] = 0
+	}
+	pos := (r.start + r.n) % len(r.ring)
+	if r.n == len(r.ring) {
+		pos = r.start
+		r.start = (r.start + 1) % len(r.ring)
+	} else {
+		r.n++
+	}
+	r.ring[pos] = et
+	r.last = pos
+	r.mu.Unlock()
+
+	r.epochs.Add(1)
+	r.cumWall.Add(int64(wall))
+	for i := range et.Stages {
+		if et.Stages[i] > 0 {
+			r.cum[i].Add(int64(et.Stages[i]))
+		}
+	}
+	if cb := r.onCommit.Load(); cb != nil {
+		(*cb)(et)
+	}
+}
+
+// SetOnCommit installs a hook invoked after every Commit with the sealed
+// trace (nil clears it). The hook runs on the epoch-processing goroutine,
+// possibly under the runner's lock: it must be fast, must not block, and
+// must not call back into the runner or recorder write paths.
+func (r *Recorder) SetOnCommit(fn func(EpochTrace)) {
+	if r == nil {
+		return
+	}
+	if fn == nil {
+		r.onCommit.Store(nil)
+		return
+	}
+	r.onCommit.Store(&fn)
+}
+
+// Snapshot returns up to n of the most recently committed epochs, oldest
+// first (all retained epochs when n <= 0 or exceeds the ring). The read path
+// allocates; the record path never does.
+func (r *Recorder) Snapshot(n int) []EpochTrace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	count := r.n
+	if n > 0 && n < count {
+		count = n
+	}
+	out := make([]EpochTrace, count)
+	for i := 0; i < count; i++ {
+		// The newest `count` entries, oldest of them first.
+		idx := (r.start + r.n - count + i) % len(r.ring)
+		out[i] = r.ring[idx]
+	}
+	return out
+}
+
+// Epochs returns the total number of committed epochs.
+func (r *Recorder) Epochs() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.epochs.Load()
+}
+
+// CumulativeWall returns the cumulative epoch wall time.
+func (r *Recorder) CumulativeWall() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return time.Duration(r.cumWall.Load())
+}
+
+// CumulativeStages returns the cumulative per-stage durations.
+func (r *Recorder) CumulativeStages() [NumStages]time.Duration {
+	var out [NumStages]time.Duration
+	if r == nil {
+		return out
+	}
+	for i := range r.cum {
+		out[i] = time.Duration(r.cum[i].Load())
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	r.Add(StageStep, time.Millisecond)
+	r.AddToLast(StageQueryEval, time.Millisecond)
+	r.Commit(1, time.Millisecond)
+	r.SetOnCommit(func(EpochTrace) {})
+	if got := r.Snapshot(10); got != nil {
+		t.Fatalf("nil snapshot = %v, want nil", got)
+	}
+	if r.Epochs() != 0 || r.CumulativeWall() != 0 || r.Capacity() != 0 {
+		t.Fatal("nil recorder reports non-zero totals")
+	}
+	if New(0) != nil || New(-3) != nil {
+		t.Fatal("New with capacity <= 0 should return nil (tracing disabled)")
+	}
+}
+
+func TestRecorderCommitAndSnapshot(t *testing.T) {
+	r := New(8)
+	r.Add(StageDecode, 2*time.Millisecond)
+	r.Add(StageStep, 3*time.Millisecond)
+	r.Add(StageStep, time.Millisecond) // accrues onto the same stage
+	r.Commit(7, 10*time.Millisecond)
+
+	got := r.Snapshot(0)
+	if len(got) != 1 {
+		t.Fatalf("snapshot has %d epochs, want 1", len(got))
+	}
+	et := got[0]
+	if et.Epoch != 7 || et.Wall != 10*time.Millisecond {
+		t.Fatalf("epoch = %d wall = %v, want 7 / 10ms", et.Epoch, et.Wall)
+	}
+	if et.Stages[StageDecode] != 2*time.Millisecond || et.Stages[StageStep] != 4*time.Millisecond {
+		t.Fatalf("stages = %v", et.Stages)
+	}
+	if et.Stages[StageEstimate] != 0 {
+		t.Fatalf("untouched stage non-zero: %v", et.Stages[StageEstimate])
+	}
+
+	// Pending is reset by Commit: the next epoch starts clean.
+	r.Add(StagePrologue, time.Millisecond)
+	r.Commit(8, 2*time.Millisecond)
+	got = r.Snapshot(0)
+	if len(got) != 2 {
+		t.Fatalf("snapshot has %d epochs, want 2", len(got))
+	}
+	if got[1].Stages[StageStep] != 0 {
+		t.Fatalf("stage accrual leaked across Commit: %v", got[1].Stages)
+	}
+
+	if r.Epochs() != 2 {
+		t.Fatalf("epochs = %d, want 2", r.Epochs())
+	}
+	if r.CumulativeWall() != 12*time.Millisecond {
+		t.Fatalf("cumulative wall = %v, want 12ms", r.CumulativeWall())
+	}
+	cum := r.CumulativeStages()
+	if cum[StageStep] != 4*time.Millisecond || cum[StagePrologue] != time.Millisecond {
+		t.Fatalf("cumulative stages = %v", cum)
+	}
+}
+
+// TestRecorderRingEviction pins the bounded-ring behaviour: only the newest
+// `capacity` epochs are retained, oldest first, and Snapshot(n) clamps.
+func TestRecorderRingEviction(t *testing.T) {
+	r := New(4)
+	for ep := 0; ep < 10; ep++ {
+		r.Add(StageStep, time.Duration(ep+1)*time.Millisecond)
+		r.Commit(ep, time.Duration(ep+1)*time.Millisecond)
+	}
+	got := r.Snapshot(0)
+	if len(got) != 4 {
+		t.Fatalf("snapshot has %d epochs, want ring capacity 4", len(got))
+	}
+	for i, et := range got {
+		if want := 6 + i; et.Epoch != want {
+			t.Fatalf("snapshot[%d].Epoch = %d, want %d (oldest evicted)", i, et.Epoch, want)
+		}
+	}
+
+	// Snapshot(n) returns the newest n, oldest of them first.
+	got = r.Snapshot(2)
+	if len(got) != 2 || got[0].Epoch != 8 || got[1].Epoch != 9 {
+		t.Fatalf("Snapshot(2) = %+v, want epochs 8,9", got)
+	}
+	// n beyond the retained window clamps to the ring.
+	if got := r.Snapshot(100); len(got) != 4 {
+		t.Fatalf("Snapshot(100) has %d epochs, want 4", len(got))
+	}
+	// Cumulative totals cover evicted epochs too.
+	if r.Epochs() != 10 {
+		t.Fatalf("epochs = %d, want 10", r.Epochs())
+	}
+	if want := 55 * time.Millisecond; r.CumulativeStages()[StageStep] != want {
+		t.Fatalf("cumulative step = %v, want %v", r.CumulativeStages()[StageStep], want)
+	}
+}
+
+func TestRecorderAddToLast(t *testing.T) {
+	r := New(4)
+	// Before any commit, AddToLast accrues into pending.
+	r.AddToLast(StageQueryEval, time.Millisecond)
+	r.Commit(0, 5*time.Millisecond)
+	got := r.Snapshot(0)
+	if got[0].Stages[StageQueryEval] != time.Millisecond {
+		t.Fatalf("pre-commit AddToLast lost: %v", got[0].Stages)
+	}
+
+	// After a commit, AddToLast lands on the committed epoch and extends its
+	// wall time and the cumulative totals.
+	r.AddToLast(StageQueryEval, 2*time.Millisecond)
+	got = r.Snapshot(0)
+	if got[0].Stages[StageQueryEval] != 3*time.Millisecond {
+		t.Fatalf("post-commit AddToLast = %v, want 3ms", got[0].Stages[StageQueryEval])
+	}
+	if got[0].Wall != 7*time.Millisecond {
+		t.Fatalf("wall = %v, want 7ms", got[0].Wall)
+	}
+	if r.CumulativeStages()[StageQueryEval] != 3*time.Millisecond {
+		t.Fatalf("cumulative query_eval = %v, want 3ms", r.CumulativeStages()[StageQueryEval])
+	}
+}
+
+func TestRecorderOnCommit(t *testing.T) {
+	r := New(2)
+	var seen []EpochTrace
+	r.SetOnCommit(func(et EpochTrace) { seen = append(seen, et) })
+	r.Add(StageStep, time.Millisecond)
+	r.Commit(3, 2*time.Millisecond)
+	if len(seen) != 1 || seen[0].Epoch != 3 || seen[0].Stages[StageStep] != time.Millisecond {
+		t.Fatalf("onCommit saw %+v", seen)
+	}
+	r.SetOnCommit(nil)
+	r.Commit(4, time.Millisecond)
+	if len(seen) != 1 {
+		t.Fatal("cleared onCommit hook still invoked")
+	}
+}
+
+func TestStageNames(t *testing.T) {
+	names := StageNames()
+	if len(names) != int(NumStages) {
+		t.Fatalf("StageNames has %d entries, want %d", len(names), NumStages)
+	}
+	want := []string{"decode", "prologue", "step", "estimate", "query_eval", "wal_append", "seal"}
+	for i, w := range want {
+		if names[i] != w {
+			t.Errorf("stage %d = %q, want %q", i, names[i], w)
+		}
+		if Stage(i).String() != w {
+			t.Errorf("Stage(%d).String() = %q, want %q", i, Stage(i).String(), w)
+		}
+	}
+	if Stage(200).String() != "unknown" {
+		t.Errorf("out-of-range stage String = %q", Stage(200).String())
+	}
+}
+
+// TestTraceRecorderZeroAlloc pins the record path (Add + Commit, including
+// ring eviction once full) as allocation-free — this is the alloc-gate
+// assertion that enabling tracing adds no steady-state allocations.
+func TestTraceRecorderZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation assertion skipped under -race (instrumentation allocates)")
+	}
+	r := New(16)
+	epoch := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Add(StageDecode, time.Microsecond)
+		r.Add(StagePrologue, time.Microsecond)
+		r.Add(StageStep, 5*time.Microsecond)
+		r.Add(StageEstimate, time.Microsecond)
+		r.Add(StageWALAppend, time.Microsecond)
+		r.Add(StageSeal, time.Microsecond)
+		r.Commit(epoch, 10*time.Microsecond)
+		r.AddToLast(StageQueryEval, time.Microsecond)
+		epoch++
+	})
+	if allocs != 0 {
+		t.Fatalf("record path allocates %v per epoch, want 0", allocs)
+	}
+
+	// The nil (disabled) recorder must also be free.
+	var off *Recorder
+	allocs = testing.AllocsPerRun(1000, func() {
+		off.Add(StageStep, time.Microsecond)
+		off.Commit(0, time.Microsecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled recorder allocates %v per epoch, want 0", allocs)
+	}
+}

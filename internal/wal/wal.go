@@ -239,6 +239,10 @@ type Options struct {
 	Sync SyncPolicy
 	// SyncEvery is the SyncInterval period (default 100ms).
 	SyncEvery time.Duration
+	// SyncObserver, when non-nil, is invoked with the latency of every fsync
+	// the log issues. The serving layer points it at a latency histogram; it
+	// runs on the appending goroutine and must be fast and non-blocking.
+	SyncObserver func(time.Duration)
 }
 
 func (o *Options) applyDefaults() {
@@ -446,6 +450,9 @@ func (l *Log) syncFile() error {
 	l.stats.Fsyncs++
 	if lat > l.stats.MaxFsyncLatency {
 		l.stats.MaxFsyncLatency = lat
+	}
+	if l.opts.SyncObserver != nil {
+		l.opts.SyncObserver(lat)
 	}
 	l.dirty = false
 	l.last = time.Now()

@@ -1,0 +1,75 @@
+package api
+
+// Observability wire types: the epoch-stage trace surface
+// (GET /v1/sessions/{sid}/trace) and the live debug-stats surface
+// (GET /v1/sessions/{sid}/stats). Like every type in this package they are
+// add-only: fields may be added in later revisions, never removed or
+// renamed.
+
+// TraceEpoch is the recorded timing of one sealed epoch. Stages maps the
+// snake_case stage name (decode, prologue, step, estimate, query_eval,
+// wal_append, seal) to the seconds spent in it; stages that did not run are
+// omitted.
+type TraceEpoch struct {
+	// Epoch is the epoch time that was sealed.
+	Epoch int `json:"epoch"`
+	// WallSeconds is the wall-clock time of the whole epoch, which can
+	// exceed the sum of the stages.
+	WallSeconds float64 `json:"wall_seconds"`
+	// Stages holds the per-stage seconds, keyed by stage name.
+	Stages map[string]float64 `json:"stages"`
+}
+
+// TraceResponse answers GET /v1/sessions/{sid}/trace?epochs=N with the
+// per-stage timings of up to N of the most recently sealed epochs, oldest
+// first. An evicted session answers with its ring empty (the trace ring is
+// in-memory state; reading it never hydrates the session).
+type TraceResponse struct {
+	// Enabled reports whether epoch-stage tracing is on (-trace-epochs > 0).
+	Enabled bool `json:"enabled"`
+	// Capacity is the per-session trace ring size (0 when disabled).
+	Capacity int `json:"capacity"`
+	// Epochs holds the retained traces, oldest first.
+	Epochs []TraceEpoch `json:"epochs"`
+}
+
+// SessionDebugStats answers GET /v1/sessions/{sid}/stats: a point-in-time
+// operational view of one session, cheap enough to poll. Reading it never
+// hydrates an evicted session — engine-derived fields then report the view
+// cached at eviction.
+type SessionDebugStats struct {
+	// ID is the session id; State is its lifecycle (serving, evicted, ...).
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Durable reports whether the session writes a WAL and checkpoints.
+	Durable bool `json:"durable"`
+	// Resident reports whether the engine is in memory right now.
+	Resident bool `json:"resident"`
+	// QueueDepth and QueueCap describe the bounded op queue.
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap"`
+	// StreamActive reports a live streaming-ingest connection; StreamSeq is
+	// the highest durably applied stream batch sequence.
+	StreamActive bool   `json:"stream_active"`
+	StreamSeq    uint64 `json:"stream_seq"`
+	// UptimeSeconds is the time since the session object was built.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+
+	// Engine progress (cached at eviction for non-resident sessions).
+	Stats SessionStats `json:"stats"`
+
+	// Durability state: the last checkpointed epoch (-1 before the first),
+	// the seconds since that checkpoint was written, and the WAL segment
+	// open for appends (durable sessions only).
+	CheckpointEpoch      int64   `json:"checkpoint_epoch,omitempty"`
+	CheckpointAgeSeconds float64 `json:"checkpoint_age_seconds,omitempty"`
+	WALSegment           uint64  `json:"wal_segment,omitempty"`
+
+	// Tracing: cumulative seconds per stage over the session's residency and
+	// the most recent sealed epochs (both empty when tracing is disabled or
+	// the session is evicted).
+	TraceEnabled bool               `json:"trace_enabled"`
+	TracedEpochs int64              `json:"traced_epochs,omitempty"`
+	StageSeconds map[string]float64 `json:"stage_seconds,omitempty"`
+	RecentEpochs []TraceEpoch       `json:"recent_epochs,omitempty"`
+}

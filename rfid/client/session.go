@@ -77,6 +77,30 @@ func (s *Session) SnapshotAt(ctx context.Context, epoch int) (api.HistorySnapsho
 	return out, err
 }
 
+// Stats reads the session's live debug view: residency state, queue depth,
+// stream window, checkpoint/WAL ages and (with tracing enabled) the
+// cumulative per-stage time breakdown plus the most recent sealed epochs.
+// Reading stats never hydrates an evicted session.
+func (s *Session) Stats(ctx context.Context) (api.SessionDebugStats, error) {
+	var out api.SessionDebugStats
+	err := s.c.do(ctx, http.MethodGet, s.prefix+"/stats", nil, &out)
+	return out, err
+}
+
+// Trace reads the per-stage timings of up to epochs of the most recently
+// sealed epochs, oldest first (epochs <= 0 returns every retained epoch).
+// Requires the server's -trace-epochs > 0; a disabled or evicted session
+// answers with an empty trace.
+func (s *Session) Trace(ctx context.Context, epochs int) (api.TraceResponse, error) {
+	path := s.prefix + "/trace"
+	if epochs > 0 {
+		path += "?epochs=" + strconv.Itoa(epochs)
+	}
+	var out api.TraceResponse
+	err := s.c.do(ctx, http.MethodGet, path, nil, &out)
+	return out, err
+}
+
 // RegisterQuery registers a continuous (or history-mode) query and returns
 // its assigned id and state.
 func (s *Session) RegisterQuery(ctx context.Context, spec api.QuerySpec) (api.QueryInfo, error) {

@@ -33,6 +33,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/smurf"
 	"repro/internal/stream"
+	"repro/internal/trace"
 )
 
 // Core geometric and stream types.
@@ -139,7 +140,43 @@ type engine interface {
 	Config() core.Config
 	SaveState(*checkpoint.Encoder)
 	RestoreState(*checkpoint.Decoder) error
+	SetTraceRecorder(*trace.Recorder)
 }
+
+// Epoch-stage tracing: a TraceRecorder threaded into a Pipeline (usually via
+// RunnerConfig.TraceEpochs) timestamps the stages of every processed epoch
+// into a bounded ring with zero allocations on the record path. Tracing is
+// observational only — it never perturbs RNG consumption or output, so
+// traced runs stay byte-identical to untraced ones.
+type (
+	// TraceRecorder records per-epoch stage timings; a nil recorder is a
+	// valid disabled recorder.
+	TraceRecorder = trace.Recorder
+	// EpochTrace is the recorded timing of one sealed epoch.
+	EpochTrace = trace.EpochTrace
+	// TraceStage identifies one stage of the epoch pipeline.
+	TraceStage = trace.Stage
+)
+
+// The traceable stages of the epoch pipeline, in order.
+const (
+	TraceStageDecode    = trace.StageDecode
+	TraceStagePrologue  = trace.StagePrologue
+	TraceStageStep      = trace.StageStep
+	TraceStageEstimate  = trace.StageEstimate
+	TraceStageQueryEval = trace.StageQueryEval
+	TraceStageWALAppend = trace.StageWALAppend
+	TraceStageSeal      = trace.StageSeal
+	NumTraceStages      = trace.NumStages
+)
+
+// NewTraceRecorder returns a recorder retaining the last capacity epochs;
+// capacity <= 0 returns nil (tracing disabled).
+func NewTraceRecorder(capacity int) *TraceRecorder { return trace.New(capacity) }
+
+// TraceStageNames returns the snake_case names of all stages in pipeline
+// order — the stage taxonomy used by /metrics and the trace API.
+func TraceStageNames() []string { return trace.StageNames() }
 
 // Pipeline is the end-to-end cleaning and transformation engine.
 //
@@ -224,6 +261,11 @@ func (p *Pipeline) SaveState(e *checkpoint.Encoder) { p.eng.SaveState(e) }
 // payload. The pipeline must be freshly built from a Config with the same
 // Fingerprint; corrupt input errors, never panics.
 func (p *Pipeline) RestoreState(d *checkpoint.Decoder) error { return p.eng.RestoreState(d) }
+
+// SetTraceRecorder installs (or, with nil, removes) a per-epoch stage
+// recorder on the engine. Call it before processing; the recorder is not
+// part of checkpointed state.
+func (p *Pipeline) SetTraceRecorder(r *TraceRecorder) { p.eng.SetTraceRecorder(r) }
 
 // Calibration (Section III-C).
 type (

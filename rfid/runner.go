@@ -3,6 +3,7 @@ package rfid
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/stream"
 )
@@ -29,6 +30,13 @@ type RunnerConfig struct {
 	// rides along in checkpoints. Zero disables history — and its per-epoch
 	// estimate cost — entirely.
 	HistoryEpochs int
+	// TraceEpochs, when positive, enables epoch-stage tracing: the runner
+	// creates a TraceRecorder retaining the last TraceEpochs sealed epochs
+	// and threads it through the engine, timing decode, prologue, step,
+	// estimate and seal for every epoch (the serving layer adds query-eval
+	// and WAL-append). Zero disables tracing entirely — the kill switch; the
+	// record path is allocation-free and tracing never changes output.
+	TraceEpochs int
 }
 
 // RunnerStats extends the engine's work counters with the continuous
@@ -86,6 +94,9 @@ type Runner struct {
 	histCap   int
 	history   []epochSnapshot
 	histStart int
+
+	// rec is the epoch-stage recorder (nil when tracing is disabled).
+	rec *TraceRecorder
 }
 
 // epochSnapshot is one retained time-travel entry: the MAP location of every
@@ -116,14 +127,23 @@ func NewRunner(cfg Config, rc RunnerConfig) (*Runner, error) {
 	if rc.HistoryEpochs < 0 {
 		rc.HistoryEpochs = 0
 	}
+	rec := NewTraceRecorder(rc.TraceEpochs)
+	pipe.SetTraceRecorder(rec)
 	return &Runner{
 		pipe:    pipe,
 		sync:    stream.NewSynchronizer(),
 		hold:    rc.HoldEpochs,
 		mark:    -1,
 		histCap: rc.HistoryEpochs,
+		rec:     rec,
 	}, nil
 }
+
+// TraceRecorder returns the runner's epoch-stage recorder; nil (a valid,
+// disabled recorder) when RunnerConfig.TraceEpochs was zero. The serving
+// layer uses it to accrue the query-eval and WAL-append stages and to serve
+// trace snapshots.
+func (r *Runner) TraceRecorder() *TraceRecorder { return r.rec }
 
 // Ingest buffers a batch of raw readings and location reports. Records for
 // epochs that were already processed are dropped (and counted); everything
@@ -189,7 +209,33 @@ func (r *Runner) Flush() ([]Event, error) {
 func (r *Runner) processUpTo(upTo int) ([]Event, error) {
 	var all []Event
 	var firstErr error
-	for _, ep := range r.sync.DrainUpTo(upTo) {
+	rec := r.rec
+	if rec == nil {
+		for _, ep := range r.sync.DrainUpTo(upTo) {
+			events, err := r.pipe.ProcessEpoch(ep)
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("epoch %d: %w", ep.Time, err)
+			}
+			if ep.Time+1 > r.next {
+				r.next = ep.Time + 1
+			}
+			r.recordHistory(ep.Time)
+			all = append(all, events...)
+		}
+		return all, firstErr
+	}
+
+	// Traced variant: identical control flow plus timestamps. Decode covers
+	// the drain (attributed to the first epoch of the batch); each epoch's
+	// wall time spans ProcessEpoch through seal, and the seal stage covers
+	// the history snapshot and watermark bookkeeping.
+	t0 := time.Now()
+	epochs := r.sync.DrainUpTo(upTo)
+	if len(epochs) > 0 {
+		rec.Add(TraceStageDecode, time.Since(t0))
+	}
+	for _, ep := range epochs {
+		tEp := time.Now()
 		events, err := r.pipe.ProcessEpoch(ep)
 		if err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("epoch %d: %w", ep.Time, err)
@@ -197,7 +243,10 @@ func (r *Runner) processUpTo(upTo int) ([]Event, error) {
 		if ep.Time+1 > r.next {
 			r.next = ep.Time + 1
 		}
+		tSeal := time.Now()
 		r.recordHistory(ep.Time)
+		rec.Add(TraceStageSeal, time.Since(tSeal))
+		rec.Commit(ep.Time, time.Since(tEp))
 		all = append(all, events...)
 	}
 	return all, firstErr

@@ -1,0 +1,43 @@
+package rfid_test
+
+import (
+	"testing"
+
+	"repro/rfid"
+)
+
+// benchRunnerEpochs drives one full simulated trace through a Runner per
+// iteration. The traced/untraced pair quantifies the epoch-stage tracing
+// overhead (the acceptance bar is <= 1% on wall time):
+//
+//	go test -run '^$' -bench 'BenchmarkRunner(Untraced|Traced)$' -count 5 ./rfid
+func benchRunnerEpochs(b *testing.B, traceEpochs int) {
+	simCfg := rfid.DefaultWarehouseConfig()
+	simCfg.NumObjects = 10
+	simCfg.NumShelfTags = 4
+	simCfg.Seed = 17
+	trace, err := rfid.SimulateWarehouse(simCfg)
+	if err != nil {
+		b.Fatalf("SimulateWarehouse: %v", err)
+	}
+	readings, locations := rfid.RawStreams(trace)
+	cfg := rfid.DefaultConfig(rfid.DefaultParams(), trace.World)
+	cfg.NumObjectParticles = 200
+	cfg.NumReaderParticles = 50
+	cfg.Seed = 17
+	cfg.ReportPolicy = rfid.ReportEveryEpoch
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runner, err := rfid.NewRunner(cfg, rfid.RunnerConfig{TraceEpochs: traceEpochs})
+		if err != nil {
+			b.Fatalf("NewRunner: %v", err)
+		}
+		runner.Ingest(readings, locations)
+		if _, err := runner.Flush(); err != nil {
+			b.Fatalf("Flush: %v", err)
+		}
+	}
+}
+
+func BenchmarkRunnerUntraced(b *testing.B) { benchRunnerEpochs(b, 0) }
+func BenchmarkRunnerTraced(b *testing.B)   { benchRunnerEpochs(b, 64) }
