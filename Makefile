@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke baseline baseline-serve doc-check serve-smoke cover alloc-gate fuzz-smoke recover-smoke api-smoke stream-smoke density-smoke metrics-lint profile
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke baseline baseline-serve doc-check serve-smoke cover alloc-gate fuzz-smoke recover-smoke api-smoke stream-smoke density-smoke replica-smoke metrics-lint profile
 
 all: build vet fmt-check doc-check test
 
@@ -145,6 +145,15 @@ stream-smoke:
 # property over the Workers x ShardCount matrix.
 density-smoke:
 	$(GO) test -race -run 'TestDensitySmoke$$|TestSchedulerEvictionDeterminism' -v ./internal/serve
+
+# Replication smoke: a primary and a replica run as real subprocesses wired
+# over TCP; the parent ingests under -fsync always, waits for the replica to
+# converge, SIGKILLs the primary, promotes the replica and verifies the
+# promoted node serves snapshots and query results byte-identical to both the
+# pre-kill primary and an uninterrupted reference process; plus the in-process
+# convergence-across-parallelism and resume-after-restart properties.
+replica-smoke:
+	$(GO) test -race -run 'TestReplicaSmoke$$|TestReplicaConvergesAcrossTransposition$$|TestReplicaResumeAfterRestart$$' -v ./internal/serve
 
 # Full benchmark run (slow; minutes).
 bench:

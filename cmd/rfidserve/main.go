@@ -31,6 +31,19 @@
 // StreamIngester; see the "Streaming ingest" section of API.md for the
 // protocol.
 //
+// Replication: `rfidserve -replica-of HOST:PORT -data-dir ...` runs the
+// process as a read replica. It bootstraps each session from the primary's
+// newest checkpoint, then tails the primary's WAL over a persistent
+// connection (POST /v1/replicate upgrade), mirroring it byte-for-byte and
+// applying it through the recovery path — so replica state is byte-identical
+// to the primary at every acknowledged position. Reads (snapshots,
+// time-travel reads, history-mode queries, replicated query results) are
+// served locally with Rfid-Role / Rfid-Applied-Epoch /
+// Rfid-Replication-Lag-Seconds staleness headers; writes are refused with
+// code "read_only". SIGUSR1 or POST /v1/promote promotes the replica: the
+// link is torn down, mirrored logs sealed, and the node starts accepting
+// writes exactly where the primary left off.
+//
 // Observability: every sealed epoch's per-stage timings (decode, prologue,
 // step, estimate, query-eval, WAL append, seal) are retained in a bounded
 // per-session ring served by GET /v1/sessions/{sid}/trace (-trace-epochs
@@ -128,6 +141,9 @@ func main() {
 		maxResident  = flag.Int("max-resident", 0, "maximum durable sessions kept resident in memory; idle sessions past the LRU threshold are evicted to their checkpoint and restored on first touch (0 = unlimited, requires -data-dir)")
 		schedWorkers = flag.Int("sched-workers", 0, "worker pool size shared by every session's op queue (0 = GOMAXPROCS)")
 
+		replicaOf   = flag.String("replica-of", "", "follow the primary at this host:port as a read replica (requires -data-dir); writes are refused until promotion")
+		replicaName = flag.String("replica-name", "", "follower name reported to the primary (default: hostname)")
+
 		dataDir    = flag.String("data-dir", "", "durability directory (WAL segments + checkpoints); empty disables durability")
 		ckptEvery  = flag.Int("checkpoint-every", 64, "epochs between checkpoints (with -data-dir)")
 		keepCkpts  = flag.Int("keep-checkpoints", 3, "checkpoint files to retain (with -data-dir)")
@@ -198,17 +214,23 @@ func main() {
 	// reports.
 	cfg.ReportPolicy = rfid.ReportEveryEpoch
 
-	runner, err := rfid.NewRunner(cfg, rfid.RunnerConfig{
-		HoldEpochs:    *hold,
-		Sharded:       true,
-		HistoryEpochs: *history,
-		TraceEpochs:   *traceEpochs,
-	})
+	runnerFactory := func() (*rfid.Runner, error) {
+		return rfid.NewRunner(cfg, rfid.RunnerConfig{
+			HoldEpochs:    *hold,
+			Sharded:       true,
+			HistoryEpochs: *history,
+			TraceEpochs:   *traceEpochs,
+		})
+	}
+	runner, err := runnerFactory()
 	if err != nil {
 		fatal(logger, "building runner failed", "err", err)
 	}
 	srv, err := serve.New(serve.Config{
 		Runner:          runner,
+		RunnerFactory:   runnerFactory,
+		ReplicaOf:       *replicaOf,
+		ReplicaName:     *replicaName,
 		QueueSize:       *queue,
 		IngestWait:      *ingestWait,
 		DataDir:         *dataDir,
@@ -266,6 +288,22 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	// SIGUSR1 promotes a replica to primary (same effect as POST /v1/promote):
+	// the replication link is torn down, mirrored logs are sealed for writing
+	// and the node begins accepting writes. Idempotent on a primary.
+	promoteCh := make(chan os.Signal, 1)
+	signal.Notify(promoteCh, syscall.SIGUSR1)
+	go func() {
+		for range promoteCh {
+			res, err := srv.Promote()
+			if err != nil {
+				logger.Error("promotion failed", "err", err)
+				continue
+			}
+			logger.Info("promotion complete", "role", res.Role, "sessions", res.Sessions)
+		}
+	}()
 
 	shutdownDone := make(chan struct{})
 	go func() {

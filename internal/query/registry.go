@@ -240,11 +240,23 @@ type Registry struct {
 	mu      sync.Mutex
 	nextID  int
 	queries map[string]*registered
+	// idPrefix prefixes assigned ids ("q" by default). A replica's local
+	// history-query registry uses a distinct prefix so its ephemeral ids can
+	// never collide with the replicated primary-assigned ones.
+	idPrefix string
 	// maxBuffered caps each query's result buffer; oldest rows are evicted
 	// first.
 	maxBuffered int
 	// history serves ModeHistory registrations; nil rejects them.
 	history HistorySource
+}
+
+// SetIDPrefix changes the prefix of newly assigned query ids (default "q").
+// Call before the first Register.
+func (r *Registry) SetIDPrefix(p string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.idPrefix = p
 }
 
 // SetHistorySource installs the provider history-mode queries evaluate over.
@@ -281,7 +293,11 @@ func (r *Registry) Register(spec Spec) (Info, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.nextID++
-	id := fmt.Sprintf("q%d", r.nextID)
+	prefix := r.idPrefix
+	if prefix == "" {
+		prefix = "q"
+	}
+	id := fmt.Sprintf("%s%d", prefix, r.nextID)
 	reg := &registered{info: Info{ID: id, Spec: spec}, q: q}
 	if spec.IsHistory() {
 		rows, err := r.evaluateHistory(q, spec)

@@ -1,0 +1,310 @@
+// Package replica is the follower side of the replication link: it dials the
+// primary's POST /v1/replicate endpoint, upgrades the connection to the
+// framed rfid-repl/1 protocol, announces the cursors of everything it already
+// mirrors, and then forwards what the primary ships — checkpoint bootstrap
+// images, WAL records, heartbeats — into a Target (the serving layer), acking
+// cumulative progress so the primary can garbage-collect behind it.
+//
+// The package deliberately speaks only rfid/wire types: the serving layer
+// implements Target, keeping the dependency edge serve -> replica and the
+// protocol reusable by out-of-process tools.
+package replica
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/rfid/wire"
+)
+
+// Target receives what the primary ships. All methods are called from the
+// follower's single connection goroutine, in shipping order.
+type Target interface {
+	// Cursors reports the sessions this node mirrors and the next position
+	// each needs, sent in the hello (resume) and in every ack.
+	Cursors() []wire.ReplCursor
+	// Bootstrap (re)initializes a session from a shipped checkpoint image
+	// (nil image = fresh start with an empty log) positioned at (seg, off).
+	// manifest is the session's creation request JSON ("" for the default
+	// session).
+	Bootstrap(sid, manifest string, image []byte, seg uint64, off int64) error
+	// Apply mirrors one WAL record at its exact primary position and applies
+	// it; it returns the session's cursor after the append, which the
+	// follower acks.
+	Apply(rec wire.ReplRecord) (wire.ReplCursor, error)
+	// Heartbeat delivers the primary's idle liveness stamp (wall-clock
+	// nanoseconds), which keeps the staleness estimate honest between
+	// records.
+	Heartbeat(nanos int64)
+}
+
+// Config configures a Follower.
+type Config struct {
+	// Primary is the primary's host:port.
+	Primary string
+	// Name identifies this follower in the hello and the primary's logs.
+	Name string
+	// Target receives the shipped state. Required.
+	Target Target
+	// Logger receives connection lifecycle records; nil uses slog.Default().
+	Logger *slog.Logger
+	// MaxFrameBytes caps incoming frame payloads (default 16 MiB + slack).
+	MaxFrameBytes int
+	// DialTimeout bounds each connection attempt (default 10s).
+	DialTimeout time.Duration
+	// MinBackoff/MaxBackoff bound the reconnect backoff (default 250ms/5s).
+	MinBackoff time.Duration
+	MaxBackoff time.Duration
+}
+
+// Follower is a running replication client. Stop it with Stop.
+type Follower struct {
+	cfg    Config
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Start launches the follower's connection loop: connect, catch up, tail,
+// reconnect with backoff on any error, forever until Stop.
+func Start(cfg Config) *Follower {
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	if cfg.Name == "" {
+		cfg.Name = "replica"
+	}
+	if cfg.MaxFrameBytes <= 0 {
+		cfg.MaxFrameBytes = (16 << 20) + (4 << 10)
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	if cfg.MinBackoff <= 0 {
+		cfg.MinBackoff = 250 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 5 * time.Second
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	f := &Follower{cfg: cfg, ctx: ctx, cancel: cancel}
+	f.wg.Add(1)
+	go f.run()
+	return f
+}
+
+// Stop ends the follower: the current connection is torn down and the loop
+// exits. Blocks until the connection goroutine returned, so no Target call is
+// in flight afterwards.
+func (f *Follower) Stop() {
+	f.cancel()
+	f.mu.Lock()
+	if f.conn != nil {
+		f.conn.Close()
+	}
+	f.mu.Unlock()
+	f.wg.Wait()
+}
+
+func (f *Follower) run() {
+	defer f.wg.Done()
+	backoff := f.cfg.MinBackoff
+	for {
+		if f.ctx.Err() != nil {
+			return
+		}
+		started := time.Now()
+		err := f.session()
+		if f.ctx.Err() != nil {
+			return
+		}
+		if time.Since(started) > 10*time.Second {
+			backoff = f.cfg.MinBackoff // the link worked; this is a fresh failure
+		}
+		f.cfg.Logger.Warn("replication link down; reconnecting",
+			"primary", f.cfg.Primary, "backoff", backoff, "err", err)
+		select {
+		case <-f.ctx.Done():
+			return
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > f.cfg.MaxBackoff {
+			backoff = f.cfg.MaxBackoff
+		}
+	}
+}
+
+// session runs one connection: handshake, hello, then the receive loop until
+// an error ends it.
+func (f *Follower) session() error {
+	dctx, cancel := context.WithTimeout(f.ctx, f.cfg.DialTimeout)
+	var d net.Dialer
+	conn, err := d.DialContext(dctx, "tcp", f.cfg.Primary)
+	cancel()
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	f.conn = conn
+	f.mu.Unlock()
+	defer func() {
+		conn.Close()
+		f.mu.Lock()
+		f.conn = nil
+		f.mu.Unlock()
+	}()
+
+	// Upgrade handshake, bounded as a whole.
+	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
+	if _, err := fmt.Fprintf(conn, "POST /v1/replicate HTTP/1.1\r\nHost: %s\r\nUpgrade: %s\r\nConnection: Upgrade\r\nContent-Length: 0\r\n\r\n",
+		f.cfg.Primary, wire.ReplUpgrade); err != nil {
+		return err
+	}
+	br := bufio.NewReader(conn)
+	resp, err := http.ReadResponse(br, nil)
+	if err != nil {
+		return fmt.Errorf("reading upgrade response: %w", err)
+	}
+	if resp.StatusCode != http.StatusSwitchingProtocols {
+		resp.Body.Close()
+		return fmt.Errorf("primary refused replication: %s", resp.Status)
+	}
+	_ = conn.SetDeadline(time.Time{})
+
+	var enc wire.Encoder
+	var frame []byte
+	writeFrame := func() error {
+		frame = wire.AppendFrame(frame[:0], enc.Bytes())
+		_ = conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+		_, err := conn.Write(frame)
+		return err
+	}
+	// The hello carries every cursor this node already mirrors; the primary
+	// resumes a session in place exactly when it announces the position we
+	// sent for it.
+	cursors := f.cfg.Target.Cursors()
+	sent := make(map[string]wire.ReplCursor, len(cursors))
+	for _, c := range cursors {
+		sent[c.SID] = c
+	}
+	enc.Reset()
+	wire.AppendReplHello(&enc, wire.ReplHello{Version: wire.ReplProtoVersion, Name: f.cfg.Name, Cursors: cursors})
+	if err := writeFrame(); err != nil {
+		return err
+	}
+	ackAll := func() error {
+		enc.Reset()
+		wire.AppendReplAck(&enc, wire.ReplAck{Cursors: f.cfg.Target.Cursors()})
+		return writeFrame()
+	}
+
+	// A checkpoint image arriving in chunks for a session being bootstrapped.
+	type pending struct {
+		manifest string
+		image    []byte
+		want     int64
+		seg      uint64
+		off      int64
+	}
+	pend := make(map[string]*pending)
+
+	fr := wire.NewFrameReader(br, f.cfg.MaxFrameBytes)
+	for {
+		// The primary heartbeats after ~1s idle; a silent link this long is
+		// dead.
+		_ = conn.SetReadDeadline(time.Now().Add(90 * time.Second))
+		payload, err := fr.Next()
+		if err != nil {
+			return err
+		}
+		var dec wire.Decoder
+		dec.Reset(payload)
+		switch kind := dec.Uvarint(); kind {
+		case wire.KindReplSession:
+			s, err := wire.DecodeReplSession(&dec)
+			if err != nil {
+				return err
+			}
+			if s.SnapshotBytes > 0 {
+				pend[s.SID] = &pending{
+					manifest: s.Manifest,
+					image:    make([]byte, 0, s.SnapshotBytes),
+					want:     s.SnapshotBytes,
+					seg:      s.Seg, off: s.Off,
+				}
+				continue
+			}
+			if c, ok := sent[s.SID]; ok && c.Seg == s.Seg && c.Off == s.Off {
+				continue // resume in place: the mirror is already positioned
+			}
+			// Fresh start: no checkpoint on the primary yet, mirror from an
+			// empty log at the announced position.
+			if err := f.cfg.Target.Bootstrap(s.SID, s.Manifest, nil, s.Seg, s.Off); err != nil {
+				return err
+			}
+			if err := ackAll(); err != nil {
+				return err
+			}
+		case wire.KindReplSnapshot:
+			sn, err := wire.DecodeReplSnapshot(&dec)
+			if err != nil {
+				return err
+			}
+			p, ok := pend[sn.SID]
+			if !ok {
+				return fmt.Errorf("snapshot chunk for unannounced session %q", sn.SID)
+			}
+			p.image = append(p.image, sn.Chunk...)
+			if !sn.Last {
+				continue
+			}
+			delete(pend, sn.SID)
+			if int64(len(p.image)) != p.want {
+				return fmt.Errorf("session %q snapshot: got %d bytes, announced %d", sn.SID, len(p.image), p.want)
+			}
+			if err := f.cfg.Target.Bootstrap(sn.SID, p.manifest, p.image, p.seg, p.off); err != nil {
+				return err
+			}
+			if err := ackAll(); err != nil {
+				return err
+			}
+		case wire.KindReplRecord:
+			rec, err := wire.DecodeReplRecord(&dec)
+			if err != nil {
+				return err
+			}
+			cur, err := f.cfg.Target.Apply(rec)
+			if err != nil {
+				return err
+			}
+			enc.Reset()
+			wire.AppendReplAck(&enc, wire.ReplAck{Cursors: []wire.ReplCursor{cur}})
+			if err := writeFrame(); err != nil {
+				return err
+			}
+		case wire.KindReplHeartbeat:
+			hb, err := wire.DecodeReplHeartbeat(&dec)
+			if err != nil {
+				return err
+			}
+			f.cfg.Target.Heartbeat(hb.Nanos)
+			// The ack doubles as the liveness signal the primary's reader
+			// waits on.
+			if err := ackAll(); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unexpected replication frame kind %d", kind)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/query"
 	"repro/internal/wal"
+	"repro/rfid"
 )
 
 // The durability layer of the server: a write-ahead log of every ingested
@@ -79,6 +80,19 @@ func (s *session) startup() error {
 		s.readyErr = fmt.Errorf("serve: session %q recovery failed: %w", s.id, err)
 		s.fail(s.readyErr)
 		return s.readyErr
+	}
+	if s.replica.Load() {
+		// A replica session never appends its own records: instead of a Log it
+		// opens a Mirror positioned at the end of the last whole mirrored
+		// frame — exactly where the replay above stopped — and resumes tailing
+		// the primary from there.
+		if err := s.openMirrorLocked(); err != nil {
+			s.readyErr = fmt.Errorf("serve: session %q open mirror: %w", s.id, err)
+			s.fail(s.readyErr)
+			return s.readyErr
+		}
+		s.state.Store(int32(stateServing))
+		return nil
 	}
 	lg, err := wal.Open(s.cfg.DataDir, wal.Options{
 		SegmentBytes: s.cfg.WALSegmentBytes,
@@ -168,47 +182,8 @@ func (s *session) recoverLocked() error {
 	// live path handles them — counted and logged, the failing epoch skipped
 	// — so a log that was serveable live never becomes unrecoverable.
 	st, err := wal.Replay(s.cfg.DataDir, fromSeg, func(rec wal.Record) error {
-		switch rec.Type {
-		case wal.RecBatch:
-			if rec.StreamSeq > s.lastStreamSeq.Load() {
-				s.lastStreamSeq.Store(rec.StreamSeq)
-			}
-			r.Ingest(rec.Readings, rec.Locations)
-			events, err := r.Advance()
-			reg.Feed(events)
-			if err != nil {
-				s.engineErrs.Inc()
-				s.log.Warn("replay epoch processing failed; epoch skipped", "err", err)
-			}
-			return nil
-		case wal.RecSeal:
-			events, err := r.SealTo(rec.UpTo)
-			reg.Feed(events)
-			if rec.FlushWindows {
-				reg.FlushAll()
-			}
-			if err != nil {
-				s.engineErrs.Inc()
-				s.log.Warn("replay epoch processing failed; epoch skipped", "err", err)
-			}
-			return nil
-		case wal.RecRegister:
-			spec, err := query.ParseSpec([]byte(rec.SpecJSON))
-			if err != nil {
-				return fmt.Errorf("replay registration: %w", err)
-			}
-			// A registration that failed live (e.g. a history range that had
-			// already been evicted) fails identically here; either way the
-			// registry ends in the same state, so the error is not fatal.
-			if _, err := reg.Register(spec); err != nil {
-				s.log.Warn("replay registration refused (matching the live refusal)", "err", err)
-			}
-			return nil
-		case wal.RecUnregister:
-			reg.Unregister(rec.QueryID)
-			return nil
-		}
-		return nil // RecCheckpoint and future types: informational
+		_, _, aerr := s.applyWALRecord(r, reg, rec)
+		return aerr
 	})
 	s.replayedRecords.Add(st.Records)
 	if err != nil {
@@ -223,6 +198,57 @@ func (s *session) recoverLocked() error {
 		s.epochs.Add(int(d))
 	}
 	return nil
+}
+
+// applyWALRecord applies one logged record through the exact paths live
+// ingestion uses. It is the single interpretation of the log, shared by
+// recovery replay and the replication apply path (a replica applying shipped
+// records runs the same code a crashed primary runs at restart, which is what
+// makes replica state byte-identical to the primary at every position).
+// Epoch-processing errors are counted and logged but not returned — the live
+// path skips failing epochs too; only a registration that cannot parse is
+// fatal, because the log then cannot mean what it meant live. Pinned worker
+// only.
+func (s *session) applyWALRecord(r *rfid.Runner, reg *query.Registry, rec wal.Record) (events, rows int, err error) {
+	switch rec.Type {
+	case wal.RecBatch:
+		if rec.StreamSeq > s.lastStreamSeq.Load() {
+			s.lastStreamSeq.Store(rec.StreamSeq)
+		}
+		r.Ingest(rec.Readings, rec.Locations)
+		evs, aerr := r.Advance()
+		rows = reg.Feed(evs)
+		events = len(evs)
+		if aerr != nil {
+			s.engineErrs.Inc()
+			s.log.Warn("replay epoch processing failed; epoch skipped", "err", aerr)
+		}
+	case wal.RecSeal:
+		evs, serr := r.SealTo(rec.UpTo)
+		rows = reg.Feed(evs)
+		events = len(evs)
+		if rec.FlushWindows {
+			rows += reg.FlushAll()
+		}
+		if serr != nil {
+			s.engineErrs.Inc()
+			s.log.Warn("replay epoch processing failed; epoch skipped", "err", serr)
+		}
+	case wal.RecRegister:
+		spec, perr := query.ParseSpec([]byte(rec.SpecJSON))
+		if perr != nil {
+			return 0, 0, fmt.Errorf("replay registration: %w", perr)
+		}
+		// A registration that failed live (e.g. a history range that had
+		// already been evicted) fails identically here; either way the
+		// registry ends in the same state, so the error is not fatal.
+		if _, rerr := reg.Register(spec); rerr != nil {
+			s.log.Warn("replay registration refused (matching the live refusal)", "err", rerr)
+		}
+	case wal.RecUnregister:
+		reg.Unregister(rec.QueryID)
+	}
+	return events, rows, nil // RecCheckpoint and future types: informational
 }
 
 // logBatch appends an ingest batch to the WAL before the engine applies it
@@ -349,7 +375,17 @@ func (s *session) writeCheckpoint() error {
 	if err := checkpoint.Prune(s.cfg.DataDir, s.cfg.KeepCheckpoints); err != nil {
 		s.log.Warn("pruning old checkpoints failed", "err", err)
 	}
-	if err := s.wal.RemoveSegmentsBefore(seg); err != nil {
+	// Replication slot: segments a connected follower has not acknowledged yet
+	// are held back from GC, so a briefly-lagging follower keeps tailing
+	// instead of being forced through a full re-bootstrap. A disconnected
+	// follower holds nothing back (it re-bootstraps from this checkpoint).
+	gcSeg := seg
+	if s.repl != nil {
+		if min, ok := s.repl.minAckedSegment(wireSID(s.id)); ok && min < gcSeg {
+			gcSeg = min
+		}
+	}
+	if err := s.wal.RemoveSegmentsBefore(gcSeg); err != nil {
 		s.log.Warn("pruning covered wal segments failed", "err", err)
 	}
 	return nil
@@ -361,6 +397,22 @@ func (s *session) writeCheckpoint() error {
 // state already equals the checkpoint written at eviction and its WAL is
 // closed (sealing would require hydrating a session that is being torn down).
 func (s *session) shutdownDurable() {
+	if s.replica.Load() {
+		// A replica owns no log of its own: flush the mirror and stop. No
+		// seal, no checkpoint — the mirrored directory must stay byte-exact
+		// with what the primary shipped.
+		if s.mirror != nil {
+			if err := s.mirror.Sync(); err != nil {
+				s.log.Error("syncing mirror at shutdown failed", "err", err)
+			}
+			if err := s.mirror.Close(); err != nil {
+				s.log.Error("closing mirror failed", "err", err)
+			}
+			s.mirror = nil
+		}
+		s.state.Store(int32(stateClosed))
+		return
+	}
 	r := s.eng.Load()
 	if r == nil {
 		s.state.Store(int32(stateClosed))

@@ -67,8 +67,12 @@ func newResidency(max int, set *metrics.Set) *residency {
 // hydratable reports whether the session can be evicted and restored: it
 // needs a manifest to rebuild its engine from and a durable directory to
 // checkpoint into. The default session (flag-built, no manifest) and
-// non-durable sessions are never evicted.
-func (s *session) hydratable() bool { return s.manifest != nil && s.durable() }
+// non-durable sessions are never evicted, and neither are replica sessions —
+// a follower must keep its apply cursor live, and eviction would write a
+// checkpoint the primary never shipped.
+func (s *session) hydratable() bool {
+	return s.manifest != nil && s.durable() && !s.replica.Load()
+}
 
 func (rs *residency) gaugesLocked() {
 	rs.resident.Set(float64(rs.order.Len()))

@@ -1,0 +1,513 @@
+package serve
+
+// The replica side of WAL shipping: a session on a follower node mirrors the
+// primary's log byte-for-byte (wal.Mirror), applies every shipped record
+// through the exact replay path recovery uses (applyWALRecord), and writes its
+// own checkpoints only at shipped RecCheckpoint markers — the moments the
+// primary checkpointed — so the replica's data directory is indistinguishable
+// from the primary's at every acknowledged position. Promotion seals nothing:
+// it closes the mirror and reopens the directory with wal.Open, which
+// continues in a fresh segment, exactly what a restarted primary would do.
+//
+// All mutation runs on the pinned worker through replOp ops, so shipped
+// records are ordered against reads and against each other exactly like live
+// ingest is.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/query"
+	"repro/internal/wal"
+	"repro/rfid"
+	"repro/rfid/api"
+	"repro/rfid/wire"
+)
+
+// replOp is one replication command routed through the session's op queue.
+type replOp struct {
+	// apply: mirror + apply one shipped WAL record.
+	apply     bool
+	seg       uint64
+	off       int64
+	shipNanos int64
+	payload   []byte // owned copy of the record payload (unframed)
+
+	// bootstrap: discard local durable state and restart from a shipped
+	// checkpoint image (nil image = fresh start); seg/off is where shipping
+	// will begin.
+	bootstrap bool
+	image     []byte
+
+	// promote: stop mirroring and become writable.
+	promote bool
+}
+
+// wireSID maps a server session id onto the wire ("" is the default session).
+func wireSID(id string) string {
+	if id == DefaultSessionID {
+		return ""
+	}
+	return id
+}
+
+// serveSID maps a wire session id onto the server's.
+func serveSID(sid string) string {
+	if sid == "" {
+		return DefaultSessionID
+	}
+	return sid
+}
+
+// openMirrorLocked opens the session's WAL mirror positioned at the end of the
+// last whole mirrored frame and publishes the resume cursor. Pinned worker
+// only, after recoverLocked.
+func (s *session) openMirrorLocked() error {
+	m, err := wal.OpenMirror(s.cfg.DataDir, wal.Options{
+		SegmentBytes: s.cfg.WALSegmentBytes,
+		Sync:         s.cfg.Fsync,
+		SyncEvery:    s.cfg.FsyncInterval,
+		SyncObserver: s.walFsyncHist.ObserveDuration,
+	})
+	if err != nil {
+		return err
+	}
+	s.mirror = m
+	s.lastWal = wal.Stats{}
+	seg, off := m.Pos()
+	s.replSeg.Store(seg)
+	s.replOff.Store(off)
+	s.appliedEpoch.Store(lastSealedEpoch(s.eng.Load()))
+	s.replReady.Store(true)
+	return nil
+}
+
+// lastSealedEpoch is the applied-epoch a replica reports: the newest sealed
+// epoch, -1 before any.
+func lastSealedEpoch(r *rfid.Runner) int64 {
+	if r == nil {
+		return -1
+	}
+	ep := int64(r.Stats().NextEpoch) - 1
+	if ep < 0 {
+		ep = -1
+	}
+	return ep
+}
+
+// handleReplOp dispatches a replication command on the pinned worker.
+func (s *session) handleReplOp(o op) opResult {
+	switch {
+	case o.repl.promote:
+		return s.handleReplPromote()
+	case o.repl.bootstrap:
+		return s.handleReplBootstrap(o.repl)
+	default:
+		return s.handleReplApply(o.repl)
+	}
+}
+
+// handleReplApply mirrors one shipped record (write-ahead, like live ingest)
+// and applies it through the shared replay path. A duplicate — position
+// strictly before the mirror's — is skipped and re-acked; a desync terminates
+// the connection (the follower reconnects and resumes from the mirror's
+// position, which heals gaps and duplicates alike).
+func (s *session) handleReplApply(ro *replOp) opResult {
+	if !s.replica.Load() || s.mirror == nil {
+		return opResult{err: fmt.Errorf("session %q is not following a primary", s.id)}
+	}
+	mseg, moff := s.mirror.Pos()
+	if ro.seg < mseg || (ro.seg == mseg && ro.off < moff) {
+		return opResult{} // already mirrored and applied; ack resyncs the primary
+	}
+	if err := s.mirror.Append(ro.seg, ro.off, ro.payload); err != nil {
+		s.engineErrs.Inc()
+		s.log.Error("mirror append failed", "err", err)
+		return opResult{err: err}
+	}
+	rec, err := wal.DecodeRecord(ro.payload)
+	if err != nil {
+		// The frame CRC matched on the primary's disk and on the wire; this is
+		// corruption or a format bug, not a transient.
+		return opResult{err: fmt.Errorf("decode shipped record: %w", err)}
+	}
+	r, reg := s.eng.Load(), s.reg.Load()
+	if rec.Type == wal.RecCheckpoint {
+		if err := s.replicaCheckpoint(rec.Epoch, ro.seg); err != nil {
+			s.engineErrs.Inc()
+			s.log.Error("replica checkpoint failed", "err", err)
+		}
+	} else {
+		events, rows, aerr := s.applyWALRecord(r, reg, rec)
+		if aerr != nil {
+			return opResult{err: aerr}
+		}
+		s.events.Add(events)
+		s.results.Add(rows)
+		if rows > 0 {
+			s.notifyResults()
+		}
+	}
+	if n := int64(r.Stats().Epochs); n > s.lastEpochsN {
+		s.epochs.Add(int(n - s.lastEpochsN))
+		s.lastEpochsN = n
+	}
+	seg, off := s.mirror.Pos()
+	s.replSeg.Store(seg)
+	s.replOff.Store(off)
+	s.appliedEpoch.Store(lastSealedEpoch(r))
+	if s.repl != nil {
+		s.repl.noteApplied(len(ro.payload), ro.shipNanos)
+	}
+	s.syncMirrorMetrics()
+	return opResult{}
+}
+
+// replicaCheckpoint writes the replica's checkpoint at a shipped RecCheckpoint
+// marker. The marker is the first record of the segment the primary rotated
+// into, so the mirror has just finished the previous segment; the replica's
+// engine state at this instant equals the primary's at its checkpoint, and the
+// deterministic encoder makes the resulting file byte-identical. GC mirrors
+// the primary's: old checkpoints pruned, covered segments removed.
+func (s *session) replicaCheckpoint(epoch int, seg uint64) error {
+	t0 := time.Now()
+	r, reg := s.eng.Load(), s.reg.Load()
+	enc := checkpoint.NewEncoder()
+	r.SaveState(enc)
+	reg.SaveState(enc)
+	enc.Section(serveStreamSection)
+	enc.Uvarint(s.lastStreamSeq.Load())
+	snap := checkpoint.Snapshot{
+		Version:     checkpoint.Version,
+		Fingerprint: r.Fingerprint(),
+		Epoch:       epoch,
+		WALSegment:  seg,
+		Payload:     enc.Bytes(),
+	}
+	if _, err := checkpoint.Write(s.cfg.DataDir, snap); err != nil {
+		return err
+	}
+	s.ckptHist.ObserveDuration(time.Since(t0))
+	s.epochsAtCkpt = int64(r.Stats().Epochs)
+	s.lastCkptEpoch.Store(int64(epoch))
+	s.lastCkptNanos.Store(time.Now().UnixNano())
+	s.checkpoints.Inc()
+	if err := checkpoint.Prune(s.cfg.DataDir, s.cfg.KeepCheckpoints); err != nil {
+		s.log.Warn("pruning old checkpoints failed", "err", err)
+	}
+	if err := s.mirror.RemoveSegmentsBefore(seg); err != nil {
+		s.log.Warn("pruning covered wal segments failed", "err", err)
+	}
+	return nil
+}
+
+// handleReplBootstrap discards the session's local durable state and restarts
+// from a shipped checkpoint image (nil = from nothing): the mirror closes, the
+// WAL and checkpoint files are wiped, the image is written as the sole
+// checkpoint, a fresh engine is built and recovered through the normal startup
+// path, and the mirror reopens at the announced shipping position.
+func (s *session) handleReplBootstrap(ro *replOp) opResult {
+	if !s.replica.Load() {
+		return opResult{err: fmt.Errorf("session %q is not a replica", s.id)}
+	}
+	s.state.Store(int32(stateRecovering))
+	s.replReady.Store(false)
+	if s.mirror != nil {
+		if err := s.mirror.Close(); err != nil {
+			s.log.Warn("closing mirror for re-bootstrap failed", "err", err)
+		}
+		s.mirror = nil
+	}
+	// Only the log and checkpoints are replaced; the directory also holds the
+	// manifest (and, for the default session, sessions/), which stay.
+	for _, pat := range []string{"wal-*.seg", "checkpoint-*.ckpt"} {
+		matches, _ := filepath.Glob(filepath.Join(s.cfg.DataDir, pat))
+		for _, m := range matches {
+			if err := os.Remove(m); err != nil {
+				res := opResult{err: fmt.Errorf("wipe stale durable state: %w", err)}
+				s.fail(res.err)
+				return res
+			}
+		}
+	}
+	checkpoint.SyncDir(s.cfg.DataDir)
+	if ro.image != nil {
+		snap, err := checkpoint.Decode(ro.image)
+		if err != nil {
+			res := opResult{err: fmt.Errorf("bootstrap image: %w", err)}
+			s.fail(res.err)
+			return res
+		}
+		if err := checkpoint.WriteFileAtomic(s.cfg.DataDir, checkpoint.FileName(snap.Epoch), ro.image); err != nil {
+			res := opResult{err: fmt.Errorf("write bootstrap checkpoint: %w", err)}
+			s.fail(res.err)
+			return res
+		}
+	}
+	var runner *rfid.Runner
+	var err error
+	switch {
+	case s.manifest != nil:
+		runner, err = buildRunner(*s.manifest, s.cfg.TraceEpochs)
+	case s.cfg.RunnerFactory != nil:
+		runner, err = s.cfg.RunnerFactory()
+	default:
+		err = fmt.Errorf("no manifest and no runner factory to rebuild the engine from")
+	}
+	if err != nil {
+		res := opResult{err: fmt.Errorf("rebuild engine: %w", err)}
+		s.fail(res.err)
+		return res
+	}
+	s.observeRunner(runner)
+	reg := query.NewRegistry(s.cfg.MaxBufferedResults)
+	reg.SetHistorySource(runner)
+	s.eng.Store(runner)
+	s.reg.Store(reg)
+	// Replica-local history queries evaluated against the old engine are gone
+	// with it.
+	s.histReg.Store(nil)
+	s.lastStreamSeq.Store(0)
+	if err := s.recoverLocked(); err != nil {
+		res := opResult{err: fmt.Errorf("recover from bootstrap image: %w", err)}
+		s.fail(res.err)
+		return res
+	}
+	if err := s.openMirrorLocked(); err != nil {
+		res := opResult{err: fmt.Errorf("reopen mirror: %w", err)}
+		s.fail(res.err)
+		return res
+	}
+	// An image-bootstrapped mirror is empty; the ack cursor must name the
+	// announced shipping start, not (0,0), so the primary's GC holdback and a
+	// reconnect resume line up with what was announced.
+	s.setReplCursor(ro.seg, ro.off)
+	s.state.Store(int32(stateServing))
+	return opResult{}
+}
+
+// walHeaderLen is the segment-header length every frame offset starts past
+// (the 8-byte "RFWAL002" magic; see internal/wal).
+const walHeaderLen = 8
+
+// setReplCursor publishes an explicit resume position (normalized past the
+// segment header, matching wal.OpenCursor). Only an empty mirror adopts it —
+// a mirror with mirrored frames already knows its true position.
+func (s *session) setReplCursor(seg uint64, off int64) {
+	if off < walHeaderLen {
+		off = walHeaderLen
+	}
+	if mseg, moff := s.mirror.Pos(); mseg == 0 && moff == 0 {
+		s.replSeg.Store(seg)
+		s.replOff.Store(off)
+	}
+}
+
+// handleReplPromote turns the session writable: flush + close the mirror, then
+// reopen the directory with wal.Open, which continues in a fresh segment after
+// the mirrored ones — the same continuation a restarted primary performs. No
+// seal and no checkpoint, so a promoted replica's subsequent output is
+// byte-identical to a primary that crashed at the same position and recovered.
+// Idempotent: promoting a non-replica session is a no-op.
+func (s *session) handleReplPromote() opResult {
+	if !s.replica.Load() {
+		return opResult{}
+	}
+	s.replReady.Store(false)
+	if s.mirror != nil {
+		if err := s.mirror.Close(); err != nil {
+			res := opResult{err: fmt.Errorf("close mirror at promotion: %w", err)}
+			s.fail(res.err)
+			return res
+		}
+		s.mirror = nil
+	}
+	lg, err := wal.Open(s.cfg.DataDir, wal.Options{
+		SegmentBytes: s.cfg.WALSegmentBytes,
+		Sync:         s.cfg.Fsync,
+		SyncEvery:    s.cfg.FsyncInterval,
+		SyncObserver: s.walFsyncHist.ObserveDuration,
+	})
+	if err != nil {
+		res := opResult{err: fmt.Errorf("open wal at promotion: %w", err)}
+		s.fail(res.err)
+		return res
+	}
+	s.wal = lg
+	s.lastWal = wal.Stats{}
+	// Replica-local history queries ("h" ids) are not WAL-logged and do not
+	// survive the role change.
+	s.histReg.Store(nil)
+	s.replica.Store(false)
+	return opResult{}
+}
+
+// syncMirrorMetrics mirrors the Mirror's counters into the session's WAL
+// metric series (same series as a primary's log — the mirror IS the WAL on a
+// replica). Pinned worker only.
+func (s *session) syncMirrorMetrics() {
+	if s.mirror == nil {
+		return
+	}
+	st := s.mirror.Stats()
+	s.walRecords.Add(int(st.AppendedRecords - s.lastWal.AppendedRecords))
+	s.walBytes.Add(int(st.AppendedBytes - s.lastWal.AppendedBytes))
+	s.walFsyncs.Add(int(st.Fsyncs - s.lastWal.Fsyncs))
+	s.walFsyncMax.Set(st.MaxFsyncLatency.Seconds())
+	s.walSegment.Set(float64(st.Segment))
+	s.lastWal = st
+}
+
+// historyRegistry returns the session's replica-local query registry, creating
+// it on first use. Its ids are prefixed "h" so they can never collide with the
+// replicated registry's "q" ids; history-mode queries evaluate fully at
+// registration (under the runner mutex, which serializes them against the
+// apply path), so registering outside the op queue is safe.
+func (s *session) historyRegistry() *query.Registry {
+	if hr := s.histReg.Load(); hr != nil {
+		return hr
+	}
+	hr := query.NewRegistry(s.cfg.MaxBufferedResults)
+	hr.SetIDPrefix("h")
+	hr.SetHistorySource(s.eng.Load())
+	if s.histReg.CompareAndSwap(nil, hr) {
+		return hr
+	}
+	return s.histReg.Load()
+}
+
+// --- server-side follower target (the replica node's end of the protocol) ---
+
+// replCursors reports every session's resume cursor for the follower hello.
+func (sv *Server) replCursors() []wire.ReplCursor {
+	var out []wire.ReplCursor
+	for _, s := range sv.snapshotSessions() {
+		if !s.replReady.Load() {
+			continue
+		}
+		out = append(out, wire.ReplCursor{
+			SID:          wireSID(s.id),
+			Seg:          s.replSeg.Load(),
+			Off:          s.replOff.Load(),
+			AppliedEpoch: s.appliedEpoch.Load(),
+		})
+	}
+	return out
+}
+
+// replBootstrap (re)starts a session from a shipped checkpoint image. An
+// unknown session is created from the shipped manifest — its directory seeded
+// with the image before the normal restore path builds and recovers it; an
+// existing session re-bootstraps through its op queue.
+func (sv *Server) replBootstrap(sid, manifest string, image []byte, seg uint64, off int64) error {
+	id := serveSID(sid)
+	if sess, ok := sv.session(id); ok {
+		done := make(chan opResult, 1)
+		o := op{repl: &replOp{bootstrap: true, image: image, seg: seg, off: off}, done: done}
+		if err := sess.enqueue(o, nil); err != nil {
+			return err
+		}
+		select {
+		case res := <-done:
+			return res.err
+		case <-sess.quit:
+			return fmt.Errorf("session %q closed during bootstrap", id)
+		}
+	}
+	if manifest == "" {
+		return fmt.Errorf("unknown session %q announced without a manifest", id)
+	}
+	var req api.CreateSessionRequest
+	if err := json.Unmarshal([]byte(manifest), &req); err != nil {
+		return fmt.Errorf("session %q manifest: %w", id, err)
+	}
+	req.ID = id
+	dir := sv.sessionDir(id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("create session dir: %w", err)
+	}
+	if image != nil {
+		snap, err := checkpoint.Decode(image)
+		if err != nil {
+			return fmt.Errorf("session %q bootstrap image: %w", id, err)
+		}
+		if err := checkpoint.WriteFileAtomic(dir, checkpoint.FileName(snap.Epoch), image); err != nil {
+			return fmt.Errorf("write bootstrap checkpoint: %w", err)
+		}
+	}
+	sess, err := sv.addSession(req, true)
+	if err != nil {
+		return err
+	}
+	if err := sess.waitReady(nil); err != nil {
+		return err
+	}
+	sess.setReplCursor(seg, off)
+	return nil
+}
+
+// replApply routes one shipped record onto its session's op queue and waits
+// for the pinned worker to mirror + apply it, returning the post-apply cursor
+// the follower acks with.
+func (sv *Server) replApply(rec wire.ReplRecord) (wire.ReplCursor, error) {
+	id := serveSID(rec.SID)
+	sess, ok := sv.session(id)
+	if !ok {
+		return wire.ReplCursor{}, fmt.Errorf("record for unknown session %q", id)
+	}
+	ro := &replOp{
+		apply:     true,
+		seg:       rec.Seg,
+		off:       rec.Off,
+		shipNanos: rec.ShipNanos,
+		// The payload borrows the frame reader's buffer; the op outlives this
+		// call only on error paths, so keep an owned copy.
+		payload: append([]byte(nil), rec.Payload...),
+	}
+	done := make(chan opResult, 1)
+	if err := sess.enqueue(op{repl: ro, done: done}, nil); err != nil {
+		return wire.ReplCursor{}, err
+	}
+	select {
+	case res := <-done:
+		if res.err != nil {
+			return wire.ReplCursor{}, res.err
+		}
+	case <-sess.quit:
+		return wire.ReplCursor{}, fmt.Errorf("session %q closed", id)
+	}
+	return wire.ReplCursor{
+		SID:          rec.SID,
+		Seg:          sess.replSeg.Load(),
+		Off:          sess.replOff.Load(),
+		AppliedEpoch: sess.appliedEpoch.Load(),
+	}, nil
+}
+
+// replHeartbeat records the primary's clock from an idle-gap heartbeat: the
+// staleness estimate while fully caught up.
+func (sv *Server) replHeartbeat(nanos int64) {
+	if sv.repl != nil {
+		sv.repl.noteLag(nanos)
+	}
+}
+
+// --- replica-served reads ---
+
+// replicaHeaders stamps the staleness headers on a replica-served read. A
+// primary serves the same endpoints without them.
+func (sv *Server) replicaHeaders(w http.ResponseWriter, sess *session) {
+	role := sv.roleName()
+	if role == api.RolePrimary {
+		return
+	}
+	w.Header().Set(api.HeaderRole, role)
+	w.Header().Set(api.HeaderAppliedEpoch, strconv.FormatInt(sess.appliedEpoch.Load(), 10))
+	w.Header().Set(api.HeaderReplicationLag, strconv.FormatFloat(sv.repl.lagSeconds(), 'f', 3, 64))
+}

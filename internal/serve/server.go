@@ -71,9 +71,11 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/metrics"
 	"repro/internal/query"
+	"repro/internal/replica"
 	"repro/internal/wal"
 	"repro/rfid"
 	"repro/rfid/api"
+	"repro/rfid/wire"
 )
 
 // Config configures a Server. The queue/durability fields double as the
@@ -152,6 +154,22 @@ type Config struct {
 	// The default session and non-durable sessions are never evicted. 0 keeps
 	// everything resident.
 	MaxResident int
+
+	// ReplicaOf, when non-empty, boots the server as a read-only replica of
+	// the primary at this host:port: every session mirrors the primary's
+	// shipped WAL byte-for-byte (see replica.go / replicate.go) and write
+	// endpoints answer 409 read_only until Promote. Requires DataDir.
+	ReplicaOf string
+	// ReplicaName identifies this follower in the primary's logs and the
+	// replication hello (default: the process hostname).
+	ReplicaName string
+	// RunnerFactory rebuilds the default session's engine from scratch; a
+	// replica needs it to re-bootstrap the default session (which has no
+	// manifest) from a shipped checkpoint, because RestoreState requires a
+	// freshly constructed runner. Must build the same engine as Runner.
+	// Optional on a primary; a replica without it can only bootstrap the
+	// default session once, at boot.
+	RunnerFactory func() (*rfid.Runner, error)
 }
 
 func (c *Config) applyDefaults() {
@@ -204,10 +222,52 @@ type Server struct {
 	nextID   int
 	closed   atomic.Bool
 
+	// role is the node's replication role (rolePrimary/roleReplica/
+	// rolePromoting); repl carries the shared replication state and metrics
+	// for both roles; follower is the replication client driving this node
+	// when it boots with ReplicaOf.
+	role     atomic.Int32
+	repl     *replTracker
+	follower *replica.Follower
+
 	sessionsLive    *metrics.Gauge
 	sessionsCreated *metrics.Counter
 	sessionsDeleted *metrics.Counter
 }
+
+// Replication roles. The zero value is primary, so a server built without
+// ReplicaOf behaves exactly as before the subsystem existed.
+const (
+	rolePrimary int32 = iota
+	roleReplica
+	rolePromoting
+)
+
+// roleName maps the role onto the api vocabulary.
+func (sv *Server) roleName() string {
+	switch sv.role.Load() {
+	case roleReplica:
+		return api.RoleReplica
+	case rolePromoting:
+		return api.RolePromoting
+	default:
+		return api.RolePrimary
+	}
+}
+
+// followerTarget adapts the Server to the replica package's Target interface
+// (the replication client lives in its own package and speaks only wire
+// types, so it cannot name *Server).
+type followerTarget struct{ sv *Server }
+
+func (t followerTarget) Cursors() []wire.ReplCursor { return t.sv.replCursors() }
+func (t followerTarget) Bootstrap(sid, manifest string, image []byte, seg uint64, off int64) error {
+	return t.sv.replBootstrap(sid, manifest, image, seg, off)
+}
+func (t followerTarget) Apply(rec wire.ReplRecord) (wire.ReplCursor, error) {
+	return t.sv.replApply(rec)
+}
+func (t followerTarget) Heartbeat(nanos int64) { t.sv.replHeartbeat(nanos) }
 
 // New returns a started Server: the shared worker pool is running, the
 // default session's startup is scheduled on it, and with durability enabled
@@ -219,6 +279,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Runner == nil {
 		return nil, fmt.Errorf("serve: Config.Runner is required")
 	}
+	if cfg.ReplicaOf != "" && cfg.DataDir == "" {
+		return nil, fmt.Errorf("serve: replica mode requires a data dir (the replica mirrors the primary's WAL and checkpoints on disk)")
+	}
 	cfg.applyDefaults()
 	sv := &Server{
 		cfg:      cfg,
@@ -226,11 +289,15 @@ func New(cfg Config) (*Server, error) {
 		start:    time.Now(),
 		sessions: make(map[string]*session),
 	}
+	if cfg.ReplicaOf != "" {
+		sv.role.Store(roleReplica)
+	}
 	sv.sessionsLive = sv.set.Gauge("rfidserve_sessions", "live sessions, the default session included")
 	sv.sessionsCreated = sv.set.Counter("rfidserve_sessions_created_total", "sessions created over the server's lifetime (boot-recovered sessions included)")
 	sv.sessionsDeleted = sv.set.Counter("rfidserve_sessions_deleted_total", "sessions deleted")
 	sv.sched = newScheduler(cfg.SchedWorkers)
 	sv.res = newResidency(cfg.MaxResident, sv.set)
+	sv.repl = newReplTracker(sv.set)
 
 	// The default session keeps the pre-session durable layout: its WAL and
 	// checkpoints live directly under DataDir.
@@ -256,12 +323,33 @@ func New(cfg Config) (*Server, error) {
 
 	sv.mux = http.NewServeMux()
 	sv.routes()
+
+	// The follower starts last: every persisted session is rebuilt (so resume
+	// cursors are accurate) and the read surface exists before the first
+	// connection to the primary.
+	if cfg.ReplicaOf != "" {
+		name := cfg.ReplicaName
+		if name == "" {
+			name, _ = os.Hostname()
+		}
+		sv.follower = replica.Start(replica.Config{
+			Primary:       cfg.ReplicaOf,
+			Name:          name,
+			Target:        followerTarget{sv},
+			Logger:        cfg.Logger,
+			MaxFrameBytes: int(cfg.MaxBodyBytes) + (4 << 10),
+		})
+	}
 	return sv, nil
 }
 
 // deps bundles the server-shared machinery sessions hook into.
 func (sv *Server) deps() sessionDeps {
-	return sessionDeps{set: sv.set, sched: sv.sched, res: sv.res}
+	return sessionDeps{
+		set: sv.set, sched: sv.sched, res: sv.res,
+		repl:        sv.repl,
+		replicaMode: sv.role.Load() == roleReplica,
+	}
 }
 
 // sessionConfig derives one session's effective Config from the server
@@ -389,8 +477,11 @@ func (sv *Server) addSession(req api.CreateSessionRequest, restoring bool) (*ses
 	if err != nil {
 		return nil, err
 	}
+	// Replica sessions never boot lazily: a follower must hold its mirror
+	// open to apply shipped records, so every session stays resident.
 	lazy := restoring && sv.cfg.DataDir != "" && sv.cfg.MaxResident > 0 &&
-		sv.res.residentCount() >= sv.cfg.MaxResident
+		sv.res.residentCount() >= sv.cfg.MaxResident &&
+		sv.role.Load() != roleReplica
 	var runner *rfid.Runner
 	if !lazy {
 		runner, err = buildRunner(req, sv.cfg.TraceEpochs)
@@ -594,6 +685,9 @@ func (sv *Server) Close() {
 	if !sv.closed.CompareAndSwap(false, true) {
 		return
 	}
+	if sv.follower != nil {
+		sv.follower.Stop()
+	}
 	for _, s := range sv.snapshotSessions() {
 		s.close()
 	}
@@ -608,10 +702,91 @@ func (sv *Server) CloseNow() {
 	if !sv.closed.CompareAndSwap(false, true) {
 		return
 	}
+	if sv.follower != nil {
+		sv.follower.Stop()
+	}
 	for _, s := range sv.snapshotSessions() {
 		s.closeNow()
 	}
 	sv.sched.stop()
+}
+
+// Promote turns a replica into a primary: the follower link stops, every
+// replica session finishes applying what is already queued, closes its mirror
+// and opens a fresh writable WAL segment — exactly what a restarted primary
+// does, so the promoted node's durable state is a valid primary state by
+// construction. Idempotent on a node that is already primary.
+func (sv *Server) Promote() (api.PromoteResponse, error) {
+	switch {
+	case sv.role.CompareAndSwap(roleReplica, rolePromoting):
+	case sv.role.Load() == rolePrimary:
+		return api.PromoteResponse{Role: api.RolePrimary}, nil
+	default:
+		return api.PromoteResponse{}, &api.Error{Code: api.ErrConflict, Message: "promotion already in progress", HTTPStatus: http.StatusConflict}
+	}
+	sv.cfg.Logger.Info("promoting replica to primary", "was_following", sv.cfg.ReplicaOf)
+	if sv.follower != nil {
+		sv.follower.Stop()
+		sv.follower = nil
+	}
+	promoted := 0
+	var firstErr error
+	for _, s := range sv.snapshotSessions() {
+		if !s.replica.Load() {
+			continue
+		}
+		done := make(chan opResult, 1)
+		if err := s.enqueue(op{repl: &replOp{promote: true}, done: done}, nil); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("session %q: %w", s.id, err)
+			}
+			continue
+		}
+		select {
+		case res := <-done:
+			if res.err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("session %q: %w", s.id, res.err)
+				}
+			} else {
+				promoted++
+			}
+		case <-s.quit:
+		}
+	}
+	// The role flips even when a session failed: the failed session is marked
+	// failed and refuses ops, while the rest of the node starts serving
+	// writes — a half-promoted node that still answers read_only would be
+	// strictly worse during a failover.
+	sv.role.Store(rolePrimary)
+	if firstErr != nil {
+		return api.PromoteResponse{}, fmt.Errorf("promote: %w", firstErr)
+	}
+	return api.PromoteResponse{Role: api.RolePrimary, Sessions: promoted}, nil
+}
+
+// handlePromote answers POST /v1/promote.
+func (sv *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if sv.closed.Load() {
+		writeUnavailable(w, 1000, "server is shutting down")
+		return
+	}
+	resp, err := sv.Promote()
+	if err != nil {
+		writeAPIError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// refuseReadOnly answers writes with the stable read_only error while the
+// node is not a primary; reports whether the request was refused.
+func (sv *Server) refuseReadOnly(w http.ResponseWriter) bool {
+	if sv.role.Load() == rolePrimary {
+		return false
+	}
+	writeError(w, http.StatusConflict, api.ErrReadOnly, "node is a %s: writes must go to the primary", sv.roleName())
+	return true
 }
 
 // routes wires the v1 resource surface and the legacy aliases onto the mux.
@@ -634,6 +809,11 @@ func (sv *Server) routes() {
 	sv.mux.HandleFunc("GET /v1/sessions/{sid}/stats", sv.withSession(sv.handleSessionStats))
 	sv.mux.HandleFunc("GET /v1/metrics", sv.handleMetrics)
 	sv.mux.HandleFunc("GET /v1/healthz", sv.handleHealthz)
+
+	// Replication control plane: followers attach here (connection upgrade,
+	// see replicate.go) and a replica is promoted here.
+	sv.mux.HandleFunc("POST /v1/replicate", sv.handleReplicate)
+	sv.mux.HandleFunc("POST /v1/promote", sv.handlePromote)
 
 	// Legacy unversioned aliases: the same handlers, pinned to the default
 	// session, so pre-v1 clients and tooling keep working byte-for-byte.
@@ -704,6 +884,9 @@ func writeAPIError(w http.ResponseWriter, err error) {
 func (sv *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	if sv.closed.Load() {
 		writeError(w, http.StatusServiceUnavailable, api.ErrUnavailable, "server is shutting down")
+		return
+	}
+	if sv.refuseReadOnly(w) {
 		return
 	}
 	var req api.CreateSessionRequest
@@ -795,6 +978,9 @@ func (sv *Server) handleGetSession(w http.ResponseWriter, r *http.Request, sess 
 // durable sessions: seal + final checkpoint) and then removal of the
 // session's durable directory.
 func (sv *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	if sv.refuseReadOnly(w) {
+		return
+	}
 	if err := sv.removeSession(r.PathValue("sid")); err != nil {
 		writeAPIError(w, err)
 		return
@@ -835,6 +1021,9 @@ func (sv *Server) handleIngest(w http.ResponseWriter, r *http.Request, sess *ses
 	t0 := time.Now()
 	if sv.closed.Load() || sess.closed.Load() {
 		writeError(w, http.StatusServiceUnavailable, api.ErrUnavailable, "session is shutting down")
+		return
+	}
+	if sv.refuseReadOnly(w) {
 		return
 	}
 	var req api.IngestRequest
@@ -896,6 +1085,9 @@ func (sv *Server) handleFlush(w http.ResponseWriter, r *http.Request, sess *sess
 		writeError(w, http.StatusServiceUnavailable, api.ErrUnavailable, "session is shutting down")
 		return
 	}
+	if sv.refuseReadOnly(w) {
+		return
+	}
 	o := op{flushWindows: r.URL.Query().Get("windows") == "true", done: make(chan opResult, 1)}
 	res, ok := sv.runOp(w, r, sess, o)
 	if !ok {
@@ -919,6 +1111,7 @@ func (sv *Server) handleSnapshot(w http.ResponseWriter, r *http.Request, sess *s
 		writeUnavailable(w, 1000, "snapshot: %v", err)
 		return
 	}
+	sv.replicaHeaders(w, sess)
 	loc, st, ok := runner.Snapshot(rfid.TagID(tag))
 	if !ok {
 		writeError(w, http.StatusNotFound, api.ErrNotFound, "tag %q is not tracked", tag)
@@ -943,6 +1136,7 @@ func (sv *Server) handleSnapshotAll(w http.ResponseWriter, r *http.Request, sess
 		writeUnavailable(w, 1000, "snapshot: %v", err)
 		return
 	}
+	sv.replicaHeaders(w, sess)
 	if v := r.URL.Query().Get("epoch"); v != "" {
 		epoch, err := strconv.Atoi(v)
 		if err != nil {
@@ -1015,6 +1209,19 @@ func (sv *Server) handleRegister(w http.ResponseWriter, r *http.Request, sess *s
 		writeError(w, http.StatusBadRequest, api.ErrBadRequest, "%v", err)
 		return
 	}
+	if sv.role.Load() != rolePrimary {
+		// A replica serves history-mode queries locally (they evaluate once,
+		// at registration, over this node's applied history — no primary
+		// round-trip and no WAL write), under ephemeral "h"-prefixed ids that
+		// live only on this node. Continuous registrations mutate replicated
+		// state and must go to the primary.
+		if spec.IsHistory() {
+			sv.registerReplicaHistory(w, sess, spec)
+			return
+		}
+		writeError(w, http.StatusConflict, api.ErrReadOnly, "node is a %s: continuous-query registration must go to the primary (history-mode queries are served here)", sv.roleName())
+		return
+	}
 	res, ok := sv.runOp(w, r, sess, op{register: &spec, registerJSON: string(body), done: make(chan opResult, 1)})
 	if !ok {
 		return
@@ -1025,6 +1232,24 @@ func (sv *Server) handleRegister(w http.ResponseWriter, r *http.Request, sess *s
 	}
 	w.Header().Set("Location", fmt.Sprintf("/v1/sessions/%s/queries/%s", sess.id, res.info.ID))
 	writeJSON(w, http.StatusCreated, infoToAPI(res.info))
+}
+
+// registerReplicaHistory registers a history-mode query on the replica's
+// local (unreplicated) registry and answers with the staleness headers.
+func (sv *Server) registerReplicaHistory(w http.ResponseWriter, sess *session, spec query.Spec) {
+	reg := sess.historyRegistry()
+	if reg == nil {
+		writeUnavailable(w, 1000, "replica is still bootstrapping")
+		return
+	}
+	info, err := reg.Register(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, api.ErrBadRequest, "%v", err)
+		return
+	}
+	sv.replicaHeaders(w, sess)
+	w.Header().Set("Location", fmt.Sprintf("/v1/sessions/%s/queries/%s", sess.id, info.ID))
+	writeJSON(w, http.StatusCreated, infoToAPI(info))
 }
 
 // handleList answers GET .../queries. Without pagination parameters the
@@ -1042,7 +1267,15 @@ func (sv *Server) handleList(w http.ResponseWriter, r *http.Request, sess *sessi
 		writeUnavailable(w, 1000, "queries: %v", err)
 		return
 	}
+	sv.replicaHeaders(w, sess)
 	infos := reg.List()
+	if sv.role.Load() != rolePrimary {
+		// Replicated queries first, then this node's local history queries
+		// (both lists are individually in stable id order).
+		if hr := sess.histReg.Load(); hr != nil {
+			infos = append(infos, hr.List()...)
+		}
+	}
 	if !paged {
 		out := make(api.QueryList, 0, len(infos))
 		for _, info := range infos {
@@ -1104,6 +1337,10 @@ func (sv *Server) handleResults(w http.ResponseWriter, r *http.Request, sess *se
 	id := r.PathValue("id")
 	t0 := time.Now()
 	deadline := t0.Add(wait)
+	// On a replica, "h"-prefixed ids live in the node-local history registry
+	// (see registerReplicaHistory); history queries finish at registration, so
+	// the long-poll below returns on the first pass.
+	localHist := sv.role.Load() != rolePrimary && strings.HasPrefix(id, "h")
 	for {
 		// Grab the notify channel BEFORE reading the registry so a result
 		// buffered between the read and the wait still wakes this poller. The
@@ -1111,10 +1348,20 @@ func (sv *Server) handleResults(w http.ResponseWriter, r *http.Request, sess *se
 		// evicted while the poll sleeps, and the next read must hydrate it
 		// rather than touch a released registry.
 		notify := sess.resultsChan()
-		reg, rerr := sess.residentRegistry(r.Context().Done())
-		if rerr != nil {
-			writeUnavailable(w, 1000, "results: %v", rerr)
-			return
+		var reg *query.Registry
+		if localHist {
+			reg = sess.histReg.Load()
+			if reg == nil {
+				writeError(w, http.StatusNotFound, api.ErrNotFound, "unknown query id %q", id)
+				return
+			}
+		} else {
+			var rerr error
+			reg, rerr = sess.residentRegistry(r.Context().Done())
+			if rerr != nil {
+				writeUnavailable(w, 1000, "results: %v", rerr)
+				return
+			}
 		}
 		results, info, err := reg.Results(id, after, limit)
 		if err != nil {
@@ -1131,6 +1378,7 @@ func (sv *Server) handleResults(w http.ResponseWriter, r *http.Request, sess *se
 			// Delivery latency including any long-poll wait: the time a
 			// result reader actually spent blocked on this endpoint.
 			sess.longpollHist.ObserveDuration(time.Since(t0))
+			sv.replicaHeaders(w, sess)
 			writeJSON(w, http.StatusOK, api.ResultsPage{Query: infoToAPI(info), Results: rows})
 			return
 		}
@@ -1156,6 +1404,21 @@ func (sv *Server) handleResults(w http.ResponseWriter, r *http.Request, sess *se
 func (sv *Server) handleUnregister(w http.ResponseWriter, r *http.Request, sess *session) {
 	if sv.closed.Load() || sess.closed.Load() {
 		writeError(w, http.StatusServiceUnavailable, api.ErrUnavailable, "session is shutting down")
+		return
+	}
+	if sv.role.Load() != rolePrimary {
+		// "h"-prefixed ids are this replica's local history queries; anything
+		// else is replicated state only the primary may change.
+		id := r.PathValue("id")
+		if strings.HasPrefix(id, "h") {
+			if reg := sess.histReg.Load(); reg != nil && reg.Unregister(id) {
+				w.WriteHeader(http.StatusNoContent)
+				return
+			}
+			writeError(w, http.StatusNotFound, api.ErrNotFound, "unknown query id %q", id)
+			return
+		}
+		writeError(w, http.StatusConflict, api.ErrReadOnly, "node is a %s: query unregistration must go to the primary", sv.roleName())
 		return
 	}
 	res, ok := sv.runOp(w, r, sess, op{unregister: r.PathValue("id"), done: make(chan opResult, 1)})
@@ -1218,6 +1481,7 @@ func (sv *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Durable:       def.durable(),
 		UptimeSeconds: time.Since(sv.start).Seconds(),
 		Sessions:      n,
+		Role:          sv.roleName(),
 	}
 	if def.durable() {
 		ckpt := int(def.lastCkptEpoch.Load())
@@ -1226,6 +1490,15 @@ func (sv *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			rec := int(ep)
 			body.RecoveredFromEpoch = &rec
 		}
+	}
+	if sv.role.Load() == rolePrimary {
+		followers := sv.repl.followerCount()
+		body.Followers = &followers
+	} else {
+		applied := def.appliedEpoch.Load()
+		body.AppliedEpoch = &applied
+		lag := sv.repl.lagSeconds()
+		body.ReplicationLagSeconds = &lag
 	}
 	code := http.StatusOK
 	if state == stateFailed {

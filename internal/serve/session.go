@@ -50,6 +50,10 @@ type op struct {
 	// fence op knows every op enqueued before it has been applied (and that
 	// an evicted session has been hydrated).
 	fence bool
+	// repl, when non-nil, is a replication command (apply a shipped record,
+	// re-bootstrap from a checkpoint image, promote to writable) from the
+	// follower machinery; see replica.go. Replica sessions only.
+	repl *replOp
 	// done, when non-nil, receives the op's outcome.
 	done chan opResult
 }
@@ -74,6 +78,13 @@ type sessionDeps struct {
 	set   *metrics.Set
 	sched *scheduler
 	res   *residency
+	// repl is the server-level replication tracker (follower acks on a
+	// primary, apply metrics on a replica); nil only in tests that build
+	// sessions directly.
+	repl *replTracker
+	// replicaMode marks sessions built on a follower node: they mirror a
+	// primary's WAL instead of appending their own.
+	replicaMode bool
 }
 
 // session is one isolated inference world behind the HTTP surface: its own
@@ -151,6 +162,24 @@ type session struct {
 	// after a fence. It is persisted through RecBatch WAL records and the
 	// checkpoint's serve.stream section, so stream resume survives eviction.
 	lastStreamSeq atomic.Uint64
+
+	// Replication (see replica.go). replica is set at construction on a
+	// follower node and cleared by promotion; mirror replaces wal while the
+	// session follows a primary (pinned worker only). repl is the server-level
+	// follower tracker (nil unless the server participates in replication);
+	// replSeg/replOff/appliedEpoch are the atomically published apply cursor
+	// HTTP handlers and ack senders read without the pin.
+	replica      atomic.Bool
+	mirror       *wal.Mirror
+	repl         *replTracker
+	replReady    atomic.Bool // mirror opened; the cursor atomics are valid
+	replSeg      atomic.Uint64
+	replOff      atomic.Int64
+	appliedEpoch atomic.Int64
+	// histReg holds replica-local history-mode queries (ids prefixed "h" so
+	// they can never collide with replicated "q" ids); rebuilt from scratch on
+	// re-bootstrap and discarded at promotion.
+	histReg atomic.Pointer[query.Registry]
 
 	// Durability (nil / zero when cfg.DataDir is empty). The WAL and the
 	// checkpoint writer run exclusively under the session pin.
@@ -317,6 +346,9 @@ func buildSession(id, label string, cfg Config, deps sessionDeps, manifest *api.
 	s.log = cfg.Logger.With("session", id)
 	s.lastCkptEpoch.Store(-1)
 	s.recoveredEpoch.Store(-1)
+	s.repl = deps.repl
+	s.replica.Store(deps.replicaMode)
+	s.appliedEpoch.Store(-1)
 	s.engineErrs = s.counter("rfidserve_engine_errors_total", "epoch-processing errors (failing epochs are skipped)")
 	s.batches = s.counter("rfidserve_batches_total", "ingest batches accepted")
 	s.streamConns = s.counter("rfidserve_stream_connections_total", "streaming ingest connections established")
@@ -552,6 +584,15 @@ func (s *session) handleOp(o op) opResult {
 		// Nothing to do: completing the op proves every earlier op applied
 		// (and dispatch hydrated the session first if it was evicted).
 		return opResult{}
+	}
+	if o.repl != nil {
+		return s.handleReplOp(o)
+	}
+	if s.replica.Load() {
+		// Defense in depth: the HTTP layer already refuses writes on a
+		// replica, but an op that slipped through (e.g. queued just before a
+		// demotion) must not mutate state the primary does not know about.
+		return opResult{err: fmt.Errorf("session %q is a replica (read-only)", s.id)}
 	}
 	r, reg := s.eng.Load(), s.reg.Load()
 	if r == nil || reg == nil {

@@ -287,6 +287,9 @@ func (sv *Server) handleStream(w http.ResponseWriter, r *http.Request, sess *ses
 		writeUnavailable(w, 1000, "session is shutting down")
 		return
 	}
+	if sv.refuseReadOnly(w) {
+		return
+	}
 	if err := sess.waitReady(r.Context().Done()); err != nil {
 		writeError(w, http.StatusServiceUnavailable, api.ErrUnavailable, "session not ready: %v", err)
 		return

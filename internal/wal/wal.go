@@ -478,7 +478,13 @@ func (l *Log) Rotate() (uint64, error) {
 // checkpointing path calls it after a checkpoint recording seq as its replay
 // start has been durably written.
 func (l *Log) RemoveSegmentsBefore(seq uint64) error {
-	segs, err := Segments(l.dir)
+	return removeSegmentsBefore(l.dir, seq)
+}
+
+// removeSegmentsBefore is the shared GC sweep behind Log.RemoveSegmentsBefore
+// and Mirror.RemoveSegmentsBefore.
+func removeSegmentsBefore(dir string, seq uint64) error {
+	segs, err := Segments(dir)
 	if err != nil {
 		return err
 	}
@@ -486,7 +492,7 @@ func (l *Log) RemoveSegmentsBefore(seq uint64) error {
 		if s >= seq {
 			break
 		}
-		if err := os.Remove(filepath.Join(l.dir, segName(s))); err != nil {
+		if err := os.Remove(filepath.Join(dir, segName(s))); err != nil {
 			return fmt.Errorf("wal: remove segment %d: %w", s, err)
 		}
 	}

@@ -58,6 +58,9 @@ const (
 	ErrConflict = "conflict"
 	// ErrUnavailable: backpressure or shutdown; the request may be retried.
 	ErrUnavailable = "unavailable"
+	// ErrReadOnly: the request mutates state but this node is a replica;
+	// retry against the primary (or after promotion).
+	ErrReadOnly = "read_only"
 	// ErrInternal: the server failed to process an otherwise valid request.
 	ErrInternal = "internal"
 )

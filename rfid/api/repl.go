@@ -1,0 +1,43 @@
+package api
+
+// Replication surface: role names, the staleness headers replica-served
+// reads carry, and the promotion response. The replication data plane itself
+// (WAL shipping over POST /v1/replicate) speaks binary frames defined in
+// rfid/wire — server-to-server protocol, not public API — but the role a
+// node plays, and how stale a replica-served read is, are public facts.
+
+// Replication roles reported in Health.Role and the Rfid-Role header.
+const (
+	// RolePrimary: the node accepts writes and ships its WAL to followers.
+	RolePrimary = "primary"
+	// RoleReplica: the node follows a primary; reads are served locally from
+	// replicated state, writes are refused with code "read_only".
+	RoleReplica = "replica"
+	// RolePromoting: a replica sealing its mirrored log and finishing replay
+	// on its way to becoming primary.
+	RolePromoting = "promoting"
+)
+
+// Staleness headers on replica-served reads (GET .../snapshot,
+// GET .../snapshot?epoch=N, query registration and result polling). A
+// primary serves these endpoints without the headers.
+const (
+	// HeaderRole reports the serving node's replication role.
+	HeaderRole = "Rfid-Role"
+	// HeaderAppliedEpoch reports the session's applied engine epoch at the
+	// time of the read (-1 before any epoch is sealed).
+	HeaderAppliedEpoch = "Rfid-Applied-Epoch"
+	// HeaderReplicationLag reports the node's replication-lag estimate in
+	// seconds (decimal).
+	HeaderReplicationLag = "Rfid-Replication-Lag-Seconds"
+)
+
+// PromoteResponse is the POST /v1/promote body: the node's role after the
+// promotion request (idempotent — promoting an existing primary reports
+// "primary" without error).
+type PromoteResponse struct {
+	// Role is the node's role when the response was written.
+	Role string `json:"role"`
+	// Sessions is the number of sessions sealed and promoted to writable.
+	Sessions int `json:"sessions"`
+}

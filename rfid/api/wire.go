@@ -192,4 +192,17 @@ type Health struct {
 	// session's durable progress (durable servers only).
 	LastCheckpointEpoch *int `json:"last_checkpoint_epoch,omitempty"`
 	RecoveredFromEpoch  *int `json:"recovered_from_epoch,omitempty"`
+	// Role is the node's replication role: primary | replica | promoting
+	// (empty on servers predating replication, meaning primary).
+	Role string `json:"role,omitempty"`
+	// AppliedEpoch is a replica's applied engine epoch on the default
+	// session (-1 before any epoch is sealed; absent on primaries).
+	AppliedEpoch *int64 `json:"applied_epoch,omitempty"`
+	// ReplicationLagSeconds is a replica's staleness estimate: seconds
+	// between the primary shipping the newest applied record (or heartbeat)
+	// and the replica applying it. Absent on primaries.
+	ReplicationLagSeconds *float64 `json:"replication_lag_seconds,omitempty"`
+	// Followers is the number of replica connections a primary is currently
+	// shipping to (absent on replicas).
+	Followers *int `json:"followers,omitempty"`
 }

@@ -37,8 +37,9 @@ import (
 
 // Client talks to one rfidserve process.
 type Client struct {
-	base string
-	hc   *http.Client
+	base    string
+	replica string
+	hc      *http.Client
 }
 
 // Option customizes a Client.
@@ -49,6 +50,17 @@ type Option func(*Client)
 // long-polled result reads want; apply per-request deadlines via context.
 func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
+}
+
+// WithReadReplica routes GET requests (snapshots, time-travel reads, query
+// results, listings) to a read replica at base while writes keep going to the
+// primary. Replica-served responses carry the Rfid-Role, Rfid-Applied-Epoch
+// and Rfid-Replication-Lag-Seconds staleness headers; replicated reads are
+// eventually consistent with the primary's acknowledged writes. Promote is
+// also sent to the replica, since promotion addresses the node being
+// promoted.
+func WithReadReplica(base string) Option {
+	return func(c *Client) { c.replica = strings.TrimRight(base, "/") }
 }
 
 // New returns a client for the server at base (e.g. "http://localhost:8080").
@@ -163,6 +175,36 @@ func (c *Client) Health(ctx context.Context) (api.Health, error) {
 	return out, nil
 }
 
+// Promote asks a replica to become the primary (POST /v1/promote): the
+// replication link is torn down, mirrored logs are sealed and the node starts
+// accepting writes where the old primary left off. The request goes to the
+// read replica configured with WithReadReplica (promotion addresses the node
+// being promoted), or to the client's base URL otherwise. Idempotent on a
+// node that is already primary.
+func (c *Client) Promote(ctx context.Context) (api.PromoteResponse, error) {
+	base := c.base
+	if c.replica != "" {
+		base = c.replica
+	}
+	var out api.PromoteResponse
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/promote", nil)
+	if err != nil {
+		return out, fmt.Errorf("client: promote: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return out, fmt.Errorf("client: promote: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out, decodeError(resp)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return out, fmt.Errorf("client: decode promote response: %w", err)
+	}
+	return out, nil
+}
+
 // Session returns a handle scoped to one session id. No network traffic
 // happens until a method is called; the id need not exist yet.
 func (c *Client) Session(id string) *Session {
@@ -185,7 +227,11 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		}
 		body = bytes.NewReader(data)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	base := c.base
+	if c.replica != "" && method == http.MethodGet {
+		base = c.replica
+	}
+	req, err := http.NewRequestWithContext(ctx, method, base+path, body)
 	if err != nil {
 		return fmt.Errorf("client: %s %s: %w", method, path, err)
 	}

@@ -1,0 +1,169 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// decodeKind resets d over payload and consumes the kind uvarint.
+func decodeKind(t *testing.T, d *Decoder, payload []byte, want uint64) {
+	t.Helper()
+	d.Reset(payload)
+	if k := d.Uvarint(); k != want {
+		t.Fatalf("kind %d, want %d", k, want)
+	}
+}
+
+func TestReplHelloRoundTrip(t *testing.T) {
+	in := ReplHello{
+		Version: ReplProtoVersion,
+		Name:    "replica-1",
+		Cursors: []ReplCursor{
+			{SID: "", Seg: 3, Off: 8},
+			{SID: "belt", Seg: 17, Off: 4096},
+		},
+	}
+	var e Encoder
+	AppendReplHello(&e, in)
+	var d Decoder
+	decodeKind(t, &d, e.Bytes(), KindReplHello)
+	out, err := DecodeReplHello(&d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip:\n in %+v\nout %+v", in, out)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("%d trailing bytes", d.Remaining())
+	}
+
+	// A wrong version is rejected at decode.
+	e.Reset()
+	AppendReplHello(&e, ReplHello{Version: 99})
+	decodeKind(t, &d, e.Bytes(), KindReplHello)
+	if _, err := DecodeReplHello(&d); err == nil {
+		t.Fatal("version 99 accepted")
+	}
+}
+
+func TestReplSessionRoundTrip(t *testing.T) {
+	in := ReplSession{
+		SID:           "belt",
+		Manifest:      `{"object_particles":80}`,
+		SnapshotBytes: 123456,
+		Seg:           9,
+		Off:           8,
+	}
+	var e Encoder
+	AppendReplSession(&e, in)
+	var d Decoder
+	decodeKind(t, &d, e.Bytes(), KindReplSession)
+	out, err := DecodeReplSession(&d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip:\n in %+v\nout %+v", in, out)
+	}
+}
+
+func TestReplSnapshotRoundTrip(t *testing.T) {
+	in := ReplSnapshot{SID: "", Last: true, Chunk: []byte{1, 2, 3, 0, 255}}
+	var e Encoder
+	AppendReplSnapshot(&e, in)
+	var d Decoder
+	decodeKind(t, &d, e.Bytes(), KindReplSnapshot)
+	out, err := DecodeReplSnapshot(&d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SID != in.SID || out.Last != in.Last || !bytes.Equal(out.Chunk, in.Chunk) {
+		t.Fatalf("round trip:\n in %+v\nout %+v", in, out)
+	}
+}
+
+func TestReplRecordRoundTrip(t *testing.T) {
+	in := ReplRecord{
+		SID:       "belt",
+		Seg:       4,
+		Off:       1032,
+		ShipNanos: 1712345678901234567,
+		Payload:   []byte("record payload bytes"),
+	}
+	var e Encoder
+	AppendReplRecord(&e, in)
+	var d Decoder
+	decodeKind(t, &d, e.Bytes(), KindReplRecord)
+	out, err := DecodeReplRecord(&d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SID != in.SID || out.Seg != in.Seg || out.Off != in.Off ||
+		out.ShipNanos != in.ShipNanos || !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("round trip:\n in %+v\nout %+v", in, out)
+	}
+}
+
+func TestReplAckRoundTrip(t *testing.T) {
+	in := ReplAck{Cursors: []ReplCursor{
+		{SID: "", Seg: 2, Off: 512, AppliedEpoch: -1},
+		{SID: "belt", Seg: 7, Off: 8, AppliedEpoch: 41},
+	}}
+	var e Encoder
+	AppendReplAck(&e, in)
+	var d Decoder
+	decodeKind(t, &d, e.Bytes(), KindReplAck)
+	out, err := DecodeReplAck(&d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip:\n in %+v\nout %+v", in, out)
+	}
+}
+
+func TestReplHeartbeatRoundTrip(t *testing.T) {
+	in := ReplHeartbeat{Nanos: 987654321}
+	var e Encoder
+	AppendReplHeartbeat(&e, in)
+	var d Decoder
+	decodeKind(t, &d, e.Bytes(), KindReplHeartbeat)
+	out, err := DecodeReplHeartbeat(&d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in != out {
+		t.Fatalf("round trip: in %+v out %+v", in, out)
+	}
+}
+
+// TestReplDecodersNeverPanic drives every repl decoder over truncations of a
+// valid frame — the sticky-error decoder must fail cleanly, not panic.
+func TestReplDecodersNeverPanic(t *testing.T) {
+	var e Encoder
+	AppendReplRecord(&e, ReplRecord{SID: "s", Seg: 1, Off: 8, Payload: []byte("x")})
+	full := append([]byte(nil), e.Bytes()...)
+	for n := 0; n < len(full); n++ {
+		var d Decoder
+		d.Reset(full[:n])
+		d.Uvarint() // kind (possibly truncated)
+		_, _ = DecodeReplRecord(&d)
+		d.Reset(full[:n])
+		d.Uvarint()
+		_, _ = DecodeReplHello(&d)
+		d.Reset(full[:n])
+		d.Uvarint()
+		_, _ = DecodeReplAck(&d)
+		d.Reset(full[:n])
+		d.Uvarint()
+		_, _ = DecodeReplSession(&d)
+		d.Reset(full[:n])
+		d.Uvarint()
+		_, _ = DecodeReplSnapshot(&d)
+		d.Reset(full[:n])
+		d.Uvarint()
+		_, _ = DecodeReplHeartbeat(&d)
+	}
+}
